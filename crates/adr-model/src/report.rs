@@ -1,0 +1,210 @@
+//! The ADR report record, mirroring the TGA schema of the paper's Table 2.
+
+use serde::{Deserialize, Serialize};
+
+/// Stable report identifier (assignment order = arrival order at the
+/// regulator, which §3 uses to orient pair comparisons).
+pub type ReportId = u64;
+
+/// Patient sex as recorded on the report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Sex {
+    /// Male.
+    M,
+    /// Female.
+    F,
+    /// Not recorded / unknown.
+    Unknown,
+}
+
+impl Sex {
+    /// Categorical code used in field comparison.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Sex::M => "M",
+            Sex::F => "F",
+            Sex::Unknown => "-",
+        }
+    }
+}
+
+/// Case-details section (2 fields).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CaseDetails {
+    /// Regulator case number.
+    pub case_number: String,
+    /// Date the report reached the regulator.
+    pub report_date: Option<String>,
+}
+
+/// Patient-details section (5 fields).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PatientDetails {
+    /// Age computed from date of birth at onset ("calculated age").
+    pub calculated_age: Option<f64>,
+    /// Patient sex.
+    pub sex: Option<Sex>,
+    /// Weight band code.
+    pub weight_code: Option<String>,
+    /// Ethnicity code.
+    pub ethnicity_code: Option<String>,
+    /// Australian state/territory of residence.
+    pub residential_state: Option<String>,
+}
+
+/// Reaction-information section (14 fields).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ReactionInfo {
+    /// Date the reaction began.
+    pub onset_date: Option<String>,
+    /// Date of the final outcome.
+    pub date_of_outcome: Option<String>,
+    /// Coded reaction outcome.
+    pub reaction_outcome_code: Option<String>,
+    /// Outcome description ("Recovered", "Unknown", …).
+    pub reaction_outcome_description: Option<String>,
+    /// Severity code.
+    pub severity_code: Option<String>,
+    /// Severity description.
+    pub severity_description: Option<String>,
+    /// Free-text narrative — the long field §4.2 singles out.
+    pub report_description: String,
+    /// Free-text treatment notes.
+    pub treatment_text: Option<String>,
+    /// Hospitalisation code.
+    pub hospitalisation_code: Option<String>,
+    /// Hospitalisation description.
+    pub hospitalisation_description: Option<String>,
+    /// MedDRA Low Level Term code.
+    pub meddra_llt_code: Option<String>,
+    /// MedDRA Low Level Term name.
+    pub llt_name: Option<String>,
+    /// MedDRA Preferred Term code(s), comma-joined — the "ADR name" field.
+    pub meddra_pt_code: String,
+    /// MedDRA Preferred Term name(s).
+    pub pt_name: Option<String>,
+}
+
+/// Medicine-information section (14 fields).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MedicineInfo {
+    /// Suspect-medicine flag code.
+    pub suspect_code: Option<String>,
+    /// Suspect-medicine description.
+    pub suspect_description: Option<String>,
+    /// Trade name code.
+    pub trade_name_code: Option<String>,
+    /// Trade name description.
+    pub trade_name_description: Option<String>,
+    /// Generic name code.
+    pub generic_name_code: Option<String>,
+    /// Generic (INN) drug name(s), comma-joined — the "drug name" field.
+    pub generic_name_description: String,
+    /// Dose amount.
+    pub dosage_amount: Option<String>,
+    /// Unit / proportion code.
+    pub unit_proportion_code: Option<String>,
+    /// Dosage form code.
+    pub dosage_form_code: Option<String>,
+    /// Dosage form description.
+    pub dosage_form_description: Option<String>,
+    /// Route of administration code.
+    pub route_of_administration_code: Option<String>,
+    /// Route of administration description.
+    pub route_of_administration_description: Option<String>,
+    /// Therapy start date.
+    pub dosage_start_date: Option<String>,
+    /// Therapy halt date.
+    pub dosage_halt_date: Option<String>,
+}
+
+/// Reporter-details section (2 fields).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ReporterDetails {
+    /// Who reported (GP, pharmacist, consumer, company, hospital, …).
+    pub reporter_type: Option<String>,
+    /// Report type description (initial, follow-up, literature, …).
+    pub report_type_description: Option<String>,
+}
+
+/// One adverse-drug-reaction report.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AdrReport {
+    /// Stable identifier within the database (arrival order).
+    pub id: ReportId,
+    /// Case-details section.
+    pub case: CaseDetails,
+    /// Patient-details section.
+    pub patient: PatientDetails,
+    /// Reaction-information section.
+    pub reaction: ReactionInfo,
+    /// Medicine-information section.
+    pub medicine: MedicineInfo,
+    /// Reporter-details section.
+    pub reporter: ReporterDetails,
+}
+
+impl AdrReport {
+    /// Number of schema fields per report (Table 3 of the paper: 37).
+    pub const FIELD_COUNT: usize = 2 + 5 + 14 + 14 + 2;
+
+    /// Drug names as individual tokens (field is comma-joined).
+    pub fn drug_names(&self) -> Vec<&str> {
+        split_joined(&self.medicine.generic_name_description)
+    }
+
+    /// ADR (MedDRA PT) names as individual tokens (field is comma-joined).
+    pub fn adr_names(&self) -> Vec<&str> {
+        split_joined(&self.reaction.meddra_pt_code)
+    }
+}
+
+fn split_joined(s: &str) -> Vec<&str> {
+    s.split(',')
+        .map(str::trim)
+        .filter(|t| !t.is_empty())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_count_matches_table3() {
+        assert_eq!(AdrReport::FIELD_COUNT, 37);
+    }
+
+    #[test]
+    fn drug_and_adr_names_split_on_commas() {
+        let mut r = AdrReport::default();
+        r.medicine.generic_name_description = "Influenza Vaccine,Dtpa Vaccine".into();
+        r.reaction.meddra_pt_code = "Vomiting, Pyrexia ,Cough,".into();
+        assert_eq!(r.drug_names(), vec!["Influenza Vaccine", "Dtpa Vaccine"]);
+        assert_eq!(r.adr_names(), vec!["Vomiting", "Pyrexia", "Cough"]);
+    }
+
+    #[test]
+    fn empty_joined_fields_yield_no_tokens() {
+        let r = AdrReport::default();
+        assert!(r.drug_names().is_empty());
+        assert!(r.adr_names().is_empty());
+    }
+
+    #[test]
+    fn sex_codes() {
+        assert_eq!(Sex::M.as_str(), "M");
+        assert_eq!(Sex::F.as_str(), "F");
+        assert_eq!(Sex::Unknown.as_str(), "-");
+    }
+
+    #[test]
+    fn reports_are_comparable_and_cloneable() {
+        let a = AdrReport {
+            id: 3,
+            ..AdrReport::default()
+        };
+        let b = a.clone();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,527 @@
+//! Seeded dataset generation with duplicate injection.
+
+use crate::corruption::{
+    corrupt_age, corrupt_date, edit_term_list, inject_typo, CorruptionConfig,
+};
+use crate::lexicon::{adr_terms, drug_names, OUTCOMES, REPORTER_TYPES, STATES};
+use crate::narrative::{
+    append_details, render, render_followup, CaseFacts, TEMPLATE_COUNT,
+};
+use adr_model::{AdrReport, PairId, Sex};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// Parameters of a synthetic corpus.
+#[derive(Debug, Clone)]
+pub struct SynthConfig {
+    /// Total number of reports, duplicates included.
+    pub num_reports: usize,
+    /// Number of injected duplicate pairs.
+    pub duplicate_pairs: usize,
+    /// Size of the drug lexicon.
+    pub num_drugs: usize,
+    /// Size of the ADR-term lexicon.
+    pub num_adrs: usize,
+    /// RNG seed; everything downstream is a pure function of the config.
+    pub seed: u64,
+    /// How aggressively duplicates are corrupted.
+    pub corruption: CorruptionConfig,
+    /// Fraction of (eligible) reports generated as *vaccination-campaign*
+    /// reports: many distinct patients, the same vaccine, overlapping
+    /// reaction profiles and a shared campaign period. Campaign report
+    /// pairs are the hard *negatives* of SRS data — similar-looking records
+    /// that are genuinely different cases. Only reports whose id exceeds
+    /// the ADR-lexicon size are eligible, so lexicon coverage (Table 3's
+    /// unique counts) is unaffected.
+    pub campaign_fraction: f64,
+}
+
+impl SynthConfig {
+    /// The TGA-scale corpus of the paper's Table 3: 10,382 reports over
+    /// Jul–Dec 2013 with 286 known duplicate pairs, 1,366 unique drugs and
+    /// 2,351 unique ADR terms.
+    pub fn tga() -> Self {
+        SynthConfig {
+            num_reports: 10_382,
+            duplicate_pairs: 286,
+            num_drugs: 1_366,
+            num_adrs: 2_351,
+            seed: 2016,
+            corruption: CorruptionConfig::default(),
+            campaign_fraction: 0.2,
+        }
+    }
+
+    /// A small corpus for tests and examples, keeping the ~5% duplication
+    /// rate and the lexicon-to-corpus ratio of the TGA data.
+    pub fn small(num_reports: usize, duplicate_pairs: usize, seed: u64) -> Self {
+        SynthConfig {
+            num_reports,
+            duplicate_pairs,
+            num_drugs: (num_reports / 8).clamp(4, 1_366),
+            num_adrs: (num_reports / 4).clamp(8, 2_351),
+            seed,
+            corruption: CorruptionConfig::default(),
+            campaign_fraction: 0.2,
+        }
+    }
+}
+
+/// Summary statistics in the shape of the paper's Table 3.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DatasetSummary {
+    /// Report collection period.
+    pub report_period: &'static str,
+    /// Number of cases (reports).
+    pub num_cases: usize,
+    /// Fields per report.
+    pub fields_per_report: usize,
+    /// Unique drugs actually appearing in the corpus.
+    pub unique_drugs: usize,
+    /// Unique ADR terms actually appearing in the corpus.
+    pub unique_adrs: usize,
+    /// Known (injected) duplicate pairs.
+    pub known_duplicate_pairs: usize,
+}
+
+/// A generated corpus: reports plus the ground-truth duplicate pairs.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// All reports, id = index = arrival order.
+    pub reports: Vec<AdrReport>,
+    /// Ground truth: which pairs are duplicates.
+    pub duplicate_pairs: Vec<PairId>,
+}
+
+const MONTH_NAMES: [&str; 6] = ["Jul", "Aug", "Sep", "Oct", "Nov", "Dec"];
+
+struct Generator {
+    rng: StdRng,
+    drugs: Vec<String>,
+    adrs: Vec<String>,
+    config: SynthConfig,
+}
+
+impl Generator {
+    /// 0–4 detail sentences chosen independently — the narrative-length
+    /// variation of real reports.
+    fn detail_mask(&mut self) -> u16 {
+        let mut mask = 0u16;
+        for _ in 0..self.rng.gen_range(0..=4u8) {
+            mask |= 1 << self.rng.gen_range(0..crate::narrative::DETAIL_SENTENCES.len());
+        }
+        mask
+    }
+
+    fn onset_dates(&mut self) -> (String, String) {
+        // Collection window: 1 Jul 2013 – 31 Dec 2013.
+        let month = self.rng.gen_range(0..6usize);
+        let day = self.rng.gen_range(1..=28u32);
+        let table_form = format!("{:02}/{:02}/2013 00:00:00", day, month + 7);
+        let narrative_form = format!("{:02}-{}-2013", day, MONTH_NAMES[month]);
+        (table_form, narrative_form)
+    }
+
+    fn base_report(&mut self, id: u64) -> AdrReport {
+        let sex = match self.rng.gen_range(0..10u8) {
+            0..=4 => Sex::F,
+            5..=8 => Sex::M,
+            _ => Sex::Unknown,
+        };
+        let state = STATES[self.rng.gen_range(0..STATES.len())].to_string();
+        let outcome = OUTCOMES[self.rng.gen_range(0..OUTCOMES.len())].to_string();
+
+        // Campaign reports: many distinct patients, one vaccine, a shared
+        // reaction profile and a campaign month — the corpus's hard
+        // negatives. Only ids past the lexicon walk are eligible so the
+        // Table 3 unique counts stay exact.
+        let campaign = id as usize >= self.config.num_adrs
+            && self.rng.gen_bool(self.config.campaign_fraction);
+        let mut cohort_age: Option<u32> = None;
+        let mut campaign_template: Option<usize> = None;
+        let (drugs, adrs, onset_table, onset_narrative) = if campaign {
+            let vaccines = 8.min(self.drugs.len());
+            let v = self.rng.gen_range(0..vaccines);
+            let drugs = vec![self.drugs[v].clone()];
+            // Campaign cohort: childhood schedules for half the vaccines,
+            // elderly programmes for the rest. Narrow age bands mean many
+            // *distinct* patients share an age — hard negatives.
+            cohort_age = Some(if v < vaccines / 2 {
+                self.rng.gen_range(1..=3u32)
+            } else {
+                self.rng.gen_range(68..=72u32)
+            });
+            // One clinic, one reporting form: all of a vaccine's campaign
+            // reports share a narrative template, so two *different*
+            // campaign patients read as similarly as two accounts of one
+            // clinical case — the hard-negative trap of SRS text matching.
+            campaign_template = Some(v % TEMPLATE_COUNT);
+            // Overlapping per-vaccine reaction pools of ~8 terms.
+            let pool_start = (v * 7) % self.adrs.len().saturating_sub(8).max(1);
+            let pool = &self.adrs[pool_start..(pool_start + 8).min(self.adrs.len())];
+            let mut adrs = Vec::new();
+            for _ in 0..self.rng.gen_range(1..=3u8) {
+                let term = pool[self.rng.gen_range(0..pool.len())].clone();
+                if !adrs.contains(&term) {
+                    adrs.push(term);
+                }
+            }
+            // Campaign month per vaccine, day within a one-week clinic
+            // window — distinct patients frequently share the onset date.
+            let month = v % 6;
+            let day = 1 + (v as u32 % 3) * 9 + self.rng.gen_range(0..7u32);
+            let table = format!("{:02}/{:02}/2013 00:00:00", day, month + 7);
+            let narr = format!("{:02}-{}-2013", day, MONTH_NAMES[month]);
+            (drugs, adrs, table, narr)
+        } else {
+            // Deterministic lexicon coverage: report i's primary drug/ADR
+            // walks the lexicon, so a TGA-sized corpus exhibits exactly the
+            // Table 3 unique counts; extras are random.
+            let mut drugs = vec![self.drugs[id as usize % self.drugs.len()].clone()];
+            if self.rng.gen_bool(0.2) {
+                let extra = self.drugs[self.rng.gen_range(0..self.drugs.len())].clone();
+                if !drugs.contains(&extra) {
+                    drugs.push(extra);
+                }
+            }
+            let mut adrs = vec![self.adrs[id as usize % self.adrs.len()].clone()];
+            for _ in 0..self.rng.gen_range(0..3u8) {
+                let extra = self.adrs[self.rng.gen_range(0..self.adrs.len())].clone();
+                if !adrs.contains(&extra) {
+                    adrs.push(extra);
+                }
+            }
+            let (table, narr) = self.onset_dates();
+            (drugs, adrs, table, narr)
+        };
+        let age = cohort_age.unwrap_or_else(|| self.rng.gen_range(1..=95u32));
+
+        // Field-level missingness ("different missing data rates in
+        // different fields", §4.2; Table 1's "-" state values). Consumer
+        // reports are the least complete. The narrative still carries the
+        // facts — the structured field was simply never keyed in.
+        let reporter =
+            REPORTER_TYPES[self.rng.gen_range(0..REPORTER_TYPES.len())].to_string();
+        let missing_boost = if reporter == "Consumer" { 2.0 } else { 1.0 };
+        let (age_missing, sex_missing, state_missing, onset_missing) = {
+            let mut missing = |base_rate: f64| -> bool {
+                self.rng.gen_bool((base_rate * missing_boost).min(1.0))
+            };
+            (missing(0.15), missing(0.10), missing(0.25), missing(0.15))
+        };
+
+        let facts = CaseFacts {
+            age,
+            sex,
+            drugs: drugs.clone(),
+            adrs: adrs.clone(),
+            onset_date: onset_narrative,
+            outcome: outcome.clone(),
+        };
+        let template =
+            campaign_template.unwrap_or_else(|| self.rng.gen_range(0..TEMPLATE_COUNT));
+        let narrative = append_details(render(&facts, template, id), self.detail_mask());
+
+        let mut r = AdrReport {
+            id,
+            ..AdrReport::default()
+        };
+        r.case.case_number = format!("CASE-2013-{id:06}");
+        r.case.report_date = Some(onset_table.clone());
+        r.patient.calculated_age = (!age_missing).then_some(age as f64);
+        r.patient.sex = (!sex_missing).then_some(sex);
+        r.patient.residential_state = (!state_missing).then_some(state);
+        r.reaction.onset_date = (!onset_missing).then_some(onset_table);
+        r.reaction.reaction_outcome_description = Some(outcome);
+        r.reaction.report_description = narrative;
+        r.reaction.meddra_pt_code = adrs.join(",");
+        r.medicine.generic_name_description = drugs.join(",");
+        r.reporter.reporter_type = Some(reporter);
+        r
+    }
+
+    /// Clone `base` as a follow-up / re-submitted report with the Table 1
+    /// corruption patterns applied.
+    fn duplicate_of(&mut self, base: &AdrReport, new_id: u64) -> AdrReport {
+        let mut cfg = self.config.corruption;
+        // Duplicate mode: ordinary re-report, divergent clinical follow-up
+        // (fields moved on, narrative clinical), or administrative
+        // follow-up (fields intact, narrative minimal).
+        let roll = self.rng.gen::<f64>();
+        let admin = roll < cfg.admin_followup;
+        let divergent = !admin && roll < cfg.admin_followup + cfg.divergent_followup;
+        if divergent {
+            // The case has moved on: most structured fields differ.
+            cfg.age_digit_error = cfg.age_digit_error.max(0.5);
+            cfg.outcome_change = 1.0;
+            cfg.adr_list_edit = 1.0;
+            cfg.onset_date_error = 1.0;
+            cfg.state_dropout = cfg.state_dropout.max(0.5);
+            cfg.narrative_retemplate = 1.0;
+        } else if admin {
+            // Same structured record, contentless forwarded narrative.
+            cfg.age_digit_error = 0.0;
+            cfg.outcome_change = 1.0;
+            cfg.adr_list_edit = 0.0;
+            cfg.onset_date_error = 0.0;
+            cfg.state_dropout = 0.0;
+            cfg.drug_list_edit = 0.0;
+            cfg.narrative_retemplate = 1.0;
+        }
+        let mut dup = base.clone();
+        dup.id = new_id;
+        dup.case.case_number = format!("CASE-2013-{new_id:06}");
+
+        let mut age = base
+            .patient
+            .calculated_age
+            .map(|a| a as u32)
+            .unwrap_or(40);
+        if self.rng.gen_bool(cfg.age_digit_error) && base.patient.calculated_age.is_some() {
+            age = corrupt_age(age, &mut self.rng);
+            dup.patient.calculated_age = Some(age as f64);
+        }
+        if self.rng.gen_bool(cfg.outcome_change) {
+            let new_outcome = OUTCOMES[self.rng.gen_range(0..OUTCOMES.len())].to_string();
+            dup.reaction.reaction_outcome_description = Some(new_outcome);
+        }
+        let mut adrs: Vec<String> = dup.adr_names().iter().map(|s| s.to_string()).collect();
+        if self.rng.gen_bool(cfg.adr_list_edit) {
+            let pool = self.adrs.clone();
+            edit_term_list(&mut adrs, &pool, &mut self.rng);
+            dup.reaction.meddra_pt_code = adrs.join(",");
+        }
+        if self.rng.gen_bool(cfg.state_dropout) && base.patient.residential_state.is_some() {
+            dup.patient.residential_state = Some("Not Known".to_string());
+        }
+        if self.rng.gen_bool(cfg.onset_date_error) {
+            if let Some(date) = &dup.reaction.onset_date {
+                dup.reaction.onset_date = Some(corrupt_date(date, &mut self.rng));
+            }
+        }
+        if self.rng.gen_bool(cfg.drug_list_edit) {
+            let mut drugs: Vec<String> =
+                dup.drug_names().iter().map(|s| s.to_string()).collect();
+            let pool = self.drugs.clone();
+            edit_term_list(&mut drugs, &pool, &mut self.rng);
+            dup.medicine.generic_name_description = drugs.join(",");
+        }
+        // Different source, different narrative of the same event.
+        if self.rng.gen_bool(cfg.narrative_retemplate) {
+            let drugs: Vec<String> = dup.drug_names().iter().map(|s| s.to_string()).collect();
+            let facts = CaseFacts {
+                age,
+                sex: dup.patient.sex.unwrap_or(Sex::Unknown),
+                drugs,
+                adrs,
+                onset_date: base
+                    .reaction
+                    .onset_date
+                    .clone()
+                    .unwrap_or_default()
+                    .split(' ')
+                    .next()
+                    .unwrap_or("")
+                    .to_string(),
+                outcome: dup
+                    .reaction
+                    .reaction_outcome_description
+                    .clone()
+                    .unwrap_or_else(|| "Unknown".into()),
+            };
+            dup.reaction.report_description = if admin {
+                // Administrative follow-up: almost no clinical content.
+                render_followup(&facts, new_id)
+            } else {
+                let template = self.rng.gen_range(0..TEMPLATE_COUNT);
+                // A different reporter appends their own detail sentences.
+                let mask = self.detail_mask();
+                append_details(render(&facts, template, new_id), mask)
+            };
+        }
+        if self.rng.gen_bool(cfg.narrative_typo) {
+            dup.reaction.report_description =
+                inject_typo(&dup.reaction.report_description, &mut self.rng);
+        }
+        dup
+    }
+}
+
+impl Dataset {
+    /// Generate a corpus. Deterministic in the config.
+    ///
+    /// # Panics
+    /// Panics if `duplicate_pairs >= num_reports / 2` (cannot inject that
+    /// many duplicates).
+    pub fn generate(config: &SynthConfig) -> Dataset {
+        assert!(
+            config.duplicate_pairs * 2 <= config.num_reports,
+            "too many duplicate pairs ({}) for {} reports",
+            config.duplicate_pairs,
+            config.num_reports
+        );
+        let mut gen = Generator {
+            rng: StdRng::seed_from_u64(config.seed),
+            drugs: drug_names(config.num_drugs),
+            adrs: adr_terms(config.num_adrs),
+            config: config.clone(),
+        };
+        let base_count = config.num_reports - config.duplicate_pairs;
+        let mut reports: Vec<AdrReport> = (0..base_count as u64)
+            .map(|id| gen.base_report(id))
+            .collect();
+
+        // Pick distinct base reports to duplicate.
+        let mut candidates: Vec<usize> = (0..base_count).collect();
+        candidates.shuffle(&mut gen.rng);
+        let mut duplicate_pairs = Vec::with_capacity(config.duplicate_pairs);
+        for (j, &base_idx) in candidates.iter().take(config.duplicate_pairs).enumerate() {
+            let new_id = (base_count + j) as u64;
+            let dup = gen.duplicate_of(&reports[base_idx], new_id);
+            duplicate_pairs.push(PairId::new(base_idx as u64, new_id));
+            reports.push(dup);
+        }
+        Dataset {
+            reports,
+            duplicate_pairs,
+        }
+    }
+
+    /// Table 3-shaped summary with unique counts measured from the corpus.
+    pub fn summary(&self) -> DatasetSummary {
+        let mut drugs: HashSet<&str> = HashSet::new();
+        let mut adrs: HashSet<&str> = HashSet::new();
+        for r in &self.reports {
+            drugs.extend(r.drug_names());
+            adrs.extend(r.adr_names());
+        }
+        DatasetSummary {
+            report_period: "1 Jul. 2013 - 31 Dec. 2013",
+            num_cases: self.reports.len(),
+            fields_per_report: AdrReport::FIELD_COUNT,
+            unique_drugs: drugs.len(),
+            unique_adrs: adrs.len(),
+            known_duplicate_pairs: self.duplicate_pairs.len(),
+        }
+    }
+
+    /// Ground-truth label lookup set.
+    pub fn duplicate_set(&self) -> HashSet<PairId> {
+        self.duplicate_pairs.iter().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_corpus_generates_correct_counts() {
+        let cfg = SynthConfig::small(200, 10, 1);
+        let ds = Dataset::generate(&cfg);
+        assert_eq!(ds.reports.len(), 200);
+        assert_eq!(ds.duplicate_pairs.len(), 10);
+        // ids are arrival order
+        for (i, r) in ds.reports.iter().enumerate() {
+            assert_eq!(r.id, i as u64);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = SynthConfig::small(100, 5, 9);
+        let a = Dataset::generate(&cfg);
+        let b = Dataset::generate(&cfg);
+        assert_eq!(a.reports, b.reports);
+        assert_eq!(a.duplicate_pairs, b.duplicate_pairs);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Dataset::generate(&SynthConfig::small(100, 5, 1));
+        let b = Dataset::generate(&SynthConfig::small(100, 5, 2));
+        assert_ne!(a.reports, b.reports);
+    }
+
+    #[test]
+    fn duplicates_resemble_their_base() {
+        let cfg = SynthConfig::small(300, 20, 3);
+        let ds = Dataset::generate(&cfg);
+        let mut drug_same = 0;
+        let mut onset_same = 0;
+        for pair in &ds.duplicate_pairs {
+            let a = &ds.reports[pair.lo as usize];
+            let b = &ds.reports[pair.hi as usize];
+            if a.medicine.generic_name_description == b.medicine.generic_name_description {
+                drug_same += 1;
+            }
+            if a.reaction.onset_date == b.reaction.onset_date {
+                onset_same += 1;
+            }
+            // ADR lists overlap in at least one term.
+            let adrs_a: HashSet<&str> = a.adr_names().into_iter().collect();
+            let adrs_b: HashSet<&str> = b.adr_names().into_iter().collect();
+            assert!(
+                adrs_a.intersection(&adrs_b).count() >= 1,
+                "pair {pair:?} lost all ADR overlap"
+            );
+        }
+        // Many — but not all — duplicates keep the drug name and onset
+        // date; the corrupted fraction is what makes detection non-trivial.
+        let n = ds.duplicate_pairs.len();
+        assert!(drug_same * 3 > n, "most duplicates should keep the drug name");
+        assert!(drug_same < n, "some drug names must be corrupted");
+        assert!(onset_same * 3 > n, "many duplicates should keep the onset date");
+        assert!(onset_same < n, "some onset dates must be corrupted");
+    }
+
+    #[test]
+    fn duplicates_are_not_identical_records() {
+        let cfg = SynthConfig::small(400, 30, 4);
+        let ds = Dataset::generate(&cfg);
+        let differing = ds
+            .duplicate_pairs
+            .iter()
+            .filter(|p| {
+                let a = &ds.reports[p.lo as usize];
+                let b = &ds.reports[p.hi as usize];
+                a.reaction.report_description != b.reaction.report_description
+            })
+            .count();
+        assert!(
+            differing as f64 >= 0.7 * ds.duplicate_pairs.len() as f64,
+            "most duplicates must have rewritten narratives, got {differing}/{}",
+            ds.duplicate_pairs.len()
+        );
+    }
+
+    #[test]
+    fn summary_shape() {
+        let ds = Dataset::generate(&SynthConfig::small(500, 25, 5));
+        let s = ds.summary();
+        assert_eq!(s.num_cases, 500);
+        assert_eq!(s.known_duplicate_pairs, 25);
+        assert_eq!(s.fields_per_report, 37);
+        assert!(s.unique_drugs > 0 && s.unique_adrs > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "too many duplicate pairs")]
+    fn over_duplication_rejected() {
+        let _ = Dataset::generate(&SynthConfig::small(10, 6, 1));
+    }
+
+    #[test]
+    fn tga_scale_summary_matches_table3() {
+        // The headline reproduction check: Table 3 of the paper.
+        let ds = Dataset::generate(&SynthConfig::tga());
+        let s = ds.summary();
+        assert_eq!(s.num_cases, 10_382);
+        assert_eq!(s.known_duplicate_pairs, 286);
+        assert_eq!(s.fields_per_report, 37);
+        assert_eq!(s.unique_drugs, 1_366);
+        assert_eq!(s.unique_adrs, 2_351);
+    }
+}

@@ -1,0 +1,194 @@
+//! Deterministic synthetic lexicons: drug names, MedDRA-PT-like ADR terms,
+//! states, outcomes and reporter types.
+//!
+//! The TGA dataset of the paper contains 1,366 unique drugs and 2,351 unique
+//! ADR terms (Table 3). Real lexicons of that size are not redistributable,
+//! so we synthesise pharmacologically plausible names from stem/affix
+//! grammars — what matters for duplicate detection is the *token-set
+//! distance structure* (names are compared by Jaccard), not the names
+//! themselves.
+
+/// Australian states/territories as categorical codes, plus the paper's
+/// "Not Known".
+pub const STATES: &[&str] = &["NSW", "VIC", "QLD", "WA", "SA", "TAS", "ACT", "NT", "Not Known"];
+
+/// Reaction outcome descriptions seen in Table 1.
+pub const OUTCOMES: &[&str] = &[
+    "Recovered",
+    "Recovering",
+    "Not Recovered",
+    "Recovered With Sequelae",
+    "Fatal",
+    "Unknown",
+];
+
+/// Reporter types (§1: GPs, pharmacists, hospitals, consumers, companies).
+pub const REPORTER_TYPES: &[&str] = &[
+    "General Practitioner",
+    "Pharmacist",
+    "Hospital",
+    "Consumer",
+    "Pharmaceutical Company",
+    "Specialist",
+];
+
+const DRUG_PREFIXES: &[&str] = &[
+    "ator", "sim", "flu", "ome", "pan", "cefa", "amoxi", "metro", "predni", "ibu", "para",
+    "keto", "napro", "tramo", "oxy", "carba", "lamo", "val", "rispe", "olan", "quetia", "sertra",
+    "fluoxe", "cita", "venla", "mirta", "dulo", "metho", "cyclo", "aza", "tacro", "myco",
+    "genta", "vanco", "cipro", "moxi", "clari", "azi", "doxy", "mino",
+];
+
+const DRUG_STEMS: &[&str] = &[
+    "va", "lo", "ra", "ti", "ne", "do", "mi", "sa", "co", "be", "ga", "pe", "ze", "xa",
+];
+
+const DRUG_SUFFIXES: &[&str] = &[
+    "statin", "mycin", "prazole", "cillin", "sartan", "pril", "olol", "dipine", "zepam",
+    "oxetine", "apine", "idone", "mab", "nib", "floxacin", "cycline", "profen", "triptan",
+    "gliptin", "formin", "parin", "coxib", "azole", "virenz", "tadine",
+];
+
+const VACCINE_NAMES: &[&str] = &[
+    "Influenza Vaccine",
+    "Dtpa Vaccine",
+    "Measles Vaccine",
+    "Pneumococcal Vaccine",
+    "Hepatitis B Vaccine",
+    "Hpv Vaccine",
+    "Varicella Vaccine",
+    "Rotavirus Vaccine",
+];
+
+const ADR_ROOTS: &[&str] = &[
+    "rhabdomyolysis", "vomiting", "pyrexia", "cough", "headache", "chills", "myalgia",
+    "arthralgia", "nausea", "dizziness", "rash", "pruritus", "urticaria", "dyspnoea",
+    "fatigue", "asthenia", "syncope", "tremor", "paraesthesia", "hypotension", "hypertension",
+    "tachycardia", "bradycardia", "anaphylaxis", "angioedema", "diarrhoea", "constipation",
+    "insomnia", "somnolence", "anxiety", "confusion", "hallucination", "seizure", "tinnitus",
+    "vertigo", "alopecia", "oedema", "thrombocytopenia", "neutropenia", "anaemia", "jaundice",
+    "hepatitis", "nephritis", "pancreatitis", "gastritis", "dermatitis", "stomatitis",
+];
+
+const ADR_QUALIFIERS: &[&str] = &[
+    "", "Aggravated", "Acute", "Chronic", "Severe", "Transient", "Recurrent", "Localised",
+    "Generalised", "Postural", "Nocturnal", "Drug-induced", "Allergic", "Idiopathic",
+    "Persistent", "Intermittent", "Progressive", "Bilateral", "Peripheral", "Central",
+    "Injection site", "Application site", "Infusion related", "Immune-mediated",
+    "Haemorrhagic", "Ischaemic", "Necrotising", "Ulcerative", "Erosive", "Atypical",
+    "Paradoxical", "Rebound", "Delayed", "Early onset", "Late onset", "Neonatal",
+    "Paediatric", "Geriatric", "Gestational", "Post-procedural", "Post-vaccination",
+    "Treatment-resistant", "Dose-related", "Withdrawal", "Toxic", "Functional",
+    "Mechanical", "Obstructive", "Secondary", "Primary", "Subacute",
+];
+
+fn capitalize(s: &str) -> String {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) => c.to_uppercase().collect::<String>() + chars.as_str(),
+        None => String::new(),
+    }
+}
+
+/// Generate exactly `n` unique, deterministic drug names.
+///
+/// # Panics
+/// Panics if `n` exceeds the grammar's capacity (> 14,000 names).
+pub fn drug_names(n: usize) -> Vec<String> {
+    let mut names = Vec::with_capacity(n);
+    names.extend(VACCINE_NAMES.iter().map(|s| s.to_string()));
+    'outer: for suffix in DRUG_SUFFIXES {
+        for prefix in DRUG_PREFIXES {
+            for stem in DRUG_STEMS {
+                if names.len() >= n {
+                    break 'outer;
+                }
+                names.push(capitalize(&format!("{prefix}{stem}{suffix}")));
+            }
+        }
+    }
+    assert!(
+        names.len() >= n,
+        "drug grammar capacity exceeded: wanted {n}, produced {}",
+        names.len()
+    );
+    names.truncate(n);
+    names
+}
+
+/// Generate exactly `n` unique, deterministic ADR (MedDRA-PT-like) terms.
+///
+/// # Panics
+/// Panics if `n` exceeds the grammar's capacity (> 2,400 terms).
+pub fn adr_terms(n: usize) -> Vec<String> {
+    let mut terms = Vec::with_capacity(n);
+    'outer: for qualifier in ADR_QUALIFIERS {
+        for root in ADR_ROOTS {
+            if terms.len() >= n {
+                break 'outer;
+            }
+            let term = if qualifier.is_empty() {
+                capitalize(root)
+            } else {
+                format!("{} {}", qualifier, root)
+            };
+            terms.push(term);
+        }
+    }
+    assert!(
+        terms.len() >= n,
+        "ADR grammar capacity exceeded: wanted {n}, produced {}",
+        terms.len()
+    );
+    terms.truncate(n);
+    terms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn drug_names_exact_count_and_unique() {
+        let names = drug_names(1366);
+        assert_eq!(names.len(), 1366);
+        let set: HashSet<&String> = names.iter().collect();
+        assert_eq!(set.len(), 1366, "names must be unique");
+    }
+
+    #[test]
+    fn adr_terms_exact_count_and_unique() {
+        let terms = adr_terms(2351);
+        assert_eq!(terms.len(), 2351);
+        let set: HashSet<&String> = terms.iter().collect();
+        assert_eq!(set.len(), 2351);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(drug_names(100), drug_names(100));
+        assert_eq!(adr_terms(100), adr_terms(100));
+    }
+
+    #[test]
+    fn vaccines_are_included_first() {
+        let names = drug_names(20);
+        assert!(names.contains(&"Influenza Vaccine".to_string()));
+        assert!(names.contains(&"Dtpa Vaccine".to_string()));
+    }
+
+    #[test]
+    fn names_look_like_drugs() {
+        for name in drug_names(500).iter().skip(8) {
+            assert!(name.chars().next().unwrap().is_uppercase());
+            assert!(name.len() >= 6, "{name} too short");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity exceeded")]
+    fn over_capacity_panics() {
+        let _ = adr_terms(100_000);
+    }
+}

@@ -1,0 +1,30 @@
+//! # adr-synth — synthetic ADR corpus generator
+//!
+//! The paper evaluates on a confidential TGA extract (10,382 reports from
+//! Jul–Dec 2013 with 286 expert-labelled duplicate pairs — its Table 3).
+//! That data cannot be redistributed, so this crate synthesises a corpus
+//! with the same statistical shape:
+//!
+//! * [`lexicon`] — deterministic drug-name and MedDRA-PT-like term
+//!   grammars sized to Table 3 (1,366 drugs; 2,351 ADR terms);
+//! * [`narrative`] — five reporter-style templates rendering ~250–300
+//!   character free-text descriptions (§4.1's reported length band);
+//! * [`corruption`] — the duplicate corruption mechanisms visible in the
+//!   paper's Table 1: mis-keyed age digits, changed outcome descriptions,
+//!   edited/reordered ADR lists, paraphrased narratives, typos;
+//! * [`generator`] — seeded corpus generation with duplicate injection and
+//!   a Table 3-shaped summary.
+//!
+//! Why this substitution preserves the paper's problem: duplicate-detection
+//! difficulty is a function of (a) the distance-vector gap between duplicate
+//! and non-duplicate pairs and (b) the extreme label imbalance once reports
+//! are expanded into pairs. Both are directly controlled here (corruption
+//! intensity; duplication rate ≈ 5% of reports as in Nkanza & Walop).
+
+pub mod corruption;
+pub mod generator;
+pub mod lexicon;
+pub mod narrative;
+
+pub use corruption::CorruptionConfig;
+pub use generator::{Dataset, DatasetSummary, SynthConfig};

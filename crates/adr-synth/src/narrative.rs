@@ -1,0 +1,259 @@
+//! Template-based report-narrative generator.
+//!
+//! Produces free-text "report description" fields in the style of the
+//! paper's Table 1 examples (~250–300 characters, the length §4.1 reports as
+//! typical). Different templates over the same case facts model the
+//! different-reporter paraphrase effect that makes ADR duplicate detection
+//! hard.
+
+use adr_model::Sex;
+
+/// Case facts a narrative is rendered from.
+#[derive(Debug, Clone)]
+pub struct CaseFacts {
+    /// Patient age in years.
+    pub age: u32,
+    /// Patient sex.
+    pub sex: Sex,
+    /// Drug names involved.
+    pub drugs: Vec<String>,
+    /// Reaction terms experienced.
+    pub adrs: Vec<String>,
+    /// Onset date rendered as `DD-Mon-YYYY`.
+    pub onset_date: String,
+    /// Outcome description.
+    pub outcome: String,
+}
+
+fn sex_noun(sex: Sex) -> &'static str {
+    match sex {
+        Sex::M => "male",
+        Sex::F => "female",
+        Sex::Unknown => "adult",
+    }
+}
+
+fn pronoun(sex: Sex) -> &'static str {
+    match sex {
+        Sex::M => "He",
+        Sex::F => "She",
+        Sex::Unknown => "The patient",
+    }
+}
+
+fn join_list(items: &[String]) -> String {
+    match items.len() {
+        0 => String::from("an unknown reaction"),
+        1 => items[0].to_lowercase(),
+        _ => {
+            let head = items[..items.len() - 1]
+                .iter()
+                .map(|s| s.to_lowercase())
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("{head} and {}", items[items.len() - 1].to_lowercase())
+        }
+    }
+}
+
+/// Number of distinct narrative templates.
+pub const TEMPLATE_COUNT: usize = 5;
+
+/// Render the narrative using template `template % TEMPLATE_COUNT`.
+///
+/// Template 0 mimics a pharmaceutical-company literature report, template 1
+/// a clinical summary, template 2 a consumer report, template 3 a hospital
+/// note and template 4 a GP letter — matching the source mix §1 describes.
+pub fn render(facts: &CaseFacts, template: usize, case_ref: u64) -> String {
+    let drugs = join_list(&facts.drugs);
+    let adrs = join_list(&facts.adrs);
+    let noun = sex_noun(facts.sex);
+    let pro = pronoun(facts.sex);
+    match template % TEMPLATE_COUNT {
+        0 => format!(
+            "Reference number {case_ref} is a literature report received on {date} pertaining \
+             to a {age} year-old {noun} patient who experienced {adrs} while on {drugs} for the \
+             treatment of unknown indication. The reaction outcome was reported as {outcome}.",
+            case_ref = case_ref,
+            date = facts.onset_date,
+            age = facts.age,
+            noun = noun,
+            adrs = adrs,
+            drugs = drugs,
+            outcome = facts.outcome.to_lowercase(),
+        ),
+        1 => format!(
+            "The {age}-year-old {noun} subject started treatment with {drugs}, start date and \
+             duration of therapy unknown. On {date}, the subject presented with {adrs}. \
+             {pro} was assessed and the outcome recorded as {outcome}.",
+            age = facts.age,
+            noun = noun,
+            drugs = drugs,
+            date = facts.onset_date,
+            adrs = adrs,
+            pro = pro,
+            outcome = facts.outcome.to_lowercase(),
+        ),
+        2 => format!(
+            "On {date}, within hours of taking {drugs}, the {age} year old {noun} consumer \
+             experienced {adrs}. {pro} required medical attention before feeling better and \
+             reported the event directly to the regulator. Outcome: {outcome}.",
+            date = facts.onset_date,
+            drugs = drugs,
+            age = facts.age,
+            noun = noun,
+            adrs = adrs,
+            pro = pro,
+            outcome = facts.outcome,
+        ),
+        3 => format!(
+            "Hospital admission on {date}: {age} year old {noun} presenting with {adrs} after \
+             administration of {drugs}. Symptoms developed over several hours. Discharge \
+             status: {outcome}. Case {case_ref} flagged for pharmacovigilance review.",
+            date = facts.onset_date,
+            age = facts.age,
+            noun = noun,
+            adrs = adrs,
+            drugs = drugs,
+            outcome = facts.outcome,
+            case_ref = case_ref,
+        ),
+        _ => format!(
+            "I reviewed this {age} year-old {noun} patient on {date} following {adrs} which \
+             began shortly after commencing {drugs}. The symptoms were managed conservatively \
+             and at follow-up the condition was {outcome}. Referred as case {case_ref}.",
+            age = facts.age,
+            noun = noun,
+            date = facts.onset_date,
+            adrs = adrs,
+            drugs = drugs,
+            outcome = facts.outcome.to_lowercase(),
+            case_ref = case_ref,
+        ),
+    }
+}
+
+/// Optional detail sentences appended to narratives. Real report texts vary
+/// enormously in length and content (batch numbers, medical history,
+/// concomitant medication, treatment notes); this variation is what spreads
+/// narrative distances across `[0.4, 1.0]` instead of concentrating them —
+/// and with them, the k-means cells of pair-distance space.
+pub const DETAIL_SENTENCES: &[&str] = &[
+    "The batch number of the suspect product could not be retrieved from the dispensing record.",
+    "Relevant medical history includes seasonal allergies and well-controlled type two diabetes.",
+    "Concomitant medication comprised a daily multivitamin and an over-the-counter antacid.",
+    "Symptomatic treatment with oral rehydration and rest was advised by the attending clinician.",
+    "The patient denied any previous similar episodes or known hypersensitivity.",
+    "Laboratory investigations at presentation were within normal limits apart from a mild leukocytosis.",
+    "A causality assessment of possible was recorded by the reviewing medical officer.",
+    "The event abated after the suspect medicine was withdrawn and did not recur.",
+    "The general practitioner was informed and a follow-up appointment was scheduled.",
+    "No rechallenge was attempted given the severity of the initial presentation.",
+];
+
+/// Append `mask`-selected detail sentences to a rendered narrative. Each set
+/// bit of the lowest [`DETAIL_SENTENCES`]`.len()` bits appends one sentence.
+pub fn append_details(mut narrative: String, mask: u16) -> String {
+    for (i, s) in DETAIL_SENTENCES.iter().enumerate() {
+        if mask & (1 << i) != 0 {
+            narrative.push(' ');
+            narrative.push_str(s);
+        }
+    }
+    narrative
+}
+
+/// Render a minimal-information administrative follow-up: the narrative
+/// regulators actually receive when a company forwards an update months
+/// later. Shares almost nothing with the original narrative beyond the
+/// medicine — the hardest duplicate class for text-based matching.
+pub fn render_followup(facts: &CaseFacts, case_ref: u64) -> String {
+    let drugs = join_list(&facts.drugs);
+    format!(
+        "Follow-up information received for case {case_ref} regarding {drugs}. \
+         The outcome was updated to {outcome}. No further clinical details were \
+         provided by the sender.",
+        case_ref = case_ref,
+        drugs = drugs,
+        outcome = facts.outcome.to_lowercase(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn facts() -> CaseFacts {
+        CaseFacts {
+            age: 46,
+            sex: Sex::M,
+            drugs: vec!["Atorvastatin".into()],
+            adrs: vec!["Rhabdomyolysis".into()],
+            onset_date: "02-Oct-2013".into(),
+            outcome: "Unknown".into(),
+        }
+    }
+
+    #[test]
+    fn all_templates_mention_the_facts() {
+        let f = facts();
+        for t in 0..TEMPLATE_COUNT {
+            let text = render(&f, t, 12345);
+            assert!(text.contains("46"), "template {t} lost the age");
+            assert!(
+                text.to_lowercase().contains("atorvastatin"),
+                "template {t} lost the drug"
+            );
+            assert!(
+                text.to_lowercase().contains("rhabdomyolysis"),
+                "template {t} lost the ADR"
+            );
+        }
+    }
+
+    #[test]
+    fn templates_differ_from_each_other() {
+        let f = facts();
+        let t0 = render(&f, 0, 1);
+        let t1 = render(&f, 1, 1);
+        let t2 = render(&f, 2, 1);
+        assert_ne!(t0, t1);
+        assert_ne!(t1, t2);
+    }
+
+    #[test]
+    fn narrative_length_matches_the_paper() {
+        // §4.1: majority of descriptions are 250–300 characters.
+        let f = CaseFacts {
+            age: 84,
+            sex: Sex::F,
+            drugs: vec!["Influenza Vaccine".into(), "Dtpa Vaccine".into()],
+            adrs: vec!["Cough".into(), "Headache".into(), "Chills".into()],
+            onset_date: "30-Apr-2013".into(),
+            outcome: "Recovered".into(),
+        };
+        for t in 0..TEMPLATE_COUNT {
+            let len = render(&f, t, 99999).len();
+            assert!(
+                (150..400).contains(&len),
+                "template {t} length {len} out of the plausible band"
+            );
+        }
+    }
+
+    #[test]
+    fn multi_item_lists_join_with_and() {
+        let f = CaseFacts {
+            adrs: vec!["Cough".into(), "Headache".into()],
+            ..facts()
+        };
+        let text = render(&f, 1, 1);
+        assert!(text.contains("cough and headache"), "{text}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let f = facts();
+        assert_eq!(render(&f, 2, 7), render(&f, 2, 7));
+    }
+}

@@ -1,0 +1,94 @@
+//! Criterion micro-benchmarks for the hot paths: string metrics, the text
+//! pipeline, kNN search, k-means, the field-distance vector, and the
+//! distributed classifier on a small workload.
+//!
+//! Run with `cargo bench -p bench`.
+
+use adr_synth::{Dataset, SynthConfig};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dedup::workload::{build_workload_on, ProcessedCorpus};
+use dedup::{pair_distance, ProcessedReport};
+use fastknn::serial::{classify_brute, classify_fast_serial};
+use fastknn::voronoi::VoronoiPartition;
+use mlcore::kmeans::KMeans;
+use mlcore::knn::nearest_neighbors;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use simmetrics::{jaccard_distance, jaro_winkler, levenshtein};
+use textprep::{stem, Pipeline};
+
+fn string_metrics(c: &mut Criterion) {
+    let a = "the patient experienced uncontrollable coughing and severe headache";
+    let b = "the subject reported uncontrollable cough and a severe headache episode";
+    c.bench_function("levenshtein/70ch", |bench| {
+        bench.iter(|| levenshtein(black_box(a), black_box(b)))
+    });
+    c.bench_function("jaro_winkler/drug_names", |bench| {
+        bench.iter(|| jaro_winkler(black_box("atorvastatin"), black_box("atorvastatim")))
+    });
+    let ta: Vec<&str> = a.split_whitespace().collect();
+    let tb: Vec<&str> = b.split_whitespace().collect();
+    c.bench_function("jaccard/10_tokens", |bench| {
+        bench.iter(|| jaccard_distance(black_box(&ta), black_box(&tb)))
+    });
+}
+
+fn text_pipeline(c: &mut Criterion) {
+    let narrative = "Reference number 4711 is a literature report received on 02-Oct-2013 \
+                     pertaining to a 46 year-old male patient who experienced rhabdomyolysis \
+                     while on atorvastatin for the treatment of unknown indication.";
+    c.bench_function("porter_stem/word", |bench| {
+        bench.iter(|| stem(black_box("rhabdomyolysis")))
+    });
+    let pipeline = Pipeline::paper();
+    c.bench_function("pipeline/narrative_280ch", |bench| {
+        bench.iter(|| pipeline.process(black_box(narrative)))
+    });
+}
+
+fn pair_distances(c: &mut Criterion) {
+    let corpus = Dataset::generate(&SynthConfig::small(200, 10, 1));
+    let pipeline = Pipeline::paper();
+    let a = ProcessedReport::from_report(&corpus.reports[0], &pipeline);
+    let b = ProcessedReport::from_report(&corpus.reports[1], &pipeline);
+    c.bench_function("pair_distance/8_fields", |bench| {
+        bench.iter(|| pair_distance(black_box(&a), black_box(&b)))
+    });
+}
+
+fn learning_primitives(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let data: Vec<Vec<f64>> = (0..10_000)
+        .map(|_| (0..8).map(|_| rng.gen_range(0.0..1.0)).collect())
+        .collect();
+    let query: Vec<f64> = (0..8).map(|_| rng.gen_range(0.0..1.0)).collect();
+    c.bench_function("knn/10k_points_k9", |bench| {
+        bench.iter(|| nearest_neighbors(black_box(&query), black_box(&data), 9))
+    });
+    let sample: Vec<Vec<f64>> = data.iter().take(2_000).cloned().collect();
+    c.bench_function("kmeans/2k_points_b16", |bench| {
+        bench.iter(|| KMeans::new(16, 5).fit(black_box(&sample)))
+    });
+}
+
+fn classifier(c: &mut Criterion) {
+    let corpus = ProcessedCorpus::new(Dataset::generate(&SynthConfig::small(800, 40, 9)));
+    let w = build_workload_on(&corpus, 10_000, 100, 9);
+    let vp = VoronoiPartition::build(&w.train, 16, 9);
+    c.bench_function("classify/brute_100tests_10ktrain", |bench| {
+        bench.iter(|| classify_brute(black_box(&w.train), black_box(&w.test), 9, 0.0))
+    });
+    c.bench_function("classify/fast_serial_100tests_10ktrain_b16", |bench| {
+        bench.iter(|| classify_fast_serial(black_box(&vp), black_box(&w.test), 9, 0.0))
+    });
+}
+
+criterion_group!(
+    benches,
+    string_metrics,
+    text_pipeline,
+    pair_distances,
+    learning_primitives,
+    classifier
+);
+criterion_main!(benches);

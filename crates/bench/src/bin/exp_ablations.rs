@@ -1,0 +1,9 @@
+//! Run the design-choice ablations (Algorithm 1, Eq. 5 vs Eq. 1, positive
+//! shortcut). `--quick` for a smoke run.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    for result in bench::experiments::ablations::run(quick) {
+        println!("{result}");
+    }
+}

@@ -1,0 +1,8 @@
+//! Regenerate Figure 10 (executor scaling). `--quick` for a smoke run.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    for result in bench::experiments::fig10::run(quick) {
+        println!("{result}");
+    }
+}

@@ -1,0 +1,8 @@
+//! Regenerate Figure 11 (test-set pruning). `--quick` for a smoke run.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    for result in bench::experiments::fig11::run(quick) {
+        println!("{result}");
+    }
+}

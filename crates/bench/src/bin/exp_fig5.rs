@@ -1,0 +1,8 @@
+//! Regenerate Figure 5 (PR curves and AUPR sweep). `--quick` for a smoke run.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    for result in bench::experiments::fig5::run(quick) {
+        println!("{result}");
+    }
+}

@@ -1,0 +1,8 @@
+//! Regenerate Figure 6 (effect of k). `--quick` for a smoke run.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    for result in bench::experiments::fig6::run(quick) {
+        println!("{result}");
+    }
+}

@@ -1,0 +1,12 @@
+//! Regenerate Figure 7 (cluster-number sweep: comparison counts).
+//! Shares its sweep with Figure 8; both figures' tables are printed.
+//! `--quick` for a smoke run.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    for result in bench::experiments::fig7_8::run(quick) {
+        if result.name.starts_with("Figure 7") {
+            println!("{result}");
+        }
+    }
+}

@@ -1,0 +1,11 @@
+//! Regenerate Figure 8 (cluster-number sweep: ratio and execution time).
+//! `--quick` for a smoke run.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    for result in bench::experiments::fig7_8::run(quick) {
+        if result.name.starts_with("Figure 8") {
+            println!("{result}");
+        }
+    }
+}

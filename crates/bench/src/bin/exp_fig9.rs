@@ -1,0 +1,9 @@
+//! Regenerate Figure 9 (scalability with training-set size). `--quick` for
+//! a smoke run.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    for result in bench::experiments::fig9::run(quick) {
+        println!("{result}");
+    }
+}

@@ -1,0 +1,9 @@
+//! Regenerate Table 1 (sample duplicated report pairs). `--quick` for a
+//! smoke run.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    for result in bench::experiments::table1::run(quick) {
+        println!("{result}");
+    }
+}

@@ -1,0 +1,8 @@
+//! Regenerate Table 3 (dataset summary). `--quick` for a smoke run.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    for result in bench::experiments::table3::run(quick) {
+        println!("{result}");
+    }
+}

@@ -1,0 +1,265 @@
+//! Ablations of the design choices DESIGN.md calls out.
+//!
+//! These are not paper figures; they isolate the contribution of each
+//! mechanism: Algorithm 1's hyperplane pruning, the inverse-distance score
+//! (Eq. 5) vs the majority vote (Eq. 1), the observation-1–3 positive
+//! shortcut, and the SVM solver family behind the §5.2.2 comparison.
+
+use crate::corpora;
+use crate::harness::{count, f3, ExperimentResult};
+use fastknn::voronoi::VoronoiPartition;
+use fastknn::{additional_partitions, score_neighbors, LabeledPair, Neighborhood, UnlabeledPair};
+use mlcore::average_precision;
+use simmetrics::euclidean;
+
+fn workload(quick: bool) -> (Vec<LabeledPair>, Vec<UnlabeledPair>, Vec<bool>) {
+    let corpus = if quick {
+        corpora::small_corpus()
+    } else {
+        corpora::tga_corpus()
+    };
+    let (train_pairs, test_pairs) = if quick { (3_000, 400) } else { (40_000, 2_000) };
+    let w = dedup::workload::build_workload_on(corpus, train_pairs, test_pairs, 120);
+    (w.train, w.test, w.truth)
+}
+
+/// Counted serial classification with all mechanisms toggleable.
+struct Counted {
+    comparisons: u64,
+    cross_comparisons: u64,
+    scores: Vec<f64>,
+    shortcut_hits: u64,
+}
+
+fn run_serial(
+    vp: &VoronoiPartition,
+    test: &[UnlabeledPair],
+    k: usize,
+    use_hyperplane: bool,
+    use_shortcut: bool,
+) -> Counted {
+    let mut comparisons = 0u64;
+    let mut cross = 0u64;
+    let mut shortcut_hits = 0u64;
+    let mut scores = Vec::with_capacity(test.len());
+    for t in test {
+        let assigned = vp.assign(&t.vector);
+        comparisons += vp.centers.len() as u64;
+        let mut hood = Neighborhood::new(k);
+        for p in &vp.negative_clusters[assigned] {
+            hood.push(euclidean(&t.vector, &p.vector), p.positive);
+        }
+        comparisons += vp.negative_clusters[assigned].len() as u64;
+        let intra_kth = hood.kth_distance();
+        let mut min_pos = f64::INFINITY;
+        for p in &vp.positives {
+            let d = euclidean(&t.vector, &p.vector);
+            min_pos = min_pos.min(d);
+            hood.push(d, true);
+        }
+        comparisons += vp.positives.len() as u64;
+        let skip = use_shortcut && intra_kth <= min_pos;
+        if skip {
+            shortcut_hits += 1;
+        } else {
+            let extra: Vec<usize> = if use_hyperplane {
+                additional_partitions(&t.vector, assigned, intra_kth, min_pos, &vp.centers)
+            } else {
+                // Naive: consult every other cluster.
+                (0..vp.b()).filter(|&j| j != assigned).collect()
+            };
+            for cid in extra {
+                for p in &vp.negative_clusters[cid] {
+                    hood.push(euclidean(&t.vector, &p.vector), p.positive);
+                }
+                cross += vp.negative_clusters[cid].len() as u64;
+                comparisons += vp.negative_clusters[cid].len() as u64;
+            }
+        }
+        scores.push(score_neighbors(&hood));
+    }
+    Counted {
+        comparisons,
+        cross_comparisons: cross,
+        scores,
+        shortcut_hits,
+    }
+}
+
+/// Run all four ablations.
+pub fn run(quick: bool) -> Vec<ExperimentResult> {
+    let (train, test, truth) = workload(quick);
+    let vp = VoronoiPartition::build(&train, 32, 121);
+    let k = 9;
+
+    // --- Ablation 1: Algorithm 1 on/off ---
+    let with_alg1 = run_serial(&vp, &test, k, true, true);
+    let without_alg1 = run_serial(&vp, &test, k, false, true);
+    let mut a1 = ExperimentResult::new(
+        "Ablation — Algorithm 1 (hyperplane partition selection)",
+        "Hyperplane pruning is what keeps cross-cluster work at 1–2% of intra-cluster \
+         work; without it every undecided test pair scans all b−1 other clusters.",
+        &["variant", "cross-cluster comparisons", "total comparisons"],
+    );
+    a1.row(vec![
+        "Algorithm 1".into(),
+        count(with_alg1.cross_comparisons),
+        count(with_alg1.comparisons),
+    ]);
+    a1.row(vec![
+        "naive (all clusters)".into(),
+        count(without_alg1.cross_comparisons),
+        count(without_alg1.comparisons),
+    ]);
+    a1.note(format!(
+        "Algorithm 1 removes {:.1}% of cross-cluster comparisons; scores are identical \
+         in both variants (the bound is conservative).",
+        (1.0 - with_alg1.cross_comparisons as f64
+            / without_alg1.cross_comparisons.max(1) as f64)
+            * 100.0
+    ));
+    assert_eq!(
+        with_alg1.scores, without_alg1.scores,
+        "hyperplane pruning must not change any score"
+    );
+
+    // --- Ablation 2: Eq. 5 vs majority vote ---
+    let scored_eq5: Vec<(f64, bool)> = with_alg1
+        .scores
+        .iter()
+        .copied()
+        .zip(truth.iter().copied())
+        .collect();
+    // Majority vote from the same exact neighbourhoods (recompute brute).
+    let vote_scores: Vec<f64> = test
+        .iter()
+        .map(|t| {
+            let mut hood = Neighborhood::new(k);
+            for p in &train {
+                hood.push(euclidean(&t.vector, &p.vector), p.positive);
+            }
+            hood.entries
+                .iter()
+                .map(|(_, pos)| if *pos { 1.0 } else { -1.0 })
+                .sum()
+        })
+        .collect();
+    let scored_vote: Vec<(f64, bool)> = vote_scores
+        .iter()
+        .copied()
+        .zip(truth.iter().copied())
+        .collect();
+    let mut a2 = ExperimentResult::new(
+        "Ablation — Eq. 5 inverse-distance score vs Eq. 1 majority vote",
+        "Under extreme imbalance the unweighted vote drowns positives; Eq. 5's \
+         distance normalisation is the paper's fix.",
+        &["scoring", "AUPR"],
+    );
+    a2.row(vec![
+        "Eq. 5 (inverse distance)".into(),
+        f3(average_precision(&scored_eq5)),
+    ]);
+    a2.row(vec![
+        "Eq. 1 (majority vote)".into(),
+        f3(average_precision(&scored_vote)),
+    ]);
+
+    // --- Ablation 3: positive shortcut on/off ---
+    let with_shortcut = run_serial(&vp, &test, k, true, true);
+    let without_shortcut = run_serial(&vp, &test, k, true, false);
+    let mut a3 = ExperimentResult::new(
+        "Ablation — observation 1–3 positive shortcut",
+        "Exploiting label imbalance: most test pairs are resolved without any \
+         cross-cluster search because their neighbourhood is provably all-negative.",
+        &["variant", "shortcut hits", "cross-cluster comparisons"],
+    );
+    a3.row(vec![
+        "shortcut on".into(),
+        count(with_shortcut.shortcut_hits),
+        count(with_shortcut.cross_comparisons),
+    ]);
+    a3.row(vec![
+        "shortcut off".into(),
+        count(without_shortcut.shortcut_hits),
+        count(without_shortcut.cross_comparisons),
+    ]);
+    a3.note(format!(
+        "the shortcut resolves {:.0}% of test pairs outright.",
+        with_shortcut.shortcut_hits as f64 / test.len() as f64 * 100.0
+    ));
+
+    // --- Ablation 4: SVM solver family under the paper's imbalance ---
+    // The kNN-vs-SVM gap magnitude is a function of the SVM solver, not
+    // only of the model family. Spark 1.2.1 offers exactly one SVM
+    // (MLlib's SVMWithSGD); stochastic SGD variants of the era collapse
+    // outright — the paper's "difficult to build a consistent model" —
+    // while a modern dual coordinate descent solver nearly closes the gap.
+    use mlcore::svm::{LinearSvm, SvmConfig};
+    let x: Vec<Vec<f64>> = train.iter().map(|p| p.vector.clone()).collect();
+    let y: Vec<i8> = train.iter().map(|p| if p.positive { 1 } else { -1 }).collect();
+    let eval = |svm: &LinearSvm| {
+        let scored: Vec<(f64, bool)> = test
+            .iter()
+            .zip(&truth)
+            .map(|(t, &tr)| (svm.decision(&t.vector), tr))
+            .collect();
+        average_precision(&scored)
+    };
+    let mut a4 = ExperimentResult::new(
+        "Ablation — SVM solver family under extreme imbalance",
+        "The paper reports a 19.1% average kNN advantage over its Spark-1.2.1 SVM; \
+         the gap's size tracks the solver: era-typical stochastic SGD is \
+         inconsistent to the point of collapse, the MLlib full-batch solver trails \
+         kNN, and a modern dual-CD solver nearly closes the gap.",
+        &["solver", "AUPR"],
+    );
+    a4.row(vec![
+        "Fast kNN (reference)".into(),
+        f3(average_precision(&scored_eq5)),
+    ]);
+    a4.row(vec![
+        "SVM, MLlib-style full-batch SGD (paper's platform)".into(),
+        f3(eval(&LinearSvm::train_batch(&x, &y, &SvmConfig::default()))),
+    ]);
+    a4.row(vec![
+        "SVM, stochastic Pegasos SGD".into(),
+        f3(eval(&LinearSvm::train(
+            &x,
+            &y,
+            &SvmConfig {
+                lambda: 1e-4,
+                epochs: 20,
+                ..SvmConfig::default()
+            },
+        ))),
+    ]);
+    a4.row(vec![
+        "SVM, dual coordinate descent (modern)".into(),
+        f3(eval(&LinearSvm::train_dual(
+            &x,
+            &y,
+            &SvmConfig {
+                lambda: 1e-4,
+                epochs: 10,
+                ..SvmConfig::default()
+            },
+        ))),
+    ]);
+    vec![a1, a2, a3, a4]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn quick_ablations_show_the_expected_orderings() {
+        let out = super::run(true);
+        assert_eq!(out.len(), 4);
+        // Eq. 5 must beat the majority vote on AUPR.
+        let eq5: f64 = out[1].rows[0][1].parse().unwrap();
+        let vote: f64 = out[1].rows[1][1].parse().unwrap();
+        assert!(
+            eq5 >= vote,
+            "inverse-distance scoring must not lose to the vote: {eq5} vs {vote}"
+        );
+    }
+}

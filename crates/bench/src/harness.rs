@@ -1,0 +1,150 @@
+//! Result tables, markdown rendering and the shared cost model.
+
+use sparklet::{ClusterConfig, CostModelConfig, FaultConfig};
+use std::fmt;
+
+/// A rendered experiment result: a named table plus commentary lines.
+#[derive(Debug, Clone)]
+pub struct ExperimentResult {
+    /// Experiment id, e.g. `"Figure 7(a)"`.
+    pub name: String,
+    /// What the paper reports for this table/figure.
+    pub paper_expectation: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (already formatted).
+    pub rows: Vec<Vec<String>>,
+    /// Free-form observations comparing measured shape to the paper.
+    pub notes: Vec<String>,
+}
+
+impl ExperimentResult {
+    /// Start a result table.
+    pub fn new(name: &str, paper_expectation: &str, headers: &[&str]) -> Self {
+        ExperimentResult {
+            name: name.to_string(),
+            paper_expectation: paper_expectation.to_string(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Append a note.
+    pub fn note(&mut self, text: impl Into<String>) {
+        self.notes.push(text.into());
+    }
+}
+
+impl fmt::Display for ExperimentResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "### {}", self.name)?;
+        writeln!(f)?;
+        writeln!(f, "*Paper:* {}", self.paper_expectation)?;
+        writeln!(f)?;
+        writeln!(f, "| {} |", self.headers.join(" | "))?;
+        writeln!(
+            f,
+            "|{}|",
+            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        )?;
+        for row in &self.rows {
+            writeln!(f, "| {} |", row.join(" | "))?;
+        }
+        for note in &self.notes {
+            writeln!(f)?;
+            writeln!(f, "*Measured:* {note}")?;
+        }
+        writeln!(f)
+    }
+}
+
+/// Ratio between the paper's pair volumes and this harness's (5× fewer
+/// training pairs × 10× fewer test pairs). Comparison costs scale with the
+/// product, so each of our comparisons stands for ~50 at paper scale.
+pub const PAPER_SCALE: u64 = 50;
+
+/// Cost model that reports virtual time at paper scale (see crate docs).
+pub fn paper_cost() -> CostModelConfig {
+    CostModelConfig {
+        op_ns: 400 * PAPER_SCALE,
+        record_ns: 50 * PAPER_SCALE,
+        ..CostModelConfig::default()
+    }
+}
+
+/// Cluster configuration used by the experiments: the paper's topology
+/// knobs with fault injection off and a generous memory budget (individual
+/// experiments override memory to study pressure).
+pub fn experiment_cluster_config(executors: usize, cores: usize) -> ClusterConfig {
+    ClusterConfig {
+        num_executors: executors,
+        cores_per_executor: cores,
+        memory_per_executor: 32 << 30, // the paper's 32 GB executors
+        max_task_attempts: 4,
+        fault: FaultConfig::disabled(),
+        cost: paper_cost(),
+    }
+}
+
+/// Format a float with 3 decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Format a count with thousands separators.
+pub fn count(n: u64) -> String {
+    let s = n.to_string();
+    let mut out = String::new();
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_markdown() {
+        let mut r = ExperimentResult::new("Figure X", "goes up", &["a", "b"]);
+        r.row(vec!["1".into(), "2".into()]);
+        r.note("it went up");
+        let s = r.to_string();
+        assert!(s.contains("### Figure X"));
+        assert!(s.contains("| a | b |"));
+        assert!(s.contains("| 1 | 2 |"));
+        assert!(s.contains("*Measured:* it went up"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_checked() {
+        let mut r = ExperimentResult::new("x", "y", &["a", "b"]);
+        r.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn count_formatting() {
+        assert_eq!(count(0), "0");
+        assert_eq!(count(999), "999");
+        assert_eq!(count(1000), "1,000");
+        assert_eq!(count(1234567), "1,234,567");
+    }
+
+    #[test]
+    fn paper_cost_scales_ops() {
+        let c = paper_cost();
+        assert_eq!(c.op_ns, 400 * PAPER_SCALE);
+    }
+}

@@ -1,0 +1,234 @@
+//! Candidate-pair blocking.
+//!
+//! §3's `Dupe(R, A)` compares every new report against the whole database —
+//! quadratic and exactly what the paper parallelises. Production linkage
+//! systems first *block*: only reports sharing a key (here: a drug-name
+//! token, or the onset date) become candidate pairs. This module provides a
+//! blocking index, candidate generation, and the two standard quality
+//! measures — **reduction ratio** (pairs avoided) and **pair completeness**
+//! (ground-truth duplicates still covered). The workload builder and
+//! [`crate::DedupSystem`] can both run on top of it.
+
+use crate::distance::ProcessedReport;
+use adr_model::{PairId, ReportId};
+use std::collections::{HashMap, HashSet};
+
+/// Inverted index from blocking keys to report ids.
+#[derive(Debug, Clone, Default)]
+pub struct BlockingIndex {
+    blocks: HashMap<String, Vec<ReportId>>,
+    report_keys: HashMap<ReportId, Vec<String>>,
+}
+
+impl BlockingIndex {
+    /// Build an index over processed reports, keying each report by every
+    /// drug token and by its onset date (when present).
+    pub fn build(reports: &[ProcessedReport]) -> Self {
+        let mut index = BlockingIndex::default();
+        for r in reports {
+            index.insert(r);
+        }
+        index
+    }
+
+    /// Blocking keys of one report.
+    pub fn keys_of(r: &ProcessedReport) -> Vec<String> {
+        let mut keys: Vec<String> = r
+            .drug_tokens
+            .iter()
+            .map(|t| format!("drug:{t}"))
+            .collect();
+        if let Some(date) = &r.onset_date {
+            keys.push(format!("date:{date}"));
+        }
+        keys
+    }
+
+    /// Add a report to the index.
+    pub fn insert(&mut self, r: &ProcessedReport) {
+        let keys = Self::keys_of(r);
+        for key in &keys {
+            self.blocks.entry(key.clone()).or_default().push(r.id);
+        }
+        self.report_keys.insert(r.id, keys);
+    }
+
+    /// Number of distinct blocks.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// All candidate partners of a report already in the index (excluding
+    /// itself), deduplicated.
+    pub fn candidates_of(&self, id: ReportId) -> Vec<ReportId> {
+        let mut out: HashSet<ReportId> = HashSet::new();
+        if let Some(keys) = self.report_keys.get(&id) {
+            for key in keys {
+                if let Some(members) = self.blocks.get(key) {
+                    out.extend(members.iter().copied());
+                }
+            }
+        }
+        out.remove(&id);
+        let mut v: Vec<ReportId> = out.into_iter().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Candidate pairs for a batch of new reports against the indexed
+    /// database (the blocked version of
+    /// [`crate::pairing::pairs_involving_new`]). The new reports must
+    /// already be inserted.
+    pub fn candidate_pairs(&self, new_ids: &[ReportId]) -> Vec<PairId> {
+        let mut out: HashSet<PairId> = HashSet::new();
+        for &id in new_ids {
+            for partner in self.candidates_of(id) {
+                out.insert(PairId::new(id, partner));
+            }
+        }
+        let mut v: Vec<PairId> = out.into_iter().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// All candidate pairs the index induces over the whole database.
+    pub fn all_candidate_pairs(&self) -> Vec<PairId> {
+        let mut out: HashSet<PairId> = HashSet::new();
+        for members in self.blocks.values() {
+            for (i, &a) in members.iter().enumerate() {
+                for &b in &members[i + 1..] {
+                    if a != b {
+                        out.insert(PairId::new(a, b));
+                    }
+                }
+            }
+        }
+        let mut v: Vec<PairId> = out.into_iter().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+/// Blocking quality relative to a ground truth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlockingQuality {
+    /// Fraction of the full pair space avoided (1 is best).
+    pub reduction_ratio: f64,
+    /// Fraction of true duplicate pairs still covered (1 is best).
+    pub pair_completeness: f64,
+}
+
+/// Evaluate an index against ground-truth duplicate pairs over `n` reports.
+pub fn evaluate_blocking(
+    index: &BlockingIndex,
+    n_reports: usize,
+    true_duplicates: &HashSet<PairId>,
+) -> BlockingQuality {
+    let candidates = index.all_candidate_pairs();
+    let candidate_set: HashSet<PairId> = candidates.iter().copied().collect();
+    let total_pairs = n_reports * n_reports.saturating_sub(1) / 2;
+    let covered = true_duplicates
+        .iter()
+        .filter(|p| candidate_set.contains(p))
+        .count();
+    BlockingQuality {
+        reduction_ratio: if total_pairs == 0 {
+            0.0
+        } else {
+            1.0 - candidates.len() as f64 / total_pairs as f64
+        },
+        pair_completeness: if true_duplicates.is_empty() {
+            1.0
+        } else {
+            covered as f64 / true_duplicates.len() as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adr_synth::{Dataset, SynthConfig};
+    use dedup_test_helpers::processed;
+
+    mod dedup_test_helpers {
+        use crate::distance::ProcessedReport;
+        use adr_synth::Dataset;
+        use textprep::Pipeline;
+
+        pub fn processed(ds: &Dataset) -> Vec<ProcessedReport> {
+            let p = Pipeline::paper();
+            ds.reports
+                .iter()
+                .map(|r| ProcessedReport::from_report(r, &p))
+                .collect()
+        }
+    }
+
+    #[test]
+    fn candidates_share_a_key() {
+        let ds = Dataset::generate(&SynthConfig::small(200, 10, 3));
+        let reports = processed(&ds);
+        let index = BlockingIndex::build(&reports);
+        let by_id: HashMap<u64, &ProcessedReport> =
+            reports.iter().map(|r| (r.id, r)).collect();
+        for r in reports.iter().take(20) {
+            for partner in index.candidates_of(r.id) {
+                let p = by_id[&partner];
+                let share_drug = r
+                    .drug_tokens
+                    .iter()
+                    .any(|t| p.drug_tokens.contains(t));
+                let share_date =
+                    r.onset_date.is_some() && r.onset_date == p.onset_date;
+                assert!(
+                    share_drug || share_date,
+                    "candidate {partner} shares no key with {}",
+                    r.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn blocking_covers_most_duplicates_and_reduces_pairs() {
+        let ds = Dataset::generate(&SynthConfig::small(600, 30, 7));
+        let reports = processed(&ds);
+        let index = BlockingIndex::build(&reports);
+        let quality = evaluate_blocking(&index, reports.len(), &ds.duplicate_set());
+        assert!(
+            quality.pair_completeness >= 0.95,
+            "duplicates share drugs/dates almost always, got {}",
+            quality.pair_completeness
+        );
+        assert!(
+            quality.reduction_ratio >= 0.5,
+            "blocking must prune at least half the pair space, got {}",
+            quality.reduction_ratio
+        );
+    }
+
+    #[test]
+    fn candidate_pairs_for_new_reports_are_canonical_and_deduplicated() {
+        let ds = Dataset::generate(&SynthConfig::small(150, 8, 5));
+        let reports = processed(&ds);
+        let index = BlockingIndex::build(&reports);
+        let new_ids: Vec<u64> = (140..150).collect();
+        let pairs = index.candidate_pairs(&new_ids);
+        let set: HashSet<PairId> = pairs.iter().copied().collect();
+        assert_eq!(set.len(), pairs.len(), "no duplicate pairs");
+        for p in &pairs {
+            assert!(p.lo < p.hi);
+            assert!(new_ids.contains(&p.lo) || new_ids.contains(&p.hi));
+        }
+    }
+
+    #[test]
+    fn empty_index_yields_nothing() {
+        let index = BlockingIndex::default();
+        assert!(index.candidates_of(7).is_empty());
+        assert!(index.all_candidate_pairs().is_empty());
+        let q = evaluate_blocking(&index, 0, &HashSet::new());
+        assert_eq!(q.pair_completeness, 1.0);
+    }
+}

@@ -1,0 +1,241 @@
+//! Report preprocessing and the §4.2 pair distance vector.
+
+use adr_model::{AdrReport, ReportId, DETECTION_DIMS};
+use simmetrics::{jaccard_distance, FieldDistance};
+use textprep::Pipeline;
+
+/// A report with its text fields preprocessed once (tokenised, stop-worded,
+/// stemmed) so that pairwise comparisons are pure set operations.
+///
+/// §4.2 singles out the free-text description for NLP treatment; the short
+/// drug/ADR string fields are compared as raw token sets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProcessedReport {
+    /// The source report id.
+    pub id: ReportId,
+    /// Patient age.
+    pub age: Option<f64>,
+    /// Sex code.
+    pub sex: Option<String>,
+    /// Residential state.
+    pub state: Option<String>,
+    /// Onset date (exact-match categorical).
+    pub onset_date: Option<String>,
+    /// Reaction outcome description.
+    pub outcome: Option<String>,
+    /// Drug-name tokens (lowercased words of every listed drug).
+    pub drug_tokens: Vec<String>,
+    /// ADR-name tokens.
+    pub adr_tokens: Vec<String>,
+    /// NLP-processed narrative terms.
+    pub narrative_terms: Vec<String>,
+}
+
+fn name_tokens(names: &[&str]) -> Vec<String> {
+    let mut tokens: Vec<String> = names
+        .iter()
+        .flat_map(|n| n.split_whitespace())
+        .map(|t| t.to_lowercase())
+        .collect();
+    tokens.sort();
+    tokens.dedup();
+    tokens
+}
+
+impl ProcessedReport {
+    /// Preprocess one report with the given text pipeline.
+    pub fn from_report(r: &AdrReport, pipeline: &Pipeline) -> Self {
+        ProcessedReport {
+            id: r.id,
+            age: r.patient.calculated_age,
+            sex: r.patient.sex.map(|s| s.as_str().to_string()),
+            state: r.patient.residential_state.clone(),
+            onset_date: r.reaction.onset_date.clone(),
+            outcome: r.reaction.reaction_outcome_description.clone(),
+            drug_tokens: name_tokens(&r.drug_names()),
+            adr_tokens: name_tokens(&r.adr_names()),
+            narrative_terms: pipeline.process(&r.reaction.report_description),
+        }
+    }
+}
+
+/// The §4.2 distance vector between two reports, in the field order of
+/// [`adr_model::DETECTION_FIELDS`]: age, sex, state, onset date, outcome,
+/// drug name, ADR name, report description. Every component is in `[0, 1]`.
+pub fn pair_distance(a: &ProcessedReport, b: &ProcessedReport) -> Vec<f64> {
+    let mut v = Vec::with_capacity(DETECTION_DIMS);
+    v.push(FieldDistance::numeric(a.age, b.age));
+    v.push(FieldDistance::categorical(a.sex.as_deref(), b.sex.as_deref()));
+    v.push(FieldDistance::categorical(
+        a.state.as_deref(),
+        b.state.as_deref(),
+    ));
+    v.push(FieldDistance::categorical(
+        a.onset_date.as_deref(),
+        b.onset_date.as_deref(),
+    ));
+    v.push(FieldDistance::categorical(
+        a.outcome.as_deref(),
+        b.outcome.as_deref(),
+    ));
+    v.push(jaccard_distance(&a.drug_tokens, &b.drug_tokens));
+    v.push(jaccard_distance(&a.adr_tokens, &b.adr_tokens));
+    v.push(jaccard_distance(&a.narrative_terms, &b.narrative_terms));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adr_model::Sex;
+    use adr_synth::{Dataset, SynthConfig};
+    use simmetrics::euclidean;
+
+    fn report(
+        id: u64,
+        age: f64,
+        sex: Sex,
+        drugs: &str,
+        adrs: &str,
+        narrative: &str,
+    ) -> AdrReport {
+        let mut r = AdrReport {
+            id,
+            ..AdrReport::default()
+        };
+        r.patient.calculated_age = Some(age);
+        r.patient.sex = Some(sex);
+        r.patient.residential_state = Some("NSW".into());
+        r.reaction.onset_date = Some("30/04/2013 00:00:00".into());
+        r.reaction.reaction_outcome_description = Some("Unknown".into());
+        r.medicine.generic_name_description = drugs.into();
+        r.reaction.meddra_pt_code = adrs.into();
+        r.reaction.report_description = narrative.into();
+        r
+    }
+
+    #[test]
+    fn identical_reports_have_zero_vector() {
+        let p = Pipeline::paper();
+        let r = report(0, 46.0, Sex::M, "Atorvastatin", "Rhabdomyolysis", "severe myalgia");
+        let a = ProcessedReport::from_report(&r, &p);
+        let v = pair_distance(&a, &a);
+        assert_eq!(v.len(), 8);
+        assert!(v.iter().all(|&d| d == 0.0), "{v:?}");
+    }
+
+    #[test]
+    fn table1_style_duplicate_is_close_but_nonzero() {
+        // Reports A/B of Table 1(a): same age, sex, drug, ADR; different
+        // outcome and narrative.
+        let p = Pipeline::paper();
+        let a = ProcessedReport::from_report(
+            &report(
+                0,
+                46.0,
+                Sex::M,
+                "Atorvastatin",
+                "Rhabdomyolysis",
+                "Reference number 123 is a literature report pertaining to a 46 year-old male \
+                 patient who experienced rhabdomyolysis while on atorvastatin.",
+            ),
+            &p,
+        );
+        let b = ProcessedReport::from_report(
+            &report(
+                1,
+                46.0,
+                Sex::M,
+                "Atorvastatin",
+                "Rhabdomyolysis",
+                "The 46-year-old male subject started treatment with atorvastatin calcium. The \
+                 subject presented with myalgia and was diagnosed with rhabdomyolysis.",
+            ),
+            &p,
+        );
+        let mut b2 = b.clone();
+        b2.outcome = Some("Recovered".into());
+        let v = pair_distance(&a, &b2);
+        // Age, sex, state, onset, drug, ADR all match.
+        assert_eq!(v[0], 0.0);
+        assert_eq!(v[1], 0.0);
+        assert_eq!(v[2], 0.0);
+        assert_eq!(v[3], 0.0);
+        assert_eq!(v[4], 1.0, "outcome differs");
+        assert_eq!(v[5], 0.0, "drug matches");
+        assert_eq!(v[6], 0.0, "ADR matches");
+        assert!(v[7] > 0.0 && v[7] < 1.0, "narratives overlap partially: {}", v[7]);
+    }
+
+    #[test]
+    fn unrelated_reports_are_far() {
+        let p = Pipeline::paper();
+        let a = ProcessedReport::from_report(
+            &report(0, 46.0, Sex::M, "Atorvastatin", "Rhabdomyolysis", "muscle pain"),
+            &p,
+        );
+        let b = ProcessedReport::from_report(
+            &report(1, 30.0, Sex::F, "Amoxicillin", "Rash", "itchy skin eruption"),
+            &p,
+        );
+        let v = pair_distance(&a, &b);
+        assert!(euclidean(&v, &[0.0; 8]) > 2.0, "{v:?}");
+    }
+
+    #[test]
+    fn drug_token_distance_is_symmetric_in_order() {
+        let p = Pipeline::paper();
+        let a = ProcessedReport::from_report(
+            &report(0, 1.0, Sex::F, "Influenza Vaccine,Dtpa Vaccine", "Cough", "x"),
+            &p,
+        );
+        let b = ProcessedReport::from_report(
+            &report(1, 1.0, Sex::F, "Dtpa Vaccine,Influenza Vaccine", "Cough", "x"),
+            &p,
+        );
+        assert_eq!(pair_distance(&a, &b)[5], 0.0, "order must not matter");
+    }
+
+    #[test]
+    fn synthetic_duplicates_are_closer_than_random_pairs() {
+        // The property every classifier downstream depends on.
+        let ds = Dataset::generate(&SynthConfig::small(400, 25, 77));
+        let p = Pipeline::paper();
+        let processed: Vec<ProcessedReport> = ds
+            .reports
+            .iter()
+            .map(|r| ProcessedReport::from_report(r, &p))
+            .collect();
+        let zero = vec![0.0; 8];
+        let dup_mean: f64 = ds
+            .duplicate_pairs
+            .iter()
+            .map(|pair| {
+                let v = pair_distance(
+                    &processed[pair.lo as usize],
+                    &processed[pair.hi as usize],
+                );
+                euclidean(&v, &zero)
+            })
+            .sum::<f64>()
+            / ds.duplicate_pairs.len() as f64;
+        let mut rnd_sum = 0.0;
+        let mut rnd_n = 0;
+        for i in (0..300).step_by(7) {
+            for j in (i + 1..300).step_by(13) {
+                let pid = adr_model::PairId::new(i as u64, j as u64);
+                if ds.duplicate_set().contains(&pid) {
+                    continue;
+                }
+                let v = pair_distance(&processed[i], &processed[j]);
+                rnd_sum += euclidean(&v, &zero);
+                rnd_n += 1;
+            }
+        }
+        let rnd_mean = rnd_sum / rnd_n as f64;
+        assert!(
+            dup_mean < rnd_mean * 0.65,
+            "duplicates ({dup_mean:.3}) must be much closer than random pairs ({rnd_mean:.3})"
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! # dedup — the end-to-end ADR duplicate-detection system
+//!
+//! Implements the workflow of the paper's Fig. 1 around the `fastknn`
+//! classifier:
+//!
+//! ```text
+//! report database ──► text-field processing ──► pairwise report distances
+//!        ▲                                             │
+//!        │            labelled duplicates ──┐          ▼
+//!   new reports       labelled non-dups ────┴──► classification ──► duplicate pairs
+//!                         ▲                                              │
+//!                         └──────────── feedback ────────────────────────┘
+//! ```
+//!
+//! * [`distance`] — §4.2's report representation: per-report text
+//!   preprocessing and the 8-field distance vector between two reports;
+//! * [`pairing`] — candidate pair enumeration (§3: new reports against the
+//!   database and among themselves) and the distributed pairwise-distance
+//!   job (the separately-timed step of Fig. 10b);
+//! * [`store`] — the two labelled-pair databases of Fig. 1 (all known
+//!   duplicates; a bounded sample of non-duplicates) with feedback;
+//! * [`system`] — [`system::DedupSystem`], the orchestrated service;
+//! * [`svm_baseline`] — the §5.2.1 SVM and Fig. 5(c) "SVM clustering"
+//!   comparison methods;
+//! * [`workload`] — labelled pair-set construction from a synthetic corpus
+//!   (training/testing splits at the sizes the evaluation sweeps).
+
+pub mod blocking;
+pub mod distance;
+pub mod pairing;
+pub mod store;
+pub mod svm_baseline;
+pub mod system;
+pub mod workload;
+
+pub use blocking::{evaluate_blocking, BlockingIndex, BlockingQuality};
+pub use distance::{pair_distance, ProcessedReport};
+pub use pairing::{all_pairs, pairs_involving_new, pairwise_distances};
+pub use store::PairStore;
+pub use svm_baseline::{svm_clustering_scores, svm_scores};
+pub use system::{DedupConfig, DedupSystem, Detection};
+pub use workload::{build_workload, build_workload_on, PairWorkload, ProcessedCorpus};

@@ -1,0 +1,172 @@
+//! The labelled-pair databases of Fig. 1.
+//!
+//! "The duplicate report pair database stores all known duplicates while the
+//! non-duplicate report pair database only keeps a subset of known
+//! non-duplicates" — the imbalance-driven asymmetry that shapes the whole
+//! system. Newly classified pairs feed back in (the dashed line of Fig. 1).
+
+use adr_model::PairId;
+use fastknn::LabeledPair;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// Bounded labelled-pair store with feedback.
+#[derive(Debug, Clone)]
+pub struct PairStore {
+    duplicates: Vec<(PairId, Vec<f64>)>,
+    non_duplicates: Vec<(PairId, Vec<f64>)>,
+    seen: HashSet<PairId>,
+    /// Maximum non-duplicate pairs retained.
+    pub max_non_duplicates: usize,
+    rng: StdRng,
+    next_id: u64,
+}
+
+impl PairStore {
+    /// Create a store keeping at most `max_non_duplicates` negatives.
+    pub fn new(max_non_duplicates: usize, seed: u64) -> Self {
+        PairStore {
+            duplicates: Vec::new(),
+            non_duplicates: Vec::new(),
+            seen: HashSet::new(),
+            max_non_duplicates,
+            rng: StdRng::seed_from_u64(seed),
+            next_id: 0,
+        }
+    }
+
+    /// Number of stored duplicate pairs.
+    pub fn duplicate_count(&self) -> usize {
+        self.duplicates.len()
+    }
+
+    /// Number of stored non-duplicate pairs.
+    pub fn non_duplicate_count(&self) -> usize {
+        self.non_duplicates.len()
+    }
+
+    /// Add a labelled pair. Duplicates are always kept; non-duplicates are
+    /// reservoir-sampled once the store is full, keeping the retained set a
+    /// uniform sample of everything offered. Re-offers of a known pair are
+    /// ignored.
+    pub fn add(&mut self, id: PairId, vector: Vec<f64>, is_duplicate: bool) {
+        if !self.seen.insert(id) {
+            return;
+        }
+        if is_duplicate {
+            self.duplicates.push((id, vector));
+            return;
+        }
+        if self.non_duplicates.len() < self.max_non_duplicates {
+            self.non_duplicates.push((id, vector));
+        } else if self.max_non_duplicates > 0 {
+            // Reservoir sampling over the stream of offered negatives.
+            self.next_id += 1;
+            let offered = self.max_non_duplicates as u64 + self.next_id;
+            let slot = self.rng.gen_range(0..offered);
+            if (slot as usize) < self.max_non_duplicates {
+                self.non_duplicates[slot as usize] = (id, vector);
+            }
+        }
+    }
+
+    /// Materialise the training set for the classifier: all duplicates as
+    /// positives, the retained negatives as negatives.
+    pub fn training_pairs(&self) -> Vec<LabeledPair> {
+        let mut out = Vec::with_capacity(self.duplicates.len() + self.non_duplicates.len());
+        let mut id = 0u64;
+        for (_, v) in &self.duplicates {
+            out.push(LabeledPair::new(id, v.clone(), true));
+            id += 1;
+        }
+        for (_, v) in &self.non_duplicates {
+            out.push(LabeledPair::new(id, v.clone(), false));
+            id += 1;
+        }
+        out
+    }
+
+    /// Has this pair been stored (under either label)?
+    pub fn contains(&self, id: &PairId) -> bool {
+        self.seen.contains(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(a: u64, b: u64) -> PairId {
+        PairId::new(a, b)
+    }
+
+    #[test]
+    fn duplicates_are_never_dropped() {
+        let mut store = PairStore::new(5, 1);
+        for i in 0..100 {
+            store.add(pid(i, i + 1000), vec![0.1], true);
+        }
+        assert_eq!(store.duplicate_count(), 100);
+    }
+
+    #[test]
+    fn negatives_are_bounded() {
+        let mut store = PairStore::new(10, 1);
+        for i in 0..1000 {
+            store.add(pid(i, i + 10_000), vec![0.9], false);
+        }
+        assert_eq!(store.non_duplicate_count(), 10);
+    }
+
+    #[test]
+    fn re_offering_a_pair_is_ignored() {
+        let mut store = PairStore::new(10, 1);
+        store.add(pid(1, 2), vec![0.5], false);
+        store.add(pid(2, 1), vec![0.5], true); // same canonical pair
+        assert_eq!(store.duplicate_count(), 0);
+        assert_eq!(store.non_duplicate_count(), 1);
+        assert!(store.contains(&pid(1, 2)));
+    }
+
+    #[test]
+    fn training_pairs_have_correct_labels_and_count() {
+        let mut store = PairStore::new(3, 1);
+        store.add(pid(1, 2), vec![0.1], true);
+        store.add(pid(3, 4), vec![0.9], false);
+        store.add(pid(5, 6), vec![0.8], false);
+        let train = store.training_pairs();
+        assert_eq!(train.len(), 3);
+        assert_eq!(train.iter().filter(|p| p.positive).count(), 1);
+        // ids are unique
+        let ids: HashSet<u64> = train.iter().map(|p| p.id).collect();
+        assert_eq!(ids.len(), 3);
+    }
+
+    #[test]
+    fn reservoir_keeps_a_mix_of_old_and_new() {
+        let mut store = PairStore::new(50, 42);
+        for i in 0..5000u64 {
+            store.add(pid(i, i + 100_000), vec![i as f64], false);
+        }
+        let early = store
+            .non_duplicates
+            .iter()
+            .filter(|(_, v)| v[0] < 1000.0)
+            .count();
+        let late = store
+            .non_duplicates
+            .iter()
+            .filter(|(_, v)| v[0] >= 4000.0)
+            .count();
+        assert!(early > 0, "reservoir must retain some early negatives");
+        assert!(late > 0, "reservoir must admit some late negatives");
+    }
+
+    #[test]
+    fn zero_capacity_store_keeps_no_negatives() {
+        let mut store = PairStore::new(0, 1);
+        store.add(pid(1, 2), vec![0.5], false);
+        assert_eq!(store.non_duplicate_count(), 0);
+    }
+}

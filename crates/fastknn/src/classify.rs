@@ -1,0 +1,448 @@
+//! Algorithm 2 — distributed Fast kNN classification on sparklet.
+//!
+//! Maps the paper's Spark-primitive formulation onto the engine one-for-one:
+//!
+//! | Algorithm 2 step | here |
+//! |---|---|
+//! | 1. k-means partition of `T` into `b` clusters | [`VoronoiPartition::build`] at [`FastKnn::fit`] |
+//! | 2–3. map: assign each `s ∈ S` its closest centre | per-block `map` + `partition_by` on cluster id |
+//! | 4. split `S` into `c` partitions | driver loop over `c` test blocks |
+//! | 6–8. join with `T⁻` on cluster id + top-k aggregate | `zip_partitions` of the block with the cached negative-cluster dataset |
+//! | 9–10. distances to `T⁺`, merge | same task (positives are broadcast) |
+//! | 11–12. Algorithm 1 partition selection | [`additional_partitions`] inside the task |
+//! | 13–15. join with additional partitions, union + reduce to merge top-k | probe shuffle + second `zip_partitions` + `union` + `reduce_by_key` |
+//! | 17. score per Eq. 5 | `map` over merged neighbourhoods |
+
+use crate::counters;
+use crate::score::{label_for, score_neighbors};
+use crate::select::additional_partitions;
+use crate::types::{LabeledPair, Neighborhood, ScoredPair, UnlabeledPair};
+use crate::voronoi::VoronoiPartition;
+use simmetrics::euclidean;
+use sparklet::partitioner::IndexPartitioner;
+use sparklet::{Cluster, PairRdd, Rdd, Result};
+use std::sync::Arc;
+
+/// Fast kNN hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct FastKnnConfig {
+    /// Number of neighbours `k` (odd in the paper; Eq. 5 does not require
+    /// it, but the Eq. 1 baseline does).
+    pub k: usize,
+    /// Number of training clusters `b` (the Fig. 7/8 knob).
+    pub b: usize,
+    /// Number of test blocks `c` (the Fig. 9 "block number" knob).
+    pub c: usize,
+    /// Score threshold θ of Eq. 6.
+    pub theta: f64,
+    /// Seed for k-means.
+    pub seed: u64,
+}
+
+impl Default for FastKnnConfig {
+    fn default() -> Self {
+        FastKnnConfig {
+            k: 9,
+            b: 32,
+            c: 4,
+            theta: 0.0,
+            seed: 2016,
+        }
+    }
+}
+
+/// Intermediate record between stage 1 and stage 2.
+#[derive(Clone)]
+enum StageOut {
+    /// Resolved by the all-negative shortcut.
+    Done(ScoredPair),
+    /// Needs cross-cluster search: stage-1 neighbourhood (sent once).
+    Base { id: u64, hood: Neighborhood },
+    /// Probe to run against cluster `target`.
+    Probe {
+        target: usize,
+        id: u64,
+        vector: Vec<f64>,
+    },
+}
+
+/// A fitted distributed Fast kNN model bound to a [`Cluster`].
+pub struct FastKnn {
+    config: FastKnnConfig,
+    cluster: Cluster,
+    voronoi: Arc<VoronoiPartition>,
+    /// Negative training pairs keyed and partitioned by cluster id, cached
+    /// in the block manager (the paper relies on Spark's in-memory RDD
+    /// caching for exactly this dataset).
+    negatives: Rdd<(usize, LabeledPair)>,
+}
+
+impl FastKnn {
+    /// Partition the training set and cache the negative clusters on the
+    /// engine. This is Algorithm 2 step 1 plus the training-side `join`
+    /// preparation.
+    pub fn fit(
+        cluster: &Cluster,
+        train: &[LabeledPair],
+        config: FastKnnConfig,
+    ) -> Result<FastKnn> {
+        let voronoi = Arc::new(VoronoiPartition::build(train, config.b, config.seed));
+        let b = voronoi.b();
+        let keyed: Vec<(usize, LabeledPair)> = voronoi
+            .negative_clusters
+            .iter()
+            .enumerate()
+            .flat_map(|(cid, pairs)| pairs.iter().map(move |p| (cid, p.clone())))
+            .collect();
+        let negatives = cluster
+            .parallelize(keyed, b)
+            .partition_by(Arc::new(IndexPartitioner::new(b)))
+            .cache();
+        // Materialise the cache so classification jobs hit memory.
+        negatives.count()?;
+        Ok(FastKnn {
+            config,
+            cluster: cluster.clone(),
+            voronoi,
+            negatives,
+        })
+    }
+
+    /// The model's Voronoi partition (centres, cluster sizes, positives).
+    pub fn voronoi(&self) -> &VoronoiPartition {
+        &self.voronoi
+    }
+
+    /// The configuration the model was fitted with.
+    pub fn config(&self) -> &FastKnnConfig {
+        &self.config
+    }
+
+    /// Classify a test set. Returns one [`ScoredPair`] per input, sorted by
+    /// id. Runs `c` sequential blocks, each a stage-1 `zip_partitions`
+    /// against the cached negative clusters followed (when needed) by a
+    /// stage-2 probe shuffle.
+    pub fn classify(&self, test: &[UnlabeledPair]) -> Result<Vec<ScoredPair>> {
+        let mut results: Vec<ScoredPair> = Vec::with_capacity(test.len());
+        let c = self.config.c.max(1);
+        let block_size = test.len().div_ceil(c).max(1);
+        for block in test.chunks(block_size) {
+            results.extend(self.classify_block(block)?);
+        }
+        results.sort_by_key(|s| s.id);
+        Ok(results)
+    }
+
+    fn classify_block(&self, block: &[UnlabeledPair]) -> Result<Vec<ScoredPair>> {
+        let b = self.voronoi.b();
+        let k = self.config.k;
+        let theta = self.config.theta;
+        let voronoi = self.voronoi.clone();
+
+        // Steps 2–3: assign each test pair to its Voronoi cell.
+        let vor_assign = voronoi.clone();
+        let assigned: Rdd<(usize, UnlabeledPair)> = self
+            .cluster
+            .parallelize(block.to_vec(), b.min(block.len()).max(1))
+            .map_partitions_with_ctx(move |ctx, _, part: Vec<UnlabeledPair>| {
+                ctx.counter(counters::CENTER_COMPARISONS)
+                    .add((part.len() * vor_assign.b()) as u64);
+                ctx.charge_ops((part.len() * vor_assign.b()) as u64);
+                Ok(part
+                    .into_iter()
+                    .map(|t| (vor_assign.assign_balanced(&t.vector, t.id), t))
+                    .collect())
+            })
+            .partition_by(Arc::new(IndexPartitioner::new(b)));
+
+        // Steps 6–12: intra-cluster kNN + positives + Algorithm 1.
+        let vor_stage1 = voronoi.clone();
+        let stage_out: Rdd<StageOut> = assigned
+            .zip_partitions(
+                &self.negatives,
+                move |ctx, tests: Vec<(usize, UnlabeledPair)>, negs: Vec<(usize, LabeledPair)>| {
+                    // Model executor memory: the joined block must be
+                    // resident (paper Fig. 8b: small b ⇒ oversized joined
+                    // partitions ⇒ task kills and retries).
+                    let dim = tests
+                        .first()
+                        .map(|(_, t)| t.vector.len())
+                        .or_else(|| negs.first().map(|(_, p)| p.vector.len()))
+                        .unwrap_or(0);
+                    let bytes = (tests.len() + negs.len()) * dim * 8;
+                    ctx.hold_memory(bytes)?;
+                    let intra = ctx.counter(counters::INTRA_COMPARISONS);
+                    let posc = ctx.counter(counters::POSITIVE_COMPARISONS);
+                    let extra_clusters = ctx.counter(counters::ADDITIONAL_CLUSTERS);
+                    let skips = ctx.counter(counters::SHORTCUT_SKIPS);
+                    let mut out = Vec::with_capacity(tests.len());
+                    for (assigned_cid, t) in tests {
+                        let mut hood = Neighborhood::new(k);
+                        for (_, p) in &negs {
+                            hood.push(euclidean(&t.vector, &p.vector), p.positive);
+                        }
+                        intra.add(negs.len() as u64);
+                        // Algorithm 1 line 2: d(s, s_k) over the
+                        // intra-cluster neighbours only, BEFORE merging the
+                        // positives.
+                        let intra_kth = hood.kth_distance();
+                        let mut min_pos = f64::INFINITY;
+                        for p in &vor_stage1.positives {
+                            let d = euclidean(&t.vector, &p.vector);
+                            min_pos = min_pos.min(d);
+                            hood.push(d, true);
+                        }
+                        posc.add(vor_stage1.positives.len() as u64);
+                        ctx.charge_ops((negs.len() + vor_stage1.positives.len()) as u64);
+                        if intra_kth <= min_pos {
+                            skips.inc();
+                            let score = score_neighbors(&hood);
+                            out.push(StageOut::Done(ScoredPair {
+                                id: t.id,
+                                score,
+                                positive: label_for(score, theta),
+                                shortcut: true,
+                            }));
+                            continue;
+                        }
+                        let extra = additional_partitions(
+                            &t.vector,
+                            assigned_cid,
+                            intra_kth,
+                            min_pos,
+                            &vor_stage1.centers,
+                        );
+                        extra_clusters.add(extra.len() as u64);
+                        if extra.is_empty() {
+                            let score = score_neighbors(&hood);
+                            out.push(StageOut::Done(ScoredPair {
+                                id: t.id,
+                                score,
+                                positive: label_for(score, theta),
+                                shortcut: false,
+                            }));
+                            continue;
+                        }
+                        out.push(StageOut::Base {
+                            id: t.id,
+                            hood,
+                        });
+                        for target in extra {
+                            out.push(StageOut::Probe {
+                                target,
+                                id: t.id,
+                                vector: t.vector.clone(),
+                            });
+                        }
+                    }
+                    ctx.release_memory(bytes);
+                    Ok(out)
+                },
+            )?
+            .cache();
+
+        let done: Vec<ScoredPair> = stage_out
+            .flat_map(|o| match o {
+                StageOut::Done(s) => vec![s],
+                _ => vec![],
+            })
+            .collect()?;
+
+        let bases: Rdd<(u64, Neighborhood)> = stage_out.flat_map(|o| match o {
+            StageOut::Base { id, hood } => vec![(id, hood)],
+            _ => vec![],
+        });
+        let probes: Rdd<(usize, (u64, Vec<f64>))> = stage_out.flat_map(|o| match o {
+            StageOut::Probe { target, id, vector } => vec![(target, (id, vector))],
+            _ => vec![],
+        });
+
+        // Steps 13–15: cross-cluster comparison, then merge the top-k lists.
+        let probe_hits: Rdd<(u64, Neighborhood)> = probes
+            .partition_by(Arc::new(IndexPartitioner::new(b)))
+            .zip_partitions(
+                &self.negatives,
+                move |ctx,
+                      probes: Vec<(usize, (u64, Vec<f64>))>,
+                      negs: Vec<(usize, LabeledPair)>| {
+                    let cross = ctx.counter(counters::CROSS_COMPARISONS);
+                    let mut out = Vec::with_capacity(probes.len());
+                    for (_, (id, vector)) in probes {
+                        let mut hood = Neighborhood::new(k);
+                        for (_, p) in &negs {
+                            hood.push(euclidean(&vector, &p.vector), p.positive);
+                        }
+                        cross.add(negs.len() as u64);
+                        ctx.charge_ops(negs.len() as u64);
+                        out.push((id, hood));
+                    }
+                    Ok(out)
+                },
+            )?;
+
+        let theta2 = theta;
+        let merged: Vec<ScoredPair> = probe_hits
+            .union(&bases)
+            .reduce_by_key(Neighborhood::merge, b)
+            .map(move |(id, hood)| {
+                let score = score_neighbors(&hood);
+                ScoredPair {
+                    id,
+                    score,
+                    positive: label_for(score, theta2),
+                    shortcut: false,
+                }
+            })
+            .collect()?;
+
+        let mut out = done;
+        out.extend(merged);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serial::classify_brute;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn workload(
+        n_neg: usize,
+        n_pos: usize,
+        n_test: usize,
+        seed: u64,
+    ) -> (Vec<LabeledPair>, Vec<UnlabeledPair>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut train = Vec::new();
+        for i in 0..n_neg {
+            let v: Vec<f64> = (0..4).map(|_| rng.gen_range(0.0..1.0)).collect();
+            train.push(LabeledPair::new(i as u64, v, false));
+        }
+        for i in 0..n_pos {
+            let v: Vec<f64> = (0..4).map(|_| rng.gen_range(0.0..0.15)).collect();
+            train.push(LabeledPair::new((n_neg + i) as u64, v, true));
+        }
+        let test = (0..n_test)
+            .map(|i| {
+                let v: Vec<f64> = (0..4).map(|_| rng.gen_range(0.0..1.0)).collect();
+                UnlabeledPair::new(i as u64, v)
+            })
+            .collect();
+        (train, test)
+    }
+
+    #[test]
+    fn distributed_matches_brute_force() {
+        let (train, test) = workload(500, 15, 80, 3);
+        let cluster = Cluster::local(4);
+        let model = FastKnn::fit(
+            &cluster,
+            &train,
+            FastKnnConfig {
+                k: 7,
+                b: 8,
+                c: 3,
+                theta: 0.0,
+                seed: 5,
+            },
+        )
+        .unwrap();
+        let fast = model.classify(&test).unwrap();
+        let brute = classify_brute(&train, &test, 7, 0.0);
+        assert_eq!(fast.len(), brute.len());
+        for (f, g) in fast.iter().zip(&brute) {
+            assert_eq!(f.id, g.id);
+            assert_eq!(f.positive, g.positive, "label mismatch at id {}", f.id);
+            if !f.shortcut {
+                assert!(
+                    (f.score - g.score).abs() < 1e-9,
+                    "score mismatch at id {}: {} vs {}",
+                    f.id,
+                    f.score,
+                    g.score
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn counters_are_populated() {
+        let (train, test) = workload(300, 10, 40, 9);
+        let cluster = Cluster::local(2);
+        let model = FastKnn::fit(&cluster, &train, FastKnnConfig::default()).unwrap();
+        let _ = model.classify(&test).unwrap();
+        let m = cluster.metrics();
+        assert!(m.counter(counters::CENTER_COMPARISONS).get() > 0);
+        assert!(m.counter(counters::INTRA_COMPARISONS).get() > 0);
+        assert!(m.counter(counters::POSITIVE_COMPARISONS).get() > 0);
+    }
+
+    #[test]
+    fn more_clusters_reduce_intra_comparisons() {
+        // Fig. 7a's main trend.
+        let (train, test) = workload(2000, 20, 60, 13);
+        let intra_at = |b: usize| {
+            let cluster = Cluster::local(2);
+            let model = FastKnn::fit(
+                &cluster,
+                &train,
+                FastKnnConfig {
+                    b,
+                    ..FastKnnConfig::default()
+                },
+            )
+            .unwrap();
+            cluster.metrics().reset();
+            let _ = model.classify(&test).unwrap();
+            cluster
+                .metrics()
+                .counter(counters::INTRA_COMPARISONS)
+                .get()
+        };
+        let few = intra_at(4);
+        let many = intra_at(32);
+        assert!(
+            many < few,
+            "more clusters must mean fewer intra-cluster comparisons: {many} vs {few}"
+        );
+    }
+
+    #[test]
+    fn block_count_does_not_change_results() {
+        let (train, test) = workload(400, 10, 50, 21);
+        let cluster = Cluster::local(2);
+        let out_c1 = FastKnn::fit(
+            &cluster,
+            &train,
+            FastKnnConfig {
+                c: 1,
+                ..FastKnnConfig::default()
+            },
+        )
+        .unwrap()
+        .classify(&test)
+        .unwrap();
+        let out_c5 = FastKnn::fit(
+            &cluster,
+            &train,
+            FastKnnConfig {
+                c: 5,
+                ..FastKnnConfig::default()
+            },
+        )
+        .unwrap()
+        .classify(&test)
+        .unwrap();
+        assert_eq!(out_c1, out_c5);
+    }
+
+    #[test]
+    fn empty_test_set_is_fine() {
+        let (train, _) = workload(50, 3, 0, 1);
+        let cluster = Cluster::local(2);
+        let model = FastKnn::fit(&cluster, &train, FastKnnConfig::default()).unwrap();
+        assert!(model.classify(&[]).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,58 @@
+//! # fastknn — Voronoi-partitioned Fast kNN classification
+//!
+//! The primary contribution of Wang & Karimi (EDBT 2016), §4.3: a kNN
+//! classifier for *highly imbalanced* labelled-pair data, parallelised over
+//! a Spark-style engine ([`sparklet`]) with the paper's two pruning devices:
+//!
+//! 1. **Voronoi partitioning** (§4.3.1): k-means clusters the training
+//!    pairs; each test pair is assigned to its nearest cluster centre and
+//!    stage 1 searches only that cluster.
+//! 2. **Additional-partition selection** (Algorithm 1, §4.3.2): stage 2
+//!    consults a neighbouring cluster only when the test pair's current
+//!    k-th neighbour distance exceeds its distance to the separating
+//!    hyperplane (Eq. 7) — and is skipped entirely when every current
+//!    neighbour is negative and closer than the nearest positive
+//!    (observations 1–3, exploiting label imbalance).
+//!
+//! Classification uses the inverse-distance score of Eq. 5 with threshold θ
+//! (Eq. 6). §4.3.4's *test-set pruning* — clustering the positive pairs and
+//! discarding test pairs outside every positive cluster's `dcp + f(θ)`
+//! ball — is implemented in [`prune`].
+//!
+//! The distributed classifier is *label-exact* with respect to brute-force
+//! kNN: when the positive shortcut does not fire it returns the exact
+//! k-nearest neighbourhood (Algorithm 1's bound is conservative), and when
+//! it does fire the true neighbourhood is provably all-negative. The test
+//! suite checks this equivalence against [`serial`].
+
+pub mod classify;
+pub mod prune;
+pub mod score;
+pub mod select;
+pub mod serial;
+pub mod types;
+pub mod voronoi;
+
+pub use classify::{FastKnn, FastKnnConfig};
+pub use prune::TestPruner;
+pub use score::{label_for, score_neighbors, SCORE_EPS};
+pub use select::additional_partitions;
+pub use types::{LabeledPair, Neighborhood, ScoredPair, UnlabeledPair};
+pub use voronoi::{hyperplane_distance, VoronoiPartition};
+
+/// Counter names published to [`sparklet::ClusterMetrics`] — the quantities
+/// Figs. 7 and 8 of the paper plot.
+pub mod counters {
+    /// Test-to-centre distance computations (assignment step).
+    pub const CENTER_COMPARISONS: &str = "fastknn.center_comparisons";
+    /// Stage-1 intra-cluster pair comparisons (Fig. 7a).
+    pub const INTRA_COMPARISONS: &str = "fastknn.intra_comparisons";
+    /// Comparisons against the global positive set.
+    pub const POSITIVE_COMPARISONS: &str = "fastknn.positive_comparisons";
+    /// Stage-2 cross-cluster pair comparisons (Fig. 7c).
+    pub const CROSS_COMPARISONS: &str = "fastknn.cross_comparisons";
+    /// Additional clusters selected by Algorithm 1 (Fig. 7b).
+    pub const ADDITIONAL_CLUSTERS: &str = "fastknn.additional_clusters";
+    /// Tests resolved by the all-negative shortcut (observations 1–3).
+    pub const SHORTCUT_SKIPS: &str = "fastknn.shortcut_skips";
+}

@@ -1,0 +1,293 @@
+//! Test-set pruning (§4.3.4).
+//!
+//! Cluster the *positive* training pairs into `l` clusters; around each
+//! cluster centre `cp_i` draw the ball of radius `dcp_i` (distance of the
+//! cluster's farthest member) expanded by `f(θ)`. A test pair outside every
+//! expanded ball is too far from any known duplicate to be classified
+//! positive at threshold θ, so it is pruned before classification — the
+//! paper's Fig. 11 measures the pruning ratio and the resulting speed-up.
+
+use crate::types::{LabeledPair, UnlabeledPair};
+use mlcore::kmeans::KMeans;
+use simmetrics::euclidean;
+
+/// Pruner built from the positive training pairs.
+#[derive(Debug, Clone)]
+pub struct TestPruner {
+    /// Positive-cluster centres `cp_i`.
+    pub centers: Vec<Vec<f64>>,
+    /// Radius `dcp_i` of each cluster (farthest member distance).
+    pub radii: Vec<f64>,
+}
+
+/// Outcome of pruning a test set.
+#[derive(Debug, Clone)]
+pub struct PruneOutcome {
+    /// Test pairs kept for classification.
+    pub kept: Vec<UnlabeledPair>,
+    /// Number of pruned pairs.
+    pub pruned: usize,
+}
+
+impl PruneOutcome {
+    /// Fraction of the original test set that was kept.
+    pub fn keep_ratio(&self) -> f64 {
+        let total = self.kept.len() + self.pruned;
+        if total == 0 {
+            return 1.0;
+        }
+        self.kept.len() as f64 / total as f64
+    }
+}
+
+impl TestPruner {
+    /// Step 1–2 of §4.3.4: cluster positives into `l` clusters and record
+    /// each cluster's radius.
+    ///
+    /// # Panics
+    /// Panics when there are no positive pairs (nothing to prune against —
+    /// the caller should skip pruning entirely in that regime).
+    pub fn build(positives: &[LabeledPair], l: usize, seed: u64) -> Self {
+        assert!(
+            !positives.is_empty(),
+            "test-set pruning requires positive training pairs"
+        );
+        let vectors: Vec<Vec<f64>> = positives.iter().map(|p| p.vector.clone()).collect();
+        let model = KMeans::new(l.max(1), seed).fit(&vectors);
+        let mut radii = vec![0.0f64; model.k()];
+        for (v, &a) in vectors.iter().zip(&model.assignments) {
+            let d = euclidean(v, &model.centroids[a]);
+            if d > radii[a] {
+                radii[a] = d;
+            }
+        }
+        TestPruner {
+            centers: model.centroids,
+            radii,
+        }
+    }
+
+    /// Step 3: should `vector` be kept at expansion `f_theta`?
+    pub fn keep(&self, vector: &[f64], f_theta: f64) -> bool {
+        self.centers
+            .iter()
+            .zip(&self.radii)
+            .any(|(c, r)| euclidean(vector, c) <= r + f_theta)
+    }
+
+    /// Learn the pruning expansion `f(θ)` from labelled data — the paper's
+    /// stated future work (§5.2.6: "the setting can be learned from the
+    /// labelled data, which we leave as our future work").
+    ///
+    /// Returns the smallest expansion (with `margin` slack added) that
+    /// keeps at least `target_recall` of the labelled duplicate vectors
+    /// inside some positive-cluster ball. Pass held-out duplicate vectors
+    /// (not the ones the pruner was built from, which are retained by
+    /// construction at `f(θ) = 0`).
+    ///
+    /// # Panics
+    /// Panics if `duplicates` is empty or `target_recall` is outside (0, 1].
+    pub fn learn_f_theta(
+        &self,
+        duplicates: &[Vec<f64>],
+        target_recall: f64,
+        margin: f64,
+    ) -> f64 {
+        assert!(
+            !duplicates.is_empty(),
+            "learning f(θ) needs labelled duplicates"
+        );
+        assert!(
+            target_recall > 0.0 && target_recall <= 1.0,
+            "target_recall must be in (0, 1]"
+        );
+        // For each duplicate, the smallest expansion that would keep it:
+        // min_i (dist(v, cp_i) − dcp_i), clamped at 0.
+        let mut needed: Vec<f64> = duplicates
+            .iter()
+            .map(|v| {
+                self.centers
+                    .iter()
+                    .zip(&self.radii)
+                    .map(|(c, r)| (euclidean(v, c) - r).max(0.0))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect();
+        needed.sort_by(|a, b| a.partial_cmp(b).expect("finite expansions"));
+        let keep = ((duplicates.len() as f64 * target_recall).ceil() as usize)
+            .clamp(1, duplicates.len());
+        needed[keep - 1] + margin
+    }
+
+    /// Prune a test set.
+    pub fn prune(&self, test: &[UnlabeledPair], f_theta: f64) -> PruneOutcome {
+        let mut kept = Vec::with_capacity(test.len());
+        let mut pruned = 0usize;
+        for t in test {
+            if self.keep(&t.vector, f_theta) {
+                kept.push(t.clone());
+            } else {
+                pruned += 1;
+            }
+        }
+        PruneOutcome { kept, pruned }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serial::classify_brute;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn positives() -> Vec<LabeledPair> {
+        // Two tight positive clumps, like duplicate pairs in distance space.
+        let mut out = Vec::new();
+        for i in 0..10 {
+            let t = i as f64 * 0.005;
+            out.push(LabeledPair::new(i, vec![0.1 + t, 0.1 - t], true));
+            out.push(LabeledPair::new(100 + i, vec![0.8 + t, 0.2 - t], true));
+        }
+        out
+    }
+
+    #[test]
+    fn keeps_points_near_positives_and_prunes_far_ones() {
+        let pruner = TestPruner::build(&positives(), 2, 7);
+        assert!(pruner.keep(&[0.11, 0.10], 0.1));
+        assert!(pruner.keep(&[0.81, 0.19], 0.1));
+        assert!(!pruner.keep(&[5.0, 5.0], 0.1));
+    }
+
+    #[test]
+    fn larger_f_theta_keeps_more() {
+        let pruner = TestPruner::build(&positives(), 2, 7);
+        let mut rng = StdRng::seed_from_u64(1);
+        let test: Vec<UnlabeledPair> = (0..500)
+            .map(|i| {
+                UnlabeledPair::new(
+                    i,
+                    vec![rng.gen_range(0.0..1.5), rng.gen_range(0.0..1.5)],
+                )
+            })
+            .collect();
+        let mut prev = 0usize;
+        for f in [0.1, 0.3, 0.5, 0.9] {
+            let out = pruner.prune(&test, f);
+            assert!(
+                out.kept.len() >= prev,
+                "keep count must be monotone in f(θ)"
+            );
+            prev = out.kept.len();
+        }
+        // And wide enough keeps everything.
+        assert_eq!(pruner.prune(&test, 10.0).pruned, 0);
+    }
+
+    #[test]
+    fn pruning_never_drops_a_true_positive_classification() {
+        // The safety property of Fig. 11: "all these threshold settings
+        // enable the duplicate report pairs in the testing dataset being
+        // included". A pruned pair must be one brute-force kNN would have
+        // scored below θ anyway — provided f(θ) is at least the distance at
+        // which a positive neighbour can still push the score past θ.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut train = positives();
+        for i in 0..400 {
+            train.push(LabeledPair::new(
+                1000 + i,
+                vec![rng.gen_range(0.0..1.5), rng.gen_range(0.0..1.5)],
+                false,
+            ));
+        }
+        let pos_only: Vec<LabeledPair> =
+            train.iter().filter(|p| p.positive).cloned().collect();
+        let pruner = TestPruner::build(&pos_only, 2, 7);
+        let test: Vec<UnlabeledPair> = (0..300)
+            .map(|i| {
+                UnlabeledPair::new(
+                    i,
+                    vec![rng.gen_range(0.0..1.5), rng.gen_range(0.0..1.5)],
+                )
+            })
+            .collect();
+        let f_theta = 0.5;
+        let outcome = pruner.prune(&test, f_theta);
+        assert!(outcome.pruned > 0, "workload should prune something");
+        let scored = classify_brute(&train, &test, 5, 1.0 / f_theta);
+        let kept_ids: std::collections::HashSet<u64> =
+            outcome.kept.iter().map(|t| t.id).collect();
+        for s in &scored {
+            if s.positive {
+                assert!(
+                    kept_ids.contains(&s.id),
+                    "pruning dropped test {} which classifies positive",
+                    s.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn learned_f_theta_achieves_its_target_recall() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let train_pos = positives();
+        let pruner = TestPruner::build(&train_pos, 2, 7);
+        // Held-out duplicates scattered around the positive clumps, some
+        // farther out than the training radii.
+        let held_out: Vec<Vec<f64>> = (0..60)
+            .map(|i| {
+                let (cx, cy) = if i % 2 == 0 { (0.1, 0.1) } else { (0.8, 0.2) };
+                vec![
+                    cx + rng.gen_range(-0.2..0.2),
+                    cy + rng.gen_range(-0.2..0.2),
+                ]
+            })
+            .collect();
+        for target in [0.8, 0.95, 1.0] {
+            let f = pruner.learn_f_theta(&held_out, target, 0.0);
+            let kept = held_out.iter().filter(|v| pruner.keep(v, f)).count();
+            assert!(
+                kept as f64 >= target * held_out.len() as f64,
+                "target {target}: kept {kept}/{} at f={f:.3}",
+                held_out.len()
+            );
+        }
+        // Tighter targets need no larger expansion.
+        let f80 = pruner.learn_f_theta(&held_out, 0.8, 0.0);
+        let f100 = pruner.learn_f_theta(&held_out, 1.0, 0.0);
+        assert!(f100 >= f80, "expansion must be monotone in recall target");
+    }
+
+    #[test]
+    fn learned_f_theta_zero_for_training_duplicates() {
+        // The pruner's own training positives are inside the balls by
+        // construction, so the learned expansion (margin 0) is 0.
+        let train_pos = positives();
+        let pruner = TestPruner::build(&train_pos, 2, 7);
+        let vectors: Vec<Vec<f64>> = train_pos.iter().map(|p| p.vector.clone()).collect();
+        let f = pruner.learn_f_theta(&vectors, 1.0, 0.0);
+        assert!(f.abs() < 1e-9, "got {f}");
+    }
+
+    #[test]
+    fn keep_ratio_math() {
+        let outcome = PruneOutcome {
+            kept: vec![UnlabeledPair::new(0, vec![0.0])],
+            pruned: 3,
+        };
+        assert!((outcome.keep_ratio() - 0.25).abs() < 1e-12);
+        let empty = PruneOutcome {
+            kept: vec![],
+            pruned: 0,
+        };
+        assert_eq!(empty.keep_ratio(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires positive")]
+    fn no_positives_rejected() {
+        let _ = TestPruner::build(&[], 2, 1);
+    }
+}

@@ -1,0 +1,118 @@
+//! Inverse-distance scoring — the paper's Eqs. 5 and 6.
+//!
+//! Eq. 5 normalises each neighbour's vote by its distance so the few
+//! positives are not drowned by the sheer count of negatives:
+//!
+//! ```text
+//! score_s = Σ_{t ∈ knn⁺} 1/d(s,t)  −  Σ_{t ∈ knn⁻} 1/d(s,t)
+//! ```
+//!
+//! Eq. 6 assigns `+1` when `score_s ≥ θ`.
+
+use crate::types::Neighborhood;
+
+/// Stabiliser added to distances before inversion so exact matches
+/// (distance 0) produce a large-but-finite vote.
+pub const SCORE_EPS: f64 = 1e-9;
+
+/// Eq. 5 over a neighbourhood.
+pub fn score_neighbors(n: &Neighborhood) -> f64 {
+    n.entries
+        .iter()
+        .map(|(d, positive)| {
+            let vote = 1.0 / (d + SCORE_EPS);
+            if *positive {
+                vote
+            } else {
+                -vote
+            }
+        })
+        .sum()
+}
+
+/// Eq. 6: threshold the score.
+pub fn label_for(score: f64, theta: f64) -> bool {
+    score >= theta
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn hood(entries: &[(f64, bool)]) -> Neighborhood {
+        let mut n = Neighborhood::new(entries.len().max(1));
+        for (d, p) in entries {
+            n.push(*d, *p);
+        }
+        n
+    }
+
+    #[test]
+    fn close_positive_outweighs_far_negatives() {
+        // One positive at 0.1 vs four negatives at 1.0: majority vote says
+        // negative, Eq. 5 says positive. This is the paper's point.
+        let n = hood(&[(0.1, true), (1.0, false), (1.0, false), (1.0, false), (1.0, false)]);
+        assert!(score_neighbors(&n) > 0.0);
+    }
+
+    #[test]
+    fn equidistant_neighbors_reduce_to_vote_counting() {
+        let n = hood(&[(0.5, true), (0.5, false), (0.5, false)]);
+        assert!(score_neighbors(&n) < 0.0);
+        let n = hood(&[(0.5, true), (0.5, true), (0.5, false)]);
+        assert!(score_neighbors(&n) > 0.0);
+    }
+
+    #[test]
+    fn zero_distance_does_not_blow_up() {
+        let n = hood(&[(0.0, true)]);
+        let s = score_neighbors(&n);
+        assert!(s.is_finite());
+        assert!(s > 1e6);
+    }
+
+    #[test]
+    fn empty_neighborhood_scores_zero() {
+        let n = Neighborhood::new(3);
+        assert_eq!(score_neighbors(&n), 0.0);
+    }
+
+    #[test]
+    fn labeling_respects_theta() {
+        assert!(label_for(0.5, 0.0));
+        assert!(label_for(0.0, 0.0));
+        assert!(!label_for(-0.1, 0.0));
+        assert!(!label_for(0.5, 1.0));
+    }
+
+    proptest! {
+        #[test]
+        fn all_negative_neighborhoods_never_score_positive(
+            ds in prop::collection::vec(0.0f64..10.0, 1..10),
+        ) {
+            let entries: Vec<(f64, bool)> = ds.iter().map(|d| (*d, false)).collect();
+            prop_assert!(score_neighbors(&hood(&entries)) < 0.0);
+        }
+
+        #[test]
+        fn score_is_antisymmetric_in_labels(
+            ds in prop::collection::vec(0.01f64..10.0, 1..10),
+        ) {
+            let pos: Vec<(f64, bool)> = ds.iter().map(|d| (*d, true)).collect();
+            let neg: Vec<(f64, bool)> = ds.iter().map(|d| (*d, false)).collect();
+            let sp = score_neighbors(&hood(&pos));
+            let sn = score_neighbors(&hood(&neg));
+            prop_assert!((sp + sn).abs() < 1e-9);
+        }
+
+        #[test]
+        fn moving_a_positive_closer_never_lowers_the_score(
+            d in 0.1f64..5.0, shift in 0.01f64..0.09,
+        ) {
+            let far = hood(&[(d, true), (1.0, false)]);
+            let near = hood(&[(d - shift, true), (1.0, false)]);
+            prop_assert!(score_neighbors(&near) >= score_neighbors(&far));
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Algorithm 1 — additional-partition selection (§4.3.2).
+//!
+//! After stage 1 (intra-cluster kNN merged with the positive distances),
+//! decide which *other* Voronoi cells could still contain closer
+//! neighbours:
+//!
+//! * lines 2–5 (observations 1–3): if the current k-th neighbour is closer
+//!   than the nearest positive pair, the true kNN can contain no positive —
+//!   the pair is classified negative without any cross-cluster search;
+//! * lines 6–12 (observation 4): otherwise cell `T_j` is consulted only if
+//!   the k-th neighbour distance exceeds `d(s, h_ij)`, the distance to the
+//!   hyperplane separating the assigned cell from `T_j` (Eq. 7), since by
+//!   the triangle inequality no point behind a farther hyperplane can beat
+//!   the current k-th neighbour.
+
+use crate::voronoi::hyperplane_distance;
+
+/// Algorithm 1. Returns the indices of additional clusters to search;
+/// an empty result with `kth_distance <= min_positive_distance` means the
+/// shortcut fired (no positive can be in the true kNN).
+///
+/// * `s` — the test vector;
+/// * `assigned` — index of the Voronoi cell `s` belongs to;
+/// * `kth_distance` — `d(s, s_k)`, distance to the current k-th nearest
+///   neighbour (`+∞` when fewer than k are known);
+/// * `min_positive_distance` — `min(s, T⁺)`;
+/// * `centers` — all cluster centres.
+pub fn additional_partitions(
+    s: &[f64],
+    assigned: usize,
+    kth_distance: f64,
+    min_positive_distance: f64,
+    centers: &[Vec<f64>],
+) -> Vec<usize> {
+    // Lines 2–5: all-negative shortcut.
+    if kth_distance <= min_positive_distance {
+        return Vec::new();
+    }
+    // Lines 6–12: hyperplane pruning.
+    let pi = &centers[assigned];
+    let mut partitions = Vec::new();
+    for (j, pj) in centers.iter().enumerate() {
+        if j == assigned {
+            continue;
+        }
+        if kth_distance > hyperplane_distance(s, pi, pj) {
+            partitions.push(j);
+        }
+    }
+    partitions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use simmetrics::euclidean;
+
+    fn centers() -> Vec<Vec<f64>> {
+        vec![vec![0.0, 0.0], vec![10.0, 0.0], vec![0.0, 10.0], vec![50.0, 50.0]]
+    }
+
+    #[test]
+    fn shortcut_returns_no_partitions() {
+        // k-th neighbour at 1.0, nearest positive at 5.0: stop.
+        let out = additional_partitions(&[1.0, 1.0], 0, 1.0, 5.0, &centers());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn tight_neighborhood_prunes_everything() {
+        // s at the origin with k-th distance 1.0: hyperplanes to the other
+        // cells are ~5, ~5 and ~35 away.
+        let out = additional_partitions(&[0.0, 0.0], 0, 1.0, 0.5, &centers());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn loose_neighborhood_selects_nearby_cells_only() {
+        // k-th distance 6 crosses the hyperplanes to cells 1 and 2 (5 away)
+        // but not to the far cell 3.
+        let out = additional_partitions(&[0.0, 0.0], 0, 6.0, 0.5, &centers());
+        assert_eq!(out, vec![1, 2]);
+    }
+
+    #[test]
+    fn infinite_kth_distance_selects_all_other_cells() {
+        // Fewer than k neighbours known: every cell may contribute.
+        let out =
+            additional_partitions(&[0.0, 0.0], 0, f64::INFINITY, 0.5, &centers());
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn assigned_cell_is_never_selected() {
+        let out = additional_partitions(&[0.0, 0.0], 0, 1e9, 0.0, &centers());
+        assert!(!out.contains(&0));
+    }
+
+    proptest! {
+        /// Soundness of the pruning rule: if a point x in cell j is closer
+        /// to s than kth_distance, then j MUST be selected.
+        #[test]
+        fn never_prunes_a_cell_containing_a_closer_point(
+            s in prop::collection::vec(-3.0f64..3.0, 2),
+            x in prop::collection::vec(-20.0f64..20.0, 2),
+            slack in 0.01f64..5.0,
+        ) {
+            let cs = centers();
+            // s must live in cell 0 for the setup to apply.
+            prop_assume!(nearest(&s, &cs) == 0);
+            let xj = nearest(&x, &cs);
+            prop_assume!(xj != 0);
+            // Choose kth so that x is strictly inside the neighbourhood.
+            let kth = euclidean(&s, &x) + slack;
+            let selected = additional_partitions(&s, 0, kth, 0.0, &cs);
+            prop_assert!(
+                selected.contains(&xj),
+                "cell {xj} holds a point at distance {} < kth {kth} but was pruned",
+                euclidean(&s, &x)
+            );
+        }
+    }
+
+    fn nearest(p: &[f64], centers: &[Vec<f64>]) -> usize {
+        let mut best = (0usize, f64::INFINITY);
+        for (i, c) in centers.iter().enumerate() {
+            let d = euclidean(p, c);
+            if d < best.1 {
+                best = (i, d);
+            }
+        }
+        best.0
+    }
+}

@@ -1,0 +1,191 @@
+//! Serial reference implementations.
+//!
+//! [`classify_brute`] is the ground truth the distributed Fast kNN is tested
+//! against: exact kNN over the full training set with Eq. 5 scoring.
+//! [`classify_fast_serial`] runs the same two-stage Voronoi algorithm as the
+//! distributed path but single-threaded — useful for unit-testing the
+//! algorithm without an engine, and for isolating engine effects in
+//! benchmarks.
+
+use crate::score::{label_for, score_neighbors};
+use crate::select::additional_partitions;
+use crate::types::{LabeledPair, Neighborhood, ScoredPair, UnlabeledPair};
+use crate::voronoi::VoronoiPartition;
+use simmetrics::euclidean;
+
+/// Exact brute-force kNN classification with Eq. 5 scoring.
+pub fn classify_brute(
+    train: &[LabeledPair],
+    test: &[UnlabeledPair],
+    k: usize,
+    theta: f64,
+) -> Vec<ScoredPair> {
+    test.iter()
+        .map(|t| {
+            let mut hood = Neighborhood::new(k);
+            for pair in train {
+                hood.push(euclidean(&t.vector, &pair.vector), pair.positive);
+            }
+            let score = score_neighbors(&hood);
+            ScoredPair {
+                id: t.id,
+                score,
+                positive: label_for(score, theta),
+                shortcut: false,
+            }
+        })
+        .collect()
+}
+
+/// Single-threaded Fast kNN: identical algorithm to the distributed
+/// classifier (stage 1 intra-cluster + positives, Algorithm 1 selection,
+/// stage 2 cross-cluster), without the engine.
+pub fn classify_fast_serial(
+    partition: &VoronoiPartition,
+    test: &[UnlabeledPair],
+    k: usize,
+    theta: f64,
+) -> Vec<ScoredPair> {
+    test.iter()
+        .map(|t| {
+            let assigned = partition.assign(&t.vector);
+            let mut hood = Neighborhood::new(k);
+            for pair in &partition.negative_clusters[assigned] {
+                hood.push(euclidean(&t.vector, &pair.vector), pair.positive);
+            }
+            // Algorithm 1 line 2: d(s, s_k) over the intra-cluster
+            // neighbours only, BEFORE merging the positives.
+            let intra_kth = hood.kth_distance();
+            let mut min_pos = f64::INFINITY;
+            for pair in &partition.positives {
+                let d = euclidean(&t.vector, &pair.vector);
+                min_pos = min_pos.min(d);
+                hood.push(d, true);
+            }
+            let shortcut = intra_kth <= min_pos;
+            if !shortcut {
+                let extra = additional_partitions(
+                    &t.vector,
+                    assigned,
+                    intra_kth,
+                    min_pos,
+                    &partition.centers,
+                );
+                for cid in extra {
+                    for pair in &partition.negative_clusters[cid] {
+                        hood.push(euclidean(&t.vector, &pair.vector), pair.positive);
+                    }
+                }
+            }
+            let score = score_neighbors(&hood);
+            ScoredPair {
+                id: t.id,
+                score,
+                positive: label_for(score, theta),
+                shortcut,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_workload(
+        n_neg: usize,
+        n_pos: usize,
+        n_test: usize,
+        seed: u64,
+    ) -> (Vec<LabeledPair>, Vec<UnlabeledPair>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut train = Vec::new();
+        for i in 0..n_neg {
+            let v: Vec<f64> = (0..4).map(|_| rng.gen_range(0.0..1.0)).collect();
+            train.push(LabeledPair::new(i as u64, v, false));
+        }
+        for i in 0..n_pos {
+            // Positives concentrated in a corner (duplicates have small
+            // field distances).
+            let v: Vec<f64> = (0..4).map(|_| rng.gen_range(0.0..0.15)).collect();
+            train.push(LabeledPair::new((n_neg + i) as u64, v, true));
+        }
+        let test = (0..n_test)
+            .map(|i| {
+                let v: Vec<f64> = (0..4).map(|_| rng.gen_range(0.0..1.0)).collect();
+                UnlabeledPair::new(i as u64, v)
+            })
+            .collect();
+        (train, test)
+    }
+
+    #[test]
+    fn brute_force_scores_obvious_cases() {
+        let train = vec![
+            LabeledPair::new(0, vec![0.0, 0.0], true),
+            LabeledPair::new(1, vec![1.0, 1.0], false),
+            LabeledPair::new(2, vec![1.1, 1.0], false),
+        ];
+        let test = vec![
+            UnlabeledPair::new(0, vec![0.01, 0.01]),
+            UnlabeledPair::new(1, vec![1.05, 1.0]),
+        ];
+        let out = classify_brute(&train, &test, 3, 0.0);
+        assert!(out[0].positive, "next to the positive");
+        assert!(!out[1].positive, "between the negatives");
+    }
+
+    #[test]
+    fn fast_serial_matches_brute_force_labels_and_scores() {
+        let (train, test) = random_workload(400, 12, 60, 11);
+        let brute = classify_brute(&train, &test, 7, 0.0);
+        for b in [2usize, 5, 10] {
+            let vp = VoronoiPartition::build(&train, b, 99);
+            let fast = classify_fast_serial(&vp, &test, 7, 0.0);
+            for (bf, ff) in brute.iter().zip(&fast) {
+                assert_eq!(bf.id, ff.id);
+                assert_eq!(
+                    bf.positive, ff.positive,
+                    "label mismatch at id {} with b={b}",
+                    bf.id
+                );
+                if !ff.shortcut {
+                    assert!(
+                        (bf.score - ff.score).abs() < 1e-9,
+                        "non-shortcut scores must be exact at id {} with b={b}: {} vs {}",
+                        bf.id,
+                        bf.score,
+                        ff.score
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shortcut_pairs_are_still_labelled_negative_by_brute_force() {
+        let (train, test) = random_workload(300, 5, 80, 23);
+        let vp = VoronoiPartition::build(&train, 6, 1);
+        let fast = classify_fast_serial(&vp, &test, 5, 0.0);
+        let brute = classify_brute(&train, &test, 5, 0.0);
+        let mut shortcut_count = 0;
+        for (ff, bf) in fast.iter().zip(&brute) {
+            if ff.shortcut {
+                shortcut_count += 1;
+                assert!(!bf.positive, "shortcut fired on a true-kNN-positive pair");
+            }
+        }
+        assert!(shortcut_count > 0, "workload should exercise the shortcut");
+    }
+
+    #[test]
+    fn no_positives_in_training_shortcuts_everything() {
+        let (mut train, test) = random_workload(100, 0, 20, 5);
+        train.retain(|p| !p.positive);
+        let vp = VoronoiPartition::build(&train, 4, 2);
+        let fast = classify_fast_serial(&vp, &test, 3, 0.0);
+        assert!(fast.iter().all(|s| s.shortcut && !s.positive));
+    }
+}

@@ -1,0 +1,212 @@
+//! Core data types flowing through the Fast kNN pipeline.
+
+use serde::{Deserialize, Serialize};
+
+/// A labelled training pair: the distance vector of a report pair plus its
+/// duplicate / non-duplicate label.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LabeledPair {
+    /// Caller-assigned identifier (e.g. an index into the pair store).
+    pub id: u64,
+    /// Field-distance vector of the report pair (§4.2).
+    pub vector: Vec<f64>,
+    /// `true` = duplicate (+1), `false` = non-duplicate (−1).
+    pub positive: bool,
+}
+
+impl LabeledPair {
+    /// Convenience constructor.
+    pub fn new(id: u64, vector: Vec<f64>, positive: bool) -> Self {
+        LabeledPair {
+            id,
+            vector,
+            positive,
+        }
+    }
+}
+
+/// An unlabelled (test) pair awaiting classification.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UnlabeledPair {
+    /// Caller-assigned identifier.
+    pub id: u64,
+    /// Field-distance vector.
+    pub vector: Vec<f64>,
+}
+
+impl UnlabeledPair {
+    /// Convenience constructor.
+    pub fn new(id: u64, vector: Vec<f64>) -> Self {
+        UnlabeledPair { id, vector }
+    }
+}
+
+/// A bounded k-nearest neighbourhood: `(distance, is_positive)` entries kept
+/// sorted ascending by distance and truncated to `k`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Neighborhood {
+    /// Capacity (the `k` of kNN).
+    pub k: usize,
+    /// Sorted `(distance, is_positive)` entries, at most `k`.
+    pub entries: Vec<(f64, bool)>,
+}
+
+impl Neighborhood {
+    /// Empty neighbourhood of capacity `k`.
+    pub fn new(k: usize) -> Self {
+        Neighborhood {
+            k,
+            entries: Vec::with_capacity(k),
+        }
+    }
+
+    /// Insert a candidate, keeping the `k` closest.
+    pub fn push(&mut self, distance: f64, positive: bool) {
+        let pos = self
+            .entries
+            .partition_point(|(d, _)| *d <= distance);
+        self.entries.insert(pos, (distance, positive));
+        if self.entries.len() > self.k {
+            self.entries.pop();
+        }
+    }
+
+    /// Merge another neighbourhood (disjoint candidate sets assumed).
+    pub fn merge(mut self, other: Neighborhood) -> Neighborhood {
+        for (d, p) in other.entries {
+            self.push(d, p);
+        }
+        self
+    }
+
+    /// Distance of the current k-th (worst) neighbour; `+∞` while fewer
+    /// than `k` entries are known (any candidate could still enter).
+    pub fn kth_distance(&self) -> f64 {
+        if self.entries.len() < self.k {
+            f64::INFINITY
+        } else {
+            self.entries.last().map(|(d, _)| *d).unwrap_or(f64::INFINITY)
+        }
+    }
+
+    /// Does the neighbourhood contain any positive?
+    pub fn has_positive(&self) -> bool {
+        self.entries.iter().any(|(_, p)| *p)
+    }
+
+    /// Number of entries currently held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the neighbourhood empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Classification output for one test pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScoredPair {
+    /// Test-pair identifier.
+    pub id: u64,
+    /// Eq. 5 inverse-distance score.
+    pub score: f64,
+    /// Eq. 6 label at the model's θ: `true` = duplicate.
+    pub positive: bool,
+    /// Whether the all-negative shortcut resolved this pair (its
+    /// neighbourhood is then a superset-bound approximation; the label is
+    /// still exact).
+    pub shortcut: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn neighborhood_keeps_k_closest_sorted() {
+        let mut n = Neighborhood::new(3);
+        for d in [5.0, 1.0, 3.0, 2.0, 4.0] {
+            n.push(d, false);
+        }
+        let dists: Vec<f64> = n.entries.iter().map(|(d, _)| *d).collect();
+        assert_eq!(dists, vec![1.0, 2.0, 3.0]);
+        assert_eq!(n.kth_distance(), 3.0);
+    }
+
+    #[test]
+    fn kth_distance_is_infinite_until_full() {
+        let mut n = Neighborhood::new(3);
+        n.push(1.0, true);
+        assert_eq!(n.kth_distance(), f64::INFINITY);
+        n.push(2.0, false);
+        n.push(3.0, false);
+        assert_eq!(n.kth_distance(), 3.0);
+    }
+
+    #[test]
+    fn merge_is_a_topk_union() {
+        let mut a = Neighborhood::new(2);
+        a.push(1.0, true);
+        a.push(4.0, false);
+        let mut b = Neighborhood::new(2);
+        b.push(2.0, false);
+        b.push(3.0, false);
+        let m = a.merge(b);
+        let dists: Vec<f64> = m.entries.iter().map(|(d, _)| *d).collect();
+        assert_eq!(dists, vec![1.0, 2.0]);
+        assert!(m.has_positive());
+    }
+
+    #[test]
+    fn has_positive_detects_labels() {
+        let mut n = Neighborhood::new(2);
+        n.push(1.0, false);
+        assert!(!n.has_positive());
+        n.push(0.5, true);
+        assert!(n.has_positive());
+    }
+
+    proptest! {
+        #[test]
+        fn neighborhood_invariants(
+            ds in prop::collection::vec((0.0f64..10.0, prop::bool::ANY), 0..40),
+            k in 1usize..8,
+        ) {
+            let mut n = Neighborhood::new(k);
+            for (d, p) in &ds {
+                n.push(*d, *p);
+            }
+            prop_assert!(n.len() <= k);
+            for w in n.entries.windows(2) {
+                prop_assert!(w[0].0 <= w[1].0);
+            }
+            // The kept entries are exactly the k smallest distances.
+            let mut all: Vec<f64> = ds.iter().map(|(d, _)| *d).collect();
+            all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let expect: Vec<f64> = all.into_iter().take(k).collect();
+            let got: Vec<f64> = n.entries.iter().map(|(d, _)| *d).collect();
+            prop_assert_eq!(got, expect);
+        }
+
+        #[test]
+        fn merge_equals_bulk_insert(
+            xs in prop::collection::vec((0.0f64..10.0, prop::bool::ANY), 0..20),
+            ys in prop::collection::vec((0.0f64..10.0, prop::bool::ANY), 0..20),
+            k in 1usize..6,
+        ) {
+            let mut a = Neighborhood::new(k);
+            for (d, p) in &xs { a.push(*d, *p); }
+            let mut b = Neighborhood::new(k);
+            for (d, p) in &ys { b.push(*d, *p); }
+            let merged = a.merge(b);
+            let mut bulk = Neighborhood::new(k);
+            for (d, p) in xs.iter().chain(&ys) { bulk.push(*d, *p); }
+            let md: Vec<f64> = merged.entries.iter().map(|(d, _)| *d).collect();
+            let bd: Vec<f64> = bulk.entries.iter().map(|(d, _)| *d).collect();
+            prop_assert_eq!(md, bd);
+        }
+    }
+}

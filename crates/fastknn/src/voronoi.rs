@@ -1,0 +1,268 @@
+//! Voronoi partitioning of the training pairs (§4.3.1) and the
+//! hyperplane-distance bound of Eq. 7.
+
+use crate::types::LabeledPair;
+use mlcore::kmeans::{nearest_centroid, KMeans};
+use simmetrics::{euclidean, squared_euclidean};
+
+/// The k-means Voronoi partition of a training set.
+///
+/// Cluster centres are kept in (driver) memory — §4.3.1: "The center of
+/// each cluster is calculated and stored in memory." Negative pairs are
+/// bucketed per cluster; positive pairs are few (observation 1) and kept as
+/// one global list compared against every test pair.
+#[derive(Debug, Clone)]
+pub struct VoronoiPartition {
+    /// Cluster centres `p_1 … p_b`.
+    pub centers: Vec<Vec<f64>>,
+    /// Negative training pairs per cluster.
+    pub negative_clusters: Vec<Vec<LabeledPair>>,
+    /// All positive training pairs (global).
+    pub positives: Vec<LabeledPair>,
+}
+
+/// How many training vectors k-means fits on at most; larger sets are
+/// subsampled deterministically (stride sampling) before fitting, then every
+/// pair is assigned to its nearest fitted centre. The Voronoi property the
+/// correctness argument needs — "each pair is closer to its own centre than
+/// to any other" — holds by construction of the assignment step regardless
+/// of how centres were obtained.
+pub const KMEANS_FIT_CAP: usize = 20_000;
+
+impl VoronoiPartition {
+    /// Partition `train` into `b` Voronoi cells via k-means.
+    ///
+    /// # Panics
+    /// Panics if `train` is empty or `b == 0`.
+    pub fn build(train: &[LabeledPair], b: usize, seed: u64) -> Self {
+        assert!(!train.is_empty(), "cannot partition an empty training set");
+        assert!(b > 0, "cluster number must be positive");
+        let vectors: Vec<Vec<f64>> = if train.len() > KMEANS_FIT_CAP {
+            let stride = train.len() / KMEANS_FIT_CAP + 1;
+            train
+                .iter()
+                .step_by(stride)
+                .map(|p| p.vector.clone())
+                .collect()
+        } else {
+            train.iter().map(|p| p.vector.clone()).collect()
+        };
+        let model = KMeans {
+            k: b,
+            max_iters: 25,
+            tol: 1e-9,
+            seed,
+        }
+        .fit(&vectors);
+        let b_actual = model.centroids.len();
+        let mut negative_clusters: Vec<Vec<LabeledPair>> = vec![Vec::new(); b_actual];
+        let mut positives = Vec::new();
+        for pair in train {
+            if pair.positive {
+                positives.push(pair.clone());
+            } else {
+                let (cid, _) = nearest_centroid(&pair.vector, &model.centroids);
+                negative_clusters[cid].push(pair.clone());
+            }
+        }
+        let mut partition = VoronoiPartition {
+            centers: model.centroids,
+            negative_clusters,
+            positives,
+        };
+        partition.rebalance();
+        partition
+    }
+
+    /// Split oversized cells into sibling chunks that share a centre.
+    ///
+    /// Exact-match field distances make pair-vector space a lattice: one
+    /// lattice corner can hold 20%+ of all negative pairs, and no k-means
+    /// assignment can split coincident points — so one task would dominate
+    /// every stage and cap executor scaling (the load-balancing problem the
+    /// paper lists as future work). Sibling chunks keep the search exact:
+    /// the hyperplane distance between coincident centres is 0, so
+    /// Algorithm 1 always selects a probed cell's siblings, and the
+    /// all-negative shortcut only ever sees a *larger* k-th distance than
+    /// the full cell's (conservative, never wrong).
+    fn rebalance(&mut self) {
+        let total: usize = self.negative_clusters.iter().map(Vec::len).sum();
+        if total == 0 {
+            return;
+        }
+        let cap = (2 * total / self.centers.len().max(1)).max(1);
+        let mut extra_centers = Vec::new();
+        let mut extra_clusters = Vec::new();
+        for cid in 0..self.negative_clusters.len() {
+            while self.negative_clusters[cid].len() > cap {
+                let keep = self.negative_clusters[cid].len() - cap.min(self.negative_clusters[cid].len() / 2);
+                let chunk = self.negative_clusters[cid].split_off(keep);
+                extra_centers.push(self.centers[cid].clone());
+                extra_clusters.push(chunk);
+            }
+        }
+        self.centers.extend(extra_centers);
+        self.negative_clusters.extend(extra_clusters);
+    }
+
+    /// Number of clusters.
+    pub fn b(&self) -> usize {
+        self.centers.len()
+    }
+
+    /// Voronoi cell of a query vector (nearest centre).
+    pub fn assign(&self, v: &[f64]) -> usize {
+        nearest_centroid(v, &self.centers).0
+    }
+
+    /// Voronoi cell with deterministic tie-spreading: when several centres
+    /// are (near-)equidistant — sibling chunks of a rebalanced cell always
+    /// are — pick among them by `tiebreak` (e.g. the query's id), spreading
+    /// load instead of piling every query onto the first sibling.
+    pub fn assign_balanced(&self, v: &[f64], tiebreak: u64) -> usize {
+        let (_, best_d2) = nearest_centroid(v, &self.centers);
+        let tied: Vec<usize> = self
+            .centers
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| {
+                simmetrics::squared_euclidean(v, c) <= best_d2 + 1e-12
+            })
+            .map(|(i, _)| i)
+            .collect();
+        tied[(tiebreak as usize) % tied.len()]
+    }
+
+    /// Sizes of the negative clusters.
+    pub fn cluster_sizes(&self) -> Vec<usize> {
+        self.negative_clusters.iter().map(Vec::len).collect()
+    }
+
+    /// Minimum distance from `v` to any positive pair; `+∞` when there are
+    /// no positives.
+    pub fn min_positive_distance(&self, v: &[f64]) -> f64 {
+        self.positives
+            .iter()
+            .map(|p| euclidean(v, &p.vector))
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// Distance from `s` to the hyperplane separating the Voronoi cells of
+/// centres `pi` (the cell `s` belongs to) and `pj` — the paper's Eq. 7,
+/// after Hjaltason & Samet:
+///
+/// ```text
+/// d(s, h) = (d(s, pj)² − d(s, pi)²) / (2 · d(pi, pj))
+/// ```
+///
+/// Non-negative whenever `s` is genuinely closer to `pi`.
+pub fn hyperplane_distance(s: &[f64], pi: &[f64], pj: &[f64]) -> f64 {
+    let dij = euclidean(pi, pj);
+    if dij == 0.0 {
+        // Coincident centres: the "hyperplane" is everywhere; no bound.
+        return 0.0;
+    }
+    (squared_euclidean(s, pj) - squared_euclidean(s, pi)) / (2.0 * dij)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn make_train() -> Vec<LabeledPair> {
+        let mut train = Vec::new();
+        // Two negative blobs.
+        for i in 0..30 {
+            let t = i as f64 * 0.01;
+            train.push(LabeledPair::new(i, vec![t, t], false));
+            train.push(LabeledPair::new(100 + i, vec![8.0 + t, 8.0 - t], false));
+        }
+        // A few positives near the first blob.
+        for i in 0..3 {
+            train.push(LabeledPair::new(200 + i, vec![0.5 + i as f64 * 0.01, 0.5], true));
+        }
+        train
+    }
+
+    #[test]
+    fn build_separates_positives_from_clusters() {
+        let vp = VoronoiPartition::build(&make_train(), 2, 42);
+        assert_eq!(vp.b(), 2);
+        assert_eq!(vp.positives.len(), 3);
+        let total_negs: usize = vp.cluster_sizes().iter().sum();
+        assert_eq!(total_negs, 60);
+    }
+
+    #[test]
+    fn voronoi_property_of_assignment() {
+        let vp = VoronoiPartition::build(&make_train(), 3, 7);
+        for (cid, cluster) in vp.negative_clusters.iter().enumerate() {
+            for pair in cluster {
+                let own = squared_euclidean(&pair.vector, &vp.centers[cid]);
+                for (j, c) in vp.centers.iter().enumerate() {
+                    if j != cid {
+                        assert!(
+                            own <= squared_euclidean(&pair.vector, c) + 1e-9,
+                            "pair {} violates the Voronoi property",
+                            pair.id
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn assign_matches_nearest_center() {
+        let vp = VoronoiPartition::build(&make_train(), 2, 42);
+        let near_blob_a = vp.assign(&[0.1, 0.1]);
+        let near_blob_b = vp.assign(&[8.0, 8.0]);
+        assert_ne!(near_blob_a, near_blob_b);
+    }
+
+    #[test]
+    fn min_positive_distance_finds_the_closest_positive() {
+        let vp = VoronoiPartition::build(&make_train(), 2, 42);
+        let d = vp.min_positive_distance(&[0.5, 0.5]);
+        assert!(d < 0.05, "got {d}");
+        let none = VoronoiPartition::build(
+            &[LabeledPair::new(0, vec![0.0], false)],
+            1,
+            1,
+        );
+        assert_eq!(none.min_positive_distance(&[0.0]), f64::INFINITY);
+    }
+
+    #[test]
+    fn hyperplane_distance_midpoint_is_zero() {
+        let pi = vec![0.0, 0.0];
+        let pj = vec![2.0, 0.0];
+        // The midpoint lies ON the hyperplane.
+        assert!(hyperplane_distance(&[1.0, 0.0], &pi, &pj).abs() < 1e-12);
+        // A point at pi is 1.0 from the plane.
+        assert!((hyperplane_distance(&[0.0, 0.0], &pi, &pj) - 1.0).abs() < 1e-12);
+        // Coincident centres degrade gracefully.
+        assert_eq!(hyperplane_distance(&[1.0, 1.0], &pi, &pi), 0.0);
+    }
+
+    proptest! {
+        /// The geometric fact observation 4 relies on: for any point x in
+        /// pj's half-space, d(s, x) >= d(s, h).
+        #[test]
+        fn hyperplane_bound_is_sound(
+            s in prop::collection::vec(-5.0f64..5.0, 2),
+            x in prop::collection::vec(-5.0f64..5.0, 2),
+        ) {
+            let pi = vec![-1.0, 0.0];
+            let pj = vec![1.0, 0.0];
+            // Only test when s is in pi's cell and x in pj's cell.
+            prop_assume!(squared_euclidean(&s, &pi) < squared_euclidean(&s, &pj));
+            prop_assume!(squared_euclidean(&x, &pj) <= squared_euclidean(&x, &pi));
+            let bound = hyperplane_distance(&s, &pi, &pj);
+            prop_assert!(euclidean(&s, &x) >= bound - 1e-9,
+                "point {:?} beats the hyperplane bound {bound}", x);
+        }
+    }
+}

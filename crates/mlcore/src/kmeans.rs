@@ -1,0 +1,281 @@
+//! Lloyd's k-means with k-means++ seeding.
+//!
+//! The paper uses k-means twice: to Voronoi-partition the training pairs
+//! (§4.3.1 — "clusters produced by k-means form a Voronoi diagram") and to
+//! cluster positive pairs for test-set pruning (§4.3.4).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use simmetrics::squared_euclidean;
+
+/// k-means configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct KMeans {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iters: usize,
+    /// Convergence threshold on total centroid movement (squared).
+    pub tol: f64,
+    /// RNG seed for k-means++ seeding.
+    pub seed: u64,
+}
+
+impl KMeans {
+    /// Standard configuration: 100 iterations, tolerance 1e-9.
+    pub fn new(k: usize, seed: u64) -> Self {
+        KMeans {
+            k,
+            max_iters: 100,
+            tol: 1e-9,
+            seed,
+        }
+    }
+
+    /// Run k-means++ then Lloyd's algorithm.
+    ///
+    /// # Panics
+    /// Panics on empty data or `k == 0`. If `k > n`, `k` is clamped to `n`.
+    pub fn fit(&self, data: &[Vec<f64>]) -> KMeansModel {
+        assert!(!data.is_empty(), "k-means needs data");
+        assert!(self.k > 0, "k must be positive");
+        let k = self.k.min(data.len());
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut centroids = plus_plus_init(data, k, &mut rng);
+        let mut assignments = vec![0usize; data.len()];
+        for _ in 0..self.max_iters {
+            // Assignment step.
+            for (i, p) in data.iter().enumerate() {
+                assignments[i] = nearest_centroid(p, &centroids).0;
+            }
+            // Update step.
+            let dim = data[0].len();
+            let mut sums = vec![vec![0.0; dim]; k];
+            let mut counts = vec![0usize; k];
+            for (p, &a) in data.iter().zip(&assignments) {
+                counts[a] += 1;
+                for (s, x) in sums[a].iter_mut().zip(p) {
+                    *s += x;
+                }
+            }
+            let mut movement = 0.0;
+            for c in 0..k {
+                if counts[c] == 0 {
+                    // Re-seed an empty cluster at the point farthest from
+                    // its current centroid (standard repair).
+                    let far = data
+                        .iter()
+                        .enumerate()
+                        .max_by(|(_, a), (_, b)| {
+                            let da = squared_euclidean(a, &centroids[assignments_centroid(a, &centroids)]);
+                            let db = squared_euclidean(b, &centroids[assignments_centroid(b, &centroids)]);
+                            da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+                        })
+                        .map(|(i, _)| i)
+                        .expect("data non-empty");
+                    movement += squared_euclidean(&centroids[c], &data[far]);
+                    centroids[c] = data[far].clone();
+                    continue;
+                }
+                let new: Vec<f64> = sums[c].iter().map(|s| s / counts[c] as f64).collect();
+                movement += squared_euclidean(&centroids[c], &new);
+                centroids[c] = new;
+            }
+            if movement <= self.tol {
+                break;
+            }
+        }
+        // Final assignment against the converged centroids.
+        for (i, p) in data.iter().enumerate() {
+            assignments[i] = nearest_centroid(p, &centroids).0;
+        }
+        KMeansModel {
+            centroids,
+            assignments,
+        }
+    }
+}
+
+fn assignments_centroid(p: &[f64], centroids: &[Vec<f64>]) -> usize {
+    nearest_centroid(p, centroids).0
+}
+
+/// Index and squared distance of the nearest centroid.
+pub fn nearest_centroid(p: &[f64], centroids: &[Vec<f64>]) -> (usize, f64) {
+    let mut best = (0usize, f64::INFINITY);
+    for (i, c) in centroids.iter().enumerate() {
+        let d = squared_euclidean(p, c);
+        if d < best.1 {
+            best = (i, d);
+        }
+    }
+    best
+}
+
+fn plus_plus_init(data: &[Vec<f64>], k: usize, rng: &mut StdRng) -> Vec<Vec<f64>> {
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    centroids.push(data[rng.gen_range(0..data.len())].clone());
+    let mut dists: Vec<f64> = data
+        .iter()
+        .map(|p| squared_euclidean(p, &centroids[0]))
+        .collect();
+    while centroids.len() < k {
+        let total: f64 = dists.iter().sum();
+        let next = if total <= f64::EPSILON {
+            // All points coincide with chosen centroids; pick uniformly.
+            rng.gen_range(0..data.len())
+        } else {
+            let mut target = rng.gen::<f64>() * total;
+            let mut chosen = data.len() - 1;
+            for (i, d) in dists.iter().enumerate() {
+                target -= d;
+                if target <= 0.0 {
+                    chosen = i;
+                    break;
+                }
+            }
+            chosen
+        };
+        centroids.push(data[next].clone());
+        for (d, p) in dists.iter_mut().zip(data) {
+            let nd = squared_euclidean(p, centroids.last().expect("just pushed"));
+            if nd < *d {
+                *d = nd;
+            }
+        }
+    }
+    centroids
+}
+
+/// A fitted k-means model.
+#[derive(Debug, Clone)]
+pub struct KMeansModel {
+    /// Cluster centres ("the center of each cluster is calculated and
+    /// stored in memory", §4.3.1).
+    pub centroids: Vec<Vec<f64>>,
+    /// Cluster index per training point.
+    pub assignments: Vec<usize>,
+}
+
+impl KMeansModel {
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// Assign an unseen point to its Voronoi cell (closest centre).
+    pub fn assign(&self, p: &[f64]) -> usize {
+        nearest_centroid(p, &self.centroids).0
+    }
+
+    /// Cluster sizes.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.k()];
+        for &a in &self.assignments {
+            sizes[a] += 1;
+        }
+        sizes
+    }
+
+    /// Within-cluster sum of squared distances (inertia).
+    pub fn inertia(&self, data: &[Vec<f64>]) -> f64 {
+        data.iter()
+            .zip(&self.assignments)
+            .map(|(p, &a)| squared_euclidean(p, &self.centroids[a]))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs() -> Vec<Vec<f64>> {
+        let mut data = Vec::new();
+        for i in 0..20 {
+            let t = i as f64 * 0.01;
+            data.push(vec![0.0 + t, 0.0 - t]);
+            data.push(vec![10.0 - t, 10.0 + t]);
+        }
+        data
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let data = two_blobs();
+        let model = KMeans::new(2, 42).fit(&data);
+        assert_eq!(model.k(), 2);
+        // All even indices (blob A) share a cluster; odd (blob B) the other.
+        let a = model.assignments[0];
+        let b = model.assignments[1];
+        assert_ne!(a, b);
+        for (i, &asg) in model.assignments.iter().enumerate() {
+            assert_eq!(asg, if i % 2 == 0 { a } else { b });
+        }
+    }
+
+    #[test]
+    fn voronoi_property_holds() {
+        // Every point must be closer to its own centre than to any other —
+        // the invariant observation 4 of §4.3.2 relies on.
+        let data = two_blobs();
+        let model = KMeans::new(4, 7).fit(&data);
+        for (p, &a) in data.iter().zip(&model.assignments) {
+            let own = squared_euclidean(p, &model.centroids[a]);
+            for (j, c) in model.centroids.iter().enumerate() {
+                if j != a {
+                    assert!(own <= squared_euclidean(p, c) + 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let data = two_blobs();
+        let m1 = KMeans::new(3, 5).fit(&data);
+        let m2 = KMeans::new(3, 5).fit(&data);
+        assert_eq!(m1.assignments, m2.assignments);
+        assert_eq!(m1.centroids, m2.centroids);
+    }
+
+    #[test]
+    fn k_clamped_to_n() {
+        let data = vec![vec![0.0], vec![1.0]];
+        let model = KMeans::new(10, 1).fit(&data);
+        assert_eq!(model.k(), 2);
+    }
+
+    #[test]
+    fn identical_points_do_not_crash() {
+        let data = vec![vec![1.0, 1.0]; 10];
+        let model = KMeans::new(3, 1).fit(&data);
+        assert_eq!(model.assignments.len(), 10);
+    }
+
+    #[test]
+    fn assign_routes_new_points() {
+        let data = two_blobs();
+        let model = KMeans::new(2, 42).fit(&data);
+        let near_a = model.assign(&[0.5, 0.5]);
+        let near_b = model.assign(&[9.5, 9.5]);
+        assert_ne!(near_a, near_b);
+        assert_eq!(near_a, model.assignments[0]);
+        assert_eq!(near_b, model.assignments[1]);
+    }
+
+    #[test]
+    fn sizes_sum_to_n() {
+        let data = two_blobs();
+        let model = KMeans::new(5, 3).fit(&data);
+        assert_eq!(model.sizes().iter().sum::<usize>(), data.len());
+    }
+
+    #[test]
+    fn more_clusters_reduce_inertia() {
+        let data = two_blobs();
+        let i2 = KMeans::new(2, 9).fit(&data).inertia(&data);
+        let i8 = KMeans::new(8, 9).fit(&data).inertia(&data);
+        assert!(i8 <= i2 + 1e-9, "inertia must not grow with k: {i8} vs {i2}");
+    }
+}

@@ -1,0 +1,313 @@
+//! Exact k-nearest-neighbour search and the majority-vote kNN classifier
+//! (the paper's Eq. 1).
+
+use simmetrics::squared_euclidean;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A neighbour: index into the reference set plus its distance to the query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    /// Index into the reference set.
+    pub index: usize,
+    /// Euclidean distance to the query.
+    pub distance: f64,
+}
+
+/// Max-heap entry ordered by distance so the heap root is the *worst* of
+/// the current k candidates.
+struct HeapEntry(Neighbor);
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.distance == other.0.distance
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0
+            .distance
+            .partial_cmp(&other.0.distance)
+            .unwrap_or(Ordering::Equal)
+            .then(self.0.index.cmp(&other.0.index))
+    }
+}
+
+/// Exact k nearest neighbours of `query` in `data` by Euclidean distance,
+/// sorted ascending by distance (ties broken by index for determinism).
+///
+/// `O(n log k)` with a bounded max-heap; distances are computed in squared
+/// space and square-rooted only for the returned `k`.
+pub fn nearest_neighbors(query: &[f64], data: &[Vec<f64>], k: usize) -> Vec<Neighbor> {
+    if k == 0 || data.is_empty() {
+        return Vec::new();
+    }
+    let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(k + 1);
+    for (index, point) in data.iter().enumerate() {
+        let d2 = squared_euclidean(query, point);
+        if heap.len() < k {
+            heap.push(HeapEntry(Neighbor {
+                index,
+                distance: d2,
+            }));
+        } else if d2
+            < heap
+                .peek()
+                .expect("heap non-empty when len == k")
+                .0
+                .distance
+        {
+            heap.pop();
+            heap.push(HeapEntry(Neighbor {
+                index,
+                distance: d2,
+            }));
+        }
+    }
+    let mut out: Vec<Neighbor> = heap
+        .into_iter()
+        .map(|e| Neighbor {
+            index: e.0.index,
+            distance: e.0.distance.sqrt(),
+        })
+        .collect();
+    out.sort_by(|a, b| {
+        a.distance
+            .partial_cmp(&b.distance)
+            .unwrap_or(Ordering::Equal)
+            .then(a.index.cmp(&b.index))
+    });
+    out
+}
+
+/// Plain kNN classifier with ±1 labels and the unweighted majority vote of
+/// the paper's Eq. 1.
+#[derive(Debug, Clone)]
+pub struct KnnClassifier {
+    /// Number of neighbours (the paper keeps it odd so votes cannot tie).
+    pub k: usize,
+    points: Vec<Vec<f64>>,
+    labels: Vec<i8>,
+}
+
+impl KnnClassifier {
+    /// Build a classifier over labelled points.
+    ///
+    /// # Panics
+    /// Panics if lengths differ, `k == 0`, or any label is not ±1.
+    pub fn new(points: Vec<Vec<f64>>, labels: Vec<i8>, k: usize) -> Self {
+        assert_eq!(points.len(), labels.len(), "points/labels length mismatch");
+        assert!(k > 0, "k must be positive");
+        assert!(
+            labels.iter().all(|&l| l == 1 || l == -1),
+            "labels must be +1/-1"
+        );
+        KnnClassifier { k, points, labels }
+    }
+
+    /// Size of the reference set.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Is the reference set empty?
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Sum of neighbour labels (Eq. 1's vote): positive ⇒ duplicate.
+    pub fn vote(&self, query: &[f64]) -> i32 {
+        nearest_neighbors(query, &self.points, self.k)
+            .iter()
+            .map(|n| self.labels[n.index] as i32)
+            .sum()
+    }
+
+    /// Majority-vote label; 0-vote ties resolve to −1 (with odd `k` and ±1
+    /// labels a tie cannot occur).
+    pub fn classify(&self, query: &[f64]) -> i8 {
+        if self.vote(query) > 0 {
+            1
+        } else {
+            -1
+        }
+    }
+
+    /// Distance-weighted score: `Σ_label · 1/(d + ε)` over the k neighbours.
+    /// This is the shape of the paper's Eq. 5 applied to a flat reference
+    /// set (the partitioned version lives in `fastknn`).
+    pub fn weighted_score(&self, query: &[f64]) -> f64 {
+        const EPS: f64 = 1e-9;
+        nearest_neighbors(query, &self.points, self.k)
+            .iter()
+            .map(|n| self.labels[n.index] as f64 / (n.distance + EPS))
+            .sum()
+    }
+
+    /// Class-confidence-weighted vote in the spirit of Liu & Chawla
+    /// (PAKDD'11), the imbalance-handling kNN the paper's related work (§6)
+    /// compares itself against: each neighbour's vote is scaled by the
+    /// inverse prior of its class, so the minority class is not outvoted
+    /// merely by being rare.
+    pub fn class_weighted_score(&self, query: &[f64]) -> f64 {
+        let n_pos = self.labels.iter().filter(|&&l| l == 1).count().max(1) as f64;
+        let n_neg = self.labels.iter().filter(|&&l| l == -1).count().max(1) as f64;
+        let n = self.labels.len() as f64;
+        let (w_pos, w_neg) = (n / (2.0 * n_pos), n / (2.0 * n_neg));
+        nearest_neighbors(query, &self.points, self.k)
+            .iter()
+            .map(|nb| {
+                if self.labels[nb.index] == 1 {
+                    w_pos
+                } else {
+                    -w_neg
+                }
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn grid() -> Vec<Vec<f64>> {
+        vec![
+            vec![0.0, 0.0],
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![5.0, 5.0],
+            vec![5.0, 6.0],
+        ]
+    }
+
+    #[test]
+    fn finds_the_closest_points() {
+        let nn = nearest_neighbors(&[0.1, 0.1], &grid(), 3);
+        let idx: Vec<usize> = nn.iter().map(|n| n.index).collect();
+        assert_eq!(idx, vec![0, 1, 2]);
+        assert!(nn[0].distance < nn[1].distance);
+    }
+
+    #[test]
+    fn k_larger_than_data_returns_all() {
+        let nn = nearest_neighbors(&[0.0, 0.0], &grid(), 100);
+        assert_eq!(nn.len(), 5);
+    }
+
+    #[test]
+    fn k_zero_or_empty_data() {
+        assert!(nearest_neighbors(&[0.0], &[], 3).is_empty());
+        assert!(nearest_neighbors(&[0.0, 0.0], &grid(), 0).is_empty());
+    }
+
+    #[test]
+    fn distances_are_euclidean() {
+        let nn = nearest_neighbors(&[0.0, 0.0], &[vec![3.0, 4.0]], 1);
+        assert!((nn[0].distance - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn classifier_majority_vote() {
+        let points = grid();
+        let labels = vec![1, 1, 1, -1, -1];
+        let clf = KnnClassifier::new(points, labels, 3);
+        assert_eq!(clf.classify(&[0.2, 0.2]), 1);
+        assert_eq!(clf.classify(&[5.0, 5.5]), -1);
+    }
+
+    #[test]
+    fn imbalance_swamps_the_majority_vote() {
+        // The motivating failure: one positive among many negatives loses
+        // the vote even right next to the positive.
+        let mut points = vec![vec![0.0, 0.0]];
+        let mut labels = vec![1i8];
+        for i in 0..20 {
+            points.push(vec![2.0 + (i as f64) * 0.1, 2.0]);
+            labels.push(-1);
+        }
+        let clf = KnnClassifier::new(points, labels, 5);
+        assert_eq!(
+            clf.classify(&[0.05, 0.05]),
+            -1,
+            "majority vote must fail here — this is what Eq. 5 fixes"
+        );
+        assert!(
+            clf.weighted_score(&[0.05, 0.05]) > 0.0,
+            "inverse-distance weighting must recover the positive"
+        );
+    }
+
+    #[test]
+    fn class_weighting_rescues_minority_votes() {
+        // One positive among 20 negatives: plain vote loses; the
+        // class-confidence weighting makes a single positive neighbour
+        // worth as much as the 20 negatives combined.
+        let mut points = vec![vec![0.0, 0.0]];
+        let mut labels = vec![1i8];
+        for i in 0..20 {
+            points.push(vec![0.5 + (i as f64) * 0.01, 0.5]);
+            labels.push(-1);
+        }
+        let clf = KnnClassifier::new(points, labels, 3);
+        // Query near the positive: neighbourhood = 1 positive + 2 negatives.
+        assert!(clf.vote(&[0.05, 0.05]) < 0);
+        assert!(
+            clf.class_weighted_score(&[0.05, 0.05]) > 0.0,
+            "class weighting must rescue the minority neighbour"
+        );
+        // Query deep in the negative cloud stays negative.
+        assert!(clf.class_weighted_score(&[0.55, 0.5]) < 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "labels must be")]
+    fn bad_labels_rejected() {
+        let _ = KnnClassifier::new(vec![vec![0.0]], vec![2], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_rejected() {
+        let _ = KnnClassifier::new(vec![vec![0.0]], vec![1, -1], 1);
+    }
+
+    proptest! {
+        #[test]
+        fn neighbors_sorted_and_k_bounded(
+            points in prop::collection::vec(prop::collection::vec(-10.0f64..10.0, 3), 1..40),
+            q in prop::collection::vec(-10.0f64..10.0, 3),
+            k in 1usize..10,
+        ) {
+            let nn = nearest_neighbors(&q, &points, k);
+            prop_assert_eq!(nn.len(), k.min(points.len()));
+            for w in nn.windows(2) {
+                prop_assert!(w[0].distance <= w[1].distance + 1e-12);
+            }
+        }
+
+        #[test]
+        fn heap_matches_naive_sort(
+            points in prop::collection::vec(prop::collection::vec(-10.0f64..10.0, 2), 1..30),
+            q in prop::collection::vec(-10.0f64..10.0, 2),
+            k in 1usize..8,
+        ) {
+            let fast: Vec<usize> = nearest_neighbors(&q, &points, k).iter().map(|n| n.index).collect();
+            let mut naive: Vec<(f64, usize)> = points
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (simmetrics::euclidean(&q, p), i))
+                .collect();
+            naive.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let slow: Vec<usize> = naive.iter().take(k).map(|(_, i)| *i).collect();
+            prop_assert_eq!(fast, slow);
+        }
+    }
+}

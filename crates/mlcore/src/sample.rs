@@ -1,0 +1,105 @@
+//! Seeded sampling utilities: shuffles, splits, negative down-sampling.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Split indices `0..n` into `(train, test)` with `test_fraction` of items
+/// in the test split, after a seeded shuffle.
+pub fn train_test_split(n: usize, test_fraction: f64, seed: u64) -> (Vec<usize>, Vec<usize>) {
+    assert!(
+        (0.0..=1.0).contains(&test_fraction),
+        "test_fraction must be in [0,1]"
+    );
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    idx.shuffle(&mut rng);
+    let test_len = (n as f64 * test_fraction).round() as usize;
+    let test = idx.split_off(n - test_len.min(n));
+    (idx, test)
+}
+
+/// The Fig. 1 training-store policy: keep *every* positive index, sample at
+/// most `max_negatives` negative indices (seeded, without replacement).
+///
+/// Returns selected indices in ascending order for determinism.
+pub fn downsample_negatives(
+    labels: &[bool],
+    max_negatives: usize,
+    seed: u64,
+) -> Vec<usize> {
+    let mut positives: Vec<usize> = Vec::new();
+    let mut negatives: Vec<usize> = Vec::new();
+    for (i, &is_pos) in labels.iter().enumerate() {
+        if is_pos {
+            positives.push(i);
+        } else {
+            negatives.push(i);
+        }
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    negatives.shuffle(&mut rng);
+    negatives.truncate(max_negatives);
+    let mut out = positives;
+    out.extend(negatives);
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn split_partitions_all_indices() {
+        let (train, test) = train_test_split(100, 0.2, 1);
+        assert_eq!(train.len(), 80);
+        assert_eq!(test.len(), 20);
+        let all: HashSet<usize> = train.iter().chain(&test).copied().collect();
+        assert_eq!(all.len(), 100);
+    }
+
+    #[test]
+    fn split_is_deterministic_and_seed_sensitive() {
+        let a = train_test_split(50, 0.3, 7);
+        let b = train_test_split(50, 0.3, 7);
+        let c = train_test_split(50, 0.3, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn extreme_fractions() {
+        let (train, test) = train_test_split(10, 0.0, 1);
+        assert_eq!((train.len(), test.len()), (10, 0));
+        let (train, test) = train_test_split(10, 1.0, 1);
+        assert_eq!((train.len(), test.len()), (0, 10));
+    }
+
+    #[test]
+    fn downsample_keeps_all_positives() {
+        let labels: Vec<bool> = (0..100).map(|i| i % 10 == 0).collect();
+        let sel = downsample_negatives(&labels, 5, 3);
+        let kept_pos = sel.iter().filter(|&&i| labels[i]).count();
+        let kept_neg = sel.iter().filter(|&&i| !labels[i]).count();
+        assert_eq!(kept_pos, 10, "every positive must survive");
+        assert_eq!(kept_neg, 5);
+    }
+
+    #[test]
+    fn downsample_with_large_budget_keeps_everything() {
+        let labels = vec![true, false, false, true];
+        let sel = downsample_negatives(&labels, 100, 1);
+        assert_eq!(sel, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn downsample_deterministic() {
+        let labels: Vec<bool> = (0..1000).map(|i| i % 50 == 0).collect();
+        assert_eq!(
+            downsample_negatives(&labels, 10, 9),
+            downsample_negatives(&labels, 10, 9)
+        );
+    }
+}

@@ -1,0 +1,116 @@
+//! Field-distance rules of §4.2.
+//!
+//! > "For a numerical field, if the values of two reports in the field is
+//! > the same, the distance is 0, otherwise 1. The same calculation applies
+//! > to categorical field types. For fields of string type, we use Jaccard
+//! > similarity coefficient to measure the distance."
+
+use crate::token::jaccard_distance;
+use serde::{Deserialize, Serialize};
+
+/// How a field participates in distance computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FieldKind {
+    /// Numeric field: exact-match 0/1 distance.
+    Numeric,
+    /// Categorical field (sex, state, onset date, …): exact-match 0/1.
+    Categorical,
+    /// String field: Jaccard distance over token sets.
+    Text,
+}
+
+/// Field-level distance dispatcher implementing the paper's rules.
+///
+/// Missing values: when *both* sides are missing the field carries no
+/// signal and we define the distance as 0 (the WHO hit–miss practice);
+/// when exactly one side is missing, the values differ, distance 1.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FieldDistance;
+
+impl FieldDistance {
+    /// 0/1 distance for numeric fields (`None` = missing value).
+    pub fn numeric(a: Option<f64>, b: Option<f64>) -> f64 {
+        match (a, b) {
+            (None, None) => 0.0,
+            (Some(x), Some(y)) if x == y => 0.0,
+            _ => 1.0,
+        }
+    }
+
+    /// 0/1 distance for categorical fields.
+    pub fn categorical(a: Option<&str>, b: Option<&str>) -> f64 {
+        match (a, b) {
+            (None, None) => 0.0,
+            (Some(x), Some(y)) if x == y => 0.0,
+            _ => 1.0,
+        }
+    }
+
+    /// Jaccard distance over pre-tokenised string fields (Eq. 4).
+    pub fn text(a: &[String], b: &[String]) -> f64 {
+        jaccard_distance(a, b)
+    }
+
+    /// Jaccard distance treating a raw string as whitespace tokens — for
+    /// short fields (drug names, ADR names) that need no NLP pipeline.
+    pub fn text_raw(a: &str, b: &str) -> f64 {
+        let ta: Vec<&str> = a.split_whitespace().collect();
+        let tb: Vec<&str> = b.split_whitespace().collect();
+        jaccard_distance(&ta, &tb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_rule() {
+        assert_eq!(FieldDistance::numeric(Some(46.0), Some(46.0)), 0.0);
+        assert_eq!(FieldDistance::numeric(Some(84.0), Some(34.0)), 1.0);
+        assert_eq!(FieldDistance::numeric(None, None), 0.0);
+        assert_eq!(FieldDistance::numeric(Some(46.0), None), 1.0);
+    }
+
+    #[test]
+    fn categorical_rule() {
+        assert_eq!(FieldDistance::categorical(Some("M"), Some("M")), 0.0);
+        assert_eq!(FieldDistance::categorical(Some("M"), Some("F")), 1.0);
+        assert_eq!(FieldDistance::categorical(None, None), 0.0);
+        assert_eq!(FieldDistance::categorical(None, Some("F")), 1.0);
+    }
+
+    #[test]
+    fn text_rule_is_jaccard() {
+        let a = vec!["rhabdomyolysis".to_string()];
+        let b = vec!["rhabdomyolysis".to_string()];
+        assert_eq!(FieldDistance::text(&a, &b), 0.0);
+        let c = vec!["vomiting".to_string(), "pyrexia".to_string()];
+        let d = vec!["vomiting".to_string(), "cough".to_string()];
+        // inter 1, union 3 -> distance 2/3
+        assert!((FieldDistance::text(&c, &d) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn text_raw_tokenises_on_whitespace() {
+        let d = FieldDistance::text_raw("influenza vaccine", "influenza vaccine dtpa");
+        assert!((d - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(FieldDistance::text_raw("", ""), 0.0);
+    }
+
+    #[test]
+    fn table1_example_fields() {
+        // Report A vs B from the paper's Table 1(a): same age/sex/drug/ADR,
+        // different outcome description.
+        assert_eq!(FieldDistance::numeric(Some(46.0), Some(46.0)), 0.0);
+        assert_eq!(FieldDistance::categorical(Some("M"), Some("M")), 0.0);
+        assert_eq!(
+            FieldDistance::categorical(Some("Unknown"), Some("Recovered")),
+            1.0
+        );
+        assert_eq!(
+            FieldDistance::text_raw("Atorvastatin", "Atorvastatin"),
+            0.0
+        );
+    }
+}

@@ -1,0 +1,76 @@
+//! Hamming distance for equal-length sequences.
+
+/// Hamming distance between two equal-length strings (number of positions
+/// whose characters differ), compared over Unicode scalar values.
+///
+/// Returns `None` when the lengths differ — Hamming distance is undefined
+/// there, and silently substituting another metric would corrupt
+/// field-distance vectors.
+pub fn hamming(a: &str, b: &str) -> Option<usize> {
+    let mut ia = a.chars();
+    let mut ib = b.chars();
+    let mut dist = 0usize;
+    loop {
+        match (ia.next(), ib.next()) {
+            (Some(ca), Some(cb)) => {
+                if ca != cb {
+                    dist += 1;
+                }
+            }
+            (None, None) => return Some(dist),
+            _ => return None,
+        }
+    }
+}
+
+/// Hamming distance over arbitrary comparable slices.
+pub fn hamming_slice<T: PartialEq>(a: &[T], b: &[T]) -> Option<usize> {
+    if a.len() != b.len() {
+        return None;
+    }
+    Some(a.iter().zip(b).filter(|(x, y)| x != y).count())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn classic_example() {
+        assert_eq!(hamming("karolin", "kathrin"), Some(3));
+        assert_eq!(hamming("1011101", "1001001"), Some(2));
+    }
+
+    #[test]
+    fn equal_strings_have_zero() {
+        assert_eq!(hamming("abc", "abc"), Some(0));
+        assert_eq!(hamming("", ""), Some(0));
+    }
+
+    #[test]
+    fn unequal_lengths_are_undefined() {
+        assert_eq!(hamming("ab", "abc"), None);
+        assert_eq!(hamming("abc", ""), None);
+    }
+
+    #[test]
+    fn slice_variant_matches() {
+        assert_eq!(hamming_slice(&[1, 2, 3], &[1, 9, 3]), Some(1));
+        assert_eq!(hamming_slice::<u8>(&[], &[]), Some(0));
+        assert_eq!(hamming_slice(&[1], &[1, 2]), None);
+    }
+
+    proptest! {
+        #[test]
+        fn symmetric(a in "[a-z]{0,12}", b in "[a-z]{0,12}") {
+            prop_assert_eq!(hamming(&a, &b), hamming(&b, &a));
+        }
+
+        #[test]
+        fn bounded_by_length(a in "[a-z]{8}", b in "[a-z]{8}") {
+            let d = hamming(&a, &b).unwrap();
+            prop_assert!(d <= 8);
+        }
+    }
+}

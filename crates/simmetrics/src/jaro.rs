@@ -1,0 +1,115 @@
+//! Jaro and Jaro–Winkler similarity — record-linkage staples for short
+//! identifying strings (names, trade names).
+
+/// Jaro similarity in `[0, 1]`; 1 means identical, 0 means no matching
+/// characters within the match window.
+pub fn jaro(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let window = (a.len().max(b.len()) / 2).saturating_sub(1);
+    let mut b_matched = vec![false; b.len()];
+    let mut a_matches: Vec<char> = Vec::new();
+    for (i, ca) in a.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(b.len());
+        for j in lo..hi {
+            if !b_matched[j] && b[j] == *ca {
+                b_matched[j] = true;
+                a_matches.push(*ca);
+                break;
+            }
+        }
+    }
+    let m = a_matches.len();
+    if m == 0 {
+        return 0.0;
+    }
+    let b_matches: Vec<char> = b
+        .iter()
+        .zip(&b_matched)
+        .filter(|(_, &matched)| matched)
+        .map(|(c, _)| *c)
+        .collect();
+    let transpositions = a_matches
+        .iter()
+        .zip(&b_matches)
+        .filter(|(x, y)| x != y)
+        .count()
+        / 2;
+    let m = m as f64;
+    (m / a.len() as f64 + m / b.len() as f64 + (m - transpositions as f64) / m) / 3.0
+}
+
+/// Jaro–Winkler similarity: Jaro boosted by up to 4 characters of common
+/// prefix with scaling factor `p = 0.1`.
+pub fn jaro_winkler(a: &str, b: &str) -> f64 {
+    const PREFIX_SCALE: f64 = 0.1;
+    const MAX_PREFIX: usize = 4;
+    let j = jaro(a, b);
+    let prefix = a
+        .chars()
+        .zip(b.chars())
+        .take(MAX_PREFIX)
+        .take_while(|(x, y)| x == y)
+        .count();
+    j + prefix as f64 * PREFIX_SCALE * (1.0 - j)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn approx(x: f64, y: f64) -> bool {
+        (x - y).abs() < 1e-3
+    }
+
+    #[test]
+    fn textbook_values() {
+        assert!(approx(jaro("MARTHA", "MARHTA"), 0.944));
+        assert!(approx(jaro("DIXON", "DICKSONX"), 0.767));
+        assert!(approx(jaro("JELLYFISH", "SMELLYFISH"), 0.896));
+    }
+
+    #[test]
+    fn winkler_boosts_common_prefix() {
+        assert!(approx(jaro_winkler("MARTHA", "MARHTA"), 0.961));
+        assert!(jaro_winkler("atorvastatin", "atorvastatim") > jaro("atorvastatin", "atorvastatim"));
+    }
+
+    #[test]
+    fn identical_and_disjoint() {
+        assert_eq!(jaro("abc", "abc"), 1.0);
+        assert_eq!(jaro("abc", "xyz"), 0.0);
+        assert_eq!(jaro("", ""), 1.0);
+        assert_eq!(jaro("a", ""), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn in_unit_interval(a in "[a-z]{0,12}", b in "[a-z]{0,12}") {
+            let j = jaro(&a, &b);
+            let jw = jaro_winkler(&a, &b);
+            prop_assert!((0.0..=1.0).contains(&j));
+            prop_assert!((0.0..=1.0).contains(&jw));
+            prop_assert!(jw >= j - 1e-12, "winkler never lowers jaro");
+        }
+
+        #[test]
+        fn symmetric(a in "[a-z]{0,12}", b in "[a-z]{0,12}") {
+            prop_assert!((jaro(&a, &b) - jaro(&b, &a)).abs() < 1e-12);
+        }
+
+        #[test]
+        fn self_similarity_is_one(a in "[a-z]{1,12}") {
+            prop_assert_eq!(jaro(&a, &a), 1.0);
+            prop_assert_eq!(jaro_winkler(&a, &a), 1.0);
+        }
+    }
+}

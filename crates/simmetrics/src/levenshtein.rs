@@ -1,0 +1,151 @@
+//! Edit distances: Levenshtein and Damerau (optimal string alignment).
+
+/// Levenshtein edit distance between two strings, computed over Unicode
+/// scalar values with the classic two-row dynamic program (`O(|a|·|b|)`
+/// time, `O(min)` space).
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    // Keep the inner dimension the shorter one.
+    let (a, b) = if a.len() < b.len() { (b, a) } else { (a, b) };
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            cur[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Levenshtein distance normalised by the longer string's length, in
+/// `[0, 1]`. Two empty strings have distance 0.
+pub fn normalized_levenshtein(a: &str, b: &str) -> f64 {
+    let la = a.chars().count();
+    let lb = b.chars().count();
+    let max = la.max(lb);
+    if max == 0 {
+        return 0.0;
+    }
+    levenshtein(a, b) as f64 / max as f64
+}
+
+/// Damerau–Levenshtein distance in the *optimal string alignment* variant:
+/// edit distance where adjacent transposition counts as one operation (each
+/// substring edited at most once). Catches the keyboard transpositions that
+/// dominate hand-entered ADR reports.
+#[allow(clippy::needless_range_loop)] // the transposition lookback needs raw indices
+pub fn damerau_levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let (n, m) = (a.len(), b.len());
+    if n == 0 {
+        return m;
+    }
+    if m == 0 {
+        return n;
+    }
+    let width = m + 1;
+    let mut d = vec![0usize; (n + 1) * width];
+    for i in 0..=n {
+        d[i * width] = i;
+    }
+    for j in 0..=m {
+        d[j] = j;
+    }
+    for i in 1..=n {
+        for j in 1..=m {
+            let cost = usize::from(a[i - 1] != b[j - 1]);
+            let mut best = (d[(i - 1) * width + j] + 1)
+                .min(d[i * width + j - 1] + 1)
+                .min(d[(i - 1) * width + j - 1] + cost);
+            if i > 1 && j > 1 && a[i - 1] == b[j - 2] && a[i - 2] == b[j - 1] {
+                best = best.min(d[(i - 2) * width + j - 2] + 1);
+            }
+            d[i * width + j] = best;
+        }
+    }
+    d[n * width + m]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn known_distances() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("", ""), 0);
+        assert_eq!(levenshtein("same", "same"), 0);
+    }
+
+    #[test]
+    fn unicode_is_per_char_not_per_byte() {
+        assert_eq!(levenshtein("café", "cafe"), 1);
+        assert_eq!(levenshtein("über", "uber"), 1);
+    }
+
+    #[test]
+    fn normalized_range() {
+        assert_eq!(normalized_levenshtein("", ""), 0.0);
+        assert_eq!(normalized_levenshtein("abc", "abc"), 0.0);
+        assert_eq!(normalized_levenshtein("abc", "xyz"), 1.0);
+        let d = normalized_levenshtein("atorvastatin", "atorvastatim");
+        assert!(d > 0.0 && d < 0.1);
+    }
+
+    #[test]
+    fn damerau_counts_transposition_as_one() {
+        assert_eq!(levenshtein("ca", "ac"), 2);
+        assert_eq!(damerau_levenshtein("ca", "ac"), 1);
+        assert_eq!(damerau_levenshtein("rhabdomyolysis", "rhabdomoylysis"), 1);
+        assert_eq!(damerau_levenshtein("abc", "abc"), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn symmetric(a in ".{0,20}", b in ".{0,20}") {
+            prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+            prop_assert_eq!(damerau_levenshtein(&a, &b), damerau_levenshtein(&b, &a));
+        }
+
+        #[test]
+        fn identity(a in ".{0,24}") {
+            prop_assert_eq!(levenshtein(&a, &a), 0);
+            prop_assert_eq!(damerau_levenshtein(&a, &a), 0);
+        }
+
+        #[test]
+        fn bounded_by_longer_length(a in ".{0,16}", b in ".{0,16}") {
+            let max = a.chars().count().max(b.chars().count());
+            prop_assert!(levenshtein(&a, &b) <= max);
+            prop_assert!(damerau_levenshtein(&a, &b) <= max);
+        }
+
+        #[test]
+        fn damerau_never_exceeds_levenshtein(a in ".{0,16}", b in ".{0,16}") {
+            prop_assert!(damerau_levenshtein(&a, &b) <= levenshtein(&a, &b));
+        }
+
+        #[test]
+        fn triangle_inequality(a in "[a-c]{0,8}", b in "[a-c]{0,8}", c in "[a-c]{0,8}") {
+            prop_assert!(levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c));
+        }
+
+        #[test]
+        fn normalized_in_unit_interval(a in ".{0,16}", b in ".{0,16}") {
+            let d = normalized_levenshtein(&a, &b);
+            prop_assert!((0.0..=1.0).contains(&d));
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! # simmetrics — similarity and distance metrics for record matching
+//!
+//! Field-matching building blocks for duplicate detection, as surveyed in
+//! §1–§4.2 of Wang & Karimi (EDBT 2016):
+//!
+//! * [`levenshtein`] — edit distance (Levenshtein \[13\] in the paper) and
+//!   the Damerau / optimal-string-alignment variant;
+//! * [`hamming`] — Hamming distance \[8\];
+//! * [`jaro`] — Jaro and Jaro–Winkler similarity (record-linkage classics);
+//! * [`token`] — Jaccard \[3\], Dice, overlap and cosine over token sets;
+//! * [`vector`] — Euclidean / Manhattan / Minkowski / cosine over dense
+//!   `f64` vectors (the paper compares *distance vectors of report pairs*
+//!   with Euclidean distance);
+//! * [`field`] — the paper's §4.2 field-distance rules: 0/1 for numeric and
+//!   categorical fields, Jaccard over token sets for string fields.
+//!
+//! All distances are in `[0, 1]` unless documented otherwise; similarities
+//! are `1 - distance` where both are defined.
+
+pub mod field;
+pub mod hamming;
+pub mod jaro;
+pub mod levenshtein;
+pub mod token;
+pub mod vector;
+
+pub use field::{FieldDistance, FieldKind};
+pub use hamming::hamming;
+pub use jaro::{jaro, jaro_winkler};
+pub use levenshtein::{damerau_levenshtein, levenshtein, normalized_levenshtein};
+pub use token::{cosine_tokens, dice, jaccard_distance, jaccard_similarity, overlap_coefficient};
+pub use vector::{cosine_similarity, euclidean, manhattan, minkowski, squared_euclidean};

@@ -1,0 +1,133 @@
+//! Dense-vector distances.
+//!
+//! The paper compares report pairs by the Euclidean distance between their
+//! field-distance vectors (§4.2); k-means and the hyperplane bound of Eq. 7
+//! run in the same space.
+
+/// Squared Euclidean distance — the workhorse for nearest-neighbour ranking
+/// and k-means assignment (monotone in [`euclidean`], no `sqrt`).
+///
+/// # Panics
+/// Panics when lengths differ: mixed-arity distance vectors indicate a bug
+/// upstream, never a recoverable condition.
+pub fn squared_euclidean(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dimension mismatch: {} vs {}", a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum()
+}
+
+/// Euclidean (L2) distance.
+pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    squared_euclidean(a, b).sqrt()
+}
+
+/// Manhattan (L1) distance.
+pub fn manhattan(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dimension mismatch");
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+}
+
+/// Minkowski distance of order `p >= 1`.
+pub fn minkowski(a: &[f64], b: &[f64], p: f64) -> f64 {
+    assert!(p >= 1.0, "Minkowski order must be >= 1, got {p}");
+    assert_eq!(a.len(), b.len(), "dimension mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs().powf(p))
+        .sum::<f64>()
+        .powf(1.0 / p)
+}
+
+/// Cosine similarity in `[-1, 1]`; zero vectors have similarity 0 with
+/// everything (including each other) by convention.
+pub fn cosine_similarity(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dimension mismatch");
+    let dot: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na: f64 = a.iter().map(|x| x * x).sum::<f64>().sqrt();
+    let nb: f64 = b.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    dot / (na * nb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn euclidean_known() {
+        assert_eq!(euclidean(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+        assert_eq!(squared_euclidean(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(euclidean(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn manhattan_known() {
+        assert_eq!(manhattan(&[1.0, 2.0], &[4.0, 0.0]), 5.0);
+    }
+
+    #[test]
+    fn minkowski_interpolates() {
+        let a = [0.0, 0.0];
+        let b = [3.0, 4.0];
+        assert!((minkowski(&a, &b, 1.0) - manhattan(&a, &b)).abs() < 1e-12);
+        assert!((minkowski(&a, &b, 2.0) - euclidean(&a, &b)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn mismatched_dims_panic() {
+        let _ = euclidean(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn cosine_known() {
+        assert!((cosine_similarity(&[1.0, 0.0], &[0.0, 1.0])).abs() < 1e-12);
+        assert!((cosine_similarity(&[1.0, 1.0], &[2.0, 2.0]) - 1.0).abs() < 1e-12);
+        assert!((cosine_similarity(&[1.0, 0.0], &[-1.0, 0.0]) + 1.0).abs() < 1e-12);
+        assert_eq!(cosine_similarity(&[0.0, 0.0], &[1.0, 1.0]), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn euclidean_symmetry_and_nonneg(
+            a in prop::collection::vec(-100.0f64..100.0, 4),
+            b in prop::collection::vec(-100.0f64..100.0, 4),
+        ) {
+            let d = euclidean(&a, &b);
+            prop_assert!(d >= 0.0);
+            prop_assert!((d - euclidean(&b, &a)).abs() < 1e-9);
+        }
+
+        #[test]
+        fn euclidean_triangle(
+            a in prop::collection::vec(-10.0f64..10.0, 3),
+            b in prop::collection::vec(-10.0f64..10.0, 3),
+            c in prop::collection::vec(-10.0f64..10.0, 3),
+        ) {
+            prop_assert!(euclidean(&a, &c) <= euclidean(&a, &b) + euclidean(&b, &c) + 1e-9);
+        }
+
+        #[test]
+        fn identity_of_indiscernibles(a in prop::collection::vec(-10.0f64..10.0, 5)) {
+            prop_assert_eq!(euclidean(&a, &a), 0.0);
+            prop_assert_eq!(manhattan(&a, &a), 0.0);
+        }
+
+        #[test]
+        fn cosine_bounded(
+            a in prop::collection::vec(-10.0f64..10.0, 4),
+            b in prop::collection::vec(-10.0f64..10.0, 4),
+        ) {
+            let c = cosine_similarity(&a, &b);
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&c));
+        }
+    }
+}

@@ -1,0 +1,422 @@
+//! Cluster handle, worker pool and the retrying task scheduler.
+
+use crate::config::ClusterConfig;
+use crate::error::{Result, SparkletError};
+use crate::metrics::ClusterMetrics;
+use crate::rdd::Rdd;
+use crate::shuffle::ShuffleService;
+use crate::simtime::{StageRecord, VirtualClock, VirtualDuration};
+use crate::storage::BlockManager;
+use crate::task::TaskContext;
+use crate::Data;
+use crossbeam::channel::{unbounded, Sender};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+type Job = Box<dyn FnOnce(usize) + Send>;
+
+/// Handle to an embedded sparklet cluster.
+///
+/// Cheap to clone; all clones share executors, metrics, storage and shuffle
+/// state. Dropping the last clone shuts the worker threads down.
+#[derive(Clone)]
+pub struct Cluster {
+    pub(crate) inner: Arc<ClusterInner>,
+}
+
+pub(crate) struct ClusterInner {
+    pub config: ClusterConfig,
+    pub metrics: ClusterMetrics,
+    pub shuffles: ShuffleService,
+    pub blocks: BlockManager,
+    pub clock: VirtualClock,
+    sender: Sender<Job>,
+    next_rdd_id: AtomicU64,
+    next_shuffle_id: AtomicU64,
+}
+
+impl Cluster {
+    /// Start a cluster with the given configuration.
+    pub fn new(config: ClusterConfig) -> Self {
+        let metrics = ClusterMetrics::new();
+        let storage_capacity = ((config.num_executors * config.memory_per_executor) as f64
+            * BlockManager::STORAGE_FRACTION) as usize;
+        let (sender, receiver) = unbounded::<Job>();
+        for worker_id in 0..config.worker_threads() {
+            let rx = receiver.clone();
+            thread::Builder::new()
+                .name(format!("sparklet-worker-{worker_id}"))
+                .spawn(move || {
+                    while let Ok(job) = rx.recv() {
+                        job(worker_id);
+                    }
+                })
+                .expect("failed to spawn worker thread");
+        }
+        Cluster {
+            inner: Arc::new(ClusterInner {
+                metrics: metrics.clone(),
+                shuffles: ShuffleService::new(metrics.clone()),
+                blocks: BlockManager::new(storage_capacity, metrics),
+                clock: VirtualClock::new(),
+                sender,
+                next_rdd_id: AtomicU64::new(0),
+                next_shuffle_id: AtomicU64::new(0),
+                config,
+            }),
+        }
+    }
+
+    /// Convenience: a local cluster with `parallelism` single-core executors
+    /// and fault injection disabled.
+    pub fn local(parallelism: usize) -> Self {
+        Cluster::new(ClusterConfig::local(parallelism))
+    }
+
+    /// The cluster's configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.inner.config
+    }
+
+    /// Shared metrics registry.
+    pub fn metrics(&self) -> &ClusterMetrics {
+        &self.inner.metrics
+    }
+
+    /// The virtual clock accumulating stage costs.
+    pub fn clock(&self) -> &VirtualClock {
+        &self.inner.clock
+    }
+
+    /// Block manager backing `cache()`.
+    pub fn blocks(&self) -> &BlockManager {
+        &self.inner.blocks
+    }
+
+    /// Shuffle service (exposed for diagnostics and tests).
+    pub fn shuffles(&self) -> &ShuffleService {
+        &self.inner.shuffles
+    }
+
+    /// Virtual elapsed time of everything run so far on this cluster's own
+    /// topology. See [`VirtualClock::makespan`] to query other topologies.
+    pub fn virtual_elapsed(&self) -> VirtualDuration {
+        self.inner.clock.makespan(
+            self.inner.config.num_executors,
+            self.inner.config.cores_per_executor,
+            &self.inner.config.cost,
+        )
+    }
+
+    /// Reset metrics, virtual clock, cache and shuffle state — used between
+    /// experiment configurations so measurements do not bleed.
+    pub fn reset_run_state(&self) {
+        self.inner.metrics.reset();
+        self.inner.clock.reset();
+        self.inner.blocks.clear();
+        self.inner.shuffles.clear();
+    }
+
+    pub(crate) fn new_rdd_id(&self) -> u64 {
+        self.inner.next_rdd_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    pub(crate) fn new_shuffle_id(&self) -> u64 {
+        self.inner.next_shuffle_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Distribute `data` over `num_partitions` as an [`Rdd`].
+    pub fn parallelize<T: Data>(&self, data: Vec<T>, num_partitions: usize) -> Rdd<T> {
+        Rdd::from_collection(self.clone(), data, num_partitions.max(1))
+    }
+
+    /// Run one stage: `f(partition_index, ctx)` for each of `num_tasks`
+    /// partitions, with deterministic fault injection, per-task retries and
+    /// virtual-cost recording. Returns the per-partition outputs in order.
+    ///
+    /// Must be called from driver code (never from inside a task) — shuffle
+    /// dependencies are materialised driver-side before dependent stages run,
+    /// which is what makes the fixed worker pool deadlock-free.
+    pub fn run_job<T, F>(&self, stage: &str, num_tasks: usize, f: F) -> Result<Vec<Vec<T>>>
+    where
+        T: Data,
+        F: Fn(usize, &TaskContext) -> Result<Vec<T>> + Send + Sync + 'static,
+    {
+        self.inner.metrics.jobs_submitted.inc();
+        let f = Arc::new(f);
+        let (tx, rx) = unbounded::<TaskOutcome<T>>();
+        for task in 0..num_tasks {
+            let f = f.clone();
+            let tx = tx.clone();
+            let inner = self.inner.clone();
+            let stage_name = stage.to_string();
+            let job: Job = Box::new(move |worker_id| {
+                let outcome = run_task_with_retries(&inner, &stage_name, task, worker_id, &*f);
+                let _ = tx.send(outcome);
+            });
+            self.inner
+                .sender
+                .send(job)
+                .expect("worker pool unavailable");
+        }
+        drop(tx);
+
+        let mut results: Vec<Option<Vec<T>>> = (0..num_tasks).map(|_| None).collect();
+        let mut task_us = vec![0u64; num_tasks];
+        let mut shuffle_bytes = 0u64;
+        let mut retries = 0u64;
+        let mut first_error: Option<SparkletError> = None;
+        for _ in 0..num_tasks {
+            let outcome = rx.recv().expect("task result channel closed early");
+            task_us[outcome.task] = outcome.virtual_us;
+            shuffle_bytes += outcome.shuffle_bytes;
+            retries += outcome.retries;
+            match outcome.result {
+                Ok(data) => results[outcome.task] = Some(data),
+                Err(e) => {
+                    if first_error.is_none() {
+                        first_error = Some(e);
+                    }
+                }
+            }
+        }
+        self.inner.clock.record_stage(StageRecord {
+            name: stage.to_string(),
+            task_us,
+            shuffle_bytes,
+            retries,
+        });
+        if let Some(e) = first_error {
+            return Err(e);
+        }
+        Ok(results
+            .into_iter()
+            .map(|r| r.expect("missing task result"))
+            .collect())
+    }
+}
+
+struct TaskOutcome<T> {
+    task: usize,
+    result: Result<Vec<T>>,
+    virtual_us: u64,
+    shuffle_bytes: u64,
+    retries: u64,
+}
+
+fn run_task_with_retries<T: Data>(
+    inner: &ClusterInner,
+    stage: &str,
+    task: usize,
+    worker_id: usize,
+    f: &(dyn Fn(usize, &TaskContext) -> Result<Vec<T>> + Send + Sync),
+) -> TaskOutcome<T> {
+    let max_attempts = inner.config.max_task_attempts.max(1);
+    let executor = worker_id % inner.config.num_executors.max(1);
+    let mut total_us = 0u64;
+    let mut total_shuffle = 0u64;
+    let mut retries = 0u64;
+    let mut last_err = SparkletError::User("task never ran".into());
+    for attempt in 0..max_attempts {
+        inner.metrics.tasks_launched.inc();
+        let ctx = TaskContext::new(
+            stage,
+            task,
+            attempt,
+            executor,
+            inner.metrics.clone(),
+            inner.config.cost,
+            inner.config.memory_per_executor,
+        );
+        let result = {
+            let _guard = ctx.install();
+            if fault_fires(&inner.config, stage, task, attempt) {
+                Err(SparkletError::InjectedFault)
+            } else {
+                f(task, &ctx)
+            }
+        };
+        match result {
+            Ok(data) => {
+                ctx.add_records_out(data.len() as u64);
+                inner.metrics.tasks_succeeded.inc();
+                total_us += ctx.attempt_cost_us();
+                total_shuffle += ctx_shuffle_bytes(&ctx);
+                return TaskOutcome {
+                    task,
+                    result: Ok(data),
+                    virtual_us: total_us,
+                    shuffle_bytes: total_shuffle,
+                    retries,
+                };
+            }
+            Err(e) => {
+                inner.metrics.tasks_failed.inc();
+                retries += 1;
+                total_us += ctx.attempt_cost_us() + inner.config.cost.retry_penalty_us;
+                total_shuffle += ctx_shuffle_bytes(&ctx);
+                last_err = e;
+            }
+        }
+    }
+    TaskOutcome {
+        task,
+        result: Err(SparkletError::TaskFailed {
+            stage: stage.to_string(),
+            task,
+            attempts: max_attempts,
+            reason: last_err.to_string(),
+        }),
+        virtual_us: total_us,
+        shuffle_bytes: total_shuffle,
+        retries,
+    }
+}
+
+fn ctx_shuffle_bytes(ctx: &TaskContext) -> u64 {
+    // attempt_cost_us already includes shuffle time; here we only need the
+    // raw byte count for the stage record's cross-network transfer term.
+    ctx.raw_shuffle_bytes()
+}
+
+fn fault_fires(config: &ClusterConfig, stage: &str, task: usize, attempt: u32) -> bool {
+    let prob = config.fault.task_failure_prob;
+    if prob <= 0.0 {
+        return false;
+    }
+    if prob >= 1.0 {
+        return true;
+    }
+    let mut h = DefaultHasher::new();
+    stage.hash(&mut h);
+    task.hash(&mut h);
+    attempt.hash(&mut h);
+    config.fault.seed.hash(&mut h);
+    let x = h.finish() as f64 / u64::MAX as f64;
+    x < prob
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FaultConfig;
+
+    #[test]
+    fn run_job_returns_ordered_partition_outputs() {
+        let c = Cluster::local(4);
+        let out = c
+            .run_job("square", 6, |i, _ctx| Ok(vec![i * i]))
+            .unwrap();
+        assert_eq!(out, vec![vec![0], vec![1], vec![4], vec![9], vec![16], vec![25]]);
+    }
+
+    #[test]
+    fn injected_faults_are_retried_to_success() {
+        let mut cfg = ClusterConfig::local(2);
+        cfg.fault = FaultConfig::with_probability(0.4, 7);
+        cfg.max_task_attempts = 10;
+        let c = Cluster::new(cfg);
+        let out = c.run_job("flaky", 20, |i, _| Ok(vec![i])).unwrap();
+        assert_eq!(out.len(), 20);
+        assert!(
+            c.metrics().tasks_failed.get() > 0,
+            "with p=0.4 over 20 tasks some attempt should fail"
+        );
+        assert_eq!(c.metrics().tasks_succeeded.get(), 20);
+    }
+
+    #[test]
+    fn certain_failure_exhausts_attempts() {
+        let mut cfg = ClusterConfig::local(2);
+        cfg.fault = FaultConfig::with_probability(1.0, 1);
+        cfg.max_task_attempts = 3;
+        let c = Cluster::new(cfg);
+        let err = c.run_job::<u32, _>("doomed", 1, |_, _| Ok(vec![])).unwrap_err();
+        match err {
+            SparkletError::TaskFailed { attempts, .. } => assert_eq!(attempts, 3),
+            other => panic!("unexpected error: {other:?}"),
+        }
+        assert_eq!(c.metrics().tasks_failed.get(), 3);
+    }
+
+    #[test]
+    fn user_errors_propagate() {
+        let c = Cluster::local(2);
+        let err = c
+            .run_job::<u32, _>("bad", 2, |i, _| {
+                if i == 1 {
+                    Err(SparkletError::User("boom".into()))
+                } else {
+                    Ok(vec![i as u32])
+                }
+            })
+            .unwrap_err();
+        assert!(matches!(err, SparkletError::TaskFailed { task: 1, .. }));
+    }
+
+    #[test]
+    fn stage_costs_are_recorded() {
+        let c = Cluster::local(2);
+        c.run_job("charged", 3, |_, ctx| {
+            ctx.charge_ops(1000);
+            Ok(vec![0u8])
+        })
+        .unwrap();
+        assert_eq!(c.clock().stage_count(), 1);
+        let stages = c.clock().stages();
+        assert_eq!(stages[0].task_us.len(), 3);
+        assert!(stages[0].task_us.iter().all(|&t| t > 0));
+    }
+
+    #[test]
+    fn retries_inflate_virtual_time() {
+        let mut cfg = ClusterConfig::local(1);
+        cfg.fault = FaultConfig::disabled();
+        let baseline = Cluster::new(cfg.clone());
+        baseline.run_job("t", 4, |_, _| Ok(vec![0u8])).unwrap();
+        let t0 = baseline.virtual_elapsed();
+
+        cfg.fault = FaultConfig::with_probability(0.5, 3);
+        cfg.max_task_attempts = 20;
+        let flaky = Cluster::new(cfg);
+        flaky.run_job("t", 4, |_, _| Ok(vec![0u8])).unwrap();
+        let t1 = flaky.virtual_elapsed();
+        assert!(
+            t1.us > t0.us,
+            "retry penalties must stretch virtual time ({} vs {})",
+            t1.us,
+            t0.us
+        );
+    }
+
+    #[test]
+    fn reset_run_state_clears_everything() {
+        let c = Cluster::local(2);
+        c.run_job("x", 2, |_, ctx| {
+            ctx.counter("things").add(5);
+            Ok(vec![0u8])
+        })
+        .unwrap();
+        c.reset_run_state();
+        assert_eq!(c.clock().stage_count(), 0);
+        assert_eq!(c.metrics().counter("things").get(), 0);
+        assert_eq!(c.metrics().jobs_submitted.get(), 0);
+    }
+
+    #[test]
+    fn fault_injection_is_deterministic() {
+        let mut cfg = ClusterConfig::local(1);
+        cfg.fault = FaultConfig::with_probability(0.5, 42);
+        let a: Vec<bool> = (0..64)
+            .map(|t| fault_fires(&cfg, "s", t, 0))
+            .collect();
+        let b: Vec<bool> = (0..64)
+            .map(|t| fault_fires(&cfg, "s", t, 0))
+            .collect();
+        assert_eq!(a, b);
+        assert!(a.iter().any(|&x| x) && a.iter().any(|&x| !x));
+    }
+}

@@ -1,0 +1,169 @@
+//! Cluster, fault-injection and cost-model configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Topology and behaviour of a [`crate::Cluster`].
+///
+/// The paper runs Spark 1.2.1 on 14 nodes with YARN executors of 32 GB and
+/// 1–4 cores; we model the same knobs. The engine launches
+/// `num_executors * cores_per_executor` real worker threads (capped at
+/// [`ClusterConfig::MAX_WORKER_THREADS`]), but the authoritative notion of
+/// time for experiments is the virtual clock parameterised by
+/// [`CostModelConfig`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Number of virtual executors (paper: `--num-executors`).
+    pub num_executors: usize,
+    /// Task slots per executor (paper: `--executor-cores`).
+    pub cores_per_executor: usize,
+    /// Modelled memory budget per executor in bytes (paper:
+    /// `--executor-memory`, 32 GB in most experiments). Tasks that charge
+    /// more resident memory than this are killed and retried, reproducing
+    /// the swap-and-timeout regime of the paper's Fig. 8b.
+    pub memory_per_executor: usize,
+    /// Maximum attempts per task (Spark's `spark.task.maxFailures`, 4).
+    pub max_task_attempts: u32,
+    /// Fault injection settings.
+    pub fault: FaultConfig,
+    /// Virtual-time cost model.
+    pub cost: CostModelConfig,
+}
+
+impl ClusterConfig {
+    /// Upper bound on real OS threads regardless of the virtual topology.
+    pub const MAX_WORKER_THREADS: usize = 64;
+
+    /// A small local topology suitable for tests.
+    pub fn local(parallelism: usize) -> Self {
+        ClusterConfig {
+            num_executors: parallelism.max(1),
+            cores_per_executor: 1,
+            memory_per_executor: 512 << 20,
+            max_task_attempts: 4,
+            fault: FaultConfig::disabled(),
+            cost: CostModelConfig::default(),
+        }
+    }
+
+    /// Total task slots in the virtual topology.
+    pub fn total_slots(&self) -> usize {
+        (self.num_executors * self.cores_per_executor).max(1)
+    }
+
+    /// Number of real worker threads to launch.
+    pub fn worker_threads(&self) -> usize {
+        self.total_slots().min(Self::MAX_WORKER_THREADS)
+    }
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig::local(4)
+    }
+}
+
+/// Deterministic fault injection: a task attempt fails when a hash of
+/// `(stage, task, attempt, seed)` falls below `task_failure_prob`.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Probability in `[0, 1]` that any given task attempt fails.
+    pub task_failure_prob: f64,
+    /// Seed mixed into the per-attempt hash; changing it reshuffles which
+    /// attempts fail while keeping the overall rate.
+    pub seed: u64,
+}
+
+impl FaultConfig {
+    /// No injected faults.
+    pub fn disabled() -> Self {
+        FaultConfig {
+            task_failure_prob: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// Fail roughly `prob` of task attempts, deterministically.
+    pub fn with_probability(prob: f64, seed: u64) -> Self {
+        FaultConfig {
+            task_failure_prob: prob.clamp(0.0, 1.0),
+            seed,
+        }
+    }
+}
+
+/// Parameters of the virtual-time cost model (see [`crate::simtime`]).
+///
+/// A task's virtual duration is
+/// `launch_overhead_us + ops * op_ns / 1000 + shuffle_bytes * shuffle_byte_ns
+/// / 1000`, plus `retry_penalty_us` and the wasted attempt cost for every
+/// failed attempt. Stage makespans additionally pay a coordination cost per
+/// participating executor, which is what bends the executor-scaling curve of
+/// the paper's Fig. 10 away from linear.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CostModelConfig {
+    /// Fixed scheduling/serialisation overhead per task attempt (µs).
+    pub task_launch_overhead_us: u64,
+    /// Virtual nanoseconds per charged operation (a "charged operation" is
+    /// whatever the domain code calls [`crate::TaskContext::charge_ops`]
+    /// for — one report-pair distance computation in `fastknn`).
+    pub op_ns: u64,
+    /// Virtual nanoseconds per record emitted by a task.
+    pub record_ns: u64,
+    /// Virtual nanoseconds per byte written to or read from the shuffle.
+    pub shuffle_byte_ns: u64,
+    /// Flat penalty added to a task's duration for each failed attempt
+    /// (models Spark's timeout detection + rescheduling delay).
+    pub retry_penalty_us: u64,
+    /// Per-stage, per-executor coordination cost (µs); models driver RPC,
+    /// connection setup and skewed shuffle fetch, growing with cluster size.
+    pub coordination_us_per_executor: u64,
+}
+
+impl Default for CostModelConfig {
+    fn default() -> Self {
+        CostModelConfig {
+            task_launch_overhead_us: 20_000, // 20 ms, Spark-era task launch
+            op_ns: 400,
+            record_ns: 50,
+            shuffle_byte_ns: 4,
+            retry_penalty_us: 10_000_000, // 10 s timeout + reschedule
+            coordination_us_per_executor: 20_000,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_config_has_one_core_per_executor() {
+        let c = ClusterConfig::local(8);
+        assert_eq!(c.num_executors, 8);
+        assert_eq!(c.cores_per_executor, 1);
+        assert_eq!(c.total_slots(), 8);
+    }
+
+    #[test]
+    fn zero_parallelism_is_clamped() {
+        let c = ClusterConfig::local(0);
+        assert_eq!(c.total_slots(), 1);
+    }
+
+    #[test]
+    fn worker_threads_are_capped() {
+        let mut c = ClusterConfig::local(1);
+        c.num_executors = 100;
+        c.cores_per_executor = 4;
+        assert_eq!(c.worker_threads(), ClusterConfig::MAX_WORKER_THREADS);
+    }
+
+    #[test]
+    fn fault_probability_is_clamped() {
+        assert_eq!(FaultConfig::with_probability(7.0, 1).task_failure_prob, 1.0);
+        assert_eq!(
+            FaultConfig::with_probability(-1.0, 1).task_failure_prob,
+            0.0
+        );
+    }
+}

@@ -1,0 +1,113 @@
+//! Engine error types.
+
+use std::fmt;
+
+/// Convenience alias used across the engine.
+pub type Result<T> = std::result::Result<T, SparkletError>;
+
+/// Errors surfaced by sparklet jobs and actions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SparkletError {
+    /// A task exhausted its retry budget.
+    TaskFailed {
+        /// Stage the task belonged to.
+        stage: String,
+        /// Task (partition) index within the stage.
+        task: usize,
+        /// Number of attempts made (including the first).
+        attempts: u32,
+        /// Human-readable description of the last failure.
+        reason: String,
+    },
+    /// Deterministic fault injection tripped this attempt (internal; always
+    /// retried until the retry budget runs out, after which it is wrapped in
+    /// [`SparkletError::TaskFailed`]).
+    InjectedFault,
+    /// A task exceeded the modelled per-executor memory budget and was
+    /// killed (Spark analogue: executor OOM / heartbeat timeout while
+    /// swapping). Retried like any failure.
+    MemoryExceeded {
+        /// Bytes the task tried to hold resident.
+        requested: usize,
+        /// The per-executor budget from [`crate::ClusterConfig`].
+        budget: usize,
+    },
+    /// Two RDDs were combined (zip/cogroup) with incompatible partitioning.
+    PartitionMismatch {
+        /// Left operand partition count.
+        left: usize,
+        /// Right operand partition count.
+        right: usize,
+    },
+    /// An action was invoked on an empty dataset where a value is required.
+    EmptyCollection,
+    /// User code inside a task failed with a message.
+    User(String),
+}
+
+impl fmt::Display for SparkletError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparkletError::TaskFailed {
+                stage,
+                task,
+                attempts,
+                reason,
+            } => write!(
+                f,
+                "task {task} of stage '{stage}' failed after {attempts} attempts: {reason}"
+            ),
+            SparkletError::InjectedFault => write!(f, "injected fault"),
+            SparkletError::MemoryExceeded { requested, budget } => write!(
+                f,
+                "task memory {requested}B exceeded executor budget {budget}B"
+            ),
+            SparkletError::PartitionMismatch { left, right } => write!(
+                f,
+                "cannot zip datasets with {left} vs {right} partitions"
+            ),
+            SparkletError::EmptyCollection => write!(f, "empty collection"),
+            SparkletError::User(msg) => write!(f, "user error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SparkletError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_task_failed() {
+        let e = SparkletError::TaskFailed {
+            stage: "collect".into(),
+            task: 3,
+            attempts: 4,
+            reason: "injected fault".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("task 3"));
+        assert!(s.contains("'collect'"));
+        assert!(s.contains("4 attempts"));
+    }
+
+    #[test]
+    fn display_memory_exceeded() {
+        let e = SparkletError::MemoryExceeded {
+            requested: 2048,
+            budget: 1024,
+        };
+        assert!(e.to_string().contains("2048B"));
+        assert!(e.to_string().contains("1024B"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(SparkletError::InjectedFault, SparkletError::InjectedFault);
+        assert_ne!(
+            SparkletError::InjectedFault,
+            SparkletError::EmptyCollection
+        );
+    }
+}

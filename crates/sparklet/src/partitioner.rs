@@ -1,0 +1,180 @@
+//! Key partitioners for shuffle operations.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::marker::PhantomData;
+
+/// Maps keys to reduce-side partitions.
+///
+/// Implementations must be deterministic: sparklet recomputes partitions
+/// from lineage after cache eviction or task retry, so the same key must
+/// always land in the same bucket.
+pub trait Partitioner<K>: Send + Sync + 'static {
+    /// Number of output partitions.
+    fn num_partitions(&self) -> usize;
+    /// Partition index in `0..num_partitions()` for `key`.
+    fn partition(&self, key: &K) -> usize;
+}
+
+/// Hash partitioner over `SipHash-1-3` with fixed keys — deterministic
+/// across processes and runs (unlike `RandomState`).
+pub struct HashPartitioner<K> {
+    partitions: usize,
+    _marker: PhantomData<fn(&K)>,
+}
+
+impl<K> HashPartitioner<K> {
+    /// Create a hash partitioner with `partitions` buckets (min 1).
+    pub fn new(partitions: usize) -> Self {
+        HashPartitioner {
+            partitions: partitions.max(1),
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<K> Clone for HashPartitioner<K> {
+    fn clone(&self) -> Self {
+        HashPartitioner {
+            partitions: self.partitions,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<K: Hash + Send + Sync + 'static> Partitioner<K> for HashPartitioner<K> {
+    fn num_partitions(&self) -> usize {
+        self.partitions
+    }
+
+    fn partition(&self, key: &K) -> usize {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        (h.finish() % self.partitions as u64) as usize
+    }
+}
+
+/// Partitioner that interprets keys directly as partition indices
+/// (`key % partitions`). Used when the producer already assigned cluster IDs,
+/// as Algorithm 2's join on Voronoi cluster IDs does.
+pub struct IndexPartitioner {
+    partitions: usize,
+}
+
+impl IndexPartitioner {
+    /// Create an index partitioner with `partitions` buckets (min 1).
+    pub fn new(partitions: usize) -> Self {
+        IndexPartitioner {
+            partitions: partitions.max(1),
+        }
+    }
+}
+
+impl Partitioner<usize> for IndexPartitioner {
+    fn num_partitions(&self) -> usize {
+        self.partitions
+    }
+
+    fn partition(&self, key: &usize) -> usize {
+        key % self.partitions
+    }
+}
+
+/// Range partitioner over `Ord` keys: partition `i` receives keys in
+/// `(splitters[i-1], splitters[i]]`. Built from sampled keys by
+/// [`crate::Rdd::sort_by`]; the splitters must be sorted.
+pub struct RangePartitioner<K: Ord> {
+    splitters: Vec<K>,
+}
+
+impl<K: Ord> RangePartitioner<K> {
+    /// Build from sorted splitters; yields `splitters.len() + 1` partitions.
+    ///
+    /// # Panics
+    /// Panics if the splitters are not sorted.
+    pub fn new(splitters: Vec<K>) -> Self {
+        assert!(
+            splitters.windows(2).all(|w| w[0] <= w[1]),
+            "splitters must be sorted"
+        );
+        RangePartitioner { splitters }
+    }
+}
+
+impl<K: Ord + Send + Sync + 'static> Partitioner<K> for RangePartitioner<K> {
+    fn num_partitions(&self) -> usize {
+        self.splitters.len() + 1
+    }
+
+    fn partition(&self, key: &K) -> usize {
+        self.splitters.partition_point(|s| s < key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_partitioner_routes_by_splitters() {
+        let p = RangePartitioner::new(vec![10, 20, 30]);
+        assert_eq!(p.num_partitions(), 4);
+        // Partition i covers (splitters[i-1], splitters[i]].
+        assert_eq!(p.partition(&5), 0);
+        assert_eq!(p.partition(&10), 0);
+        assert_eq!(p.partition(&15), 1);
+        assert_eq!(p.partition(&20), 1);
+        assert_eq!(p.partition(&21), 2);
+        assert_eq!(p.partition(&35), 3);
+    }
+
+    #[test]
+    fn range_partitioner_empty_splitters_is_single_partition() {
+        let p = RangePartitioner::<u32>::new(vec![]);
+        assert_eq!(p.num_partitions(), 1);
+        assert_eq!(p.partition(&99), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn range_partitioner_rejects_unsorted() {
+        let _ = RangePartitioner::new(vec![3, 1]);
+    }
+
+    #[test]
+    fn hash_partitioner_in_range_and_deterministic() {
+        let p = HashPartitioner::<String>::new(7);
+        for s in ["a", "bb", "ccc", "dddd", ""] {
+            let k = s.to_string();
+            let idx = p.partition(&k);
+            assert!(idx < 7);
+            assert_eq!(idx, p.partition(&k), "must be deterministic");
+        }
+    }
+
+    #[test]
+    fn hash_partitioner_spreads_keys() {
+        let p = HashPartitioner::<u64>::new(8);
+        let mut counts = vec![0usize; 8];
+        for k in 0..800u64 {
+            counts[p.partition(&k)] += 1;
+        }
+        // Every bucket should get something with 800 keys over 8 buckets.
+        assert!(counts.iter().all(|&c| c > 0), "counts: {counts:?}");
+    }
+
+    #[test]
+    fn zero_partitions_clamped_to_one() {
+        let p = HashPartitioner::<u64>::new(0);
+        assert_eq!(p.num_partitions(), 1);
+        assert_eq!(p.partition(&123), 0);
+    }
+
+    #[test]
+    fn index_partitioner_is_modulo() {
+        let p = IndexPartitioner::new(4);
+        assert_eq!(p.partition(&0), 0);
+        assert_eq!(p.partition(&5), 1);
+        assert_eq!(p.partition(&11), 3);
+    }
+}

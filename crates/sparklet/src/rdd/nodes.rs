@@ -1,0 +1,445 @@
+//! Concrete lineage-node implementations.
+
+use super::node::RddNode;
+use crate::cluster::Cluster;
+use crate::error::{Result, SparkletError};
+use crate::partitioner::Partitioner;
+use crate::storage::estimate_vec_size;
+use crate::task::TaskContext;
+use crate::{Data, KeyData};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Source node: an in-memory collection split into even chunks.
+pub struct ParallelCollectionNode<T: Data> {
+    id: u64,
+    partitions: Vec<Arc<Vec<T>>>,
+}
+
+impl<T: Data> ParallelCollectionNode<T> {
+    pub fn new(id: u64, data: Vec<T>, num_partitions: usize) -> Self {
+        let n = num_partitions.max(1);
+        let len = data.len();
+        let mut partitions = Vec::with_capacity(n);
+        let mut iter = data.into_iter();
+        for i in 0..n {
+            let start = i * len / n;
+            let end = (i + 1) * len / n;
+            partitions.push(Arc::new(iter.by_ref().take(end - start).collect::<Vec<T>>()));
+        }
+        ParallelCollectionNode { id, partitions }
+    }
+}
+
+impl<T: Data> RddNode<T> for ParallelCollectionNode<T> {
+    fn id(&self) -> u64 {
+        self.id
+    }
+    fn name(&self) -> String {
+        "parallelize".into()
+    }
+    fn num_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+    fn prepare(&self, _cluster: &Cluster) -> Result<()> {
+        Ok(())
+    }
+    fn compute(&self, split: usize, _ctx: &TaskContext) -> Result<Vec<T>> {
+        Ok((*self.partitions[split]).clone())
+    }
+}
+
+/// Narrow transformation over whole partitions; `map`, `filter`, `flat_map`
+/// and `map_partitions` all lower to this node.
+pub struct MapPartitionsNode<T: Data, U: Data> {
+    id: u64,
+    name: String,
+    parent: Arc<dyn RddNode<T>>,
+    #[allow(clippy::type_complexity)]
+    f: Arc<dyn Fn(&TaskContext, usize, Vec<T>) -> Result<Vec<U>> + Send + Sync>,
+}
+
+impl<T: Data, U: Data> MapPartitionsNode<T, U> {
+    #[allow(clippy::type_complexity)]
+    pub fn new(
+        id: u64,
+        name: &str,
+        parent: Arc<dyn RddNode<T>>,
+        f: Arc<dyn Fn(&TaskContext, usize, Vec<T>) -> Result<Vec<U>> + Send + Sync>,
+    ) -> Self {
+        MapPartitionsNode {
+            id,
+            name: name.to_string(),
+            parent,
+            f,
+        }
+    }
+}
+
+impl<T: Data, U: Data> RddNode<U> for MapPartitionsNode<T, U> {
+    fn id(&self) -> u64 {
+        self.id
+    }
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+    fn num_partitions(&self) -> usize {
+        self.parent.num_partitions()
+    }
+    fn prepare(&self, cluster: &Cluster) -> Result<()> {
+        self.parent.prepare(cluster)
+    }
+    fn compute(&self, split: usize, ctx: &TaskContext) -> Result<Vec<U>> {
+        let input = self.parent.compute(split, ctx)?;
+        (self.f)(ctx, split, input)
+    }
+}
+
+/// Concatenation of several parents' partition spaces.
+pub struct UnionNode<T: Data> {
+    id: u64,
+    parents: Vec<Arc<dyn RddNode<T>>>,
+}
+
+impl<T: Data> UnionNode<T> {
+    pub fn new(id: u64, parents: Vec<Arc<dyn RddNode<T>>>) -> Self {
+        UnionNode { id, parents }
+    }
+}
+
+impl<T: Data> RddNode<T> for UnionNode<T> {
+    fn id(&self) -> u64 {
+        self.id
+    }
+    fn name(&self) -> String {
+        "union".into()
+    }
+    fn num_partitions(&self) -> usize {
+        self.parents.iter().map(|p| p.num_partitions()).sum()
+    }
+    fn prepare(&self, cluster: &Cluster) -> Result<()> {
+        for p in &self.parents {
+            p.prepare(cluster)?;
+        }
+        Ok(())
+    }
+    fn compute(&self, split: usize, ctx: &TaskContext) -> Result<Vec<T>> {
+        let mut offset = split;
+        for p in &self.parents {
+            let n = p.num_partitions();
+            if offset < n {
+                return p.compute(offset, ctx);
+            }
+            offset -= n;
+        }
+        Err(SparkletError::User(format!(
+            "union partition {split} out of range"
+        )))
+    }
+}
+
+/// All pairs of partitions from two parents (`left × right`).
+pub struct CartesianNode<A: Data, B: Data> {
+    id: u64,
+    left: Arc<dyn RddNode<A>>,
+    right: Arc<dyn RddNode<B>>,
+}
+
+impl<A: Data, B: Data> CartesianNode<A, B> {
+    pub fn new(id: u64, left: Arc<dyn RddNode<A>>, right: Arc<dyn RddNode<B>>) -> Self {
+        CartesianNode { id, left, right }
+    }
+}
+
+impl<A: Data, B: Data> RddNode<(A, B)> for CartesianNode<A, B> {
+    fn id(&self) -> u64 {
+        self.id
+    }
+    fn name(&self) -> String {
+        "cartesian".into()
+    }
+    fn num_partitions(&self) -> usize {
+        self.left.num_partitions() * self.right.num_partitions()
+    }
+    fn prepare(&self, cluster: &Cluster) -> Result<()> {
+        self.left.prepare(cluster)?;
+        self.right.prepare(cluster)
+    }
+    fn compute(&self, split: usize, ctx: &TaskContext) -> Result<Vec<(A, B)>> {
+        let nr = self.right.num_partitions();
+        let li = split / nr;
+        let ri = split % nr;
+        let left = self.left.compute(li, ctx)?;
+        let right = self.right.compute(ri, ctx)?;
+        let mut out = Vec::with_capacity(left.len() * right.len());
+        for a in &left {
+            for b in &right {
+                out.push((a.clone(), b.clone()));
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Bernoulli sample with a per-partition deterministic RNG.
+pub struct SampleNode<T: Data> {
+    id: u64,
+    parent: Arc<dyn RddNode<T>>,
+    fraction: f64,
+    seed: u64,
+}
+
+impl<T: Data> SampleNode<T> {
+    pub fn new(id: u64, parent: Arc<dyn RddNode<T>>, fraction: f64, seed: u64) -> Self {
+        SampleNode {
+            id,
+            parent,
+            fraction: fraction.clamp(0.0, 1.0),
+            seed,
+        }
+    }
+}
+
+impl<T: Data> RddNode<T> for SampleNode<T> {
+    fn id(&self) -> u64 {
+        self.id
+    }
+    fn name(&self) -> String {
+        "sample".into()
+    }
+    fn num_partitions(&self) -> usize {
+        self.parent.num_partitions()
+    }
+    fn prepare(&self, cluster: &Cluster) -> Result<()> {
+        self.parent.prepare(cluster)
+    }
+    fn compute(&self, split: usize, ctx: &TaskContext) -> Result<Vec<T>> {
+        let input = self.parent.compute(split, ctx)?;
+        let mut rng = StdRng::seed_from_u64(self.seed ^ (split as u64).wrapping_mul(0x9E3779B97F4A7C15));
+        Ok(input
+            .into_iter()
+            .filter(|_| rng.gen::<f64>() < self.fraction)
+            .collect())
+    }
+}
+
+/// Reduce the partition count without a shuffle by grouping parent splits.
+pub struct CoalesceNode<T: Data> {
+    id: u64,
+    parent: Arc<dyn RddNode<T>>,
+    target: usize,
+}
+
+impl<T: Data> CoalesceNode<T> {
+    pub fn new(id: u64, parent: Arc<dyn RddNode<T>>, target: usize) -> Self {
+        CoalesceNode {
+            id,
+            parent,
+            target: target.max(1),
+        }
+    }
+}
+
+impl<T: Data> RddNode<T> for CoalesceNode<T> {
+    fn id(&self) -> u64 {
+        self.id
+    }
+    fn name(&self) -> String {
+        "coalesce".into()
+    }
+    fn num_partitions(&self) -> usize {
+        self.target.min(self.parent.num_partitions().max(1))
+    }
+    fn prepare(&self, cluster: &Cluster) -> Result<()> {
+        self.parent.prepare(cluster)
+    }
+    fn compute(&self, split: usize, ctx: &TaskContext) -> Result<Vec<T>> {
+        let np = self.parent.num_partitions();
+        let n = self.num_partitions();
+        let start = split * np / n;
+        let end = (split + 1) * np / n;
+        let mut out = Vec::new();
+        for p in start..end {
+            out.extend(self.parent.compute(p, ctx)?);
+        }
+        Ok(out)
+    }
+}
+
+/// Caching node: partitions are stored in the block manager on first
+/// computation; evicted blocks are transparently recomputed from lineage.
+pub struct CachedNode<T: Data> {
+    id: u64,
+    cluster: Cluster,
+    parent: Arc<dyn RddNode<T>>,
+}
+
+impl<T: Data> CachedNode<T> {
+    pub fn new(id: u64, cluster: Cluster, parent: Arc<dyn RddNode<T>>) -> Self {
+        CachedNode {
+            id,
+            cluster,
+            parent,
+        }
+    }
+}
+
+impl<T: Data> RddNode<T> for CachedNode<T> {
+    fn id(&self) -> u64 {
+        self.id
+    }
+    fn name(&self) -> String {
+        format!("cached[{}]", self.parent.name())
+    }
+    fn num_partitions(&self) -> usize {
+        self.parent.num_partitions()
+    }
+    fn prepare(&self, cluster: &Cluster) -> Result<()> {
+        self.parent.prepare(cluster)
+    }
+    fn compute(&self, split: usize, ctx: &TaskContext) -> Result<Vec<T>> {
+        if let Some(block) = self.cluster.blocks().get::<T>((self.id, split)) {
+            return Ok((*block).clone());
+        }
+        let data = self.parent.compute(split, ctx)?;
+        let size = estimate_vec_size(&data);
+        self.cluster
+            .blocks()
+            .put((self.id, split), Arc::new(data.clone()), size);
+        Ok(data)
+    }
+}
+
+/// Wide node: repartitions `(K, V)` pairs by key through the shuffle service.
+pub struct ShuffledNode<K: KeyData, V: Data> {
+    id: u64,
+    shuffle_id: u64,
+    cluster: Cluster,
+    parent: Arc<dyn RddNode<(K, V)>>,
+    partitioner: Arc<dyn Partitioner<K>>,
+    done: Mutex<bool>,
+}
+
+impl<K: KeyData, V: Data> ShuffledNode<K, V> {
+    pub fn new(
+        id: u64,
+        shuffle_id: u64,
+        cluster: Cluster,
+        parent: Arc<dyn RddNode<(K, V)>>,
+        partitioner: Arc<dyn Partitioner<K>>,
+    ) -> Self {
+        ShuffledNode {
+            id,
+            shuffle_id,
+            cluster,
+            parent,
+            partitioner,
+            done: Mutex::new(false),
+        }
+    }
+}
+
+impl<K: KeyData, V: Data> RddNode<(K, V)> for ShuffledNode<K, V> {
+    fn id(&self) -> u64 {
+        self.id
+    }
+    fn name(&self) -> String {
+        format!("shuffle#{}", self.shuffle_id)
+    }
+    fn num_partitions(&self) -> usize {
+        self.partitioner.num_partitions()
+    }
+    fn prepare(&self, cluster: &Cluster) -> Result<()> {
+        self.parent.prepare(cluster)?;
+        let mut done = self.done.lock();
+        // The node-local flag alone is not authoritative: the cluster's
+        // shuffle store may have been cleared (reset_run_state between
+        // experiment runs), in which case the shuffle must be re-written.
+        if *done && cluster.shuffles().is_complete(self.shuffle_id) {
+            return Ok(());
+        }
+        *done = false;
+        // A previous failed materialisation may have left partial buckets.
+        cluster.shuffles().discard(self.shuffle_id);
+        let parent = self.parent.clone();
+        let partitioner = self.partitioner.clone();
+        let sid = self.shuffle_id;
+        let nr = partitioner.num_partitions();
+        let cl = cluster.clone();
+        cluster.run_job::<u8, _>(
+            &format!("shuffle#{sid}-write[{}]", parent.name()),
+            parent.num_partitions(),
+            move |i, ctx| {
+                let data = parent.compute(i, ctx)?;
+                let mut buckets: Vec<Vec<(K, V)>> = (0..nr).map(|_| Vec::new()).collect();
+                for kv in data {
+                    buckets[partitioner.partition(&kv.0)].push(kv);
+                }
+                let records: usize = buckets.iter().map(Vec::len).sum();
+                let bytes = (records * std::mem::size_of::<(K, V)>().max(1)) as u64;
+                ctx.add_shuffle_bytes(bytes);
+                cl.shuffles().write_map_output(sid, nr, buckets, bytes);
+                Ok(Vec::new())
+            },
+        )?;
+        cluster.shuffles().mark_complete(sid);
+        *done = true;
+        Ok(())
+    }
+    fn compute(&self, split: usize, ctx: &TaskContext) -> Result<Vec<(K, V)>> {
+        let data: Vec<(K, V)> = self.cluster.shuffles().read_bucket(self.shuffle_id, split);
+        ctx.add_shuffle_bytes((data.len() * std::mem::size_of::<(K, V)>().max(1)) as u64);
+        Ok(data)
+    }
+}
+
+/// Zip two equally-partitioned parents partition-wise through a combiner
+/// function (the engine's cogroup building block).
+pub struct ZipPartitionsNode<A: Data, B: Data, C: Data> {
+    id: u64,
+    left: Arc<dyn RddNode<A>>,
+    right: Arc<dyn RddNode<B>>,
+    #[allow(clippy::type_complexity)]
+    f: Arc<dyn Fn(&TaskContext, Vec<A>, Vec<B>) -> Result<Vec<C>> + Send + Sync>,
+}
+
+impl<A: Data, B: Data, C: Data> ZipPartitionsNode<A, B, C> {
+    #[allow(clippy::type_complexity)]
+    pub fn new(
+        id: u64,
+        left: Arc<dyn RddNode<A>>,
+        right: Arc<dyn RddNode<B>>,
+        f: Arc<dyn Fn(&TaskContext, Vec<A>, Vec<B>) -> Result<Vec<C>> + Send + Sync>,
+    ) -> Result<Self> {
+        if left.num_partitions() != right.num_partitions() {
+            return Err(SparkletError::PartitionMismatch {
+                left: left.num_partitions(),
+                right: right.num_partitions(),
+            });
+        }
+        Ok(ZipPartitionsNode { id, left, right, f })
+    }
+}
+
+impl<A: Data, B: Data, C: Data> RddNode<C> for ZipPartitionsNode<A, B, C> {
+    fn id(&self) -> u64 {
+        self.id
+    }
+    fn name(&self) -> String {
+        "zip_partitions".into()
+    }
+    fn num_partitions(&self) -> usize {
+        self.left.num_partitions()
+    }
+    fn prepare(&self, cluster: &Cluster) -> Result<()> {
+        self.left.prepare(cluster)?;
+        self.right.prepare(cluster)
+    }
+    fn compute(&self, split: usize, ctx: &TaskContext) -> Result<Vec<C>> {
+        let a = self.left.compute(split, ctx)?;
+        let b = self.right.compute(split, ctx)?;
+        (self.f)(ctx, a, b)
+    }
+}

@@ -1,0 +1,194 @@
+//! Shuffle service: bucketed map-output storage between stages.
+//!
+//! A wide transformation materialises its parent by running a map stage that
+//! hash-partitions every parent partition into `R` buckets and registers them
+//! here; reduce-side tasks then fetch bucket `r` of every map output. In
+//! Spark this crosses the network — the engine accounts the would-be network
+//! volume in [`crate::metrics::ClusterMetrics`] and charges it to the virtual
+//! clock instead.
+
+use crate::metrics::ClusterMetrics;
+use parking_lot::Mutex;
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+type Bucket = Arc<dyn Any + Send + Sync>;
+
+struct ShuffleData {
+    /// `buckets[r]` holds one chunk per completed map task.
+    buckets: Vec<Vec<Bucket>>,
+    complete: bool,
+}
+
+/// Registry of all shuffles produced during a cluster's lifetime.
+pub struct ShuffleService {
+    shuffles: Mutex<HashMap<u64, ShuffleData>>,
+    metrics: ClusterMetrics,
+}
+
+impl ShuffleService {
+    /// Create an empty shuffle service.
+    pub fn new(metrics: ClusterMetrics) -> Self {
+        ShuffleService {
+            shuffles: Mutex::new(HashMap::new()),
+            metrics,
+        }
+    }
+
+    /// Has `shuffle_id` been fully materialised?
+    pub fn is_complete(&self, shuffle_id: u64) -> bool {
+        self.shuffles
+            .lock()
+            .get(&shuffle_id)
+            .map(|s| s.complete)
+            .unwrap_or(false)
+    }
+
+    /// Register the output of one map task: `chunks[r]` is the data destined
+    /// for reduce partition `r`. `bytes` is the estimated serialized volume
+    /// (for metrics / virtual time).
+    pub fn write_map_output<T: Send + Sync + 'static>(
+        &self,
+        shuffle_id: u64,
+        num_reduce: usize,
+        chunks: Vec<Vec<T>>,
+        bytes: u64,
+    ) {
+        debug_assert_eq!(chunks.len(), num_reduce);
+        let records: u64 = chunks.iter().map(|c| c.len() as u64).sum();
+        self.metrics.shuffle_records_written.add(records);
+        self.metrics.shuffle_bytes_written.add(bytes);
+        let mut s = self.shuffles.lock();
+        let entry = s.entry(shuffle_id).or_insert_with(|| ShuffleData {
+            buckets: (0..num_reduce).map(|_| Vec::new()).collect(),
+            complete: false,
+        });
+        debug_assert_eq!(entry.buckets.len(), num_reduce);
+        for (r, chunk) in chunks.into_iter().enumerate() {
+            entry.buckets[r].push(Arc::new(chunk) as Bucket);
+        }
+    }
+
+    /// Mark a shuffle complete once every map task has written.
+    pub fn mark_complete(&self, shuffle_id: u64) {
+        if let Some(s) = self.shuffles.lock().get_mut(&shuffle_id) {
+            s.complete = true;
+        }
+    }
+
+    /// Discard a partially written shuffle (used when a map stage must be
+    /// re-run after failures) so retries do not duplicate records.
+    pub fn discard(&self, shuffle_id: u64) {
+        self.shuffles.lock().remove(&shuffle_id);
+    }
+
+    /// Fetch reduce bucket `r`: the concatenation of that bucket across all
+    /// map outputs.
+    pub fn read_bucket<T: Clone + Send + Sync + 'static>(
+        &self,
+        shuffle_id: u64,
+        r: usize,
+    ) -> Vec<T> {
+        let chunks: Vec<Bucket> = {
+            let s = self.shuffles.lock();
+            let data = s
+                .get(&shuffle_id)
+                .unwrap_or_else(|| panic!("shuffle {shuffle_id} not materialised"));
+            assert!(
+                data.complete,
+                "shuffle {shuffle_id} read before completion"
+            );
+            data.buckets
+                .get(r)
+                .unwrap_or_else(|| panic!("bucket {r} out of range"))
+                .clone()
+        };
+        let mut out = Vec::new();
+        for chunk in chunks {
+            let typed = chunk
+                .downcast::<Vec<T>>()
+                .expect("shuffle bucket type mismatch");
+            out.extend_from_slice(&typed);
+        }
+        self.metrics.shuffle_records_read.add(out.len() as u64);
+        out
+    }
+
+    /// Number of registered shuffles (diagnostics).
+    pub fn shuffle_count(&self) -> usize {
+        self.shuffles.lock().len()
+    }
+
+    /// Drop all shuffle data (between experiments).
+    pub fn clear(&self) {
+        self.shuffles.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read_concatenates_map_outputs() {
+        let svc = ShuffleService::new(ClusterMetrics::new());
+        // Two map tasks, two reduce partitions.
+        svc.write_map_output(7, 2, vec![vec![1u32, 2], vec![3]], 12);
+        svc.write_map_output(7, 2, vec![vec![4u32], vec![5, 6]], 12);
+        svc.mark_complete(7);
+        let mut r0: Vec<u32> = svc.read_bucket(7, 0);
+        r0.sort_unstable();
+        assert_eq!(r0, vec![1, 2, 4]);
+        let mut r1: Vec<u32> = svc.read_bucket(7, 1);
+        r1.sort_unstable();
+        assert_eq!(r1, vec![3, 5, 6]);
+    }
+
+    #[test]
+    fn metrics_track_volume() {
+        let metrics = ClusterMetrics::new();
+        let svc = ShuffleService::new(metrics.clone());
+        svc.write_map_output(1, 1, vec![vec![1u8, 2, 3]], 3);
+        svc.mark_complete(1);
+        assert_eq!(metrics.shuffle_records_written.get(), 3);
+        assert_eq!(metrics.shuffle_bytes_written.get(), 3);
+        let _: Vec<u8> = svc.read_bucket(1, 0);
+        assert_eq!(metrics.shuffle_records_read.get(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "not materialised")]
+    fn reading_unknown_shuffle_panics() {
+        let svc = ShuffleService::new(ClusterMetrics::new());
+        let _: Vec<u8> = svc.read_bucket(99, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "before completion")]
+    fn reading_incomplete_shuffle_panics() {
+        let svc = ShuffleService::new(ClusterMetrics::new());
+        svc.write_map_output(1, 1, vec![vec![1u8]], 1);
+        let _: Vec<u8> = svc.read_bucket(1, 0);
+    }
+
+    #[test]
+    fn discard_allows_clean_rerun() {
+        let svc = ShuffleService::new(ClusterMetrics::new());
+        svc.write_map_output(1, 1, vec![vec![1u8]], 1);
+        svc.discard(1);
+        svc.write_map_output(1, 1, vec![vec![2u8]], 1);
+        svc.mark_complete(1);
+        let got: Vec<u8> = svc.read_bucket(1, 0);
+        assert_eq!(got, vec![2]);
+    }
+
+    #[test]
+    fn empty_buckets_read_as_empty() {
+        let svc = ShuffleService::new(ClusterMetrics::new());
+        svc.write_map_output(3, 2, vec![vec![], Vec::<u64>::new()], 0);
+        svc.mark_complete(3);
+        let got: Vec<u64> = svc.read_bucket(3, 1);
+        assert!(got.is_empty());
+    }
+}

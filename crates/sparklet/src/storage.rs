@@ -1,0 +1,262 @@
+//! Block manager: in-memory cache for computed RDD partitions.
+//!
+//! Mirrors Spark's storage layer at the granularity the paper relies on:
+//! `cache()` pins partitions in executor memory; when the memory pool is
+//! exhausted the least-recently-used blocks are evicted and later accesses
+//! recompute them from lineage (the engine's [`crate::rdd`] layer does the
+//! recomputation; the block manager only stores/evicts).
+
+use crate::metrics::ClusterMetrics;
+use parking_lot::Mutex;
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Identifies a cached partition: `(rdd id, partition index)`.
+pub type BlockId = (u64, usize);
+
+struct Block {
+    data: Arc<dyn Any + Send + Sync>,
+    size: usize,
+    /// Monotone access stamp for LRU.
+    last_used: u64,
+}
+
+struct Store {
+    blocks: HashMap<BlockId, Block>,
+    used: usize,
+    tick: u64,
+}
+
+/// Memory-bounded cache of computed partitions.
+///
+/// The pool is global (`executors * memory_per_executor * storage_fraction`),
+/// a simplification over Spark's per-executor pools that keeps eviction
+/// behaviour equivalent for the single-process engine.
+pub struct BlockManager {
+    store: Mutex<Store>,
+    capacity: usize,
+    metrics: ClusterMetrics,
+}
+
+impl BlockManager {
+    /// Fraction of executor memory available to storage (Spark's
+    /// `spark.storage.memoryFraction` era default was 0.6).
+    pub const STORAGE_FRACTION: f64 = 0.6;
+
+    /// Create a block manager with `capacity` bytes of storage memory.
+    pub fn new(capacity: usize, metrics: ClusterMetrics) -> Self {
+        BlockManager {
+            store: Mutex::new(Store {
+                blocks: HashMap::new(),
+                used: 0,
+                tick: 0,
+            }),
+            capacity,
+            metrics,
+        }
+    }
+
+    /// Total storage capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Bytes currently cached.
+    pub fn used(&self) -> usize {
+        self.store.lock().used
+    }
+
+    /// Number of blocks currently cached.
+    pub fn block_count(&self) -> usize {
+        self.store.lock().blocks.len()
+    }
+
+    /// Look up a cached partition. Hits bump the LRU stamp and the
+    /// `cache_hits` metric; misses bump `cache_misses`.
+    pub fn get<T: Send + Sync + 'static>(&self, id: BlockId) -> Option<Arc<Vec<T>>> {
+        let mut s = self.store.lock();
+        s.tick += 1;
+        let tick = s.tick;
+        match s.blocks.get_mut(&id) {
+            Some(block) => {
+                block.last_used = tick;
+                let data = block.data.clone();
+                drop(s);
+                match data.downcast::<Vec<T>>() {
+                    Ok(v) => {
+                        self.metrics.cache_hits.inc();
+                        Some(v)
+                    }
+                    Err(_) => {
+                        // Type mismatch can only happen on RDD-id reuse bugs;
+                        // treat as a miss rather than corrupting the caller.
+                        self.metrics.cache_misses.inc();
+                        None
+                    }
+                }
+            }
+            None => {
+                drop(s);
+                self.metrics.cache_misses.inc();
+                None
+            }
+        }
+    }
+
+    /// Insert a computed partition, evicting LRU blocks as needed. Blocks
+    /// larger than the whole pool are not cached at all (callers simply
+    /// recompute them), matching Spark's "skip caching oversized partition"
+    /// behaviour.
+    pub fn put<T: Send + Sync + 'static>(&self, id: BlockId, data: Arc<Vec<T>>, size: usize) {
+        if size > self.capacity {
+            return;
+        }
+        let mut s = self.store.lock();
+        if let Some(old) = s.blocks.remove(&id) {
+            s.used -= old.size;
+        }
+        while s.used + size > self.capacity {
+            // Evict the least recently used block.
+            let victim = s
+                .blocks
+                .iter()
+                .min_by_key(|(_, b)| b.last_used)
+                .map(|(k, _)| *k);
+            match victim {
+                Some(k) => {
+                    if let Some(b) = s.blocks.remove(&k) {
+                        s.used -= b.size;
+                        self.metrics.cache_evictions.inc();
+                    }
+                }
+                None => break,
+            }
+        }
+        s.tick += 1;
+        let tick = s.tick;
+        s.used += size;
+        s.blocks.insert(
+            id,
+            Block {
+                data,
+                size,
+                last_used: tick,
+            },
+        );
+    }
+
+    /// Remove every cached partition of an RDD (`unpersist`).
+    pub fn evict_rdd(&self, rdd_id: u64) {
+        let mut s = self.store.lock();
+        let keys: Vec<BlockId> = s
+            .blocks
+            .keys()
+            .filter(|(r, _)| *r == rdd_id)
+            .copied()
+            .collect();
+        for k in keys {
+            if let Some(b) = s.blocks.remove(&k) {
+                s.used -= b.size;
+            }
+        }
+    }
+
+    /// Clear the whole cache.
+    pub fn clear(&self) {
+        let mut s = self.store.lock();
+        s.blocks.clear();
+        s.used = 0;
+    }
+}
+
+/// Estimate the resident size of a `Vec<T>` partition.
+///
+/// Deliberately shallow (`len * size_of::<T>()`): the engine's memory model
+/// needs relative sizes that scale with record counts, not byte-exact
+/// accounting. Documented in `DESIGN.md`.
+pub fn estimate_vec_size<T>(v: &[T]) -> usize {
+    v.len() * std::mem::size_of::<T>().max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bm(cap: usize) -> BlockManager {
+        BlockManager::new(cap, ClusterMetrics::new())
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let m = bm(1024);
+        m.put((1, 0), Arc::new(vec![1u32, 2, 3]), 12);
+        let got: Arc<Vec<u32>> = m.get((1, 0)).unwrap();
+        assert_eq!(*got, vec![1, 2, 3]);
+        assert_eq!(m.used(), 12);
+    }
+
+    #[test]
+    fn miss_returns_none_and_counts() {
+        let metrics = ClusterMetrics::new();
+        let m = BlockManager::new(64, metrics.clone());
+        assert!(m.get::<u32>((9, 9)).is_none());
+        assert_eq!(metrics.cache_misses.get(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_prefers_oldest() {
+        let m = bm(100);
+        m.put((1, 0), Arc::new(vec![0u8; 40]), 40);
+        m.put((1, 1), Arc::new(vec![0u8; 40]), 40);
+        // Touch block 0 so block 1 becomes LRU.
+        let _ = m.get::<u8>((1, 0));
+        m.put((1, 2), Arc::new(vec![0u8; 40]), 40);
+        assert!(m.get::<u8>((1, 0)).is_some(), "recently used survives");
+        assert!(m.get::<u8>((1, 1)).is_none(), "LRU victim evicted");
+        assert!(m.get::<u8>((1, 2)).is_some());
+    }
+
+    #[test]
+    fn oversized_blocks_are_not_cached() {
+        let m = bm(10);
+        m.put((1, 0), Arc::new(vec![0u8; 100]), 100);
+        assert_eq!(m.block_count(), 0);
+    }
+
+    #[test]
+    fn reinsert_replaces_and_fixes_accounting() {
+        let m = bm(100);
+        m.put((1, 0), Arc::new(vec![1u8]), 30);
+        m.put((1, 0), Arc::new(vec![2u8]), 50);
+        assert_eq!(m.used(), 50);
+        let got: Arc<Vec<u8>> = m.get((1, 0)).unwrap();
+        assert_eq!(*got, vec![2u8]);
+    }
+
+    #[test]
+    fn evict_rdd_removes_all_its_partitions() {
+        let m = bm(1000);
+        m.put((1, 0), Arc::new(vec![1u8]), 10);
+        m.put((1, 1), Arc::new(vec![1u8]), 10);
+        m.put((2, 0), Arc::new(vec![1u8]), 10);
+        m.evict_rdd(1);
+        assert!(m.get::<u8>((1, 0)).is_none());
+        assert!(m.get::<u8>((1, 1)).is_none());
+        assert!(m.get::<u8>((2, 0)).is_some());
+        assert_eq!(m.used(), 10);
+    }
+
+    #[test]
+    fn type_mismatch_is_a_miss_not_a_panic() {
+        let m = bm(100);
+        m.put((1, 0), Arc::new(vec![1u32]), 4);
+        assert!(m.get::<String>((1, 0)).is_none());
+    }
+
+    #[test]
+    fn estimate_scales_with_len() {
+        assert_eq!(estimate_vec_size(&[0u64; 8]), 64);
+        assert_eq!(estimate_vec_size::<u64>(&[]), 0);
+    }
+}

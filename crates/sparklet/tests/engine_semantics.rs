@@ -1,0 +1,163 @@
+//! Property-based equivalence: every sparklet operator must agree with the
+//! obvious single-threaded reference implementation over `Vec`/`HashMap`,
+//! for arbitrary data, partition counts and parallelism.
+
+use proptest::prelude::*;
+use sparklet::{Cluster, PairRdd};
+use std::collections::HashMap;
+
+fn sorted<T: Ord>(mut v: Vec<T>) -> Vec<T> {
+    v.sort();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn map_filter_collect_matches_reference(
+        data in prop::collection::vec(0u32..1000, 0..200),
+        parts in 1usize..12,
+        workers in 1usize..6,
+    ) {
+        let c = Cluster::local(workers);
+        let got = c
+            .parallelize(data.clone(), parts)
+            .map(|x| x.wrapping_mul(3))
+            .filter(|x| x % 2 == 0)
+            .collect()
+            .unwrap();
+        let expect: Vec<u32> = data
+            .iter()
+            .map(|x| x.wrapping_mul(3))
+            .filter(|x| x % 2 == 0)
+            .collect();
+        prop_assert_eq!(got, expect, "order must be preserved");
+    }
+
+    #[test]
+    fn reduce_by_key_matches_hashmap(
+        data in prop::collection::vec((0u8..10, 0u64..100), 0..150),
+        parts in 1usize..8,
+        reduce_parts in 1usize..8,
+    ) {
+        let c = Cluster::local(2);
+        let got: HashMap<u8, u64> = c
+            .parallelize(data.clone(), parts)
+            .reduce_by_key(|a, b| a + b, reduce_parts)
+            .collect()
+            .unwrap()
+            .into_iter()
+            .collect();
+        let mut expect: HashMap<u8, u64> = HashMap::new();
+        for (k, v) in data {
+            *expect.entry(k).or_default() += v;
+        }
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn join_matches_nested_loop(
+        left in prop::collection::vec((0u8..6, 0u16..50), 0..40),
+        right in prop::collection::vec((0u8..6, 0u16..50), 0..40),
+        parts in 1usize..6,
+    ) {
+        let c = Cluster::local(2);
+        let got = sorted(
+            c.parallelize(left.clone(), 2)
+                .join(&c.parallelize(right.clone(), 3), parts)
+                .unwrap()
+                .collect()
+                .unwrap(),
+        );
+        let mut expect = Vec::new();
+        for (k, v) in &left {
+            for (k2, w) in &right {
+                if k == k2 {
+                    expect.push((*k, (*v, *w)));
+                }
+            }
+        }
+        prop_assert_eq!(got, sorted(expect));
+    }
+
+    #[test]
+    fn distinct_matches_set(
+        data in prop::collection::vec(0u16..40, 0..120),
+        parts in 1usize..6,
+    ) {
+        let c = Cluster::local(2);
+        let got = sorted(c.parallelize(data.clone(), parts).distinct(3).collect().unwrap());
+        let expect = sorted(
+            data.into_iter()
+                .collect::<std::collections::HashSet<u16>>()
+                .into_iter()
+                .collect::<Vec<_>>(),
+        );
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn sort_by_matches_std_sort(
+        data in prop::collection::vec(-500i32..500, 0..200),
+        parts in 1usize..8,
+    ) {
+        let c = Cluster::local(3);
+        let got = c
+            .parallelize(data.clone(), parts)
+            .sort_by(|x| *x, 4)
+            .unwrap()
+            .collect()
+            .unwrap();
+        prop_assert_eq!(got, sorted(data));
+    }
+
+    #[test]
+    fn aggregate_is_partitioning_invariant(
+        data in prop::collection::vec(0u64..1000, 1..120),
+        parts_a in 1usize..9,
+        parts_b in 1usize..9,
+    ) {
+        let c = Cluster::local(2);
+        let sum = |parts: usize| {
+            c.parallelize(data.clone(), parts)
+                .aggregate(0u64, |a, x| a + x, |a, b| a + b)
+                .unwrap()
+        };
+        prop_assert_eq!(sum(parts_a), sum(parts_b));
+        prop_assert_eq!(sum(parts_a), data.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn caching_changes_nothing(
+        data in prop::collection::vec(0u32..100, 0..100),
+        parts in 1usize..6,
+    ) {
+        let c = Cluster::local(2);
+        let rdd = c.parallelize(data, parts).map(|x| x + 1);
+        let cached = rdd.cache();
+        let once = cached.collect().unwrap();
+        let twice = cached.collect().unwrap();
+        prop_assert_eq!(&once, &twice);
+        prop_assert_eq!(once, rdd.collect().unwrap());
+    }
+
+    #[test]
+    fn group_by_key_partitions_preserve_multiset(
+        data in prop::collection::vec((0u8..5, 0u32..30), 0..100),
+    ) {
+        let c = Cluster::local(2);
+        let grouped = c
+            .parallelize(data.clone(), 4)
+            .group_by_key(3)
+            .collect()
+            .unwrap();
+        // Flattening the groups recovers the exact input multiset.
+        let mut flat: Vec<(u8, u32)> = grouped
+            .into_iter()
+            .flat_map(|(k, vs)| vs.into_iter().map(move |v| (k, v)))
+            .collect();
+        flat.sort();
+        prop_assert_eq!(flat, sorted(data));
+    }
+}

@@ -1,0 +1,24 @@
+//! # textprep — NLP preprocessing for ADR report narratives
+//!
+//! The paper's §4.2: *"we apply common techniques to tokenize the content in
+//! the report description field, remove stop words, and then stem tokenized
+//! words to their root forms before computing their distances."*
+//!
+//! This crate provides exactly that pipeline, from scratch:
+//!
+//! * [`tokenize`] — lowercasing alphanumeric tokenizer;
+//! * [`stopwords`] — a standard English stopword list with medical-report
+//!   additions;
+//! * [`porter`] — the full Porter (1980) suffix-stripping stemmer;
+//! * [`Pipeline`] — tokenize → stop-word filter → stem, the unit the
+//!   pairwise-distance module calls per free-text field.
+
+pub mod pipeline;
+pub mod porter;
+pub mod stopwords;
+pub mod tokenizer;
+
+pub use pipeline::Pipeline;
+pub use porter::stem;
+pub use stopwords::is_stopword;
+pub use tokenizer::tokenize;

@@ -1,0 +1,114 @@
+//! The tokenize → stopword-filter → stem pipeline of §4.2.
+
+use crate::porter::stem;
+use crate::stopwords::is_stopword;
+use crate::tokenizer::tokenize;
+
+/// Configurable free-text preprocessing pipeline.
+///
+/// The default configuration matches the paper: tokenize, drop stopwords,
+/// Porter-stem. Both filters can be toggled for ablations.
+#[derive(Debug, Clone, Copy)]
+pub struct Pipeline {
+    /// Drop stopwords after tokenization.
+    pub remove_stopwords: bool,
+    /// Porter-stem surviving tokens.
+    pub stem: bool,
+    /// Drop tokens shorter than this many characters (0 = keep all).
+    pub min_token_len: usize,
+}
+
+impl Default for Pipeline {
+    fn default() -> Self {
+        Pipeline {
+            remove_stopwords: true,
+            stem: true,
+            min_token_len: 2,
+        }
+    }
+}
+
+impl Pipeline {
+    /// The paper's pipeline.
+    pub fn paper() -> Self {
+        Self::default()
+    }
+
+    /// Tokenize only (ablation baseline).
+    pub fn tokenize_only() -> Self {
+        Pipeline {
+            remove_stopwords: false,
+            stem: false,
+            min_token_len: 0,
+        }
+    }
+
+    /// Process a free-text field into comparison-ready terms.
+    pub fn process(&self, text: &str) -> Vec<String> {
+        tokenize(text)
+            .into_iter()
+            .filter(|t| t.chars().count() >= self.min_token_len)
+            .filter(|t| !self.remove_stopwords || !is_stopword(t))
+            .map(|t| if self.stem { stem(&t) } else { t })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_pipeline_strips_boilerplate_and_stems() {
+        let p = Pipeline::paper();
+        let terms = p.process("The patient experienced uncontrollable coughing and headaches.");
+        assert!(!terms.contains(&"the".to_string()));
+        assert!(!terms.contains(&"patient".to_string()));
+        assert!(terms.contains(&stem("coughing")));
+        assert!(terms.contains(&stem("headaches")));
+    }
+
+    #[test]
+    fn paraphrased_duplicates_share_most_terms() {
+        // Condensed from the paper's Table 1(b): two narratives of the same
+        // event written by different reporters.
+        let p = Pipeline::paper();
+        let a = p.process(
+            "On 30 April 2013, within hours of vaccination with Boostrix, the subject \
+             experienced uncontrollable cough and felt like she was choking.",
+        );
+        let b = p.process(
+            "In the afternoon of 30-Apr-2013, the patient experienced uncontrollable \
+             cough for 2 hours, then started choking.",
+        );
+        let sa: std::collections::HashSet<&String> = a.iter().collect();
+        let sb: std::collections::HashSet<&String> = b.iter().collect();
+        let inter = sa.intersection(&sb).count();
+        assert!(
+            inter >= 5,
+            "stemmed narratives of the same event should overlap heavily, got {inter}: {a:?} vs {b:?}"
+        );
+    }
+
+    #[test]
+    fn tokenize_only_preserves_everything() {
+        let p = Pipeline::tokenize_only();
+        assert_eq!(
+            p.process("The patient was ill"),
+            vec!["the", "patient", "was", "ill"]
+        );
+    }
+
+    #[test]
+    fn min_token_len_filters_single_chars() {
+        let p = Pipeline::paper();
+        let terms = p.process("x y vomiting");
+        assert_eq!(terms, vec![stem("vomiting")]);
+    }
+
+    #[test]
+    fn empty_text_yields_no_terms() {
+        assert!(Pipeline::paper().process("").is_empty());
+        assert!(Pipeline::paper().process("the of and").is_empty());
+    }
+}

@@ -1,0 +1,82 @@
+//! Lowercasing alphanumeric tokenizer.
+
+/// Split `text` into lowercase tokens of alphanumeric runs.
+///
+/// Punctuation, dates like `01-05-2013` and dosage strings like `80 mg`
+/// split into their alphanumeric components, which is what makes narratives
+/// with differing punctuation conventions comparable (the paper's Table 1
+/// duplicates differ exactly this way).
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut cur = String::new();
+    for ch in text.chars() {
+        if ch.is_alphanumeric() {
+            for lc in ch.to_lowercase() {
+                cur.push(lc);
+            }
+        } else if !cur.is_empty() {
+            tokens.push(std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        tokens.push(cur);
+    }
+    tokens
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn splits_on_punctuation_and_whitespace() {
+        assert_eq!(
+            tokenize("On 30 April 2013, in the evening."),
+            vec!["on", "30", "april", "2013", "in", "the", "evening"]
+        );
+    }
+
+    #[test]
+    fn lowercases() {
+        assert_eq!(tokenize("Atorvastatin CALCIUM"), vec!["atorvastatin", "calcium"]);
+    }
+
+    #[test]
+    fn dates_and_doses_split() {
+        assert_eq!(tokenize("01-05-2013"), vec!["01", "05", "2013"]);
+        assert_eq!(tokenize("80mg"), vec!["80mg"]);
+        assert_eq!(tokenize("80 mg"), vec!["80", "mg"]);
+    }
+
+    #[test]
+    fn empty_and_punctuation_only() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("--- ,,, !!!").is_empty());
+    }
+
+    #[test]
+    fn unicode_handled() {
+        assert_eq!(tokenize("naïve café"), vec!["naïve", "café"]);
+    }
+
+    proptest! {
+        #[test]
+        fn tokens_are_nonempty_lowercase_alphanumeric(s in ".{0,64}") {
+            for t in tokenize(&s) {
+                prop_assert!(!t.is_empty());
+                prop_assert!(t.chars().all(|c| c.is_alphanumeric()));
+                // Lowercasing is idempotent on the output (some uppercase
+                // codepoints like 𝐀 have no lowercase mapping and survive).
+                prop_assert_eq!(t.to_lowercase(), t.to_lowercase().to_lowercase());
+            }
+        }
+
+        #[test]
+        fn idempotent_on_joined_output(s in "[ a-z0-9]{0,64}") {
+            let once = tokenize(&s);
+            let again = tokenize(&once.join(" "));
+            prop_assert_eq!(once, again);
+        }
+    }
+}

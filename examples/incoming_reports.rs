@@ -1,0 +1,68 @@
+//! Interactive-style detection for a single incoming report — the
+//! "interactive and fast detection of duplicates for a specific report"
+//! use-case §1 motivates Spark (here: sparklet) with.
+//!
+//! ```sh
+//! cargo run -p examples --bin incoming_reports --release
+//! ```
+//!
+//! Builds a database, hand-crafts a follow-up report of a known case (the
+//! paper's Table 1(a) pattern: same patient and drug, different outcome and
+//! rewritten narrative), submits it, and prints the ranked candidate pairs.
+
+use adr_model::AdrReport;
+use adr_synth::{Dataset, SynthConfig};
+use dedup::{DedupConfig, DedupSystem};
+use sparklet::Cluster;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let corpus = Dataset::generate(&SynthConfig::small(800, 40, 11));
+    let cluster = Cluster::local(4);
+    let mut config = DedupConfig::default();
+    config.knn.b = 16;
+    let mut system = DedupSystem::new(cluster, config);
+    system.bootstrap(&corpus.reports, &corpus.duplicate_pairs)?;
+
+    // A clerk re-enters case 123 from a handwritten follow-up: outcome now
+    // known, narrative paraphrased.
+    let original = &corpus.reports[123];
+    let mut followup = AdrReport {
+        id: corpus.reports.len() as u64,
+        ..original.clone()
+    };
+    followup.case.case_number = "CASE-2013-FOLLOWUP".into();
+    followup.reaction.reaction_outcome_description = Some("Recovered".into());
+    followup.reaction.report_description = format!(
+        "Follow-up received: the patient described in an earlier report recovered fully. \
+         Original account: {}",
+        original.reaction.report_description
+    );
+
+    println!(
+        "submitting follow-up of report {} (drug: {})",
+        original.id, original.medicine.generic_name_description
+    );
+    let detections = system.detect_new(&[followup])?;
+    println!(
+        "checked {} candidate pairs; top 5 by score:",
+        detections.len()
+    );
+    for d in detections.iter().take(5) {
+        println!(
+            "  pair ({:>4}, {:>4})  score {:>10.2}  {}",
+            d.pair.lo,
+            d.pair.hi,
+            d.score,
+            if d.is_duplicate { "DUPLICATE" } else { "distinct" }
+        );
+    }
+    let hit = detections
+        .iter()
+        .any(|d| d.is_duplicate && d.pair.contains(original.id));
+    println!(
+        "follow-up correctly linked to report {}: {}",
+        original.id,
+        if hit { "yes" } else { "no" }
+    );
+    Ok(())
+}

@@ -1,0 +1,3 @@
+//! Shared nothing — this package exists to host the runnable examples; see
+//! the `[[bin]]` targets (`quickstart`, `batch_dedup`, `incoming_reports`,
+//! `classifier_shootout`).

@@ -1,0 +1,109 @@
+//! End-to-end integration: corpus generation → text processing → pairwise
+//! distances → Fast kNN classification → feedback, across all crates.
+
+use adr_model::{AdrReport, PairId};
+use adr_synth::{Dataset, SynthConfig};
+use dedup::workload::build_workload;
+use dedup::{DedupConfig, DedupSystem};
+use fastknn::{FastKnn, FastKnnConfig};
+use mlcore::average_precision;
+use sparklet::Cluster;
+use std::collections::HashMap;
+
+#[test]
+fn full_pipeline_detects_most_injected_duplicates() {
+    let corpus = Dataset::generate(&SynthConfig::small(600, 30, 99));
+    let workload = build_workload(&corpus, 4_000, 400, 99);
+    let cluster = Cluster::local(4);
+    let model = FastKnn::fit(
+        &cluster,
+        &workload.train,
+        FastKnnConfig {
+            b: 12,
+            ..FastKnnConfig::default()
+        },
+    )
+    .expect("fit");
+    let scored = model.classify(&workload.test).expect("classify");
+    let by_id: HashMap<u64, f64> = scored.iter().map(|s| (s.id, s.score)).collect();
+    let scores: Vec<f64> = workload.test.iter().map(|t| by_id[&t.id]).collect();
+    let ap = average_precision(&workload.scored(&scores));
+    assert!(
+        ap > 0.75,
+        "end-to-end AUPR should be strong on a small corpus, got {ap}"
+    );
+}
+
+#[test]
+fn dedup_system_feedback_loop_grows_and_detects() {
+    let corpus = Dataset::generate(&SynthConfig::small(400, 20, 5));
+    let cut = 380;
+    let historical: Vec<AdrReport> = corpus.reports[..cut].to_vec();
+    let labelled: Vec<PairId> = corpus
+        .duplicate_pairs
+        .iter()
+        .filter(|p| (p.hi as usize) < cut)
+        .copied()
+        .collect();
+    let cluster = Cluster::local(2);
+    let mut config = DedupConfig::default();
+    config.knn.b = 8;
+    config.bootstrap_negatives = 500;
+    let mut system = DedupSystem::new(cluster, config);
+    system.bootstrap(&historical, &labelled).expect("bootstrap");
+
+    let dup_count_before = system.store().duplicate_count();
+    let arriving: Vec<AdrReport> = corpus.reports[cut..].to_vec();
+    let detections = system.detect_new(&arriving).expect("detect");
+    assert!(!detections.is_empty());
+    // Every candidate decision fed back into the stores.
+    assert!(
+        system.store().duplicate_count() >= dup_count_before,
+        "labelled duplicate store must never shrink"
+    );
+    // Detections reference only known reports.
+    for d in &detections {
+        assert!(d.pair.hi < corpus.reports.len() as u64);
+    }
+}
+
+#[test]
+fn determinism_across_full_runs() {
+    let run = || {
+        let corpus = Dataset::generate(&SynthConfig::small(300, 15, 1));
+        let workload = build_workload(&corpus, 2_000, 200, 1);
+        let cluster = Cluster::local(3);
+        let model = FastKnn::fit(
+            &cluster,
+            &workload.train,
+            FastKnnConfig {
+                b: 8,
+                ..FastKnnConfig::default()
+            },
+        )
+        .expect("fit");
+        model
+            .classify(&workload.test)
+            .expect("classify")
+            .iter()
+            .map(|s| (s.id, s.score.to_bits(), s.positive))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(), run(), "whole pipeline must be bit-deterministic");
+}
+
+#[test]
+fn engine_metrics_trace_the_whole_pipeline() {
+    let corpus = Dataset::generate(&SynthConfig::small(300, 15, 2));
+    let workload = build_workload(&corpus, 2_000, 200, 2);
+    let cluster = Cluster::local(2);
+    let model =
+        FastKnn::fit(&cluster, &workload.train, FastKnnConfig::default()).expect("fit");
+    let _ = model.classify(&workload.test).expect("classify");
+    let m = cluster.metrics();
+    assert!(m.jobs_submitted.get() > 0);
+    assert!(m.tasks_succeeded.get() > 0);
+    assert!(m.shuffle_records_written.get() > 0);
+    assert!(m.counter(fastknn::counters::INTRA_COMPARISONS).get() > 0);
+    assert!(cluster.virtual_elapsed().us > 0);
+}

@@ -1,0 +1,2 @@
+//! This package only hosts the workspace integration tests (see the
+//! `[[test]]` targets in `Cargo.toml`).
