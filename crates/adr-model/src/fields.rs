@@ -41,6 +41,15 @@ pub const DETECTION_FIELDS: [DetectionField; 8] = [
 /// Number of detection fields = dimensionality of pair distance vectors.
 pub const DETECTION_DIMS: usize = DETECTION_FIELDS.len();
 
+/// A §4.2 pair distance vector: one `[0, 1]` component per detection field,
+/// in [`DETECTION_FIELDS`] order.
+///
+/// Fixed arity and `Copy` on purpose — the classification hot path evaluates
+/// millions of these per batch, and a stack array keeps that path free of
+/// per-pair heap allocation (and of the `Vec` clone churn a growable vector
+/// drags into every partition build).
+pub type DistVec = [f64; DETECTION_DIMS];
+
 /// A typed field value extracted from a report.
 #[derive(Debug, Clone, PartialEq)]
 pub enum FieldValue<'a> {
@@ -57,25 +66,17 @@ impl DetectionField {
     pub fn extract<'a>(&self, r: &'a AdrReport) -> FieldValue<'a> {
         match self {
             DetectionField::Age => FieldValue::Numeric(r.patient.calculated_age),
-            DetectionField::Sex => {
-                FieldValue::Categorical(r.patient.sex.map(|s| s.as_str()))
-            }
+            DetectionField::Sex => FieldValue::Categorical(r.patient.sex.map(|s| s.as_str())),
             DetectionField::State => {
                 FieldValue::Categorical(r.patient.residential_state.as_deref())
             }
-            DetectionField::OnsetDate => {
-                FieldValue::Categorical(r.reaction.onset_date.as_deref())
-            }
+            DetectionField::OnsetDate => FieldValue::Categorical(r.reaction.onset_date.as_deref()),
             DetectionField::OutcomeDescription => {
                 FieldValue::Categorical(r.reaction.reaction_outcome_description.as_deref())
             }
-            DetectionField::DrugName => {
-                FieldValue::Text(&r.medicine.generic_name_description)
-            }
+            DetectionField::DrugName => FieldValue::Text(&r.medicine.generic_name_description),
             DetectionField::AdrName => FieldValue::Text(&r.reaction.meddra_pt_code),
-            DetectionField::ReportDescription => {
-                FieldValue::Text(&r.reaction.report_description)
-            }
+            DetectionField::ReportDescription => FieldValue::Text(&r.reaction.report_description),
         }
     }
 
@@ -117,7 +118,10 @@ mod tests {
         r.reaction.meddra_pt_code = "Rhabdomyolysis".into();
         r.reaction.report_description = "narrative".into();
 
-        assert_eq!(DetectionField::Age.extract(&r), FieldValue::Numeric(Some(46.0)));
+        assert_eq!(
+            DetectionField::Age.extract(&r),
+            FieldValue::Numeric(Some(46.0))
+        );
         assert_eq!(
             DetectionField::Sex.extract(&r),
             FieldValue::Categorical(Some("M"))
@@ -152,7 +156,10 @@ mod tests {
     fn missing_values_extract_as_none() {
         let r = AdrReport::default();
         assert_eq!(DetectionField::Age.extract(&r), FieldValue::Numeric(None));
-        assert_eq!(DetectionField::Sex.extract(&r), FieldValue::Categorical(None));
+        assert_eq!(
+            DetectionField::Sex.extract(&r),
+            FieldValue::Categorical(None)
+        );
     }
 
     #[test]

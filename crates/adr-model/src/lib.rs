@@ -9,6 +9,6 @@ pub mod fields;
 pub mod pairs;
 pub mod report;
 
-pub use fields::{DetectionField, FieldValue, DETECTION_DIMS, DETECTION_FIELDS};
+pub use fields::{DetectionField, DistVec, FieldValue, DETECTION_DIMS, DETECTION_FIELDS};
 pub use pairs::{PairId, PairLabel, ReportPair};
 pub use report::{AdrReport, ReportId, Sex};

@@ -212,7 +212,11 @@ mod tests {
             assert_ne!(c, age);
             let a = age.to_string();
             let b = c.to_string();
-            assert_eq!(a.len(), b.len(), "digit count must not change: {age} -> {c}");
+            assert_eq!(
+                a.len(),
+                b.len(),
+                "digit count must not change: {age} -> {c}"
+            );
             let diff = a.bytes().zip(b.bytes()).filter(|(x, y)| x != y).count();
             assert_eq!(diff, 1, "{age} -> {c}");
         }

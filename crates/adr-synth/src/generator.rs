@@ -1,12 +1,8 @@
 //! Seeded dataset generation with duplicate injection.
 
-use crate::corruption::{
-    corrupt_age, corrupt_date, edit_term_list, inject_typo, CorruptionConfig,
-};
+use crate::corruption::{corrupt_age, corrupt_date, edit_term_list, inject_typo, CorruptionConfig};
 use crate::lexicon::{adr_terms, drug_names, OUTCOMES, REPORTER_TYPES, STATES};
-use crate::narrative::{
-    append_details, render, render_followup, CaseFacts, TEMPLATE_COUNT,
-};
+use crate::narrative::{append_details, render, render_followup, CaseFacts, TEMPLATE_COUNT};
 use adr_model::{AdrReport, PairId, Sex};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -110,7 +106,10 @@ impl Generator {
     fn detail_mask(&mut self) -> u16 {
         let mut mask = 0u16;
         for _ in 0..self.rng.gen_range(0..=4u8) {
-            mask |= 1 << self.rng.gen_range(0..crate::narrative::DETAIL_SENTENCES.len());
+            mask |= 1
+                << self
+                    .rng
+                    .gen_range(0..crate::narrative::DETAIL_SENTENCES.len());
         }
         mask
     }
@@ -137,8 +136,8 @@ impl Generator {
         // reaction profile and a campaign month — the corpus's hard
         // negatives. Only ids past the lexicon walk are eligible so the
         // Table 3 unique counts stay exact.
-        let campaign = id as usize >= self.config.num_adrs
-            && self.rng.gen_bool(self.config.campaign_fraction);
+        let campaign =
+            id as usize >= self.config.num_adrs && self.rng.gen_bool(self.config.campaign_fraction);
         let mut cohort_age: Option<u32> = None;
         let mut campaign_template: Option<usize> = None;
         let (drugs, adrs, onset_table, onset_narrative) = if campaign {
@@ -202,8 +201,7 @@ impl Generator {
         // different fields", §4.2; Table 1's "-" state values). Consumer
         // reports are the least complete. The narrative still carries the
         // facts — the structured field was simply never keyed in.
-        let reporter =
-            REPORTER_TYPES[self.rng.gen_range(0..REPORTER_TYPES.len())].to_string();
+        let reporter = REPORTER_TYPES[self.rng.gen_range(0..REPORTER_TYPES.len())].to_string();
         let missing_boost = if reporter == "Consumer" { 2.0 } else { 1.0 };
         let (age_missing, sex_missing, state_missing, onset_missing) = {
             let mut missing = |base_rate: f64| -> bool {
@@ -220,8 +218,7 @@ impl Generator {
             onset_date: onset_narrative,
             outcome: outcome.clone(),
         };
-        let template =
-            campaign_template.unwrap_or_else(|| self.rng.gen_range(0..TEMPLATE_COUNT));
+        let template = campaign_template.unwrap_or_else(|| self.rng.gen_range(0..TEMPLATE_COUNT));
         let narrative = append_details(render(&facts, template, id), self.detail_mask());
 
         let mut r = AdrReport {
@@ -274,11 +271,7 @@ impl Generator {
         dup.id = new_id;
         dup.case.case_number = format!("CASE-2013-{new_id:06}");
 
-        let mut age = base
-            .patient
-            .calculated_age
-            .map(|a| a as u32)
-            .unwrap_or(40);
+        let mut age = base.patient.calculated_age.map(|a| a as u32).unwrap_or(40);
         if self.rng.gen_bool(cfg.age_digit_error) && base.patient.calculated_age.is_some() {
             age = corrupt_age(age, &mut self.rng);
             dup.patient.calculated_age = Some(age as f64);
@@ -302,8 +295,7 @@ impl Generator {
             }
         }
         if self.rng.gen_bool(cfg.drug_list_edit) {
-            let mut drugs: Vec<String> =
-                dup.drug_names().iter().map(|s| s.to_string()).collect();
+            let mut drugs: Vec<String> = dup.drug_names().iter().map(|s| s.to_string()).collect();
             let pool = self.drugs.clone();
             edit_term_list(&mut drugs, &pool, &mut self.rng);
             dup.medicine.generic_name_description = drugs.join(",");
@@ -471,9 +463,15 @@ mod tests {
         // Many — but not all — duplicates keep the drug name and onset
         // date; the corrupted fraction is what makes detection non-trivial.
         let n = ds.duplicate_pairs.len();
-        assert!(drug_same * 3 > n, "most duplicates should keep the drug name");
+        assert!(
+            drug_same * 3 > n,
+            "most duplicates should keep the drug name"
+        );
         assert!(drug_same < n, "some drug names must be corrupted");
-        assert!(onset_same * 3 > n, "many duplicates should keep the onset date");
+        assert!(
+            onset_same * 3 > n,
+            "many duplicates should keep the onset date"
+        );
         assert!(onset_same < n, "some onset dates must be corrupted");
     }
 

@@ -10,7 +10,17 @@
 
 /// Australian states/territories as categorical codes, plus the paper's
 /// "Not Known".
-pub const STATES: &[&str] = &["NSW", "VIC", "QLD", "WA", "SA", "TAS", "ACT", "NT", "Not Known"];
+pub const STATES: &[&str] = &[
+    "NSW",
+    "VIC",
+    "QLD",
+    "WA",
+    "SA",
+    "TAS",
+    "ACT",
+    "NT",
+    "Not Known",
+];
 
 /// Reaction outcome descriptions seen in Table 1.
 pub const OUTCOMES: &[&str] = &[
@@ -33,10 +43,10 @@ pub const REPORTER_TYPES: &[&str] = &[
 ];
 
 const DRUG_PREFIXES: &[&str] = &[
-    "ator", "sim", "flu", "ome", "pan", "cefa", "amoxi", "metro", "predni", "ibu", "para",
-    "keto", "napro", "tramo", "oxy", "carba", "lamo", "val", "rispe", "olan", "quetia", "sertra",
-    "fluoxe", "cita", "venla", "mirta", "dulo", "metho", "cyclo", "aza", "tacro", "myco",
-    "genta", "vanco", "cipro", "moxi", "clari", "azi", "doxy", "mino",
+    "ator", "sim", "flu", "ome", "pan", "cefa", "amoxi", "metro", "predni", "ibu", "para", "keto",
+    "napro", "tramo", "oxy", "carba", "lamo", "val", "rispe", "olan", "quetia", "sertra", "fluoxe",
+    "cita", "venla", "mirta", "dulo", "metho", "cyclo", "aza", "tacro", "myco", "genta", "vanco",
+    "cipro", "moxi", "clari", "azi", "doxy", "mino",
 ];
 
 const DRUG_STEMS: &[&str] = &[
@@ -44,9 +54,9 @@ const DRUG_STEMS: &[&str] = &[
 ];
 
 const DRUG_SUFFIXES: &[&str] = &[
-    "statin", "mycin", "prazole", "cillin", "sartan", "pril", "olol", "dipine", "zepam",
-    "oxetine", "apine", "idone", "mab", "nib", "floxacin", "cycline", "profen", "triptan",
-    "gliptin", "formin", "parin", "coxib", "azole", "virenz", "tadine",
+    "statin", "mycin", "prazole", "cillin", "sartan", "pril", "olol", "dipine", "zepam", "oxetine",
+    "apine", "idone", "mab", "nib", "floxacin", "cycline", "profen", "triptan", "gliptin",
+    "formin", "parin", "coxib", "azole", "virenz", "tadine",
 ];
 
 const VACCINE_NAMES: &[&str] = &[
@@ -61,25 +71,107 @@ const VACCINE_NAMES: &[&str] = &[
 ];
 
 const ADR_ROOTS: &[&str] = &[
-    "rhabdomyolysis", "vomiting", "pyrexia", "cough", "headache", "chills", "myalgia",
-    "arthralgia", "nausea", "dizziness", "rash", "pruritus", "urticaria", "dyspnoea",
-    "fatigue", "asthenia", "syncope", "tremor", "paraesthesia", "hypotension", "hypertension",
-    "tachycardia", "bradycardia", "anaphylaxis", "angioedema", "diarrhoea", "constipation",
-    "insomnia", "somnolence", "anxiety", "confusion", "hallucination", "seizure", "tinnitus",
-    "vertigo", "alopecia", "oedema", "thrombocytopenia", "neutropenia", "anaemia", "jaundice",
-    "hepatitis", "nephritis", "pancreatitis", "gastritis", "dermatitis", "stomatitis",
+    "rhabdomyolysis",
+    "vomiting",
+    "pyrexia",
+    "cough",
+    "headache",
+    "chills",
+    "myalgia",
+    "arthralgia",
+    "nausea",
+    "dizziness",
+    "rash",
+    "pruritus",
+    "urticaria",
+    "dyspnoea",
+    "fatigue",
+    "asthenia",
+    "syncope",
+    "tremor",
+    "paraesthesia",
+    "hypotension",
+    "hypertension",
+    "tachycardia",
+    "bradycardia",
+    "anaphylaxis",
+    "angioedema",
+    "diarrhoea",
+    "constipation",
+    "insomnia",
+    "somnolence",
+    "anxiety",
+    "confusion",
+    "hallucination",
+    "seizure",
+    "tinnitus",
+    "vertigo",
+    "alopecia",
+    "oedema",
+    "thrombocytopenia",
+    "neutropenia",
+    "anaemia",
+    "jaundice",
+    "hepatitis",
+    "nephritis",
+    "pancreatitis",
+    "gastritis",
+    "dermatitis",
+    "stomatitis",
 ];
 
 const ADR_QUALIFIERS: &[&str] = &[
-    "", "Aggravated", "Acute", "Chronic", "Severe", "Transient", "Recurrent", "Localised",
-    "Generalised", "Postural", "Nocturnal", "Drug-induced", "Allergic", "Idiopathic",
-    "Persistent", "Intermittent", "Progressive", "Bilateral", "Peripheral", "Central",
-    "Injection site", "Application site", "Infusion related", "Immune-mediated",
-    "Haemorrhagic", "Ischaemic", "Necrotising", "Ulcerative", "Erosive", "Atypical",
-    "Paradoxical", "Rebound", "Delayed", "Early onset", "Late onset", "Neonatal",
-    "Paediatric", "Geriatric", "Gestational", "Post-procedural", "Post-vaccination",
-    "Treatment-resistant", "Dose-related", "Withdrawal", "Toxic", "Functional",
-    "Mechanical", "Obstructive", "Secondary", "Primary", "Subacute",
+    "",
+    "Aggravated",
+    "Acute",
+    "Chronic",
+    "Severe",
+    "Transient",
+    "Recurrent",
+    "Localised",
+    "Generalised",
+    "Postural",
+    "Nocturnal",
+    "Drug-induced",
+    "Allergic",
+    "Idiopathic",
+    "Persistent",
+    "Intermittent",
+    "Progressive",
+    "Bilateral",
+    "Peripheral",
+    "Central",
+    "Injection site",
+    "Application site",
+    "Infusion related",
+    "Immune-mediated",
+    "Haemorrhagic",
+    "Ischaemic",
+    "Necrotising",
+    "Ulcerative",
+    "Erosive",
+    "Atypical",
+    "Paradoxical",
+    "Rebound",
+    "Delayed",
+    "Early onset",
+    "Late onset",
+    "Neonatal",
+    "Paediatric",
+    "Geriatric",
+    "Gestational",
+    "Post-procedural",
+    "Post-vaccination",
+    "Treatment-resistant",
+    "Dose-related",
+    "Withdrawal",
+    "Toxic",
+    "Functional",
+    "Mechanical",
+    "Obstructive",
+    "Secondary",
+    "Primary",
+    "Subacute",
 ];
 
 fn capitalize(s: &str) -> String {

@@ -1,20 +1,26 @@
 //! Criterion micro-benchmarks for the hot paths: string metrics, the text
-//! pipeline, kNN search, k-means, the field-distance vector, and the
-//! distributed classifier on a small workload.
+//! pipeline, kNN search, k-means, the field-distance vector, the distributed
+//! classifier on a small workload — and the three hot-path kernel
+//! comparisons behind `BENCH_hotpath.json` (retained reference vs the
+//! allocation-free replacement).
 //!
 //! Run with `cargo bench -p bench`.
 
 use adr_synth::{Dataset, SynthConfig};
+use bench::hotpath::{dual_corpus, pair_distance_strings};
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dedup::pair_distance;
 use dedup::workload::{build_workload_on, ProcessedCorpus};
-use dedup::{pair_distance, ProcessedReport};
 use fastknn::serial::{classify_brute, classify_fast_serial};
 use fastknn::voronoi::VoronoiPartition;
 use mlcore::kmeans::KMeans;
 use mlcore::knn::nearest_neighbors;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use simmetrics::{jaccard_distance, jaro_winkler, levenshtein};
+use simmetrics::{
+    euclidean, jaccard_distance, jaccard_distance_sorted, jaro_winkler, levenshtein,
+    squared_euclidean, squared_euclidean_fixed,
+};
 use textprep::{stem, Pipeline};
 
 fn string_metrics(c: &mut Criterion) {
@@ -46,13 +52,58 @@ fn text_pipeline(c: &mut Criterion) {
     });
 }
 
-fn pair_distances(c: &mut Criterion) {
-    let corpus = Dataset::generate(&SynthConfig::small(200, 10, 1));
-    let pipeline = Pipeline::paper();
-    let a = ProcessedReport::from_report(&corpus.reports[0], &pipeline);
-    let b = ProcessedReport::from_report(&corpus.reports[1], &pipeline);
-    c.bench_function("pair_distance/8_fields", |bench| {
-        bench.iter(|| pair_distance(black_box(&a), black_box(&b)))
+/// Kernel 1 of the hot-path comparison: HashSet Jaccard over string token
+/// sets vs the sorted-merge walk over interned ids, on realistic narrative
+/// term sets (~30–50 stems).
+fn kernel_jaccard(c: &mut Criterion) {
+    let ds = Dataset::generate(&SynthConfig::small(40, 3, 21));
+    let dual = dual_corpus(&ds.reports);
+    let (sa, sb) = (
+        &dual.strings[0].narrative_terms,
+        &dual.strings[1].narrative_terms,
+    );
+    let (ia, ib) = (
+        &dual.interned[0].narrative_terms,
+        &dual.interned[1].narrative_terms,
+    );
+    c.bench_function("kernel/jaccard_strings_hashset", |bench| {
+        bench.iter(|| jaccard_distance(black_box(sa), black_box(sb)))
+    });
+    c.bench_function("kernel/jaccard_interned_sorted", |bench| {
+        bench.iter(|| jaccard_distance_sorted(black_box(ia), black_box(ib)))
+    });
+}
+
+/// Kernel 2: the full §4.2 pair distance — seed `Vec<f64>` + string sets vs
+/// `DistVec` + interned sets.
+fn kernel_pair_distance(c: &mut Criterion) {
+    let ds = Dataset::generate(&SynthConfig::small(200, 10, 1));
+    let dual = dual_corpus(&ds.reports);
+    c.bench_function("pair_distance/vec_string_reference", |bench| {
+        bench.iter(|| {
+            pair_distance_strings(black_box(&dual.strings[0]), black_box(&dual.strings[1]))
+        })
+    });
+    c.bench_function("pair_distance/distvec_interned", |bench| {
+        bench.iter(|| pair_distance(black_box(&dual.interned[0]), black_box(&dual.interned[1])))
+    });
+}
+
+/// Kernel 3: 8-dim Euclidean — dynamic-length slice loop vs the fixed-arity
+/// kernel the compiler fully unrolls, linear vs squared.
+fn kernel_euclidean(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let a: [f64; 8] = std::array::from_fn(|_| rng.gen_range(0.0..1.0));
+    let b: [f64; 8] = std::array::from_fn(|_| rng.gen_range(0.0..1.0));
+    let (va, vb) = (a.to_vec(), b.to_vec());
+    c.bench_function("euclidean/slice8_sqrt", |bench| {
+        bench.iter(|| euclidean(black_box(&va), black_box(&vb)))
+    });
+    c.bench_function("euclidean/slice8_squared", |bench| {
+        bench.iter(|| squared_euclidean(black_box(&va), black_box(&vb)))
+    });
+    c.bench_function("euclidean/fixed8_squared", |bench| {
+        bench.iter(|| squared_euclidean_fixed(black_box(&a), black_box(&b)))
     });
 }
 
@@ -65,7 +116,11 @@ fn learning_primitives(c: &mut Criterion) {
     c.bench_function("knn/10k_points_k9", |bench| {
         bench.iter(|| nearest_neighbors(black_box(&query), black_box(&data), 9))
     });
-    let sample: Vec<Vec<f64>> = data.iter().take(2_000).cloned().collect();
+    let sample: Vec<[f64; 8]> = data
+        .iter()
+        .take(2_000)
+        .map(|v| std::array::from_fn(|i| v[i]))
+        .collect();
     c.bench_function("kmeans/2k_points_b16", |bench| {
         bench.iter(|| KMeans::new(16, 5).fit(black_box(&sample)))
     });
@@ -87,7 +142,9 @@ criterion_group!(
     benches,
     string_metrics,
     text_pipeline,
-    pair_distances,
+    kernel_jaccard,
+    kernel_pair_distance,
+    kernel_euclidean,
     learning_primitives,
     classifier
 );

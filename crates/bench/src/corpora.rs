@@ -14,9 +14,8 @@ pub fn tga_corpus() -> &'static ProcessedCorpus {
 /// A quick corpus for smoke runs and tests (800 reports, 40 dup pairs).
 pub fn small_corpus() -> &'static ProcessedCorpus {
     static CORPUS: OnceLock<ProcessedCorpus> = OnceLock::new();
-    CORPUS.get_or_init(|| {
-        ProcessedCorpus::new(Dataset::generate(&SynthConfig::small(800, 40, 2016)))
-    })
+    CORPUS
+        .get_or_init(|| ProcessedCorpus::new(Dataset::generate(&SynthConfig::small(800, 40, 2016))))
 }
 
 /// Paper-to-harness scaling for training-set sizes: the paper's "N million

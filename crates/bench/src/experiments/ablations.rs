@@ -10,7 +10,7 @@ use crate::harness::{count, f3, ExperimentResult};
 use fastknn::voronoi::VoronoiPartition;
 use fastknn::{additional_partitions, score_neighbors, LabeledPair, Neighborhood, UnlabeledPair};
 use mlcore::average_precision;
-use simmetrics::euclidean;
+use simmetrics::squared_euclidean_fixed;
 
 fn workload(quick: bool) -> (Vec<LabeledPair>, Vec<UnlabeledPair>, Vec<bool>) {
     let corpus = if quick {
@@ -47,30 +47,30 @@ fn run_serial(
         comparisons += vp.centers.len() as u64;
         let mut hood = Neighborhood::new(k);
         for p in &vp.negative_clusters[assigned] {
-            hood.push(euclidean(&t.vector, &p.vector), p.positive);
+            hood.push_sq(squared_euclidean_fixed(&t.vector, &p.vector), p.positive);
         }
         comparisons += vp.negative_clusters[assigned].len() as u64;
-        let intra_kth = hood.kth_distance();
-        let mut min_pos = f64::INFINITY;
+        let intra_kth_sq = hood.kth_distance_sq();
+        let mut min_pos_sq = f64::INFINITY;
         for p in &vp.positives {
-            let d = euclidean(&t.vector, &p.vector);
-            min_pos = min_pos.min(d);
-            hood.push(d, true);
+            let d_sq = squared_euclidean_fixed(&t.vector, &p.vector);
+            min_pos_sq = min_pos_sq.min(d_sq);
+            hood.push_sq(d_sq, true);
         }
         comparisons += vp.positives.len() as u64;
-        let skip = use_shortcut && intra_kth <= min_pos;
+        let skip = use_shortcut && intra_kth_sq <= min_pos_sq;
         if skip {
             shortcut_hits += 1;
         } else {
             let extra: Vec<usize> = if use_hyperplane {
-                additional_partitions(&t.vector, assigned, intra_kth, min_pos, &vp.centers)
+                additional_partitions(&t.vector, assigned, intra_kth_sq, min_pos_sq, &vp.centers)
             } else {
                 // Naive: consult every other cluster.
                 (0..vp.b()).filter(|&j| j != assigned).collect()
             };
             for cid in extra {
                 for p in &vp.negative_clusters[cid] {
-                    hood.push(euclidean(&t.vector, &p.vector), p.positive);
+                    hood.push_sq(squared_euclidean_fixed(&t.vector, &p.vector), p.positive);
                 }
                 cross += vp.negative_clusters[cid].len() as u64;
                 comparisons += vp.negative_clusters[cid].len() as u64;
@@ -114,8 +114,7 @@ pub fn run(quick: bool) -> Vec<ExperimentResult> {
     a1.note(format!(
         "Algorithm 1 removes {:.1}% of cross-cluster comparisons; scores are identical \
          in both variants (the bound is conservative).",
-        (1.0 - with_alg1.cross_comparisons as f64
-            / without_alg1.cross_comparisons.max(1) as f64)
+        (1.0 - with_alg1.cross_comparisons as f64 / without_alg1.cross_comparisons.max(1) as f64)
             * 100.0
     ));
     assert_eq!(
@@ -136,7 +135,7 @@ pub fn run(quick: bool) -> Vec<ExperimentResult> {
         .map(|t| {
             let mut hood = Neighborhood::new(k);
             for p in &train {
-                hood.push(euclidean(&t.vector, &p.vector), p.positive);
+                hood.push_sq(squared_euclidean_fixed(&t.vector, &p.vector), p.positive);
             }
             hood.entries
                 .iter()
@@ -195,8 +194,11 @@ pub fn run(quick: bool) -> Vec<ExperimentResult> {
     // outright — the paper's "difficult to build a consistent model" —
     // while a modern dual coordinate descent solver nearly closes the gap.
     use mlcore::svm::{LinearSvm, SvmConfig};
-    let x: Vec<Vec<f64>> = train.iter().map(|p| p.vector.clone()).collect();
-    let y: Vec<i8> = train.iter().map(|p| if p.positive { 1 } else { -1 }).collect();
+    let x: Vec<Vec<f64>> = train.iter().map(|p| p.vector.to_vec()).collect();
+    let y: Vec<i8> = train
+        .iter()
+        .map(|p| if p.positive { 1 } else { -1 })
+        .collect();
     let eval = |svm: &LinearSvm| {
         let scored: Vec<(f64, bool)> = test
             .iter()

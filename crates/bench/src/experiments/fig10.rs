@@ -40,7 +40,12 @@ pub fn run(quick: bool) -> Vec<ExperimentResult> {
         "Figure 10(a) — overall execution time vs executor number",
         "Time decreases with executors 5→20 but flattens (shuffle overhead grows \
          with participating nodes).",
-        &["executors", "2M-scale (min)", "3M-scale (min)", "4M-scale (min)"],
+        &[
+            "executors",
+            "2M-scale (min)",
+            "3M-scale (min)",
+            "4M-scale (min)",
+        ],
     );
     let mut clocks = Vec::new();
     // Uniform test pairs, as in the paper's scalability runs.
@@ -112,14 +117,19 @@ pub fn run(quick: bool) -> Vec<ExperimentResult> {
         }
     }
     let cluster = Cluster::new(experiment_cluster_config(20, 1));
-    let _ = pairwise_distances(&cluster, &corpus.processed, pairs, 40).expect("distances");
+    let corpus_index = dedup::index_corpus(corpus.processed.clone());
+    let _ = pairwise_distances(&cluster, &corpus_index, pairs, 40).expect("distances");
     let dist_clock = cluster.clock().clone();
 
     let mut f10b = ExperimentResult::new(
         "Figure 10(b) — pairwise-distance computing time vs executor number",
         "A small share of overall time; speeds up well with executors because its \
          data-distribution cost is low (10,382 reports).",
-        &["executors", "pairwise distances (min)", "share of overall (4M-scale)"],
+        &[
+            "executors",
+            "pairwise distances (min)",
+            "share of overall (4M-scale)",
+        ],
     );
     for &e in &EXECUTORS {
         let t = dist_clock.makespan(e, 1, &cost).minutes();

@@ -12,11 +12,7 @@ use fastknn::{FastKnn, FastKnnConfig, LabeledPair, TestPruner, UnlabeledPair};
 use sparklet::Cluster;
 use std::collections::HashSet;
 
-fn classify_minutes(
-    train: &[LabeledPair],
-    test: &[UnlabeledPair],
-    b: usize,
-) -> f64 {
+fn classify_minutes(train: &[LabeledPair], test: &[UnlabeledPair], b: usize) -> f64 {
     let cluster = Cluster::new(experiment_cluster_config(20, 1));
     let model = FastKnn::fit(
         &cluster,
@@ -100,7 +96,10 @@ pub fn run(quick: bool) -> Vec<ExperimentResult> {
     for &f_theta in &thresholds {
         let outcome = pruner.prune(&workload.test, f_theta * F_THETA_SCALE);
         let kept_ids: HashSet<u64> = outcome.kept.iter().map(|t| t.id).collect();
-        let retained = duplicate_ids.iter().filter(|id| kept_ids.contains(id)).count();
+        let retained = duplicate_ids
+            .iter()
+            .filter(|id| kept_ids.contains(id))
+            .count();
         retained_counts.push(retained);
         let minutes = classify_minutes(&workload.train, &outcome.kept, b);
         r.row(vec![
@@ -140,7 +139,10 @@ mod tests {
         // Keep ratio monotone across threshold rows (rows 1..5).
         let ratios: Vec<f64> = rows[1..].iter().map(|r| r[1].parse().unwrap()).collect();
         for w in ratios.windows(2) {
-            assert!(w[1] >= w[0] - 1e-9, "keep ratio must be monotone: {ratios:?}");
+            assert!(
+                w[1] >= w[0] - 1e-9,
+                "keep ratio must be monotone: {ratios:?}"
+            );
         }
         // Retention is monotone in f(θ) and (near-)total at wide settings.
         let retained: Vec<(u64, u64)> = rows[1..]
@@ -158,7 +160,10 @@ mod tests {
         // follow-ups sit far from every positive cluster, so only the wide
         // radii are guaranteed here).
         let (kept, total) = retained.last().unwrap();
-        assert_eq!(kept, total, "widest pruning dropped duplicates: {retained:?}");
+        assert_eq!(
+            kept, total,
+            "widest pruning dropped duplicates: {retained:?}"
+        );
         // Even the tightest setting keeps the majority.
         assert!(
             retained[0].0 as f64 >= retained[0].1 as f64 * 0.5,

@@ -141,8 +141,7 @@ pub fn run(quick: bool) -> Vec<ExperimentResult> {
             f3(ap_svmc),
         ]);
     }
-    let mean_improvement =
-        improvements.iter().sum::<f64>() / improvements.len() as f64 * 100.0;
+    let mean_improvement = improvements.iter().sum::<f64>() / improvements.len() as f64 * 100.0;
     c.note(format!(
         "kNN improves on SVM by {mean_improvement:.1}% on average across sizes \
          (paper: 19.1%). kNN wins at every size, as in the paper; the gap's \

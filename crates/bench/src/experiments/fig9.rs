@@ -28,12 +28,7 @@ pub fn run(quick: bool) -> Vec<ExperimentResult> {
     let mut r = ExperimentResult::new(
         "Figure 9 — execution time vs training-set size and block number",
         "Time grows 1.4–2.1× when the training set grows 5×; 25 executors, b=32.",
-        &[
-            "training pairs",
-            "c=4 (min)",
-            "c=8 (min)",
-            "c=12 (min)",
-        ],
+        &["training pairs", "c=4 (min)", "c=8 (min)", "c=12 (min)"],
     );
 
     let mut per_block_growth: Vec<(usize, f64, f64)> = Vec::new();

@@ -35,8 +35,14 @@ fn field_rows(a: &AdrReport, b: &AdrReport) -> Vec<Vec<String>> {
         ],
         vec![
             "patient sex".into(),
-            a.patient.sex.map(|s| s.as_str().to_string()).unwrap_or_else(|| "-".into()),
-            b.patient.sex.map(|s| s.as_str().to_string()).unwrap_or_else(|| "-".into()),
+            a.patient
+                .sex
+                .map(|s| s.as_str().to_string())
+                .unwrap_or_else(|| "-".into()),
+            b.patient
+                .sex
+                .map(|s| s.as_str().to_string())
+                .unwrap_or_else(|| "-".into()),
         ],
         vec![
             "patient state".into(),
@@ -121,7 +127,11 @@ pub fn run(quick: bool) -> Vec<ExperimentResult> {
         let mut r = ExperimentResult::new(
             name,
             expectation,
-            &["Field Name", &format!("Report {}", pair.lo), &format!("Report {}", pair.hi)],
+            &[
+                "Field Name",
+                &format!("Report {}", pair.lo),
+                &format!("Report {}", pair.hi),
+            ],
         );
         for row in field_rows(a, b) {
             r.row(row);

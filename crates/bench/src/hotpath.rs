@@ -1,0 +1,196 @@
+//! Retained reference implementations of the pre-interning hot path, plus
+//! the timing harness behind `BENCH_hotpath.json`.
+//!
+//! The seed implementation stored per-report token sets as sorted
+//! `Vec<String>` and computed the §4.2 distance vector as a freshly
+//! allocated `Vec<f64>` with `HashSet`-based Jaccard. These references are
+//! kept *only* for benchmarking: the criterion benches in `benches/micro.rs`
+//! and the `bench_hotpath` binary compare them against the interned
+//! sorted-merge / fixed-arity kernels that replaced them, and assert the
+//! replacement actually pays.
+
+use adr_model::AdrReport;
+use dedup::ProcessedReport;
+use simmetrics::{jaccard_distance, FieldDistance};
+use std::time::Instant;
+use textprep::{Pipeline, TokenInterner};
+
+/// A report in the seed's representation: string token sets, compared by
+/// hashing.
+#[derive(Debug, Clone)]
+pub struct StringReport {
+    pub age: Option<f64>,
+    pub sex: Option<String>,
+    pub state: Option<String>,
+    pub onset_date: Option<String>,
+    pub outcome: Option<String>,
+    pub drug_tokens: Vec<String>,
+    pub adr_tokens: Vec<String>,
+    pub narrative_terms: Vec<String>,
+}
+
+fn name_tokens(names: &[&str]) -> Vec<String> {
+    let mut tokens: Vec<String> = names
+        .iter()
+        .flat_map(|n| n.split_whitespace())
+        .map(|t| t.to_lowercase())
+        .collect();
+    tokens.sort();
+    tokens.dedup();
+    tokens
+}
+
+impl StringReport {
+    /// The seed's preprocessing: same fields, string tokens instead of ids.
+    pub fn from_report(r: &AdrReport, pipeline: &Pipeline) -> Self {
+        StringReport {
+            age: r.patient.calculated_age,
+            sex: r.patient.sex.map(|s| s.as_str().to_string()),
+            state: r.patient.residential_state.clone(),
+            onset_date: r.reaction.onset_date.clone(),
+            outcome: r.reaction.reaction_outcome_description.clone(),
+            drug_tokens: name_tokens(&r.drug_names()),
+            adr_tokens: name_tokens(&r.adr_names()),
+            narrative_terms: pipeline.process(&r.reaction.report_description),
+        }
+    }
+}
+
+/// The seed's §4.2 distance vector: heap-allocated `Vec<f64>`, `HashSet`
+/// Jaccard over string tokens.
+// push-by-push on purpose: this replicates the replaced implementation's
+// exact allocation pattern, which is what the benchmark measures.
+#[allow(clippy::vec_init_then_push)]
+pub fn pair_distance_strings(a: &StringReport, b: &StringReport) -> Vec<f64> {
+    let mut v = Vec::with_capacity(8);
+    v.push(FieldDistance::numeric(a.age, b.age));
+    v.push(FieldDistance::categorical(
+        a.sex.as_deref(),
+        b.sex.as_deref(),
+    ));
+    v.push(FieldDistance::categorical(
+        a.state.as_deref(),
+        b.state.as_deref(),
+    ));
+    v.push(FieldDistance::categorical(
+        a.onset_date.as_deref(),
+        b.onset_date.as_deref(),
+    ));
+    v.push(FieldDistance::categorical(
+        a.outcome.as_deref(),
+        b.outcome.as_deref(),
+    ));
+    v.push(jaccard_distance(&a.drug_tokens, &b.drug_tokens));
+    v.push(jaccard_distance(&a.adr_tokens, &b.adr_tokens));
+    v.push(jaccard_distance(&a.narrative_terms, &b.narrative_terms));
+    v
+}
+
+/// A corpus processed both ways, pairwise-comparable.
+pub struct DualCorpus {
+    pub strings: Vec<StringReport>,
+    pub interned: Vec<ProcessedReport>,
+    pub interner: TokenInterner,
+}
+
+/// Preprocess `reports` into both representations.
+pub fn dual_corpus(reports: &[AdrReport]) -> DualCorpus {
+    let pipeline = Pipeline::paper();
+    let mut interner = TokenInterner::new();
+    let strings = reports
+        .iter()
+        .map(|r| StringReport::from_report(r, &pipeline))
+        .collect();
+    let interned = reports
+        .iter()
+        .map(|r| ProcessedReport::from_report(r, &pipeline, &mut interner))
+        .collect();
+    DualCorpus {
+        strings,
+        interned,
+        interner,
+    }
+}
+
+/// Measured throughput of one kernel pair.
+#[derive(Debug, Clone)]
+pub struct KernelResult {
+    pub kernel: &'static str,
+    pub reference_ops_per_sec: f64,
+    pub hotpath_ops_per_sec: f64,
+}
+
+impl KernelResult {
+    pub fn speedup(&self) -> f64 {
+        self.hotpath_ops_per_sec / self.reference_ops_per_sec
+    }
+}
+
+/// Time `f` (which must perform `batch` kernel operations per call) until at
+/// least `min_seconds` of wall clock has elapsed; returns ops/sec.
+pub fn throughput<F: FnMut() -> f64>(batch: u64, min_seconds: f64, mut f: F) -> f64 {
+    // Warm-up and a sink so the work is not optimised away.
+    let mut sink = 0.0f64;
+    sink += f();
+    let start = Instant::now();
+    let mut ops = 0u64;
+    while start.elapsed().as_secs_f64() < min_seconds {
+        sink += f();
+        ops += batch;
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    assert!(sink.is_finite(), "kernel produced non-finite values");
+    ops as f64 / elapsed
+}
+
+/// Render results as the `BENCH_hotpath.json` document.
+pub fn to_json(results: &[KernelResult]) -> String {
+    let mut out = String::from("{\n  \"kernels\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"kernel\": \"{}\", \"reference_ops_per_sec\": {:.1}, \
+             \"hotpath_ops_per_sec\": {:.1}, \"speedup\": {:.2}}}{}\n",
+            r.kernel,
+            r.reference_ops_per_sec,
+            r.hotpath_ops_per_sec,
+            r.speedup(),
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adr_model::DistVec;
+    use adr_synth::{Dataset, SynthConfig};
+    use dedup::pair_distance;
+
+    #[test]
+    fn reference_and_hotpath_vectors_agree() {
+        // The retained reference must compute the SAME distances as the
+        // interned hot path, or the benchmark compares apples to oranges.
+        let ds = Dataset::generate(&SynthConfig::small(60, 4, 11));
+        let dual = dual_corpus(&ds.reports);
+        for i in (0..60).step_by(5) {
+            for j in (i + 1..60).step_by(9) {
+                let reference = pair_distance_strings(&dual.strings[i], &dual.strings[j]);
+                let hot: DistVec = pair_distance(&dual.interned[i], &dual.interned[j]);
+                assert_eq!(reference.as_slice(), hot.as_slice(), "pair ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn json_shape_is_well_formed() {
+        let doc = to_json(&[KernelResult {
+            kernel: "jaccard",
+            reference_ops_per_sec: 1000.0,
+            hotpath_ops_per_sec: 3000.0,
+        }]);
+        assert!(doc.contains("\"speedup\": 3.00"));
+        assert!(doc.starts_with('{') && doc.ends_with("}\n"));
+    }
+}

@@ -31,13 +31,11 @@ impl BlockingIndex {
         index
     }
 
-    /// Blocking keys of one report.
+    /// Blocking keys of one report. Drug keys are interned token ids —
+    /// equal strings interned through the same table yield equal ids, so
+    /// key equality is unchanged from the string representation.
     pub fn keys_of(r: &ProcessedReport) -> Vec<String> {
-        let mut keys: Vec<String> = r
-            .drug_tokens
-            .iter()
-            .map(|t| format!("drug:{t}"))
-            .collect();
+        let mut keys: Vec<String> = r.drug_tokens.iter().map(|t| format!("drug:{t}")).collect();
         if let Some(date) = &r.onset_date {
             keys.push(format!("date:{date}"));
         }
@@ -154,13 +152,14 @@ mod tests {
     mod dedup_test_helpers {
         use crate::distance::ProcessedReport;
         use adr_synth::Dataset;
-        use textprep::Pipeline;
+        use textprep::{Pipeline, TokenInterner};
 
         pub fn processed(ds: &Dataset) -> Vec<ProcessedReport> {
             let p = Pipeline::paper();
+            let mut interner = TokenInterner::new();
             ds.reports
                 .iter()
-                .map(|r| ProcessedReport::from_report(r, &p))
+                .map(|r| ProcessedReport::from_report(r, &p, &mut interner))
                 .collect()
         }
     }
@@ -170,17 +169,12 @@ mod tests {
         let ds = Dataset::generate(&SynthConfig::small(200, 10, 3));
         let reports = processed(&ds);
         let index = BlockingIndex::build(&reports);
-        let by_id: HashMap<u64, &ProcessedReport> =
-            reports.iter().map(|r| (r.id, r)).collect();
+        let by_id: HashMap<u64, &ProcessedReport> = reports.iter().map(|r| (r.id, r)).collect();
         for r in reports.iter().take(20) {
             for partner in index.candidates_of(r.id) {
                 let p = by_id[&partner];
-                let share_drug = r
-                    .drug_tokens
-                    .iter()
-                    .any(|t| p.drug_tokens.contains(t));
-                let share_date =
-                    r.onset_date.is_some() && r.onset_date == p.onset_date;
+                let share_drug = r.drug_tokens.iter().any(|t| p.drug_tokens.contains(t));
+                let share_date = r.onset_date.is_some() && r.onset_date == p.onset_date;
                 assert!(
                     share_drug || share_date,
                     "candidate {partner} shares no key with {}",

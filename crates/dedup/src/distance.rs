@@ -1,14 +1,22 @@
 //! Report preprocessing and the §4.2 pair distance vector.
+//!
+//! Preprocessing interns every token once ([`TokenInterner`]), so a
+//! [`ProcessedReport`] carries sorted deduplicated `Vec<u32>` id sets and
+//! [`pair_distance`] — the O(pairs) hot path — runs as allocation-free
+//! sorted-slice merges producing a fixed-arity [`DistVec`]. No string bytes
+//! are touched and no heap allocation happens per compared pair.
 
-use adr_model::{AdrReport, ReportId, DETECTION_DIMS};
-use simmetrics::{jaccard_distance, FieldDistance};
-use textprep::Pipeline;
+use adr_model::{AdrReport, DistVec, ReportId};
+use simmetrics::{jaccard_distance_sorted, FieldDistance};
+use textprep::{Pipeline, TokenInterner};
 
 /// A report with its text fields preprocessed once (tokenised, stop-worded,
-/// stemmed) so that pairwise comparisons are pure set operations.
+/// stemmed, interned) so that pairwise comparisons are pure set operations
+/// over sorted `u32` id slices.
 ///
 /// §4.2 singles out the free-text description for NLP treatment; the short
-/// drug/ADR string fields are compared as raw token sets.
+/// drug/ADR string fields are compared as raw token sets. Token ids are only
+/// comparable between reports processed through the *same* interner.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ProcessedReport {
     /// The source report id.
@@ -23,28 +31,28 @@ pub struct ProcessedReport {
     pub onset_date: Option<String>,
     /// Reaction outcome description.
     pub outcome: Option<String>,
-    /// Drug-name tokens (lowercased words of every listed drug).
-    pub drug_tokens: Vec<String>,
-    /// ADR-name tokens.
-    pub adr_tokens: Vec<String>,
-    /// NLP-processed narrative terms.
-    pub narrative_terms: Vec<String>,
+    /// Drug-name token ids (lowercased words of every listed drug),
+    /// sorted and deduplicated.
+    pub drug_tokens: Vec<u32>,
+    /// ADR-name token ids, sorted and deduplicated.
+    pub adr_tokens: Vec<u32>,
+    /// NLP-processed narrative term ids, sorted and deduplicated.
+    pub narrative_terms: Vec<u32>,
 }
 
-fn name_tokens(names: &[&str]) -> Vec<String> {
-    let mut tokens: Vec<String> = names
-        .iter()
-        .flat_map(|n| n.split_whitespace())
-        .map(|t| t.to_lowercase())
-        .collect();
-    tokens.sort();
-    tokens.dedup();
-    tokens
+fn name_token_ids(names: &[&str], interner: &mut TokenInterner) -> Vec<u32> {
+    interner.intern_set(
+        names
+            .iter()
+            .flat_map(|n| n.split_whitespace())
+            .map(|t| t.to_lowercase()),
+    )
 }
 
 impl ProcessedReport {
-    /// Preprocess one report with the given text pipeline.
-    pub fn from_report(r: &AdrReport, pipeline: &Pipeline) -> Self {
+    /// Preprocess one report with the given text pipeline, interning every
+    /// token into `interner`.
+    pub fn from_report(r: &AdrReport, pipeline: &Pipeline, interner: &mut TokenInterner) -> Self {
         ProcessedReport {
             id: r.id,
             age: r.patient.calculated_age,
@@ -52,9 +60,9 @@ impl ProcessedReport {
             state: r.patient.residential_state.clone(),
             onset_date: r.reaction.onset_date.clone(),
             outcome: r.reaction.reaction_outcome_description.clone(),
-            drug_tokens: name_tokens(&r.drug_names()),
-            adr_tokens: name_tokens(&r.adr_names()),
-            narrative_terms: pipeline.process(&r.reaction.report_description),
+            drug_tokens: name_token_ids(&r.drug_names(), interner),
+            adr_tokens: name_token_ids(&r.adr_names(), interner),
+            narrative_terms: interner.intern_set(pipeline.process(&r.reaction.report_description)),
         }
     }
 }
@@ -62,26 +70,19 @@ impl ProcessedReport {
 /// The §4.2 distance vector between two reports, in the field order of
 /// [`adr_model::DETECTION_FIELDS`]: age, sex, state, onset date, outcome,
 /// drug name, ADR name, report description. Every component is in `[0, 1]`.
-pub fn pair_distance(a: &ProcessedReport, b: &ProcessedReport) -> Vec<f64> {
-    let mut v = Vec::with_capacity(DETECTION_DIMS);
-    v.push(FieldDistance::numeric(a.age, b.age));
-    v.push(FieldDistance::categorical(a.sex.as_deref(), b.sex.as_deref()));
-    v.push(FieldDistance::categorical(
-        a.state.as_deref(),
-        b.state.as_deref(),
-    ));
-    v.push(FieldDistance::categorical(
-        a.onset_date.as_deref(),
-        b.onset_date.as_deref(),
-    ));
-    v.push(FieldDistance::categorical(
-        a.outcome.as_deref(),
-        b.outcome.as_deref(),
-    ));
-    v.push(jaccard_distance(&a.drug_tokens, &b.drug_tokens));
-    v.push(jaccard_distance(&a.adr_tokens, &b.adr_tokens));
-    v.push(jaccard_distance(&a.narrative_terms, &b.narrative_terms));
-    v
+///
+/// Both reports must come from the same interner.
+pub fn pair_distance(a: &ProcessedReport, b: &ProcessedReport) -> DistVec {
+    [
+        FieldDistance::numeric(a.age, b.age),
+        FieldDistance::categorical(a.sex.as_deref(), b.sex.as_deref()),
+        FieldDistance::categorical(a.state.as_deref(), b.state.as_deref()),
+        FieldDistance::categorical(a.onset_date.as_deref(), b.onset_date.as_deref()),
+        FieldDistance::categorical(a.outcome.as_deref(), b.outcome.as_deref()),
+        jaccard_distance_sorted(&a.drug_tokens, &b.drug_tokens),
+        jaccard_distance_sorted(&a.adr_tokens, &b.adr_tokens),
+        jaccard_distance_sorted(&a.narrative_terms, &b.narrative_terms),
+    ]
 }
 
 #[cfg(test)]
@@ -91,14 +92,7 @@ mod tests {
     use adr_synth::{Dataset, SynthConfig};
     use simmetrics::euclidean;
 
-    fn report(
-        id: u64,
-        age: f64,
-        sex: Sex,
-        drugs: &str,
-        adrs: &str,
-        narrative: &str,
-    ) -> AdrReport {
+    fn report(id: u64, age: f64, sex: Sex, drugs: &str, adrs: &str, narrative: &str) -> AdrReport {
         let mut r = AdrReport {
             id,
             ..AdrReport::default()
@@ -117,8 +111,16 @@ mod tests {
     #[test]
     fn identical_reports_have_zero_vector() {
         let p = Pipeline::paper();
-        let r = report(0, 46.0, Sex::M, "Atorvastatin", "Rhabdomyolysis", "severe myalgia");
-        let a = ProcessedReport::from_report(&r, &p);
+        let mut interner = TokenInterner::new();
+        let r = report(
+            0,
+            46.0,
+            Sex::M,
+            "Atorvastatin",
+            "Rhabdomyolysis",
+            "severe myalgia",
+        );
+        let a = ProcessedReport::from_report(&r, &p, &mut interner);
         let v = pair_distance(&a, &a);
         assert_eq!(v.len(), 8);
         assert!(v.iter().all(|&d| d == 0.0), "{v:?}");
@@ -129,6 +131,7 @@ mod tests {
         // Reports A/B of Table 1(a): same age, sex, drug, ADR; different
         // outcome and narrative.
         let p = Pipeline::paper();
+        let mut interner = TokenInterner::new();
         let a = ProcessedReport::from_report(
             &report(
                 0,
@@ -140,6 +143,7 @@ mod tests {
                  patient who experienced rhabdomyolysis while on atorvastatin.",
             ),
             &p,
+            &mut interner,
         );
         let b = ProcessedReport::from_report(
             &report(
@@ -152,6 +156,7 @@ mod tests {
                  subject presented with myalgia and was diagnosed with rhabdomyolysis.",
             ),
             &p,
+            &mut interner,
         );
         let mut b2 = b.clone();
         b2.outcome = Some("Recovered".into());
@@ -164,19 +169,40 @@ mod tests {
         assert_eq!(v[4], 1.0, "outcome differs");
         assert_eq!(v[5], 0.0, "drug matches");
         assert_eq!(v[6], 0.0, "ADR matches");
-        assert!(v[7] > 0.0 && v[7] < 1.0, "narratives overlap partially: {}", v[7]);
+        assert!(
+            v[7] > 0.0 && v[7] < 1.0,
+            "narratives overlap partially: {}",
+            v[7]
+        );
     }
 
     #[test]
     fn unrelated_reports_are_far() {
         let p = Pipeline::paper();
+        let mut interner = TokenInterner::new();
         let a = ProcessedReport::from_report(
-            &report(0, 46.0, Sex::M, "Atorvastatin", "Rhabdomyolysis", "muscle pain"),
+            &report(
+                0,
+                46.0,
+                Sex::M,
+                "Atorvastatin",
+                "Rhabdomyolysis",
+                "muscle pain",
+            ),
             &p,
+            &mut interner,
         );
         let b = ProcessedReport::from_report(
-            &report(1, 30.0, Sex::F, "Amoxicillin", "Rash", "itchy skin eruption"),
+            &report(
+                1,
+                30.0,
+                Sex::F,
+                "Amoxicillin",
+                "Rash",
+                "itchy skin eruption",
+            ),
             &p,
+            &mut interner,
         );
         let v = pair_distance(&a, &b);
         assert!(euclidean(&v, &[0.0; 8]) > 2.0, "{v:?}");
@@ -185,15 +211,85 @@ mod tests {
     #[test]
     fn drug_token_distance_is_symmetric_in_order() {
         let p = Pipeline::paper();
+        let mut interner = TokenInterner::new();
         let a = ProcessedReport::from_report(
-            &report(0, 1.0, Sex::F, "Influenza Vaccine,Dtpa Vaccine", "Cough", "x"),
+            &report(
+                0,
+                1.0,
+                Sex::F,
+                "Influenza Vaccine,Dtpa Vaccine",
+                "Cough",
+                "x",
+            ),
             &p,
+            &mut interner,
         );
         let b = ProcessedReport::from_report(
-            &report(1, 1.0, Sex::F, "Dtpa Vaccine,Influenza Vaccine", "Cough", "x"),
+            &report(
+                1,
+                1.0,
+                Sex::F,
+                "Dtpa Vaccine,Influenza Vaccine",
+                "Cough",
+                "x",
+            ),
             &p,
+            &mut interner,
         );
         assert_eq!(pair_distance(&a, &b)[5], 0.0, "order must not matter");
+    }
+
+    #[test]
+    fn interned_vectors_match_string_set_oracle() {
+        // The sorted-merge Jaccard over interned ids must agree exactly with
+        // the HashSet-of-strings oracle the seed implementation used.
+        let ds = Dataset::generate(&SynthConfig::small(120, 8, 3));
+        let p = Pipeline::paper();
+        let mut interner = TokenInterner::new();
+        let processed: Vec<ProcessedReport> = ds
+            .reports
+            .iter()
+            .map(|r| ProcessedReport::from_report(r, &p, &mut interner))
+            .collect();
+        for (r, pr) in ds.reports.iter().zip(&processed).take(30) {
+            // Rebuild the string token sets the old representation stored.
+            let mut drug_strings: Vec<String> = r
+                .drug_names()
+                .iter()
+                .flat_map(|n| n.split_whitespace())
+                .map(|t| t.to_lowercase())
+                .collect();
+            drug_strings.sort();
+            drug_strings.dedup();
+            let mut resolved: Vec<&str> = pr
+                .drug_tokens
+                .iter()
+                .map(|&id| interner.resolve(id))
+                .collect();
+            resolved.sort();
+            let expect: Vec<&str> = drug_strings.iter().map(String::as_str).collect();
+            assert_eq!(resolved, expect, "id set must resolve to the string set");
+        }
+        for i in (0..processed.len()).step_by(11) {
+            for j in (i + 1..processed.len()).step_by(17) {
+                let a = &processed[i];
+                let b = &processed[j];
+                let oracle = |x: &[u32], y: &[u32]| {
+                    let sx: std::collections::HashSet<&str> =
+                        x.iter().map(|&id| interner.resolve(id)).collect();
+                    let sy: std::collections::HashSet<&str> =
+                        y.iter().map(|&id| interner.resolve(id)).collect();
+                    simmetrics::jaccard_distance(
+                        &sx.iter().copied().collect::<Vec<_>>(),
+                        &sy.iter().copied().collect::<Vec<_>>(),
+                    )
+                };
+                let v = pair_distance(a, b);
+                assert_eq!(v[5], oracle(&a.drug_tokens, &b.drug_tokens));
+                assert_eq!(v[6], oracle(&a.adr_tokens, &b.adr_tokens));
+                assert_eq!(v[7], oracle(&a.narrative_terms, &b.narrative_terms));
+            }
+        }
     }
 
     #[test]
@@ -201,20 +297,18 @@ mod tests {
         // The property every classifier downstream depends on.
         let ds = Dataset::generate(&SynthConfig::small(400, 25, 77));
         let p = Pipeline::paper();
+        let mut interner = TokenInterner::new();
         let processed: Vec<ProcessedReport> = ds
             .reports
             .iter()
-            .map(|r| ProcessedReport::from_report(r, &p))
+            .map(|r| ProcessedReport::from_report(r, &p, &mut interner))
             .collect();
-        let zero = vec![0.0; 8];
+        let zero = [0.0; 8];
         let dup_mean: f64 = ds
             .duplicate_pairs
             .iter()
             .map(|pair| {
-                let v = pair_distance(
-                    &processed[pair.lo as usize],
-                    &processed[pair.hi as usize],
-                );
+                let v = pair_distance(&processed[pair.lo as usize], &processed[pair.hi as usize]);
                 euclidean(&v, &zero)
             })
             .sum::<f64>()

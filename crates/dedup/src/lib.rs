@@ -25,6 +25,11 @@
 //! * [`workload`] — labelled pair-set construction from a synthetic corpus
 //!   (training/testing splits at the sizes the evaluation sweeps).
 
+// The classifier's default pair arity and the §4.2 schema width must agree:
+// [`fastknn::LabeledPair`] defaults to `PAIR_DIMS` and this crate feeds it
+// [`adr_model::DistVec`] vectors.
+const _: () = assert!(fastknn::PAIR_DIMS == adr_model::DETECTION_DIMS);
+
 pub mod blocking;
 pub mod distance;
 pub mod pairing;
@@ -35,7 +40,7 @@ pub mod workload;
 
 pub use blocking::{evaluate_blocking, BlockingIndex, BlockingQuality};
 pub use distance::{pair_distance, ProcessedReport};
-pub use pairing::{all_pairs, pairs_involving_new, pairwise_distances};
+pub use pairing::{all_pairs, index_corpus, pairs_involving_new, pairwise_distances, CorpusIndex};
 pub use store::PairStore;
 pub use svm_baseline::{svm_clustering_scores, svm_scores};
 pub use system::{DedupConfig, DedupSystem, Detection};

@@ -1,16 +1,39 @@
 //! Candidate pair enumeration and the distributed pairwise-distance job.
 
 use crate::distance::{pair_distance, ProcessedReport};
-use adr_model::{PairId, ReportId};
+use adr_model::{DistVec, PairId, ReportId};
 use sparklet::{Cluster, Result};
 use std::collections::HashMap;
 use std::sync::Arc;
+
+/// A shared, immutable snapshot of the processed-report corpus, indexed by
+/// report id. Cloning is a reference-count bump, so the distributed
+/// pairwise-distance job shares one copy across every task and every call —
+/// the corpus is never deep-copied per job.
+pub type CorpusIndex = Arc<HashMap<ReportId, ProcessedReport>>;
+
+/// Build a [`CorpusIndex`] from processed reports.
+pub fn index_corpus<I>(processed: I) -> CorpusIndex
+where
+    I: IntoIterator<Item = ProcessedReport>,
+{
+    Arc::new(processed.into_iter().map(|p| (p.id, p)).collect())
+}
 
 /// All unordered pairs over `ids` — the §3 recursive formulation restricted
 /// to one batch ("reports with later arrival time are checked against those
 /// with earlier arrival time").
 pub fn all_pairs(ids: &[ReportId]) -> Vec<PairId> {
-    let mut out = Vec::with_capacity(ids.len() * ids.len().saturating_sub(1) / 2);
+    // n·(n−1)/2 overflows usize for n ≥ 2³² even though the result fits;
+    // divide the even factor first and saturate (a saturated reserve just
+    // means Vec growth happens in chunks — no UB, no panic).
+    let n = ids.len();
+    let cap = if n.is_multiple_of(2) {
+        (n / 2).saturating_mul(n.saturating_sub(1))
+    } else {
+        n.saturating_mul(n.saturating_sub(1) / 2)
+    };
+    let mut out = Vec::with_capacity(cap);
     for (i, &a) in ids.iter().enumerate() {
         for &b in &ids[i + 1..] {
             out.push(PairId::new(a, b));
@@ -23,7 +46,7 @@ pub fn all_pairs(ids: &[ReportId]) -> Vec<PairId> {
 /// existing one, plus all pairs among the new reports (`Dupe(R, A ∪ R − r)`
 /// in the paper's Eq. 3).
 pub fn pairs_involving_new(new_ids: &[ReportId], existing_ids: &[ReportId]) -> Vec<PairId> {
-    let mut out = Vec::with_capacity(new_ids.len() * existing_ids.len());
+    let mut out = Vec::with_capacity(new_ids.len().saturating_mul(existing_ids.len()));
     for &n in new_ids {
         for &e in existing_ids {
             out.push(PairId::new(n, e));
@@ -37,18 +60,17 @@ pub fn pairs_involving_new(new_ids: &[ReportId], existing_ids: &[ReportId]) -> V
 /// stage of the workflow (the paper's Fig. 10b). One map task per partition
 /// computes the §4.2 distance vector of its share of candidate pairs; each
 /// vector computation charges one virtual op.
+///
+/// The corpus arrives as a pre-built [`CorpusIndex`]: the job clones the
+/// `Arc`, not the reports, so repeated calls (bootstrap, every
+/// `detect_new` batch) share one corpus allocation.
 pub fn pairwise_distances(
     cluster: &Cluster,
-    processed: &[ProcessedReport],
+    corpus: &CorpusIndex,
     pairs: Vec<PairId>,
     num_partitions: usize,
-) -> Result<Vec<(PairId, Vec<f64>)>> {
-    let by_id: Arc<HashMap<ReportId, ProcessedReport>> = Arc::new(
-        processed
-            .iter()
-            .map(|p| (p.id, p.clone()))
-            .collect(),
-    );
+) -> Result<Vec<(PairId, DistVec)>> {
+    let by_id = Arc::clone(corpus);
     // One §4.2 distance vector costs ~an order of magnitude more than one
     // 8-dim Euclidean comparison: it tokenises nothing (preprocessing is
     // amortised) but computes three Jaccard coefficients over token sets,
@@ -79,7 +101,7 @@ pub fn pairwise_distances(
 mod tests {
     use super::*;
     use adr_model::AdrReport;
-    use textprep::Pipeline;
+    use textprep::{Pipeline, TokenInterner};
 
     #[test]
     fn all_pairs_count_is_n_choose_2() {
@@ -109,6 +131,7 @@ mod tests {
     #[test]
     fn distributed_distances_match_serial() {
         let pipeline = Pipeline::paper();
+        let mut interner = TokenInterner::new();
         let reports: Vec<AdrReport> = (0..6u64)
             .map(|id| {
                 let mut r = AdrReport {
@@ -124,31 +147,27 @@ mod tests {
             .collect();
         let processed: Vec<ProcessedReport> = reports
             .iter()
-            .map(|r| ProcessedReport::from_report(r, &pipeline))
+            .map(|r| ProcessedReport::from_report(r, &pipeline, &mut interner))
             .collect();
+        let corpus = index_corpus(processed.clone());
         let ids: Vec<u64> = (0..6).collect();
         let pairs = all_pairs(&ids);
         let cluster = Cluster::local(3);
-        let mut dist = pairwise_distances(&cluster, &processed, pairs.clone(), 4).unwrap();
+        let mut dist = pairwise_distances(&cluster, &corpus, pairs.clone(), 4).unwrap();
         dist.sort_by_key(|(p, _)| *p);
         assert_eq!(dist.len(), 15);
         for (pid, v) in &dist {
-            let expect = pair_distance(
-                &processed[pid.lo as usize],
-                &processed[pid.hi as usize],
-            );
+            let expect = pair_distance(&processed[pid.lo as usize], &processed[pid.hi as usize]);
             assert_eq!(v, &expect, "mismatch for {pid:?}");
         }
-        assert_eq!(
-            cluster.metrics().counter("dedup.pair_distances").get(),
-            15
-        );
+        assert_eq!(cluster.metrics().counter("dedup.pair_distances").get(), 15);
     }
 
     #[test]
     fn unknown_report_id_is_an_error() {
         let cluster = Cluster::local(1);
-        let err = pairwise_distances(&cluster, &[], vec![PairId::new(1, 2)], 1);
+        let corpus = index_corpus(Vec::new());
+        let err = pairwise_distances(&cluster, &corpus, vec![PairId::new(1, 2)], 1);
         assert!(err.is_err());
     }
 }

@@ -5,17 +5,19 @@
 //! non-duplicates" — the imbalance-driven asymmetry that shapes the whole
 //! system. Newly classified pairs feed back in (the dashed line of Fig. 1).
 
-use adr_model::PairId;
+use adr_model::{DistVec, PairId};
 use fastknn::LabeledPair;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
 
-/// Bounded labelled-pair store with feedback.
+/// Bounded labelled-pair store with feedback. Vectors are fixed-arity
+/// [`DistVec`]s, so entries are flat `(PairId, [f64; 8])` tuples — no
+/// per-pair heap allocation.
 #[derive(Debug, Clone)]
 pub struct PairStore {
-    duplicates: Vec<(PairId, Vec<f64>)>,
-    non_duplicates: Vec<(PairId, Vec<f64>)>,
+    duplicates: Vec<(PairId, DistVec)>,
+    non_duplicates: Vec<(PairId, DistVec)>,
     seen: HashSet<PairId>,
     /// Maximum non-duplicate pairs retained.
     pub max_non_duplicates: usize,
@@ -50,7 +52,7 @@ impl PairStore {
     /// reservoir-sampled once the store is full, keeping the retained set a
     /// uniform sample of everything offered. Re-offers of a known pair are
     /// ignored.
-    pub fn add(&mut self, id: PairId, vector: Vec<f64>, is_duplicate: bool) {
+    pub fn add(&mut self, id: PairId, vector: DistVec, is_duplicate: bool) {
         if !self.seen.insert(id) {
             return;
         }
@@ -77,11 +79,11 @@ impl PairStore {
         let mut out = Vec::with_capacity(self.duplicates.len() + self.non_duplicates.len());
         let mut id = 0u64;
         for (_, v) in &self.duplicates {
-            out.push(LabeledPair::new(id, v.clone(), true));
+            out.push(LabeledPair::new(id, *v, true));
             id += 1;
         }
         for (_, v) in &self.non_duplicates {
-            out.push(LabeledPair::new(id, v.clone(), false));
+            out.push(LabeledPair::new(id, *v, false));
             id += 1;
         }
         out
@@ -101,11 +103,15 @@ mod tests {
         PairId::new(a, b)
     }
 
+    fn dv(x: f64) -> DistVec {
+        [x; adr_model::DETECTION_DIMS]
+    }
+
     #[test]
     fn duplicates_are_never_dropped() {
         let mut store = PairStore::new(5, 1);
         for i in 0..100 {
-            store.add(pid(i, i + 1000), vec![0.1], true);
+            store.add(pid(i, i + 1000), dv(0.1), true);
         }
         assert_eq!(store.duplicate_count(), 100);
     }
@@ -114,7 +120,7 @@ mod tests {
     fn negatives_are_bounded() {
         let mut store = PairStore::new(10, 1);
         for i in 0..1000 {
-            store.add(pid(i, i + 10_000), vec![0.9], false);
+            store.add(pid(i, i + 10_000), dv(0.9), false);
         }
         assert_eq!(store.non_duplicate_count(), 10);
     }
@@ -122,8 +128,8 @@ mod tests {
     #[test]
     fn re_offering_a_pair_is_ignored() {
         let mut store = PairStore::new(10, 1);
-        store.add(pid(1, 2), vec![0.5], false);
-        store.add(pid(2, 1), vec![0.5], true); // same canonical pair
+        store.add(pid(1, 2), dv(0.5), false);
+        store.add(pid(2, 1), dv(0.5), true); // same canonical pair
         assert_eq!(store.duplicate_count(), 0);
         assert_eq!(store.non_duplicate_count(), 1);
         assert!(store.contains(&pid(1, 2)));
@@ -132,9 +138,9 @@ mod tests {
     #[test]
     fn training_pairs_have_correct_labels_and_count() {
         let mut store = PairStore::new(3, 1);
-        store.add(pid(1, 2), vec![0.1], true);
-        store.add(pid(3, 4), vec![0.9], false);
-        store.add(pid(5, 6), vec![0.8], false);
+        store.add(pid(1, 2), dv(0.1), true);
+        store.add(pid(3, 4), dv(0.9), false);
+        store.add(pid(5, 6), dv(0.8), false);
         let train = store.training_pairs();
         assert_eq!(train.len(), 3);
         assert_eq!(train.iter().filter(|p| p.positive).count(), 1);
@@ -147,7 +153,7 @@ mod tests {
     fn reservoir_keeps_a_mix_of_old_and_new() {
         let mut store = PairStore::new(50, 42);
         for i in 0..5000u64 {
-            store.add(pid(i, i + 100_000), vec![i as f64], false);
+            store.add(pid(i, i + 100_000), dv(i as f64), false);
         }
         let early = store
             .non_duplicates
@@ -166,7 +172,7 @@ mod tests {
     #[test]
     fn zero_capacity_store_keeps_no_negatives() {
         let mut store = PairStore::new(0, 1);
-        store.add(pid(1, 2), vec![0.5], false);
+        store.add(pid(1, 2), dv(0.5), false);
         assert_eq!(store.non_duplicate_count(), 0);
     }
 }

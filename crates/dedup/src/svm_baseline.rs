@@ -11,9 +11,12 @@ use fastknn::{LabeledPair, UnlabeledPair};
 use mlcore::kmeans::KMeans;
 use mlcore::svm::{LinearSvm, SvmConfig};
 
-fn split_xy(train: &[LabeledPair]) -> (Vec<Vec<f64>>, Vec<i8>) {
-    let x: Vec<Vec<f64>> = train.iter().map(|p| p.vector.clone()).collect();
-    let y: Vec<i8> = train.iter().map(|p| if p.positive { 1 } else { -1 }).collect();
+fn split_xy<const D: usize>(train: &[LabeledPair<D>]) -> (Vec<Vec<f64>>, Vec<i8>) {
+    let x: Vec<Vec<f64>> = train.iter().map(|p| p.vector.to_vec()).collect();
+    let y: Vec<i8> = train
+        .iter()
+        .map(|p| if p.positive { 1 } else { -1 })
+        .collect();
     (x, y)
 }
 
@@ -26,9 +29,9 @@ fn split_xy(train: &[LabeledPair]) -> (Vec<Vec<f64>>, Vec<i8>) {
 /// phenomenon §5.2.2 reports. A modern dual coordinate descent solver
 /// ([`LinearSvm::train_dual`]) closes much of the gap; the ablation bench
 /// quantifies this (see EXPERIMENTS.md).
-pub fn svm_scores(
-    train: &[LabeledPair],
-    test: &[UnlabeledPair],
+pub fn svm_scores<const D: usize>(
+    train: &[LabeledPair<D>],
+    test: &[UnlabeledPair<D>],
     config: &SvmConfig,
 ) -> Vec<(u64, f64)> {
     let (x, y) = split_xy(train);
@@ -40,9 +43,9 @@ pub fn svm_scores(
 
 /// The same test scores from a modern dual-coordinate-descent SVM —
 /// used by the solver ablation.
-pub fn svm_dual_scores(
-    train: &[LabeledPair],
-    test: &[UnlabeledPair],
+pub fn svm_dual_scores<const D: usize>(
+    train: &[LabeledPair<D>],
+    test: &[UnlabeledPair<D>],
     config: &SvmConfig,
 ) -> Vec<(u64, f64)> {
     let (x, y) = split_xy(train);
@@ -56,9 +59,9 @@ pub fn svm_dual_scores(
 /// `clusters` groups and build a balanced-by-cluster training sample of at
 /// most `budget` pairs (every cluster contributes, small clusters entirely),
 /// then train the SVM on the sample.
-pub fn svm_clustering_scores(
-    train: &[LabeledPair],
-    test: &[UnlabeledPair],
+pub fn svm_clustering_scores<const D: usize>(
+    train: &[LabeledPair<D>],
+    test: &[UnlabeledPair<D>],
     clusters: usize,
     budget: usize,
     config: &SvmConfig,
@@ -69,23 +72,23 @@ pub fn svm_clustering_scores(
 
 /// Per-cluster sampling: round-robin over clusters so every cluster —
 /// however small — is represented in the budget.
-pub fn cluster_sample(
-    train: &[LabeledPair],
+pub fn cluster_sample<const D: usize>(
+    train: &[LabeledPair<D>],
     clusters: usize,
     budget: usize,
     seed: u64,
-) -> Vec<LabeledPair> {
+) -> Vec<LabeledPair<D>> {
     if train.len() <= budget {
         return train.to_vec();
     }
     // Fit k-means on a stride sample (clustering cost, not assignment cost,
     // dominates on million-pair training sets), then assign every pair.
     const FIT_CAP: usize = 50_000;
-    let fit_vectors: Vec<Vec<f64>> = if train.len() > FIT_CAP {
+    let fit_vectors: Vec<[f64; D]> = if train.len() > FIT_CAP {
         let stride = train.len() / FIT_CAP + 1;
-        train.iter().step_by(stride).map(|p| p.vector.clone()).collect()
+        train.iter().step_by(stride).map(|p| p.vector).collect()
     } else {
-        train.iter().map(|p| p.vector.clone()).collect()
+        train.iter().map(|p| p.vector).collect()
     };
     let model = KMeans::new(clusters.max(1), seed).fit(&fit_vectors);
     let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); model.k()];
@@ -98,7 +101,7 @@ pub fn cluster_sample(
         let mut progressed = false;
         for (b, bucket) in buckets.iter().enumerate() {
             if cursor[b] < bucket.len() {
-                out.push(train[bucket[cursor[b]]].clone());
+                out.push(train[bucket[cursor[b]]]);
                 cursor[b] += 1;
                 progressed = true;
                 if out.len() >= budget {
@@ -120,29 +123,27 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
-    fn imbalanced_workload(
-        seed: u64,
-    ) -> (Vec<LabeledPair>, Vec<UnlabeledPair>, Vec<bool>) {
+    fn imbalanced_workload(seed: u64) -> (Vec<LabeledPair<4>>, Vec<UnlabeledPair<4>>, Vec<bool>) {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut train = Vec::new();
         // Positives: small distance vectors (duplicates are close).
         for i in 0..20 {
-            let v: Vec<f64> = (0..4).map(|_| rng.gen_range(0.0..0.2)).collect();
+            let v: [f64; 4] = std::array::from_fn(|_| rng.gen_range(0.0..0.2));
             train.push(LabeledPair::new(i, v, true));
         }
         // Negatives: spread out.
         for i in 0..2000 {
-            let v: Vec<f64> = (0..4).map(|_| rng.gen_range(0.1..1.0)).collect();
+            let v: [f64; 4] = std::array::from_fn(|_| rng.gen_range(0.1..1.0));
             train.push(LabeledPair::new(100 + i, v, false));
         }
         let mut test = Vec::new();
         let mut truth = Vec::new();
         for i in 0..40 {
             let positive = i % 8 == 0;
-            let v: Vec<f64> = if positive {
-                (0..4).map(|_| rng.gen_range(0.0..0.2)).collect()
+            let v: [f64; 4] = if positive {
+                std::array::from_fn(|_| rng.gen_range(0.0..0.2))
             } else {
-                (0..4).map(|_| rng.gen_range(0.1..1.0)).collect()
+                std::array::from_fn(|_| rng.gen_range(0.1..1.0))
             };
             test.push(UnlabeledPair::new(i, v));
             truth.push(positive);
@@ -180,7 +181,7 @@ mod tests {
     #[test]
     fn cluster_sample_small_input_passthrough() {
         let (train, _, _) = imbalanced_workload(3);
-        let small: Vec<LabeledPair> = train.into_iter().take(50).collect();
+        let small: Vec<LabeledPair<4>> = train.into_iter().take(50).collect();
         let sample = cluster_sample(&small, 4, 100, 1);
         assert_eq!(sample.len(), 50);
     }
@@ -188,8 +189,7 @@ mod tests {
     #[test]
     fn svm_clustering_runs_end_to_end() {
         let (train, test, truth) = imbalanced_workload(4);
-        let scores =
-            svm_clustering_scores(&train, &test, 8, 500, &SvmConfig::default());
+        let scores = svm_clustering_scores(&train, &test, 8, 500, &SvmConfig::default());
         assert_eq!(scores.len(), test.len());
         let scored: Vec<(f64, bool)> = scores
             .iter()

@@ -2,7 +2,7 @@
 
 use crate::blocking::BlockingIndex;
 use crate::distance::ProcessedReport;
-use crate::pairing::{pairs_involving_new, pairwise_distances};
+use crate::pairing::{pairs_involving_new, pairwise_distances, CorpusIndex};
 use crate::store::PairStore;
 use adr_model::{AdrReport, PairId, ReportId};
 use fastknn::{FastKnn, FastKnnConfig, UnlabeledPair};
@@ -10,7 +10,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sparklet::{Cluster, Result};
 use std::collections::HashMap;
-use textprep::Pipeline;
+use std::sync::Arc;
+use textprep::{Pipeline, TokenInterner};
 
 /// Configuration of the duplicate-detection system.
 #[derive(Debug, Clone, Copy)]
@@ -64,7 +65,12 @@ pub struct DedupSystem {
     cluster: Cluster,
     config: DedupConfig,
     pipeline: Pipeline,
-    processed: HashMap<ReportId, ProcessedReport>,
+    /// System-wide token interner: every report ever ingested interns into
+    /// this one table, so id sets stay comparable across batches.
+    interner: TokenInterner,
+    /// Arc-shared corpus snapshot handed to the distributed distance job —
+    /// the job clones the `Arc`, never the reports.
+    processed: CorpusIndex,
     arrival_order: Vec<ReportId>,
     store: PairStore,
     blocking: BlockingIndex,
@@ -78,7 +84,8 @@ impl DedupSystem {
             store: PairStore::new(config.max_negative_store, config.seed),
             rng: StdRng::seed_from_u64(config.seed ^ 0xD5DA),
             pipeline: Pipeline::paper(),
-            processed: HashMap::new(),
+            interner: TokenInterner::new(),
+            processed: Arc::new(HashMap::new()),
             arrival_order: Vec::new(),
             blocking: BlockingIndex::default(),
             cluster,
@@ -129,10 +136,9 @@ impl DedupSystem {
             }
             wanted.push(pid);
         }
-        let processed: Vec<ProcessedReport> = self.processed.values().cloned().collect();
         let distances = pairwise_distances(
             &self.cluster,
-            &processed,
+            &self.processed,
             wanted,
             self.config.pair_partitions,
         )?;
@@ -143,9 +149,12 @@ impl DedupSystem {
     }
 
     fn add_report(&mut self, r: &AdrReport) {
-        let processed = ProcessedReport::from_report(r, &self.pipeline);
+        let processed = ProcessedReport::from_report(r, &self.pipeline, &mut self.interner);
         self.blocking.insert(&processed);
-        self.processed.insert(r.id, processed);
+        // Mutating the shared snapshot: `make_mut` copies the map only if a
+        // distance job still holds a reference (jobs drop theirs on
+        // completion), so a batch of inserts costs at most one copy.
+        Arc::make_mut(&mut self.processed).insert(r.id, processed);
         self.arrival_order.push(r.id);
     }
 
@@ -167,10 +176,9 @@ impl DedupSystem {
         } else {
             pairs_involving_new(&new_ids, &existing)
         };
-        let processed: Vec<ProcessedReport> = self.processed.values().cloned().collect();
         let distances = pairwise_distances(
             &self.cluster,
-            &processed,
+            &self.processed,
             pairs,
             self.config.pair_partitions,
         )?;
@@ -180,7 +188,7 @@ impl DedupSystem {
         let test: Vec<UnlabeledPair> = distances
             .iter()
             .enumerate()
-            .map(|(i, (_, v))| UnlabeledPair::new(i as u64, v.clone()))
+            .map(|(i, (_, v))| UnlabeledPair::new(i as u64, *v))
             .collect();
         let scored = model.classify(&test)?;
 
@@ -190,7 +198,7 @@ impl DedupSystem {
                 let (pid, vector) = &distances[s.id as usize];
                 // Feedback: the classified pair joins the labelled stores
                 // (Fig. 1's dashed line).
-                self.store.add(*pid, vector.clone(), s.positive);
+                self.store.add(*pid, *vector, s.positive);
                 Detection {
                     pair: *pid,
                     score: s.score,
@@ -199,9 +207,11 @@ impl DedupSystem {
             })
             .collect();
         detections.sort_by(|a, b| {
-            b.is_duplicate
-                .cmp(&a.is_duplicate)
-                .then(b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal))
+            b.is_duplicate.cmp(&a.is_duplicate).then(
+                b.score
+                    .partial_cmp(&a.score)
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
         });
         Ok(detections)
     }
@@ -241,7 +251,13 @@ mod tests {
     fn detects_an_injected_duplicate_of_a_known_report() {
         let (mut sys, ds) = system_with_corpus(2);
         // Bootstrap on everything except the last 5 duplicate partners.
-        let held_out: Vec<u64> = ds.duplicate_pairs.iter().rev().take(5).map(|p| p.hi).collect();
+        let held_out: Vec<u64> = ds
+            .duplicate_pairs
+            .iter()
+            .rev()
+            .take(5)
+            .map(|p| p.hi)
+            .collect();
         let base: Vec<AdrReport> = ds
             .reports
             .iter()
@@ -286,8 +302,13 @@ mod tests {
         let (mut sys_blocked, _) = system_with_corpus(2);
         sys_blocked.config.use_blocking = true;
 
-        let held_out: Vec<u64> =
-            ds.duplicate_pairs.iter().rev().take(5).map(|p| p.hi).collect();
+        let held_out: Vec<u64> = ds
+            .duplicate_pairs
+            .iter()
+            .rev()
+            .take(5)
+            .map(|p| p.hi)
+            .collect();
         let base: Vec<AdrReport> = ds
             .reports
             .iter()

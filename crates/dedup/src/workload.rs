@@ -8,14 +8,14 @@
 //! divided between train and test, negatives are sampled uniformly.
 
 use crate::distance::{pair_distance, ProcessedReport};
-use adr_synth::Dataset;
 use adr_model::PairId;
+use adr_synth::Dataset;
 use fastknn::{LabeledPair, UnlabeledPair};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
-use textprep::Pipeline;
+use textprep::{Pipeline, TokenInterner};
 
 /// A train/test pair workload with ground truth.
 #[derive(Debug, Clone)]
@@ -43,7 +43,11 @@ impl PairWorkload {
     /// aligned with `test`.
     pub fn scored(&self, scores: &[f64]) -> Vec<(f64, bool)> {
         assert_eq!(scores.len(), self.truth.len());
-        scores.iter().copied().zip(self.truth.iter().copied()).collect()
+        scores
+            .iter()
+            .copied()
+            .zip(self.truth.iter().copied())
+            .collect()
     }
 }
 
@@ -58,18 +62,27 @@ pub struct ProcessedCorpus {
     pub dataset: Dataset,
     /// Preprocessed reports, indexed by report id.
     pub processed: Vec<ProcessedReport>,
+    /// The interner all of `processed` share; id sets from different
+    /// corpora are not comparable.
+    pub interner: TokenInterner,
 }
 
 impl ProcessedCorpus {
-    /// Preprocess every report with the paper's pipeline.
+    /// Preprocess every report with the paper's pipeline, interning all
+    /// tokens into one corpus-wide table.
     pub fn new(dataset: Dataset) -> Self {
         let pipeline = Pipeline::paper();
+        let mut interner = TokenInterner::new();
         let processed = dataset
             .reports
             .iter()
-            .map(|r| ProcessedReport::from_report(r, &pipeline))
+            .map(|r| ProcessedReport::from_report(r, &pipeline, &mut interner))
             .collect();
-        ProcessedCorpus { dataset, processed }
+        ProcessedCorpus {
+            dataset,
+            processed,
+            interner,
+        }
     }
 }
 
@@ -123,10 +136,7 @@ pub fn build_workload_on(
     let mut report_blocks: Vec<[String; 2]> = Vec::with_capacity(n);
     for r in &dataset.reports {
         let drug_key = format!("drug:{}", r.drug_names().first().unwrap_or(&""));
-        let date_key = format!(
-            "date:{}",
-            r.reaction.onset_date.as_deref().unwrap_or("")
-        );
+        let date_key = format!("date:{}", r.reaction.onset_date.as_deref().unwrap_or(""));
         by_block.entry(drug_key.clone()).or_default().push(r.id);
         by_block.entry(date_key.clone()).or_default().push(r.id);
         report_blocks.push([drug_key, date_key]);
@@ -168,9 +178,8 @@ pub fn build_workload_on(
         }
     };
 
-    let vector_of = |pid: &PairId| {
-        pair_distance(&processed[pid.lo as usize], &processed[pid.hi as usize])
-    };
+    let vector_of =
+        |pid: &PairId| pair_distance(&processed[pid.lo as usize], &processed[pid.hi as usize]);
 
     let mut train = Vec::with_capacity(train_pairs);
     let mut next_id = 0u64;
@@ -200,7 +209,7 @@ pub fn build_workload_on(
     // Shuffle test so positives are not clumped at the front.
     let mut order: Vec<usize> = (0..test.len()).collect();
     order.shuffle(&mut rng);
-    let test = order.iter().map(|&i| test[i].clone()).collect();
+    let test = order.iter().map(|&i| test[i]).collect();
     let truth = order.iter().map(|&i| truth[i]).collect();
 
     PairWorkload { train, test, truth }
@@ -212,11 +221,7 @@ pub fn build_workload_on(
 /// ~99.99% non-duplicate, so almost every pair resolves through the
 /// all-negative shortcut; this is what makes the paper's cross/intra
 /// comparison ratio so small (Fig. 8a).
-pub fn uniform_test_pairs(
-    corpus: &ProcessedCorpus,
-    count: usize,
-    seed: u64,
-) -> Vec<UnlabeledPair> {
+pub fn uniform_test_pairs(corpus: &ProcessedCorpus, count: usize, seed: u64) -> Vec<UnlabeledPair> {
     let n = corpus.dataset.reports.len() as u64;
     assert!(n >= 2, "need at least two reports");
     let mut rng = StdRng::seed_from_u64(seed);
@@ -300,16 +305,28 @@ mod tests {
     fn positives_have_smaller_vectors_on_average() {
         let ds = corpus();
         let w = build_workload(&ds, 400, 100, 4);
-        let mean = |pairs: Vec<&Vec<f64>>| -> f64 {
-            let s: f64 = pairs
-                .iter()
-                .map(|v| v.iter().sum::<f64>())
-                .sum();
+        let mean = |pairs: Vec<&adr_model::DistVec>| -> f64 {
+            let s: f64 = pairs.iter().map(|v| v.iter().sum::<f64>()).sum();
             s / pairs.len() as f64
         };
-        let pos = mean(w.train.iter().filter(|p| p.positive).map(|p| &p.vector).collect());
-        let neg = mean(w.train.iter().filter(|p| !p.positive).map(|p| &p.vector).collect());
-        assert!(pos < neg, "positives {pos} must be closer than negatives {neg}");
+        let pos = mean(
+            w.train
+                .iter()
+                .filter(|p| p.positive)
+                .map(|p| &p.vector)
+                .collect(),
+        );
+        let neg = mean(
+            w.train
+                .iter()
+                .filter(|p| !p.positive)
+                .map(|p| &p.vector)
+                .collect(),
+        );
+        assert!(
+            pos < neg,
+            "positives {pos} must be closer than negatives {neg}"
+        );
     }
 
     #[test]

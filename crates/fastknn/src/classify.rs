@@ -12,13 +12,17 @@
 //! | 11–12. Algorithm 1 partition selection | [`additional_partitions`] inside the task |
 //! | 13–15. join with additional partitions, union + reduce to merge top-k | probe shuffle + second `zip_partitions` + `union` + `reduce_by_key` |
 //! | 17. score per Eq. 5 | `map` over merged neighbourhoods |
+//!
+//! All distance work inside the tasks happens in squared space over
+//! fixed-arity `Copy` vectors; shuffled records (probes, neighbourhood
+//! bases) carry stack arrays, not heap vectors.
 
 use crate::counters;
 use crate::score::{label_for, score_neighbors};
 use crate::select::additional_partitions;
-use crate::types::{LabeledPair, Neighborhood, ScoredPair, UnlabeledPair};
+use crate::types::{LabeledPair, Neighborhood, ScoredPair, UnlabeledPair, PAIR_DIMS};
 use crate::voronoi::VoronoiPartition;
-use simmetrics::euclidean;
+use simmetrics::squared_euclidean_fixed;
 use sparklet::partitioner::IndexPartitioner;
 use sparklet::{Cluster, PairRdd, Rdd, Result};
 use std::sync::Arc;
@@ -53,7 +57,7 @@ impl Default for FastKnnConfig {
 
 /// Intermediate record between stage 1 and stage 2.
 #[derive(Clone)]
-enum StageOut {
+enum StageOut<const D: usize> {
     /// Resolved by the all-negative shortcut.
     Done(ScoredPair),
     /// Needs cross-cluster search: stage-1 neighbourhood (sent once).
@@ -62,37 +66,37 @@ enum StageOut {
     Probe {
         target: usize,
         id: u64,
-        vector: Vec<f64>,
+        vector: [f64; D],
     },
 }
 
 /// A fitted distributed Fast kNN model bound to a [`Cluster`].
-pub struct FastKnn {
+pub struct FastKnn<const D: usize = PAIR_DIMS> {
     config: FastKnnConfig,
     cluster: Cluster,
-    voronoi: Arc<VoronoiPartition>,
+    voronoi: Arc<VoronoiPartition<D>>,
     /// Negative training pairs keyed and partitioned by cluster id, cached
     /// in the block manager (the paper relies on Spark's in-memory RDD
     /// caching for exactly this dataset).
-    negatives: Rdd<(usize, LabeledPair)>,
+    negatives: Rdd<(usize, LabeledPair<D>)>,
 }
 
-impl FastKnn {
+impl<const D: usize> FastKnn<D> {
     /// Partition the training set and cache the negative clusters on the
     /// engine. This is Algorithm 2 step 1 plus the training-side `join`
     /// preparation.
     pub fn fit(
         cluster: &Cluster,
-        train: &[LabeledPair],
+        train: &[LabeledPair<D>],
         config: FastKnnConfig,
-    ) -> Result<FastKnn> {
+    ) -> Result<FastKnn<D>> {
         let voronoi = Arc::new(VoronoiPartition::build(train, config.b, config.seed));
         let b = voronoi.b();
-        let keyed: Vec<(usize, LabeledPair)> = voronoi
+        let keyed: Vec<(usize, LabeledPair<D>)> = voronoi
             .negative_clusters
             .iter()
             .enumerate()
-            .flat_map(|(cid, pairs)| pairs.iter().map(move |p| (cid, p.clone())))
+            .flat_map(|(cid, pairs)| pairs.iter().map(move |p| (cid, *p)))
             .collect();
         let negatives = cluster
             .parallelize(keyed, b)
@@ -109,7 +113,7 @@ impl FastKnn {
     }
 
     /// The model's Voronoi partition (centres, cluster sizes, positives).
-    pub fn voronoi(&self) -> &VoronoiPartition {
+    pub fn voronoi(&self) -> &VoronoiPartition<D> {
         &self.voronoi
     }
 
@@ -122,7 +126,7 @@ impl FastKnn {
     /// id. Runs `c` sequential blocks, each a stage-1 `zip_partitions`
     /// against the cached negative clusters followed (when needed) by a
     /// stage-2 probe shuffle.
-    pub fn classify(&self, test: &[UnlabeledPair]) -> Result<Vec<ScoredPair>> {
+    pub fn classify(&self, test: &[UnlabeledPair<D>]) -> Result<Vec<ScoredPair>> {
         let mut results: Vec<ScoredPair> = Vec::with_capacity(test.len());
         let c = self.config.c.max(1);
         let block_size = test.len().div_ceil(c).max(1);
@@ -133,7 +137,7 @@ impl FastKnn {
         Ok(results)
     }
 
-    fn classify_block(&self, block: &[UnlabeledPair]) -> Result<Vec<ScoredPair>> {
+    fn classify_block(&self, block: &[UnlabeledPair<D>]) -> Result<Vec<ScoredPair>> {
         let b = self.voronoi.b();
         let k = self.config.k;
         let theta = self.config.theta;
@@ -141,10 +145,10 @@ impl FastKnn {
 
         // Steps 2–3: assign each test pair to its Voronoi cell.
         let vor_assign = voronoi.clone();
-        let assigned: Rdd<(usize, UnlabeledPair)> = self
+        let assigned: Rdd<(usize, UnlabeledPair<D>)> = self
             .cluster
             .parallelize(block.to_vec(), b.min(block.len()).max(1))
-            .map_partitions_with_ctx(move |ctx, _, part: Vec<UnlabeledPair>| {
+            .map_partitions_with_ctx(move |ctx, _, part: Vec<UnlabeledPair<D>>| {
                 ctx.counter(counters::CENTER_COMPARISONS)
                     .add((part.len() * vor_assign.b()) as u64);
                 ctx.charge_ops((part.len() * vor_assign.b()) as u64);
@@ -157,19 +161,16 @@ impl FastKnn {
 
         // Steps 6–12: intra-cluster kNN + positives + Algorithm 1.
         let vor_stage1 = voronoi.clone();
-        let stage_out: Rdd<StageOut> = assigned
+        let stage_out: Rdd<StageOut<D>> = assigned
             .zip_partitions(
                 &self.negatives,
-                move |ctx, tests: Vec<(usize, UnlabeledPair)>, negs: Vec<(usize, LabeledPair)>| {
+                move |ctx,
+                      tests: Vec<(usize, UnlabeledPair<D>)>,
+                      negs: Vec<(usize, LabeledPair<D>)>| {
                     // Model executor memory: the joined block must be
                     // resident (paper Fig. 8b: small b ⇒ oversized joined
                     // partitions ⇒ task kills and retries).
-                    let dim = tests
-                        .first()
-                        .map(|(_, t)| t.vector.len())
-                        .or_else(|| negs.first().map(|(_, p)| p.vector.len()))
-                        .unwrap_or(0);
-                    let bytes = (tests.len() + negs.len()) * dim * 8;
+                    let bytes = (tests.len() + negs.len()) * D * 8;
                     ctx.hold_memory(bytes)?;
                     let intra = ctx.counter(counters::INTRA_COMPARISONS);
                     let posc = ctx.counter(counters::POSITIVE_COMPARISONS);
@@ -179,22 +180,22 @@ impl FastKnn {
                     for (assigned_cid, t) in tests {
                         let mut hood = Neighborhood::new(k);
                         for (_, p) in &negs {
-                            hood.push(euclidean(&t.vector, &p.vector), p.positive);
+                            hood.push_sq(squared_euclidean_fixed(&t.vector, &p.vector), p.positive);
                         }
                         intra.add(negs.len() as u64);
                         // Algorithm 1 line 2: d(s, s_k) over the
                         // intra-cluster neighbours only, BEFORE merging the
                         // positives.
-                        let intra_kth = hood.kth_distance();
-                        let mut min_pos = f64::INFINITY;
+                        let intra_kth_sq = hood.kth_distance_sq();
+                        let mut min_pos_sq = f64::INFINITY;
                         for p in &vor_stage1.positives {
-                            let d = euclidean(&t.vector, &p.vector);
-                            min_pos = min_pos.min(d);
-                            hood.push(d, true);
+                            let d_sq = squared_euclidean_fixed(&t.vector, &p.vector);
+                            min_pos_sq = min_pos_sq.min(d_sq);
+                            hood.push_sq(d_sq, true);
                         }
                         posc.add(vor_stage1.positives.len() as u64);
                         ctx.charge_ops((negs.len() + vor_stage1.positives.len()) as u64);
-                        if intra_kth <= min_pos {
+                        if intra_kth_sq <= min_pos_sq {
                             skips.inc();
                             let score = score_neighbors(&hood);
                             out.push(StageOut::Done(ScoredPair {
@@ -208,8 +209,8 @@ impl FastKnn {
                         let extra = additional_partitions(
                             &t.vector,
                             assigned_cid,
-                            intra_kth,
-                            min_pos,
+                            intra_kth_sq,
+                            min_pos_sq,
                             &vor_stage1.centers,
                         );
                         extra_clusters.add(extra.len() as u64);
@@ -223,15 +224,12 @@ impl FastKnn {
                             }));
                             continue;
                         }
-                        out.push(StageOut::Base {
-                            id: t.id,
-                            hood,
-                        });
+                        out.push(StageOut::Base { id: t.id, hood });
                         for target in extra {
                             out.push(StageOut::Probe {
                                 target,
                                 id: t.id,
-                                vector: t.vector.clone(),
+                                vector: t.vector,
                             });
                         }
                     }
@@ -252,7 +250,7 @@ impl FastKnn {
             StageOut::Base { id, hood } => vec![(id, hood)],
             _ => vec![],
         });
-        let probes: Rdd<(usize, (u64, Vec<f64>))> = stage_out.flat_map(|o| match o {
+        let probes: Rdd<(usize, (u64, [f64; D]))> = stage_out.flat_map(|o| match o {
             StageOut::Probe { target, id, vector } => vec![(target, (id, vector))],
             _ => vec![],
         });
@@ -263,14 +261,14 @@ impl FastKnn {
             .zip_partitions(
                 &self.negatives,
                 move |ctx,
-                      probes: Vec<(usize, (u64, Vec<f64>))>,
-                      negs: Vec<(usize, LabeledPair)>| {
+                      probes: Vec<(usize, (u64, [f64; D]))>,
+                      negs: Vec<(usize, LabeledPair<D>)>| {
                     let cross = ctx.counter(counters::CROSS_COMPARISONS);
                     let mut out = Vec::with_capacity(probes.len());
                     for (_, (id, vector)) in probes {
                         let mut hood = Neighborhood::new(k);
                         for (_, p) in &negs {
-                            hood.push(euclidean(&vector, &p.vector), p.positive);
+                            hood.push_sq(squared_euclidean_fixed(&vector, &p.vector), p.positive);
                         }
                         cross.add(negs.len() as u64);
                         ctx.charge_ops(negs.len() as u64);
@@ -313,20 +311,20 @@ mod tests {
         n_pos: usize,
         n_test: usize,
         seed: u64,
-    ) -> (Vec<LabeledPair>, Vec<UnlabeledPair>) {
+    ) -> (Vec<LabeledPair<4>>, Vec<UnlabeledPair<4>>) {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut train = Vec::new();
         for i in 0..n_neg {
-            let v: Vec<f64> = (0..4).map(|_| rng.gen_range(0.0..1.0)).collect();
+            let v: [f64; 4] = std::array::from_fn(|_| rng.gen_range(0.0..1.0));
             train.push(LabeledPair::new(i as u64, v, false));
         }
         for i in 0..n_pos {
-            let v: Vec<f64> = (0..4).map(|_| rng.gen_range(0.0..0.15)).collect();
+            let v: [f64; 4] = std::array::from_fn(|_| rng.gen_range(0.0..0.15));
             train.push(LabeledPair::new((n_neg + i) as u64, v, true));
         }
         let test = (0..n_test)
             .map(|i| {
-                let v: Vec<f64> = (0..4).map(|_| rng.gen_range(0.0..1.0)).collect();
+                let v: [f64; 4] = std::array::from_fn(|_| rng.gen_range(0.0..1.0));
                 UnlabeledPair::new(i as u64, v)
             })
             .collect();
@@ -396,10 +394,7 @@ mod tests {
             .unwrap();
             cluster.metrics().reset();
             let _ = model.classify(&test).unwrap();
-            cluster
-                .metrics()
-                .counter(counters::INTRA_COMPARISONS)
-                .get()
+            cluster.metrics().counter(counters::INTRA_COMPARISONS).get()
         };
         let few = intra_at(4);
         let many = intra_at(32);

@@ -37,7 +37,7 @@ pub use classify::{FastKnn, FastKnnConfig};
 pub use prune::TestPruner;
 pub use score::{label_for, score_neighbors, SCORE_EPS};
 pub use select::additional_partitions;
-pub use types::{LabeledPair, Neighborhood, ScoredPair, UnlabeledPair};
+pub use types::{LabeledPair, Neighborhood, ScoredPair, UnlabeledPair, PAIR_DIMS};
 pub use voronoi::{hyperplane_distance, VoronoiPartition};
 
 /// Counter names published to [`sparklet::ClusterMetrics`] — the quantities

@@ -6,30 +6,34 @@
 //! expanded ball is too far from any known duplicate to be classified
 //! positive at threshold θ, so it is pruned before classification — the
 //! paper's Fig. 11 measures the pruning ratio and the resulting speed-up.
+//!
+//! The membership test compares in squared space: `d² ≤ (dcp_i + f(θ))²`
+//! avoids a `sqrt` per (test pair × cluster) probe. Radii stay linear —
+//! they feed the Eq. 6-driven `f(θ)` arithmetic of [`TestPruner::learn_f_theta`].
 
-use crate::types::{LabeledPair, UnlabeledPair};
+use crate::types::{LabeledPair, UnlabeledPair, PAIR_DIMS};
 use mlcore::kmeans::KMeans;
-use simmetrics::euclidean;
+use simmetrics::{euclidean_fixed, squared_euclidean_fixed};
 
 /// Pruner built from the positive training pairs.
 #[derive(Debug, Clone)]
-pub struct TestPruner {
+pub struct TestPruner<const D: usize = PAIR_DIMS> {
     /// Positive-cluster centres `cp_i`.
-    pub centers: Vec<Vec<f64>>,
-    /// Radius `dcp_i` of each cluster (farthest member distance).
+    pub centers: Vec<[f64; D]>,
+    /// Radius `dcp_i` of each cluster (farthest member distance, linear).
     pub radii: Vec<f64>,
 }
 
 /// Outcome of pruning a test set.
 #[derive(Debug, Clone)]
-pub struct PruneOutcome {
+pub struct PruneOutcome<const D: usize = PAIR_DIMS> {
     /// Test pairs kept for classification.
-    pub kept: Vec<UnlabeledPair>,
+    pub kept: Vec<UnlabeledPair<D>>,
     /// Number of pruned pairs.
     pub pruned: usize,
 }
 
-impl PruneOutcome {
+impl<const D: usize> PruneOutcome<D> {
     /// Fraction of the original test set that was kept.
     pub fn keep_ratio(&self) -> f64 {
         let total = self.kept.len() + self.pruned;
@@ -40,23 +44,23 @@ impl PruneOutcome {
     }
 }
 
-impl TestPruner {
+impl<const D: usize> TestPruner<D> {
     /// Step 1–2 of §4.3.4: cluster positives into `l` clusters and record
     /// each cluster's radius.
     ///
     /// # Panics
     /// Panics when there are no positive pairs (nothing to prune against —
     /// the caller should skip pruning entirely in that regime).
-    pub fn build(positives: &[LabeledPair], l: usize, seed: u64) -> Self {
+    pub fn build(positives: &[LabeledPair<D>], l: usize, seed: u64) -> Self {
         assert!(
             !positives.is_empty(),
             "test-set pruning requires positive training pairs"
         );
-        let vectors: Vec<Vec<f64>> = positives.iter().map(|p| p.vector.clone()).collect();
+        let vectors: Vec<[f64; D]> = positives.iter().map(|p| p.vector).collect();
         let model = KMeans::new(l.max(1), seed).fit(&vectors);
         let mut radii = vec![0.0f64; model.k()];
         for (v, &a) in vectors.iter().zip(&model.assignments) {
-            let d = euclidean(v, &model.centroids[a]);
+            let d = euclidean_fixed(v, &model.centroids[a]);
             if d > radii[a] {
                 radii[a] = d;
             }
@@ -68,11 +72,14 @@ impl TestPruner {
     }
 
     /// Step 3: should `vector` be kept at expansion `f_theta`?
-    pub fn keep(&self, vector: &[f64], f_theta: f64) -> bool {
-        self.centers
-            .iter()
-            .zip(&self.radii)
-            .any(|(c, r)| euclidean(vector, c) <= r + f_theta)
+    ///
+    /// Compared in squared space; a negative expanded radius (large negative
+    /// `f_theta`) keeps nothing, which squaring alone would get wrong.
+    pub fn keep(&self, vector: &[f64; D], f_theta: f64) -> bool {
+        self.centers.iter().zip(&self.radii).any(|(c, r)| {
+            let rf = r + f_theta;
+            rf >= 0.0 && squared_euclidean_fixed(vector, c) <= rf * rf
+        })
     }
 
     /// Learn the pruning expansion `f(θ)` from labelled data — the paper's
@@ -87,12 +94,7 @@ impl TestPruner {
     ///
     /// # Panics
     /// Panics if `duplicates` is empty or `target_recall` is outside (0, 1].
-    pub fn learn_f_theta(
-        &self,
-        duplicates: &[Vec<f64>],
-        target_recall: f64,
-        margin: f64,
-    ) -> f64 {
+    pub fn learn_f_theta(&self, duplicates: &[[f64; D]], target_recall: f64, margin: f64) -> f64 {
         assert!(
             !duplicates.is_empty(),
             "learning f(θ) needs labelled duplicates"
@@ -109,23 +111,26 @@ impl TestPruner {
                 self.centers
                     .iter()
                     .zip(&self.radii)
-                    .map(|(c, r)| (euclidean(v, c) - r).max(0.0))
+                    .map(|(c, r)| (euclidean_fixed(v, c) - r).max(0.0))
                     .fold(f64::INFINITY, f64::min)
             })
             .collect();
         needed.sort_by(|a, b| a.partial_cmp(b).expect("finite expansions"));
-        let keep = ((duplicates.len() as f64 * target_recall).ceil() as usize)
-            .clamp(1, duplicates.len());
-        needed[keep - 1] + margin
+        let keep =
+            ((duplicates.len() as f64 * target_recall).ceil() as usize).clamp(1, duplicates.len());
+        // [`TestPruner::keep`] certifies membership in squared space; the
+        // exact boundary expansion can fall a few ulps short once squared,
+        // so widen relatively (exact zero stays zero).
+        needed[keep - 1] * (1.0 + 4.0 * f64::EPSILON) + margin
     }
 
     /// Prune a test set.
-    pub fn prune(&self, test: &[UnlabeledPair], f_theta: f64) -> PruneOutcome {
+    pub fn prune(&self, test: &[UnlabeledPair<D>], f_theta: f64) -> PruneOutcome<D> {
         let mut kept = Vec::with_capacity(test.len());
         let mut pruned = 0usize;
         for t in test {
             if self.keep(&t.vector, f_theta) {
-                kept.push(t.clone());
+                kept.push(*t);
             } else {
                 pruned += 1;
             }
@@ -141,13 +146,13 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
-    fn positives() -> Vec<LabeledPair> {
+    fn positives() -> Vec<LabeledPair<2>> {
         // Two tight positive clumps, like duplicate pairs in distance space.
         let mut out = Vec::new();
         for i in 0..10 {
             let t = i as f64 * 0.005;
-            out.push(LabeledPair::new(i, vec![0.1 + t, 0.1 - t], true));
-            out.push(LabeledPair::new(100 + i, vec![0.8 + t, 0.2 - t], true));
+            out.push(LabeledPair::new(i, [0.1 + t, 0.1 - t], true));
+            out.push(LabeledPair::new(100 + i, [0.8 + t, 0.2 - t], true));
         }
         out
     }
@@ -161,16 +166,18 @@ mod tests {
     }
 
     #[test]
+    fn negative_expansion_beyond_radius_keeps_nothing() {
+        let pruner = TestPruner::build(&positives(), 2, 7);
+        let huge_negative = -(pruner.radii.iter().fold(0.0f64, |a, &b| a.max(b)) + 1.0);
+        assert!(!pruner.keep(&[0.1, 0.1], huge_negative));
+    }
+
+    #[test]
     fn larger_f_theta_keeps_more() {
         let pruner = TestPruner::build(&positives(), 2, 7);
         let mut rng = StdRng::seed_from_u64(1);
-        let test: Vec<UnlabeledPair> = (0..500)
-            .map(|i| {
-                UnlabeledPair::new(
-                    i,
-                    vec![rng.gen_range(0.0..1.5), rng.gen_range(0.0..1.5)],
-                )
-            })
+        let test: Vec<UnlabeledPair<2>> = (0..500)
+            .map(|i| UnlabeledPair::new(i, [rng.gen_range(0.0..1.5), rng.gen_range(0.0..1.5)]))
             .collect();
         let mut prev = 0usize;
         for f in [0.1, 0.3, 0.5, 0.9] {
@@ -197,27 +204,20 @@ mod tests {
         for i in 0..400 {
             train.push(LabeledPair::new(
                 1000 + i,
-                vec![rng.gen_range(0.0..1.5), rng.gen_range(0.0..1.5)],
+                [rng.gen_range(0.0..1.5), rng.gen_range(0.0..1.5)],
                 false,
             ));
         }
-        let pos_only: Vec<LabeledPair> =
-            train.iter().filter(|p| p.positive).cloned().collect();
+        let pos_only: Vec<LabeledPair<2>> = train.iter().filter(|p| p.positive).copied().collect();
         let pruner = TestPruner::build(&pos_only, 2, 7);
-        let test: Vec<UnlabeledPair> = (0..300)
-            .map(|i| {
-                UnlabeledPair::new(
-                    i,
-                    vec![rng.gen_range(0.0..1.5), rng.gen_range(0.0..1.5)],
-                )
-            })
+        let test: Vec<UnlabeledPair<2>> = (0..300)
+            .map(|i| UnlabeledPair::new(i, [rng.gen_range(0.0..1.5), rng.gen_range(0.0..1.5)]))
             .collect();
         let f_theta = 0.5;
         let outcome = pruner.prune(&test, f_theta);
         assert!(outcome.pruned > 0, "workload should prune something");
         let scored = classify_brute(&train, &test, 5, 1.0 / f_theta);
-        let kept_ids: std::collections::HashSet<u64> =
-            outcome.kept.iter().map(|t| t.id).collect();
+        let kept_ids: std::collections::HashSet<u64> = outcome.kept.iter().map(|t| t.id).collect();
         for s in &scored {
             if s.positive {
                 assert!(
@@ -236,13 +236,10 @@ mod tests {
         let pruner = TestPruner::build(&train_pos, 2, 7);
         // Held-out duplicates scattered around the positive clumps, some
         // farther out than the training radii.
-        let held_out: Vec<Vec<f64>> = (0..60)
+        let held_out: Vec<[f64; 2]> = (0..60)
             .map(|i| {
                 let (cx, cy) = if i % 2 == 0 { (0.1, 0.1) } else { (0.8, 0.2) };
-                vec![
-                    cx + rng.gen_range(-0.2..0.2),
-                    cy + rng.gen_range(-0.2..0.2),
-                ]
+                [cx + rng.gen_range(-0.2..0.2), cy + rng.gen_range(-0.2..0.2)]
             })
             .collect();
         for target in [0.8, 0.95, 1.0] {
@@ -266,7 +263,7 @@ mod tests {
         // construction, so the learned expansion (margin 0) is 0.
         let train_pos = positives();
         let pruner = TestPruner::build(&train_pos, 2, 7);
-        let vectors: Vec<Vec<f64>> = train_pos.iter().map(|p| p.vector.clone()).collect();
+        let vectors: Vec<[f64; 2]> = train_pos.iter().map(|p| p.vector).collect();
         let f = pruner.learn_f_theta(&vectors, 1.0, 0.0);
         assert!(f.abs() < 1e-9, "got {f}");
     }
@@ -274,11 +271,11 @@ mod tests {
     #[test]
     fn keep_ratio_math() {
         let outcome = PruneOutcome {
-            kept: vec![UnlabeledPair::new(0, vec![0.0])],
+            kept: vec![UnlabeledPair::new(0, [0.0])],
             pruned: 3,
         };
         assert!((outcome.keep_ratio() - 0.25).abs() < 1e-12);
-        let empty = PruneOutcome {
+        let empty = PruneOutcome::<2> {
             kept: vec![],
             pruned: 0,
         };
@@ -288,6 +285,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "requires positive")]
     fn no_positives_rejected() {
-        let _ = TestPruner::build(&[], 2, 1);
+        let _ = TestPruner::<2>::build(&[], 2, 1);
     }
 }

@@ -8,6 +8,11 @@
 //! ```
 //!
 //! Eq. 6 assigns `+1` when `score_s ≥ θ`.
+//!
+//! Neighbourhoods carry **squared** distances (candidate generation never
+//! needs the root); Eq. 5 votes are inverse *linear* distances, so this is
+//! the boundary where the square root is finally taken — once per retained
+//! neighbour instead of once per candidate comparison.
 
 use crate::types::Neighborhood;
 
@@ -19,8 +24,8 @@ pub const SCORE_EPS: f64 = 1e-9;
 pub fn score_neighbors(n: &Neighborhood) -> f64 {
     n.entries
         .iter()
-        .map(|(d, positive)| {
-            let vote = 1.0 / (d + SCORE_EPS);
+        .map(|(d_sq, positive)| {
+            let vote = 1.0 / (d_sq.sqrt() + SCORE_EPS);
             if *positive {
                 vote
             } else {
@@ -40,10 +45,11 @@ mod tests {
     use super::*;
     use proptest::prelude::*;
 
+    /// Build a neighbourhood from *linear* distances (squared on insert).
     fn hood(entries: &[(f64, bool)]) -> Neighborhood {
         let mut n = Neighborhood::new(entries.len().max(1));
         for (d, p) in entries {
-            n.push(*d, *p);
+            n.push_sq(d * d, *p);
         }
         n
     }
@@ -52,7 +58,13 @@ mod tests {
     fn close_positive_outweighs_far_negatives() {
         // One positive at 0.1 vs four negatives at 1.0: majority vote says
         // negative, Eq. 5 says positive. This is the paper's point.
-        let n = hood(&[(0.1, true), (1.0, false), (1.0, false), (1.0, false), (1.0, false)]);
+        let n = hood(&[
+            (0.1, true),
+            (1.0, false),
+            (1.0, false),
+            (1.0, false),
+            (1.0, false),
+        ]);
         assert!(score_neighbors(&n) > 0.0);
     }
 

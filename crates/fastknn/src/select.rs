@@ -12,31 +12,38 @@
 //!   hyperplane separating the assigned cell from `T_j` (Eq. 7), since by
 //!   the triangle inequality no point behind a farther hyperplane can beat
 //!   the current k-th neighbour.
+//!
+//! Inputs arrive **squared** (the candidate-generation space); the shortcut
+//! test compares squares directly, and a single root is taken only when the
+//! Eq. 7 hyperplane comparison — a linear distance — is actually needed.
 
 use crate::voronoi::hyperplane_distance;
 
 /// Algorithm 1. Returns the indices of additional clusters to search;
-/// an empty result with `kth_distance <= min_positive_distance` means the
-/// shortcut fired (no positive can be in the true kNN).
+/// an empty result with `kth_distance_sq <= min_positive_distance_sq` means
+/// the shortcut fired (no positive can be in the true kNN).
 ///
 /// * `s` — the test vector;
 /// * `assigned` — index of the Voronoi cell `s` belongs to;
-/// * `kth_distance` — `d(s, s_k)`, distance to the current k-th nearest
-///   neighbour (`+∞` when fewer than k are known);
-/// * `min_positive_distance` — `min(s, T⁺)`;
+/// * `kth_distance_sq` — `d(s, s_k)²`, squared distance to the current k-th
+///   nearest neighbour (`+∞` when fewer than k are known);
+/// * `min_positive_distance_sq` — `min(s, T⁺)²`;
 /// * `centers` — all cluster centres.
-pub fn additional_partitions(
-    s: &[f64],
+pub fn additional_partitions<const D: usize>(
+    s: &[f64; D],
     assigned: usize,
-    kth_distance: f64,
-    min_positive_distance: f64,
-    centers: &[Vec<f64>],
+    kth_distance_sq: f64,
+    min_positive_distance_sq: f64,
+    centers: &[[f64; D]],
 ) -> Vec<usize> {
-    // Lines 2–5: all-negative shortcut.
-    if kth_distance <= min_positive_distance {
+    // Lines 2–5: all-negative shortcut (monotone in the square).
+    if kth_distance_sq <= min_positive_distance_sq {
         return Vec::new();
     }
-    // Lines 6–12: hyperplane pruning.
+    // Lines 6–12: hyperplane pruning. Eq. 7 yields a linear distance, so
+    // take the one root here rather than squaring every hyperplane bound
+    // (which can be negative under balanced tie-assignment).
+    let kth_distance = kth_distance_sq.sqrt();
     let pi = &centers[assigned];
     let mut partitions = Vec::new();
     for (j, pj) in centers.iter().enumerate() {
@@ -56,14 +63,18 @@ mod tests {
     use proptest::prelude::*;
     use simmetrics::euclidean;
 
-    fn centers() -> Vec<Vec<f64>> {
-        vec![vec![0.0, 0.0], vec![10.0, 0.0], vec![0.0, 10.0], vec![50.0, 50.0]]
+    fn centers() -> Vec<[f64; 2]> {
+        vec![[0.0, 0.0], [10.0, 0.0], [0.0, 10.0], [50.0, 50.0]]
+    }
+
+    fn sq(d: f64) -> f64 {
+        d * d
     }
 
     #[test]
     fn shortcut_returns_no_partitions() {
         // k-th neighbour at 1.0, nearest positive at 5.0: stop.
-        let out = additional_partitions(&[1.0, 1.0], 0, 1.0, 5.0, &centers());
+        let out = additional_partitions(&[1.0, 1.0], 0, sq(1.0), sq(5.0), &centers());
         assert!(out.is_empty());
     }
 
@@ -71,7 +82,7 @@ mod tests {
     fn tight_neighborhood_prunes_everything() {
         // s at the origin with k-th distance 1.0: hyperplanes to the other
         // cells are ~5, ~5 and ~35 away.
-        let out = additional_partitions(&[0.0, 0.0], 0, 1.0, 0.5, &centers());
+        let out = additional_partitions(&[0.0, 0.0], 0, sq(1.0), sq(0.5), &centers());
         assert!(out.is_empty());
     }
 
@@ -79,22 +90,31 @@ mod tests {
     fn loose_neighborhood_selects_nearby_cells_only() {
         // k-th distance 6 crosses the hyperplanes to cells 1 and 2 (5 away)
         // but not to the far cell 3.
-        let out = additional_partitions(&[0.0, 0.0], 0, 6.0, 0.5, &centers());
+        let out = additional_partitions(&[0.0, 0.0], 0, sq(6.0), sq(0.5), &centers());
         assert_eq!(out, vec![1, 2]);
     }
 
     #[test]
     fn infinite_kth_distance_selects_all_other_cells() {
         // Fewer than k neighbours known: every cell may contribute.
-        let out =
-            additional_partitions(&[0.0, 0.0], 0, f64::INFINITY, 0.5, &centers());
+        let out = additional_partitions(&[0.0, 0.0], 0, f64::INFINITY, sq(0.5), &centers());
         assert_eq!(out, vec![1, 2, 3]);
     }
 
     #[test]
     fn assigned_cell_is_never_selected() {
-        let out = additional_partitions(&[0.0, 0.0], 0, 1e9, 0.0, &centers());
+        let out = additional_partitions(&[0.0, 0.0], 0, sq(1e9), 0.0, &centers());
         assert!(!out.contains(&0));
+    }
+
+    #[test]
+    fn negative_hyperplane_bound_still_selects() {
+        // Under balanced tie-assignment s can sit marginally closer to pj
+        // than to its assigned pi; the Eq. 7 bound is then negative and the
+        // cell must always be searched, however small the neighbourhood.
+        let cs = vec![[0.0f64, 0.0], [1.0, 0.0]];
+        let out = additional_partitions(&[0.9, 0.0], 0, sq(1e-6), 0.0, &cs);
+        assert_eq!(out, vec![1]);
     }
 
     proptest! {
@@ -106,6 +126,8 @@ mod tests {
             x in prop::collection::vec(-20.0f64..20.0, 2),
             slack in 0.01f64..5.0,
         ) {
+            let s: [f64; 2] = s.try_into().unwrap();
+            let x: [f64; 2] = x.try_into().unwrap();
             let cs = centers();
             // s must live in cell 0 for the setup to apply.
             prop_assume!(nearest(&s, &cs) == 0);
@@ -113,7 +135,7 @@ mod tests {
             prop_assume!(xj != 0);
             // Choose kth so that x is strictly inside the neighbourhood.
             let kth = euclidean(&s, &x) + slack;
-            let selected = additional_partitions(&s, 0, kth, 0.0, &cs);
+            let selected = additional_partitions(&s, 0, kth * kth, 0.0, &cs);
             prop_assert!(
                 selected.contains(&xj),
                 "cell {xj} holds a point at distance {} < kth {kth} but was pruned",
@@ -122,7 +144,7 @@ mod tests {
         }
     }
 
-    fn nearest(p: &[f64], centers: &[Vec<f64>]) -> usize {
+    fn nearest(p: &[f64; 2], centers: &[[f64; 2]]) -> usize {
         let mut best = (0usize, f64::INFINITY);
         for (i, c) in centers.iter().enumerate() {
             let d = euclidean(p, c);

@@ -6,17 +6,20 @@
 //! distributed path but single-threaded — useful for unit-testing the
 //! algorithm without an engine, and for isolating engine effects in
 //! benchmarks.
+//!
+//! Both run the candidate loops entirely in squared-distance space over
+//! fixed-arity vectors: no allocation, no `sqrt` until Eq. 5 scoring.
 
 use crate::score::{label_for, score_neighbors};
 use crate::select::additional_partitions;
 use crate::types::{LabeledPair, Neighborhood, ScoredPair, UnlabeledPair};
 use crate::voronoi::VoronoiPartition;
-use simmetrics::euclidean;
+use simmetrics::squared_euclidean_fixed;
 
 /// Exact brute-force kNN classification with Eq. 5 scoring.
-pub fn classify_brute(
-    train: &[LabeledPair],
-    test: &[UnlabeledPair],
+pub fn classify_brute<const D: usize>(
+    train: &[LabeledPair<D>],
+    test: &[UnlabeledPair<D>],
     k: usize,
     theta: f64,
 ) -> Vec<ScoredPair> {
@@ -24,7 +27,10 @@ pub fn classify_brute(
         .map(|t| {
             let mut hood = Neighborhood::new(k);
             for pair in train {
-                hood.push(euclidean(&t.vector, &pair.vector), pair.positive);
+                hood.push_sq(
+                    squared_euclidean_fixed(&t.vector, &pair.vector),
+                    pair.positive,
+                );
             }
             let score = score_neighbors(&hood);
             ScoredPair {
@@ -40,9 +46,9 @@ pub fn classify_brute(
 /// Single-threaded Fast kNN: identical algorithm to the distributed
 /// classifier (stage 1 intra-cluster + positives, Algorithm 1 selection,
 /// stage 2 cross-cluster), without the engine.
-pub fn classify_fast_serial(
-    partition: &VoronoiPartition,
-    test: &[UnlabeledPair],
+pub fn classify_fast_serial<const D: usize>(
+    partition: &VoronoiPartition<D>,
+    test: &[UnlabeledPair<D>],
     k: usize,
     theta: f64,
 ) -> Vec<ScoredPair> {
@@ -51,29 +57,35 @@ pub fn classify_fast_serial(
             let assigned = partition.assign(&t.vector);
             let mut hood = Neighborhood::new(k);
             for pair in &partition.negative_clusters[assigned] {
-                hood.push(euclidean(&t.vector, &pair.vector), pair.positive);
+                hood.push_sq(
+                    squared_euclidean_fixed(&t.vector, &pair.vector),
+                    pair.positive,
+                );
             }
             // Algorithm 1 line 2: d(s, s_k) over the intra-cluster
             // neighbours only, BEFORE merging the positives.
-            let intra_kth = hood.kth_distance();
-            let mut min_pos = f64::INFINITY;
+            let intra_kth_sq = hood.kth_distance_sq();
+            let mut min_pos_sq = f64::INFINITY;
             for pair in &partition.positives {
-                let d = euclidean(&t.vector, &pair.vector);
-                min_pos = min_pos.min(d);
-                hood.push(d, true);
+                let d_sq = squared_euclidean_fixed(&t.vector, &pair.vector);
+                min_pos_sq = min_pos_sq.min(d_sq);
+                hood.push_sq(d_sq, true);
             }
-            let shortcut = intra_kth <= min_pos;
+            let shortcut = intra_kth_sq <= min_pos_sq;
             if !shortcut {
                 let extra = additional_partitions(
                     &t.vector,
                     assigned,
-                    intra_kth,
-                    min_pos,
+                    intra_kth_sq,
+                    min_pos_sq,
                     &partition.centers,
                 );
                 for cid in extra {
                     for pair in &partition.negative_clusters[cid] {
-                        hood.push(euclidean(&t.vector, &pair.vector), pair.positive);
+                        hood.push_sq(
+                            squared_euclidean_fixed(&t.vector, &pair.vector),
+                            pair.positive,
+                        );
                     }
                 }
             }
@@ -99,22 +111,22 @@ mod tests {
         n_pos: usize,
         n_test: usize,
         seed: u64,
-    ) -> (Vec<LabeledPair>, Vec<UnlabeledPair>) {
+    ) -> (Vec<LabeledPair<4>>, Vec<UnlabeledPair<4>>) {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut train = Vec::new();
         for i in 0..n_neg {
-            let v: Vec<f64> = (0..4).map(|_| rng.gen_range(0.0..1.0)).collect();
+            let v: [f64; 4] = std::array::from_fn(|_| rng.gen_range(0.0..1.0));
             train.push(LabeledPair::new(i as u64, v, false));
         }
         for i in 0..n_pos {
             // Positives concentrated in a corner (duplicates have small
             // field distances).
-            let v: Vec<f64> = (0..4).map(|_| rng.gen_range(0.0..0.15)).collect();
+            let v: [f64; 4] = std::array::from_fn(|_| rng.gen_range(0.0..0.15));
             train.push(LabeledPair::new((n_neg + i) as u64, v, true));
         }
         let test = (0..n_test)
             .map(|i| {
-                let v: Vec<f64> = (0..4).map(|_| rng.gen_range(0.0..1.0)).collect();
+                let v: [f64; 4] = std::array::from_fn(|_| rng.gen_range(0.0..1.0));
                 UnlabeledPair::new(i as u64, v)
             })
             .collect();
@@ -124,13 +136,13 @@ mod tests {
     #[test]
     fn brute_force_scores_obvious_cases() {
         let train = vec![
-            LabeledPair::new(0, vec![0.0, 0.0], true),
-            LabeledPair::new(1, vec![1.0, 1.0], false),
-            LabeledPair::new(2, vec![1.1, 1.0], false),
+            LabeledPair::new(0, [0.0, 0.0], true),
+            LabeledPair::new(1, [1.0, 1.0], false),
+            LabeledPair::new(2, [1.1, 1.0], false),
         ];
         let test = vec![
-            UnlabeledPair::new(0, vec![0.01, 0.01]),
-            UnlabeledPair::new(1, vec![1.05, 1.0]),
+            UnlabeledPair::new(0, [0.01, 0.01]),
+            UnlabeledPair::new(1, [1.05, 1.0]),
         ];
         let out = classify_brute(&train, &test, 3, 0.0);
         assert!(out[0].positive, "next to the positive");

@@ -1,22 +1,36 @@
 //! Core data types flowing through the Fast kNN pipeline.
+//!
+//! Pair vectors are fixed-arity `[f64; D]` arrays (const-generic, defaulting
+//! to [`PAIR_DIMS`] — the §4.2 eight-field distance space) so that training
+//! pairs are `Copy` and the classification hot path never heap-allocates or
+//! clones per pair. Neighbourhoods store **squared** distances: ranking is
+//! monotone in the square, so `sqrt` is deferred to the Eq. 5 scoring
+//! boundary (see [`crate::score::score_neighbors`]).
 
 use serde::{Deserialize, Serialize};
 
+/// Default pair-vector arity: the eight detection fields of §4.2.
+///
+/// Kept as a local constant (rather than importing `adr-model`) so the
+/// classifier stays schema-agnostic; `dedup` statically asserts the two
+/// constants agree.
+pub const PAIR_DIMS: usize = 8;
+
 /// A labelled training pair: the distance vector of a report pair plus its
 /// duplicate / non-duplicate label.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct LabeledPair {
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LabeledPair<const D: usize = PAIR_DIMS> {
     /// Caller-assigned identifier (e.g. an index into the pair store).
     pub id: u64,
     /// Field-distance vector of the report pair (§4.2).
-    pub vector: Vec<f64>,
+    pub vector: [f64; D],
     /// `true` = duplicate (+1), `false` = non-duplicate (−1).
     pub positive: bool,
 }
 
-impl LabeledPair {
+impl<const D: usize> LabeledPair<D> {
     /// Convenience constructor.
-    pub fn new(id: u64, vector: Vec<f64>, positive: bool) -> Self {
+    pub fn new(id: u64, vector: [f64; D], positive: bool) -> Self {
         LabeledPair {
             id,
             vector,
@@ -26,28 +40,31 @@ impl LabeledPair {
 }
 
 /// An unlabelled (test) pair awaiting classification.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct UnlabeledPair {
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UnlabeledPair<const D: usize = PAIR_DIMS> {
     /// Caller-assigned identifier.
     pub id: u64,
     /// Field-distance vector.
-    pub vector: Vec<f64>,
+    pub vector: [f64; D],
 }
 
-impl UnlabeledPair {
+impl<const D: usize> UnlabeledPair<D> {
     /// Convenience constructor.
-    pub fn new(id: u64, vector: Vec<f64>) -> Self {
+    pub fn new(id: u64, vector: [f64; D]) -> Self {
         UnlabeledPair { id, vector }
     }
 }
 
-/// A bounded k-nearest neighbourhood: `(distance, is_positive)` entries kept
-/// sorted ascending by distance and truncated to `k`.
+/// A bounded k-nearest neighbourhood: `(squared distance, is_positive)`
+/// entries kept sorted ascending and truncated to `k`.
+///
+/// Distances are stored **squared** — candidate generation compares in
+/// squared space and only Eq. 5 scoring takes the root.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Neighborhood {
     /// Capacity (the `k` of kNN).
     pub k: usize,
-    /// Sorted `(distance, is_positive)` entries, at most `k`.
+    /// Sorted `(squared distance, is_positive)` entries, at most `k`.
     pub entries: Vec<(f64, bool)>,
 }
 
@@ -60,12 +77,10 @@ impl Neighborhood {
         }
     }
 
-    /// Insert a candidate, keeping the `k` closest.
-    pub fn push(&mut self, distance: f64, positive: bool) {
-        let pos = self
-            .entries
-            .partition_point(|(d, _)| *d <= distance);
-        self.entries.insert(pos, (distance, positive));
+    /// Insert a candidate by **squared** distance, keeping the `k` closest.
+    pub fn push_sq(&mut self, distance_sq: f64, positive: bool) {
+        let pos = self.entries.partition_point(|(d, _)| *d <= distance_sq);
+        self.entries.insert(pos, (distance_sq, positive));
         if self.entries.len() > self.k {
             self.entries.pop();
         }
@@ -74,18 +89,21 @@ impl Neighborhood {
     /// Merge another neighbourhood (disjoint candidate sets assumed).
     pub fn merge(mut self, other: Neighborhood) -> Neighborhood {
         for (d, p) in other.entries {
-            self.push(d, p);
+            self.push_sq(d, p);
         }
         self
     }
 
-    /// Distance of the current k-th (worst) neighbour; `+∞` while fewer
-    /// than `k` entries are known (any candidate could still enter).
-    pub fn kth_distance(&self) -> f64 {
+    /// Squared distance of the current k-th (worst) neighbour; `+∞` while
+    /// fewer than `k` entries are known (any candidate could still enter).
+    pub fn kth_distance_sq(&self) -> f64 {
         if self.entries.len() < self.k {
             f64::INFINITY
         } else {
-            self.entries.last().map(|(d, _)| *d).unwrap_or(f64::INFINITY)
+            self.entries
+                .last()
+                .map(|(d, _)| *d)
+                .unwrap_or(f64::INFINITY)
         }
     }
 
@@ -126,34 +144,50 @@ mod tests {
     use proptest::prelude::*;
 
     #[test]
+    fn pairs_are_copy_and_stack_sized() {
+        // The whole point of the fixed-arity representation: a LabeledPair
+        // moves by memcpy, no heap in sight.
+        fn assert_copy<T: Copy>() {}
+        assert_copy::<LabeledPair>();
+        assert_copy::<UnlabeledPair>();
+        assert_eq!(
+            std::mem::size_of::<LabeledPair>(),
+            std::mem::size_of::<u64>() + PAIR_DIMS * 8 + 8,
+        );
+        let p = LabeledPair::new(7, [0.5; PAIR_DIMS], true);
+        let q = p; // Copy, not move.
+        assert_eq!(p, q);
+    }
+
+    #[test]
     fn neighborhood_keeps_k_closest_sorted() {
         let mut n = Neighborhood::new(3);
         for d in [5.0, 1.0, 3.0, 2.0, 4.0] {
-            n.push(d, false);
+            n.push_sq(d, false);
         }
         let dists: Vec<f64> = n.entries.iter().map(|(d, _)| *d).collect();
         assert_eq!(dists, vec![1.0, 2.0, 3.0]);
-        assert_eq!(n.kth_distance(), 3.0);
+        assert_eq!(n.kth_distance_sq(), 3.0);
     }
 
     #[test]
     fn kth_distance_is_infinite_until_full() {
         let mut n = Neighborhood::new(3);
-        n.push(1.0, true);
-        assert_eq!(n.kth_distance(), f64::INFINITY);
-        n.push(2.0, false);
-        n.push(3.0, false);
-        assert_eq!(n.kth_distance(), 3.0);
+        n.push_sq(1.0, true);
+        assert_eq!(n.kth_distance_sq(), f64::INFINITY);
+        n.push_sq(2.0, false);
+        n.push_sq(3.0, false);
+        assert_eq!(n.kth_distance_sq(), 3.0);
     }
 
     #[test]
     fn merge_is_a_topk_union() {
         let mut a = Neighborhood::new(2);
-        a.push(1.0, true);
-        a.push(4.0, false);
+        a.push_sq(1.0, true);
+        a.push_sq(4.0, false);
         let mut b = Neighborhood::new(2);
-        b.push(2.0, false);
-        b.push(3.0, false);
+        b.push_sq(2.0, false);
+        b.push_sq(3.0, false);
         let m = a.merge(b);
         let dists: Vec<f64> = m.entries.iter().map(|(d, _)| *d).collect();
         assert_eq!(dists, vec![1.0, 2.0]);
@@ -163,9 +197,9 @@ mod tests {
     #[test]
     fn has_positive_detects_labels() {
         let mut n = Neighborhood::new(2);
-        n.push(1.0, false);
+        n.push_sq(1.0, false);
         assert!(!n.has_positive());
-        n.push(0.5, true);
+        n.push_sq(0.5, true);
         assert!(n.has_positive());
     }
 
@@ -177,7 +211,7 @@ mod tests {
         ) {
             let mut n = Neighborhood::new(k);
             for (d, p) in &ds {
-                n.push(*d, *p);
+                n.push_sq(*d, *p);
             }
             prop_assert!(n.len() <= k);
             for w in n.entries.windows(2) {
@@ -198,12 +232,12 @@ mod tests {
             k in 1usize..6,
         ) {
             let mut a = Neighborhood::new(k);
-            for (d, p) in &xs { a.push(*d, *p); }
+            for (d, p) in &xs { a.push_sq(*d, *p); }
             let mut b = Neighborhood::new(k);
-            for (d, p) in &ys { b.push(*d, *p); }
+            for (d, p) in &ys { b.push_sq(*d, *p); }
             let merged = a.merge(b);
             let mut bulk = Neighborhood::new(k);
-            for (d, p) in xs.iter().chain(&ys) { bulk.push(*d, *p); }
+            for (d, p) in xs.iter().chain(&ys) { bulk.push_sq(*d, *p); }
             let md: Vec<f64> = merged.entries.iter().map(|(d, _)| *d).collect();
             let bd: Vec<f64> = bulk.entries.iter().map(|(d, _)| *d).collect();
             prop_assert_eq!(md, bd);

@@ -1,24 +1,26 @@
 //! Voronoi partitioning of the training pairs (§4.3.1) and the
 //! hyperplane-distance bound of Eq. 7.
 
-use crate::types::LabeledPair;
+use crate::types::{LabeledPair, PAIR_DIMS};
 use mlcore::kmeans::{nearest_centroid, KMeans};
-use simmetrics::{euclidean, squared_euclidean};
+use simmetrics::{euclidean_fixed, squared_euclidean_fixed};
 
 /// The k-means Voronoi partition of a training set.
 ///
 /// Cluster centres are kept in (driver) memory — §4.3.1: "The center of
 /// each cluster is calculated and stored in memory." Negative pairs are
 /// bucketed per cluster; positive pairs are few (observation 1) and kept as
-/// one global list compared against every test pair.
+/// one global list compared against every test pair. Pairs are `Copy`
+/// (fixed-arity vectors), so bucketing moves them by memcpy rather than
+/// cloning a heap vector per pair.
 #[derive(Debug, Clone)]
-pub struct VoronoiPartition {
+pub struct VoronoiPartition<const D: usize = PAIR_DIMS> {
     /// Cluster centres `p_1 … p_b`.
-    pub centers: Vec<Vec<f64>>,
+    pub centers: Vec<[f64; D]>,
     /// Negative training pairs per cluster.
-    pub negative_clusters: Vec<Vec<LabeledPair>>,
+    pub negative_clusters: Vec<Vec<LabeledPair<D>>>,
     /// All positive training pairs (global).
-    pub positives: Vec<LabeledPair>,
+    pub positives: Vec<LabeledPair<D>>,
 }
 
 /// How many training vectors k-means fits on at most; larger sets are
@@ -29,23 +31,19 @@ pub struct VoronoiPartition {
 /// of how centres were obtained.
 pub const KMEANS_FIT_CAP: usize = 20_000;
 
-impl VoronoiPartition {
+impl<const D: usize> VoronoiPartition<D> {
     /// Partition `train` into `b` Voronoi cells via k-means.
     ///
     /// # Panics
     /// Panics if `train` is empty or `b == 0`.
-    pub fn build(train: &[LabeledPair], b: usize, seed: u64) -> Self {
+    pub fn build(train: &[LabeledPair<D>], b: usize, seed: u64) -> Self {
         assert!(!train.is_empty(), "cannot partition an empty training set");
         assert!(b > 0, "cluster number must be positive");
-        let vectors: Vec<Vec<f64>> = if train.len() > KMEANS_FIT_CAP {
+        let vectors: Vec<[f64; D]> = if train.len() > KMEANS_FIT_CAP {
             let stride = train.len() / KMEANS_FIT_CAP + 1;
-            train
-                .iter()
-                .step_by(stride)
-                .map(|p| p.vector.clone())
-                .collect()
+            train.iter().step_by(stride).map(|p| p.vector).collect()
         } else {
-            train.iter().map(|p| p.vector.clone()).collect()
+            train.iter().map(|p| p.vector).collect()
         };
         let model = KMeans {
             k: b,
@@ -55,14 +53,14 @@ impl VoronoiPartition {
         }
         .fit(&vectors);
         let b_actual = model.centroids.len();
-        let mut negative_clusters: Vec<Vec<LabeledPair>> = vec![Vec::new(); b_actual];
+        let mut negative_clusters: Vec<Vec<LabeledPair<D>>> = vec![Vec::new(); b_actual];
         let mut positives = Vec::new();
         for pair in train {
             if pair.positive {
-                positives.push(pair.clone());
+                positives.push(*pair);
             } else {
                 let (cid, _) = nearest_centroid(&pair.vector, &model.centroids);
-                negative_clusters[cid].push(pair.clone());
+                negative_clusters[cid].push(*pair);
             }
         }
         let mut partition = VoronoiPartition {
@@ -95,9 +93,10 @@ impl VoronoiPartition {
         let mut extra_clusters = Vec::new();
         for cid in 0..self.negative_clusters.len() {
             while self.negative_clusters[cid].len() > cap {
-                let keep = self.negative_clusters[cid].len() - cap.min(self.negative_clusters[cid].len() / 2);
+                let keep = self.negative_clusters[cid].len()
+                    - cap.min(self.negative_clusters[cid].len() / 2);
                 let chunk = self.negative_clusters[cid].split_off(keep);
-                extra_centers.push(self.centers[cid].clone());
+                extra_centers.push(self.centers[cid]);
                 extra_clusters.push(chunk);
             }
         }
@@ -111,7 +110,7 @@ impl VoronoiPartition {
     }
 
     /// Voronoi cell of a query vector (nearest centre).
-    pub fn assign(&self, v: &[f64]) -> usize {
+    pub fn assign(&self, v: &[f64; D]) -> usize {
         nearest_centroid(v, &self.centers).0
     }
 
@@ -119,18 +118,28 @@ impl VoronoiPartition {
     /// are (near-)equidistant — sibling chunks of a rebalanced cell always
     /// are — pick among them by `tiebreak` (e.g. the query's id), spreading
     /// load instead of piling every query onto the first sibling.
-    pub fn assign_balanced(&self, v: &[f64], tiebreak: u64) -> usize {
-        let (_, best_d2) = nearest_centroid(v, &self.centers);
-        let tied: Vec<usize> = self
-            .centers
-            .iter()
-            .enumerate()
-            .filter(|(_, c)| {
-                simmetrics::squared_euclidean(v, c) <= best_d2 + 1e-12
-            })
-            .map(|(i, _)| i)
-            .collect();
-        tied[(tiebreak as usize) % tied.len()]
+    ///
+    /// Single pass over the centres: candidates within the tie tolerance of
+    /// the *running* minimum are collected as the minimum tightens, then the
+    /// survivors against the final minimum (still in index order) are the
+    /// tied set — the same set a second full scan would produce.
+    pub fn assign_balanced(&self, v: &[f64; D], tiebreak: u64) -> usize {
+        const TIE_EPS: f64 = 1e-12;
+        let mut best_d2 = f64::INFINITY;
+        let mut tied: Vec<(usize, f64)> = Vec::new();
+        for (i, c) in self.centers.iter().enumerate() {
+            let d2 = squared_euclidean_fixed(v, c);
+            if d2 < best_d2 {
+                best_d2 = d2;
+            }
+            if d2 <= best_d2 + TIE_EPS {
+                tied.push((i, d2));
+            }
+        }
+        // The running minimum only tightens, so every true tie was admitted;
+        // drop candidates the final minimum has since disqualified.
+        tied.retain(|&(_, d2)| d2 <= best_d2 + TIE_EPS);
+        tied[(tiebreak as usize) % tied.len()].0
     }
 
     /// Sizes of the negative clusters.
@@ -138,12 +147,13 @@ impl VoronoiPartition {
         self.negative_clusters.iter().map(Vec::len).collect()
     }
 
-    /// Minimum distance from `v` to any positive pair; `+∞` when there are
-    /// no positives.
-    pub fn min_positive_distance(&self, v: &[f64]) -> f64 {
+    /// Minimum **squared** distance from `v` to any positive pair; `+∞`
+    /// when there are no positives. Squared on purpose: every consumer
+    /// compares it against other squared distances.
+    pub fn min_positive_distance_sq(&self, v: &[f64; D]) -> f64 {
         self.positives
             .iter()
-            .map(|p| euclidean(v, &p.vector))
+            .map(|p| squared_euclidean_fixed(v, &p.vector))
             .fold(f64::INFINITY, f64::min)
     }
 }
@@ -156,32 +166,39 @@ impl VoronoiPartition {
 /// d(s, h) = (d(s, pj)² − d(s, pi)²) / (2 · d(pi, pj))
 /// ```
 ///
-/// Non-negative whenever `s` is genuinely closer to `pi`.
-pub fn hyperplane_distance(s: &[f64], pi: &[f64], pj: &[f64]) -> f64 {
-    let dij = euclidean(pi, pj);
+/// Non-negative whenever `s` is genuinely closer to `pi`. This is a linear
+/// (not squared) distance — the one place besides Eq. 5 scoring where a
+/// square root is taken.
+pub fn hyperplane_distance<const D: usize>(s: &[f64; D], pi: &[f64; D], pj: &[f64; D]) -> f64 {
+    let dij = euclidean_fixed(pi, pj);
     if dij == 0.0 {
         // Coincident centres: the "hyperplane" is everywhere; no bound.
         return 0.0;
     }
-    (squared_euclidean(s, pj) - squared_euclidean(s, pi)) / (2.0 * dij)
+    (squared_euclidean_fixed(s, pj) - squared_euclidean_fixed(s, pi)) / (2.0 * dij)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use proptest::prelude::*;
+    use simmetrics::{euclidean, squared_euclidean};
 
-    fn make_train() -> Vec<LabeledPair> {
+    fn make_train() -> Vec<LabeledPair<2>> {
         let mut train = Vec::new();
         // Two negative blobs.
         for i in 0..30 {
             let t = i as f64 * 0.01;
-            train.push(LabeledPair::new(i, vec![t, t], false));
-            train.push(LabeledPair::new(100 + i, vec![8.0 + t, 8.0 - t], false));
+            train.push(LabeledPair::new(i, [t, t], false));
+            train.push(LabeledPair::new(100 + i, [8.0 + t, 8.0 - t], false));
         }
         // A few positives near the first blob.
         for i in 0..3 {
-            train.push(LabeledPair::new(200 + i, vec![0.5 + i as f64 * 0.01, 0.5], true));
+            train.push(LabeledPair::new(
+                200 + i,
+                [0.5 + i as f64 * 0.01, 0.5],
+                true,
+            ));
         }
         train
     }
@@ -223,22 +240,37 @@ mod tests {
     }
 
     #[test]
+    fn assign_balanced_spreads_ties_but_respects_nearest() {
+        let vp = VoronoiPartition::build(&make_train(), 2, 42);
+        // Unique nearest centre: every tiebreak agrees with assign().
+        for tb in 0..8u64 {
+            assert_eq!(vp.assign_balanced(&[0.1, 0.1], tb), vp.assign(&[0.1, 0.1]));
+        }
+        // Duplicated centres (as rebalance produces): ties spread by id.
+        let dup = VoronoiPartition::<2> {
+            centers: vec![[0.0, 0.0], [0.0, 0.0], [5.0, 5.0]],
+            negative_clusters: vec![Vec::new(), Vec::new(), Vec::new()],
+            positives: Vec::new(),
+        };
+        let a = dup.assign_balanced(&[0.1, 0.0], 0);
+        let b = dup.assign_balanced(&[0.1, 0.0], 1);
+        assert_ne!(a, b, "coincident centres must spread by tiebreak");
+        assert!(a < 2 && b < 2, "never a farther centre");
+    }
+
+    #[test]
     fn min_positive_distance_finds_the_closest_positive() {
         let vp = VoronoiPartition::build(&make_train(), 2, 42);
-        let d = vp.min_positive_distance(&[0.5, 0.5]);
-        assert!(d < 0.05, "got {d}");
-        let none = VoronoiPartition::build(
-            &[LabeledPair::new(0, vec![0.0], false)],
-            1,
-            1,
-        );
-        assert_eq!(none.min_positive_distance(&[0.0]), f64::INFINITY);
+        let d2 = vp.min_positive_distance_sq(&[0.5, 0.5]);
+        assert!(d2.sqrt() < 0.05, "got {}", d2.sqrt());
+        let none = VoronoiPartition::build(&[LabeledPair::new(0, [0.0], false)], 1, 1);
+        assert_eq!(none.min_positive_distance_sq(&[0.0]), f64::INFINITY);
     }
 
     #[test]
     fn hyperplane_distance_midpoint_is_zero() {
-        let pi = vec![0.0, 0.0];
-        let pj = vec![2.0, 0.0];
+        let pi = [0.0, 0.0];
+        let pj = [2.0, 0.0];
         // The midpoint lies ON the hyperplane.
         assert!(hyperplane_distance(&[1.0, 0.0], &pi, &pj).abs() < 1e-12);
         // A point at pi is 1.0 from the plane.
@@ -255,14 +287,48 @@ mod tests {
             s in prop::collection::vec(-5.0f64..5.0, 2),
             x in prop::collection::vec(-5.0f64..5.0, 2),
         ) {
-            let pi = vec![-1.0, 0.0];
-            let pj = vec![1.0, 0.0];
+            let s: [f64; 2] = s.try_into().unwrap();
+            let x: [f64; 2] = x.try_into().unwrap();
+            let pi = [-1.0, 0.0];
+            let pj = [1.0, 0.0];
             // Only test when s is in pi's cell and x in pj's cell.
             prop_assume!(squared_euclidean(&s, &pi) < squared_euclidean(&s, &pj));
             prop_assume!(squared_euclidean(&x, &pj) <= squared_euclidean(&x, &pi));
             let bound = hyperplane_distance(&s, &pi, &pj);
             prop_assert!(euclidean(&s, &x) >= bound - 1e-9,
                 "point {:?} beats the hyperplane bound {bound}", x);
+        }
+
+        /// The single-pass tie collection matches a naive two-pass scan.
+        #[test]
+        fn assign_balanced_matches_two_pass_reference(
+            centers in prop::collection::vec(
+                prop::collection::vec(0.0f64..1.0, 2), 1..12),
+            v in prop::collection::vec(0.0f64..1.0, 2),
+            tiebreak in 0u64..100,
+        ) {
+            let centers: Vec<[f64; 2]> =
+                centers.into_iter().map(|c| c.try_into().unwrap()).collect();
+            let v: [f64; 2] = v.try_into().unwrap();
+            let vp = VoronoiPartition::<2> {
+                negative_clusters: vec![Vec::new(); centers.len()],
+                positives: Vec::new(),
+                centers,
+            };
+            let best = vp
+                .centers
+                .iter()
+                .map(|c| squared_euclidean(&v, c))
+                .fold(f64::INFINITY, f64::min);
+            let tied: Vec<usize> = vp
+                .centers
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| squared_euclidean(&v, *c) <= best + 1e-12)
+                .map(|(i, _)| i)
+                .collect();
+            let expect = tied[(tiebreak as usize) % tied.len()];
+            prop_assert_eq!(vp.assign_balanced(&v, tiebreak), expect);
         }
     }
 }

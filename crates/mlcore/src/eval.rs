@@ -157,7 +157,10 @@ mod tests {
             scored.push((next(), i % 100 == 0));
         }
         let ap = average_precision(&scored);
-        assert!(ap < 0.1, "uninformative AP should be near base rate, got {ap}");
+        assert!(
+            ap < 0.1,
+            "uninformative AP should be near base rate, got {ap}"
+        );
     }
 
     #[test]

@@ -3,10 +3,15 @@
 //! The paper uses k-means twice: to Voronoi-partition the training pairs
 //! (§4.3.1 — "clusters produced by k-means form a Voronoi diagram") and to
 //! cluster positive pairs for test-set pruning (§4.3.4).
+//!
+//! Points are fixed-arity `[f64; D]` arrays (const-generic over `D`): the
+//! assignment loops dominate partition builds, and fixed arity lets the
+//! distance kernel unroll with no per-point allocation. The accumulation
+//! order matches the slice-based kernel bit-for-bit.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use simmetrics::squared_euclidean;
+use simmetrics::squared_euclidean_fixed;
 
 /// k-means configuration.
 #[derive(Debug, Clone, Copy)]
@@ -36,7 +41,7 @@ impl KMeans {
     ///
     /// # Panics
     /// Panics on empty data or `k == 0`. If `k > n`, `k` is clamped to `n`.
-    pub fn fit(&self, data: &[Vec<f64>]) -> KMeansModel {
+    pub fn fit<const D: usize>(&self, data: &[[f64; D]]) -> KMeansModel<D> {
         assert!(!data.is_empty(), "k-means needs data");
         assert!(self.k > 0, "k must be positive");
         let k = self.k.min(data.len());
@@ -49,8 +54,7 @@ impl KMeans {
                 assignments[i] = nearest_centroid(p, &centroids).0;
             }
             // Update step.
-            let dim = data[0].len();
-            let mut sums = vec![vec![0.0; dim]; k];
+            let mut sums = vec![[0.0; D]; k];
             let mut counts = vec![0usize; k];
             for (p, &a) in data.iter().zip(&assignments) {
                 counts[a] += 1;
@@ -67,18 +71,21 @@ impl KMeans {
                         .iter()
                         .enumerate()
                         .max_by(|(_, a), (_, b)| {
-                            let da = squared_euclidean(a, &centroids[assignments_centroid(a, &centroids)]);
-                            let db = squared_euclidean(b, &centroids[assignments_centroid(b, &centroids)]);
+                            let da = nearest_centroid(a, &centroids).1;
+                            let db = nearest_centroid(b, &centroids).1;
                             da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
                         })
                         .map(|(i, _)| i)
                         .expect("data non-empty");
-                    movement += squared_euclidean(&centroids[c], &data[far]);
-                    centroids[c] = data[far].clone();
+                    movement += squared_euclidean_fixed(&centroids[c], &data[far]);
+                    centroids[c] = data[far];
                     continue;
                 }
-                let new: Vec<f64> = sums[c].iter().map(|s| s / counts[c] as f64).collect();
-                movement += squared_euclidean(&centroids[c], &new);
+                let mut new = [0.0; D];
+                for (n, s) in new.iter_mut().zip(&sums[c]) {
+                    *n = s / counts[c] as f64;
+                }
+                movement += squared_euclidean_fixed(&centroids[c], &new);
                 centroids[c] = new;
             }
             if movement <= self.tol {
@@ -96,15 +103,11 @@ impl KMeans {
     }
 }
 
-fn assignments_centroid(p: &[f64], centroids: &[Vec<f64>]) -> usize {
-    nearest_centroid(p, centroids).0
-}
-
 /// Index and squared distance of the nearest centroid.
-pub fn nearest_centroid(p: &[f64], centroids: &[Vec<f64>]) -> (usize, f64) {
+pub fn nearest_centroid<const D: usize>(p: &[f64; D], centroids: &[[f64; D]]) -> (usize, f64) {
     let mut best = (0usize, f64::INFINITY);
     for (i, c) in centroids.iter().enumerate() {
-        let d = squared_euclidean(p, c);
+        let d = squared_euclidean_fixed(p, c);
         if d < best.1 {
             best = (i, d);
         }
@@ -112,12 +115,12 @@ pub fn nearest_centroid(p: &[f64], centroids: &[Vec<f64>]) -> (usize, f64) {
     best
 }
 
-fn plus_plus_init(data: &[Vec<f64>], k: usize, rng: &mut StdRng) -> Vec<Vec<f64>> {
-    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
-    centroids.push(data[rng.gen_range(0..data.len())].clone());
+fn plus_plus_init<const D: usize>(data: &[[f64; D]], k: usize, rng: &mut StdRng) -> Vec<[f64; D]> {
+    let mut centroids: Vec<[f64; D]> = Vec::with_capacity(k);
+    centroids.push(data[rng.gen_range(0..data.len())]);
     let mut dists: Vec<f64> = data
         .iter()
-        .map(|p| squared_euclidean(p, &centroids[0]))
+        .map(|p| squared_euclidean_fixed(p, &centroids[0]))
         .collect();
     while centroids.len() < k {
         let total: f64 = dists.iter().sum();
@@ -136,9 +139,9 @@ fn plus_plus_init(data: &[Vec<f64>], k: usize, rng: &mut StdRng) -> Vec<Vec<f64>
             }
             chosen
         };
-        centroids.push(data[next].clone());
+        centroids.push(data[next]);
         for (d, p) in dists.iter_mut().zip(data) {
-            let nd = squared_euclidean(p, centroids.last().expect("just pushed"));
+            let nd = squared_euclidean_fixed(p, centroids.last().expect("just pushed"));
             if nd < *d {
                 *d = nd;
             }
@@ -149,22 +152,22 @@ fn plus_plus_init(data: &[Vec<f64>], k: usize, rng: &mut StdRng) -> Vec<Vec<f64>
 
 /// A fitted k-means model.
 #[derive(Debug, Clone)]
-pub struct KMeansModel {
+pub struct KMeansModel<const D: usize> {
     /// Cluster centres ("the center of each cluster is calculated and
     /// stored in memory", §4.3.1).
-    pub centroids: Vec<Vec<f64>>,
+    pub centroids: Vec<[f64; D]>,
     /// Cluster index per training point.
     pub assignments: Vec<usize>,
 }
 
-impl KMeansModel {
+impl<const D: usize> KMeansModel<D> {
     /// Number of clusters.
     pub fn k(&self) -> usize {
         self.centroids.len()
     }
 
     /// Assign an unseen point to its Voronoi cell (closest centre).
-    pub fn assign(&self, p: &[f64]) -> usize {
+    pub fn assign(&self, p: &[f64; D]) -> usize {
         nearest_centroid(p, &self.centroids).0
     }
 
@@ -178,10 +181,10 @@ impl KMeansModel {
     }
 
     /// Within-cluster sum of squared distances (inertia).
-    pub fn inertia(&self, data: &[Vec<f64>]) -> f64 {
+    pub fn inertia(&self, data: &[[f64; D]]) -> f64 {
         data.iter()
             .zip(&self.assignments)
-            .map(|(p, &a)| squared_euclidean(p, &self.centroids[a]))
+            .map(|(p, &a)| squared_euclidean_fixed(p, &self.centroids[a]))
             .sum()
     }
 }
@@ -190,12 +193,12 @@ impl KMeansModel {
 mod tests {
     use super::*;
 
-    fn two_blobs() -> Vec<Vec<f64>> {
+    fn two_blobs() -> Vec<[f64; 2]> {
         let mut data = Vec::new();
         for i in 0..20 {
             let t = i as f64 * 0.01;
-            data.push(vec![0.0 + t, 0.0 - t]);
-            data.push(vec![10.0 - t, 10.0 + t]);
+            data.push([0.0 + t, 0.0 - t]);
+            data.push([10.0 - t, 10.0 + t]);
         }
         data
     }
@@ -221,10 +224,10 @@ mod tests {
         let data = two_blobs();
         let model = KMeans::new(4, 7).fit(&data);
         for (p, &a) in data.iter().zip(&model.assignments) {
-            let own = squared_euclidean(p, &model.centroids[a]);
+            let own = squared_euclidean_fixed(p, &model.centroids[a]);
             for (j, c) in model.centroids.iter().enumerate() {
                 if j != a {
-                    assert!(own <= squared_euclidean(p, c) + 1e-9);
+                    assert!(own <= squared_euclidean_fixed(p, c) + 1e-9);
                 }
             }
         }
@@ -241,14 +244,14 @@ mod tests {
 
     #[test]
     fn k_clamped_to_n() {
-        let data = vec![vec![0.0], vec![1.0]];
+        let data = vec![[0.0], [1.0]];
         let model = KMeans::new(10, 1).fit(&data);
         assert_eq!(model.k(), 2);
     }
 
     #[test]
     fn identical_points_do_not_crash() {
-        let data = vec![vec![1.0, 1.0]; 10];
+        let data = vec![[1.0, 1.0]; 10];
         let model = KMeans::new(3, 1).fit(&data);
         assert_eq!(model.assignments.len(), 10);
     }
@@ -276,6 +279,9 @@ mod tests {
         let data = two_blobs();
         let i2 = KMeans::new(2, 9).fit(&data).inertia(&data);
         let i8 = KMeans::new(8, 9).fit(&data).inertia(&data);
-        assert!(i8 <= i2 + 1e-9, "inertia must not grow with k: {i8} vs {i2}");
+        assert!(
+            i8 <= i2 + 1e-9,
+            "inertia must not grow with k: {i8} vs {i2}"
+        );
     }
 }

@@ -23,11 +23,7 @@ pub fn train_test_split(n: usize, test_fraction: f64, seed: u64) -> (Vec<usize>,
 /// most `max_negatives` negative indices (seeded, without replacement).
 ///
 /// Returns selected indices in ascending order for determinism.
-pub fn downsample_negatives(
-    labels: &[bool],
-    max_negatives: usize,
-    seed: u64,
-) -> Vec<usize> {
+pub fn downsample_negatives(labels: &[bool], max_negatives: usize, seed: u64) -> Vec<usize> {
     let mut positives: Vec<usize> = Vec::new();
     let mut negatives: Vec<usize> = Vec::new();
     for (i, &is_pos) in labels.iter().enumerate() {

@@ -65,10 +65,7 @@ impl LinearSvm {
     pub fn train_dual(x: &[Vec<f64>], y: &[i8], config: &SvmConfig) -> Self {
         assert!(!x.is_empty(), "SVM needs training data");
         assert_eq!(x.len(), y.len(), "points/labels length mismatch");
-        assert!(
-            y.iter().all(|&l| l == 1 || l == -1),
-            "labels must be +1/-1"
-        );
+        assert!(y.iter().all(|&l| l == 1 || l == -1), "labels must be +1/-1");
         let n = x.len();
         let dim = x[0].len();
         let c_base = 1.0 / (config.lambda * n as f64);
@@ -124,10 +121,7 @@ impl LinearSvm {
     pub fn train(x: &[Vec<f64>], y: &[i8], config: &SvmConfig) -> Self {
         assert!(!x.is_empty(), "SVM needs training data");
         assert_eq!(x.len(), y.len(), "points/labels length mismatch");
-        assert!(
-            y.iter().all(|&l| l == 1 || l == -1),
-            "labels must be +1/-1"
-        );
+        assert!(y.iter().all(|&l| l == 1 || l == -1), "labels must be +1/-1");
         let dim = x[0].len();
         let n = x.len();
         let mut w = vec![0.0f64; dim];
@@ -147,7 +141,11 @@ impl LinearSvm {
                     *wj *= shrink;
                 }
                 if margin < 1.0 {
-                    let weight = if y[i] == 1 { config.positive_weight } else { 1.0 };
+                    let weight = if y[i] == 1 {
+                        config.positive_weight
+                    } else {
+                        1.0
+                    };
                     let step = eta * yi * weight;
                     for (wj, xj) in w.iter_mut().zip(&x[i]) {
                         *wj += step * xj;
@@ -176,10 +174,7 @@ impl LinearSvm {
     pub fn train_batch(x: &[Vec<f64>], y: &[i8], config: &SvmConfig) -> Self {
         assert!(!x.is_empty(), "SVM needs training data");
         assert_eq!(x.len(), y.len(), "points/labels length mismatch");
-        assert!(
-            y.iter().all(|&l| l == 1 || l == -1),
-            "labels must be +1/-1"
-        );
+        assert!(y.iter().all(|&l| l == 1 || l == -1), "labels must be +1/-1");
         let n = x.len() as f64;
         let dim = x[0].len();
         let mut w = vec![0.0f64; dim];
@@ -279,7 +274,9 @@ mod tests {
         // 2000 negatives filling the space AROUND them.
         let mut rng_state = 1u64;
         let mut next = || {
-            rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            rng_state = rng_state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((rng_state >> 33) as f64 / (1u64 << 31) as f64) * 2.0 - 0.5
         };
         for _ in 0..2000 {
@@ -328,7 +325,11 @@ mod tests {
                 .count()
         };
         assert!(recall(&weighted) >= recall(&vanilla));
-        assert_eq!(recall(&weighted), 5, "separable positives must be found when weighted");
+        assert_eq!(
+            recall(&weighted),
+            5,
+            "separable positives must be found when weighted"
+        );
     }
 
     #[test]

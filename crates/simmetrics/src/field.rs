@@ -108,9 +108,6 @@ mod tests {
             FieldDistance::categorical(Some("Unknown"), Some("Recovered")),
             1.0
         );
-        assert_eq!(
-            FieldDistance::text_raw("Atorvastatin", "Atorvastatin"),
-            0.0
-        );
+        assert_eq!(FieldDistance::text_raw("Atorvastatin", "Atorvastatin"), 0.0);
     }
 }

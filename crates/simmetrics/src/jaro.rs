@@ -80,7 +80,9 @@ mod tests {
     #[test]
     fn winkler_boosts_common_prefix() {
         assert!(approx(jaro_winkler("MARTHA", "MARHTA"), 0.961));
-        assert!(jaro_winkler("atorvastatin", "atorvastatim") > jaro("atorvastatin", "atorvastatim"));
+        assert!(
+            jaro_winkler("atorvastatin", "atorvastatim") > jaro("atorvastatin", "atorvastatim")
+        );
     }
 
     #[test]

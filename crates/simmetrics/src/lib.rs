@@ -8,6 +8,8 @@
 //! * [`hamming`] — Hamming distance \[8\];
 //! * [`jaro`] — Jaro and Jaro–Winkler similarity (record-linkage classics);
 //! * [`token`] — Jaccard \[3\], Dice, overlap and cosine over token sets;
+//! * [`sorted`] — the same set metrics as allocation-free merge walks over
+//!   sorted deduplicated slices (interned token ids on the hot path);
 //! * [`vector`] — Euclidean / Manhattan / Minkowski / cosine over dense
 //!   `f64` vectors (the paper compares *distance vectors of report pairs*
 //!   with Euclidean distance);
@@ -21,6 +23,7 @@ pub mod field;
 pub mod hamming;
 pub mod jaro;
 pub mod levenshtein;
+pub mod sorted;
 pub mod token;
 pub mod vector;
 
@@ -28,5 +31,12 @@ pub use field::{FieldDistance, FieldKind};
 pub use hamming::hamming;
 pub use jaro::{jaro, jaro_winkler};
 pub use levenshtein::{damerau_levenshtein, levenshtein, normalized_levenshtein};
+pub use sorted::{
+    cosine_tokens_sorted, dice_sorted, intersection_size_sorted, jaccard_distance_sorted,
+    jaccard_similarity_sorted, overlap_coefficient_sorted,
+};
 pub use token::{cosine_tokens, dice, jaccard_distance, jaccard_similarity, overlap_coefficient};
-pub use vector::{cosine_similarity, euclidean, manhattan, minkowski, squared_euclidean};
+pub use vector::{
+    cosine_similarity, euclidean, euclidean_fixed, manhattan, minkowski, squared_euclidean,
+    squared_euclidean8, squared_euclidean_fixed,
+};

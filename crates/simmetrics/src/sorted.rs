@@ -1,0 +1,137 @@
+//! Set similarities over **sorted, deduplicated** slices.
+//!
+//! These are the allocation-free counterparts of the generic `HashSet`-based
+//! metrics in [`crate::token`]: operands are pre-sorted deduplicated slices
+//! (interned `u32` token ids in the dedup pipeline) and the intersection size
+//! comes from a single merge walk — no allocation, no hashing, no string
+//! bytes touched at comparison time. The `HashSet` versions stay as the
+//! reference oracle; property tests assert exact agreement.
+//!
+//! Every function follows the same empty-set conventions as `token`:
+//! two empty sets are identical (similarity 1), an empty vs non-empty set has
+//! similarity 0.
+
+/// `|A ∩ B|` for sorted deduplicated slices, by merge walk.
+#[inline]
+pub fn intersection_size_sorted<T: Ord>(a: &[T], b: &[T]) -> usize {
+    debug_assert!(a.windows(2).all(|w| w[0] < w[1]), "lhs not sorted+deduped");
+    debug_assert!(b.windows(2).all(|w| w[0] < w[1]), "rhs not sorted+deduped");
+    let mut inter = 0;
+    let mut i = 0;
+    let mut j = 0;
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                inter += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    inter
+}
+
+/// Jaccard similarity `|A ∩ B| / |A ∪ B|` over sorted deduplicated slices.
+#[inline]
+pub fn jaccard_similarity_sorted<T: Ord>(a: &[T], b: &[T]) -> f64 {
+    let inter = intersection_size_sorted(a, b);
+    let union = a.len() + b.len() - inter;
+    if union == 0 {
+        return 1.0;
+    }
+    inter as f64 / union as f64
+}
+
+/// Jaccard distance (Eq. 4) over sorted deduplicated slices.
+#[inline]
+pub fn jaccard_distance_sorted<T: Ord>(a: &[T], b: &[T]) -> f64 {
+    1.0 - jaccard_similarity_sorted(a, b)
+}
+
+/// Sørensen–Dice coefficient over sorted deduplicated slices.
+#[inline]
+pub fn dice_sorted<T: Ord>(a: &[T], b: &[T]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    2.0 * intersection_size_sorted(a, b) as f64 / (a.len() + b.len()) as f64
+}
+
+/// Overlap coefficient over sorted deduplicated slices.
+#[inline]
+pub fn overlap_coefficient_sorted<T: Ord>(a: &[T], b: &[T]) -> f64 {
+    let min = a.len().min(b.len());
+    if min == 0 {
+        return if a.len().max(b.len()) == 0 { 1.0 } else { 0.0 };
+    }
+    intersection_size_sorted(a, b) as f64 / min as f64
+}
+
+/// Cosine similarity between token sets (binary weights) over sorted
+/// deduplicated slices.
+#[inline]
+pub fn cosine_tokens_sorted<T: Ord>(a: &[T], b: &[T]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    intersection_size_sorted(a, b) as f64 / ((a.len() as f64) * (b.len() as f64)).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::{cosine_tokens, dice, jaccard_similarity, overlap_coefficient};
+    use proptest::prelude::*;
+    use textprep::TokenInterner;
+
+    fn sorted_set(tokens: &[String]) -> Vec<String> {
+        let mut s = tokens.to_vec();
+        s.sort();
+        s.dedup();
+        s
+    }
+
+    #[test]
+    fn merge_walk_known_values() {
+        assert_eq!(intersection_size_sorted(&[1u32, 3, 5], &[2, 3, 5, 9]), 2);
+        assert_eq!(intersection_size_sorted::<u32>(&[], &[]), 0);
+        assert!((jaccard_similarity_sorted(&[1u32, 2, 3], &[2, 3, 4]) - 0.5).abs() < 1e-12);
+    }
+
+    proptest! {
+        // The satellite property: interned sorted-slice metrics agree exactly
+        // (bit-for-bit) with the HashSet reference oracle on arbitrary lists.
+        #[test]
+        fn interned_metrics_match_hashset_oracle(
+            a in prop::collection::vec("[a-d]{1,2}", 0..10),
+            b in prop::collection::vec("[a-d]{1,2}", 0..10),
+        ) {
+            let mut interner = TokenInterner::new();
+            let ia = interner.intern_set(&a);
+            let ib = interner.intern_set(&b);
+            prop_assert_eq!(jaccard_similarity_sorted(&ia, &ib), jaccard_similarity(&a, &b));
+            prop_assert_eq!(dice_sorted(&ia, &ib), dice(&a, &b));
+            prop_assert_eq!(overlap_coefficient_sorted(&ia, &ib), overlap_coefficient(&a, &b));
+            prop_assert_eq!(cosine_tokens_sorted(&ia, &ib), cosine_tokens(&a, &b));
+        }
+
+        // Same agreement without an interner: sorted string slices.
+        #[test]
+        fn sorted_string_metrics_match_hashset_oracle(
+            a in prop::collection::vec("[a-d]{1,2}", 0..10),
+            b in prop::collection::vec("[a-d]{1,2}", 0..10),
+        ) {
+            let sa = sorted_set(&a);
+            let sb = sorted_set(&b);
+            prop_assert_eq!(jaccard_similarity_sorted(&sa, &sb), jaccard_similarity(&a, &b));
+            prop_assert_eq!(dice_sorted(&sa, &sb), dice(&a, &b));
+            prop_assert_eq!(overlap_coefficient_sorted(&sa, &sb), overlap_coefficient(&a, &b));
+            prop_assert_eq!(cosine_tokens_sorted(&sa, &sb), cosine_tokens(&a, &b));
+        }
+    }
+}

@@ -307,10 +307,11 @@ mod tests {
     #[test]
     fn run_job_returns_ordered_partition_outputs() {
         let c = Cluster::local(4);
-        let out = c
-            .run_job("square", 6, |i, _ctx| Ok(vec![i * i]))
-            .unwrap();
-        assert_eq!(out, vec![vec![0], vec![1], vec![4], vec![9], vec![16], vec![25]]);
+        let out = c.run_job("square", 6, |i, _ctx| Ok(vec![i * i])).unwrap();
+        assert_eq!(
+            out,
+            vec![vec![0], vec![1], vec![4], vec![9], vec![16], vec![25]]
+        );
     }
 
     #[test]
@@ -334,7 +335,9 @@ mod tests {
         cfg.fault = FaultConfig::with_probability(1.0, 1);
         cfg.max_task_attempts = 3;
         let c = Cluster::new(cfg);
-        let err = c.run_job::<u32, _>("doomed", 1, |_, _| Ok(vec![])).unwrap_err();
+        let err = c
+            .run_job::<u32, _>("doomed", 1, |_, _| Ok(vec![]))
+            .unwrap_err();
         match err {
             SparkletError::TaskFailed { attempts, .. } => assert_eq!(attempts, 3),
             other => panic!("unexpected error: {other:?}"),
@@ -410,12 +413,8 @@ mod tests {
     fn fault_injection_is_deterministic() {
         let mut cfg = ClusterConfig::local(1);
         cfg.fault = FaultConfig::with_probability(0.5, 42);
-        let a: Vec<bool> = (0..64)
-            .map(|t| fault_fires(&cfg, "s", t, 0))
-            .collect();
-        let b: Vec<bool> = (0..64)
-            .map(|t| fault_fires(&cfg, "s", t, 0))
-            .collect();
+        let a: Vec<bool> = (0..64).map(|t| fault_fires(&cfg, "s", t, 0)).collect();
+        let b: Vec<bool> = (0..64).map(|t| fault_fires(&cfg, "s", t, 0)).collect();
         assert_eq!(a, b);
         assert!(a.iter().any(|&x| x) && a.iter().any(|&x| !x));
     }

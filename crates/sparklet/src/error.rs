@@ -62,10 +62,9 @@ impl fmt::Display for SparkletError {
                 f,
                 "task memory {requested}B exceeded executor budget {budget}B"
             ),
-            SparkletError::PartitionMismatch { left, right } => write!(
-                f,
-                "cannot zip datasets with {left} vs {right} partitions"
-            ),
+            SparkletError::PartitionMismatch { left, right } => {
+                write!(f, "cannot zip datasets with {left} vs {right} partitions")
+            }
             SparkletError::EmptyCollection => write!(f, "empty collection"),
             SparkletError::User(msg) => write!(f, "user error: {msg}"),
         }
@@ -105,9 +104,6 @@ mod tests {
     #[test]
     fn errors_are_comparable() {
         assert_eq!(SparkletError::InjectedFault, SparkletError::InjectedFault);
-        assert_ne!(
-            SparkletError::InjectedFault,
-            SparkletError::EmptyCollection
-        );
+        assert_ne!(SparkletError::InjectedFault, SparkletError::EmptyCollection);
     }
 }

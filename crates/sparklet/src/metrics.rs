@@ -118,7 +118,10 @@ impl std::fmt::Debug for ClusterMetrics {
             .field("tasks_launched", &self.tasks_launched.get())
             .field("tasks_succeeded", &self.tasks_succeeded.get())
             .field("tasks_failed", &self.tasks_failed.get())
-            .field("shuffle_records_written", &self.shuffle_records_written.get())
+            .field(
+                "shuffle_records_written",
+                &self.shuffle_records_written.get(),
+            )
             .field("shuffle_bytes_written", &self.shuffle_bytes_written.get())
             .field("cache_hits", &self.cache_hits.get())
             .field("cache_misses", &self.cache_misses.get())

@@ -255,9 +255,7 @@ impl<K: KeyData, V: Data> PairRdd<K, V> for Rdd<(K, V)> {
 
     fn lookup(&self, key: &K) -> Result<Vec<V>> {
         let key = key.clone();
-        self.filter(move |(k, _)| *k == key)
-            .values()
-            .collect()
+        self.filter(move |(k, _)| *k == key).values().collect()
     }
 }
 
@@ -280,10 +278,16 @@ mod tests {
         assert_eq!(shuffled.num_partitions(), 4);
         let mut all = shuffled.collect().unwrap();
         all.sort();
-        assert_eq!(all, vec![(1, 10), (1, 11), (1, 12), (2, 20), (2, 21), (3, 30)]);
+        assert_eq!(
+            all,
+            vec![(1, 10), (1, 11), (1, 12), (2, 20), (2, 21), (3, 30)]
+        );
         // Records with equal keys must land in the same partition.
         let node_parts = shuffled.map_partitions_with_ctx(|_, split, part| {
-            Ok(part.into_iter().map(move |(k, _)| (k, split)).collect::<Vec<_>>())
+            Ok(part
+                .into_iter()
+                .map(move |(k, _)| (k, split))
+                .collect::<Vec<_>>())
         });
         let mut seen: HashMap<u32, usize> = HashMap::new();
         for (k, split) in node_parts.collect().unwrap() {
@@ -319,7 +323,12 @@ mod tests {
     fn aggregate_by_key_counts_and_sums() {
         let c = Cluster::local(2);
         let mut out = pairs(&c)
-            .aggregate_by_key((0u32, 0u32), |(n, s), v| (n + 1, s + v), |a, b| (a.0 + b.0, a.1 + b.1), 2)
+            .aggregate_by_key(
+                (0u32, 0u32),
+                |(n, s), v| (n + 1, s + v),
+                |a, b| (a.0 + b.0, a.1 + b.1),
+                2,
+            )
             .collect()
             .unwrap();
         out.sort();
@@ -330,7 +339,10 @@ mod tests {
     fn map_values_keys_values() {
         let c = Cluster::local(2);
         let rdd = c.parallelize(vec![(1u8, 2u8), (3, 4)], 1);
-        assert_eq!(rdd.map_values(|v| v * 10).collect().unwrap(), vec![(1, 20), (3, 40)]);
+        assert_eq!(
+            rdd.map_values(|v| v * 10).collect().unwrap(),
+            vec![(1, 20), (3, 40)]
+        );
         assert_eq!(rdd.keys().collect().unwrap(), vec![1, 3]);
         assert_eq!(rdd.values().collect().unwrap(), vec![2, 4]);
     }

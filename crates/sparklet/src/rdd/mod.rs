@@ -74,10 +74,7 @@ impl<T: Data> Rdd<T> {
     }
 
     /// One-to-many transformation.
-    pub fn flat_map<U: Data>(
-        &self,
-        f: impl Fn(T) -> Vec<U> + Send + Sync + 'static,
-    ) -> Rdd<U> {
+    pub fn flat_map<U: Data>(&self, f: impl Fn(T) -> Vec<U> + Send + Sync + 'static) -> Rdd<U> {
         self.map_partitions_named("flat_map", move |_, _, part: Vec<T>| {
             Ok(part.into_iter().flat_map(&f).collect())
         })
@@ -140,7 +137,11 @@ impl<T: Data> Rdd<T> {
         let id = self.cluster.new_rdd_id();
         Rdd::from_node(
             self.cluster.clone(),
-            Arc::new(CartesianNode::new(id, self.node.clone(), other.node.clone())),
+            Arc::new(CartesianNode::new(
+                id,
+                self.node.clone(),
+                other.node.clone(),
+            )),
         )
     }
 
@@ -262,10 +263,7 @@ impl<T: Data> Rdd<T> {
                 let acc = data.into_iter().fold(z.clone(), &seq);
                 Ok(vec![acc])
             })?;
-        Ok(parts
-            .into_iter()
-            .flatten()
-            .fold(zero, comb))
+        Ok(parts.into_iter().flatten().fold(zero, comb))
     }
 
     /// Reduce all elements with `f`; `None` for an empty dataset.
@@ -363,8 +361,8 @@ impl<T: crate::KeyData> Rdd<T> {
 
 #[cfg(test)]
 mod tests {
-    use crate::Cluster;
     use super::Rdd;
+    use crate::Cluster;
 
     #[test]
     fn parallelize_preserves_order_and_count() {
@@ -408,7 +406,10 @@ mod tests {
     #[test]
     fn reduce_empty_is_none() {
         let c = Cluster::local(2);
-        let r = c.parallelize(Vec::<u32>::new(), 4).reduce(|a, b| a + b).unwrap();
+        let r = c
+            .parallelize(Vec::<u32>::new(), 4)
+            .reduce(|a, b| a + b)
+            .unwrap();
         assert_eq!(r, None);
     }
 
@@ -465,7 +466,10 @@ mod tests {
     #[test]
     fn cache_hits_on_second_action() {
         let c = Cluster::local(2);
-        let rdd = c.parallelize((0..100u32).collect(), 4).map(|x| x + 1).cache();
+        let rdd = c
+            .parallelize((0..100u32).collect(), 4)
+            .map(|x| x + 1)
+            .cache();
         let _ = rdd.count().unwrap();
         let before = c.metrics().cache_hits.get();
         let _ = rdd.count().unwrap();
@@ -480,9 +484,7 @@ mod tests {
         let c = Cluster::local(2);
         let a = c.parallelize(vec![1u8], 2);
         let b = c.parallelize(vec![1u8], 3);
-        assert!(a
-            .zip_partitions(&b, |_, x, _| Ok(x))
-            .is_err());
+        assert!(a.zip_partitions(&b, |_, x, _| Ok(x)).is_err());
     }
 
     #[test]
@@ -575,10 +577,7 @@ mod tests {
             .unwrap()
             .collect()
             .unwrap();
-        assert_eq!(
-            out,
-            vec![("a", 0), ("b", 1), ("c", 2), ("d", 3), ("e", 4)]
-        );
+        assert_eq!(out, vec![("a", 0), ("b", 1), ("c", 2), ("d", 3), ("e", 4)]);
     }
 
     #[test]

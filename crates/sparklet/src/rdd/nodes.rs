@@ -27,7 +27,9 @@ impl<T: Data> ParallelCollectionNode<T> {
         for i in 0..n {
             let start = i * len / n;
             let end = (i + 1) * len / n;
-            partitions.push(Arc::new(iter.by_ref().take(end - start).collect::<Vec<T>>()));
+            partitions.push(Arc::new(
+                iter.by_ref().take(end - start).collect::<Vec<T>>(),
+            ));
         }
         ParallelCollectionNode { id, partitions }
     }
@@ -217,7 +219,8 @@ impl<T: Data> RddNode<T> for SampleNode<T> {
     }
     fn compute(&self, split: usize, ctx: &TaskContext) -> Result<Vec<T>> {
         let input = self.parent.compute(split, ctx)?;
-        let mut rng = StdRng::seed_from_u64(self.seed ^ (split as u64).wrapping_mul(0x9E3779B97F4A7C15));
+        let mut rng =
+            StdRng::seed_from_u64(self.seed ^ (split as u64).wrapping_mul(0x9E3779B97F4A7C15));
         Ok(input
             .into_iter()
             .filter(|_| rng.gen::<f64>() < self.fraction)

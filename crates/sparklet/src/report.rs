@@ -112,7 +112,11 @@ impl fmt::Display for ClusterReport {
             writeln!(
                 f,
                 "{:<44} {:>6} {:>12} {:>10.1} {:>12} {:>7}",
-                if s.name.len() > 44 { &s.name[..44] } else { &s.name },
+                if s.name.len() > 44 {
+                    &s.name[..44]
+                } else {
+                    &s.name
+                },
                 s.tasks,
                 s.total_us / 1000,
                 s.skew(),
@@ -133,7 +137,11 @@ mod tests {
     fn report_captures_stages_and_counters() {
         let c = Cluster::local(2);
         let rdd = c.parallelize((0..100u32).collect::<Vec<_>>(), 4);
-        let _ = rdd.map(|x| (x % 3, x)).reduce_by_key(|a, b| a + b, 2).collect().unwrap();
+        let _ = rdd
+            .map(|x| (x % 3, x))
+            .reduce_by_key(|a, b| a + b, 2)
+            .collect()
+            .unwrap();
         let report = ClusterReport::capture(&c);
         assert!(report.jobs >= 2, "shuffle write + collect");
         assert!(report.stages.len() >= 2);

@@ -95,10 +95,7 @@ impl ShuffleService {
             let data = s
                 .get(&shuffle_id)
                 .unwrap_or_else(|| panic!("shuffle {shuffle_id} not materialised"));
-            assert!(
-                data.complete,
-                "shuffle {shuffle_id} read before completion"
-            );
+            assert!(data.complete, "shuffle {shuffle_id} read before completion");
             data.buckets
                 .get(r)
                 .unwrap_or_else(|| panic!("bucket {r} out of range"))

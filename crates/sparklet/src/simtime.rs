@@ -87,7 +87,9 @@ impl VirtualDuration {
 impl std::ops::Add for VirtualDuration {
     type Output = VirtualDuration;
     fn add(self, rhs: Self) -> Self {
-        VirtualDuration { us: self.us + rhs.us }
+        VirtualDuration {
+            us: self.us + rhs.us,
+        }
     }
 }
 
@@ -135,8 +137,7 @@ impl VirtualClock {
         let mut total = 0u64;
         for st in self.stages.lock().iter() {
             let compute = st.makespan_us(slots);
-            let transfer =
-                st.shuffle_bytes * cost.shuffle_byte_ns / 1000 / executors as u64;
+            let transfer = st.shuffle_bytes * cost.shuffle_byte_ns / 1000 / executors as u64;
             let coordination = cost.coordination_us_per_executor * executors as u64
                 / cores_per_executor.max(1) as u64;
             total += compute + transfer + coordination;
@@ -164,7 +165,10 @@ impl std::fmt::Debug for VirtualClock {
             .field("stages", &stages.len())
             .field(
                 "total_task_us",
-                &stages.iter().map(|s| s.task_us.iter().sum::<u64>()).sum::<u64>(),
+                &stages
+                    .iter()
+                    .map(|s| s.task_us.iter().sum::<u64>())
+                    .sum::<u64>(),
             )
             .finish()
     }

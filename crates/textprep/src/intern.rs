@@ -1,0 +1,104 @@
+//! Token interning: map each distinct token string to a dense `u32` id.
+//!
+//! Pairwise field distances (§4.2) only need *set* operations over tokens, so
+//! comparing reports never has to hash or even look at string bytes: each
+//! report stores a sorted, deduplicated `Vec<u32>` of token ids and the
+//! metrics run as sorted-slice merges. Interning happens once per report at
+//! ingest; comparisons — the O(pairs) hot path — are allocation-free.
+//!
+//! Ids are assigned densely in first-seen order, so a corpus processed in a
+//! fixed order yields a deterministic interner.
+
+use std::collections::HashMap;
+
+#[derive(Debug, Default, Clone)]
+pub struct TokenInterner {
+    ids: HashMap<String, u32>,
+    /// Arena of interned strings, indexed by id.
+    tokens: Vec<String>,
+}
+
+impl TokenInterner {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern one token, returning its id.
+    pub fn intern(&mut self, token: &str) -> u32 {
+        if let Some(&id) = self.ids.get(token) {
+            return id;
+        }
+        let id = u32::try_from(self.tokens.len()).expect("interner overflow: > 4G tokens");
+        self.ids.insert(token.to_string(), id);
+        self.tokens.push(token.to_string());
+        id
+    }
+
+    /// Intern a batch of tokens into a sorted, deduplicated id set — the
+    /// representation the sorted-merge set metrics require.
+    pub fn intern_set<I, S>(&mut self, tokens: I) -> Vec<u32>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut ids: Vec<u32> = tokens
+            .into_iter()
+            .map(|t| self.intern(t.as_ref()))
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// The string a given id was assigned to. Panics on an id this interner
+    /// never issued.
+    pub fn resolve(&self, id: u32) -> &str {
+        &self.tokens[id as usize]
+    }
+
+    /// Number of distinct tokens interned.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_stable_and_dense() {
+        let mut interner = TokenInterner::new();
+        let a = interner.intern("rhabdomyolysis");
+        let b = interner.intern("atorvastatin");
+        assert_eq!(a, 0);
+        assert_eq!(b, 1);
+        assert_eq!(interner.intern("rhabdomyolysis"), a);
+        assert_eq!(interner.len(), 2);
+        assert_eq!(interner.resolve(a), "rhabdomyolysis");
+        assert_eq!(interner.resolve(b), "atorvastatin");
+    }
+
+    #[test]
+    fn intern_set_sorts_and_dedups() {
+        let mut interner = TokenInterner::new();
+        // Force ids out of lexical order: "zzz" gets id 0.
+        interner.intern("zzz");
+        let set = interner.intern_set(["zzz", "aaa", "zzz", "mmm"]);
+        assert_eq!(set, vec![0, 1, 2]);
+        let again = interner.intern_set(["mmm", "aaa"]);
+        assert_eq!(again, vec![1, 2]);
+    }
+
+    #[test]
+    fn set_identity_matches_string_set_identity() {
+        let mut interner = TokenInterner::new();
+        let x = interner.intern_set(["b", "a", "c", "a"]);
+        let y = interner.intern_set(["c", "b", "a"]);
+        assert_eq!(x, y, "same string set must intern to same id set");
+    }
+}

@@ -11,13 +11,17 @@
 //!   additions;
 //! * [`porter`] — the full Porter (1980) suffix-stripping stemmer;
 //! * [`Pipeline`] — tokenize → stop-word filter → stem, the unit the
-//!   pairwise-distance module calls per free-text field.
+//!   pairwise-distance module calls per free-text field;
+//! * [`TokenInterner`] — string → `u32` interning so token sets compare as
+//!   sorted integer slices, never re-hashing strings on the pairwise hot path.
 
+pub mod intern;
 pub mod pipeline;
 pub mod porter;
 pub mod stopwords;
 pub mod tokenizer;
 
+pub use intern::TokenInterner;
 pub use pipeline::Pipeline;
 pub use porter::stem;
 pub use stopwords::is_stopword;

@@ -222,8 +222,8 @@ impl Stemmer {
 
     fn step4(&mut self) {
         const RULES: &[&str] = &[
-            "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement", "ment", "ent",
-            "ion", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+            "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement", "ment", "ent", "ion",
+            "ou", "ism", "ate", "iti", "ous", "ive", "ize",
         ];
         for suffix in RULES {
             if !self.ends_with(suffix) {
@@ -232,9 +232,7 @@ impl Stemmer {
             let stem_len = self.stem_len(suffix);
             if *suffix == "ion" {
                 // ION only strips after S or T.
-                if stem_len == 0
-                    || (self.b[stem_len - 1] != b's' && self.b[stem_len - 1] != b't')
-                {
+                if stem_len == 0 || (self.b[stem_len - 1] != b's' && self.b[stem_len - 1] != b't') {
                     return;
                 }
             }

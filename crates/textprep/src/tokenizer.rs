@@ -39,7 +39,10 @@ mod tests {
 
     #[test]
     fn lowercases() {
-        assert_eq!(tokenize("Atorvastatin CALCIUM"), vec!["atorvastatin", "calcium"]);
+        assert_eq!(
+            tokenize("Atorvastatin CALCIUM"),
+            vec!["atorvastatin", "calcium"]
+        );
     }
 
     #[test]

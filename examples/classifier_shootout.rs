@@ -34,7 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let knn_scores: Vec<f64> = workload.test.iter().map(|t| by_id[&t.id]).collect();
 
     // Plain majority vote (Eq. 1) over the same training data.
-    let points: Vec<Vec<f64>> = workload.train.iter().map(|p| p.vector.clone()).collect();
+    let points: Vec<Vec<f64>> = workload.train.iter().map(|p| p.vector.to_vec()).collect();
     let labels: Vec<i8> = workload
         .train
         .iter()

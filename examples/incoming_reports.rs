@@ -53,7 +53,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             d.pair.lo,
             d.pair.hi,
             d.score,
-            if d.is_duplicate { "DUPLICATE" } else { "distinct" }
+            if d.is_duplicate {
+                "DUPLICATE"
+            } else {
+                "distinct"
+            }
         );
     }
     let hit = detections

@@ -59,7 +59,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Learn f(θ) from a held-out half of the positives (§5.2.6 future work).
     let (fit_pos, held_out) = positives.split_at(positives.len() / 2);
     let pruner = TestPruner::build(fit_pos, 12, 21);
-    let held_vectors: Vec<Vec<f64>> = held_out.iter().map(|p| p.vector.clone()).collect();
+    let held_vectors: Vec<adr_model::DistVec> = held_out.iter().map(|p| p.vector).collect();
     let f_theta = pruner.learn_f_theta(&held_vectors, 1.0, 0.05);
     println!("learned f(θ) = {f_theta:.3} for a 100% duplicate-recall target");
 
@@ -74,8 +74,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (pruned_cmp, pruned_min) = classify(&workload.train, &outcome.kept)?;
 
     // Safety check: no true duplicate was pruned.
-    let kept_ids: std::collections::HashSet<u64> =
-        outcome.kept.iter().map(|t| t.id).collect();
+    let kept_ids: std::collections::HashSet<u64> = outcome.kept.iter().map(|t| t.id).collect();
     let lost = workload
         .test
         .iter()
@@ -83,9 +82,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .filter(|(t, &truth)| truth && !kept_ids.contains(&t.id))
         .count();
 
-    println!("\n{:<22} {:>16} {:>16}", "", "comparisons", "virtual minutes");
+    println!(
+        "\n{:<22} {:>16} {:>16}",
+        "", "comparisons", "virtual minutes"
+    );
     println!("{:<22} {:>16} {:>16.3}", "no pruning", full_cmp, full_min);
-    println!("{:<22} {:>16} {:>16.3}", "with pruning", pruned_cmp, pruned_min);
+    println!(
+        "{:<22} {:>16} {:>16.3}",
+        "with pruning", pruned_cmp, pruned_min
+    );
     println!(
         "\npruning cuts {:.0}% of comparisons and {:.0}% of virtual time; \
          true duplicates lost: {lost}",

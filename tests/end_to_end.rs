@@ -97,8 +97,7 @@ fn engine_metrics_trace_the_whole_pipeline() {
     let corpus = Dataset::generate(&SynthConfig::small(300, 15, 2));
     let workload = build_workload(&corpus, 2_000, 200, 2);
     let cluster = Cluster::local(2);
-    let model =
-        FastKnn::fit(&cluster, &workload.train, FastKnnConfig::default()).expect("fit");
+    let model = FastKnn::fit(&cluster, &workload.train, FastKnnConfig::default()).expect("fit");
     let _ = model.classify(&workload.test).expect("classify");
     let m = cluster.metrics();
     assert!(m.jobs_submitted.get() > 0);

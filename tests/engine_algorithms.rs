@@ -9,26 +9,25 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sparklet::{Cluster, ClusterConfig, FaultConfig};
 
-fn workload(
+fn workload<const D: usize>(
     n_neg: usize,
     n_pos: usize,
     n_test: usize,
-    dim: usize,
     seed: u64,
-) -> (Vec<LabeledPair>, Vec<UnlabeledPair>) {
+) -> (Vec<LabeledPair<D>>, Vec<UnlabeledPair<D>>) {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut train = Vec::new();
     for i in 0..n_neg {
-        let v: Vec<f64> = (0..dim).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let v: [f64; D] = std::array::from_fn(|_| rng.gen_range(0.0..1.0));
         train.push(LabeledPair::new(i as u64, v, false));
     }
     for i in 0..n_pos {
-        let v: Vec<f64> = (0..dim).map(|_| rng.gen_range(0.0..0.2)).collect();
+        let v: [f64; D] = std::array::from_fn(|_| rng.gen_range(0.0..0.2));
         train.push(LabeledPair::new((n_neg + i) as u64, v, true));
     }
     let test = (0..n_test)
         .map(|i| {
-            let v: Vec<f64> = (0..dim).map(|_| rng.gen_range(0.0..1.0)).collect();
+            let v: [f64; D] = std::array::from_fn(|_| rng.gen_range(0.0..1.0));
             UnlabeledPair::new(i as u64, v)
         })
         .collect();
@@ -37,7 +36,7 @@ fn workload(
 
 #[test]
 fn distributed_equals_serial_equals_brute_under_fault_injection() {
-    let (train, test) = workload(600, 15, 60, 4, 77);
+    let (train, test) = workload::<4>(600, 15, 60, 77);
     // A flaky cluster: 20% of task attempts fail and are retried.
     let mut config = ClusterConfig::local(4);
     config.fault = FaultConfig::with_probability(0.2, 9);
@@ -76,7 +75,7 @@ fn distributed_equals_serial_equals_brute_under_fault_injection() {
 
 #[test]
 fn tiny_executor_memory_still_classifies_correctly() {
-    let (train, test) = workload(2_000, 20, 40, 4, 13);
+    let (train, test) = workload::<4>(2_000, 20, 40, 13);
     let mut config = ClusterConfig::local(2);
     // Budget far below one joined partition: every stage-1 task thrashes,
     // retries, and eventually completes (hold_memory's graduated model).
@@ -113,7 +112,7 @@ proptest! {
         b in 2usize..12,
         k in prop::sample::select(vec![3usize, 5, 7]),
     ) {
-        let (train, test) = workload(300, 10, 25, 3, seed);
+        let (train, test) = workload::<3>(300, 10, 25, seed);
         let cluster = Cluster::local(2);
         let model = FastKnn::fit(
             &cluster,

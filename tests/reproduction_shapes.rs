@@ -73,7 +73,10 @@ fn fig5_shape_knn_beats_the_svm_baseline_at_paper_imbalance() {
         knn > svm_ap,
         "Fig 5 shape: kNN ({knn:.3}) must beat the SGD SVM baseline ({svm_ap:.3})"
     );
-    assert!(knn > 0.85, "kNN should be strong in absolute terms: {knn:.3}");
+    assert!(
+        knn > 0.85,
+        "kNN should be strong in absolute terms: {knn:.3}"
+    );
 }
 
 #[test]
@@ -181,8 +184,7 @@ fn fig10_shape_virtual_time_falls_with_executors_but_sublinearly() {
 #[test]
 fn fig11_shape_pruning_keeps_every_wide_radius_duplicate() {
     let w = build_workload_on(small_corpus(), 10_000, 2_000, 31);
-    let positives: Vec<LabeledPair> =
-        w.train.iter().filter(|p| p.positive).cloned().collect();
+    let positives: Vec<LabeledPair> = w.train.iter().filter(|p| p.positive).cloned().collect();
     let pruner = TestPruner::build(&positives, 10, 31);
     let mut last_kept = 0usize;
     for f in [0.3, 0.5, 0.7, 0.9] {
@@ -192,8 +194,7 @@ fn fig11_shape_pruning_keeps_every_wide_radius_duplicate() {
     }
     // Wide setting: all true duplicates retained.
     let outcome = pruner.prune(&w.test, 0.9);
-    let kept: std::collections::HashSet<u64> =
-        outcome.kept.iter().map(|t| t.id).collect();
+    let kept: std::collections::HashSet<u64> = outcome.kept.iter().map(|t| t.id).collect();
     for (t, &truth) in w.test.iter().zip(&w.truth) {
         if truth {
             assert!(kept.contains(&t.id), "duplicate {} pruned at f=0.9", t.id);

@@ -1,0 +1,107 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides `black_box`, `Criterion::bench_function`, `Bencher::iter`, and
+//! the `criterion_group!`/`criterion_main!` macros. Measurement is a simple
+//! adaptive wall-clock loop: warm up briefly, pick an iteration count that
+//! fills the measurement window, and report mean ns/iter and ops/s. When the
+//! binary is invoked with `--test` (as `cargo test` does for bench targets)
+//! each benchmark body runs exactly once as a smoke test.
+
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+pub struct Bencher {
+    mode: Mode,
+    /// Mean nanoseconds per iteration from the last `iter` call.
+    measured_ns: f64,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Measure { warmup: Duration, window: Duration },
+    Smoke,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let (warmup, window) = match self.mode {
+            Mode::Smoke => {
+                black_box(routine());
+                self.measured_ns = f64::NAN;
+                return;
+            }
+            Mode::Measure { warmup, window } => (warmup, window),
+        };
+        // Warm-up while estimating the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < warmup {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let est_ns = (warm_start.elapsed().as_nanos() as f64 / warm_iters as f64).max(1.0);
+        let target_iters = ((window.as_nanos() as f64 / est_ns).ceil() as u64).max(1);
+        let start = Instant::now();
+        for _ in 0..target_iters {
+            black_box(routine());
+        }
+        self.measured_ns = start.elapsed().as_nanos() as f64 / target_iters as f64;
+    }
+}
+
+pub struct Criterion {
+    mode: Mode,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let smoke = std::env::args().any(|a| a == "--test" || a == "--list");
+        let mode = if smoke {
+            Mode::Smoke
+        } else {
+            Mode::Measure {
+                warmup: Duration::from_millis(60),
+                window: Duration::from_millis(240),
+            }
+        };
+        Self { mode }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher { mode: self.mode, measured_ns: f64::NAN };
+        f(&mut bencher);
+        if self.mode == Mode::Smoke {
+            println!("{id}: ok (smoke)");
+        } else if bencher.measured_ns.is_nan() {
+            println!("{id}: no measurement (Bencher::iter never called)");
+        } else {
+            let ops = 1e9 / bencher.measured_ns;
+            println!("{id:<55} {:>14.1} ns/iter {:>16.0} ops/s", bencher.measured_ns, ops);
+        }
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,16 @@
+//! `prop::bool::ANY`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+pub struct Any;
+
+pub const ANY: Any = Any;
+
+impl Strategy for Any {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}

@@ -1,0 +1,51 @@
+//! `prop::collection::vec` — vectors of a given strategy with a size bound.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// Sizes accepted by [`vec`]: an exact length, `lo..hi`, or `lo..=hi`.
+pub trait IntoSizeBounds {
+    /// Inclusive `(min, max)` length bounds.
+    fn bounds(self) -> (usize, usize);
+}
+
+impl IntoSizeBounds for usize {
+    fn bounds(self) -> (usize, usize) {
+        (self, self)
+    }
+}
+
+impl IntoSizeBounds for Range<usize> {
+    fn bounds(self) -> (usize, usize) {
+        assert!(self.start < self.end, "empty vec size range");
+        (self.start, self.end - 1)
+    }
+}
+
+impl IntoSizeBounds for RangeInclusive<usize> {
+    fn bounds(self) -> (usize, usize) {
+        assert!(self.start() <= self.end(), "empty vec size range");
+        (*self.start(), *self.end())
+    }
+}
+
+pub struct VecStrategy<S> {
+    element: S,
+    min: usize,
+    max: usize,
+}
+
+pub fn vec<S: Strategy>(element: S, size: impl IntoSizeBounds) -> VecStrategy<S> {
+    let (min, max) = size.bounds();
+    VecStrategy { element, min, max }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let len = self.min + rng.below(self.max - self.min + 1);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}

@@ -1,0 +1,41 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Supports the subset of the proptest surface this workspace uses:
+//! `proptest!` blocks (with optional `#![proptest_config(..)]`),
+//! `prop_assert!`/`prop_assert_eq!`/`prop_assert_ne!`/`prop_assume!`,
+//! range strategies, tuple strategies, `prop::collection::vec`,
+//! `prop::bool::ANY`, `prop::sample::select`, and simple regex-shaped string
+//! strategies (`".{0,16}"`, `"[a-z]{1,12}"`, ...).
+//!
+//! Cases are generated from a deterministic per-test RNG (seeded from the
+//! test's module path and name) and there is **no shrinking** — a failing
+//! case panics with the generated values left to the assertion message.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod collection;
+pub mod sample;
+pub mod string;
+
+// `prop::bool::ANY` — the module must be addressable as `bool` under `prop`.
+#[path = "bool_any.rs"]
+pub mod bool;
+
+mod macros;
+
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    // Re-exported so `use proptest::prelude::*` brings the macros in scope
+    // under their usual names even though they are crate-root exports.
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Mirrors proptest's prelude alias that makes `prop::collection::vec`
+    /// et al. resolve after a glob import.
+    pub mod prop {
+        pub use crate::bool;
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}

@@ -1,0 +1,21 @@
+//! `prop::sample::select` — pick uniformly from a fixed list of choices.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+pub struct Select<T> {
+    choices: Vec<T>,
+}
+
+pub fn select<T: Clone>(choices: Vec<T>) -> Select<T> {
+    assert!(!choices.is_empty(), "select requires at least one choice");
+    Select { choices }
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.choices[rng.below(self.choices.len())].clone()
+    }
+}

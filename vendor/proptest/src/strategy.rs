@@ -1,0 +1,94 @@
+//! The `Strategy` trait and the built-in range / tuple strategies.
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// A generator of values for property tests. Generate-only: no shrink tree.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let lo = self.start as i128;
+                let hi = self.end as i128;
+                assert!(lo < hi, "cannot generate from empty range");
+                let span = (hi - lo) as u128;
+                (lo + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let lo = *self.start() as i128;
+                let hi = *self.end() as i128;
+                assert!(lo <= hi, "cannot generate from empty range");
+                let span = (hi - lo) as u128 + 1;
+                (lo + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "cannot generate from empty range");
+                self.start + (rng.next_unit_f64() as $t) * (self.end - self.start)
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "cannot generate from empty range");
+                *self.start() + (rng.next_unit_f64() as $t) * (*self.end() - *self.start())
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident => $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategy!(
+    (A => 0),
+    (A => 0, B => 1),
+    (A => 0, B => 1, C => 2),
+    (A => 0, B => 1, C => 2, D => 3),
+    (A => 0, B => 1, C => 2, D => 3, E => 4),
+    (A => 0, B => 1, C => 2, D => 3, E => 4, F => 5),
+);

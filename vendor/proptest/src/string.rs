@@ -1,0 +1,139 @@
+//! String strategies from regex-shaped patterns.
+//!
+//! Supports the subset of regex syntax this workspace's properties use:
+//! a sequence of atoms (`.`, `[class]` with ranges and literal characters,
+//! literal characters) each with an optional `{n}` / `{m,n}` quantifier.
+//! `.` generates printable ASCII.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+enum Atom {
+    AnyPrintable,
+    Class(Vec<char>),
+}
+
+struct Unit {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Unit> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut units = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '.' => {
+                i += 1;
+                Atom::AnyPrintable
+            }
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .map(|p| p + i)
+                    .unwrap_or_else(|| panic!("unclosed [ in pattern {pattern:?}"));
+                let inner = &chars[i + 1..close];
+                let mut set = Vec::new();
+                let mut j = 0;
+                while j < inner.len() {
+                    if j + 2 < inner.len() && inner[j + 1] == '-' {
+                        for c in inner[j]..=inner[j + 2] {
+                            set.push(c);
+                        }
+                        j += 3;
+                    } else {
+                        set.push(inner[j]);
+                        j += 1;
+                    }
+                }
+                assert!(!set.is_empty(), "empty character class in pattern {pattern:?}");
+                i = close + 1;
+                Atom::Class(set)
+            }
+            '\\' => {
+                i += 1;
+                let c = *chars
+                    .get(i)
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"));
+                i += 1;
+                Atom::Class(vec![c])
+            }
+            c => {
+                i += 1;
+                Atom::Class(vec![c])
+            }
+        };
+        let (min, max) = if chars.get(i) == Some(&'{') {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|p| p + i)
+                .unwrap_or_else(|| panic!("unclosed {{ in pattern {pattern:?}"));
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("bad lower repeat bound"),
+                    hi.trim().parse().expect("bad upper repeat bound"),
+                ),
+                None => {
+                    let n = body.trim().parse().expect("bad repeat count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "inverted repeat bounds in pattern {pattern:?}");
+        units.push(Unit { atom, min, max });
+    }
+    units
+}
+
+impl Strategy for str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for unit in parse_pattern(self) {
+            let n = unit.min + rng.below(unit.max - unit.min + 1);
+            for _ in 0..n {
+                let c = match &unit.atom {
+                    Atom::AnyPrintable => (0x20u8 + rng.below(0x5F) as u8) as char,
+                    Atom::Class(set) => set[rng.below(set.len())],
+                };
+                out.push(c);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn patterns_respect_shape() {
+        let mut rng = TestRng::deterministic("patterns_respect_shape");
+        for _ in 0..200 {
+            let s = Strategy::generate("[a-z]{3,12}", &mut rng);
+            assert!((3..=12).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+
+            let s = Strategy::generate(".{0,16}", &mut rng);
+            assert!(s.len() <= 16);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+
+            let s = Strategy::generate("[ a-z0-9]{0,64}", &mut rng);
+            assert!(s.len() <= 64);
+            assert!(s.chars().all(|c| c == ' ' || c.is_ascii_lowercase() || c.is_ascii_digit()));
+
+            let s = Strategy::generate("[a-z]{8}", &mut rng);
+            assert_eq!(s.len(), 8);
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its model types but no
+//! crate actually serializes anything (there is no `serde_json`/`bincode`
+//! dependency), so marker traits with blanket impls plus no-op derive macros
+//! are behaviourally equivalent. If a future PR adds a real serializer, swap
+//! this vendored stub for the real crate.
+
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Owned variant mirroring serde's `DeserializeOwned` bound alias.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
