@@ -11,16 +11,32 @@
 //!    fixed-arity squared kernel the comparison loops now run on.
 //!
 //! Usage: `cargo run --release -p bench --bin bench_hotpath [out.json]`
+//! with optional `--report <path>` to also run the distance pipeline as a
+//! sparklet job and write its captured job report as JSON.
 
 use adr_synth::{Dataset, SynthConfig};
 use bench::hotpath::{dual_corpus, pair_distance_strings, throughput, to_json, KernelResult};
 use dedup::pair_distance;
 use simmetrics::{euclidean, jaccard_distance, jaccard_distance_sorted, squared_euclidean_fixed};
 
+/// First non-flag argument (skipping `--report` and its value) is the
+/// output path for the kernel table.
+fn out_path_from_args() -> String {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--report" {
+            let _ = args.next();
+            continue;
+        }
+        if !a.starts_with("--") {
+            return a;
+        }
+    }
+    "BENCH_hotpath.json".to_string()
+}
+
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_hotpath.json".to_string());
+    let out_path = out_path_from_args();
     let ds = Dataset::generate(&SynthConfig::small(400, 20, 42));
     let dual = dual_corpus(&ds.reports);
     let n = dual.strings.len();
@@ -116,6 +132,23 @@ fn main() {
     let doc = to_json(&results);
     std::fs::write(&out_path, &doc).expect("write BENCH_hotpath.json");
     eprintln!("wrote {out_path}");
+
+    // `--report`: run the same distance workload as a real sparklet job so
+    // the kernel table ships with a stage-level job report next to it.
+    if bench::harness::report_path_from_args().is_some() {
+        let cluster = sparklet::Cluster::local(4);
+        let ids: Vec<(usize, usize)> = pairs.clone();
+        let corpus = std::sync::Arc::new(dual.interned.clone());
+        let c = corpus.clone();
+        let computed = cluster
+            .parallelize(ids, 8)
+            .map(move |(i, j)| pair_distance(&c[i], &c[j])[7])
+            .count()
+            .expect("distance job");
+        assert_eq!(computed, pairs.len());
+        bench::harness::capture_run("bench_hotpath pair_distance job", &cluster);
+        bench::harness::maybe_write_report();
+    }
     // Acceptance gate: the interning kernels must clear 2x. The euclidean
     // kernel is reported but not gated — at ~200M ops/s it is memory-bound
     // and its win comes from removing the sqrt from comparison loops, not

@@ -1,9 +1,11 @@
 //! Run the design-choice ablations (Algorithm 1, Eq. 5 vs Eq. 1, positive
-//! shortcut). `--quick` for a smoke run.
+//! shortcut). `--quick` for a smoke run;
+//! `--report <path>` writes the captured sparklet job reports as JSON.
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     for result in bench::experiments::ablations::run(quick) {
         println!("{result}");
     }
+    bench::harness::maybe_write_report();
 }

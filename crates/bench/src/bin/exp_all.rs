@@ -2,6 +2,7 @@
 //!
 //! `--quick` runs the smoke-scale variants (used in CI); the default runs
 //! the paper-scale (÷50) configuration and takes a few minutes.
+//! `--report <path>` writes the captured sparklet job reports as JSON.
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -72,4 +73,5 @@ fn main() {
     let path = workspace_root().join("EXPERIMENTS.md");
     std::fs::write(&path, doc).expect("write EXPERIMENTS.md");
     println!("wrote {}", path.display());
+    bench::harness::maybe_write_report();
 }

@@ -1,8 +1,10 @@
-//! Regenerate Figure 11 (test-set pruning). `--quick` for a smoke run.
+//! Regenerate Figure 11 (test-set pruning). `--quick` for a smoke run;
+//! `--report <path>` writes the captured sparklet job reports as JSON.
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     for result in bench::experiments::fig11::run(quick) {
         println!("{result}");
     }
+    bench::harness::maybe_write_report();
 }

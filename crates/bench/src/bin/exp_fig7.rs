@@ -1,6 +1,7 @@
 //! Regenerate Figure 7 (cluster-number sweep: comparison counts).
 //! Shares its sweep with Figure 8; both figures' tables are printed.
-//! `--quick` for a smoke run.
+//! `--quick` for a smoke run;
+//! `--report <path>` writes the captured sparklet job reports as JSON.
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
@@ -9,4 +10,5 @@ fn main() {
             println!("{result}");
         }
     }
+    bench::harness::maybe_write_report();
 }

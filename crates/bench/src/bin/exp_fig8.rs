@@ -1,5 +1,6 @@
 //! Regenerate Figure 8 (cluster-number sweep: ratio and execution time).
-//! `--quick` for a smoke run.
+//! `--quick` for a smoke run;
+//! `--report <path>` writes the captured sparklet job reports as JSON.
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
@@ -8,4 +9,5 @@ fn main() {
             println!("{result}");
         }
     }
+    bench::harness::maybe_write_report();
 }

@@ -6,4 +6,5 @@ fn main() {
     for result in bench::experiments::fig9::run(quick) {
         println!("{result}");
     }
+    bench::harness::maybe_write_report();
 }

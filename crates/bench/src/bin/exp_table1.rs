@@ -1,9 +1,10 @@
-//! Regenerate Table 1 (sample duplicated report pairs). `--quick` for a
-//! smoke run.
+//! Regenerate Table 1 (sample duplicated report pairs). `--quick` for a smoke run;
+//! `--report <path>` writes the captured sparklet job reports as JSON.
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     for result in bench::experiments::table1::run(quick) {
         println!("{result}");
     }
+    bench::harness::maybe_write_report();
 }

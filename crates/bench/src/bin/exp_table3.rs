@@ -1,8 +1,10 @@
-//! Regenerate Table 3 (dataset summary). `--quick` for a smoke run.
+//! Regenerate Table 3 (dataset summary). `--quick` for a smoke run;
+//! `--report <path>` writes the captured sparklet job reports as JSON.
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     for result in bench::experiments::table3::run(quick) {
         println!("{result}");
     }
+    bench::harness::maybe_write_report();
 }

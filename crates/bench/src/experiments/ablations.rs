@@ -47,7 +47,11 @@ fn run_serial(
         comparisons += vp.centers.len() as u64;
         let mut hood = Neighborhood::new(k);
         for p in &vp.negative_clusters[assigned] {
-            hood.push_sq(squared_euclidean_fixed(&t.vector, &p.vector), p.positive);
+            hood.push_sq(
+                squared_euclidean_fixed(&t.vector, &p.vector),
+                p.id,
+                p.positive,
+            );
         }
         comparisons += vp.negative_clusters[assigned].len() as u64;
         let intra_kth_sq = hood.kth_distance_sq();
@@ -55,7 +59,7 @@ fn run_serial(
         for p in &vp.positives {
             let d_sq = squared_euclidean_fixed(&t.vector, &p.vector);
             min_pos_sq = min_pos_sq.min(d_sq);
-            hood.push_sq(d_sq, true);
+            hood.push_sq(d_sq, p.id, true);
         }
         comparisons += vp.positives.len() as u64;
         let skip = use_shortcut && intra_kth_sq <= min_pos_sq;
@@ -70,7 +74,11 @@ fn run_serial(
             };
             for cid in extra {
                 for p in &vp.negative_clusters[cid] {
-                    hood.push_sq(squared_euclidean_fixed(&t.vector, &p.vector), p.positive);
+                    hood.push_sq(
+                        squared_euclidean_fixed(&t.vector, &p.vector),
+                        p.id,
+                        p.positive,
+                    );
                 }
                 cross += vp.negative_clusters[cid].len() as u64;
                 comparisons += vp.negative_clusters[cid].len() as u64;
@@ -135,11 +143,15 @@ pub fn run(quick: bool) -> Vec<ExperimentResult> {
         .map(|t| {
             let mut hood = Neighborhood::new(k);
             for p in &train {
-                hood.push_sq(squared_euclidean_fixed(&t.vector, &p.vector), p.positive);
+                hood.push_sq(
+                    squared_euclidean_fixed(&t.vector, &p.vector),
+                    p.id,
+                    p.positive,
+                );
             }
             hood.entries
                 .iter()
-                .map(|(_, pos)| if *pos { 1.0 } else { -1.0 })
+                .map(|(_, _, pos)| if *pos { 1.0 } else { -1.0 })
                 .sum()
         })
         .collect();

@@ -68,6 +68,7 @@ pub fn run(quick: bool) -> Vec<ExperimentResult> {
         .expect("fit");
         cluster.reset_run_state();
         let _ = model.classify(&test).expect("classify");
+        crate::harness::capture_run(format!("fig10 classify scale={m}M"), &cluster);
         clocks.push(cluster.clock().clone());
     }
     // Quick workloads carry ~50× less compute, so the per-executor
@@ -119,6 +120,7 @@ pub fn run(quick: bool) -> Vec<ExperimentResult> {
     let cluster = Cluster::new(experiment_cluster_config(20, 1));
     let corpus_index = dedup::index_corpus(corpus.processed.clone());
     let _ = pairwise_distances(&cluster, &corpus_index, pairs, 40).expect("distances");
+    crate::harness::capture_run("fig10 pairwise distances", &cluster);
     let dist_clock = cluster.clock().clone();
 
     let mut f10b = ExperimentResult::new(

@@ -7,12 +7,12 @@
 //! and **every true duplicate test pair survives pruning** at all settings.
 
 use crate::corpora::{self, scaled_train};
-use crate::harness::{experiment_cluster_config, f3, ExperimentResult};
+use crate::harness::{capture_run, experiment_cluster_config, f3, ExperimentResult};
 use fastknn::{FastKnn, FastKnnConfig, LabeledPair, TestPruner, UnlabeledPair};
 use sparklet::Cluster;
 use std::collections::HashSet;
 
-fn classify_minutes(train: &[LabeledPair], test: &[UnlabeledPair], b: usize) -> f64 {
+fn classify_minutes(label: &str, train: &[LabeledPair], test: &[UnlabeledPair], b: usize) -> f64 {
     let cluster = Cluster::new(experiment_cluster_config(20, 1));
     let model = FastKnn::fit(
         &cluster,
@@ -28,6 +28,7 @@ fn classify_minutes(train: &[LabeledPair], test: &[UnlabeledPair], b: usize) -> 
     .expect("fit");
     cluster.reset_run_state();
     let _ = model.classify(test).expect("classify");
+    capture_run(label, &cluster);
     cluster.virtual_elapsed().minutes()
 }
 
@@ -71,7 +72,7 @@ pub fn run(quick: bool) -> Vec<ExperimentResult> {
         .map(|(t, _)| t.id)
         .collect();
 
-    let baseline_minutes = classify_minutes(&workload.train, &workload.test, b);
+    let baseline_minutes = classify_minutes("fig11 unpruned", &workload.train, &workload.test, b);
 
     let mut r = ExperimentResult::new(
         "Figure 11 — test-set pruning: kept fraction and detection time",
@@ -101,7 +102,12 @@ pub fn run(quick: bool) -> Vec<ExperimentResult> {
             .filter(|id| kept_ids.contains(id))
             .count();
         retained_counts.push(retained);
-        let minutes = classify_minutes(&workload.train, &outcome.kept, b);
+        let minutes = classify_minutes(
+            &format!("fig11 pruned f_theta={f_theta}"),
+            &workload.train,
+            &outcome.kept,
+            b,
+        );
         r.row(vec![
             format!("{f_theta} (×{F_THETA_SCALE})"),
             f3(outcome.keep_ratio()),

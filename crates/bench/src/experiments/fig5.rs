@@ -6,7 +6,7 @@
 
 use crate::corpora::{self, scaled_train};
 use crate::experiments::sampled_pr_curve;
-use crate::harness::{count, experiment_cluster_config, f3, ExperimentResult};
+use crate::harness::{capture_run, count, experiment_cluster_config, f3, ExperimentResult};
 use dedup::workload::PairWorkload;
 use dedup::{svm_clustering_scores, svm_scores};
 use fastknn::{FastKnn, FastKnnConfig};
@@ -30,6 +30,7 @@ fn knn_scores(workload: &PairWorkload, seed: u64) -> Vec<f64> {
     )
     .expect("fit");
     let scored = model.classify(&workload.test).expect("classify");
+    capture_run(format!("fig5 knn seed={seed}"), &cluster);
     let by_id: HashMap<u64, f64> = scored.iter().map(|s| (s.id, s.score)).collect();
     workload.test.iter().map(|t| by_id[&t.id]).collect()
 }

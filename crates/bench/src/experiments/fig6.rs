@@ -7,7 +7,7 @@
 //! Algorithm 1's test).
 
 use crate::corpora::{self, scaled_train};
-use crate::harness::{experiment_cluster_config, f3, ExperimentResult};
+use crate::harness::{capture_run, experiment_cluster_config, f3, ExperimentResult};
 use fastknn::{FastKnn, FastKnnConfig};
 use mlcore::average_precision;
 use sparklet::Cluster;
@@ -60,6 +60,7 @@ pub fn run(quick: bool) -> Vec<ExperimentResult> {
         let by_id: HashMap<u64, f64> = scored.iter().map(|s| (s.id, s.score)).collect();
         let scores: Vec<f64> = workload.test.iter().map(|t| by_id[&t.id]).collect();
         let ap = average_precision(&workload.scored(&scores));
+        capture_run(format!("fig6 classify k={k}"), &cluster);
         let minutes = cluster.virtual_elapsed().minutes();
         let cross = cluster
             .metrics()

@@ -75,6 +75,7 @@ fn sweep(quick: bool) -> Vec<Sweep> {
             .expect("fit");
             cluster.reset_run_state();
             let _ = model.classify(&test).expect("classify");
+            crate::harness::capture_run(format!("fig7_8 classify b={b}"), &cluster);
             let m = cluster.metrics();
             Sweep {
                 b,

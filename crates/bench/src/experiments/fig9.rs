@@ -54,6 +54,7 @@ pub fn run(quick: bool) -> Vec<ExperimentResult> {
             .expect("fit");
             cluster.reset_run_state();
             let _ = model.classify(&test).expect("classify");
+            crate::harness::capture_run(format!("fig9 classify train={size} c={c}"), &cluster);
             row_times.push(cluster.virtual_elapsed().minutes());
         }
         r.row(vec![

@@ -1,7 +1,9 @@
-//! Result tables, markdown rendering and the shared cost model.
+//! Result tables, markdown rendering, the shared cost model, and the
+//! `--report` job-report capture shared by every experiment binary.
 
-use sparklet::{ClusterConfig, CostModelConfig, FaultConfig};
+use sparklet::{Cluster, ClusterConfig, CostModelConfig, FaultConfig, JobReport};
 use std::fmt;
+use std::sync::{Mutex, OnceLock};
 
 /// A rendered experiment result: a named table plus commentary lines.
 #[derive(Debug, Clone)]
@@ -97,6 +99,68 @@ pub fn experiment_cluster_config(executors: usize, cores: usize) -> ClusterConfi
     }
 }
 
+/// Labelled [`JobReport`] snapshots captured while an experiment ran.
+fn captured_reports() -> &'static Mutex<Vec<(String, JobReport)>> {
+    static REPORTS: OnceLock<Mutex<Vec<(String, JobReport)>>> = OnceLock::new();
+    REPORTS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Snapshot the cluster's journal as a labelled [`JobReport`]. Experiments
+/// call this at each measurement point (typically right before
+/// `reset_run_state`, which clears the journal); the snapshots accumulate
+/// until [`write_captured_reports`] drains them.
+pub fn capture_run(label: impl Into<String>, cluster: &Cluster) {
+    let report = cluster.job_report();
+    captured_reports()
+        .lock()
+        .expect("report capture lock")
+        .push((label.into(), report));
+}
+
+/// The `--report <path>` argument, if the binary was given one.
+pub fn report_path_from_args() -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--report" {
+            return args.next();
+        }
+        if let Some(path) = a.strip_prefix("--report=") {
+            return Some(path.to_string());
+        }
+    }
+    None
+}
+
+/// Drain the captured reports into a schema-stable JSON file:
+/// `{"schema_version": 1, "runs": [{"label": ..., "report": {...}}]}`.
+pub fn write_captured_reports(path: &str) -> std::io::Result<()> {
+    let runs = std::mem::take(&mut *captured_reports().lock().expect("report capture lock"));
+    let mut out = String::from("{\"schema_version\":1,\"runs\":[");
+    for (i, (label, report)) in runs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"label\":");
+        out.push_str(&sparklet::journal::json_string(label));
+        out.push_str(",\"report\":");
+        out.push_str(&report.to_json());
+        out.push('}');
+    }
+    out.push_str("]}");
+    std::fs::write(path, out)
+}
+
+/// If the binary was invoked with `--report <path>`, write the captured
+/// job reports there and tell the user. Call at the end of `main`.
+pub fn maybe_write_report() {
+    if let Some(path) = report_path_from_args() {
+        match write_captured_reports(&path) {
+            Ok(()) => println!("\njob report written to {path}"),
+            Err(e) => eprintln!("failed to write job report to {path}: {e}"),
+        }
+    }
+}
+
 /// Format a float with 3 decimals.
 pub fn f3(x: f64) -> String {
     format!("{x:.3}")
@@ -150,5 +214,31 @@ mod tests {
     fn paper_cost_scales_ops() {
         let c = paper_cost();
         assert_eq!(c.op_ns, 400 * PAPER_SCALE);
+    }
+
+    #[test]
+    fn captured_reports_round_trip_to_schema_stable_json() {
+        let cluster = Cluster::local(2);
+        let n = cluster
+            .parallelize((0..100u64).collect(), 4)
+            .count()
+            .expect("count");
+        assert_eq!(n, 100);
+        capture_run("harness \"smoke\" run", &cluster);
+        let dir = std::env::temp_dir().join("bench_harness_report_test");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("report.json");
+        write_captured_reports(path.to_str().expect("utf8 path")).expect("write");
+        let doc = std::fs::read_to_string(&path).expect("read back");
+        assert!(doc.starts_with("{\"schema_version\":1,\"runs\":["), "{doc}");
+        assert!(
+            doc.contains("\"label\":\"harness \\\"smoke\\\" run\""),
+            "{doc}"
+        );
+        assert!(doc.contains("\"stages\": ["), "{doc}");
+        assert!(doc.contains("\"totals\": {"), "{doc}");
+        // No drain-emptiness assertion here: the capture buffer is global
+        // and other experiment tests append to it concurrently.
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

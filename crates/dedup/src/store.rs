@@ -14,15 +14,28 @@ use std::collections::HashSet;
 /// Bounded labelled-pair store with feedback. Vectors are fixed-arity
 /// [`DistVec`]s, so entries are flat `(PairId, [f64; 8])` tuples — no
 /// per-pair heap allocation.
+///
+/// Memory is proportional to *retained* pairs, not offered pairs: the
+/// Fig. 1 feedback loop offers pairs forever, so any per-offer bookkeeping
+/// (an unbounded "seen" set, say) would eventually dwarf the bounded
+/// negative reservoir it guards. Membership is therefore tracked only for
+/// duplicates (kept forever anyway) and for the currently retained
+/// negatives; a negative evicted from the reservoir is forgotten entirely.
+/// The detection pipeline generates each [`PairId`] at most once, so
+/// forgetting evicted negatives cannot change its output.
 #[derive(Debug, Clone)]
 pub struct PairStore {
     duplicates: Vec<(PairId, DistVec)>,
     non_duplicates: Vec<(PairId, DistVec)>,
-    seen: HashSet<PairId>,
+    duplicate_ids: HashSet<PairId>,
+    /// Ids of the currently retained negatives — always in lockstep with
+    /// `non_duplicates`, so at most `max_non_duplicates` entries.
+    negative_ids: HashSet<PairId>,
     /// Maximum non-duplicate pairs retained.
     pub max_non_duplicates: usize,
     rng: StdRng,
-    next_id: u64,
+    /// Negatives offered after the reservoir filled.
+    overflow_offers: u64,
 }
 
 impl PairStore {
@@ -31,10 +44,11 @@ impl PairStore {
         PairStore {
             duplicates: Vec::new(),
             non_duplicates: Vec::new(),
-            seen: HashSet::new(),
+            duplicate_ids: HashSet::new(),
+            negative_ids: HashSet::new(),
             max_non_duplicates,
             rng: StdRng::seed_from_u64(seed),
-            next_id: 0,
+            overflow_offers: 0,
         }
     }
 
@@ -48,26 +62,39 @@ impl PairStore {
         self.non_duplicates.len()
     }
 
+    /// Number of pair ids the store currently tracks for membership —
+    /// bounded by `duplicate_count() + max_non_duplicates` no matter how
+    /// many pairs the feedback loop has offered.
+    pub fn tracked_id_count(&self) -> usize {
+        self.duplicate_ids.len() + self.negative_ids.len()
+    }
+
     /// Add a labelled pair. Duplicates are always kept; non-duplicates are
     /// reservoir-sampled once the store is full, keeping the retained set a
-    /// uniform sample of everything offered. Re-offers of a known pair are
-    /// ignored.
+    /// uniform sample of everything offered. Re-offers of a pair the store
+    /// still holds are ignored (a negative already evicted from the
+    /// reservoir is no longer remembered and competes as a fresh offer).
     pub fn add(&mut self, id: PairId, vector: DistVec, is_duplicate: bool) {
-        if !self.seen.insert(id) {
+        if self.contains(&id) {
             return;
         }
         if is_duplicate {
             self.duplicates.push((id, vector));
+            self.duplicate_ids.insert(id);
             return;
         }
         if self.non_duplicates.len() < self.max_non_duplicates {
             self.non_duplicates.push((id, vector));
+            self.negative_ids.insert(id);
         } else if self.max_non_duplicates > 0 {
             // Reservoir sampling over the stream of offered negatives.
-            self.next_id += 1;
-            let offered = self.max_non_duplicates as u64 + self.next_id;
+            self.overflow_offers += 1;
+            let offered = self.max_non_duplicates as u64 + self.overflow_offers;
             let slot = self.rng.gen_range(0..offered);
             if (slot as usize) < self.max_non_duplicates {
+                let evicted = self.non_duplicates[slot as usize].0;
+                self.negative_ids.remove(&evicted);
+                self.negative_ids.insert(id);
                 self.non_duplicates[slot as usize] = (id, vector);
             }
         }
@@ -89,9 +116,9 @@ impl PairStore {
         out
     }
 
-    /// Has this pair been stored (under either label)?
+    /// Is this pair currently stored (under either label)?
     pub fn contains(&self, id: &PairId) -> bool {
-        self.seen.contains(id)
+        self.duplicate_ids.contains(id) || self.negative_ids.contains(id)
     }
 }
 
@@ -174,5 +201,71 @@ mod tests {
         let mut store = PairStore::new(0, 1);
         store.add(pid(1, 2), dv(0.5), false);
         assert_eq!(store.non_duplicate_count(), 0);
+    }
+
+    #[test]
+    fn long_stream_memory_stays_proportional_to_retained_pairs() {
+        // Fig. 1's feedback loop runs forever; the store must not keep
+        // per-offer state. 100k offered negatives against a 50-slot
+        // reservoir and 20 duplicates: tracked membership must stay at
+        // retained size, and every retained negative must still answer
+        // `contains` (the invariant the dedup system's re-offer guard uses).
+        let cap = 50;
+        let mut store = PairStore::new(cap, 7);
+        for i in 0..20u64 {
+            store.add(pid(i, i + 1_000_000), dv(0.05), true);
+        }
+        for i in 0..100_000u64 {
+            store.add(pid(i, i + 2_000_000), dv(0.9), false);
+            assert!(
+                store.tracked_id_count() <= store.duplicate_count() + cap,
+                "tracked ids must never exceed retained pairs (at offer {i})"
+            );
+        }
+        assert_eq!(store.non_duplicate_count(), cap);
+        assert_eq!(store.tracked_id_count(), store.duplicate_count() + cap);
+        for (id, _) in &store.non_duplicates {
+            assert!(store.contains(id), "retained negative must be findable");
+        }
+        for (id, _) in &store.duplicates {
+            assert!(store.contains(id), "duplicates keep membership forever");
+        }
+        assert!(
+            !store.contains(&pid(0, 2_000_000))
+                || store
+                    .non_duplicates
+                    .iter()
+                    .any(|(i, _)| *i == pid(0, 2_000_000)),
+            "an evicted negative must be forgotten"
+        );
+    }
+
+    #[test]
+    fn reservoir_retention_is_roughly_uniform_over_the_stream() {
+        // Frequency sanity check: offer 200 negatives (cap 20) across many
+        // seeds and count how often each decile of the offer stream is
+        // retained. Uniform retention means ~10% each; allow a wide band
+        // since this is a statistical smoke test, not a distribution test.
+        let offers = 200u64;
+        let cap = 20;
+        let seeds = 300u64;
+        let mut decile_counts = [0u64; 10];
+        for seed in 0..seeds {
+            let mut store = PairStore::new(cap, seed);
+            for i in 0..offers {
+                store.add(pid(i, i + 10_000), dv(i as f64), false);
+            }
+            for (id, _) in &store.non_duplicates {
+                let offer_index = id.lo;
+                decile_counts[(offer_index * 10 / offers) as usize] += 1;
+            }
+        }
+        let expected = (seeds * cap as u64) as f64 / 10.0; // 600 per decile
+        for (d, &count) in decile_counts.iter().enumerate() {
+            assert!(
+                (count as f64) > expected * 0.75 && (count as f64) < expected * 1.25,
+                "decile {d} retention {count} strays too far from uniform {expected}: {decile_counts:?}"
+            );
+        }
     }
 }

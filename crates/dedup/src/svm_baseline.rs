@@ -2,8 +2,8 @@
 //!
 //! * **SVM** — a vanilla linear SVM over pair distance vectors; its decision
 //!   value serves as the ranking score for the PR curve.
-//! * **SVM clustering** — the paper's improved variant: "clustering [the]
-//!   training set and mak[ing] sure report pairs in small clusters are
+//! * **SVM clustering** — the paper's improved variant: "clustering \[the\]
+//!   training set and mak\[ing\] sure report pairs in small clusters are
 //!   included in the training dataset", i.e. sample the training set
 //!   per-cluster (small clusters fully) instead of uniformly.
 

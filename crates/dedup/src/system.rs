@@ -103,6 +103,17 @@ impl DedupSystem {
         &self.store
     }
 
+    /// The engine cluster the system runs on (metrics, journal, clock).
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// Run report of everything this system has executed on its cluster —
+    /// the Fig. 1 loop's stage timeline, retries, shuffle and cache stats.
+    pub fn job_report(&self) -> sparklet::JobReport {
+        self.cluster.job_report()
+    }
+
     /// Ingest an expert-labelled corpus: add all reports, store every known
     /// duplicate pair as a positive, and sample
     /// [`DedupConfig::bootstrap_negatives`] random non-duplicate pairs as

@@ -180,7 +180,11 @@ impl<const D: usize> FastKnn<D> {
                     for (assigned_cid, t) in tests {
                         let mut hood = Neighborhood::new(k);
                         for (_, p) in &negs {
-                            hood.push_sq(squared_euclidean_fixed(&t.vector, &p.vector), p.positive);
+                            hood.push_sq(
+                                squared_euclidean_fixed(&t.vector, &p.vector),
+                                p.id,
+                                p.positive,
+                            );
                         }
                         intra.add(negs.len() as u64);
                         // Algorithm 1 line 2: d(s, s_k) over the
@@ -191,7 +195,7 @@ impl<const D: usize> FastKnn<D> {
                         for p in &vor_stage1.positives {
                             let d_sq = squared_euclidean_fixed(&t.vector, &p.vector);
                             min_pos_sq = min_pos_sq.min(d_sq);
-                            hood.push_sq(d_sq, true);
+                            hood.push_sq(d_sq, p.id, true);
                         }
                         posc.add(vor_stage1.positives.len() as u64);
                         ctx.charge_ops((negs.len() + vor_stage1.positives.len()) as u64);
@@ -268,7 +272,11 @@ impl<const D: usize> FastKnn<D> {
                     for (_, (id, vector)) in probes {
                         let mut hood = Neighborhood::new(k);
                         for (_, p) in &negs {
-                            hood.push_sq(squared_euclidean_fixed(&vector, &p.vector), p.positive);
+                            hood.push_sq(
+                                squared_euclidean_fixed(&vector, &p.vector),
+                                p.id,
+                                p.positive,
+                            );
                         }
                         cross.add(negs.len() as u64);
                         ctx.charge_ops(negs.len() as u64);
@@ -439,5 +447,46 @@ mod tests {
         let cluster = Cluster::local(2);
         let model = FastKnn::fit(&cluster, &train, FastKnnConfig::default()).unwrap();
         assert!(model.classify(&[]).unwrap().is_empty());
+    }
+
+    mod parallelism_invariance {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn classify_on(
+            parallelism: usize,
+            train: &[LabeledPair<4>],
+            test: &[UnlabeledPair<4>],
+            cfg: FastKnnConfig,
+        ) -> Vec<ScoredPair> {
+            let cluster = Cluster::local(parallelism);
+            FastKnn::fit(&cluster, train, cfg)
+                .unwrap()
+                .classify(test)
+                .unwrap()
+        }
+
+        proptest! {
+            // Few cases — each one runs three full distributed
+            // classifications — but enough to vary seeds, k and b. With
+            // (distance, id) tie-breaking the merged top-k is a function of
+            // the candidate *set*, so worker count and shuffle chunk order
+            // must not show through. Exact equality, scores included.
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            #[test]
+            fn classification_is_identical_across_1_4_16_workers(
+                seed in 0u64..1000,
+                k in prop::sample::select(vec![3usize, 7]),
+                b in prop::sample::select(vec![4usize, 9]),
+            ) {
+                let (train, test) = workload(250, 8, 40, seed);
+                let cfg = FastKnnConfig { k, b, c: 3, theta: 0.0, seed: seed ^ 0xA5A5 };
+                let out1 = classify_on(1, &train, &test, cfg);
+                let out4 = classify_on(4, &train, &test, cfg);
+                let out16 = classify_on(16, &train, &test, cfg);
+                prop_assert_eq!(&out1, &out4);
+                prop_assert_eq!(&out1, &out16);
+            }
+        }
     }
 }

@@ -173,6 +173,37 @@ mod tests {
     }
 
     #[test]
+    fn negative_expansion_shrinks_the_balls_without_sign_flips() {
+        // f(θ) < 0 shrinks each ball to radius r + f(θ). Squaring a negative
+        // expanded radius would silently re-grow the ball — `keep` must gate
+        // on the sign before comparing in squared space.
+        let pruner = TestPruner::<2> {
+            centers: vec![[0.0, 0.0]],
+            radii: vec![1.0],
+        };
+        // Mildly negative: ball of radius 0.4 remains.
+        assert!(pruner.keep(&[0.3, 0.0], -0.6));
+        assert!(!pruner.keep(&[0.5, 0.0], -0.6));
+        // Expanded radius exactly 0: only the centre itself survives.
+        assert!(pruner.keep(&[0.0, 0.0], -1.0));
+        assert!(!pruner.keep(&[0.001, 0.0], -1.0));
+        // Below zero: nothing survives, not even the centre. Without the
+        // sign gate, rf = -0.5 squares to 0.25 and the centre would pass.
+        assert!(!pruner.keep(&[0.0, 0.0], -1.5));
+        // Prune with a shrinking expansion is monotone in f(θ) too.
+        let test: Vec<UnlabeledPair<2>> = (0..50)
+            .map(|i| UnlabeledPair::new(i, [i as f64 * 0.05, 0.0]))
+            .collect();
+        let mut prev = usize::MAX;
+        for f in [0.0, -0.25, -0.5, -0.75, -1.0, -2.0] {
+            let kept = pruner.prune(&test, f).kept.len();
+            assert!(kept <= prev, "keep count must shrink as f(θ) drops");
+            prev = kept;
+        }
+        assert_eq!(prev, 0, "f(θ) = -2 keeps nothing");
+    }
+
+    #[test]
     fn larger_f_theta_keeps_more() {
         let pruner = TestPruner::build(&positives(), 2, 7);
         let mut rng = StdRng::seed_from_u64(1);

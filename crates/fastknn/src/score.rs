@@ -24,7 +24,7 @@ pub const SCORE_EPS: f64 = 1e-9;
 pub fn score_neighbors(n: &Neighborhood) -> f64 {
     n.entries
         .iter()
-        .map(|(d_sq, positive)| {
+        .map(|(d_sq, _, positive)| {
             let vote = 1.0 / (d_sq.sqrt() + SCORE_EPS);
             if *positive {
                 vote
@@ -48,8 +48,8 @@ mod tests {
     /// Build a neighbourhood from *linear* distances (squared on insert).
     fn hood(entries: &[(f64, bool)]) -> Neighborhood {
         let mut n = Neighborhood::new(entries.len().max(1));
-        for (d, p) in entries {
-            n.push_sq(d * d, *p);
+        for (i, (d, p)) in entries.iter().enumerate() {
+            n.push_sq(d * d, i as u64, *p);
         }
         n
     }

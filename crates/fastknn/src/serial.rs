@@ -29,6 +29,7 @@ pub fn classify_brute<const D: usize>(
             for pair in train {
                 hood.push_sq(
                     squared_euclidean_fixed(&t.vector, &pair.vector),
+                    pair.id,
                     pair.positive,
                 );
             }
@@ -59,6 +60,7 @@ pub fn classify_fast_serial<const D: usize>(
             for pair in &partition.negative_clusters[assigned] {
                 hood.push_sq(
                     squared_euclidean_fixed(&t.vector, &pair.vector),
+                    pair.id,
                     pair.positive,
                 );
             }
@@ -69,7 +71,7 @@ pub fn classify_fast_serial<const D: usize>(
             for pair in &partition.positives {
                 let d_sq = squared_euclidean_fixed(&t.vector, &pair.vector);
                 min_pos_sq = min_pos_sq.min(d_sq);
-                hood.push_sq(d_sq, true);
+                hood.push_sq(d_sq, pair.id, true);
             }
             let shortcut = intra_kth_sq <= min_pos_sq;
             if !shortcut {
@@ -84,6 +86,7 @@ pub fn classify_fast_serial<const D: usize>(
                     for pair in &partition.negative_clusters[cid] {
                         hood.push_sq(
                             squared_euclidean_fixed(&t.vector, &pair.vector),
+                            pair.id,
                             pair.positive,
                         );
                     }

@@ -55,17 +55,26 @@ impl<const D: usize> UnlabeledPair<D> {
     }
 }
 
-/// A bounded k-nearest neighbourhood: `(squared distance, is_positive)`
-/// entries kept sorted ascending and truncated to `k`.
+/// A bounded k-nearest neighbourhood: `(squared distance, candidate id,
+/// is_positive)` entries kept sorted ascending and truncated to `k`.
 ///
 /// Distances are stored **squared** — candidate generation compares in
 /// squared space and only Eq. 5 scoring takes the root.
+///
+/// Equal-distance ties are broken by candidate id, so the kept set is a
+/// *total-order* top-k: the result is the `k` smallest `(distance_sq, id)`
+/// keys of everything ever offered, independent of insertion order. That is
+/// what makes distributed classification identical across partition counts
+/// and worker schedules — shuffle bucket concatenation order is
+/// thread-dependent, and encounter-order tie-breaking would leak it into
+/// the output (pinned by the `insertion_order_is_irrelevant` proptest).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Neighborhood {
     /// Capacity (the `k` of kNN).
     pub k: usize,
-    /// Sorted `(squared distance, is_positive)` entries, at most `k`.
-    pub entries: Vec<(f64, bool)>,
+    /// Sorted `(squared distance, candidate id, is_positive)` entries, at
+    /// most `k`.
+    pub entries: Vec<(f64, u64, bool)>,
 }
 
 impl Neighborhood {
@@ -77,10 +86,13 @@ impl Neighborhood {
         }
     }
 
-    /// Insert a candidate by **squared** distance, keeping the `k` closest.
-    pub fn push_sq(&mut self, distance_sq: f64, positive: bool) {
-        let pos = self.entries.partition_point(|(d, _)| *d <= distance_sq);
-        self.entries.insert(pos, (distance_sq, positive));
+    /// Insert a candidate by **squared** distance (ties broken by `id`),
+    /// keeping the `k` closest.
+    pub fn push_sq(&mut self, distance_sq: f64, id: u64, positive: bool) {
+        let pos = self
+            .entries
+            .partition_point(|(d, i, _)| *d < distance_sq || (*d == distance_sq && *i <= id));
+        self.entries.insert(pos, (distance_sq, id, positive));
         if self.entries.len() > self.k {
             self.entries.pop();
         }
@@ -88,8 +100,8 @@ impl Neighborhood {
 
     /// Merge another neighbourhood (disjoint candidate sets assumed).
     pub fn merge(mut self, other: Neighborhood) -> Neighborhood {
-        for (d, p) in other.entries {
-            self.push_sq(d, p);
+        for (d, i, p) in other.entries {
+            self.push_sq(d, i, p);
         }
         self
     }
@@ -102,14 +114,14 @@ impl Neighborhood {
         } else {
             self.entries
                 .last()
-                .map(|(d, _)| *d)
+                .map(|(d, _, _)| *d)
                 .unwrap_or(f64::INFINITY)
         }
     }
 
     /// Does the neighbourhood contain any positive?
     pub fn has_positive(&self) -> bool {
-        self.entries.iter().any(|(_, p)| *p)
+        self.entries.iter().any(|(_, _, p)| *p)
     }
 
     /// Number of entries currently held.
@@ -162,10 +174,10 @@ mod tests {
     #[test]
     fn neighborhood_keeps_k_closest_sorted() {
         let mut n = Neighborhood::new(3);
-        for d in [5.0, 1.0, 3.0, 2.0, 4.0] {
-            n.push_sq(d, false);
+        for (i, d) in [5.0, 1.0, 3.0, 2.0, 4.0].into_iter().enumerate() {
+            n.push_sq(d, i as u64, false);
         }
-        let dists: Vec<f64> = n.entries.iter().map(|(d, _)| *d).collect();
+        let dists: Vec<f64> = n.entries.iter().map(|(d, _, _)| *d).collect();
         assert_eq!(dists, vec![1.0, 2.0, 3.0]);
         assert_eq!(n.kth_distance_sq(), 3.0);
     }
@@ -173,23 +185,23 @@ mod tests {
     #[test]
     fn kth_distance_is_infinite_until_full() {
         let mut n = Neighborhood::new(3);
-        n.push_sq(1.0, true);
+        n.push_sq(1.0, 0, true);
         assert_eq!(n.kth_distance_sq(), f64::INFINITY);
-        n.push_sq(2.0, false);
-        n.push_sq(3.0, false);
+        n.push_sq(2.0, 1, false);
+        n.push_sq(3.0, 2, false);
         assert_eq!(n.kth_distance_sq(), 3.0);
     }
 
     #[test]
     fn merge_is_a_topk_union() {
         let mut a = Neighborhood::new(2);
-        a.push_sq(1.0, true);
-        a.push_sq(4.0, false);
+        a.push_sq(1.0, 0, true);
+        a.push_sq(4.0, 1, false);
         let mut b = Neighborhood::new(2);
-        b.push_sq(2.0, false);
-        b.push_sq(3.0, false);
+        b.push_sq(2.0, 2, false);
+        b.push_sq(3.0, 3, false);
         let m = a.merge(b);
-        let dists: Vec<f64> = m.entries.iter().map(|(d, _)| *d).collect();
+        let dists: Vec<f64> = m.entries.iter().map(|(d, _, _)| *d).collect();
         assert_eq!(dists, vec![1.0, 2.0]);
         assert!(m.has_positive());
     }
@@ -197,10 +209,33 @@ mod tests {
     #[test]
     fn has_positive_detects_labels() {
         let mut n = Neighborhood::new(2);
-        n.push_sq(1.0, false);
+        n.push_sq(1.0, 0, false);
         assert!(!n.has_positive());
-        n.push_sq(0.5, true);
+        n.push_sq(0.5, 1, true);
         assert!(n.has_positive());
+    }
+
+    #[test]
+    fn equal_distances_break_ties_by_id() {
+        // Offer three candidates at the same distance in two different
+        // orders; capacity 2 must keep the two smallest ids both times.
+        let mut a = Neighborhood::new(2);
+        a.push_sq(1.0, 30, true);
+        a.push_sq(1.0, 10, false);
+        a.push_sq(1.0, 20, false);
+        let mut b = Neighborhood::new(2);
+        b.push_sq(1.0, 10, false);
+        b.push_sq(1.0, 20, false);
+        b.push_sq(1.0, 30, true);
+        assert_eq!(a.entries, b.entries);
+        let ids: Vec<u64> = a.entries.iter().map(|(_, i, _)| *i).collect();
+        assert_eq!(ids, vec![10, 20]);
+        assert!(!a.has_positive(), "id 30's positive label must be evicted");
+    }
+
+    /// Sort key of the total order the neighbourhood maintains.
+    fn key(e: &(f64, u64, bool)) -> (u64, u64) {
+        (e.0.to_bits(), e.1)
     }
 
     proptest! {
@@ -210,19 +245,50 @@ mod tests {
             k in 1usize..8,
         ) {
             let mut n = Neighborhood::new(k);
-            for (d, p) in &ds {
-                n.push_sq(*d, *p);
+            for (i, (d, p)) in ds.iter().enumerate() {
+                n.push_sq(*d, i as u64, *p);
             }
             prop_assert!(n.len() <= k);
             for w in n.entries.windows(2) {
-                prop_assert!(w[0].0 <= w[1].0);
+                prop_assert!(key(&w[0]) <= key(&w[1]));
             }
-            // The kept entries are exactly the k smallest distances.
-            let mut all: Vec<f64> = ds.iter().map(|(d, _)| *d).collect();
-            all.sort_by(|a, b| a.partial_cmp(b).unwrap());
-            let expect: Vec<f64> = all.into_iter().take(k).collect();
-            let got: Vec<f64> = n.entries.iter().map(|(d, _)| *d).collect();
-            prop_assert_eq!(got, expect);
+            // The kept entries are exactly the k smallest (distance, id) keys.
+            let mut all: Vec<(f64, u64, bool)> = ds
+                .iter()
+                .enumerate()
+                .map(|(i, (d, p))| (*d, i as u64, *p))
+                .collect();
+            all.sort_by_key(key);
+            let expect: Vec<(f64, u64, bool)> = all.into_iter().take(k).collect();
+            prop_assert_eq!(&n.entries, &expect);
+        }
+
+        #[test]
+        fn insertion_order_is_irrelevant(
+            ds in prop::collection::vec((0.0f64..4.0, prop::bool::ANY), 0..24),
+            k in 1usize..6,
+            rot in 0usize..24,
+        ) {
+            // Identical candidate sets offered in different orders (a
+            // rotation and a reversal, which is what shuffle-chunk
+            // concatenation order amounts to) must yield identical entries
+            // — labels included.
+            let items: Vec<(f64, u64, bool)> = ds
+                .iter()
+                .enumerate()
+                .map(|(i, (d, p))| ((d * 4.0).round() / 4.0, i as u64, *p))
+                .collect();
+            let mut fwd = Neighborhood::new(k);
+            for (d, i, p) in &items { fwd.push_sq(*d, *i, *p); }
+            let mut rev = Neighborhood::new(k);
+            for (d, i, p) in items.iter().rev() { rev.push_sq(*d, *i, *p); }
+            let mut rotated = Neighborhood::new(k);
+            let r = if items.is_empty() { 0 } else { rot % items.len() };
+            for (d, i, p) in items[r..].iter().chain(&items[..r]) {
+                rotated.push_sq(*d, *i, *p);
+            }
+            prop_assert_eq!(&fwd.entries, &rev.entries);
+            prop_assert_eq!(&fwd.entries, &rotated.entries);
         }
 
         #[test]
@@ -231,16 +297,22 @@ mod tests {
             ys in prop::collection::vec((0.0f64..10.0, prop::bool::ANY), 0..20),
             k in 1usize..6,
         ) {
+            let label = |off: u64, v: &[(f64, bool)]| -> Vec<(f64, u64, bool)> {
+                v.iter()
+                    .enumerate()
+                    .map(|(i, (d, p))| (*d, off + i as u64, *p))
+                    .collect()
+            };
+            let xs = label(0, &xs);
+            let ys = label(1000, &ys);
             let mut a = Neighborhood::new(k);
-            for (d, p) in &xs { a.push_sq(*d, *p); }
+            for (d, i, p) in &xs { a.push_sq(*d, *i, *p); }
             let mut b = Neighborhood::new(k);
-            for (d, p) in &ys { b.push_sq(*d, *p); }
+            for (d, i, p) in &ys { b.push_sq(*d, *i, *p); }
             let merged = a.merge(b);
             let mut bulk = Neighborhood::new(k);
-            for (d, p) in xs.iter().chain(&ys) { bulk.push_sq(*d, *p); }
-            let md: Vec<f64> = merged.entries.iter().map(|(d, _)| *d).collect();
-            let bd: Vec<f64> = bulk.entries.iter().map(|(d, _)| *d).collect();
-            prop_assert_eq!(md, bd);
+            for (d, i, p) in xs.iter().chain(&ys) { bulk.push_sq(*d, *i, *p); }
+            prop_assert_eq!(&merged.entries, &bulk.entries);
         }
     }
 }

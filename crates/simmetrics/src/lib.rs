@@ -3,10 +3,11 @@
 //! Field-matching building blocks for duplicate detection, as surveyed in
 //! §1–§4.2 of Wang & Karimi (EDBT 2016):
 //!
-//! * [`levenshtein`] — edit distance (Levenshtein \[13\] in the paper) and
-//!   the Damerau / optimal-string-alignment variant;
-//! * [`hamming`] — Hamming distance \[8\];
-//! * [`jaro`] — Jaro and Jaro–Winkler similarity (record-linkage classics);
+//! * [`mod@levenshtein`] — edit distance (Levenshtein \[13\] in the paper)
+//!   and the Damerau / optimal-string-alignment variant;
+//! * [`mod@hamming`] — Hamming distance \[8\];
+//! * [`mod@jaro`] — Jaro and Jaro–Winkler similarity (record-linkage
+//!   classics);
 //! * [`token`] — Jaccard \[3\], Dice, overlap and cosine over token sets;
 //! * [`sorted`] — the same set metrics as allocation-free merge walks over
 //!   sorted deduplicated slices (interned token ids on the hot path);

@@ -2,6 +2,8 @@
 
 use crate::config::ClusterConfig;
 use crate::error::{Result, SparkletError};
+use crate::hash::stable_hash;
+use crate::journal::{EventKind, JobReport, RunJournal};
 use crate::metrics::ClusterMetrics;
 use crate::rdd::Rdd;
 use crate::shuffle::ShuffleService;
@@ -10,8 +12,6 @@ use crate::storage::BlockManager;
 use crate::task::TaskContext;
 use crate::Data;
 use crossbeam::channel::{unbounded, Sender};
-use std::collections::hash_map::DefaultHasher;
-use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread;
@@ -33,6 +33,7 @@ pub(crate) struct ClusterInner {
     pub shuffles: ShuffleService,
     pub blocks: BlockManager,
     pub clock: VirtualClock,
+    pub journal: RunJournal,
     sender: Sender<Job>,
     next_rdd_id: AtomicU64,
     next_shuffle_id: AtomicU64,
@@ -42,6 +43,7 @@ impl Cluster {
     /// Start a cluster with the given configuration.
     pub fn new(config: ClusterConfig) -> Self {
         let metrics = ClusterMetrics::new();
+        let journal = RunJournal::new();
         let storage_capacity = ((config.num_executors * config.memory_per_executor) as f64
             * BlockManager::STORAGE_FRACTION) as usize;
         let (sender, receiver) = unbounded::<Job>();
@@ -59,9 +61,10 @@ impl Cluster {
         Cluster {
             inner: Arc::new(ClusterInner {
                 metrics: metrics.clone(),
-                shuffles: ShuffleService::new(metrics.clone()),
-                blocks: BlockManager::new(storage_capacity, metrics),
+                shuffles: ShuffleService::new(metrics.clone()).with_journal(journal.clone()),
+                blocks: BlockManager::new(storage_capacity, metrics).with_journal(journal.clone()),
                 clock: VirtualClock::new(),
+                journal,
                 sender,
                 next_rdd_id: AtomicU64::new(0),
                 next_shuffle_id: AtomicU64::new(0),
@@ -101,6 +104,18 @@ impl Cluster {
         &self.inner.shuffles
     }
 
+    /// The run journal: every stage/task/cache/shuffle event of this
+    /// cluster's lifetime (bounded; see [`RunJournal::MAX_EVENTS`]).
+    pub fn journal(&self) -> &RunJournal {
+        &self.inner.journal
+    }
+
+    /// Aggregate the journal, clock and metrics into an exportable
+    /// [`JobReport`] (JSON via [`JobReport::to_json`], text via `Display`).
+    pub fn job_report(&self) -> JobReport {
+        JobReport::capture(self)
+    }
+
     /// Virtual elapsed time of everything run so far on this cluster's own
     /// topology. See [`VirtualClock::makespan`] to query other topologies.
     pub fn virtual_elapsed(&self) -> VirtualDuration {
@@ -118,6 +133,7 @@ impl Cluster {
         self.inner.clock.reset();
         self.inner.blocks.clear();
         self.inner.shuffles.clear();
+        self.inner.journal.clear();
     }
 
     pub(crate) fn new_rdd_id(&self) -> u64 {
@@ -146,6 +162,10 @@ impl Cluster {
         F: Fn(usize, &TaskContext) -> Result<Vec<T>> + Send + Sync + 'static,
     {
         self.inner.metrics.jobs_submitted.inc();
+        self.inner.journal.record(EventKind::StageStarted {
+            stage: stage.to_string(),
+            tasks: num_tasks,
+        });
         let f = Arc::new(f);
         let (tx, rx) = unbounded::<TaskOutcome<T>>();
         for task in 0..num_tasks {
@@ -183,9 +203,19 @@ impl Cluster {
                 }
             }
         }
+        let stage_work: u64 = task_us.iter().sum();
         self.inner.clock.record_stage(StageRecord {
             name: stage.to_string(),
             task_us,
+            shuffle_bytes,
+            retries,
+        });
+        // Advance the journal's virtual stamp so events of later stages are
+        // timestamped after this stage's work, then close the stage out.
+        self.inner.journal.advance(stage_work);
+        self.inner.journal.record(EventKind::StageFinished {
+            stage: stage.to_string(),
+            virtual_us: stage_work,
             shuffle_bytes,
             retries,
         });
@@ -222,6 +252,12 @@ fn run_task_with_retries<T: Data>(
     let mut last_err = SparkletError::User("task never ran".into());
     for attempt in 0..max_attempts {
         inner.metrics.tasks_launched.inc();
+        inner.journal.record(EventKind::TaskLaunched {
+            stage: stage.to_string(),
+            task,
+            attempt,
+            executor,
+        });
         let ctx = TaskContext::new(
             stage,
             task,
@@ -243,6 +279,13 @@ fn run_task_with_retries<T: Data>(
             Ok(data) => {
                 ctx.add_records_out(data.len() as u64);
                 inner.metrics.tasks_succeeded.inc();
+                inner.journal.record(EventKind::TaskSucceeded {
+                    stage: stage.to_string(),
+                    task,
+                    attempt,
+                    virtual_us: ctx.attempt_cost_us(),
+                    records_out: data.len() as u64,
+                });
                 total_us += ctx.attempt_cost_us();
                 total_shuffle += ctx_shuffle_bytes(&ctx);
                 return TaskOutcome {
@@ -255,6 +298,14 @@ fn run_task_with_retries<T: Data>(
             }
             Err(e) => {
                 inner.metrics.tasks_failed.inc();
+                inner.journal.record(EventKind::TaskFailed {
+                    stage: stage.to_string(),
+                    task,
+                    attempt,
+                    virtual_us: ctx.attempt_cost_us(),
+                    reason: e.to_string(),
+                    will_retry: attempt + 1 < max_attempts,
+                });
                 retries += 1;
                 total_us += ctx.attempt_cost_us() + inner.config.cost.retry_penalty_us;
                 total_shuffle += ctx_shuffle_bytes(&ctx);
@@ -290,12 +341,10 @@ fn fault_fires(config: &ClusterConfig, stage: &str, task: usize, attempt: u32) -
     if prob >= 1.0 {
         return true;
     }
-    let mut h = DefaultHasher::new();
-    stage.hash(&mut h);
-    task.hash(&mut h);
-    attempt.hash(&mut h);
-    config.fault.seed.hash(&mut h);
-    let x = h.finish() as f64 / u64::MAX as f64;
+    // Keyed SipHash owned by the crate: the fault pattern for a given seed is
+    // part of recorded experiment outputs and must survive toolchain bumps.
+    let h = stable_hash(&(stage, task, attempt, config.fault.seed));
+    let x = h as f64 / u64::MAX as f64;
     x < prob
 }
 

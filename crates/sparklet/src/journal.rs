@@ -1,0 +1,828 @@
+//! Run journal and exportable job reports — sparklet's observability layer.
+//!
+//! Every cluster owns a [`RunJournal`]: an append-only, sequence-numbered
+//! record of scheduler and storage events (stage start/finish, task-attempt
+//! launch/success/failure, cache hit/miss/eviction, shuffle read/write).
+//! Timestamps are virtual: each event is stamped with the clock's
+//! accumulated virtual work at the moment its stage started, and task events
+//! additionally carry their own virtual durations — wall-clock times on the
+//! worker pool are meaningless for the paper's figures (see [`crate::simtime`]).
+//!
+//! The journal is bounded ([`RunJournal::MAX_EVENTS`]); once full, further
+//! events are counted but not stored, so a long-running feedback loop cannot
+//! grow without bound. Aggregates never depend on the dropped tail: a
+//! [`JobReport`] combines the journal with [`crate::simtime::VirtualClock`]
+//! stage records and [`crate::metrics::ClusterMetrics`] counters into a
+//! per-stage task-duration distribution (min/p50/max, straggler flags),
+//! retry/shuffle/cache totals and user counters. Reports serialise to
+//! schema-stable JSON ([`JobReport::to_json`]) and render as a terminal
+//! stage table (`Display`) — a mini Spark UI for the terminal.
+
+use crate::cluster::Cluster;
+use crate::simtime::StageRecord;
+use parking_lot::Mutex;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One journal entry: a global sequence number, the virtual timestamp of
+/// the enclosing stage, and the event itself.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// Global order of the event within the run (0-based).
+    pub seq: u64,
+    /// Virtual-clock reading (accumulated virtual work, µs) when the
+    /// event's stage started. Events inside one stage share a stamp; task
+    /// events carry their own durations on top.
+    pub at_us: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// The event vocabulary of the journal.
+#[derive(Debug, Clone)]
+pub enum EventKind {
+    /// A stage was submitted to the scheduler.
+    StageStarted {
+        /// Stage name.
+        stage: String,
+        /// Tasks in the stage.
+        tasks: usize,
+    },
+    /// A stage completed (all tasks accounted for, success or not).
+    StageFinished {
+        /// Stage name.
+        stage: String,
+        /// Sum of final per-task virtual durations (µs).
+        virtual_us: u64,
+        /// Shuffle bytes the stage moved.
+        shuffle_bytes: u64,
+        /// Failed attempts across the stage.
+        retries: u64,
+    },
+    /// A task attempt was handed to a worker.
+    TaskLaunched {
+        /// Stage name.
+        stage: String,
+        /// Task (partition) index.
+        task: usize,
+        /// Attempt number, 0-based.
+        attempt: u32,
+        /// Virtual executor the attempt ran on.
+        executor: usize,
+    },
+    /// A task attempt succeeded.
+    TaskSucceeded {
+        /// Stage name.
+        stage: String,
+        /// Task index.
+        task: usize,
+        /// Attempt number.
+        attempt: u32,
+        /// Virtual duration of this attempt (µs).
+        virtual_us: u64,
+        /// Records the attempt emitted.
+        records_out: u64,
+    },
+    /// A task attempt failed (it may be retried).
+    TaskFailed {
+        /// Stage name.
+        stage: String,
+        /// Task index.
+        task: usize,
+        /// Attempt number.
+        attempt: u32,
+        /// Virtual duration wasted by this attempt (µs).
+        virtual_us: u64,
+        /// The [`crate::SparkletError`] rendered to text.
+        reason: String,
+        /// Whether another attempt follows.
+        will_retry: bool,
+    },
+    /// A cached partition was found in the block manager.
+    CacheHit {
+        /// RDD id.
+        rdd: u64,
+        /// Partition index.
+        partition: usize,
+    },
+    /// A cache lookup missed (the partition recomputes from lineage).
+    CacheMiss {
+        /// RDD id.
+        rdd: u64,
+        /// Partition index.
+        partition: usize,
+    },
+    /// A cached partition was evicted under memory pressure.
+    CacheEvicted {
+        /// RDD id.
+        rdd: u64,
+        /// Partition index.
+        partition: usize,
+        /// Estimated bytes released.
+        bytes: usize,
+    },
+    /// A map task registered its bucketed output with the shuffle service.
+    ShuffleWrite {
+        /// Shuffle id.
+        shuffle: u64,
+        /// Records written across all buckets.
+        records: u64,
+        /// Estimated serialized bytes.
+        bytes: u64,
+    },
+    /// A reduce task fetched one bucket across all map outputs.
+    ShuffleRead {
+        /// Shuffle id.
+        shuffle: u64,
+        /// Bucket (reduce partition) index.
+        bucket: usize,
+        /// Records fetched.
+        records: u64,
+    },
+}
+
+impl EventKind {
+    /// Short kind tag, used for event-count aggregation.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            EventKind::StageStarted { .. } => "stage_started",
+            EventKind::StageFinished { .. } => "stage_finished",
+            EventKind::TaskLaunched { .. } => "task_launched",
+            EventKind::TaskSucceeded { .. } => "task_succeeded",
+            EventKind::TaskFailed { .. } => "task_failed",
+            EventKind::CacheHit { .. } => "cache_hit",
+            EventKind::CacheMiss { .. } => "cache_miss",
+            EventKind::CacheEvicted { .. } => "cache_evicted",
+            EventKind::ShuffleWrite { .. } => "shuffle_write",
+            EventKind::ShuffleRead { .. } => "shuffle_read",
+        }
+    }
+}
+
+struct JournalInner {
+    events: Mutex<Vec<Event>>,
+    seq: AtomicU64,
+    /// Virtual work (µs) recorded by completed stages so far — the stamp
+    /// given to subsequent events.
+    virtual_now_us: AtomicU64,
+    dropped: AtomicU64,
+}
+
+/// Shared, bounded event journal. Cloning shares the underlying buffer
+/// (`Arc` semantics); recording is lock-per-event and cheap enough for the
+/// engine's task granularity (tasks, not records).
+#[derive(Clone)]
+pub struct RunJournal {
+    inner: Arc<JournalInner>,
+}
+
+impl Default for RunJournal {
+    fn default() -> Self {
+        RunJournal::new()
+    }
+}
+
+impl RunJournal {
+    /// Events retained before the journal starts counting instead of
+    /// storing. Bounds driver memory for endless feedback loops.
+    pub const MAX_EVENTS: usize = 100_000;
+
+    /// Fresh empty journal.
+    pub fn new() -> Self {
+        RunJournal {
+            inner: Arc::new(JournalInner {
+                events: Mutex::new(Vec::new()),
+                seq: AtomicU64::new(0),
+                virtual_now_us: AtomicU64::new(0),
+                dropped: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Append an event (drops it, counted, once [`Self::MAX_EVENTS`] is
+    /// reached).
+    pub fn record(&self, kind: EventKind) {
+        let seq = self.inner.seq.fetch_add(1, Ordering::Relaxed);
+        let at_us = self.inner.virtual_now_us.load(Ordering::Relaxed);
+        let mut events = self.inner.events.lock();
+        if events.len() >= Self::MAX_EVENTS {
+            self.inner.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        events.push(Event { seq, at_us, kind });
+    }
+
+    /// Advance the virtual stamp by `us` (called by the scheduler when a
+    /// stage's cost is recorded).
+    pub(crate) fn advance(&self, us: u64) {
+        self.inner.virtual_now_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Number of stored events.
+    pub fn len(&self) -> usize {
+        self.inner.events.lock().len()
+    }
+
+    /// Is the journal empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events counted but not stored (journal full).
+    pub fn dropped(&self) -> u64 {
+        self.inner.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of all stored events, in sequence order.
+    pub fn events(&self) -> Vec<Event> {
+        self.inner.events.lock().clone()
+    }
+
+    /// Drop all events and reset the sequence and virtual stamp (between
+    /// experiment configurations).
+    pub fn clear(&self) {
+        self.inner.events.lock().clear();
+        self.inner.seq.store(0, Ordering::Relaxed);
+        self.inner.virtual_now_us.store(0, Ordering::Relaxed);
+        self.inner.dropped.store(0, Ordering::Relaxed);
+    }
+}
+
+impl fmt::Debug for RunJournal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RunJournal")
+            .field("events", &self.len())
+            .field("dropped", &self.dropped())
+            .finish()
+    }
+}
+
+/// Aggregated view of one stage in a [`JobReport`].
+#[derive(Debug, Clone)]
+pub struct StageReport {
+    /// Stage name.
+    pub name: String,
+    /// Tasks in the stage.
+    pub tasks: usize,
+    /// Task attempts launched (tasks + retries).
+    pub attempts: u64,
+    /// Failed attempts.
+    pub retries: u64,
+    /// Smallest final task duration (µs).
+    pub min_task_us: u64,
+    /// Median final task duration (µs).
+    pub p50_task_us: u64,
+    /// Largest final task duration (µs).
+    pub max_task_us: u64,
+    /// Sum of final task durations (µs).
+    pub total_task_us: u64,
+    /// Shuffle bytes the stage moved.
+    pub shuffle_bytes: u64,
+    /// Straggler flag: the slowest task took more than twice the median.
+    pub straggler: bool,
+}
+
+impl StageReport {
+    fn from_record(r: &StageRecord) -> Self {
+        let mut sorted = r.task_us.clone();
+        sorted.sort_unstable();
+        let min = sorted.first().copied().unwrap_or(0);
+        let max = sorted.last().copied().unwrap_or(0);
+        let p50 = if sorted.is_empty() {
+            0
+        } else {
+            sorted[(sorted.len() - 1) / 2]
+        };
+        StageReport {
+            name: r.name.clone(),
+            tasks: r.task_us.len(),
+            attempts: r.task_us.len() as u64 + r.retries,
+            retries: r.retries,
+            min_task_us: min,
+            p50_task_us: p50,
+            max_task_us: max,
+            total_task_us: sorted.iter().sum(),
+            shuffle_bytes: r.shuffle_bytes,
+            straggler: p50 > 0 && max > 2 * p50,
+        }
+    }
+}
+
+/// One recorded task-attempt failure (from the journal).
+#[derive(Debug, Clone)]
+pub struct FailureLine {
+    /// Stage name.
+    pub stage: String,
+    /// Task index.
+    pub task: usize,
+    /// Attempt number.
+    pub attempt: u32,
+    /// Failure reason ([`crate::SparkletError`] text).
+    pub reason: String,
+}
+
+/// Engine-wide counter totals captured into a [`JobReport`].
+#[derive(Debug, Clone, Default)]
+pub struct ReportTotals {
+    /// Jobs submitted.
+    pub jobs_submitted: u64,
+    /// Task attempts launched.
+    pub tasks_launched: u64,
+    /// Successful attempts.
+    pub tasks_succeeded: u64,
+    /// Failed attempts.
+    pub tasks_failed: u64,
+    /// Failures caused by the modelled memory budget.
+    pub memory_kills: u64,
+    /// Records written to the shuffle service.
+    pub shuffle_records_written: u64,
+    /// Estimated shuffle bytes written.
+    pub shuffle_bytes_written: u64,
+    /// Records read back from the shuffle service.
+    pub shuffle_records_read: u64,
+    /// Block-manager hits.
+    pub cache_hits: u64,
+    /// Block-manager misses.
+    pub cache_misses: u64,
+    /// Blocks evicted under memory pressure.
+    pub cache_evictions: u64,
+    /// Journal events recorded (stored + dropped).
+    pub events: u64,
+    /// Journal events dropped because the buffer was full.
+    pub events_dropped: u64,
+}
+
+/// Maximum failure lines embedded in a report (the journal may hold more).
+/// Cap on the failure lines a [`JobReport`] retains (fault-injection runs
+/// can fail thousands of attempts; the report keeps the first few).
+pub const MAX_REPORT_FAILURES: usize = 32;
+
+/// A full, serialisable run report: stage timeline, attempt/retry counts,
+/// shuffle and cache statistics, failures and user counters.
+#[derive(Debug, Clone)]
+pub struct JobReport {
+    /// JSON schema version (bump when the shape changes).
+    pub schema_version: u32,
+    /// Per-stage aggregates in execution order.
+    pub stages: Vec<StageReport>,
+    /// Engine counter totals.
+    pub totals: ReportTotals,
+    /// First [`MAX_REPORT_FAILURES`] task-attempt failures, in order.
+    pub failures: Vec<FailureLine>,
+    /// User counters, sorted by name.
+    pub user_counters: Vec<(String, u64)>,
+    /// Virtual elapsed time on the cluster's own topology (µs).
+    pub virtual_us: u64,
+    /// Parallelism-independent total work (µs).
+    pub total_work_us: u64,
+}
+
+impl JobReport {
+    /// Current JSON schema version.
+    pub const SCHEMA_VERSION: u32 = 1;
+
+    /// Snapshot a cluster's clock, metrics and journal into a report.
+    pub fn capture(cluster: &Cluster) -> Self {
+        let m = cluster.metrics();
+        let journal = cluster.journal();
+        let mut failures = Vec::new();
+        for ev in journal.events() {
+            if let EventKind::TaskFailed {
+                stage,
+                task,
+                attempt,
+                reason,
+                ..
+            } = ev.kind
+            {
+                if failures.len() < MAX_REPORT_FAILURES {
+                    failures.push(FailureLine {
+                        stage,
+                        task,
+                        attempt,
+                        reason,
+                    });
+                }
+            }
+        }
+        JobReport {
+            schema_version: Self::SCHEMA_VERSION,
+            stages: cluster
+                .clock()
+                .stages()
+                .iter()
+                .map(StageReport::from_record)
+                .collect(),
+            totals: ReportTotals {
+                jobs_submitted: m.jobs_submitted.get(),
+                tasks_launched: m.tasks_launched.get(),
+                tasks_succeeded: m.tasks_succeeded.get(),
+                tasks_failed: m.tasks_failed.get(),
+                memory_kills: m.memory_kills.get(),
+                shuffle_records_written: m.shuffle_records_written.get(),
+                shuffle_bytes_written: m.shuffle_bytes_written.get(),
+                shuffle_records_read: m.shuffle_records_read.get(),
+                cache_hits: m.cache_hits.get(),
+                cache_misses: m.cache_misses.get(),
+                cache_evictions: m.cache_evictions.get(),
+                events: journal.len() as u64 + journal.dropped(),
+                events_dropped: journal.dropped(),
+            },
+            failures,
+            user_counters: m.user_counters(),
+            virtual_us: cluster.virtual_elapsed().us,
+            total_work_us: cluster.clock().total_work().us,
+        }
+    }
+
+    /// Stages flagged as stragglers.
+    pub fn straggler_stages(&self) -> impl Iterator<Item = &StageReport> {
+        self.stages.iter().filter(|s| s.straggler)
+    }
+
+    /// Serialise to schema-stable JSON (hand-rolled: the workspace vendors
+    /// no `serde_json`). Field order is fixed; strings are escaped.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024 + 256 * self.stages.len());
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema_version\": {},\n", self.schema_version));
+        out.push_str(&format!("  \"virtual_us\": {},\n", self.virtual_us));
+        out.push_str(&format!("  \"total_work_us\": {},\n", self.total_work_us));
+        let t = &self.totals;
+        out.push_str("  \"totals\": {");
+        out.push_str(&format!(
+            "\"jobs_submitted\": {}, \"tasks_launched\": {}, \"tasks_succeeded\": {}, \
+             \"tasks_failed\": {}, \"memory_kills\": {}, \"shuffle_records_written\": {}, \
+             \"shuffle_bytes_written\": {}, \"shuffle_records_read\": {}, \"cache_hits\": {}, \
+             \"cache_misses\": {}, \"cache_evictions\": {}, \"events\": {}, \
+             \"events_dropped\": {}",
+            t.jobs_submitted,
+            t.tasks_launched,
+            t.tasks_succeeded,
+            t.tasks_failed,
+            t.memory_kills,
+            t.shuffle_records_written,
+            t.shuffle_bytes_written,
+            t.shuffle_records_read,
+            t.cache_hits,
+            t.cache_misses,
+            t.cache_evictions,
+            t.events,
+            t.events_dropped,
+        ));
+        out.push_str("},\n");
+        out.push_str("  \"stages\": [");
+        for (i, s) in self.stages.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {");
+            out.push_str(&format!(
+                "\"name\": {}, \"tasks\": {}, \"attempts\": {}, \"retries\": {}, \
+                 \"min_task_us\": {}, \"p50_task_us\": {}, \"max_task_us\": {}, \
+                 \"total_task_us\": {}, \"shuffle_bytes\": {}, \"straggler\": {}",
+                json_string(&s.name),
+                s.tasks,
+                s.attempts,
+                s.retries,
+                s.min_task_us,
+                s.p50_task_us,
+                s.max_task_us,
+                s.total_task_us,
+                s.shuffle_bytes,
+                s.straggler,
+            ));
+            out.push('}');
+        }
+        if !self.stages.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n");
+        out.push_str("  \"failures\": [");
+        for (i, fl) in self.failures.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {");
+            out.push_str(&format!(
+                "\"stage\": {}, \"task\": {}, \"attempt\": {}, \"reason\": {}",
+                json_string(&fl.stage),
+                fl.task,
+                fl.attempt,
+                json_string(&fl.reason),
+            ));
+            out.push('}');
+        }
+        if !self.failures.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n");
+        out.push_str("  \"user_counters\": {");
+        for (i, (name, value)) in self.user_counters.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("{}: {}", json_string(name), value));
+        }
+        out.push_str("}\n");
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Escape a string as a JSON string literal.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+impl fmt::Display for JobReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "run journal: {} stages, {} tasks ({} retries, {} failed attempts), \
+             virtual {:.2}s (total work {:.2}s), {} events{}",
+            self.stages.len(),
+            self.stages.iter().map(|s| s.tasks).sum::<usize>(),
+            self.totals.tasks_failed.saturating_sub(0),
+            self.totals.tasks_failed,
+            self.virtual_us as f64 / 1e6,
+            self.total_work_us as f64 / 1e6,
+            self.totals.events,
+            if self.totals.events_dropped > 0 {
+                format!(" ({} dropped)", self.totals.events_dropped)
+            } else {
+                String::new()
+            }
+        )?;
+        writeln!(
+            f,
+            "{:<40} {:>5} {:>4} {:>9} {:>9} {:>9} {:>11} {:>8}",
+            "stage", "tasks", "try", "min(ms)", "p50(ms)", "max(ms)", "shuffle(B)", "flags"
+        )?;
+        for s in &self.stages {
+            writeln!(
+                f,
+                "{:<40} {:>5} {:>4} {:>9.1} {:>9.1} {:>9.1} {:>11} {:>8}",
+                truncate_name(&s.name, 40),
+                s.tasks,
+                s.attempts,
+                s.min_task_us as f64 / 1e3,
+                s.p50_task_us as f64 / 1e3,
+                s.max_task_us as f64 / 1e3,
+                s.shuffle_bytes,
+                if s.straggler { "STRAGGLE" } else { "" }
+            )?;
+        }
+        writeln!(
+            f,
+            "cache: {} hits / {} misses / {} evictions   shuffle: {} B written, {} records read",
+            self.totals.cache_hits,
+            self.totals.cache_misses,
+            self.totals.cache_evictions,
+            self.totals.shuffle_bytes_written,
+            self.totals.shuffle_records_read,
+        )?;
+        for fl in &self.failures {
+            writeln!(
+                f,
+                "failure: {} task {} attempt {}: {}",
+                truncate_name(&fl.stage, 40),
+                fl.task,
+                fl.attempt,
+                fl.reason
+            )?;
+        }
+        if !self.user_counters.is_empty() {
+            writeln!(f, "user counters:")?;
+            for (name, value) in &self.user_counters {
+                writeln!(f, "  {name} = {value}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+fn truncate_name(name: &str, width: usize) -> &str {
+    match name.char_indices().nth(width) {
+        Some((idx, _)) => &name[..idx],
+        None => name,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FaultConfig;
+    use crate::{ClusterConfig, PairRdd};
+
+    #[test]
+    fn journal_records_stage_and_task_events() {
+        let c = Cluster::local(2);
+        c.run_job("probe", 3, |i, _| Ok(vec![i])).unwrap();
+        let events = c.journal().events();
+        let tags: Vec<&str> = events.iter().map(|e| e.kind.tag()).collect();
+        assert_eq!(tags.iter().filter(|t| **t == "stage_started").count(), 1);
+        assert_eq!(tags.iter().filter(|t| **t == "stage_finished").count(), 1);
+        assert_eq!(tags.iter().filter(|t| **t == "task_launched").count(), 3);
+        assert_eq!(tags.iter().filter(|t| **t == "task_succeeded").count(), 3);
+        // Sequence numbers are unique and ordered.
+        for w in events.windows(2) {
+            assert!(w[0].seq < w[1].seq);
+        }
+    }
+
+    #[test]
+    fn failures_and_retries_are_journaled_with_reasons() {
+        let mut cfg = ClusterConfig::local(1);
+        cfg.fault = FaultConfig::with_probability(1.0, 3);
+        cfg.max_task_attempts = 2;
+        let c = Cluster::new(cfg);
+        let _ = c
+            .run_job::<u8, _>("doomed", 1, |_, _| Ok(vec![]))
+            .unwrap_err();
+        let failed: Vec<Event> = c
+            .journal()
+            .events()
+            .into_iter()
+            .filter(|e| matches!(e.kind, EventKind::TaskFailed { .. }))
+            .collect();
+        assert_eq!(failed.len(), 2);
+        match (&failed[0].kind, &failed[1].kind) {
+            (
+                EventKind::TaskFailed {
+                    will_retry: r0,
+                    reason,
+                    ..
+                },
+                EventKind::TaskFailed { will_retry: r1, .. },
+            ) => {
+                assert!(*r0, "first failure retries");
+                assert!(!*r1, "last failure does not");
+                assert!(reason.contains("fault"), "reason: {reason}");
+            }
+            other => panic!("unexpected kinds: {other:?}"),
+        }
+        let report = JobReport::capture(&c);
+        assert_eq!(report.failures.len(), 2);
+        assert_eq!(report.totals.tasks_failed, 2);
+    }
+
+    #[test]
+    fn cache_and_shuffle_events_flow_through_rdd_execution() {
+        let c = Cluster::local(2);
+        let cached = c
+            .parallelize((0..64u32).collect::<Vec<_>>(), 4)
+            .map(|x| (x % 4, x))
+            .reduce_by_key(|a, b| a + b, 2)
+            .cache();
+        cached.count().unwrap();
+        cached.count().unwrap();
+        let tags: Vec<&str> = c.journal().events().iter().map(|e| e.kind.tag()).collect();
+        assert!(tags.contains(&"shuffle_write"));
+        assert!(tags.contains(&"shuffle_read"));
+        assert!(tags.contains(&"cache_miss"), "first count computes");
+        assert!(tags.contains(&"cache_hit"), "second count hits");
+    }
+
+    #[test]
+    fn report_aggregates_stage_distribution_and_flags_stragglers() {
+        let c = Cluster::local(4);
+        c.run_job("skewed", 4, |i, ctx| {
+            if i == 0 {
+                ctx.charge_ops(10_000_000);
+            }
+            Ok(vec![0u8])
+        })
+        .unwrap();
+        let report = c.job_report();
+        assert_eq!(report.stages.len(), 1);
+        let s = &report.stages[0];
+        assert_eq!(s.tasks, 4);
+        assert!(s.min_task_us <= s.p50_task_us && s.p50_task_us <= s.max_task_us);
+        assert!(s.straggler, "one hot task over 3 cold ones must flag");
+        assert_eq!(report.straggler_stages().count(), 1);
+    }
+
+    #[test]
+    fn json_is_schema_stable_and_escaped() {
+        let c = Cluster::local(2);
+        c.run_job("quoted \"stage\"\n", 2, |_, ctx| {
+            ctx.counter("things").add(3);
+            Ok(vec![1u8])
+        })
+        .unwrap();
+        let json = c.job_report().to_json();
+        for key in [
+            "\"schema_version\": 1",
+            "\"virtual_us\"",
+            "\"total_work_us\"",
+            "\"totals\"",
+            "\"jobs_submitted\"",
+            "\"stages\"",
+            "\"attempts\"",
+            "\"p50_task_us\"",
+            "\"straggler\"",
+            "\"failures\"",
+            "\"user_counters\"",
+            "\"events\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in:\n{json}");
+        }
+        assert!(json.contains("quoted \\\"stage\\\"\\n"), "escaping: {json}");
+        assert!(json.contains("\"things\": 6"), "user counter: {json}");
+        // Brace balance as a cheap well-formedness proxy.
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn text_report_renders_the_stage_table() {
+        let c = Cluster::local(2);
+        c.run_job("render-me", 2, |_, _| Ok(vec![1u8])).unwrap();
+        let text = c.job_report().to_string();
+        assert!(text.contains("run journal"));
+        assert!(text.contains("render-me"));
+        assert!(text.contains("p50(ms)"));
+    }
+
+    #[test]
+    fn reset_run_state_clears_the_journal() {
+        let c = Cluster::local(2);
+        c.run_job("x", 2, |_, _| Ok(vec![0u8])).unwrap();
+        assert!(!c.journal().is_empty());
+        c.reset_run_state();
+        assert!(c.journal().is_empty());
+        assert_eq!(c.journal().dropped(), 0);
+    }
+
+    #[test]
+    fn journal_is_bounded() {
+        let j = RunJournal::new();
+        for _ in 0..(RunJournal::MAX_EVENTS + 10) {
+            j.record(EventKind::CacheHit {
+                rdd: 0,
+                partition: 0,
+            });
+        }
+        assert_eq!(j.len(), RunJournal::MAX_EVENTS);
+        assert_eq!(j.dropped(), 10);
+        j.clear();
+        assert_eq!(j.len(), 0);
+        assert_eq!(j.dropped(), 0);
+    }
+
+    #[test]
+    fn virtual_stamps_are_monotone_across_stages() {
+        let c = Cluster::local(1);
+        c.run_job("first", 2, |_, ctx| {
+            ctx.charge_ops(1000);
+            Ok(vec![0u8])
+        })
+        .unwrap();
+        c.run_job("second", 2, |_, _| Ok(vec![0u8])).unwrap();
+        let events = c.journal().events();
+        let first_start = events
+            .iter()
+            .find(|e| matches!(&e.kind, EventKind::StageStarted { stage, .. } if stage == "first"))
+            .unwrap();
+        let second_start = events
+            .iter()
+            .find(|e| matches!(&e.kind, EventKind::StageStarted { stage, .. } if stage == "second"))
+            .unwrap();
+        assert!(second_start.at_us > first_start.at_us);
+    }
+
+    #[test]
+    fn empty_report_is_valid() {
+        let c = Cluster::local(1);
+        let report = c.job_report();
+        assert!(report.stages.is_empty());
+        assert!(report.failures.is_empty());
+        let json = report.to_json();
+        assert!(json.contains("\"stages\": []"));
+        let _ = report.to_string();
+    }
+
+    #[test]
+    fn json_string_escapes_control_chars() {
+        assert_eq!(json_string("a\"b"), "\"a\\\"b\"");
+        assert_eq!(json_string("a\\b"), "\"a\\\\b\"");
+        assert_eq!(json_string("x\u{1}"), "\"x\\u0001\"");
+    }
+}

@@ -51,6 +51,8 @@
 pub mod cluster;
 pub mod config;
 pub mod error;
+pub mod hash;
+pub mod journal;
 pub mod metrics;
 pub mod pair;
 pub mod partitioner;
@@ -64,6 +66,8 @@ pub mod task;
 pub use cluster::Cluster;
 pub use config::{ClusterConfig, CostModelConfig, FaultConfig};
 pub use error::{Result, SparkletError};
+pub use hash::{stable_hash, SipHasher13};
+pub use journal::{Event, EventKind, JobReport, RunJournal};
 pub use metrics::ClusterMetrics;
 pub use pair::PairRdd;
 pub use partitioner::{HashPartitioner, Partitioner};

@@ -1,7 +1,7 @@
 //! Key partitioners for shuffle operations.
 
-use std::collections::hash_map::DefaultHasher;
-use std::hash::{Hash, Hasher};
+use crate::hash::stable_hash;
+use std::hash::Hash;
 use std::marker::PhantomData;
 
 /// Maps keys to reduce-side partitions.
@@ -16,8 +16,11 @@ pub trait Partitioner<K>: Send + Sync + 'static {
     fn partition(&self, key: &K) -> usize;
 }
 
-/// Hash partitioner over `SipHash-1-3` with fixed keys — deterministic
-/// across processes and runs (unlike `RandomState`).
+/// Hash partitioner over the crate-owned keyed SipHash-1-3
+/// ([`crate::hash::stable_hash`]) — deterministic across processes, runs
+/// *and Rust releases*, unlike `RandomState` or `DefaultHasher` (whose
+/// algorithm std reserves the right to change). Bucket assignments are
+/// pinned by a golden test below.
 pub struct HashPartitioner<K> {
     partitions: usize,
     _marker: PhantomData<fn(&K)>,
@@ -48,9 +51,7 @@ impl<K: Hash + Send + Sync + 'static> Partitioner<K> for HashPartitioner<K> {
     }
 
     fn partition(&self, key: &K) -> usize {
-        let mut h = DefaultHasher::new();
-        key.hash(&mut h);
-        (h.finish() % self.partitions as u64) as usize
+        (stable_hash(key) % self.partitions as u64) as usize
     }
 }
 
@@ -161,6 +162,22 @@ mod tests {
         }
         // Every bucket should get something with 800 keys over 8 buckets.
         assert!(counts.iter().all(|&c| c > 0), "counts: {counts:?}");
+    }
+
+    #[test]
+    fn hash_partitioner_golden_bucket_assignments() {
+        // Pinned bucket indices: shuffle placement is part of the engine's
+        // recorded behaviour. If this fails, the hash function changed and
+        // recorded experiment outputs are no longer reproducible.
+        let p8 = HashPartitioner::<u64>::new(8);
+        let got: Vec<usize> = (0..16u64).map(|k| p8.partition(&k)).collect();
+        assert_eq!(got, [5, 6, 3, 5, 6, 4, 3, 4, 1, 1, 2, 7, 5, 1, 0, 3]);
+        let ps = HashPartitioner::<String>::new(5);
+        let got: Vec<usize> = ["", "a", "drug", "reaction", "report-42"]
+            .iter()
+            .map(|s| ps.partition(&s.to_string()))
+            .collect();
+        assert_eq!(got, [4, 1, 4, 3, 0]);
     }
 
     #[test]

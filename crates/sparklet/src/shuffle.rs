@@ -7,6 +7,7 @@
 //! volume in [`crate::metrics::ClusterMetrics`] and charges it to the virtual
 //! clock instead.
 
+use crate::journal::{EventKind, RunJournal};
 use crate::metrics::ClusterMetrics;
 use parking_lot::Mutex;
 use std::any::Any;
@@ -25,6 +26,7 @@ struct ShuffleData {
 pub struct ShuffleService {
     shuffles: Mutex<HashMap<u64, ShuffleData>>,
     metrics: ClusterMetrics,
+    journal: RunJournal,
 }
 
 impl ShuffleService {
@@ -33,7 +35,15 @@ impl ShuffleService {
         ShuffleService {
             shuffles: Mutex::new(HashMap::new()),
             metrics,
+            journal: RunJournal::new(),
         }
+    }
+
+    /// Share a cluster's run journal so shuffle reads/writes are journaled
+    /// alongside scheduler events (builder, used by [`crate::Cluster::new`]).
+    pub fn with_journal(mut self, journal: RunJournal) -> Self {
+        self.journal = journal;
+        self
     }
 
     /// Has `shuffle_id` been fully materialised?
@@ -59,6 +69,11 @@ impl ShuffleService {
         let records: u64 = chunks.iter().map(|c| c.len() as u64).sum();
         self.metrics.shuffle_records_written.add(records);
         self.metrics.shuffle_bytes_written.add(bytes);
+        self.journal.record(EventKind::ShuffleWrite {
+            shuffle: shuffle_id,
+            records,
+            bytes,
+        });
         let mut s = self.shuffles.lock();
         let entry = s.entry(shuffle_id).or_insert_with(|| ShuffleData {
             buckets: (0..num_reduce).map(|_| Vec::new()).collect(),
@@ -109,6 +124,11 @@ impl ShuffleService {
             out.extend_from_slice(&typed);
         }
         self.metrics.shuffle_records_read.add(out.len() as u64);
+        self.journal.record(EventKind::ShuffleRead {
+            shuffle: shuffle_id,
+            bucket: r,
+            records: out.len() as u64,
+        });
         out
     }
 

@@ -213,6 +213,35 @@ mod tests {
     }
 
     #[test]
+    fn makespan_with_more_slots_than_tasks_leaves_slots_idle() {
+        // slots > tasks: extra slots stay at load 0 and the makespan is the
+        // longest single task — never 0 from an idle slot winning the max.
+        let r = StageRecord {
+            name: "s".into(),
+            task_us: vec![7],
+            shuffle_bytes: 0,
+            retries: 0,
+        };
+        assert_eq!(r.makespan_us(1), 7);
+        assert_eq!(r.makespan_us(2), 7);
+        assert_eq!(r.makespan_us(64), 7);
+    }
+
+    #[test]
+    fn makespan_of_empty_stage_is_zero() {
+        let r = StageRecord {
+            name: "empty".into(),
+            task_us: vec![],
+            shuffle_bytes: 0,
+            retries: 0,
+        };
+        assert_eq!(r.makespan_us(1), 0);
+        assert_eq!(r.makespan_us(8), 0);
+        // Degenerate slot count clamps rather than panicking.
+        assert_eq!(r.makespan_us(0), 0);
+    }
+
+    #[test]
     fn lpt_balances_two_slots() {
         let r = StageRecord {
             name: "s".into(),

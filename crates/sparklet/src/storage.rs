@@ -6,6 +6,7 @@
 //! recompute them from lineage (the engine's [`crate::rdd`] layer does the
 //! recomputation; the block manager only stores/evicts).
 
+use crate::journal::{EventKind, RunJournal};
 use crate::metrics::ClusterMetrics;
 use parking_lot::Mutex;
 use std::any::Any;
@@ -37,6 +38,7 @@ pub struct BlockManager {
     store: Mutex<Store>,
     capacity: usize,
     metrics: ClusterMetrics,
+    journal: RunJournal,
 }
 
 impl BlockManager {
@@ -54,7 +56,15 @@ impl BlockManager {
             }),
             capacity,
             metrics,
+            journal: RunJournal::new(),
         }
+    }
+
+    /// Share a cluster's run journal so hits/misses/evictions are journaled
+    /// alongside scheduler events (builder, used by [`crate::Cluster::new`]).
+    pub fn with_journal(mut self, journal: RunJournal) -> Self {
+        self.journal = journal;
+        self
     }
 
     /// Total storage capacity in bytes.
@@ -86,12 +96,20 @@ impl BlockManager {
                 match data.downcast::<Vec<T>>() {
                     Ok(v) => {
                         self.metrics.cache_hits.inc();
+                        self.journal.record(EventKind::CacheHit {
+                            rdd: id.0,
+                            partition: id.1,
+                        });
                         Some(v)
                     }
                     Err(_) => {
                         // Type mismatch can only happen on RDD-id reuse bugs;
                         // treat as a miss rather than corrupting the caller.
                         self.metrics.cache_misses.inc();
+                        self.journal.record(EventKind::CacheMiss {
+                            rdd: id.0,
+                            partition: id.1,
+                        });
                         None
                     }
                 }
@@ -99,6 +117,10 @@ impl BlockManager {
             None => {
                 drop(s);
                 self.metrics.cache_misses.inc();
+                self.journal.record(EventKind::CacheMiss {
+                    rdd: id.0,
+                    partition: id.1,
+                });
                 None
             }
         }
@@ -128,6 +150,11 @@ impl BlockManager {
                     if let Some(b) = s.blocks.remove(&k) {
                         s.used -= b.size;
                         self.metrics.cache_evictions.inc();
+                        self.journal.record(EventKind::CacheEvicted {
+                            rdd: k.0,
+                            partition: k.1,
+                            bytes: b.size,
+                        });
                     }
                 }
                 None => break,

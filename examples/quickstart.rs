@@ -69,5 +69,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .counter(fastknn::counters::INTRA_COMPARISONS)
             .get(),
     );
+
+    // 5. Inspect the run: the journal-backed job report shows every stage's
+    //    task-duration distribution, shuffle volume and cache behaviour.
+    println!("\n{}", cluster.job_report());
     Ok(())
 }
