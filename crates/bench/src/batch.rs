@@ -1,0 +1,220 @@
+//! Reference kernels and result table for the SoA batch engine, behind
+//! `BENCH_batch.json`.
+//!
+//! Each batch kernel in [`simmetrics::soa`] is timed against **two**
+//! retained references:
+//!
+//! * **seed** — the seed's representation: dynamic-slice `Vec<f64>` rows
+//!   walked one [`squared_euclidean`] call at a time. This is the gated
+//!   reference, mirroring `bench_hotpath`'s convention of benchmarking
+//!   against the implementation the optimisation lineage replaced.
+//! * **scalar** — the PR-1 fixed-arity path: contiguous `[f64; 8]` rows and
+//!   [`squared_euclidean_fixed`]. Reported for transparency (it is itself
+//!   SLP-vectorized, so its margin is smaller); not gated.
+//!
+//! All three compute bit-identical distances — the speedups measure layout
+//! and tiling, never a semantic change (asserted by this module's tests).
+
+use simmetrics::soa::VecBatch;
+use simmetrics::{squared_euclidean, squared_euclidean_fixed};
+
+/// Seed-era counterpart of [`simmetrics::soa::distances_to_point`]:
+/// dynamic-slice rows, one ordered-reduction kernel call per row.
+pub fn seed_distances_to_point(points: &[Vec<f64>], q: &[f64], out: &mut Vec<f64>) {
+    out.clear();
+    out.extend(points.iter().map(|p| squared_euclidean(p, q)));
+}
+
+/// Seed-era counterpart of [`simmetrics::soa::distances_block`]: the full
+/// M×N matrix via nested dynamic-slice calls.
+pub fn seed_distances_block(queries: &[Vec<f64>], points: &[Vec<f64>], out: &mut Vec<f64>) {
+    out.clear();
+    out.reserve(queries.len() * points.len());
+    for q in queries {
+        for p in points {
+            out.push(squared_euclidean(q, p));
+        }
+    }
+}
+
+/// Seed-era counterpart of [`simmetrics::soa::assign_min`]: per row, scan
+/// the centres with the strict-`<` first-index-wins fold over dynamic
+/// slices.
+pub fn seed_assign_min(
+    points: &[Vec<f64>],
+    centers: &[Vec<f64>],
+    out_idx: &mut Vec<u32>,
+    out_d2: &mut Vec<f64>,
+) {
+    out_idx.clear();
+    out_d2.clear();
+    for p in points {
+        let mut best = (0u32, f64::INFINITY);
+        for (ci, c) in centers.iter().enumerate() {
+            let d = squared_euclidean(p, c);
+            if d < best.1 {
+                best = (ci as u32, d);
+            }
+        }
+        out_idx.push(best.0);
+        out_d2.push(best.1);
+    }
+}
+
+/// Fixed-arity counterpart of [`simmetrics::soa::distances_to_point`]: one
+/// [`squared_euclidean_fixed`] call per row of a contiguous AoS slice.
+pub fn scalar_distances_to_point(points: &[[f64; 8]], q: &[f64; 8], out: &mut Vec<f64>) {
+    out.clear();
+    out.extend(points.iter().map(|p| squared_euclidean_fixed(p, q)));
+}
+
+/// Fixed-arity counterpart of [`simmetrics::soa::distances_block`].
+pub fn scalar_distances_block(queries: &[[f64; 8]], points: &[[f64; 8]], out: &mut Vec<f64>) {
+    out.clear();
+    out.reserve(queries.len() * points.len());
+    for q in queries {
+        for p in points {
+            out.push(squared_euclidean_fixed(q, p));
+        }
+    }
+}
+
+/// Fixed-arity counterpart of [`simmetrics::soa::assign_min`] — the
+/// historical `nearest_centroid` loop.
+pub fn scalar_assign_min(
+    points: &[[f64; 8]],
+    centers: &[[f64; 8]],
+    out_idx: &mut Vec<u32>,
+    out_d2: &mut Vec<f64>,
+) {
+    out_idx.clear();
+    out_d2.clear();
+    for p in points {
+        let mut best = (0u32, f64::INFINITY);
+        for (ci, c) in centers.iter().enumerate() {
+            let d = squared_euclidean_fixed(p, c);
+            if d < best.1 {
+                best = (ci as u32, d);
+            }
+        }
+        out_idx.push(best.0);
+        out_d2.push(best.1);
+    }
+}
+
+/// Deterministic benchmark data in all three layouts: `n` rows whose
+/// mantissa bits are exercised, as dynamic-slice rows, AoS rows, and the
+/// equivalent [`VecBatch`].
+pub fn bench_points(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<[f64; 8]>, VecBatch<8>) {
+    let rows: Vec<[f64; 8]> = (0..n)
+        .map(|i| {
+            std::array::from_fn(|d| {
+                let x = (i as u64)
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(seed.wrapping_add(d as u64));
+                (x % 10_000) as f64 / 997.0
+            })
+        })
+        .collect();
+    let dyn_rows = rows.iter().map(|r| r.to_vec()).collect();
+    let batch = VecBatch::from_rows(&rows);
+    (dyn_rows, rows, batch)
+}
+
+/// Measured throughput of one kernel against both references.
+#[derive(Debug, Clone)]
+pub struct BatchKernelResult {
+    pub kernel: &'static str,
+    pub seed_ops_per_sec: f64,
+    pub scalar_ops_per_sec: f64,
+    pub batch_ops_per_sec: f64,
+}
+
+impl BatchKernelResult {
+    /// Speedup over the gated seed-era reference.
+    pub fn speedup_vs_seed(&self) -> f64 {
+        self.batch_ops_per_sec / self.seed_ops_per_sec
+    }
+
+    /// Speedup over the fixed-arity scalar path (informational).
+    pub fn speedup_vs_scalar(&self) -> f64 {
+        self.batch_ops_per_sec / self.scalar_ops_per_sec
+    }
+}
+
+/// Render results as the `BENCH_batch.json` document.
+pub fn batch_to_json(results: &[BatchKernelResult]) -> String {
+    let mut out = String::from("{\n  \"kernels\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"kernel\": \"{}\", \"seed_ops_per_sec\": {:.1}, \
+             \"scalar_ops_per_sec\": {:.1}, \"batch_ops_per_sec\": {:.1}, \
+             \"speedup_vs_seed\": {:.2}, \"speedup_vs_scalar\": {:.2}}}{}\n",
+            r.kernel,
+            r.seed_ops_per_sec,
+            r.scalar_ops_per_sec,
+            r.batch_ops_per_sec,
+            r.speedup_vs_seed(),
+            r.speedup_vs_scalar(),
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simmetrics::soa::{assign_min, distances_block, distances_to_point};
+
+    /// The benchmark must compare bit-identical computations, or the
+    /// speedup measures a semantic change instead of the layout.
+    #[test]
+    fn references_match_batch_kernels() {
+        let (drows, rows, batch) = bench_points(700, 11);
+        let (dqrows, qrows, qbatch) = bench_points(19, 83);
+        let centers: Vec<[f64; 8]> = qrows.clone();
+
+        let (mut a, mut b, mut c) = (Vec::new(), Vec::new(), Vec::new());
+        seed_distances_to_point(&drows, &dqrows[0], &mut a);
+        scalar_distances_to_point(&rows, &qrows[0], &mut b);
+        distances_to_point(&batch, &qrows[0], &mut c);
+        assert_eq!(a.len(), c.len());
+        assert!(a.iter().zip(&c).all(|(x, y)| x.to_bits() == y.to_bits()));
+        assert!(b.iter().zip(&c).all(|(x, y)| x.to_bits() == y.to_bits()));
+
+        seed_distances_block(&dqrows, &drows, &mut a);
+        scalar_distances_block(&qrows, &rows, &mut b);
+        distances_block(&qbatch, &batch, &mut c);
+        assert_eq!(a.len(), c.len());
+        assert!(a.iter().zip(&c).all(|(x, y)| x.to_bits() == y.to_bits()));
+        assert!(b.iter().zip(&c).all(|(x, y)| x.to_bits() == y.to_bits()));
+
+        let (mut i1, mut d1) = (Vec::new(), Vec::new());
+        let (mut i2, mut d2) = (Vec::new(), Vec::new());
+        let (mut i3, mut d3) = (Vec::new(), Vec::new());
+        seed_assign_min(&dqrows, &dqrows, &mut i1, &mut d1);
+        scalar_assign_min(&qrows, &centers, &mut i2, &mut d2);
+        seed_assign_min(&drows, &dqrows, &mut i1, &mut d1);
+        scalar_assign_min(&rows, &centers, &mut i2, &mut d2);
+        assign_min(&batch, &centers, &mut i3, &mut d3);
+        assert_eq!(i1, i3);
+        assert_eq!(i2, i3);
+        assert!(d1.iter().zip(&d3).all(|(x, y)| x.to_bits() == y.to_bits()));
+        assert!(d2.iter().zip(&d3).all(|(x, y)| x.to_bits() == y.to_bits()));
+    }
+
+    #[test]
+    fn json_shape_is_well_formed() {
+        let doc = batch_to_json(&[BatchKernelResult {
+            kernel: "assign_min",
+            seed_ops_per_sec: 1000.0,
+            scalar_ops_per_sec: 2000.0,
+            batch_ops_per_sec: 6000.0,
+        }]);
+        assert!(doc.contains("\"speedup_vs_seed\": 6.00"));
+        assert!(doc.contains("\"speedup_vs_scalar\": 3.00"));
+        assert!(doc.starts_with('{') && doc.ends_with("}\n"));
+    }
+}

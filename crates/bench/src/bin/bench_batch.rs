@@ -1,0 +1,141 @@
+//! SoA batch-kernel throughput: the seed-era dynamic-slice reference and
+//! the fixed-arity scalar path vs the tiled column kernels, written to
+//! `BENCH_batch.json`.
+//!
+//! Three kernels, each timed in three implementations over the same data:
+//!
+//! 1. **distances_to_point** — 1×N distance sweep (reported, not gated: a
+//!    single query row gives the layout the least room to pay);
+//! 2. **distances_block** — M×N register-tiled distance matrix
+//!    (**gated ≥3× vs seed**);
+//! 3. **assign_min** — fused nearest-centre assignment
+//!    (**gated ≥3× vs seed**).
+//!
+//! The gated reference is the seed's representation (dynamic-slice rows,
+//! per-pair ordered reduction), following `bench_hotpath`'s convention of
+//! benchmarking against the lineage the optimisation replaced. The
+//! `speedup_vs_scalar` column reports the margin over the PR-1 fixed-arity
+//! path, which is itself SLP-vectorized.
+//!
+//! Usage: `cargo run --release -p bench --bin bench_batch [--quick] [out.json]`
+//!
+//! Build with `RUSTFLAGS="-C target-cpu=native"` (as CI does): the batch
+//! kernels autovectorize to whatever SIMD width the host offers, and
+//! benchmarking them at the portable baseline target understates them.
+//! `--quick` shrinks the timing window for CI; the gate applies in both
+//! modes.
+
+use bench::batch::{
+    batch_to_json, bench_points, scalar_assign_min, scalar_distances_block,
+    scalar_distances_to_point, seed_assign_min, seed_distances_block, seed_distances_to_point,
+    BatchKernelResult,
+};
+use bench::hotpath::throughput;
+use simmetrics::soa::{assign_min, distances_block, distances_to_point};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_batch.json".to_string());
+
+    // Workload shape: one Voronoi cell's worth of points, a kNN block of
+    // queries, a k-means-sized centre roster. Sized L2-resident so the
+    // timing measures the kernels, not DRAM.
+    let secs = if quick { 0.25 } else { 1.0 };
+    let (n_points, n_queries, n_centers) = (4_096, 64, 32);
+    let (pdyn, prows, pbatch) = bench_points(n_points, 42);
+    let (qdyn, qrows, qbatch) = bench_points(n_queries, 1_000_007);
+    let (cdyn, centers, _) = bench_points(n_centers, 77);
+    eprintln!(
+        "timing 3 kernels x 3 implementations: {n_points} points, {n_queries} queries, \
+         {n_centers} centres ({secs}s per measurement)…"
+    );
+
+    // Throughput unit: squared-distance results produced per second, so the
+    // three kernels land on one comparable axis.
+    let mut buf = Vec::new();
+    let to_point = BatchKernelResult {
+        kernel: "distances_to_point",
+        seed_ops_per_sec: throughput(n_points as u64, secs, || {
+            seed_distances_to_point(&pdyn, &qdyn[0], &mut buf);
+            buf[0]
+        }),
+        scalar_ops_per_sec: throughput(n_points as u64, secs, || {
+            scalar_distances_to_point(&prows, &qrows[0], &mut buf);
+            buf[0]
+        }),
+        batch_ops_per_sec: throughput(n_points as u64, secs, || {
+            distances_to_point(&pbatch, &qrows[0], &mut buf);
+            buf[0]
+        }),
+    };
+
+    let block_ops = (n_points * n_queries) as u64;
+    let block = BatchKernelResult {
+        kernel: "distances_block",
+        seed_ops_per_sec: throughput(block_ops, secs, || {
+            seed_distances_block(&qdyn, &pdyn, &mut buf);
+            buf[0]
+        }),
+        scalar_ops_per_sec: throughput(block_ops, secs, || {
+            scalar_distances_block(&qrows, &prows, &mut buf);
+            buf[0]
+        }),
+        batch_ops_per_sec: throughput(block_ops, secs, || {
+            distances_block(&qbatch, &pbatch, &mut buf);
+            buf[0]
+        }),
+    };
+
+    let assign_ops = (n_points * n_centers) as u64;
+    let (mut idx, mut d2) = (Vec::new(), Vec::new());
+    let assign = BatchKernelResult {
+        kernel: "assign_min",
+        seed_ops_per_sec: throughput(assign_ops, secs, || {
+            seed_assign_min(&pdyn, &cdyn, &mut idx, &mut d2);
+            d2[0]
+        }),
+        scalar_ops_per_sec: throughput(assign_ops, secs, || {
+            scalar_assign_min(&prows, &centers, &mut idx, &mut d2);
+            d2[0]
+        }),
+        batch_ops_per_sec: throughput(assign_ops, secs, || {
+            assign_min(&pbatch, &centers, &mut idx, &mut d2);
+            d2[0]
+        }),
+    };
+
+    let results = vec![to_point, block, assign];
+    for r in &results {
+        eprintln!(
+            "  {:<20} seed {:>11.0}/s   scalar {:>11.0}/s   batch {:>11.0}/s   \
+             {:>5.2}x seed  {:>5.2}x scalar",
+            r.kernel,
+            r.seed_ops_per_sec,
+            r.scalar_ops_per_sec,
+            r.batch_ops_per_sec,
+            r.speedup_vs_seed(),
+            r.speedup_vs_scalar()
+        );
+    }
+    let doc = batch_to_json(&results);
+    std::fs::write(&out_path, &doc).expect("write BENCH_batch.json");
+    eprintln!("wrote {out_path}");
+
+    // Acceptance gate: the tiled kernels must clear 3x over the seed-era
+    // reference. distances_to_point is reported but ungated — a single
+    // query row gives the layout the least room to pay.
+    let below: Vec<&str> = results
+        .iter()
+        .filter(|r| r.kernel != "distances_to_point" && r.speedup_vs_seed() < 3.0)
+        .map(|r| r.kernel)
+        .collect();
+    if !below.is_empty() {
+        eprintln!("FAILED: kernels below the 3x acceptance bar vs seed: {below:?}");
+        std::process::exit(1);
+    }
+}

@@ -46,20 +46,21 @@ fn run_serial(
         let assigned = vp.assign(&t.vector);
         comparisons += vp.centers.len() as u64;
         let mut hood = Neighborhood::new(k);
-        for p in &vp.negative_clusters[assigned] {
+        let cell = &vp.negative_clusters[assigned];
+        for j in 0..cell.len() {
             hood.push_sq(
-                squared_euclidean_fixed(&t.vector, &p.vector),
-                p.id,
-                p.positive,
+                squared_euclidean_fixed(&t.vector, &cell.row(j)),
+                cell.id(j),
+                cell.label(j),
             );
         }
-        comparisons += vp.negative_clusters[assigned].len() as u64;
+        comparisons += cell.len() as u64;
         let intra_kth_sq = hood.kth_distance_sq();
         let mut min_pos_sq = f64::INFINITY;
-        for p in &vp.positives {
-            let d_sq = squared_euclidean_fixed(&t.vector, &p.vector);
+        for j in 0..vp.positives.len() {
+            let d_sq = squared_euclidean_fixed(&t.vector, &vp.positives.row(j));
             min_pos_sq = min_pos_sq.min(d_sq);
-            hood.push_sq(d_sq, p.id, true);
+            hood.push_sq(d_sq, vp.positives.id(j), true);
         }
         comparisons += vp.positives.len() as u64;
         let skip = use_shortcut && intra_kth_sq <= min_pos_sq;
@@ -73,15 +74,16 @@ fn run_serial(
                 (0..vp.b()).filter(|&j| j != assigned).collect()
             };
             for cid in extra {
-                for p in &vp.negative_clusters[cid] {
+                let cell = &vp.negative_clusters[cid];
+                for j in 0..cell.len() {
                     hood.push_sq(
-                        squared_euclidean_fixed(&t.vector, &p.vector),
-                        p.id,
-                        p.positive,
+                        squared_euclidean_fixed(&t.vector, &cell.row(j)),
+                        cell.id(j),
+                        cell.label(j),
                     );
                 }
-                cross += vp.negative_clusters[cid].len() as u64;
-                comparisons += vp.negative_clusters[cid].len() as u64;
+                cross += cell.len() as u64;
+                comparisons += cell.len() as u64;
             }
         }
         scores.push(score_neighbors(&hood));

@@ -17,6 +17,7 @@
 //! virtual times in the paper's ballpark while the *shapes* (who wins,
 //! where the knees are) come entirely from measured counts.
 
+pub mod batch;
 pub mod corpora;
 pub mod experiments;
 pub mod harness;

@@ -38,7 +38,7 @@ pub mod svm_baseline;
 pub mod system;
 pub mod workload;
 
-pub use blocking::{evaluate_blocking, BlockingIndex, BlockingQuality};
+pub use blocking::{evaluate_blocking, BlockKey, BlockingIndex, BlockingQuality};
 pub use distance::{pair_distance, ProcessedReport};
 pub use pairing::{all_pairs, index_corpus, pairs_involving_new, pairwise_distances, CorpusIndex};
 pub use store::PairStore;

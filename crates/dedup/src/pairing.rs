@@ -46,13 +46,28 @@ pub fn all_pairs(ids: &[ReportId]) -> Vec<PairId> {
 /// existing one, plus all pairs among the new reports (`Dupe(R, A ∪ R − r)`
 /// in the paper's Eq. 3).
 pub fn pairs_involving_new(new_ids: &[ReportId], existing_ids: &[ReportId]) -> Vec<PairId> {
-    let mut out = Vec::with_capacity(new_ids.len().saturating_mul(existing_ids.len()));
+    // Exact capacity — new×existing cross pairs plus C(new, 2) within pairs
+    // — so one reserve covers the whole enumeration. Same even-factor-first
+    // saturating arithmetic as [`all_pairs`]: a saturated reserve only means
+    // chunked growth, never UB or panic.
+    let n = new_ids.len();
+    let within = if n.is_multiple_of(2) {
+        (n / 2).saturating_mul(n.saturating_sub(1))
+    } else {
+        n.saturating_mul(n.saturating_sub(1) / 2)
+    };
+    let cross = n.saturating_mul(existing_ids.len());
+    let mut out = Vec::with_capacity(cross.saturating_add(within));
     for &n in new_ids {
         for &e in existing_ids {
             out.push(PairId::new(n, e));
         }
     }
-    out.extend(all_pairs(new_ids));
+    for (i, &a) in new_ids.iter().enumerate() {
+        for &b in &new_ids[i + 1..] {
+            out.push(PairId::new(a, b));
+        }
+    }
     out
 }
 

@@ -5,7 +5,7 @@ use crate::distance::ProcessedReport;
 use crate::pairing::{pairs_involving_new, pairwise_distances, CorpusIndex};
 use crate::store::PairStore;
 use adr_model::{AdrReport, PairId, ReportId};
-use fastknn::{FastKnn, FastKnnConfig, UnlabeledPair};
+use fastknn::{FastKnn, FastKnnConfig, VecBatch};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sparklet::{Cluster, Result};
@@ -196,12 +196,14 @@ impl DedupSystem {
 
         let train = self.store.training_pairs();
         let model = FastKnn::fit(&self.cluster, &train, self.config.knn)?;
-        let test: Vec<UnlabeledPair> = distances
-            .iter()
-            .enumerate()
-            .map(|(i, (_, v))| UnlabeledPair::new(i as u64, *v))
-            .collect();
-        let scored = model.classify(&test)?;
+        // Candidate vectors go straight into one contiguous column batch —
+        // no intermediate row structs between the distance job and the
+        // classifier's tiled kernels.
+        let mut test = VecBatch::with_capacity(distances.len());
+        for (i, (_, v)) in distances.iter().enumerate() {
+            test.push(i as u64, v, false);
+        }
+        let scored = model.classify_batch(&test)?;
 
         let mut detections: Vec<Detection> = scored
             .iter()

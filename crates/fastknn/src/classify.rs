@@ -9,20 +9,24 @@
 //! | 4. split `S` into `c` partitions | driver loop over `c` test blocks |
 //! | 6–8. join with `T⁻` on cluster id + top-k aggregate | `zip_partitions` of the block with the cached negative-cluster dataset |
 //! | 9–10. distances to `T⁺`, merge | same task (positives are broadcast) |
-//! | 11–12. Algorithm 1 partition selection | [`additional_partitions`] inside the task |
+//! | 11–12. Algorithm 1 partition selection | [`additional_partitions_into`] inside the task |
 //! | 13–15. join with additional partitions, union + reduce to merge top-k | probe shuffle + second `zip_partitions` + `union` + `reduce_by_key` |
 //! | 17. score per Eq. 5 | `map` over merged neighbourhoods |
 //!
-//! All distance work inside the tasks happens in squared space over
-//! fixed-arity `Copy` vectors; shuffled records (probes, neighbourhood
-//! bases) carry stack arrays, not heap vectors.
+//! Each task works on contiguous struct-of-arrays batches: the cached
+//! negative dataset is one `Arc<VecBatch>` per Voronoi cell, test blocks are
+//! parallelized as contiguous [`VecBatch`] chunks, and every candidate scan
+//! inside a task is a tiled column-kernel sweep. Per-task working buffers
+//! come from a shared [`ScratchPool`], so steady-state classification does
+//! not allocate distance buffers per test pair. Shuffled records (probes,
+//! neighbourhood bases) still carry stack arrays, not heap vectors.
 
 use crate::counters;
 use crate::score::{label_for, score_neighbors};
-use crate::select::additional_partitions;
+use crate::select::additional_partitions_into;
+use crate::soa::{distances_to_point, from_unlabeled, ScratchPool, VecBatch};
 use crate::types::{LabeledPair, Neighborhood, ScoredPair, UnlabeledPair, PAIR_DIMS};
 use crate::voronoi::VoronoiPartition;
-use simmetrics::squared_euclidean_fixed;
 use sparklet::partitioner::IndexPartitioner;
 use sparklet::{Cluster, PairRdd, Rdd, Result};
 use std::sync::Arc;
@@ -75,10 +79,13 @@ pub struct FastKnn<const D: usize = PAIR_DIMS> {
     config: FastKnnConfig,
     cluster: Cluster,
     voronoi: Arc<VoronoiPartition<D>>,
-    /// Negative training pairs keyed and partitioned by cluster id, cached
-    /// in the block manager (the paper relies on Spark's in-memory RDD
-    /// caching for exactly this dataset).
-    negatives: Rdd<(usize, LabeledPair<D>)>,
+    /// Negative training cells keyed by cluster id — one contiguous
+    /// `Arc<VecBatch>` per Voronoi cell, partitioned so cell `i` lives in
+    /// engine partition `i` and cached in the block manager (the paper
+    /// relies on Spark's in-memory RDD caching for exactly this dataset).
+    negatives: Rdd<(usize, Arc<VecBatch<D>>)>,
+    /// Per-worker scratch buffers shared by all classification tasks.
+    scratch: Arc<ScratchPool<D>>,
 }
 
 impl<const D: usize> FastKnn<D> {
@@ -92,11 +99,11 @@ impl<const D: usize> FastKnn<D> {
     ) -> Result<FastKnn<D>> {
         let voronoi = Arc::new(VoronoiPartition::build(train, config.b, config.seed));
         let b = voronoi.b();
-        let keyed: Vec<(usize, LabeledPair<D>)> = voronoi
+        let keyed: Vec<(usize, Arc<VecBatch<D>>)> = voronoi
             .negative_clusters
             .iter()
             .enumerate()
-            .flat_map(|(cid, pairs)| pairs.iter().map(move |p| (cid, *p)))
+            .map(|(cid, cell)| (cid, Arc::new(cell.clone())))
             .collect();
         let negatives = cluster
             .parallelize(keyed, b)
@@ -109,6 +116,7 @@ impl<const D: usize> FastKnn<D> {
             cluster: cluster.clone(),
             voronoi,
             negatives,
+            scratch: Arc::new(ScratchPool::new()),
         })
     }
 
@@ -123,120 +131,145 @@ impl<const D: usize> FastKnn<D> {
     }
 
     /// Classify a test set. Returns one [`ScoredPair`] per input, sorted by
-    /// id. Runs `c` sequential blocks, each a stage-1 `zip_partitions`
-    /// against the cached negative clusters followed (when needed) by a
-    /// stage-2 probe shuffle.
+    /// id. Thin row-wrapper over [`FastKnn::classify_batch`].
     pub fn classify(&self, test: &[UnlabeledPair<D>]) -> Result<Vec<ScoredPair>> {
+        self.classify_batch(&from_unlabeled(test))
+    }
+
+    /// Classify a column batch of test pairs. Returns one [`ScoredPair`]
+    /// per row, sorted by id. Runs `c` sequential blocks, each a stage-1
+    /// `zip_partitions` against the cached negative clusters followed (when
+    /// needed) by a stage-2 probe shuffle.
+    pub fn classify_batch(&self, test: &VecBatch<D>) -> Result<Vec<ScoredPair>> {
         let mut results: Vec<ScoredPair> = Vec::with_capacity(test.len());
         let c = self.config.c.max(1);
         let block_size = test.len().div_ceil(c).max(1);
-        for block in test.chunks(block_size) {
+        for block in test.chunk_rows(block_size) {
             results.extend(self.classify_block(block)?);
         }
         results.sort_by_key(|s| s.id);
         Ok(results)
     }
 
-    fn classify_block(&self, block: &[UnlabeledPair<D>]) -> Result<Vec<ScoredPair>> {
+    fn classify_block(&self, block: VecBatch<D>) -> Result<Vec<ScoredPair>> {
         let b = self.voronoi.b();
         let k = self.config.k;
         let theta = self.config.theta;
         let voronoi = self.voronoi.clone();
 
-        // Steps 2–3: assign each test pair to its Voronoi cell.
+        // Steps 2–3: assign each test pair to its Voronoi cell. Each
+        // assignment partition receives one contiguous sub-batch.
+        let n_parts = b.min(block.len()).max(1);
+        let chunk_len = block.len().div_ceil(n_parts).max(1);
+        let chunks: Vec<VecBatch<D>> = block.chunk_rows(chunk_len);
+        let n_chunks = chunks.len().max(1);
         let vor_assign = voronoi.clone();
+        let assign_scratch = self.scratch.clone();
         let assigned: Rdd<(usize, UnlabeledPair<D>)> = self
             .cluster
-            .parallelize(block.to_vec(), b.min(block.len()).max(1))
-            .map_partitions_with_ctx(move |ctx, _, part: Vec<UnlabeledPair<D>>| {
+            .parallelize(chunks, n_chunks)
+            .map_partitions_with_ctx(move |ctx, _, part: Vec<VecBatch<D>>| {
+                let rows: usize = part.iter().map(VecBatch::len).sum();
                 ctx.counter(counters::CENTER_COMPARISONS)
-                    .add((part.len() * vor_assign.b()) as u64);
-                ctx.charge_ops((part.len() * vor_assign.b()) as u64);
-                Ok(part
-                    .into_iter()
-                    .map(|t| (vor_assign.assign_balanced(&t.vector, t.id), t))
-                    .collect())
+                    .add((rows * vor_assign.b()) as u64);
+                ctx.charge_ops((rows * vor_assign.b()) as u64);
+                let mut out = Vec::with_capacity(rows);
+                assign_scratch.with(|s| {
+                    let mut cells = Vec::new();
+                    for batch in &part {
+                        vor_assign.assign_balanced_batch(batch, &mut cells, &mut s.dists);
+                        for (i, &cid) in cells.iter().enumerate() {
+                            out.push((cid, UnlabeledPair::new(batch.id(i), batch.row(i))));
+                        }
+                    }
+                });
+                Ok(out)
             })
             .partition_by(Arc::new(IndexPartitioner::new(b)));
 
         // Steps 6–12: intra-cluster kNN + positives + Algorithm 1.
         let vor_stage1 = voronoi.clone();
+        let stage1_scratch = self.scratch.clone();
         let stage_out: Rdd<StageOut<D>> = assigned
             .zip_partitions(
                 &self.negatives,
                 move |ctx,
                       tests: Vec<(usize, UnlabeledPair<D>)>,
-                      negs: Vec<(usize, LabeledPair<D>)>| {
+                      negs: Vec<(usize, Arc<VecBatch<D>>)>| {
+                    let cell: Option<&Arc<VecBatch<D>>> = negs.first().map(|(_, c)| c);
+                    let negs_len = cell.map_or(0, |c| c.len());
                     // Model executor memory: the joined block must be
                     // resident (paper Fig. 8b: small b ⇒ oversized joined
                     // partitions ⇒ task kills and retries).
-                    let bytes = (tests.len() + negs.len()) * D * 8;
+                    let bytes = (tests.len() + negs_len) * D * 8;
                     ctx.hold_memory(bytes)?;
                     let intra = ctx.counter(counters::INTRA_COMPARISONS);
                     let posc = ctx.counter(counters::POSITIVE_COMPARISONS);
                     let extra_clusters = ctx.counter(counters::ADDITIONAL_CLUSTERS);
                     let skips = ctx.counter(counters::SHORTCUT_SKIPS);
                     let mut out = Vec::with_capacity(tests.len());
-                    for (assigned_cid, t) in tests {
-                        let mut hood = Neighborhood::new(k);
-                        for (_, p) in &negs {
-                            hood.push_sq(
-                                squared_euclidean_fixed(&t.vector, &p.vector),
-                                p.id,
-                                p.positive,
+                    stage1_scratch.with(|s| {
+                        for (assigned_cid, t) in tests {
+                            let mut hood = Neighborhood::new(k);
+                            if let Some(cell) = cell {
+                                distances_to_point(cell, &t.vector, &mut s.dists);
+                                for (j, &d_sq) in s.dists.iter().enumerate() {
+                                    hood.push_sq(d_sq, cell.id(j), cell.label(j));
+                                }
+                            }
+                            intra.add(negs_len as u64);
+                            // Algorithm 1 line 2: d(s, s_k) over the
+                            // intra-cluster neighbours only, BEFORE merging
+                            // the positives.
+                            let intra_kth_sq = hood.kth_distance_sq();
+                            distances_to_point(&vor_stage1.positives, &t.vector, &mut s.pos_dists);
+                            let mut min_pos_sq = f64::INFINITY;
+                            for (j, &d_sq) in s.pos_dists.iter().enumerate() {
+                                min_pos_sq = min_pos_sq.min(d_sq);
+                                hood.push_sq(d_sq, vor_stage1.positives.id(j), true);
+                            }
+                            posc.add(vor_stage1.positives.len() as u64);
+                            ctx.charge_ops((negs_len + vor_stage1.positives.len()) as u64);
+                            if intra_kth_sq <= min_pos_sq {
+                                skips.inc();
+                                let score = score_neighbors(&hood);
+                                out.push(StageOut::Done(ScoredPair {
+                                    id: t.id,
+                                    score,
+                                    positive: label_for(score, theta),
+                                    shortcut: true,
+                                }));
+                                continue;
+                            }
+                            additional_partitions_into(
+                                &t.vector,
+                                assigned_cid,
+                                intra_kth_sq,
+                                min_pos_sq,
+                                &vor_stage1.centers,
+                                &mut s.extra,
                             );
+                            extra_clusters.add(s.extra.len() as u64);
+                            if s.extra.is_empty() {
+                                let score = score_neighbors(&hood);
+                                out.push(StageOut::Done(ScoredPair {
+                                    id: t.id,
+                                    score,
+                                    positive: label_for(score, theta),
+                                    shortcut: false,
+                                }));
+                                continue;
+                            }
+                            out.push(StageOut::Base { id: t.id, hood });
+                            for &target in &s.extra {
+                                out.push(StageOut::Probe {
+                                    target,
+                                    id: t.id,
+                                    vector: t.vector,
+                                });
+                            }
                         }
-                        intra.add(negs.len() as u64);
-                        // Algorithm 1 line 2: d(s, s_k) over the
-                        // intra-cluster neighbours only, BEFORE merging the
-                        // positives.
-                        let intra_kth_sq = hood.kth_distance_sq();
-                        let mut min_pos_sq = f64::INFINITY;
-                        for p in &vor_stage1.positives {
-                            let d_sq = squared_euclidean_fixed(&t.vector, &p.vector);
-                            min_pos_sq = min_pos_sq.min(d_sq);
-                            hood.push_sq(d_sq, p.id, true);
-                        }
-                        posc.add(vor_stage1.positives.len() as u64);
-                        ctx.charge_ops((negs.len() + vor_stage1.positives.len()) as u64);
-                        if intra_kth_sq <= min_pos_sq {
-                            skips.inc();
-                            let score = score_neighbors(&hood);
-                            out.push(StageOut::Done(ScoredPair {
-                                id: t.id,
-                                score,
-                                positive: label_for(score, theta),
-                                shortcut: true,
-                            }));
-                            continue;
-                        }
-                        let extra = additional_partitions(
-                            &t.vector,
-                            assigned_cid,
-                            intra_kth_sq,
-                            min_pos_sq,
-                            &vor_stage1.centers,
-                        );
-                        extra_clusters.add(extra.len() as u64);
-                        if extra.is_empty() {
-                            let score = score_neighbors(&hood);
-                            out.push(StageOut::Done(ScoredPair {
-                                id: t.id,
-                                score,
-                                positive: label_for(score, theta),
-                                shortcut: false,
-                            }));
-                            continue;
-                        }
-                        out.push(StageOut::Base { id: t.id, hood });
-                        for target in extra {
-                            out.push(StageOut::Probe {
-                                target,
-                                id: t.id,
-                                vector: t.vector,
-                            });
-                        }
-                    }
+                    });
                     ctx.release_memory(bytes);
                     Ok(out)
                 },
@@ -260,28 +293,32 @@ impl<const D: usize> FastKnn<D> {
         });
 
         // Steps 13–15: cross-cluster comparison, then merge the top-k lists.
+        let stage2_scratch = self.scratch.clone();
         let probe_hits: Rdd<(u64, Neighborhood)> = probes
             .partition_by(Arc::new(IndexPartitioner::new(b)))
             .zip_partitions(
                 &self.negatives,
                 move |ctx,
                       probes: Vec<(usize, (u64, [f64; D]))>,
-                      negs: Vec<(usize, LabeledPair<D>)>| {
+                      negs: Vec<(usize, Arc<VecBatch<D>>)>| {
+                    let cell: Option<&Arc<VecBatch<D>>> = negs.first().map(|(_, c)| c);
+                    let negs_len = cell.map_or(0, |c| c.len());
                     let cross = ctx.counter(counters::CROSS_COMPARISONS);
                     let mut out = Vec::with_capacity(probes.len());
-                    for (_, (id, vector)) in probes {
-                        let mut hood = Neighborhood::new(k);
-                        for (_, p) in &negs {
-                            hood.push_sq(
-                                squared_euclidean_fixed(&vector, &p.vector),
-                                p.id,
-                                p.positive,
-                            );
+                    stage2_scratch.with(|s| {
+                        for (_, (id, vector)) in probes {
+                            let mut hood = Neighborhood::new(k);
+                            if let Some(cell) = cell {
+                                distances_to_point(cell, &vector, &mut s.dists);
+                                for (j, &d_sq) in s.dists.iter().enumerate() {
+                                    hood.push_sq(d_sq, cell.id(j), cell.label(j));
+                                }
+                            }
+                            cross.add(negs_len as u64);
+                            ctx.charge_ops(negs_len as u64);
+                            out.push((id, hood));
                         }
-                        cross.add(negs.len() as u64);
-                        ctx.charge_ops(negs.len() as u64);
-                        out.push((id, hood));
-                    }
+                    });
                     Ok(out)
                 },
             )?;
@@ -447,6 +484,16 @@ mod tests {
         let cluster = Cluster::local(2);
         let model = FastKnn::fit(&cluster, &train, FastKnnConfig::default()).unwrap();
         assert!(model.classify(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn classify_batch_equals_classify_rows() {
+        let (train, test) = workload(300, 10, 60, 77);
+        let cluster = Cluster::local(3);
+        let model = FastKnn::fit(&cluster, &train, FastKnnConfig::default()).unwrap();
+        let rows = model.classify(&test).unwrap();
+        let batch = model.classify_batch(&from_unlabeled(&test)).unwrap();
+        assert_eq!(rows, batch);
     }
 
     mod parallelism_invariance {

@@ -30,13 +30,17 @@ pub mod prune;
 pub mod score;
 pub mod select;
 pub mod serial;
+pub mod soa;
 pub mod types;
 pub mod voronoi;
 
 pub use classify::{FastKnn, FastKnnConfig};
 pub use prune::TestPruner;
 pub use score::{label_for, score_neighbors, SCORE_EPS};
-pub use select::additional_partitions;
+pub use select::{additional_partitions, additional_partitions_into};
+pub use soa::{
+    from_labeled, from_unlabeled, to_labeled, to_unlabeled, ClassifyScratch, ScratchPool, VecBatch,
+};
 pub use types::{LabeledPair, Neighborhood, ScoredPair, UnlabeledPair, PAIR_DIMS};
 pub use voronoi::{hyperplane_distance, VoronoiPartition};
 

@@ -11,6 +11,7 @@
 //! avoids a `sqrt` per (test pair × cluster) probe. Radii stay linear —
 //! they feed the Eq. 6-driven `f(θ)` arithmetic of [`TestPruner::learn_f_theta`].
 
+use crate::soa::{distances_to_point, VecBatch};
 use crate::types::{LabeledPair, UnlabeledPair, PAIR_DIMS};
 use mlcore::kmeans::KMeans;
 use simmetrics::{euclidean_fixed, squared_euclidean_fixed};
@@ -136,6 +137,34 @@ impl<const D: usize> TestPruner<D> {
             }
         }
         PruneOutcome { kept, pruned }
+    }
+
+    /// Prune a column batch: one tiled distance sweep per positive-cluster
+    /// ball instead of a centre loop per test pair. Returns the kept rows
+    /// (original order) and the pruned count; membership is identical to
+    /// [`TestPruner::keep`].
+    pub fn prune_batch(&self, test: &VecBatch<D>, f_theta: f64) -> (VecBatch<D>, usize) {
+        let mut keep = vec![false; test.len()];
+        let mut dists: Vec<f64> = Vec::with_capacity(test.len());
+        for (c, r) in self.centers.iter().zip(&self.radii) {
+            let rf = r + f_theta;
+            if rf < 0.0 {
+                continue;
+            }
+            distances_to_point(test, c, &mut dists);
+            let bound = rf * rf;
+            for (m, &d_sq) in keep.iter_mut().zip(&dists) {
+                *m = *m || d_sq <= bound;
+            }
+        }
+        let mut kept = VecBatch::with_capacity(keep.iter().filter(|&&m| m).count());
+        for (i, &m) in keep.iter().enumerate() {
+            if m {
+                kept.push(test.id(i), &test.row(i), test.label(i));
+            }
+        }
+        let pruned = test.len() - kept.len();
+        (kept, pruned)
     }
 }
 
@@ -297,6 +326,26 @@ mod tests {
         let vectors: Vec<[f64; 2]> = train_pos.iter().map(|p| p.vector).collect();
         let f = pruner.learn_f_theta(&vectors, 1.0, 0.0);
         assert!(f.abs() < 1e-9, "got {f}");
+    }
+
+    #[test]
+    fn prune_batch_matches_row_prune() {
+        let pruner = TestPruner::build(&positives(), 2, 7);
+        let mut rng = StdRng::seed_from_u64(4);
+        let test: Vec<UnlabeledPair<2>> = (0..300)
+            .map(|i| UnlabeledPair::new(i, [rng.gen_range(0.0..1.5), rng.gen_range(0.0..1.5)]))
+            .collect();
+        let batch = crate::soa::from_unlabeled(&test);
+        for f in [-2.0, -0.3, 0.0, 0.1, 0.5, 10.0] {
+            let rows = pruner.prune(&test, f);
+            let (kept, pruned) = pruner.prune_batch(&batch, f);
+            assert_eq!(pruned, rows.pruned, "pruned count diverged at f={f}");
+            assert_eq!(
+                crate::soa::to_unlabeled(&kept),
+                rows.kept,
+                "kept set diverged at f={f}"
+            );
+        }
     }
 
     #[test]

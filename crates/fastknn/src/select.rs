@@ -36,25 +36,46 @@ pub fn additional_partitions<const D: usize>(
     min_positive_distance_sq: f64,
     centers: &[[f64; D]],
 ) -> Vec<usize> {
+    let mut partitions = Vec::new();
+    additional_partitions_into(
+        s,
+        assigned,
+        kth_distance_sq,
+        min_positive_distance_sq,
+        centers,
+        &mut partitions,
+    );
+    partitions
+}
+
+/// Algorithm 1 into a caller-owned buffer (cleared first) — the
+/// allocation-free variant the batch classifier's scratch arena uses.
+pub fn additional_partitions_into<const D: usize>(
+    s: &[f64; D],
+    assigned: usize,
+    kth_distance_sq: f64,
+    min_positive_distance_sq: f64,
+    centers: &[[f64; D]],
+    out: &mut Vec<usize>,
+) {
+    out.clear();
     // Lines 2–5: all-negative shortcut (monotone in the square).
     if kth_distance_sq <= min_positive_distance_sq {
-        return Vec::new();
+        return;
     }
     // Lines 6–12: hyperplane pruning. Eq. 7 yields a linear distance, so
     // take the one root here rather than squaring every hyperplane bound
     // (which can be negative under balanced tie-assignment).
     let kth_distance = kth_distance_sq.sqrt();
     let pi = &centers[assigned];
-    let mut partitions = Vec::new();
     for (j, pj) in centers.iter().enumerate() {
         if j == assigned {
             continue;
         }
         if kth_distance > hyperplane_distance(s, pi, pj) {
-            partitions.push(j);
+            out.push(j);
         }
     }
-    partitions
 }
 
 #[cfg(test)]

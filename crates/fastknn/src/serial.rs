@@ -7,11 +7,15 @@
 //! algorithm without an engine, and for isolating engine effects in
 //! benchmarks.
 //!
-//! Both run the candidate loops entirely in squared-distance space over
-//! fixed-arity vectors: no allocation, no `sqrt` until Eq. 5 scoring.
+//! Both run the candidate loops entirely in squared-distance space.
+//! [`classify_batch`] is the SoA engine underneath: every candidate scan is
+//! a tiled column-kernel sweep, and all working state lives in a caller-owned
+//! [`ClassifyScratch`] — after warm-up it performs **zero heap allocation**
+//! (pinned by the `zero_alloc` integration test).
 
 use crate::score::{label_for, score_neighbors};
-use crate::select::additional_partitions;
+use crate::select::additional_partitions_into;
+use crate::soa::{distances_to_point, from_unlabeled, ClassifyScratch, VecBatch};
 use crate::types::{LabeledPair, Neighborhood, ScoredPair, UnlabeledPair};
 use crate::voronoi::VoronoiPartition;
 use simmetrics::squared_euclidean_fixed;
@@ -46,61 +50,89 @@ pub fn classify_brute<const D: usize>(
 
 /// Single-threaded Fast kNN: identical algorithm to the distributed
 /// classifier (stage 1 intra-cluster + positives, Algorithm 1 selection,
-/// stage 2 cross-cluster), without the engine.
+/// stage 2 cross-cluster), without the engine. Thin wrapper over
+/// [`classify_batch`] with a fresh scratch.
 pub fn classify_fast_serial<const D: usize>(
     partition: &VoronoiPartition<D>,
     test: &[UnlabeledPair<D>],
     k: usize,
     theta: f64,
 ) -> Vec<ScoredPair> {
-    test.iter()
-        .map(|t| {
-            let assigned = partition.assign(&t.vector);
-            let mut hood = Neighborhood::new(k);
-            for pair in &partition.negative_clusters[assigned] {
-                hood.push_sq(
-                    squared_euclidean_fixed(&t.vector, &pair.vector),
-                    pair.id,
-                    pair.positive,
-                );
-            }
-            // Algorithm 1 line 2: d(s, s_k) over the intra-cluster
-            // neighbours only, BEFORE merging the positives.
-            let intra_kth_sq = hood.kth_distance_sq();
-            let mut min_pos_sq = f64::INFINITY;
-            for pair in &partition.positives {
-                let d_sq = squared_euclidean_fixed(&t.vector, &pair.vector);
-                min_pos_sq = min_pos_sq.min(d_sq);
-                hood.push_sq(d_sq, pair.id, true);
-            }
-            let shortcut = intra_kth_sq <= min_pos_sq;
-            if !shortcut {
-                let extra = additional_partitions(
-                    &t.vector,
-                    assigned,
-                    intra_kth_sq,
-                    min_pos_sq,
-                    &partition.centers,
-                );
-                for cid in extra {
-                    for pair in &partition.negative_clusters[cid] {
-                        hood.push_sq(
-                            squared_euclidean_fixed(&t.vector, &pair.vector),
-                            pair.id,
-                            pair.positive,
-                        );
-                    }
+    let batch = from_unlabeled(test);
+    let mut scratch = ClassifyScratch::default();
+    let mut out = Vec::with_capacity(test.len());
+    classify_batch(partition, &batch, k, theta, &mut scratch, &mut out);
+    out
+}
+
+/// Fast kNN over a column batch of test pairs, appending one [`ScoredPair`]
+/// per row to `out` (cleared first).
+///
+/// All candidate scans run as tiled [`distances_to_point`] sweeps over the
+/// partition's SoA cells; every buffer lives in `scratch`, so a warm call
+/// allocates nothing. Results are bit-identical to the historical per-pair
+/// path: the kernels preserve the scalar accumulation order, and the
+/// neighbourhood's `(distance², id)` total order makes candidate push order
+/// irrelevant.
+pub fn classify_batch<const D: usize>(
+    partition: &VoronoiPartition<D>,
+    tests: &VecBatch<D>,
+    k: usize,
+    theta: f64,
+    scratch: &mut ClassifyScratch<D>,
+    out: &mut Vec<ScoredPair>,
+) {
+    out.clear();
+    let ClassifyScratch {
+        hood,
+        dists,
+        pos_dists,
+        extra,
+    } = scratch;
+    for i in 0..tests.len() {
+        let v = tests.row(i);
+        let assigned = partition.assign(&v);
+        hood.reset(k);
+        let cell = &partition.negative_clusters[assigned];
+        distances_to_point(cell, &v, dists);
+        for (j, &d_sq) in dists.iter().enumerate() {
+            hood.push_sq(d_sq, cell.id(j), cell.label(j));
+        }
+        // Algorithm 1 line 2: d(s, s_k) over the intra-cluster neighbours
+        // only, BEFORE merging the positives.
+        let intra_kth_sq = hood.kth_distance_sq();
+        distances_to_point(&partition.positives, &v, pos_dists);
+        let mut min_pos_sq = f64::INFINITY;
+        for (j, &d_sq) in pos_dists.iter().enumerate() {
+            min_pos_sq = min_pos_sq.min(d_sq);
+            hood.push_sq(d_sq, partition.positives.id(j), true);
+        }
+        let shortcut = intra_kth_sq <= min_pos_sq;
+        if !shortcut {
+            additional_partitions_into(
+                &v,
+                assigned,
+                intra_kth_sq,
+                min_pos_sq,
+                &partition.centers,
+                extra,
+            );
+            for &cid in extra.iter() {
+                let cell = &partition.negative_clusters[cid];
+                distances_to_point(cell, &v, dists);
+                for (j, &d_sq) in dists.iter().enumerate() {
+                    hood.push_sq(d_sq, cell.id(j), cell.label(j));
                 }
             }
-            let score = score_neighbors(&hood);
-            ScoredPair {
-                id: t.id,
-                score,
-                positive: label_for(score, theta),
-                shortcut,
-            }
-        })
-        .collect()
+        }
+        let score = score_neighbors(hood);
+        out.push(ScoredPair {
+            id: tests.id(i),
+            score,
+            positive: label_for(score, theta),
+            shortcut,
+        });
+    }
 }
 
 #[cfg(test)]
@@ -193,6 +225,33 @@ mod tests {
             }
         }
         assert!(shortcut_count > 0, "workload should exercise the shortcut");
+    }
+
+    #[test]
+    fn classify_batch_is_stable_across_scratch_reuse() {
+        // A warm scratch (carrying a stale hood, distance buffers and
+        // Algorithm 1 output from another workload) must not leak into the
+        // next call's results.
+        let (train, test) = random_workload(300, 8, 50, 31);
+        let vp = VoronoiPartition::build(&train, 5, 17);
+        let batch = from_unlabeled(&test);
+        let mut scratch = ClassifyScratch::default();
+        let mut first = Vec::new();
+        classify_batch(&vp, &batch, 7, 0.0, &mut scratch, &mut first);
+        let (other_train, other_test) = random_workload(100, 4, 30, 99);
+        let other_vp = VoronoiPartition::build(&other_train, 3, 1);
+        let mut other = Vec::new();
+        classify_batch(
+            &other_vp,
+            &from_unlabeled(&other_test),
+            3,
+            0.0,
+            &mut scratch,
+            &mut other,
+        );
+        let mut second = Vec::new();
+        classify_batch(&vp, &batch, 7, 0.0, &mut scratch, &mut second);
+        assert_eq!(first, second);
     }
 
     #[test]

@@ -77,6 +77,14 @@ pub struct Neighborhood {
     pub entries: Vec<(f64, u64, bool)>,
 }
 
+impl Default for Neighborhood {
+    /// A capacity-0 placeholder for scratch arenas; [`Neighborhood::reset`]
+    /// gives it a real `k` before use.
+    fn default() -> Self {
+        Neighborhood::new(0)
+    }
+}
+
 impl Neighborhood {
     /// Empty neighbourhood of capacity `k`.
     pub fn new(k: usize) -> Self {
@@ -96,6 +104,13 @@ impl Neighborhood {
         if self.entries.len() > self.k {
             self.entries.pop();
         }
+    }
+
+    /// Reset to an empty neighbourhood of capacity `k`, keeping the entry
+    /// buffer's allocation (scratch-arena reuse on the batch path).
+    pub fn reset(&mut self, k: usize) {
+        self.k = k;
+        self.entries.clear();
     }
 
     /// Merge another neighbourhood (disjoint candidate sets assumed).

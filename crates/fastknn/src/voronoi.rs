@@ -1,6 +1,7 @@
 //! Voronoi partitioning of the training pairs (§4.3.1) and the
 //! hyperplane-distance bound of Eq. 7.
 
+use crate::soa::{assign_min, VecBatch};
 use crate::types::{LabeledPair, PAIR_DIMS};
 use mlcore::kmeans::{nearest_centroid, KMeans};
 use simmetrics::{euclidean_fixed, squared_euclidean_fixed};
@@ -10,17 +11,17 @@ use simmetrics::{euclidean_fixed, squared_euclidean_fixed};
 /// Cluster centres are kept in (driver) memory — §4.3.1: "The center of
 /// each cluster is calculated and stored in memory." Negative pairs are
 /// bucketed per cluster; positive pairs are few (observation 1) and kept as
-/// one global list compared against every test pair. Pairs are `Copy`
-/// (fixed-arity vectors), so bucketing moves them by memcpy rather than
-/// cloning a heap vector per pair.
+/// one global batch compared against every test pair. Both sides are stored
+/// as struct-of-arrays [`VecBatch`] columns, so every distance scan over a
+/// cell runs the tiled vector kernels instead of striding over row structs.
 #[derive(Debug, Clone)]
 pub struct VoronoiPartition<const D: usize = PAIR_DIMS> {
     /// Cluster centres `p_1 … p_b`.
     pub centers: Vec<[f64; D]>,
-    /// Negative training pairs per cluster.
-    pub negative_clusters: Vec<Vec<LabeledPair<D>>>,
-    /// All positive training pairs (global).
-    pub positives: Vec<LabeledPair<D>>,
+    /// Negative training pairs per cluster, one column batch per cell.
+    pub negative_clusters: Vec<VecBatch<D>>,
+    /// All positive training pairs (global), as one column batch.
+    pub positives: VecBatch<D>,
 }
 
 /// How many training vectors k-means fits on at most; larger sets are
@@ -39,29 +40,43 @@ impl<const D: usize> VoronoiPartition<D> {
     pub fn build(train: &[LabeledPair<D>], b: usize, seed: u64) -> Self {
         assert!(!train.is_empty(), "cannot partition an empty training set");
         assert!(b > 0, "cluster number must be positive");
-        let vectors: Vec<[f64; D]> = if train.len() > KMEANS_FIT_CAP {
+        let mut fit_batch = VecBatch::with_capacity(train.len().min(KMEANS_FIT_CAP + 1));
+        if train.len() > KMEANS_FIT_CAP {
             let stride = train.len() / KMEANS_FIT_CAP + 1;
-            train.iter().step_by(stride).map(|p| p.vector).collect()
+            for p in train.iter().step_by(stride) {
+                fit_batch.push(p.id, &p.vector, p.positive);
+            }
         } else {
-            train.iter().map(|p| p.vector).collect()
-        };
+            for p in train {
+                fit_batch.push(p.id, &p.vector, p.positive);
+            }
+        }
         let model = KMeans {
             k: b,
             max_iters: 25,
             tol: 1e-9,
             seed,
         }
-        .fit(&vectors);
+        .fit_batch(&fit_batch);
         let b_actual = model.centroids.len();
-        let mut negative_clusters: Vec<Vec<LabeledPair<D>>> = vec![Vec::new(); b_actual];
-        let mut positives = Vec::new();
+        // Split the training set by label, then bucket every negative via
+        // one fused assign_min sweep (bit-identical to per-row
+        // nearest_centroid).
+        let mut negatives = VecBatch::with_capacity(train.len());
+        let mut positives = VecBatch::new();
         for pair in train {
             if pair.positive {
-                positives.push(*pair);
+                positives.push(pair.id, &pair.vector, true);
             } else {
-                let (cid, _) = nearest_centroid(&pair.vector, &model.centroids);
-                negative_clusters[cid].push(*pair);
+                negatives.push(pair.id, &pair.vector, false);
             }
+        }
+        let mut assigned: Vec<u32> = Vec::with_capacity(negatives.len());
+        let mut d2: Vec<f64> = Vec::with_capacity(negatives.len());
+        assign_min(&negatives, &model.centroids, &mut assigned, &mut d2);
+        let mut negative_clusters: Vec<VecBatch<D>> = vec![VecBatch::new(); b_actual];
+        for i in 0..negatives.len() {
+            negative_clusters[assigned[i] as usize].push(negatives.id(i), &negatives.row(i), false);
         }
         let mut partition = VoronoiPartition {
             centers: model.centroids,
@@ -84,7 +99,7 @@ impl<const D: usize> VoronoiPartition<D> {
     /// all-negative shortcut only ever sees a *larger* k-th distance than
     /// the full cell's (conservative, never wrong).
     fn rebalance(&mut self) {
-        let total: usize = self.negative_clusters.iter().map(Vec::len).sum();
+        let total: usize = self.negative_clusters.iter().map(|c| c.len()).sum();
         if total == 0 {
             return;
         }
@@ -142,19 +157,79 @@ impl<const D: usize> VoronoiPartition<D> {
         tied[(tiebreak as usize) % tied.len()].0
     }
 
+    /// [`Self::assign_balanced`] for a whole batch, using each row's id as
+    /// its tiebreak. Appends one cell index per row to `out` (cleared
+    /// first); `dist_scratch` is a reusable `rows × centers` distance
+    /// buffer.
+    ///
+    /// Per row this is a two-pass scan (min, then tie count) over distances
+    /// from the tiled kernel — the same tied set and pick as the single-pass
+    /// scalar path (see the `assign_balanced_matches_two_pass_reference`
+    /// proptest).
+    pub fn assign_balanced_batch(
+        &self,
+        batch: &VecBatch<D>,
+        out: &mut Vec<usize>,
+        dist_scratch: &mut Vec<f64>,
+    ) {
+        const TIE_EPS: f64 = 1e-12;
+        let n = batch.len();
+        let b = self.centers.len();
+        out.clear();
+        // Centre-major distance matrix: dist[ci * n + i] = d²(row i, centre
+        // ci), each stripe one tiled 1×N kernel sweep.
+        dist_scratch.clear();
+        dist_scratch.resize(b * n, 0.0);
+        let mut stripe: Vec<f64> = Vec::new();
+        for (ci, c) in self.centers.iter().enumerate() {
+            crate::soa::distances_to_point(batch, c, &mut stripe);
+            dist_scratch[ci * n..(ci + 1) * n].copy_from_slice(&stripe);
+        }
+        for i in 0..n {
+            let mut best_d2 = f64::INFINITY;
+            for ci in 0..b {
+                let d2 = dist_scratch[ci * n + i];
+                if d2 < best_d2 {
+                    best_d2 = d2;
+                }
+            }
+            let mut tied = 0usize;
+            let mut pick = 0usize;
+            let want = batch.id(i) as usize;
+            for ci in 0..b {
+                if dist_scratch[ci * n + i] <= best_d2 + TIE_EPS {
+                    tied += 1;
+                }
+            }
+            let idx = want % tied;
+            let mut seen = 0usize;
+            for ci in 0..b {
+                if dist_scratch[ci * n + i] <= best_d2 + TIE_EPS {
+                    if seen == idx {
+                        pick = ci;
+                        break;
+                    }
+                    seen += 1;
+                }
+            }
+            out.push(pick);
+        }
+    }
+
     /// Sizes of the negative clusters.
     pub fn cluster_sizes(&self) -> Vec<usize> {
-        self.negative_clusters.iter().map(Vec::len).collect()
+        self.negative_clusters.iter().map(|c| c.len()).collect()
     }
 
     /// Minimum **squared** distance from `v` to any positive pair; `+∞`
     /// when there are no positives. Squared on purpose: every consumer
     /// compares it against other squared distances.
     pub fn min_positive_distance_sq(&self, v: &[f64; D]) -> f64 {
-        self.positives
-            .iter()
-            .map(|p| squared_euclidean_fixed(v, &p.vector))
-            .fold(f64::INFINITY, f64::min)
+        let mut best = f64::INFINITY;
+        for i in 0..self.positives.len() {
+            best = best.min(squared_euclidean_fixed(v, &self.positives.row(i)));
+        }
+        best
     }
 }
 
@@ -216,14 +291,15 @@ mod tests {
     fn voronoi_property_of_assignment() {
         let vp = VoronoiPartition::build(&make_train(), 3, 7);
         for (cid, cluster) in vp.negative_clusters.iter().enumerate() {
-            for pair in cluster {
-                let own = squared_euclidean(&pair.vector, &vp.centers[cid]);
+            for r in 0..cluster.len() {
+                let v = cluster.row(r);
+                let own = squared_euclidean(&v, &vp.centers[cid]);
                 for (j, c) in vp.centers.iter().enumerate() {
                     if j != cid {
                         assert!(
-                            own <= squared_euclidean(&pair.vector, c) + 1e-9,
+                            own <= squared_euclidean(&v, c) + 1e-9,
                             "pair {} violates the Voronoi property",
-                            pair.id
+                            cluster.id(r)
                         );
                     }
                 }
@@ -249,8 +325,8 @@ mod tests {
         // Duplicated centres (as rebalance produces): ties spread by id.
         let dup = VoronoiPartition::<2> {
             centers: vec![[0.0, 0.0], [0.0, 0.0], [5.0, 5.0]],
-            negative_clusters: vec![Vec::new(), Vec::new(), Vec::new()],
-            positives: Vec::new(),
+            negative_clusters: vec![VecBatch::new(), VecBatch::new(), VecBatch::new()],
+            positives: VecBatch::new(),
         };
         let a = dup.assign_balanced(&[0.1, 0.0], 0);
         let b = dup.assign_balanced(&[0.1, 0.0], 1);
@@ -311,8 +387,8 @@ mod tests {
                 centers.into_iter().map(|c| c.try_into().unwrap()).collect();
             let v: [f64; 2] = v.try_into().unwrap();
             let vp = VoronoiPartition::<2> {
-                negative_clusters: vec![Vec::new(); centers.len()],
-                positives: Vec::new(),
+                negative_clusters: vec![VecBatch::new(); centers.len()],
+                positives: VecBatch::new(),
                 centers,
             };
             let best = vp
@@ -329,6 +405,36 @@ mod tests {
                 .collect();
             let expect = tied[(tiebreak as usize) % tied.len()];
             prop_assert_eq!(vp.assign_balanced(&v, tiebreak), expect);
+        }
+
+        /// The batched assignment agrees with the scalar per-row path.
+        #[test]
+        fn assign_balanced_batch_matches_scalar(
+            centers in prop::collection::vec(
+                prop::collection::vec(0.0f64..1.0, 2), 1..10),
+            rows in prop::collection::vec(
+                (prop::collection::vec(0.0f64..1.0, 2), 0u64..50), 0..40),
+        ) {
+            let centers: Vec<[f64; 2]> =
+                centers.into_iter().map(|c| c.try_into().unwrap()).collect();
+            let vp = VoronoiPartition::<2> {
+                negative_clusters: vec![VecBatch::new(); centers.len()],
+                positives: VecBatch::new(),
+                centers,
+            };
+            let mut batch = VecBatch::<2>::new();
+            for (v, id) in &rows {
+                let v: [f64; 2] = v.clone().try_into().unwrap();
+                batch.push(*id, &v, false);
+            }
+            let mut out = Vec::new();
+            let mut scratch = Vec::new();
+            vp.assign_balanced_batch(&batch, &mut out, &mut scratch);
+            prop_assert_eq!(out.len(), rows.len());
+            for (i, (v, id)) in rows.iter().enumerate() {
+                let v: [f64; 2] = v.clone().try_into().unwrap();
+                prop_assert_eq!(out[i], vp.assign_balanced(&v, *id));
+            }
         }
     }
 }

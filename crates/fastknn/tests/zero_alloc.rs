@@ -1,0 +1,87 @@
+//! Pins the batch classifier's zero-allocation contract: once the scratch
+//! arena and output vector are warm, [`fastknn::serial::classify_batch`]
+//! must not touch the heap at all.
+//!
+//! A counting global allocator makes the contract falsifiable — any stray
+//! `Vec` growth, `clear`-then-`collect`, or hidden clone inside the hot
+//! loop turns the count non-zero and fails the test.
+
+use fastknn::serial::classify_batch;
+use fastknn::voronoi::VoronoiPartition;
+use fastknn::{from_unlabeled, ClassifyScratch, LabeledPair, UnlabeledPair};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn synthetic_train(n: usize, seed: u64) -> Vec<LabeledPair> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let positive = rng.gen_bool(0.04);
+            let center = if positive { 0.2 } else { 0.8 };
+            let vector = std::array::from_fn(|_| center + rng.gen_range(-0.2..0.2));
+            LabeledPair {
+                id: i as u64,
+                vector,
+                positive,
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn warm_classify_batch_does_not_allocate() {
+    let train = synthetic_train(1_500, 9);
+    let partition = VoronoiPartition::build(&train, 8, 41);
+    let mut rng = StdRng::seed_from_u64(77);
+    let tests: Vec<UnlabeledPair> = (0..200)
+        .map(|i| UnlabeledPair {
+            id: i as u64,
+            vector: std::array::from_fn(|_| rng.gen_range(0.0..1.0)),
+        })
+        .collect();
+    let batch = from_unlabeled(&tests);
+
+    let mut scratch = ClassifyScratch::default();
+    let mut out = Vec::new();
+    // Warm-up: sizes every scratch buffer and the output vector. Two calls
+    // so the Neighborhood reaches its k-capacity on every path.
+    classify_batch(&partition, &batch, 7, 0.5, &mut scratch, &mut out);
+    classify_batch(&partition, &batch, 7, 0.5, &mut scratch, &mut out);
+    let cold = out.clone();
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    classify_batch(&partition, &batch, 7, 0.5, &mut scratch, &mut out);
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "warm classify_batch must not allocate ({} allocations observed)",
+        after - before
+    );
+    assert_eq!(out, cold, "warm call must reproduce the cold result");
+}

@@ -11,6 +11,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use simmetrics::soa::{assign_min, distances_to_point, VecBatch};
 use simmetrics::squared_euclidean_fixed;
 
 /// k-means configuration.
@@ -42,43 +43,63 @@ impl KMeans {
     /// # Panics
     /// Panics on empty data or `k == 0`. If `k > n`, `k` is clamped to `n`.
     pub fn fit<const D: usize>(&self, data: &[[f64; D]]) -> KMeansModel<D> {
+        self.fit_batch(&VecBatch::from_rows(data))
+    }
+
+    /// Run k-means++ then Lloyd's algorithm over a column batch.
+    ///
+    /// Lloyd iterations run entirely on the SoA layout: assignment via the
+    /// fused [`assign_min`] kernel, centroid update via per-column
+    /// accumulators. Both keep the scalar path's per-point and
+    /// per-(cluster, dimension) accumulation order, so results are
+    /// bit-identical to the historical `[f64; D]` loop.
+    ///
+    /// # Panics
+    /// Panics on empty data or `k == 0`. If `k > n`, `k` is clamped to `n`.
+    pub fn fit_batch<const D: usize>(&self, data: &VecBatch<D>) -> KMeansModel<D> {
         assert!(!data.is_empty(), "k-means needs data");
         assert!(self.k > 0, "k must be positive");
-        let k = self.k.min(data.len());
+        let n = data.len();
+        let k = self.k.min(n);
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut centroids = plus_plus_init(data, k, &mut rng);
-        let mut assignments = vec![0usize; data.len()];
+        let mut assign_idx: Vec<u32> = Vec::with_capacity(n);
+        let mut assign_d2: Vec<f64> = Vec::with_capacity(n);
         for _ in 0..self.max_iters {
-            // Assignment step.
-            for (i, p) in data.iter().enumerate() {
-                assignments[i] = nearest_centroid(p, &centroids).0;
-            }
-            // Update step.
+            // Assignment step (fused tiled kernel).
+            assign_min(data, &centroids, &mut assign_idx, &mut assign_d2);
+            // Update step: column accumulators. Per (cluster, dimension)
+            // the additions still happen in point order, matching the
+            // row-major scalar update bit for bit.
             let mut sums = vec![[0.0; D]; k];
             let mut counts = vec![0usize; k];
-            for (p, &a) in data.iter().zip(&assignments) {
-                counts[a] += 1;
-                for (s, x) in sums[a].iter_mut().zip(p) {
-                    *s += x;
+            for &a in &assign_idx {
+                counts[a as usize] += 1;
+            }
+            for (d, col) in (0..D).map(|d| (d, data.col(d))) {
+                for (&x, &a) in col.iter().zip(&assign_idx) {
+                    sums[a as usize][d] += x;
                 }
             }
             let mut movement = 0.0;
             for c in 0..k {
                 if counts[c] == 0 {
                     // Re-seed an empty cluster at the point farthest from
-                    // its current centroid (standard repair).
-                    let far = data
+                    // its current centroid (standard repair). Distances are
+                    // against the partially updated centroid set, exactly
+                    // as the scalar loop computed them.
+                    assign_min(data, &centroids, &mut assign_idx, &mut assign_d2);
+                    let far = assign_d2
                         .iter()
                         .enumerate()
                         .max_by(|(_, a), (_, b)| {
-                            let da = nearest_centroid(a, &centroids).1;
-                            let db = nearest_centroid(b, &centroids).1;
-                            da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+                            a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal)
                         })
                         .map(|(i, _)| i)
                         .expect("data non-empty");
-                    movement += squared_euclidean_fixed(&centroids[c], &data[far]);
-                    centroids[c] = data[far];
+                    let far_row = data.row(far);
+                    movement += squared_euclidean_fixed(&centroids[c], &far_row);
+                    centroids[c] = far_row;
                     continue;
                 }
                 let mut new = [0.0; D];
@@ -93,12 +114,10 @@ impl KMeans {
             }
         }
         // Final assignment against the converged centroids.
-        for (i, p) in data.iter().enumerate() {
-            assignments[i] = nearest_centroid(p, &centroids).0;
-        }
+        assign_min(data, &centroids, &mut assign_idx, &mut assign_d2);
         KMeansModel {
             centroids,
-            assignments,
+            assignments: assign_idx.iter().map(|&a| a as usize).collect(),
         }
     }
 }
@@ -115,13 +134,12 @@ pub fn nearest_centroid<const D: usize>(p: &[f64; D], centroids: &[[f64; D]]) ->
     best
 }
 
-fn plus_plus_init<const D: usize>(data: &[[f64; D]], k: usize, rng: &mut StdRng) -> Vec<[f64; D]> {
+fn plus_plus_init<const D: usize>(data: &VecBatch<D>, k: usize, rng: &mut StdRng) -> Vec<[f64; D]> {
     let mut centroids: Vec<[f64; D]> = Vec::with_capacity(k);
-    centroids.push(data[rng.gen_range(0..data.len())]);
-    let mut dists: Vec<f64> = data
-        .iter()
-        .map(|p| squared_euclidean_fixed(p, &centroids[0]))
-        .collect();
+    centroids.push(data.row(rng.gen_range(0..data.len())));
+    let mut dists: Vec<f64> = Vec::with_capacity(data.len());
+    distances_to_point(data, &centroids[0], &mut dists);
+    let mut fresh: Vec<f64> = Vec::with_capacity(data.len());
     while centroids.len() < k {
         let total: f64 = dists.iter().sum();
         let next = if total <= f64::EPSILON {
@@ -139,9 +157,9 @@ fn plus_plus_init<const D: usize>(data: &[[f64; D]], k: usize, rng: &mut StdRng)
             }
             chosen
         };
-        centroids.push(data[next]);
-        for (d, p) in dists.iter_mut().zip(data) {
-            let nd = squared_euclidean_fixed(p, centroids.last().expect("just pushed"));
+        centroids.push(data.row(next));
+        distances_to_point(data, centroids.last().expect("just pushed"), &mut fresh);
+        for (d, &nd) in dists.iter_mut().zip(&fresh) {
             if nd < *d {
                 *d = nd;
             }

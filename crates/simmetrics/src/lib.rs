@@ -14,6 +14,9 @@
 //! * [`vector`] — Euclidean / Manhattan / Minkowski / cosine over dense
 //!   `f64` vectors (the paper compares *distance vectors of report pairs*
 //!   with Euclidean distance);
+//! * [`soa`] — struct-of-arrays [`soa::VecBatch`] column batches with
+//!   tiled, autovectorizing distance kernels (1×N, M×N block, fused
+//!   centre assignment), bit-identical to the scalar per-pair path;
 //! * [`field`] — the paper's §4.2 field-distance rules: 0/1 for numeric and
 //!   categorical fields, Jaccard over token sets for string fields.
 //!
@@ -24,6 +27,7 @@ pub mod field;
 pub mod hamming;
 pub mod jaro;
 pub mod levenshtein;
+pub mod soa;
 pub mod sorted;
 pub mod token;
 pub mod vector;

@@ -1,0 +1,532 @@
+//! Struct-of-arrays vector batches and tiled, autovectorizing distance
+//! kernels.
+//!
+//! The per-pair kernels in [`crate::vector`] walk one `[f64; D]` row at a
+//! time: the D-step accumulation is a serial dependency chain, so the CPU's
+//! SIMD lanes sit idle and every row costs a full add-latency ladder. The
+//! batch kernels here flip the layout: a [`VecBatch`] stores each of the D
+//! dimensions as one contiguous column, and the kernels iterate *points*
+//! in the inner loop — every point carries an independent accumulator, so
+//! LLVM autovectorizes the loop across points without any reassociation
+//! (and therefore without `-ffast-math`, `unsafe`, or intrinsics).
+//!
+//! **Bit-identity.** Each point's squared distance is still accumulated in
+//! ascending-dimension order, exactly like
+//! [`squared_euclidean_fixed`](crate::squared_euclidean_fixed); only the
+//! loop *nesting* changes, never the per-result operation order. Every
+//! kernel here is therefore bit-for-bit interchangeable with its scalar
+//! counterpart — the property the kNN total order `(distance², id)` and the
+//! seeded k-means digests rely on, pinned by this module's proptests.
+//!
+//! **Tiling.** The block kernels tile twice. Points are walked in
+//! [`TILE_COLS`]-wide column tiles (8 columns × 256 points × 8 B = 16 KiB —
+//! L1-resident), so each point tile is re-streamed from L1 rather than from
+//! memory. Queries (or centres) are register-blocked [`TILE_ROWS`] at a
+//! time: every column load is reused for all [`TILE_ROWS`] accumulators,
+//! and because the per-query dimension chains are mutually independent they
+//! pipeline through the FP units instead of stalling on add latency — the
+//! same register-tiling that dense linear-algebra kernels use.
+
+/// Points per column tile: `D × TILE_COLS × 8 B` of column data ≈ 16 KiB
+/// for the 8-dimensional pair space — comfortably inside a 32 KiB L1d
+/// alongside the accumulator tile.
+pub const TILE_COLS: usize = 256;
+
+/// Queries (or centres) per register block of a block kernel: one column
+/// load feeds `TILE_ROWS` independent accumulator chains, hiding FP-add
+/// latency while keeping the accumulators (`TILE_ROWS` vector registers
+/// once the point loop vectorizes) within the register file.
+pub const TILE_ROWS: usize = 8;
+
+/// A batch of fixed-arity vectors in struct-of-arrays layout: dimension `d`
+/// of every vector lives in the contiguous column `col(d)`, with the
+/// caller's id and label carried in parallel arrays.
+///
+/// Rows are append-only and keep insertion order; [`VecBatch::row`]
+/// reassembles the array-of-structs view on demand, and the AoS → SoA → AoS
+/// round trip is lossless (bit-for-bit, ids and labels included).
+#[derive(Debug, Clone, PartialEq)]
+pub struct VecBatch<const D: usize> {
+    ids: Vec<u64>,
+    labels: Vec<bool>,
+    cols: Vec<Vec<f64>>,
+}
+
+impl<const D: usize> Default for VecBatch<D> {
+    /// Same as [`VecBatch::new`] — a derived `Default` would construct zero
+    /// columns instead of `D` empty ones.
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<const D: usize> VecBatch<D> {
+    /// Empty batch.
+    pub fn new() -> Self {
+        VecBatch {
+            ids: Vec::new(),
+            labels: Vec::new(),
+            cols: (0..D).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    /// Empty batch with row capacity `n` in every column.
+    pub fn with_capacity(n: usize) -> Self {
+        VecBatch {
+            ids: Vec::with_capacity(n),
+            labels: Vec::with_capacity(n),
+            cols: (0..D).map(|_| Vec::with_capacity(n)).collect(),
+        }
+    }
+
+    /// Batch of plain vectors: ids are the row indices, labels all `false`.
+    pub fn from_rows(rows: &[[f64; D]]) -> Self {
+        let mut batch = Self::with_capacity(rows.len());
+        for (i, r) in rows.iter().enumerate() {
+            batch.push(i as u64, r, false);
+        }
+        batch
+    }
+
+    /// Append one row.
+    pub fn push(&mut self, id: u64, vector: &[f64; D], label: bool) {
+        self.ids.push(id);
+        self.labels.push(label);
+        for (col, &x) in self.cols.iter_mut().zip(vector.iter()) {
+            col.push(x);
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Is the batch empty?
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Drop all rows, keeping every column's allocation (scratch reuse).
+    pub fn clear(&mut self) {
+        self.ids.clear();
+        self.labels.clear();
+        for col in &mut self.cols {
+            col.clear();
+        }
+    }
+
+    /// Column `d` (one value per row).
+    #[inline]
+    pub fn col(&self, d: usize) -> &[f64] {
+        &self.cols[d]
+    }
+
+    /// Row ids, in insertion order.
+    pub fn ids(&self) -> &[u64] {
+        &self.ids
+    }
+
+    /// Row labels, in insertion order.
+    pub fn labels(&self) -> &[bool] {
+        &self.labels
+    }
+
+    /// Id of row `i`.
+    #[inline]
+    pub fn id(&self, i: usize) -> u64 {
+        self.ids[i]
+    }
+
+    /// Label of row `i`.
+    #[inline]
+    pub fn label(&self, i: usize) -> bool {
+        self.labels[i]
+    }
+
+    /// Reassemble row `i` as an array-of-structs vector.
+    #[inline]
+    pub fn row(&self, i: usize) -> [f64; D] {
+        std::array::from_fn(|d| self.cols[d][i])
+    }
+
+    /// Split off the rows from `at` onward into a new batch (cf.
+    /// [`Vec::split_off`]).
+    pub fn split_off(&mut self, at: usize) -> Self {
+        VecBatch {
+            ids: self.ids.split_off(at),
+            labels: self.labels.split_off(at),
+            cols: self.cols.iter_mut().map(|c| c.split_off(at)).collect(),
+        }
+    }
+
+    /// Copy the rows into contiguous chunks of at most `chunk_len` rows
+    /// (the last chunk may be shorter), preserving order — the driver-side
+    /// splitter for handing each engine partition one contiguous batch.
+    pub fn chunk_rows(&self, chunk_len: usize) -> Vec<Self> {
+        assert!(chunk_len > 0, "chunk length must be positive");
+        let mut out = Vec::with_capacity(self.len().div_ceil(chunk_len));
+        let mut start = 0;
+        while start < self.len() {
+            let end = (start + chunk_len).min(self.len());
+            let mut chunk = Self::with_capacity(end - start);
+            chunk.ids.extend_from_slice(&self.ids[start..end]);
+            chunk.labels.extend_from_slice(&self.labels[start..end]);
+            for (cc, c) in chunk.cols.iter_mut().zip(&self.cols) {
+                cc.extend_from_slice(&c[start..end]);
+            }
+            out.push(chunk);
+            start = end;
+        }
+        out
+    }
+}
+
+/// Squared Euclidean distances from every row of `points` to the single
+/// query `q`, written to `out` (resized to `points.len()`).
+///
+/// 1×N kernel: the point loop vectorizes (each lane owns one point's
+/// accumulator) and the fully-unrolled dimension loop keeps that
+/// accumulator in a register instead of round-tripping it through memory
+/// once per dimension. Per point the accumulation order is
+/// ascending-dimension: bit-identical to
+/// [`squared_euclidean_fixed`](crate::squared_euclidean_fixed).
+pub fn distances_to_point<const D: usize>(points: &VecBatch<D>, q: &[f64; D], out: &mut Vec<f64>) {
+    let n = points.len();
+    out.clear();
+    out.resize(n, 0.0);
+    let cols: [&[f64]; D] = std::array::from_fn(|d| &points.col(d)[..n]);
+    for (i, acc) in out.iter_mut().enumerate() {
+        let mut a = 0.0;
+        for (col, &qd) in cols.iter().zip(q.iter()) {
+            let diff = col[i] - qd;
+            a += diff * diff;
+        }
+        *acc = a;
+    }
+}
+
+/// M×N squared-distance block: `out[r * points.len() + c]` is the squared
+/// Euclidean distance from query row `r` to point row `c`.
+///
+/// Register-tiled [`TILE_ROWS`]×[`TILE_COLS`]: within an L1-resident point
+/// tile, [`TILE_ROWS`] queries share every column load and carry
+/// [`TILE_ROWS`] independent accumulator chains through the point loop —
+/// the chains hide FP-add latency and the loop vectorizes across points.
+/// Bit-identical to the scalar per-pair kernel (see module docs).
+pub fn distances_block<const D: usize>(
+    queries: &VecBatch<D>,
+    points: &VecBatch<D>,
+    out: &mut Vec<f64>,
+) {
+    let m = queries.len();
+    let n = points.len();
+    out.clear();
+    out.resize(m * n, 0.0);
+    let cols: [&[f64]; D] = std::array::from_fn(|d| &points.col(d)[..n]);
+    let mut t0 = 0;
+    while t0 < n {
+        let t1 = (t0 + TILE_COLS).min(n);
+        let mut r0 = 0;
+        while r0 + TILE_ROWS <= m {
+            let qb: [[f64; D]; TILE_ROWS] = std::array::from_fn(|q| queries.row(r0 + q));
+            for i in t0..t1 {
+                let mut acc = [0.0f64; TILE_ROWS];
+                for (d, col) in cols.iter().enumerate() {
+                    let x = col[i];
+                    for (a, qr) in acc.iter_mut().zip(&qb) {
+                        let diff = x - qr[d];
+                        *a += diff * diff;
+                    }
+                }
+                for (q, &a) in acc.iter().enumerate() {
+                    out[(r0 + q) * n + i] = a;
+                }
+            }
+            r0 += TILE_ROWS;
+        }
+        // Remainder queries (fewer than a register block): one row each.
+        for r in r0..m {
+            let qr = queries.row(r);
+            for i in t0..t1 {
+                let mut a = 0.0;
+                for (col, &qd) in cols.iter().zip(qr.iter()) {
+                    let diff = col[i] - qd;
+                    a += diff * diff;
+                }
+                out[r * n + i] = a;
+            }
+        }
+        t0 = t1;
+    }
+}
+
+/// Fused centre assignment: for every row of `points`, the index and
+/// squared distance of its nearest centre (first index wins ties, strict
+/// `<` — the exact semantics of `mlcore::kmeans::nearest_centroid`).
+///
+/// Works one [`TILE_COLS`] point tile at a time with the centres
+/// register-blocked [`TILE_ROWS`] at a time: within a point tile each
+/// column load feeds [`TILE_ROWS`] independent accumulator chains, the
+/// block's distances fold into the running best with branchless selects in
+/// ascending centre order, and no M×N distance matrix is ever
+/// materialised. With no centres every row reports index 0 at distance
+/// `+∞`, matching the scalar fallback.
+pub fn assign_min<const D: usize>(
+    points: &VecBatch<D>,
+    centers: &[[f64; D]],
+    out_idx: &mut Vec<u32>,
+    out_d2: &mut Vec<f64>,
+) {
+    let n = points.len();
+    out_idx.clear();
+    out_idx.resize(n, 0);
+    out_d2.clear();
+    out_d2.resize(n, f64::INFINITY);
+    let cols: [&[f64]; D] = std::array::from_fn(|d| &points.col(d)[..n]);
+    let mut t0 = 0;
+    while t0 < n {
+        let t1 = (t0 + TILE_COLS).min(n);
+        let mut c0 = 0;
+        while c0 + TILE_ROWS <= centers.len() {
+            let cb = &centers[c0..c0 + TILE_ROWS];
+            for i in t0..t1 {
+                let mut acc = [0.0f64; TILE_ROWS];
+                for (d, col) in cols.iter().enumerate() {
+                    let x = col[i];
+                    for (a, cr) in acc.iter_mut().zip(cb) {
+                        let diff = x - cr[d];
+                        *a += diff * diff;
+                    }
+                }
+                // Branchless ascending fold — first strict minimum wins,
+                // exactly the scalar scan order.
+                let mut best_d = out_d2[i];
+                let mut best_i = out_idx[i];
+                for (q, &a) in acc.iter().enumerate() {
+                    let better = a < best_d;
+                    best_d = if better { a } else { best_d };
+                    best_i = if better { (c0 + q) as u32 } else { best_i };
+                }
+                out_d2[i] = best_d;
+                out_idx[i] = best_i;
+            }
+            c0 += TILE_ROWS;
+        }
+        // Remainder centres (fewer than a register block): one each.
+        for (ci, c) in centers.iter().enumerate().skip(c0) {
+            for i in t0..t1 {
+                let mut a = 0.0;
+                for (col, &qd) in cols.iter().zip(c.iter()) {
+                    let diff = col[i] - qd;
+                    a += diff * diff;
+                }
+                if a < out_d2[i] {
+                    out_d2[i] = a;
+                    out_idx[i] = ci as u32;
+                }
+            }
+        }
+        t0 = t1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::squared_euclidean_fixed;
+    use proptest::prelude::*;
+
+    fn rows(n: usize, seed: u64) -> Vec<[f64; 8]> {
+        // Cheap deterministic pseudo-data with exercised mantissa bits.
+        (0..n)
+            .map(|i| {
+                std::array::from_fn(|d| {
+                    let x = (i as u64)
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        .wrapping_add(seed + d as u64);
+                    (x % 10_000) as f64 / 997.0
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn round_trip_aos_soa_aos_is_lossless() {
+        let data = rows(100, 3);
+        let mut batch = VecBatch::<8>::with_capacity(data.len());
+        for (i, r) in data.iter().enumerate() {
+            batch.push(1000 + i as u64, r, i % 3 == 0);
+        }
+        assert_eq!(batch.len(), data.len());
+        for (i, r) in data.iter().enumerate() {
+            assert_eq!(&batch.row(i), r, "row {i}");
+            assert_eq!(batch.id(i), 1000 + i as u64);
+            assert_eq!(batch.label(i), i % 3 == 0);
+        }
+    }
+
+    /// The sizes the tiled loops must get right: empty, single, and every
+    /// tile boundary (tile−1, tile, tile+1) for both the column and the row
+    /// tiling.
+    fn boundary_sizes() -> Vec<usize> {
+        vec![
+            0,
+            1,
+            TILE_ROWS - 1,
+            TILE_ROWS,
+            TILE_ROWS + 1,
+            TILE_COLS - 1,
+            TILE_COLS,
+            TILE_COLS + 1,
+        ]
+    }
+
+    #[test]
+    fn distances_to_point_matches_scalar_at_tile_boundaries() {
+        let q = rows(1, 9)[0];
+        let mut out = Vec::new();
+        for n in boundary_sizes() {
+            let data = rows(n, 17);
+            let batch = VecBatch::<8>::from_rows(&data);
+            distances_to_point(&batch, &q, &mut out);
+            assert_eq!(out.len(), n);
+            for (i, r) in data.iter().enumerate() {
+                assert_eq!(
+                    out[i].to_bits(),
+                    squared_euclidean_fixed(r, &q).to_bits(),
+                    "row {i} of {n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn distances_block_matches_scalar_at_tile_boundaries() {
+        let mut out = Vec::new();
+        for m in boundary_sizes() {
+            for n in [0usize, 1, TILE_COLS - 1, TILE_COLS + 1] {
+                let qs = rows(m, 5);
+                let ps = rows(n, 23);
+                let queries = VecBatch::<8>::from_rows(&qs);
+                let points = VecBatch::<8>::from_rows(&ps);
+                distances_block(&queries, &points, &mut out);
+                assert_eq!(out.len(), m * n);
+                for (r, q) in qs.iter().enumerate() {
+                    for (c, p) in ps.iter().enumerate() {
+                        assert_eq!(
+                            out[r * n + c].to_bits(),
+                            squared_euclidean_fixed(q, p).to_bits(),
+                            "({r},{c}) of {m}x{n}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn assign_min_matches_scalar_at_tile_boundaries() {
+        let centers: Vec<[f64; 8]> = rows(13, 41);
+        let mut idx = Vec::new();
+        let mut d2 = Vec::new();
+        for n in boundary_sizes() {
+            let data = rows(n, 29);
+            let batch = VecBatch::<8>::from_rows(&data);
+            assign_min(&batch, &centers, &mut idx, &mut d2);
+            assert_eq!(idx.len(), n);
+            for (i, p) in data.iter().enumerate() {
+                // Reference: first strict minimum, like nearest_centroid.
+                let mut best = (0usize, f64::INFINITY);
+                for (ci, c) in centers.iter().enumerate() {
+                    let d = squared_euclidean_fixed(p, c);
+                    if d < best.1 {
+                        best = (ci, d);
+                    }
+                }
+                assert_eq!(idx[i] as usize, best.0, "row {i} of {n}");
+                assert_eq!(d2[i].to_bits(), best.1.to_bits(), "row {i} of {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn assign_min_without_centers_reports_infinity() {
+        let batch = VecBatch::<8>::from_rows(&rows(5, 1));
+        let (mut idx, mut d2) = (Vec::new(), Vec::new());
+        assign_min(&batch, &[], &mut idx, &mut d2);
+        assert_eq!(idx, vec![0; 5]);
+        assert!(d2.iter().all(|d| d.is_infinite()));
+    }
+
+    #[test]
+    fn split_off_and_chunk_rows_preserve_rows() {
+        let data = rows(10, 7);
+        let mut batch = VecBatch::<8>::from_rows(&data);
+        let tail = batch.split_off(6);
+        assert_eq!(batch.len(), 6);
+        assert_eq!(tail.len(), 4);
+        assert_eq!(tail.row(0), data[6]);
+        assert_eq!(tail.id(0), 6);
+
+        let whole = VecBatch::<8>::from_rows(&data);
+        let chunks = whole.chunk_rows(4);
+        assert_eq!(chunks.iter().map(VecBatch::len).sum::<usize>(), 10);
+        assert_eq!(chunks.len(), 3);
+        let mut i = 0;
+        for chunk in &chunks {
+            for r in 0..chunk.len() {
+                assert_eq!(chunk.row(r), data[i]);
+                assert_eq!(chunk.id(r), i as u64);
+                i += 1;
+            }
+        }
+    }
+
+    proptest! {
+        /// Every kernel is bit-identical to the scalar per-pair path on
+        /// arbitrary shapes — the contract the kNN total order rests on.
+        #[test]
+        fn kernels_are_bit_identical_to_scalar(
+            seed in 0u64..10_000,
+            n_pts in 0usize..600,
+            n_qs in 0usize..12,
+        ) {
+            use rand::rngs::StdRng;
+            use rand::{Rng, SeedableRng};
+            let mut rng = StdRng::seed_from_u64(seed);
+            let pts: Vec<[f64; 4]> = (0..n_pts)
+                .map(|_| std::array::from_fn(|_| rng.gen_range(-100.0..100.0)))
+                .collect();
+            let qs: Vec<[f64; 4]> = (0..n_qs)
+                .map(|_| std::array::from_fn(|_| rng.gen_range(-100.0..100.0)))
+                .collect();
+            let points = VecBatch::<4>::from_rows(&pts);
+            let queries = VecBatch::<4>::from_rows(&qs);
+            let mut out = Vec::new();
+            distances_block(&queries, &points, &mut out);
+            let mut row = Vec::new();
+            for (r, q) in qs.iter().enumerate() {
+                distances_to_point(&points, q, &mut row);
+                for (c, p) in pts.iter().enumerate() {
+                    let scalar = squared_euclidean_fixed(q, p);
+                    prop_assert_eq!(out[r * pts.len() + c].to_bits(), scalar.to_bits());
+                    prop_assert_eq!(row[c].to_bits(), scalar.to_bits());
+                }
+            }
+            let (mut idx, mut d2) = (Vec::new(), Vec::new());
+            assign_min(&points, &qs, &mut idx, &mut d2);
+            for (i, p) in pts.iter().enumerate() {
+                let mut best = (0usize, f64::INFINITY);
+                for (ci, c) in qs.iter().enumerate() {
+                    let d = squared_euclidean_fixed(p, c);
+                    if d < best.1 {
+                        best = (ci, d);
+                    }
+                }
+                prop_assert_eq!(idx[i] as usize, best.0);
+                prop_assert_eq!(d2[i].to_bits(), best.1.to_bits());
+            }
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Pinned end-to-end output digests.
+//!
+//! The batch SoA engine rewired every distance loop from k-means to
+//! classification; these digests pin the *externally observable* output of
+//! the seeded pipeline to the pre-refactor baseline, bit for bit. A digest
+//! change means a kernel reordered floating-point accumulation, a tie broke
+//! differently, or an RNG stream shifted — all of which are regressions
+//! here, never acceptable drift.
+
+use adr_model::{AdrReport, PairId};
+use adr_synth::{Dataset, SynthConfig};
+use dedup::{DedupConfig, DedupSystem};
+use mlcore::kmeans::KMeans;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sparklet::{stable_hash, Cluster};
+
+/// Digest of a full bootstrap + `detect_new` batch on a seeded corpus:
+/// every detection's pair, bit-exact score, and label, in output order.
+fn detect_new_digest() -> u64 {
+    let ds = Dataset::generate(&SynthConfig::small(300, 18, 77));
+    let cut = 280;
+    let historical: Vec<AdrReport> = ds.reports[..cut].to_vec();
+    let labelled: Vec<PairId> = ds
+        .duplicate_pairs
+        .iter()
+        .filter(|p| (p.hi as usize) < cut)
+        .copied()
+        .collect();
+    let cluster = Cluster::local(4);
+    let mut config = DedupConfig::default();
+    config.knn.b = 8;
+    config.bootstrap_negatives = 400;
+    let mut system = DedupSystem::new(cluster, config);
+    system.bootstrap(&historical, &labelled).expect("bootstrap");
+    let arriving: Vec<AdrReport> = ds.reports[cut..].to_vec();
+    let detections = system.detect_new(&arriving).expect("detect");
+    assert!(!detections.is_empty());
+    let records: Vec<(u64, u64, u64, bool)> = detections
+        .iter()
+        .map(|d| (d.pair.lo, d.pair.hi, d.score.to_bits(), d.is_duplicate))
+        .collect();
+    stable_hash(&records)
+}
+
+/// Digest of seeded k-means centroids and assignments (the Voronoi builder
+/// underneath `FastKnn::fit`).
+fn kmeans_digest() -> u64 {
+    let mut rng = StdRng::seed_from_u64(4242);
+    let data: Vec<[f64; 8]> = (0..3000)
+        .map(|_| std::array::from_fn(|_| rng.gen_range(0.0..1.0)))
+        .collect();
+    let model = KMeans::new(24, 7).fit(&data);
+    let centroid_bits: Vec<Vec<u64>> = model
+        .centroids
+        .iter()
+        .map(|c| c.iter().map(|x| x.to_bits()).collect())
+        .collect();
+    stable_hash(&(centroid_bits, model.assignments))
+}
+
+#[test]
+fn detect_new_output_is_bit_identical_to_pre_refactor_baseline() {
+    // Captured on the pre-SoA scalar implementation (PR 2 tree) — see the
+    // module docs for what a mismatch means.
+    assert_eq!(
+        detect_new_digest(),
+        11028548671881665013,
+        "detect_new output drifted"
+    );
+}
+
+#[test]
+fn kmeans_output_is_bit_identical_to_pre_refactor_baseline() {
+    assert_eq!(
+        kmeans_digest(),
+        13040773920722072953,
+        "k-means output drifted"
+    );
+}
