@@ -1,6 +1,7 @@
 //! One module per table/figure of §5, plus the design-choice ablations.
 
 pub mod ablations;
+pub mod chaos;
 pub mod fig10;
 pub mod fig11;
 pub mod fig5;
@@ -43,6 +44,7 @@ pub fn run_all(quick: bool) -> Vec<ExperimentResult> {
     out.extend(fig10::run(quick));
     out.extend(fig11::run(quick));
     out.extend(ablations::run(quick));
+    out.extend(chaos::run(quick));
     out
 }
 

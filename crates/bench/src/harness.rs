@@ -94,6 +94,7 @@ pub fn experiment_cluster_config(executors: usize, cores: usize) -> ClusterConfi
         cores_per_executor: cores,
         memory_per_executor: 32 << 30, // the paper's 32 GB executors
         max_task_attempts: 4,
+        speculation: false,
         fault: FaultConfig::disabled(),
         cost: paper_cost(),
     }

@@ -8,7 +8,7 @@
 use adr_model::{DistVec, PairId};
 use fastknn::LabeledPair;
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::{Rng, RngCore, SeedableRng};
 use std::collections::HashSet;
 
 /// Bounded labelled-pair store with feedback. Vectors are fixed-arity
@@ -33,6 +33,9 @@ pub struct PairStore {
     negative_ids: HashSet<PairId>,
     /// Maximum non-duplicate pairs retained.
     pub max_non_duplicates: usize,
+    /// Seed the reservoir RNG was created from (kept for snapshots: the
+    /// RNG state is `seed` advanced by `overflow_offers` draws).
+    seed: u64,
     rng: StdRng,
     /// Negatives offered after the reservoir filled.
     overflow_offers: u64,
@@ -47,6 +50,7 @@ impl PairStore {
             duplicate_ids: HashSet::new(),
             negative_ids: HashSet::new(),
             max_non_duplicates,
+            seed,
             rng: StdRng::seed_from_u64(seed),
             overflow_offers: 0,
         }
@@ -119,6 +123,111 @@ impl PairStore {
     /// Is this pair currently stored (under either label)?
     pub fn contains(&self, id: &PairId) -> bool {
         self.duplicate_ids.contains(id) || self.negative_ids.contains(id)
+    }
+
+    /// Current snapshot schema version (see [`PairStore::snapshot`]).
+    pub const SNAPSHOT_VERSION: u32 = 1;
+
+    /// Serialise the full store state to a schema-versioned text snapshot.
+    ///
+    /// The format is line-oriented and exact: distance components are
+    /// written as `f64::to_bits` hex so a round trip is bit-identical, and
+    /// the RNG is captured as `(seed, overflow_offers)` — the vendored
+    /// generator consumes exactly one draw per overflow offer, so
+    /// [`PairStore::restore`] reproduces its state by replaying that many
+    /// draws. A restored store therefore continues the reservoir stream
+    /// exactly where the original would have.
+    pub fn snapshot(&self) -> String {
+        let mut out =
+            String::with_capacity(64 + 32 * (self.duplicates.len() + self.non_duplicates.len()));
+        out.push_str(&format!("pairstore v{}\n", Self::SNAPSHOT_VERSION));
+        out.push_str(&format!("max_non_duplicates {}\n", self.max_non_duplicates));
+        out.push_str(&format!("seed {}\n", self.seed));
+        out.push_str(&format!("overflow_offers {}\n", self.overflow_offers));
+        for (section, pairs) in [
+            ("duplicates", &self.duplicates),
+            ("non_duplicates", &self.non_duplicates),
+        ] {
+            out.push_str(&format!("{section} {}\n", pairs.len()));
+            for (id, v) in pairs.iter() {
+                out.push_str(&format!("{} {}", id.lo, id.hi));
+                for x in v.iter() {
+                    out.push_str(&format!(" {:016x}", x.to_bits()));
+                }
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// Rebuild a store from a [`PairStore::snapshot`]. Returns a
+    /// descriptive error for unknown versions or malformed input.
+    pub fn restore(snapshot: &str) -> Result<Self, String> {
+        let mut lines = snapshot.lines();
+        let header = lines.next().ok_or("empty snapshot")?;
+        let version: u32 = header
+            .strip_prefix("pairstore v")
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| format!("bad snapshot header: {header:?}"))?;
+        if version != Self::SNAPSHOT_VERSION {
+            return Err(format!(
+                "unsupported snapshot version {version} (supported: {})",
+                Self::SNAPSHOT_VERSION
+            ));
+        }
+        fn field<'a>(lines: &mut std::str::Lines<'a>, name: &str) -> Result<&'a str, String> {
+            let line = lines.next().ok_or_else(|| format!("missing {name}"))?;
+            line.strip_prefix(name)
+                .map(str::trim)
+                .ok_or_else(|| format!("expected {name}, got {line:?}"))
+        }
+        let parse_u64 = |s: &str, name: &str| -> Result<u64, String> {
+            s.parse().map_err(|_| format!("bad {name}: {s:?}"))
+        };
+        let max_non_duplicates = parse_u64(
+            field(&mut lines, "max_non_duplicates")?,
+            "max_non_duplicates",
+        )? as usize;
+        let seed = parse_u64(field(&mut lines, "seed")?, "seed")?;
+        let overflow_offers = parse_u64(field(&mut lines, "overflow_offers")?, "overflow_offers")?;
+        let mut store = PairStore::new(max_non_duplicates, seed);
+        store.overflow_offers = overflow_offers;
+        for _ in 0..overflow_offers {
+            let _ = store.rng.next_u64();
+        }
+        for section in ["duplicates", "non_duplicates"] {
+            let count = parse_u64(field(&mut lines, section)?, section)? as usize;
+            for _ in 0..count {
+                let line = lines.next().ok_or_else(|| format!("truncated {section}"))?;
+                let mut parts = line.split_ascii_whitespace();
+                let lo = parse_u64(parts.next().ok_or("missing lo")?, "lo")?;
+                let hi = parse_u64(parts.next().ok_or("missing hi")?, "hi")?;
+                let mut v: DistVec = [0.0; adr_model::DETECTION_DIMS];
+                for (d, slot) in v.iter_mut().enumerate() {
+                    let word = parts
+                        .next()
+                        .ok_or_else(|| format!("missing component {d}"))?;
+                    let bits = u64::from_str_radix(word, 16)
+                        .map_err(|_| format!("bad component {d}: {word:?}"))?;
+                    *slot = f64::from_bits(bits);
+                }
+                if parts.next().is_some() {
+                    return Err(format!("trailing data on pair line: {line:?}"));
+                }
+                let id = PairId { lo, hi };
+                if section == "duplicates" {
+                    store.duplicates.push((id, v));
+                    store.duplicate_ids.insert(id);
+                } else {
+                    store.non_duplicates.push((id, v));
+                    store.negative_ids.insert(id);
+                }
+            }
+        }
+        if lines.next().is_some() {
+            return Err("trailing data after snapshot".into());
+        }
+        Ok(store)
     }
 }
 
@@ -237,6 +346,82 @@ mod tests {
                     .iter()
                     .any(|(i, _)| *i == pid(0, 2_000_000)),
             "an evicted negative must be forgotten"
+        );
+    }
+
+    #[test]
+    fn snapshot_round_trip_is_bit_identical_and_continues_the_stream() {
+        let mut store = PairStore::new(8, 99);
+        for i in 0..10u64 {
+            store.add(pid(i, i + 1_000), dv(0.1 * i as f64), true);
+        }
+        // Overflow the reservoir so the RNG state matters.
+        for i in 0..200u64 {
+            store.add(pid(i, i + 10_000), dv(0.3 + i as f64), false);
+        }
+        let snap = store.snapshot();
+        assert!(snap.starts_with("pairstore v1\n"), "versioned header");
+        let mut restored = PairStore::restore(&snap).expect("restore");
+        // Bit-identical state: a second snapshot reproduces the first.
+        assert_eq!(restored.snapshot(), snap);
+        assert_eq!(restored.duplicate_count(), store.duplicate_count());
+        assert_eq!(restored.non_duplicate_count(), store.non_duplicate_count());
+        assert_eq!(restored.non_duplicates, store.non_duplicates);
+        for (id, _) in &store.non_duplicates {
+            assert!(restored.contains(id));
+        }
+        // The restored RNG continues exactly where the original left off:
+        // feeding both stores the same further offers keeps them identical.
+        for i in 200..400u64 {
+            let p = pid(i, i + 10_000);
+            store.add(p, dv(i as f64), false);
+            restored.add(p, dv(i as f64), false);
+        }
+        assert_eq!(restored.non_duplicates, store.non_duplicates);
+        assert_eq!(restored.snapshot(), store.snapshot());
+    }
+
+    #[test]
+    fn snapshot_preserves_non_finite_and_negative_components() {
+        let mut store = PairStore::new(4, 1);
+        let mut v = dv(0.0);
+        v[0] = -0.0;
+        v[1] = f64::INFINITY;
+        v[2] = 1.0e-300;
+        store.add(pid(1, 2), v, false);
+        let restored = PairStore::restore(&store.snapshot()).unwrap();
+        let (_, rv) = restored.non_duplicates[0];
+        assert_eq!(rv[0].to_bits(), (-0.0f64).to_bits(), "-0.0 survives");
+        assert_eq!(rv[1], f64::INFINITY);
+        assert_eq!(rv[2], 1.0e-300);
+    }
+
+    #[test]
+    fn restore_rejects_bad_snapshots() {
+        assert!(PairStore::restore("").is_err());
+        assert!(
+            PairStore::restore("pairstore v99\n").is_err(),
+            "unknown version"
+        );
+        let good = PairStore::new(4, 1).snapshot();
+        let truncated = &good[..good.len() - 1];
+        // Dropping the final newline still parses (lines() semantics), but
+        // cutting a whole section must not.
+        let _ = PairStore::restore(truncated);
+        let mut store = PairStore::new(4, 1);
+        store.add(pid(1, 2), dv(0.5), true);
+        let snap = store.snapshot();
+        let cut = snap
+            .rsplit_once('\n')
+            .unwrap()
+            .0
+            .rsplit_once('\n')
+            .unwrap()
+            .0;
+        assert!(PairStore::restore(cut).is_err(), "missing pair line");
+        assert!(
+            PairStore::restore(&format!("{snap}extra\n")).is_err(),
+            "trailing garbage"
         );
     }
 

@@ -1,7 +1,17 @@
-//! Cluster handle, worker pool and the retrying task scheduler.
+//! Cluster handle, worker pool and the wave-based, failure-aware scheduler.
+//!
+//! Scheduling is driver-authoritative: workers run exactly one task attempt
+//! and report back; the driver collects a whole *wave* of outcomes, processes
+//! them in task order, and only then decides retries, lineage recovery,
+//! rescheduling of attempts lost with a killed executor, and speculative
+//! clones. Pushing every decision to a deterministic point on the driver is
+//! what makes a run with a fault schedule reproduce the exact same failure
+//! and recovery history — and, for deterministic user code, the exact same
+//! output — as a fault-free run.
 
-use crate::config::ClusterConfig;
+use crate::config::{ClusterConfig, KillWhen};
 use crate::error::{Result, SparkletError};
+use crate::executor::ExecutorRegistry;
 use crate::hash::stable_hash;
 use crate::journal::{EventKind, JobReport, RunJournal};
 use crate::metrics::ClusterMetrics;
@@ -12,11 +22,21 @@ use crate::storage::BlockManager;
 use crate::task::TaskContext;
 use crate::Data;
 use crossbeam::channel::{unbounded, Sender};
+use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 use std::thread;
 
 type Job = Box<dyn FnOnce(usize) + Send>;
+
+/// A lineage-recovery handler for one shuffle: re-run the given map tasks of
+/// the parent stage and re-register their outputs. Owned (strongly) by the
+/// shuffle's RDD node; the cluster keeps only a [`Weak`] reference so the
+/// registry cannot keep lineage graphs (and through them the cluster itself)
+/// alive — once the node is dropped, the shuffle is simply unrecoverable and
+/// readers exhaust their retries.
+pub(crate) type RecoveryFn = dyn Fn(&Cluster, &[usize]) -> Result<()> + Send + Sync;
 
 /// Handle to an embedded sparklet cluster.
 ///
@@ -34,9 +54,15 @@ pub(crate) struct ClusterInner {
     pub blocks: BlockManager,
     pub clock: VirtualClock,
     pub journal: RunJournal,
+    pub executors: ExecutorRegistry,
     sender: Sender<Job>,
     next_rdd_id: AtomicU64,
     next_shuffle_id: AtomicU64,
+    next_job_id: AtomicU64,
+    /// One flag per entry of `config.fault.executor_kills`: has it fired?
+    fired_kills: Mutex<Vec<bool>>,
+    /// Shuffle id → (map-task count, recovery handler). See [`RecoveryFn`].
+    shuffle_recovery: Mutex<HashMap<u64, (usize, Weak<RecoveryFn>)>>,
 }
 
 impl Cluster {
@@ -44,8 +70,8 @@ impl Cluster {
     pub fn new(config: ClusterConfig) -> Self {
         let metrics = ClusterMetrics::new();
         let journal = RunJournal::new();
-        let storage_capacity = ((config.num_executors * config.memory_per_executor) as f64
-            * BlockManager::STORAGE_FRACTION) as usize;
+        let executor_storage =
+            (config.memory_per_executor as f64 * BlockManager::STORAGE_FRACTION) as usize;
         let (sender, receiver) = unbounded::<Job>();
         for worker_id in 0..config.worker_threads() {
             let rx = receiver.clone();
@@ -62,12 +88,17 @@ impl Cluster {
             inner: Arc::new(ClusterInner {
                 metrics: metrics.clone(),
                 shuffles: ShuffleService::new(metrics.clone()).with_journal(journal.clone()),
-                blocks: BlockManager::new(storage_capacity, metrics).with_journal(journal.clone()),
+                blocks: BlockManager::new(executor_storage, config.num_executors, metrics)
+                    .with_journal(journal.clone()),
                 clock: VirtualClock::new(),
                 journal,
+                executors: ExecutorRegistry::new(config.num_executors),
                 sender,
                 next_rdd_id: AtomicU64::new(0),
                 next_shuffle_id: AtomicU64::new(0),
+                next_job_id: AtomicU64::new(0),
+                fired_kills: Mutex::new(vec![false; config.fault.executor_kills.len()]),
+                shuffle_recovery: Mutex::new(HashMap::new()),
                 config,
             }),
         }
@@ -104,6 +135,11 @@ impl Cluster {
         &self.inner.shuffles
     }
 
+    /// The executor registry: liveness, incarnations and blacklist state.
+    pub fn executors(&self) -> &ExecutorRegistry {
+        &self.inner.executors
+    }
+
     /// The run journal: every stage/task/cache/shuffle event of this
     /// cluster's lifetime (bounded; see [`RunJournal::MAX_EVENTS`]).
     pub fn journal(&self) -> &RunJournal {
@@ -126,14 +162,21 @@ impl Cluster {
         )
     }
 
-    /// Reset metrics, virtual clock, cache and shuffle state — used between
-    /// experiment configurations so measurements do not bleed.
+    /// Reset metrics, virtual clock, cache, shuffle and failure-domain state
+    /// (executor health, fired kill triggers, job ids) — used between
+    /// experiment configurations so measurements do not bleed. Semantically a
+    /// fresh cluster on the same worker pool.
     pub fn reset_run_state(&self) {
         self.inner.metrics.reset();
         self.inner.clock.reset();
         self.inner.blocks.clear();
         self.inner.shuffles.clear();
         self.inner.journal.clear();
+        self.inner.executors.reset();
+        self.inner.next_job_id.store(0, Ordering::Relaxed);
+        for fired in self.inner.fired_kills.lock().iter_mut() {
+            *fired = false;
+        }
     }
 
     pub(crate) fn new_rdd_id(&self) -> u64 {
@@ -144,14 +187,129 @@ impl Cluster {
         self.inner.next_shuffle_id.fetch_add(1, Ordering::Relaxed)
     }
 
+    /// Remember how to rebuild `shuffle_id`'s map outputs from lineage. The
+    /// registry holds the handler weakly; see [`RecoveryFn`].
+    pub(crate) fn register_shuffle_recovery(
+        &self,
+        shuffle_id: u64,
+        total_maps: usize,
+        handler: &Arc<RecoveryFn>,
+    ) {
+        self.inner
+            .shuffle_recovery
+            .lock()
+            .insert(shuffle_id, (total_maps, Arc::downgrade(handler)));
+    }
+
+    /// Rebuild the missing map outputs of `shuffle_id` from lineage, if a
+    /// recovery handler is registered and still alive. Returns whether the
+    /// shuffle is complete again afterwards; on `false` the readers' retries
+    /// exhaust naturally (there is nothing else to do).
+    pub(crate) fn recover_shuffle(&self, shuffle_id: u64) -> bool {
+        if self.inner.shuffles.is_complete(shuffle_id) {
+            return true;
+        }
+        let entry = self.inner.shuffle_recovery.lock().get(&shuffle_id).cloned();
+        let Some((total_maps, weak)) = entry else {
+            return false;
+        };
+        let Some(handler) = weak.upgrade() else {
+            return false;
+        };
+        let missing = self
+            .inner
+            .shuffles
+            .missing_maps(shuffle_id)
+            .unwrap_or_else(|| (0..total_maps).collect());
+        if missing.is_empty() {
+            return self.inner.shuffles.mark_complete(shuffle_id);
+        }
+        match handler(self, &missing) {
+            Ok(()) => {
+                for &m in &missing {
+                    self.inner.journal.record(EventKind::Recomputed {
+                        shuffle: shuffle_id,
+                        map_task: m,
+                    });
+                }
+                self.inner
+                    .metrics
+                    .recomputed_tasks
+                    .add(missing.len() as u64);
+                self.inner.shuffles.mark_complete(shuffle_id)
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Kill `executor` now: evict its cached blocks, invalidate its shuffle
+    /// map outputs, and either restart it with a new incarnation or
+    /// blacklist it (see [`crate::FaultConfig::max_executor_failures`]).
+    /// No-op if the executor is unknown or already blacklisted.
+    pub(crate) fn kill_executor(&self, executor: usize) {
+        let max = self.inner.config.fault.max_executor_failures;
+        let Some(outcome) = self.inner.executors.kill(executor, max) else {
+            return;
+        };
+        let (blocks_lost, _bytes) = self.inner.blocks.evict_executor(executor);
+        let map_outputs_lost = self.inner.shuffles.invalidate_executor(executor);
+        self.inner.metrics.executors_lost.inc();
+        if outcome.blacklisted {
+            self.inner.metrics.executors_blacklisted.inc();
+        }
+        self.inner.journal.record(EventKind::ExecutorLost {
+            executor,
+            incarnation: outcome.incarnation_lost,
+            blacklisted: outcome.blacklisted,
+            blocks_lost,
+            map_outputs_lost,
+        });
+    }
+
+    /// Fire any scheduled kills due at this point: `AtVirtualTime` triggers
+    /// at stage start (`completions == 0`) once the virtual clock passed
+    /// their threshold, `InStage` triggers when the named stage has seen
+    /// exactly `after_completions` completed tasks.
+    fn process_kill_triggers(&self, stage: &str, completions: usize) {
+        if self.inner.config.fault.executor_kills.is_empty() {
+            return;
+        }
+        let mut to_fire = Vec::new();
+        {
+            let mut fired = self.inner.fired_kills.lock();
+            for (i, kill) in self.inner.config.fault.executor_kills.iter().enumerate() {
+                if fired[i] {
+                    continue;
+                }
+                let due = match &kill.when {
+                    KillWhen::AtVirtualTime { us } => {
+                        completions == 0 && self.inner.journal.now_us() >= *us
+                    }
+                    KillWhen::InStage {
+                        name,
+                        after_completions,
+                    } => name == stage && *after_completions == completions,
+                };
+                if due {
+                    fired[i] = true;
+                    to_fire.push(kill.executor);
+                }
+            }
+        }
+        for executor in to_fire {
+            self.kill_executor(executor);
+        }
+    }
+
     /// Distribute `data` over `num_partitions` as an [`Rdd`].
     pub fn parallelize<T: Data>(&self, data: Vec<T>, num_partitions: usize) -> Rdd<T> {
         Rdd::from_collection(self.clone(), data, num_partitions.max(1))
     }
 
     /// Run one stage: `f(partition_index, ctx)` for each of `num_tasks`
-    /// partitions, with deterministic fault injection, per-task retries and
-    /// virtual-cost recording. Returns the per-partition outputs in order.
+    /// partitions, with deterministic fault injection, per-task retries,
+    /// executor-failure recovery and virtual-cost recording. Returns the
+    /// per-partition outputs in order.
     ///
     /// Must be called from driver code (never from inside a task) — shuffle
     /// dependencies are materialised driver-side before dependent stages run,
@@ -161,20 +319,185 @@ impl Cluster {
         T: Data,
         F: Fn(usize, &TaskContext) -> Result<Vec<T>> + Send + Sync + 'static,
     {
+        let job_id = self.inner.next_job_id.fetch_add(1, Ordering::Relaxed);
+        let max_attempts = self.inner.config.max_task_attempts.max(1);
+        let penalty = self.inner.config.cost.retry_penalty_us;
         self.inner.metrics.jobs_submitted.inc();
         self.inner.journal.record(EventKind::StageStarted {
             stage: stage.to_string(),
             tasks: num_tasks,
         });
         let f = Arc::new(f);
-        let (tx, rx) = unbounded::<TaskOutcome<T>>();
-        for task in 0..num_tasks {
+
+        let mut results: Vec<Option<Vec<T>>> = (0..num_tasks).map(|_| None).collect();
+        let mut exhausted: Vec<Option<SparkletError>> = (0..num_tasks).map(|_| None).collect();
+        let mut attempts_used = vec![0u32; num_tasks];
+        let mut task_us = vec![0u64; num_tasks];
+        let mut shuffle_bytes = 0u64;
+        let mut retries = 0u64;
+        let mut completions = 0usize;
+
+        self.process_kill_triggers(stage, completions);
+
+        // Wave loop: submit all runnable attempts, collect every outcome,
+        // then decide — in task order — what each outcome means. Recovery
+        // and retries feed the next wave.
+        let mut pending: Vec<(usize, u32)> = (0..num_tasks).map(|t| (t, 0)).collect();
+        while !pending.is_empty() {
+            let mut wave = Vec::with_capacity(pending.len());
+            for &(task, attempt) in &pending {
+                match self.inner.executors.place(task, attempt) {
+                    Some((executor, incarnation)) => {
+                        wave.push((task, attempt, executor, incarnation))
+                    }
+                    None => {
+                        self.finish_stage(stage, task_us, shuffle_bytes, retries);
+                        return Err(SparkletError::NoHealthyExecutors {
+                            stage: stage.to_string(),
+                        });
+                    }
+                }
+            }
+            pending.clear();
+            let mut outcomes = self.run_wave(stage, job_id, &wave, &f);
+            outcomes.sort_by_key(|o| (o.task, o.attempt));
+            let mut failed_shuffles: Vec<u64> = Vec::new();
+            for outcome in outcomes {
+                // An attempt placed on an incarnation that has since died
+                // is lost, not failed: its result is discarded and the task
+                // rescheduled on a survivor with the same attempt number.
+                if !self
+                    .inner
+                    .executors
+                    .is_current(outcome.executor, outcome.incarnation)
+                {
+                    self.inner.metrics.tasks_lost.inc();
+                    self.inner.journal.record(EventKind::TaskLost {
+                        stage: stage.to_string(),
+                        task: outcome.task,
+                        attempt: outcome.attempt,
+                        executor: outcome.executor,
+                    });
+                    task_us[outcome.task] += outcome.virtual_us;
+                    shuffle_bytes += outcome.shuffle_bytes;
+                    pending.push((outcome.task, outcome.attempt));
+                    continue;
+                }
+                attempts_used[outcome.task] = attempts_used[outcome.task].max(outcome.attempt + 1);
+                task_us[outcome.task] += outcome.virtual_us;
+                shuffle_bytes += outcome.shuffle_bytes;
+                match outcome.result {
+                    Ok(data) => {
+                        self.inner.metrics.tasks_succeeded.inc();
+                        self.inner.journal.record(EventKind::TaskSucceeded {
+                            stage: stage.to_string(),
+                            task: outcome.task,
+                            attempt: outcome.attempt,
+                            virtual_us: outcome.virtual_us,
+                            records_out: data.len() as u64,
+                        });
+                        results[outcome.task] = Some(data);
+                        completions += 1;
+                        self.process_kill_triggers(stage, completions);
+                    }
+                    Err(e) => {
+                        self.inner.metrics.tasks_failed.inc();
+                        if let SparkletError::FetchFailed { shuffle, bucket } = &e {
+                            self.inner.metrics.fetch_failures.inc();
+                            self.inner.journal.record(EventKind::FetchFailed {
+                                stage: stage.to_string(),
+                                task: outcome.task,
+                                shuffle: *shuffle,
+                                bucket: *bucket,
+                            });
+                            failed_shuffles.push(*shuffle);
+                        }
+                        let will_retry = outcome.attempt + 1 < max_attempts;
+                        self.inner.journal.record(EventKind::TaskFailed {
+                            stage: stage.to_string(),
+                            task: outcome.task,
+                            attempt: outcome.attempt,
+                            virtual_us: outcome.virtual_us,
+                            reason: e.to_string(),
+                            will_retry,
+                        });
+                        retries += 1;
+                        if will_retry {
+                            // The reschedule delay is only paid when a retry
+                            // actually follows; a final failed attempt ends
+                            // the task there and then.
+                            task_us[outcome.task] += penalty;
+                            pending.push((outcome.task, outcome.attempt + 1));
+                        } else {
+                            exhausted[outcome.task] = Some(e);
+                        }
+                    }
+                }
+            }
+            // Lineage recovery: rebuild every shuffle that failed a fetch
+            // this wave before its readers retry in the next one.
+            failed_shuffles.sort_unstable();
+            failed_shuffles.dedup();
+            for shuffle_id in failed_shuffles {
+                self.recover_shuffle(shuffle_id);
+            }
+        }
+
+        let first_error = exhausted
+            .iter_mut()
+            .enumerate()
+            .find_map(|(task, e)| e.take().map(|e| (task, e)));
+        if let Some((task, e)) = first_error {
+            self.finish_stage(stage, task_us, shuffle_bytes, retries);
+            return Err(SparkletError::TaskFailed {
+                stage: stage.to_string(),
+                task,
+                attempts: attempts_used[task],
+                reason: e.to_string(),
+            });
+        }
+
+        if self.inner.config.speculation && num_tasks >= 2 {
+            self.speculate(stage, job_id, &attempts_used, &mut task_us, &f);
+        }
+
+        self.finish_stage(stage, task_us, shuffle_bytes, retries);
+        Ok(results
+            .into_iter()
+            .map(|r| r.expect("missing task result"))
+            .collect())
+    }
+
+    /// Submit one wave of placed attempts to the worker pool and collect
+    /// every outcome (no decisions are made here).
+    fn run_wave<T, F>(
+        &self,
+        stage: &str,
+        job_id: u64,
+        wave: &[(usize, u32, usize, u32)],
+        f: &Arc<F>,
+    ) -> Vec<AttemptOutcome<T>>
+    where
+        T: Data,
+        F: Fn(usize, &TaskContext) -> Result<Vec<T>> + Send + Sync + 'static,
+    {
+        let (tx, rx) = unbounded::<AttemptOutcome<T>>();
+        for &(task, attempt, executor, incarnation) in wave {
             let f = f.clone();
             let tx = tx.clone();
             let inner = self.inner.clone();
             let stage_name = stage.to_string();
-            let job: Job = Box::new(move |worker_id| {
-                let outcome = run_task_with_retries(&inner, &stage_name, task, worker_id, &*f);
+            let job: Job = Box::new(move |_worker_id| {
+                let outcome = run_one_attempt(
+                    &inner,
+                    &stage_name,
+                    job_id,
+                    task,
+                    attempt,
+                    executor,
+                    incarnation,
+                    &*f,
+                );
                 let _ = tx.send(outcome);
             });
             self.inner
@@ -183,26 +506,73 @@ impl Cluster {
                 .expect("worker pool unavailable");
         }
         drop(tx);
+        (0..wave.len())
+            .map(|_| rx.recv().expect("task result channel closed early"))
+            .collect()
+    }
 
-        let mut results: Vec<Option<Vec<T>>> = (0..num_tasks).map(|_| None).collect();
-        let mut task_us = vec![0u64; num_tasks];
-        let mut shuffle_bytes = 0u64;
-        let mut retries = 0u64;
-        let mut first_error: Option<SparkletError> = None;
-        for _ in 0..num_tasks {
-            let outcome = rx.recv().expect("task result channel closed early");
-            task_us[outcome.task] = outcome.virtual_us;
-            shuffle_bytes += outcome.shuffle_bytes;
-            retries += outcome.retries;
-            match outcome.result {
-                Ok(data) => results[outcome.task] = Some(data),
-                Err(e) => {
-                    if first_error.is_none() {
-                        first_error = Some(e);
-                    }
+    /// Speculative execution: after a stage's regular attempts succeed, run
+    /// one clean clone of every task slower than twice the stage median on a
+    /// rotated executor. A clone wins only if it is strictly cheaper than
+    /// the original's accumulated cost; losers are discarded (shuffle writes
+    /// are keep-first, so a losing clone cannot alter state). Speculative
+    /// attempts are tracked by the `speculative_*` counters only — they
+    /// never perturb `tasks_succeeded` / `tasks_failed`.
+    fn speculate<T, F>(
+        &self,
+        stage: &str,
+        job_id: u64,
+        attempts_used: &[u32],
+        task_us: &mut [u64],
+        f: &Arc<F>,
+    ) where
+        T: Data,
+        F: Fn(usize, &TaskContext) -> Result<Vec<T>> + Send + Sync + 'static,
+    {
+        let mut sorted = task_us.to_vec();
+        sorted.sort_unstable();
+        let median = sorted[(sorted.len() - 1) / 2];
+        if median == 0 {
+            return;
+        }
+        let mut wave = Vec::new();
+        for (task, &us) in task_us.iter().enumerate() {
+            if us > 2 * median {
+                if let Some((executor, incarnation)) =
+                    self.inner.executors.place(task, attempts_used[task])
+                {
+                    self.inner.metrics.speculative_launched.inc();
+                    wave.push((task, attempts_used[task], executor, incarnation));
                 }
             }
         }
+        if wave.is_empty() {
+            return;
+        }
+        let mut outcomes = self.run_wave(stage, job_id, &wave, f);
+        outcomes.sort_by_key(|o| (o.task, o.attempt));
+        for outcome in outcomes {
+            let won = outcome.result.is_ok()
+                && self
+                    .inner
+                    .executors
+                    .is_current(outcome.executor, outcome.incarnation)
+                && outcome.virtual_us < task_us[outcome.task];
+            if won {
+                self.inner.metrics.speculative_wins.inc();
+                task_us[outcome.task] = outcome.virtual_us;
+            }
+            self.inner.journal.record(EventKind::Speculative {
+                stage: stage.to_string(),
+                task: outcome.task,
+                won,
+            });
+        }
+    }
+
+    /// Close a stage out: record its cost, advance the journal's virtual
+    /// stamp and journal the stage end.
+    fn finish_stage(&self, stage: &str, task_us: Vec<u64>, shuffle_bytes: u64, retries: u64) {
         let stage_work: u64 = task_us.iter().sum();
         self.inner.clock.record_stage(StageRecord {
             name: stage.to_string(),
@@ -210,8 +580,6 @@ impl Cluster {
             shuffle_bytes,
             retries,
         });
-        // Advance the journal's virtual stamp so events of later stages are
-        // timestamped after this stage's work, then close the stage out.
         self.inner.journal.advance(stage_work);
         self.inner.journal.record(EventKind::StageFinished {
             stage: stage.to_string(),
@@ -219,121 +587,77 @@ impl Cluster {
             shuffle_bytes,
             retries,
         });
-        if let Some(e) = first_error {
-            return Err(e);
-        }
-        Ok(results
-            .into_iter()
-            .map(|r| r.expect("missing task result"))
-            .collect())
     }
 }
 
-struct TaskOutcome<T> {
+struct AttemptOutcome<T> {
     task: usize,
+    attempt: u32,
+    executor: usize,
+    incarnation: u32,
     result: Result<Vec<T>>,
     virtual_us: u64,
     shuffle_bytes: u64,
-    retries: u64,
 }
 
-fn run_task_with_retries<T: Data>(
+/// Worker-side body: run exactly one attempt and report what happened. All
+/// retry/recovery decisions belong to the driver.
+#[allow(clippy::too_many_arguments)]
+fn run_one_attempt<T: Data>(
     inner: &ClusterInner,
     stage: &str,
+    job_id: u64,
     task: usize,
-    worker_id: usize,
+    attempt: u32,
+    executor: usize,
+    incarnation: u32,
     f: &(dyn Fn(usize, &TaskContext) -> Result<Vec<T>> + Send + Sync),
-) -> TaskOutcome<T> {
-    let max_attempts = inner.config.max_task_attempts.max(1);
-    let executor = worker_id % inner.config.num_executors.max(1);
-    let mut total_us = 0u64;
-    let mut total_shuffle = 0u64;
-    let mut retries = 0u64;
-    let mut last_err = SparkletError::User("task never ran".into());
-    for attempt in 0..max_attempts {
-        inner.metrics.tasks_launched.inc();
-        inner.journal.record(EventKind::TaskLaunched {
-            stage: stage.to_string(),
-            task,
-            attempt,
-            executor,
-        });
-        let ctx = TaskContext::new(
-            stage,
-            task,
-            attempt,
-            executor,
-            inner.metrics.clone(),
-            inner.config.cost,
-            inner.config.memory_per_executor,
-        );
-        let result = {
-            let _guard = ctx.install();
-            if fault_fires(&inner.config, stage, task, attempt) {
-                Err(SparkletError::InjectedFault)
-            } else {
-                f(task, &ctx)
-            }
-        };
-        match result {
-            Ok(data) => {
-                ctx.add_records_out(data.len() as u64);
-                inner.metrics.tasks_succeeded.inc();
-                inner.journal.record(EventKind::TaskSucceeded {
-                    stage: stage.to_string(),
-                    task,
-                    attempt,
-                    virtual_us: ctx.attempt_cost_us(),
-                    records_out: data.len() as u64,
-                });
-                total_us += ctx.attempt_cost_us();
-                total_shuffle += ctx_shuffle_bytes(&ctx);
-                return TaskOutcome {
-                    task,
-                    result: Ok(data),
-                    virtual_us: total_us,
-                    shuffle_bytes: total_shuffle,
-                    retries,
-                };
-            }
-            Err(e) => {
-                inner.metrics.tasks_failed.inc();
-                inner.journal.record(EventKind::TaskFailed {
-                    stage: stage.to_string(),
-                    task,
-                    attempt,
-                    virtual_us: ctx.attempt_cost_us(),
-                    reason: e.to_string(),
-                    will_retry: attempt + 1 < max_attempts,
-                });
-                retries += 1;
-                total_us += ctx.attempt_cost_us() + inner.config.cost.retry_penalty_us;
-                total_shuffle += ctx_shuffle_bytes(&ctx);
-                last_err = e;
-            }
-        }
-    }
-    TaskOutcome {
+) -> AttemptOutcome<T> {
+    inner.metrics.tasks_launched.inc();
+    inner.journal.record(EventKind::TaskLaunched {
+        stage: stage.to_string(),
         task,
-        result: Err(SparkletError::TaskFailed {
-            stage: stage.to_string(),
-            task,
-            attempts: max_attempts,
-            reason: last_err.to_string(),
-        }),
-        virtual_us: total_us,
-        shuffle_bytes: total_shuffle,
-        retries,
+        attempt,
+        executor,
+    });
+    let ctx = TaskContext::new(
+        stage,
+        task,
+        attempt,
+        executor,
+        inner.metrics.clone(),
+        inner.config.cost,
+        inner.config.memory_per_executor,
+    );
+    let result = {
+        let _guard = ctx.install();
+        if fault_fires(&inner.config, job_id, stage, task, attempt) {
+            Err(SparkletError::InjectedFault)
+        } else {
+            f(task, &ctx)
+        }
+    };
+    if let Ok(data) = &result {
+        ctx.add_records_out(data.len() as u64);
+    }
+    AttemptOutcome {
+        task,
+        attempt,
+        executor,
+        incarnation,
+        virtual_us: ctx.attempt_cost_us(),
+        shuffle_bytes: ctx.raw_shuffle_bytes(),
+        result,
     }
 }
 
-fn ctx_shuffle_bytes(ctx: &TaskContext) -> u64 {
-    // attempt_cost_us already includes shuffle time; here we only need the
-    // raw byte count for the stage record's cross-network transfer term.
-    ctx.raw_shuffle_bytes()
-}
-
-fn fault_fires(config: &ClusterConfig, stage: &str, task: usize, attempt: u32) -> bool {
+fn fault_fires(
+    config: &ClusterConfig,
+    job_id: u64,
+    stage: &str,
+    task: usize,
+    attempt: u32,
+) -> bool {
     let prob = config.fault.task_failure_prob;
     if prob <= 0.0 {
         return false;
@@ -343,7 +667,9 @@ fn fault_fires(config: &ClusterConfig, stage: &str, task: usize, attempt: u32) -
     }
     // Keyed SipHash owned by the crate: the fault pattern for a given seed is
     // part of recorded experiment outputs and must survive toolchain bumps.
-    let h = stable_hash(&(stage, task, attempt, config.fault.seed));
+    // The job id is mixed in so two jobs running an identically named stage
+    // (e.g. repeated actions on one RDD) draw independent fault patterns.
+    let h = stable_hash(&(job_id, stage, task, attempt, config.fault.seed));
     let x = h as f64 / u64::MAX as f64;
     x < prob
 }
@@ -445,6 +771,24 @@ mod tests {
     }
 
     #[test]
+    fn retry_penalty_is_not_charged_on_the_final_failed_attempt() {
+        let mut cfg = ClusterConfig::local(1);
+        cfg.fault = FaultConfig::with_probability(1.0, 1);
+        cfg.max_task_attempts = 2;
+        let overhead = cfg.cost.task_launch_overhead_us;
+        let penalty = cfg.cost.retry_penalty_us;
+        let c = Cluster::new(cfg);
+        let _ = c
+            .run_job::<u8, _>("doomed", 1, |_, _| Ok(vec![]))
+            .unwrap_err();
+        let stages = c.clock().stages();
+        assert_eq!(stages.len(), 1);
+        // Two wasted attempts, but only the first is followed by a retry —
+        // exactly one reschedule penalty is paid.
+        assert_eq!(stages[0].task_us[0], 2 * overhead + penalty);
+    }
+
+    #[test]
     fn reset_run_state_clears_everything() {
         let c = Cluster::local(2);
         c.run_job("x", 2, |_, ctx| {
@@ -462,9 +806,230 @@ mod tests {
     fn fault_injection_is_deterministic() {
         let mut cfg = ClusterConfig::local(1);
         cfg.fault = FaultConfig::with_probability(0.5, 42);
-        let a: Vec<bool> = (0..64).map(|t| fault_fires(&cfg, "s", t, 0)).collect();
-        let b: Vec<bool> = (0..64).map(|t| fault_fires(&cfg, "s", t, 0)).collect();
+        let a: Vec<bool> = (0..64).map(|t| fault_fires(&cfg, 0, "s", t, 0)).collect();
+        let b: Vec<bool> = (0..64).map(|t| fault_fires(&cfg, 0, "s", t, 0)).collect();
         assert_eq!(a, b);
         assert!(a.iter().any(|&x| x) && a.iter().any(|&x| !x));
+    }
+
+    #[test]
+    fn fault_pattern_mixes_the_job_id() {
+        let mut cfg = ClusterConfig::local(1);
+        cfg.fault = FaultConfig::with_probability(0.5, 42);
+        let job0: Vec<bool> = (0..64).map(|t| fault_fires(&cfg, 0, "s", t, 0)).collect();
+        let job1: Vec<bool> = (0..64).map(|t| fault_fires(&cfg, 1, "s", t, 0)).collect();
+        assert_ne!(
+            job0, job1,
+            "two jobs running the same stage name must draw independent faults"
+        );
+    }
+
+    #[test]
+    fn fault_pattern_is_pinned() {
+        // Golden: the (job, stage, task, attempt, seed) hash is part of
+        // recorded experiment outputs; this fails if the mixing changes.
+        let mut cfg = ClusterConfig::local(1);
+        cfg.fault = FaultConfig::with_probability(0.25, 1337);
+        let fires: u64 = (0..256)
+            .map(|t| fault_fires(&cfg, 3, "golden", t, 1) as u64)
+            .sum();
+        let mut first_16 = [false; 16];
+        for (t, slot) in first_16.iter_mut().enumerate() {
+            *slot = fault_fires(&cfg, 3, "golden", t, 1);
+        }
+        assert_eq!((fires, first_16), PINNED_FAULT_PATTERN);
+    }
+
+    /// Captured from a reference run; see `fault_pattern_is_pinned`.
+    const PINNED_FAULT_PATTERN: (u64, [bool; 16]) = (
+        73,
+        [
+            false, false, false, false, true, false, true, false, false, false, false, true, true,
+            false, false, false,
+        ],
+    );
+
+    #[test]
+    fn kill_mid_stage_reschedules_lost_tasks_on_survivors() {
+        let mut cfg = ClusterConfig::local(2);
+        cfg.fault = FaultConfig::disabled().kill_in_stage(0, "work", 1);
+        let c = Cluster::new(cfg);
+        let out = c.run_job("work", 4, |i, _| Ok(vec![i as u32])).unwrap();
+        assert_eq!(out, vec![vec![0], vec![1], vec![2], vec![3]]);
+        // Wave 1 places tasks 0,2 on executor 0 and 1,3 on executor 1. The
+        // kill fires after task 0's completion is processed, so task 2's
+        // result (old incarnation) is discarded and rescheduled.
+        assert_eq!(c.metrics().executors_lost.get(), 1);
+        assert_eq!(c.metrics().executors_blacklisted.get(), 0);
+        assert_eq!(c.metrics().tasks_lost.get(), 1);
+        assert_eq!(c.metrics().tasks_succeeded.get(), 4);
+        assert_eq!(c.metrics().tasks_failed.get(), 0, "lost is not failed");
+        assert_eq!(c.executors().alive_count(), 2, "restarted, not blacklisted");
+    }
+
+    #[test]
+    fn kill_evicts_blocks_and_invalidates_shuffle_outputs() {
+        let c = Cluster::local(2);
+        c.blocks().put((9, 0), Arc::new(vec![1u8, 2, 3]), 3, 0);
+        c.shuffles()
+            .write_map_output(4, 0, 1, 1, 0, vec![vec![5u8]], 1);
+        c.shuffles().mark_complete(4);
+        c.kill_executor(0);
+        assert!(c.blocks().get::<u8>((9, 0)).is_none());
+        assert!(!c.shuffles().is_complete(4));
+        assert_eq!(c.metrics().executors_lost.get(), 1);
+        let tags: Vec<&str> = c.journal().events().iter().map(|e| e.kind.tag()).collect();
+        assert!(tags.contains(&"executor_lost"));
+    }
+
+    #[test]
+    fn blacklisting_every_executor_fails_the_job_cleanly() {
+        let mut cfg = ClusterConfig::local(1);
+        cfg.fault = FaultConfig::disabled().kill_in_stage(0, "doomed", 0);
+        cfg.fault.max_executor_failures = 1;
+        let c = Cluster::new(cfg);
+        let err = c
+            .run_job::<u8, _>("doomed", 2, |_, _| Ok(vec![]))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SparkletError::NoHealthyExecutors {
+                stage: "doomed".into()
+            }
+        );
+        assert_eq!(c.metrics().executors_blacklisted.get(), 1);
+    }
+
+    #[test]
+    fn fetch_failures_recover_from_registered_lineage() {
+        let c = Cluster::local(2);
+        let sid = c.new_shuffle_id();
+        let handler: Arc<RecoveryFn> = Arc::new(move |cluster: &Cluster, maps: &[usize]| {
+            for &m in maps {
+                cluster.shuffles().write_map_output(
+                    sid,
+                    m,
+                    2,
+                    2,
+                    0,
+                    vec![vec![m as u32], vec![10 + m as u32]],
+                    8,
+                );
+            }
+            Ok(())
+        });
+        c.register_shuffle_recovery(sid, 2, &handler);
+        // Materialise both map outputs on executor 1, then lose executor 1.
+        handler(&c, &[0, 1]).unwrap();
+        c.shuffles().mark_complete(sid);
+        c.shuffles().invalidate_executor(1); // writes above used executor 0
+        c.shuffles().invalidate_executor(0);
+        assert!(!c.shuffles().is_complete(sid));
+        let reader = c.clone();
+        let out = c
+            .run_job("read", 2, move |i, _| {
+                reader.shuffles().read_bucket::<u32>(sid, i)
+            })
+            .unwrap();
+        assert_eq!(out, vec![vec![0, 1], vec![10, 11]]);
+        assert_eq!(
+            c.metrics().fetch_failures.get(),
+            2,
+            "both readers failed once"
+        );
+        assert_eq!(c.metrics().recomputed_tasks.get(), 2);
+        let tags: Vec<&str> = c.journal().events().iter().map(|e| e.kind.tag()).collect();
+        assert!(tags.contains(&"fetch_failed"));
+        assert!(tags.contains(&"recomputed"));
+    }
+
+    #[test]
+    fn unrecoverable_fetch_failures_exhaust_attempts() {
+        let mut cfg = ClusterConfig::local(2);
+        cfg.max_task_attempts = 3;
+        let c = Cluster::new(cfg);
+        let reader = c.clone();
+        let err = c
+            .run_job::<u8, _>("read", 1, move |_, _| reader.shuffles().read_bucket(77, 0))
+            .unwrap_err();
+        match err {
+            SparkletError::TaskFailed {
+                attempts, reason, ..
+            } => {
+                assert_eq!(attempts, 3, "fetch failures count toward the budget");
+                assert!(reason.contains("fetch failed"), "reason: {reason}");
+            }
+            other => panic!("unexpected error: {other:?}"),
+        }
+        assert_eq!(c.metrics().fetch_failures.get(), 3);
+    }
+
+    #[test]
+    fn speculation_clones_stragglers_and_keeps_the_faster_result() {
+        let mut cfg = ClusterConfig::local(2);
+        cfg.speculation = true;
+        let overhead = cfg.cost.task_launch_overhead_us;
+        let c = Cluster::new(cfg);
+        // Task 0 fails its first attempt (paying the retry penalty, which
+        // makes it a straggler); the speculative clone runs clean and wins.
+        let out = c
+            .run_job("skewed", 4, |i, ctx| {
+                if i == 0 && ctx.attempt() == 0 {
+                    return Err(SparkletError::User("slow".into()));
+                }
+                Ok(vec![i as u32])
+            })
+            .unwrap();
+        assert_eq!(out, vec![vec![0], vec![1], vec![2], vec![3]]);
+        assert_eq!(c.metrics().speculative_launched.get(), 1);
+        assert_eq!(c.metrics().speculative_wins.get(), 1);
+        // The winning clone's cost replaced the straggler's accumulated one.
+        assert_eq!(c.clock().stages()[0].task_us[0], overhead);
+        let tags: Vec<&str> = c.journal().events().iter().map(|e| e.kind.tag()).collect();
+        assert!(tags.contains(&"speculative"));
+    }
+
+    #[test]
+    fn speculation_stays_off_by_default() {
+        let c = Cluster::local(2);
+        c.run_job("skewed", 4, |i, ctx| {
+            if i == 0 {
+                ctx.charge_ops(10_000_000);
+            }
+            Ok(vec![i as u32])
+        })
+        .unwrap();
+        assert_eq!(c.metrics().speculative_launched.get(), 0);
+    }
+
+    #[test]
+    fn at_virtual_time_kills_fire_at_stage_starts() {
+        let mut cfg = ClusterConfig::local(2);
+        cfg.fault = FaultConfig::disabled().kill_at_time(1, 1);
+        let c = Cluster::new(cfg);
+        // First stage starts at virtual time 0 < 1: no kill yet.
+        c.run_job("first", 2, |i, _| Ok(vec![i])).unwrap();
+        assert_eq!(c.metrics().executors_lost.get(), 0);
+        // Second stage starts after `first`'s work advanced the clock.
+        c.run_job("second", 2, |i, _| Ok(vec![i])).unwrap();
+        assert_eq!(c.metrics().executors_lost.get(), 1);
+        // The schedule is one-shot: later stages do not re-fire it.
+        c.run_job("third", 2, |i, _| Ok(vec![i])).unwrap();
+        assert_eq!(c.metrics().executors_lost.get(), 1);
+    }
+
+    #[test]
+    fn reset_run_state_revives_executors_and_rearms_kills() {
+        let mut cfg = ClusterConfig::local(2);
+        cfg.fault = FaultConfig::disabled().kill_in_stage(0, "work", 0);
+        cfg.fault.max_executor_failures = 1;
+        let c = Cluster::new(cfg);
+        c.run_job("work", 2, |i, _| Ok(vec![i])).unwrap();
+        assert_eq!(c.executors().alive_count(), 1);
+        c.reset_run_state();
+        assert_eq!(c.executors().alive_count(), 2);
+        // The same schedule fires again on the next run.
+        c.run_job("work", 2, |i, _| Ok(vec![i])).unwrap();
+        assert_eq!(c.metrics().executors_lost.get(), 1);
     }
 }

@@ -23,6 +23,11 @@ pub struct ClusterConfig {
     pub memory_per_executor: usize,
     /// Maximum attempts per task (Spark's `spark.task.maxFailures`, 4).
     pub max_task_attempts: u32,
+    /// Speculative execution (Spark's `spark.speculation`, default off):
+    /// after a stage's regular attempts finish, tasks slower than twice the
+    /// stage median get one clean clone on another executor; the faster
+    /// finisher wins and the loser's result is discarded deterministically.
+    pub speculation: bool,
     /// Fault injection settings.
     pub fault: FaultConfig,
     /// Virtual-time cost model.
@@ -40,6 +45,7 @@ impl ClusterConfig {
             cores_per_executor: 1,
             memory_per_executor: 512 << 20,
             max_task_attempts: 4,
+            speculation: false,
             fault: FaultConfig::disabled(),
             cost: CostModelConfig::default(),
         }
@@ -62,15 +68,62 @@ impl Default for ClusterConfig {
     }
 }
 
-/// Deterministic fault injection: a task attempt fails when a hash of
-/// `(stage, task, attempt, seed)` falls below `task_failure_prob`.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+/// Deterministic fault injection: per-attempt failures plus a scheduled
+/// executor-failure domain.
+///
+/// Per-attempt faults fire when a keyed hash of
+/// `(job, stage, task, attempt, seed)` falls below `task_failure_prob`.
+/// Executor kills are a fixed schedule ([`ExecutorKill`]) processed by the
+/// scheduler at deterministic points (stage starts and task-completion
+/// counts), so a given `FaultConfig` produces the same failure history on
+/// every run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct FaultConfig {
     /// Probability in `[0, 1]` that any given task attempt fails.
     pub task_failure_prob: f64,
     /// Seed mixed into the per-attempt hash; changing it reshuffles which
     /// attempts fail while keeping the overall rate.
     pub seed: u64,
+    /// Scheduled executor failures, processed in order. Each kill evicts
+    /// the executor's cached blocks, invalidates its shuffle map outputs
+    /// and discards its in-flight task results.
+    pub executor_kills: Vec<ExecutorKill>,
+    /// Kills an executor survives before it is blacklisted (Spark's
+    /// `spark.blacklist` family). Below the budget a killed executor
+    /// restarts empty with a new incarnation; at the budget it is removed
+    /// from scheduling for the rest of the run.
+    pub max_executor_failures: u32,
+}
+
+/// One scheduled executor failure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecutorKill {
+    /// Executor id to kill (`0..num_executors`).
+    pub executor: usize,
+    /// When the kill fires.
+    pub when: KillWhen,
+}
+
+/// Trigger point of an [`ExecutorKill`]. Both variants are evaluated at
+/// deterministic scheduler points, never on wall-clock time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum KillWhen {
+    /// Fire at the start of the first stage whose virtual-clock reading is
+    /// at or past `us` (kills between stages; fully deterministic recovery
+    /// counts).
+    AtVirtualTime {
+        /// Virtual-clock threshold in microseconds.
+        us: u64,
+    },
+    /// Fire while the named stage runs, once `after_completions` of its
+    /// tasks have completed (0 = at stage start). Matching is by exact
+    /// stage name.
+    InStage {
+        /// Stage name to match.
+        name: String,
+        /// Completed tasks observed before the kill fires.
+        after_completions: usize,
+    },
 }
 
 impl FaultConfig {
@@ -79,15 +132,44 @@ impl FaultConfig {
         FaultConfig {
             task_failure_prob: 0.0,
             seed: 0,
+            executor_kills: Vec::new(),
+            max_executor_failures: Self::DEFAULT_MAX_EXECUTOR_FAILURES,
         }
     }
+
+    /// Default blacklist budget: one kill restarts the executor, the
+    /// second removes it from scheduling.
+    pub const DEFAULT_MAX_EXECUTOR_FAILURES: u32 = 2;
 
     /// Fail roughly `prob` of task attempts, deterministically.
     pub fn with_probability(prob: f64, seed: u64) -> Self {
         FaultConfig {
             task_failure_prob: prob.clamp(0.0, 1.0),
             seed,
+            ..FaultConfig::disabled()
         }
+    }
+
+    /// Schedule a kill of `executor` at virtual time `us` (builder-style).
+    pub fn kill_at_time(mut self, executor: usize, us: u64) -> Self {
+        self.executor_kills.push(ExecutorKill {
+            executor,
+            when: KillWhen::AtVirtualTime { us },
+        });
+        self
+    }
+
+    /// Schedule a kill of `executor` during stage `name`, after
+    /// `after_completions` of its tasks completed (builder-style).
+    pub fn kill_in_stage(mut self, executor: usize, name: &str, after_completions: usize) -> Self {
+        self.executor_kills.push(ExecutorKill {
+            executor,
+            when: KillWhen::InStage {
+                name: name.to_string(),
+                after_completions,
+            },
+        });
+        self
     }
 }
 
@@ -164,6 +246,26 @@ mod tests {
         assert_eq!(
             FaultConfig::with_probability(-1.0, 1).task_failure_prob,
             0.0
+        );
+    }
+
+    #[test]
+    fn kill_builders_append_in_order() {
+        let f = FaultConfig::disabled()
+            .kill_at_time(1, 5_000)
+            .kill_in_stage(2, "classify", 3);
+        assert_eq!(f.executor_kills.len(), 2);
+        assert_eq!(f.executor_kills[0].executor, 1);
+        assert_eq!(
+            f.executor_kills[0].when,
+            KillWhen::AtVirtualTime { us: 5_000 }
+        );
+        assert_eq!(
+            f.executor_kills[1].when,
+            KillWhen::InStage {
+                name: "classify".into(),
+                after_completions: 3
+            }
         );
     }
 }

@@ -39,6 +39,23 @@ pub enum SparkletError {
         /// Right operand partition count.
         right: usize,
     },
+    /// A reduce-side task tried to fetch a shuffle bucket whose map outputs
+    /// are gone (the hosting executor died, or the shuffle was never
+    /// materialised). The scheduler treats this as recoverable: it re-runs
+    /// the missing parent map tasks from lineage and retries the reader.
+    FetchFailed {
+        /// Shuffle whose map output is missing.
+        shuffle: u64,
+        /// Reduce bucket the reader wanted.
+        bucket: usize,
+    },
+    /// Every executor has been blacklisted (exceeded
+    /// [`crate::FaultConfig::max_executor_failures`]); no task can be
+    /// placed and the job fails rather than hanging.
+    NoHealthyExecutors {
+        /// Stage that could not be scheduled.
+        stage: String,
+    },
     /// An action was invoked on an empty dataset where a value is required.
     EmptyCollection,
     /// User code inside a task failed with a message.
@@ -64,6 +81,12 @@ impl fmt::Display for SparkletError {
             ),
             SparkletError::PartitionMismatch { left, right } => {
                 write!(f, "cannot zip datasets with {left} vs {right} partitions")
+            }
+            SparkletError::FetchFailed { shuffle, bucket } => {
+                write!(f, "fetch failed: shuffle {shuffle} bucket {bucket} lost")
+            }
+            SparkletError::NoHealthyExecutors { stage } => {
+                write!(f, "no healthy executors left to run stage '{stage}'")
             }
             SparkletError::EmptyCollection => write!(f, "empty collection"),
             SparkletError::User(msg) => write!(f, "user error: {msg}"),
@@ -99,6 +122,20 @@ mod tests {
         };
         assert!(e.to_string().contains("2048B"));
         assert!(e.to_string().contains("1024B"));
+    }
+
+    #[test]
+    fn display_fetch_failed_and_no_healthy_executors() {
+        let e = SparkletError::FetchFailed {
+            shuffle: 5,
+            bucket: 2,
+        };
+        assert!(e.to_string().contains("shuffle 5"));
+        assert!(e.to_string().contains("bucket 2"));
+        let e = SparkletError::NoHealthyExecutors {
+            stage: "classify".into(),
+        };
+        assert!(e.to_string().contains("'classify'"));
     }
 
     #[test]

@@ -140,6 +140,59 @@ pub enum EventKind {
         /// Records fetched.
         records: u64,
     },
+    /// An executor was killed by the fault schedule, taking its cached
+    /// blocks and shuffle map outputs with it.
+    ExecutorLost {
+        /// Executor id.
+        executor: usize,
+        /// Incarnation that died.
+        incarnation: u32,
+        /// Whether the kill exceeded the failure budget (no restart).
+        blacklisted: bool,
+        /// Cached blocks evicted with the executor.
+        blocks_lost: usize,
+        /// Shuffle map outputs invalidated with the executor.
+        map_outputs_lost: u64,
+    },
+    /// A task attempt failed because the shuffle data it reads is gone.
+    FetchFailed {
+        /// Stage of the reading task.
+        stage: String,
+        /// Reading task index.
+        task: usize,
+        /// Shuffle whose map output is missing.
+        shuffle: u64,
+        /// Bucket the reader wanted.
+        bucket: usize,
+    },
+    /// A lost shuffle map output was rebuilt from lineage.
+    Recomputed {
+        /// Shuffle id.
+        shuffle: u64,
+        /// Map task that was re-run.
+        map_task: usize,
+    },
+    /// A speculative clone of a straggler finished.
+    Speculative {
+        /// Stage name.
+        stage: String,
+        /// Task index.
+        task: usize,
+        /// Whether the clone beat the original attempt.
+        won: bool,
+    },
+    /// A task's result was discarded because its executor died mid-flight;
+    /// the task is rescheduled on a survivor (not counted as a failure).
+    TaskLost {
+        /// Stage name.
+        stage: String,
+        /// Task index.
+        task: usize,
+        /// Attempt number.
+        attempt: u32,
+        /// The dead executor.
+        executor: usize,
+    },
 }
 
 impl EventKind {
@@ -156,6 +209,11 @@ impl EventKind {
             EventKind::CacheEvicted { .. } => "cache_evicted",
             EventKind::ShuffleWrite { .. } => "shuffle_write",
             EventKind::ShuffleRead { .. } => "shuffle_read",
+            EventKind::ExecutorLost { .. } => "executor_lost",
+            EventKind::FetchFailed { .. } => "fetch_failed",
+            EventKind::Recomputed { .. } => "recomputed",
+            EventKind::Speculative { .. } => "speculative",
+            EventKind::TaskLost { .. } => "task_lost",
         }
     }
 }
@@ -217,6 +275,12 @@ impl RunJournal {
     /// stage's cost is recorded).
     pub(crate) fn advance(&self, us: u64) {
         self.inner.virtual_now_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Current virtual stamp (accumulated stage work, µs). The scheduler's
+    /// `AtVirtualTime` kill triggers compare against this at stage starts.
+    pub fn now_us(&self) -> u64 {
+        self.inner.virtual_now_us.load(Ordering::Relaxed)
     }
 
     /// Number of stored events.
@@ -353,6 +417,33 @@ pub struct ReportTotals {
     pub events_dropped: u64,
 }
 
+/// Failure-recovery totals captured into a [`JobReport`] — what the run
+/// survived and what that survival cost.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Executors killed by the fault schedule.
+    pub executors_lost: u64,
+    /// Executors blacklisted after exceeding the failure budget.
+    pub executors_blacklisted: u64,
+    /// Reduce-side fetches that found their map outputs gone.
+    pub fetch_failures: u64,
+    /// Map tasks re-run from lineage to rebuild lost shuffle outputs.
+    pub recomputed_map_tasks: u64,
+    /// In-flight results discarded with their executor and rescheduled.
+    pub tasks_lost: u64,
+    /// Speculative clones launched for stragglers.
+    pub speculative_launched: u64,
+    /// Speculative clones that beat the original.
+    pub speculative_wins: u64,
+}
+
+impl RecoveryReport {
+    /// Did any recovery machinery engage during the run?
+    pub fn any(&self) -> bool {
+        *self != RecoveryReport::default()
+    }
+}
+
 /// Maximum failure lines embedded in a report (the journal may hold more).
 /// Cap on the failure lines a [`JobReport`] retains (fault-injection runs
 /// can fail thousands of attempts; the report keeps the first few).
@@ -368,6 +459,9 @@ pub struct JobReport {
     pub stages: Vec<StageReport>,
     /// Engine counter totals.
     pub totals: ReportTotals,
+    /// Failure-recovery totals: executor losses, fetch failures, lineage
+    /// recomputation and speculation.
+    pub recovery: RecoveryReport,
     /// First [`MAX_REPORT_FAILURES`] task-attempt failures, in order.
     pub failures: Vec<FailureLine>,
     /// User counters, sorted by name.
@@ -379,8 +473,8 @@ pub struct JobReport {
 }
 
 impl JobReport {
-    /// Current JSON schema version.
-    pub const SCHEMA_VERSION: u32 = 1;
+    /// Current JSON schema version (2 added the `recovery` section).
+    pub const SCHEMA_VERSION: u32 = 2;
 
     /// Snapshot a cluster's clock, metrics and journal into a report.
     pub fn capture(cluster: &Cluster) -> Self {
@@ -429,6 +523,15 @@ impl JobReport {
                 events: journal.len() as u64 + journal.dropped(),
                 events_dropped: journal.dropped(),
             },
+            recovery: RecoveryReport {
+                executors_lost: m.executors_lost.get(),
+                executors_blacklisted: m.executors_blacklisted.get(),
+                fetch_failures: m.fetch_failures.get(),
+                recomputed_map_tasks: m.recomputed_tasks.get(),
+                tasks_lost: m.tasks_lost.get(),
+                speculative_launched: m.speculative_launched.get(),
+                speculative_wins: m.speculative_wins.get(),
+            },
             failures,
             user_counters: m.user_counters(),
             virtual_us: cluster.virtual_elapsed().us,
@@ -470,6 +573,21 @@ impl JobReport {
             t.cache_evictions,
             t.events,
             t.events_dropped,
+        ));
+        out.push_str("},\n");
+        let r = &self.recovery;
+        out.push_str("  \"recovery\": {");
+        out.push_str(&format!(
+            "\"executors_lost\": {}, \"executors_blacklisted\": {}, \"fetch_failures\": {}, \
+             \"recomputed_map_tasks\": {}, \"tasks_lost\": {}, \"speculative_launched\": {}, \
+             \"speculative_wins\": {}",
+            r.executors_lost,
+            r.executors_blacklisted,
+            r.fetch_failures,
+            r.recomputed_map_tasks,
+            r.tasks_lost,
+            r.speculative_launched,
+            r.speculative_wins,
         ));
         out.push_str("},\n");
         out.push_str("  \"stages\": [");
@@ -597,6 +715,22 @@ impl fmt::Display for JobReport {
             self.totals.shuffle_bytes_written,
             self.totals.shuffle_records_read,
         )?;
+        if self.recovery.any() {
+            let r = &self.recovery;
+            writeln!(
+                f,
+                "recovery: {} executors lost ({} blacklisted), {} fetch failures, \
+                 {} map tasks recomputed, {} in-flight results rescheduled, \
+                 speculation {}/{} wins",
+                r.executors_lost,
+                r.executors_blacklisted,
+                r.fetch_failures,
+                r.recomputed_map_tasks,
+                r.tasks_lost,
+                r.speculative_wins,
+                r.speculative_launched,
+            )?;
+        }
         for fl in &self.failures {
             writeln!(
                 f,
@@ -728,11 +862,16 @@ mod tests {
         .unwrap();
         let json = c.job_report().to_json();
         for key in [
-            "\"schema_version\": 1",
+            "\"schema_version\": 2",
             "\"virtual_us\"",
             "\"total_work_us\"",
             "\"totals\"",
             "\"jobs_submitted\"",
+            "\"recovery\"",
+            "\"executors_lost\"",
+            "\"fetch_failures\"",
+            "\"recomputed_map_tasks\"",
+            "\"speculative_wins\"",
             "\"stages\"",
             "\"attempts\"",
             "\"p50_task_us\"",

@@ -51,6 +51,7 @@
 pub mod cluster;
 pub mod config;
 pub mod error;
+pub mod executor;
 pub mod hash;
 pub mod journal;
 pub mod metrics;
@@ -64,10 +65,11 @@ pub mod storage;
 pub mod task;
 
 pub use cluster::Cluster;
-pub use config::{ClusterConfig, CostModelConfig, FaultConfig};
+pub use config::{ClusterConfig, CostModelConfig, ExecutorKill, FaultConfig, KillWhen};
 pub use error::{Result, SparkletError};
+pub use executor::{ExecutorInfo, ExecutorRegistry, KillOutcome};
 pub use hash::{stable_hash, SipHasher13};
-pub use journal::{Event, EventKind, JobReport, RunJournal};
+pub use journal::{Event, EventKind, JobReport, RecoveryReport, RunJournal};
 pub use metrics::ClusterMetrics;
 pub use pair::PairRdd;
 pub use partitioner::{HashPartitioner, Partitioner};

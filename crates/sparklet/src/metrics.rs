@@ -58,6 +58,21 @@ pub struct ClusterMetrics {
     pub cache_evictions: Counter,
     /// Jobs (actions / shuffle-materialisation stages) submitted.
     pub jobs_submitted: Counter,
+    /// Executors killed by the fault schedule (restarts + blacklists).
+    pub executors_lost: Counter,
+    /// Executors removed from scheduling after exceeding the failure budget.
+    pub executors_blacklisted: Counter,
+    /// Reduce-side reads that found their shuffle map outputs gone.
+    pub fetch_failures: Counter,
+    /// Map tasks re-run from lineage to rebuild lost shuffle outputs.
+    pub recomputed_tasks: Counter,
+    /// Task results discarded because their executor died mid-flight
+    /// (rescheduled on survivors without counting as failures).
+    pub tasks_lost: Counter,
+    /// Speculative clone attempts launched for stragglers.
+    pub speculative_launched: Counter,
+    /// Speculative clones that beat the original attempt.
+    pub speculative_wins: Counter,
     user: Arc<RwLock<HashMap<String, Counter>>>,
 }
 
@@ -106,6 +121,13 @@ impl ClusterMetrics {
         self.cache_misses.reset();
         self.cache_evictions.reset();
         self.jobs_submitted.reset();
+        self.executors_lost.reset();
+        self.executors_blacklisted.reset();
+        self.fetch_failures.reset();
+        self.recomputed_tasks.reset();
+        self.tasks_lost.reset();
+        self.speculative_launched.reset();
+        self.speculative_wins.reset();
         for (_, c) in self.user.read().iter() {
             c.reset();
         }
@@ -170,9 +192,15 @@ mod tests {
         let m = ClusterMetrics::new();
         m.counter("x").add(9);
         m.tasks_launched.add(3);
+        m.executors_lost.add(2);
+        m.fetch_failures.add(4);
+        m.speculative_wins.inc();
         m.reset();
         assert_eq!(m.counter("x").get(), 0);
         assert_eq!(m.tasks_launched.get(), 0);
+        assert_eq!(m.executors_lost.get(), 0);
+        assert_eq!(m.fetch_failures.get(), 0);
+        assert_eq!(m.speculative_wins.get(), 0);
     }
 
     #[test]

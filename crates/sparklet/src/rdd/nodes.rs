@@ -1,7 +1,7 @@
 //! Concrete lineage-node implementations.
 
 use super::node::RddNode;
-use crate::cluster::Cluster;
+use crate::cluster::{Cluster, RecoveryFn};
 use crate::error::{Result, SparkletError};
 use crate::partitioner::Partitioner;
 use crate::storage::estimate_vec_size;
@@ -308,20 +308,69 @@ impl<T: Data> RddNode<T> for CachedNode<T> {
         }
         let data = self.parent.compute(split, ctx)?;
         let size = estimate_vec_size(&data);
-        self.cluster
-            .blocks()
-            .put((self.id, split), Arc::new(data.clone()), size);
+        self.cluster.blocks().put(
+            (self.id, split),
+            Arc::new(data.clone()),
+            size,
+            ctx.executor(),
+        );
         Ok(data)
     }
 }
 
+/// Run (or re-run) the map side of shuffle `sid` for the given subset of
+/// parent partitions: each map task hash-partitions its parent partition
+/// into `partitioner.num_partitions()` buckets and registers them, keyed by
+/// map-task index and tagged with the hosting executor. Called with every
+/// partition from [`ShuffledNode::prepare`] and with just the missing ones
+/// from the lineage-recovery handler.
+fn run_map_stage<K: KeyData, V: Data>(
+    cluster: &Cluster,
+    parent: &Arc<dyn RddNode<(K, V)>>,
+    partitioner: &Arc<dyn Partitioner<K>>,
+    sid: u64,
+    maps: &[usize],
+    recovering: bool,
+) -> Result<()> {
+    let nr = partitioner.num_partitions();
+    let total = parent.num_partitions();
+    let suffix = if recovering { "-recover" } else { "-write" };
+    let stage = format!("shuffle#{sid}{suffix}[{}]", parent.name());
+    let maps: Arc<Vec<usize>> = Arc::new(maps.to_vec());
+    let parent = parent.clone();
+    let partitioner = partitioner.clone();
+    let cl = cluster.clone();
+    cluster.run_job::<u8, _>(&stage, maps.len(), move |i, ctx| {
+        let m = maps[i];
+        let data = parent.compute(m, ctx)?;
+        let mut buckets: Vec<Vec<(K, V)>> = (0..nr).map(|_| Vec::new()).collect();
+        for kv in data {
+            buckets[partitioner.partition(&kv.0)].push(kv);
+        }
+        let records: usize = buckets.iter().map(Vec::len).sum();
+        let bytes = (records * std::mem::size_of::<(K, V)>().max(1)) as u64;
+        ctx.add_shuffle_bytes(bytes);
+        cl.shuffles()
+            .write_map_output(sid, m, total, nr, ctx.executor(), buckets, bytes);
+        Ok(Vec::new())
+    })?;
+    Ok(())
+}
+
 /// Wide node: repartitions `(K, V)` pairs by key through the shuffle service.
+///
+/// The node owns the strong reference to its shuffle's lineage-recovery
+/// handler (see `cluster::RecoveryFn`); the cluster registry only holds it
+/// weakly,
+/// so dropping the node makes the shuffle unrecoverable without creating a
+/// node ↔ cluster reference cycle.
 pub struct ShuffledNode<K: KeyData, V: Data> {
     id: u64,
     shuffle_id: u64,
     cluster: Cluster,
     parent: Arc<dyn RddNode<(K, V)>>,
     partitioner: Arc<dyn Partitioner<K>>,
+    recovery: Arc<RecoveryFn>,
     done: Mutex<bool>,
 }
 
@@ -333,12 +382,20 @@ impl<K: KeyData, V: Data> ShuffledNode<K, V> {
         parent: Arc<dyn RddNode<(K, V)>>,
         partitioner: Arc<dyn Partitioner<K>>,
     ) -> Self {
+        let recovery: Arc<RecoveryFn> = {
+            let parent = parent.clone();
+            let partitioner = partitioner.clone();
+            Arc::new(move |cluster: &Cluster, maps: &[usize]| {
+                run_map_stage(cluster, &parent, &partitioner, shuffle_id, maps, true)
+            })
+        };
         ShuffledNode {
             id,
             shuffle_id,
             cluster,
             parent,
             partitioner,
+            recovery,
             done: Mutex::new(false),
         }
     }
@@ -359,40 +416,41 @@ impl<K: KeyData, V: Data> RddNode<(K, V)> for ShuffledNode<K, V> {
         let mut done = self.done.lock();
         // The node-local flag alone is not authoritative: the cluster's
         // shuffle store may have been cleared (reset_run_state between
-        // experiment runs), in which case the shuffle must be re-written.
+        // experiment runs) or partially lost to an executor kill, in which
+        // case the shuffle must be re-materialised.
         if *done && cluster.shuffles().is_complete(self.shuffle_id) {
             return Ok(());
         }
         *done = false;
         // A previous failed materialisation may have left partial buckets.
         cluster.shuffles().discard(self.shuffle_id);
-        let parent = self.parent.clone();
-        let partitioner = self.partitioner.clone();
-        let sid = self.shuffle_id;
-        let nr = partitioner.num_partitions();
-        let cl = cluster.clone();
-        cluster.run_job::<u8, _>(
-            &format!("shuffle#{sid}-write[{}]", parent.name()),
-            parent.num_partitions(),
-            move |i, ctx| {
-                let data = parent.compute(i, ctx)?;
-                let mut buckets: Vec<Vec<(K, V)>> = (0..nr).map(|_| Vec::new()).collect();
-                for kv in data {
-                    buckets[partitioner.partition(&kv.0)].push(kv);
-                }
-                let records: usize = buckets.iter().map(Vec::len).sum();
-                let bytes = (records * std::mem::size_of::<(K, V)>().max(1)) as u64;
-                ctx.add_shuffle_bytes(bytes);
-                cl.shuffles().write_map_output(sid, nr, buckets, bytes);
-                Ok(Vec::new())
-            },
+        cluster.register_shuffle_recovery(
+            self.shuffle_id,
+            self.parent.num_partitions(),
+            &self.recovery,
+        );
+        let all: Vec<usize> = (0..self.parent.num_partitions()).collect();
+        run_map_stage(
+            cluster,
+            &self.parent,
+            &self.partitioner,
+            self.shuffle_id,
+            &all,
+            false,
         )?;
-        cluster.shuffles().mark_complete(sid);
+        if !cluster.shuffles().mark_complete(self.shuffle_id) {
+            // An executor died between writing its outputs and this point,
+            // taking some of them with it: rebuild the gaps right away.
+            cluster.recover_shuffle(self.shuffle_id);
+        }
         *done = true;
         Ok(())
     }
     fn compute(&self, split: usize, ctx: &TaskContext) -> Result<Vec<(K, V)>> {
-        let data: Vec<(K, V)> = self.cluster.shuffles().read_bucket(self.shuffle_id, split);
+        let data: Vec<(K, V)> = self
+            .cluster
+            .shuffles()
+            .read_bucket(self.shuffle_id, split)?;
         ctx.add_shuffle_bytes((data.len() * std::mem::size_of::<(K, V)>().max(1)) as u64);
         Ok(data)
     }

@@ -6,7 +6,18 @@
 //! Spark this crosses the network — the engine accounts the would-be network
 //! volume in [`crate::metrics::ClusterMetrics`] and charges it to the virtual
 //! clock instead.
+//!
+//! Map outputs are keyed by map-task index and tagged with the executor that
+//! produced them. That gives three properties the failure domain needs:
+//! reads concatenate buckets in map-task order (deterministic regardless of
+//! which worker finished first), duplicate writes of the same map task are
+//! ignored (a speculative clone or recomputation cannot double records), and
+//! killing an executor invalidates exactly its map outputs
+//! ([`ShuffleService::invalidate_executor`]) so the next read surfaces
+//! [`SparkletError::FetchFailed`] and the scheduler recomputes just the
+//! missing parents from lineage.
 
+use crate::error::{Result, SparkletError};
 use crate::journal::{EventKind, RunJournal};
 use crate::metrics::ClusterMetrics;
 use parking_lot::Mutex;
@@ -16,9 +27,19 @@ use std::sync::Arc;
 
 type Bucket = Arc<dyn Any + Send + Sync>;
 
+/// One map task's registered output.
+struct MapOutput {
+    /// Executor that produced (and in real Spark would serve) the output.
+    executor: usize,
+    /// `buckets[r]` is the chunk destined for reduce partition `r`.
+    buckets: Vec<Bucket>,
+}
+
 struct ShuffleData {
-    /// `buckets[r]` holds one chunk per completed map task.
-    buckets: Vec<Vec<Bucket>>,
+    /// `outputs[m]` is map task `m`'s output, `None` until written (or
+    /// after its executor died).
+    outputs: Vec<Option<MapOutput>>,
+    num_reduce: usize,
     complete: bool,
 }
 
@@ -46,7 +67,7 @@ impl ShuffleService {
         self
     }
 
-    /// Has `shuffle_id` been fully materialised?
+    /// Has `shuffle_id` been fully materialised (every map output present)?
     pub fn is_complete(&self, shuffle_id: u64) -> bool {
         self.shuffles
             .lock()
@@ -55,18 +76,47 @@ impl ShuffleService {
             .unwrap_or(false)
     }
 
-    /// Register the output of one map task: `chunks[r]` is the data destined
-    /// for reduce partition `r`. `bytes` is the estimated serialized volume
-    /// (for metrics / virtual time).
+    /// Register the output of map task `map_task` (of `num_maps`) computed
+    /// on `executor`: `chunks[r]` is the data destined for reduce partition
+    /// `r`. `bytes` is the estimated serialized volume (for metrics /
+    /// virtual time). Keep-first: if the map task already has a live
+    /// output (a speculative clone or a racing recomputation lost), the
+    /// write is ignored and `false` is returned — nothing is journaled or
+    /// counted for a discarded duplicate.
+    #[allow(clippy::too_many_arguments)]
     pub fn write_map_output<T: Send + Sync + 'static>(
         &self,
         shuffle_id: u64,
+        map_task: usize,
+        num_maps: usize,
         num_reduce: usize,
+        executor: usize,
         chunks: Vec<Vec<T>>,
         bytes: u64,
-    ) {
+    ) -> bool {
         debug_assert_eq!(chunks.len(), num_reduce);
+        debug_assert!(map_task < num_maps);
         let records: u64 = chunks.iter().map(|c| c.len() as u64).sum();
+        {
+            let mut s = self.shuffles.lock();
+            let entry = s.entry(shuffle_id).or_insert_with(|| ShuffleData {
+                outputs: (0..num_maps).map(|_| None).collect(),
+                num_reduce,
+                complete: false,
+            });
+            debug_assert_eq!(entry.outputs.len(), num_maps);
+            debug_assert_eq!(entry.num_reduce, num_reduce);
+            if entry.outputs[map_task].is_some() {
+                return false;
+            }
+            entry.outputs[map_task] = Some(MapOutput {
+                executor,
+                buckets: chunks
+                    .into_iter()
+                    .map(|chunk| Arc::new(chunk) as Bucket)
+                    .collect(),
+            });
+        }
         self.metrics.shuffle_records_written.add(records);
         self.metrics.shuffle_bytes_written.add(bytes);
         self.journal.record(EventKind::ShuffleWrite {
@@ -74,47 +124,88 @@ impl ShuffleService {
             records,
             bytes,
         });
+        true
+    }
+
+    /// Mark a shuffle complete. Only takes effect once every map output is
+    /// present; returns whether the shuffle is complete afterwards.
+    pub fn mark_complete(&self, shuffle_id: u64) -> bool {
         let mut s = self.shuffles.lock();
-        let entry = s.entry(shuffle_id).or_insert_with(|| ShuffleData {
-            buckets: (0..num_reduce).map(|_| Vec::new()).collect(),
-            complete: false,
-        });
-        debug_assert_eq!(entry.buckets.len(), num_reduce);
-        for (r, chunk) in chunks.into_iter().enumerate() {
-            entry.buckets[r].push(Arc::new(chunk) as Bucket);
+        match s.get_mut(&shuffle_id) {
+            Some(data) => {
+                data.complete = data.outputs.iter().all(Option::is_some);
+                data.complete
+            }
+            None => false,
         }
     }
 
-    /// Mark a shuffle complete once every map task has written.
-    pub fn mark_complete(&self, shuffle_id: u64) {
-        if let Some(s) = self.shuffles.lock().get_mut(&shuffle_id) {
-            s.complete = true;
-        }
-    }
-
-    /// Discard a partially written shuffle (used when a map stage must be
-    /// re-run after failures) so retries do not duplicate records.
+    /// Discard a shuffle entirely (used before a map stage re-materialises
+    /// from scratch) so retries do not duplicate records.
     pub fn discard(&self, shuffle_id: u64) {
         self.shuffles.lock().remove(&shuffle_id);
     }
 
+    /// Drop every map output produced by `executor` — the shuffle half of
+    /// an executor kill. Affected shuffles flip back to incomplete so
+    /// readers surface [`SparkletError::FetchFailed`] until the scheduler
+    /// recomputes the missing maps. Returns the number of map outputs lost.
+    pub fn invalidate_executor(&self, executor: usize) -> u64 {
+        let mut lost = 0;
+        let mut s = self.shuffles.lock();
+        for data in s.values_mut() {
+            for slot in data.outputs.iter_mut() {
+                if slot.as_ref().is_some_and(|o| o.executor == executor) {
+                    *slot = None;
+                    data.complete = false;
+                    lost += 1;
+                }
+            }
+        }
+        lost
+    }
+
+    /// Map tasks of `shuffle_id` whose outputs are missing, or `None` if
+    /// the shuffle is not registered at all.
+    pub fn missing_maps(&self, shuffle_id: u64) -> Option<Vec<usize>> {
+        self.shuffles.lock().get(&shuffle_id).map(|data| {
+            data.outputs
+                .iter()
+                .enumerate()
+                .filter(|(_, o)| o.is_none())
+                .map(|(m, _)| m)
+                .collect()
+        })
+    }
+
     /// Fetch reduce bucket `r`: the concatenation of that bucket across all
-    /// map outputs.
+    /// map outputs, in map-task order. Errors with
+    /// [`SparkletError::FetchFailed`] when the shuffle is unknown,
+    /// incomplete, or any map output is gone — the recoverable condition
+    /// the scheduler answers with lineage recomputation. A bucket index out
+    /// of range or a type mismatch is a caller bug and still panics.
     pub fn read_bucket<T: Clone + Send + Sync + 'static>(
         &self,
         shuffle_id: u64,
         r: usize,
-    ) -> Vec<T> {
+    ) -> Result<Vec<T>> {
+        let fetch_failed = SparkletError::FetchFailed {
+            shuffle: shuffle_id,
+            bucket: r,
+        };
         let chunks: Vec<Bucket> = {
             let s = self.shuffles.lock();
-            let data = s
-                .get(&shuffle_id)
-                .unwrap_or_else(|| panic!("shuffle {shuffle_id} not materialised"));
-            assert!(data.complete, "shuffle {shuffle_id} read before completion");
-            data.buckets
-                .get(r)
-                .unwrap_or_else(|| panic!("bucket {r} out of range"))
-                .clone()
+            let data = s.get(&shuffle_id).ok_or_else(|| fetch_failed.clone())?;
+            if !data.complete {
+                return Err(fetch_failed);
+            }
+            assert!(r < data.num_reduce, "bucket {r} out of range");
+            let mut chunks = Vec::with_capacity(data.outputs.len());
+            for output in &data.outputs {
+                let output = output.as_ref().ok_or_else(|| fetch_failed.clone())?;
+                chunks.push(output.buckets[r].clone());
+            }
+            chunks
         };
         let mut out = Vec::new();
         for chunk in chunks {
@@ -129,7 +220,7 @@ impl ShuffleService {
             bucket: r,
             records: out.len() as u64,
         });
-        out
+        Ok(out)
     }
 
     /// Number of registered shuffles (diagnostics).
@@ -148,64 +239,113 @@ mod tests {
     use super::*;
 
     #[test]
-    fn write_then_read_concatenates_map_outputs() {
+    fn write_then_read_concatenates_in_map_order() {
         let svc = ShuffleService::new(ClusterMetrics::new());
-        // Two map tasks, two reduce partitions.
-        svc.write_map_output(7, 2, vec![vec![1u32, 2], vec![3]], 12);
-        svc.write_map_output(7, 2, vec![vec![4u32], vec![5, 6]], 12);
-        svc.mark_complete(7);
-        let mut r0: Vec<u32> = svc.read_bucket(7, 0);
-        r0.sort_unstable();
-        assert_eq!(r0, vec![1, 2, 4]);
-        let mut r1: Vec<u32> = svc.read_bucket(7, 1);
-        r1.sort_unstable();
+        // Two map tasks, two reduce partitions — written out of order.
+        svc.write_map_output(7, 1, 2, 2, 0, vec![vec![4u32], vec![5, 6]], 12);
+        svc.write_map_output(7, 0, 2, 2, 1, vec![vec![1u32, 2], vec![3]], 12);
+        assert!(svc.mark_complete(7));
+        let r0: Vec<u32> = svc.read_bucket(7, 0).unwrap();
+        assert_eq!(r0, vec![1, 2, 4], "map-task order, not write order");
+        let r1: Vec<u32> = svc.read_bucket(7, 1).unwrap();
         assert_eq!(r1, vec![3, 5, 6]);
+    }
+
+    #[test]
+    fn duplicate_map_output_is_kept_first() {
+        let metrics = ClusterMetrics::new();
+        let svc = ShuffleService::new(metrics.clone());
+        assert!(svc.write_map_output(1, 0, 1, 1, 0, vec![vec![1u8]], 1));
+        assert!(
+            !svc.write_map_output(1, 0, 1, 1, 1, vec![vec![9u8]], 1),
+            "speculative duplicate ignored"
+        );
+        svc.mark_complete(1);
+        let got: Vec<u8> = svc.read_bucket(1, 0).unwrap();
+        assert_eq!(got, vec![1]);
+        assert_eq!(
+            metrics.shuffle_records_written.get(),
+            1,
+            "discarded duplicate not counted"
+        );
     }
 
     #[test]
     fn metrics_track_volume() {
         let metrics = ClusterMetrics::new();
         let svc = ShuffleService::new(metrics.clone());
-        svc.write_map_output(1, 1, vec![vec![1u8, 2, 3]], 3);
+        svc.write_map_output(1, 0, 1, 1, 0, vec![vec![1u8, 2, 3]], 3);
         svc.mark_complete(1);
         assert_eq!(metrics.shuffle_records_written.get(), 3);
         assert_eq!(metrics.shuffle_bytes_written.get(), 3);
-        let _: Vec<u8> = svc.read_bucket(1, 0);
+        let _: Vec<u8> = svc.read_bucket(1, 0).unwrap();
         assert_eq!(metrics.shuffle_records_read.get(), 3);
     }
 
     #[test]
-    #[should_panic(expected = "not materialised")]
-    fn reading_unknown_shuffle_panics() {
+    fn reading_unknown_shuffle_is_a_fetch_failure() {
         let svc = ShuffleService::new(ClusterMetrics::new());
-        let _: Vec<u8> = svc.read_bucket(99, 0);
+        let err = svc.read_bucket::<u8>(99, 0).unwrap_err();
+        assert_eq!(
+            err,
+            SparkletError::FetchFailed {
+                shuffle: 99,
+                bucket: 0
+            }
+        );
     }
 
     #[test]
-    #[should_panic(expected = "before completion")]
-    fn reading_incomplete_shuffle_panics() {
+    fn reading_incomplete_shuffle_is_a_fetch_failure() {
         let svc = ShuffleService::new(ClusterMetrics::new());
-        svc.write_map_output(1, 1, vec![vec![1u8]], 1);
-        let _: Vec<u8> = svc.read_bucket(1, 0);
+        svc.write_map_output(1, 0, 2, 1, 0, vec![vec![1u8]], 1);
+        assert!(!svc.mark_complete(1), "a map output is still missing");
+        let err = svc.read_bucket::<u8>(1, 0).unwrap_err();
+        assert!(matches!(err, SparkletError::FetchFailed { shuffle: 1, .. }));
+    }
+
+    #[test]
+    fn invalidate_executor_loses_its_outputs_only() {
+        let svc = ShuffleService::new(ClusterMetrics::new());
+        svc.write_map_output(5, 0, 2, 1, 0, vec![vec![1u8]], 1);
+        svc.write_map_output(5, 1, 2, 1, 1, vec![vec![2u8]], 1);
+        assert!(svc.mark_complete(5));
+        assert_eq!(svc.invalidate_executor(1), 1);
+        assert!(!svc.is_complete(5), "loss flips the shuffle incomplete");
+        assert_eq!(svc.missing_maps(5), Some(vec![1]));
+        let err = svc.read_bucket::<u8>(5, 0).unwrap_err();
+        assert!(matches!(err, SparkletError::FetchFailed { .. }));
+        // Recompute the missing map (possibly on another executor) and the
+        // shuffle becomes readable again with identical content ordering.
+        svc.write_map_output(5, 1, 2, 1, 0, vec![vec![2u8]], 1);
+        assert!(svc.mark_complete(5));
+        assert_eq!(svc.read_bucket::<u8>(5, 0).unwrap(), vec![1, 2]);
+    }
+
+    #[test]
+    fn missing_maps_of_unknown_shuffle_is_none() {
+        let svc = ShuffleService::new(ClusterMetrics::new());
+        assert_eq!(svc.missing_maps(42), None);
+        assert_eq!(svc.invalidate_executor(3), 0);
     }
 
     #[test]
     fn discard_allows_clean_rerun() {
         let svc = ShuffleService::new(ClusterMetrics::new());
-        svc.write_map_output(1, 1, vec![vec![1u8]], 1);
+        svc.write_map_output(1, 0, 1, 1, 0, vec![vec![1u8]], 1);
         svc.discard(1);
-        svc.write_map_output(1, 1, vec![vec![2u8]], 1);
+        svc.write_map_output(1, 0, 1, 1, 0, vec![vec![2u8]], 1);
         svc.mark_complete(1);
-        let got: Vec<u8> = svc.read_bucket(1, 0);
+        let got: Vec<u8> = svc.read_bucket(1, 0).unwrap();
         assert_eq!(got, vec![2]);
     }
 
     #[test]
     fn empty_buckets_read_as_empty() {
         let svc = ShuffleService::new(ClusterMetrics::new());
-        svc.write_map_output(3, 2, vec![vec![], Vec::<u64>::new()], 0);
+        svc.write_map_output(3, 0, 1, 2, 0, vec![vec![], Vec::<u64>::new()], 0);
         svc.mark_complete(3);
-        let got: Vec<u64> = svc.read_bucket(3, 1);
+        let got: Vec<u64> = svc.read_bucket(3, 1).unwrap();
         assert!(got.is_empty());
     }
 }

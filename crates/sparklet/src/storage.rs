@@ -1,10 +1,17 @@
 //! Block manager: in-memory cache for computed RDD partitions.
 //!
 //! Mirrors Spark's storage layer at the granularity the paper relies on:
-//! `cache()` pins partitions in executor memory; when the memory pool is
-//! exhausted the least-recently-used blocks are evicted and later accesses
+//! `cache()` pins partitions in executor memory; when an executor's pool is
+//! exhausted its least-recently-used blocks are evicted and later accesses
 //! recompute them from lineage (the engine's [`crate::rdd`] layer does the
 //! recomputation; the block manager only stores/evicts).
+//!
+//! Blocks are owned by the executor whose task computed them. Storage
+//! pressure is per executor (`memory_per_executor * storage_fraction` each),
+//! and killing an executor ([`BlockManager::evict_executor`]) drops exactly
+//! its blocks — the failure-domain semantics real Spark gets from having one
+//! block manager per executor process. Lookups stay global: the engine is
+//! one process, so a surviving replica anywhere is a hit.
 
 use crate::journal::{EventKind, RunJournal};
 use crate::metrics::ClusterMetrics;
@@ -21,22 +28,22 @@ struct Block {
     size: usize,
     /// Monotone access stamp for LRU.
     last_used: u64,
+    /// Executor whose task computed (and therefore hosts) the block.
+    owner: usize,
 }
 
 struct Store {
     blocks: HashMap<BlockId, Block>,
-    used: usize,
+    /// Bytes cached per executor, indexed by executor id.
+    used: Vec<usize>,
     tick: u64,
 }
 
-/// Memory-bounded cache of computed partitions.
-///
-/// The pool is global (`executors * memory_per_executor * storage_fraction`),
-/// a simplification over Spark's per-executor pools that keeps eviction
-/// behaviour equivalent for the single-process engine.
+/// Memory-bounded cache of computed partitions with per-executor pools.
 pub struct BlockManager {
     store: Mutex<Store>,
-    capacity: usize,
+    executor_capacity: usize,
+    num_executors: usize,
     metrics: ClusterMetrics,
     journal: RunJournal,
 }
@@ -46,15 +53,18 @@ impl BlockManager {
     /// `spark.storage.memoryFraction` era default was 0.6).
     pub const STORAGE_FRACTION: f64 = 0.6;
 
-    /// Create a block manager with `capacity` bytes of storage memory.
-    pub fn new(capacity: usize, metrics: ClusterMetrics) -> Self {
+    /// Create a block manager with `executor_capacity` bytes of storage
+    /// memory on each of `num_executors` executors.
+    pub fn new(executor_capacity: usize, num_executors: usize, metrics: ClusterMetrics) -> Self {
+        let n = num_executors.max(1);
         BlockManager {
             store: Mutex::new(Store {
                 blocks: HashMap::new(),
-                used: 0,
+                used: vec![0; n],
                 tick: 0,
             }),
-            capacity,
+            executor_capacity,
+            num_executors: n,
             metrics,
             journal: RunJournal::new(),
         }
@@ -67,14 +77,24 @@ impl BlockManager {
         self
     }
 
-    /// Total storage capacity in bytes.
+    /// Total storage capacity in bytes, across all executors.
     pub fn capacity(&self) -> usize {
-        self.capacity
+        self.executor_capacity * self.num_executors
     }
 
-    /// Bytes currently cached.
+    /// Storage capacity of a single executor in bytes.
+    pub fn executor_capacity(&self) -> usize {
+        self.executor_capacity
+    }
+
+    /// Bytes currently cached across all executors.
     pub fn used(&self) -> usize {
-        self.store.lock().used
+        self.store.lock().used.iter().sum()
+    }
+
+    /// Bytes currently cached on one executor.
+    pub fn used_by(&self, executor: usize) -> usize {
+        self.store.lock().used.get(executor).copied().unwrap_or(0)
     }
 
     /// Number of blocks currently cached.
@@ -126,29 +146,37 @@ impl BlockManager {
         }
     }
 
-    /// Insert a computed partition, evicting LRU blocks as needed. Blocks
-    /// larger than the whole pool are not cached at all (callers simply
-    /// recompute them), matching Spark's "skip caching oversized partition"
-    /// behaviour.
-    pub fn put<T: Send + Sync + 'static>(&self, id: BlockId, data: Arc<Vec<T>>, size: usize) {
-        if size > self.capacity {
+    /// Insert a partition computed on `executor`, evicting that executor's
+    /// LRU blocks as needed. Blocks larger than one executor's pool are not
+    /// cached at all (callers simply recompute them), matching Spark's
+    /// "skip caching oversized partition" behaviour.
+    pub fn put<T: Send + Sync + 'static>(
+        &self,
+        id: BlockId,
+        data: Arc<Vec<T>>,
+        size: usize,
+        executor: usize,
+    ) {
+        if size > self.executor_capacity {
             return;
         }
+        let owner = executor % self.num_executors;
         let mut s = self.store.lock();
         if let Some(old) = s.blocks.remove(&id) {
-            s.used -= old.size;
+            s.used[old.owner] -= old.size;
         }
-        while s.used + size > self.capacity {
-            // Evict the least recently used block.
+        while s.used[owner] + size > self.executor_capacity {
+            // Evict the owner's least recently used block.
             let victim = s
                 .blocks
                 .iter()
+                .filter(|(_, b)| b.owner == owner)
                 .min_by_key(|(_, b)| b.last_used)
                 .map(|(k, _)| *k);
             match victim {
                 Some(k) => {
                     if let Some(b) = s.blocks.remove(&k) {
-                        s.used -= b.size;
+                        s.used[owner] -= b.size;
                         self.metrics.cache_evictions.inc();
                         self.journal.record(EventKind::CacheEvicted {
                             rdd: k.0,
@@ -162,13 +190,14 @@ impl BlockManager {
         }
         s.tick += 1;
         let tick = s.tick;
-        s.used += size;
+        s.used[owner] += size;
         s.blocks.insert(
             id,
             Block {
                 data,
                 size,
                 last_used: tick,
+                owner,
             },
         );
     }
@@ -184,16 +213,38 @@ impl BlockManager {
             .collect();
         for k in keys {
             if let Some(b) = s.blocks.remove(&k) {
-                s.used -= b.size;
+                s.used[b.owner] -= b.size;
             }
         }
+    }
+
+    /// Drop every block owned by `executor` — the storage half of an
+    /// executor kill. Returns `(blocks_removed, bytes_released)`. These are
+    /// failure losses, not pressure evictions, so `cache_evictions` is not
+    /// bumped; the scheduler journals one `ExecutorLost` event instead.
+    pub fn evict_executor(&self, executor: usize) -> (usize, usize) {
+        let mut s = self.store.lock();
+        let keys: Vec<BlockId> = s
+            .blocks
+            .iter()
+            .filter(|(_, b)| b.owner == executor)
+            .map(|(k, _)| *k)
+            .collect();
+        let mut bytes = 0;
+        for k in &keys {
+            if let Some(b) = s.blocks.remove(k) {
+                s.used[b.owner] -= b.size;
+                bytes += b.size;
+            }
+        }
+        (keys.len(), bytes)
     }
 
     /// Clear the whole cache.
     pub fn clear(&self) {
         let mut s = self.store.lock();
         s.blocks.clear();
-        s.used = 0;
+        s.used.iter_mut().for_each(|u| *u = 0);
     }
 }
 
@@ -211,13 +262,13 @@ mod tests {
     use super::*;
 
     fn bm(cap: usize) -> BlockManager {
-        BlockManager::new(cap, ClusterMetrics::new())
+        BlockManager::new(cap, 1, ClusterMetrics::new())
     }
 
     #[test]
     fn put_get_roundtrip() {
         let m = bm(1024);
-        m.put((1, 0), Arc::new(vec![1u32, 2, 3]), 12);
+        m.put((1, 0), Arc::new(vec![1u32, 2, 3]), 12, 0);
         let got: Arc<Vec<u32>> = m.get((1, 0)).unwrap();
         assert_eq!(*got, vec![1, 2, 3]);
         assert_eq!(m.used(), 12);
@@ -226,7 +277,7 @@ mod tests {
     #[test]
     fn miss_returns_none_and_counts() {
         let metrics = ClusterMetrics::new();
-        let m = BlockManager::new(64, metrics.clone());
+        let m = BlockManager::new(64, 1, metrics.clone());
         assert!(m.get::<u32>((9, 9)).is_none());
         assert_eq!(metrics.cache_misses.get(), 1);
     }
@@ -234,39 +285,81 @@ mod tests {
     #[test]
     fn lru_eviction_prefers_oldest() {
         let m = bm(100);
-        m.put((1, 0), Arc::new(vec![0u8; 40]), 40);
-        m.put((1, 1), Arc::new(vec![0u8; 40]), 40);
+        m.put((1, 0), Arc::new(vec![0u8; 40]), 40, 0);
+        m.put((1, 1), Arc::new(vec![0u8; 40]), 40, 0);
         // Touch block 0 so block 1 becomes LRU.
         let _ = m.get::<u8>((1, 0));
-        m.put((1, 2), Arc::new(vec![0u8; 40]), 40);
+        m.put((1, 2), Arc::new(vec![0u8; 40]), 40, 0);
         assert!(m.get::<u8>((1, 0)).is_some(), "recently used survives");
         assert!(m.get::<u8>((1, 1)).is_none(), "LRU victim evicted");
         assert!(m.get::<u8>((1, 2)).is_some());
     }
 
     #[test]
+    fn pressure_is_per_executor() {
+        // Two executors, 100 B each: filling executor 0 must not evict
+        // executor 1's blocks.
+        let m = BlockManager::new(100, 2, ClusterMetrics::new());
+        m.put((1, 0), Arc::new(vec![0u8; 80]), 80, 0);
+        m.put((2, 0), Arc::new(vec![0u8; 80]), 80, 1);
+        m.put((3, 0), Arc::new(vec![0u8; 80]), 80, 0); // evicts (1,0) only
+        assert!(m.get::<u8>((1, 0)).is_none(), "executor 0's LRU evicted");
+        assert!(m.get::<u8>((2, 0)).is_some(), "executor 1 untouched");
+        assert!(m.get::<u8>((3, 0)).is_some());
+        assert_eq!(m.used_by(0), 80);
+        assert_eq!(m.used_by(1), 80);
+        assert_eq!(m.capacity(), 200);
+        assert_eq!(m.executor_capacity(), 100);
+    }
+
+    #[test]
+    fn evict_executor_drops_only_its_blocks() {
+        let m = BlockManager::new(1000, 2, ClusterMetrics::new());
+        m.put((1, 0), Arc::new(vec![0u8; 10]), 10, 0);
+        m.put((1, 1), Arc::new(vec![0u8; 20]), 20, 1);
+        m.put((2, 0), Arc::new(vec![0u8; 30]), 30, 0);
+        let (blocks, bytes) = m.evict_executor(0);
+        assert_eq!(blocks, 2);
+        assert_eq!(bytes, 40);
+        assert!(m.get::<u8>((1, 0)).is_none());
+        assert!(m.get::<u8>((2, 0)).is_none());
+        assert!(m.get::<u8>((1, 1)).is_some(), "survivor's block remains");
+        assert_eq!(m.used(), 20);
+        assert_eq!(m.evict_executor(0), (0, 0), "idempotent");
+    }
+
+    #[test]
     fn oversized_blocks_are_not_cached() {
         let m = bm(10);
-        m.put((1, 0), Arc::new(vec![0u8; 100]), 100);
+        m.put((1, 0), Arc::new(vec![0u8; 100]), 100, 0);
         assert_eq!(m.block_count(), 0);
     }
 
     #[test]
     fn reinsert_replaces_and_fixes_accounting() {
         let m = bm(100);
-        m.put((1, 0), Arc::new(vec![1u8]), 30);
-        m.put((1, 0), Arc::new(vec![2u8]), 50);
+        m.put((1, 0), Arc::new(vec![1u8]), 30, 0);
+        m.put((1, 0), Arc::new(vec![2u8]), 50, 0);
         assert_eq!(m.used(), 50);
         let got: Arc<Vec<u8>> = m.get((1, 0)).unwrap();
         assert_eq!(*got, vec![2u8]);
     }
 
     #[test]
+    fn reinsert_across_executors_moves_ownership() {
+        let m = BlockManager::new(100, 2, ClusterMetrics::new());
+        m.put((1, 0), Arc::new(vec![1u8]), 30, 0);
+        m.put((1, 0), Arc::new(vec![2u8]), 40, 1);
+        assert_eq!(m.used_by(0), 0);
+        assert_eq!(m.used_by(1), 40);
+    }
+
+    #[test]
     fn evict_rdd_removes_all_its_partitions() {
         let m = bm(1000);
-        m.put((1, 0), Arc::new(vec![1u8]), 10);
-        m.put((1, 1), Arc::new(vec![1u8]), 10);
-        m.put((2, 0), Arc::new(vec![1u8]), 10);
+        m.put((1, 0), Arc::new(vec![1u8]), 10, 0);
+        m.put((1, 1), Arc::new(vec![1u8]), 10, 0);
+        m.put((2, 0), Arc::new(vec![1u8]), 10, 0);
         m.evict_rdd(1);
         assert!(m.get::<u8>((1, 0)).is_none());
         assert!(m.get::<u8>((1, 1)).is_none());
@@ -277,8 +370,16 @@ mod tests {
     #[test]
     fn type_mismatch_is_a_miss_not_a_panic() {
         let m = bm(100);
-        m.put((1, 0), Arc::new(vec![1u32]), 4);
+        m.put((1, 0), Arc::new(vec![1u32]), 4, 0);
         assert!(m.get::<String>((1, 0)).is_none());
+    }
+
+    #[test]
+    fn out_of_range_executor_is_clamped() {
+        let m = bm(100);
+        m.put((1, 0), Arc::new(vec![1u8]), 10, 7); // 7 % 1 == 0
+        assert!(m.get::<u8>((1, 0)).is_some());
+        assert_eq!(m.used_by(0), 10);
     }
 
     #[test]

@@ -1,0 +1,172 @@
+//! Chaos suite: injected executor failures must never change what the
+//! pipeline computes.
+//!
+//! Every test here runs the same seeded bootstrap + `detect_new` batch as
+//! `refactor_baseline.rs` under a different failure schedule — executors
+//! killed between stages, killed mid-stage, random task faults, speculative
+//! execution — and asserts the detections are **bit-identical** to the
+//! fault-free run (same pinned digest). Recovery is allowed to cost virtual
+//! time; it is never allowed to change a score, a label, or the output
+//! order. The only acceptable divergence is a clean error when the failure
+//! schedule leaves no healthy executor to run on.
+
+use adr_model::{AdrReport, PairId};
+use adr_synth::{Dataset, SynthConfig};
+use dedup::{DedupConfig, DedupSystem};
+use sparklet::{stable_hash, Cluster, ClusterConfig, FaultConfig, JobReport, SparkletError};
+
+/// The fault-free `detect_new` digest pinned in `refactor_baseline.rs`.
+const BASELINE_DIGEST: u64 = 11028548671881665013;
+
+fn corpus() -> (Vec<AdrReport>, Vec<PairId>, Vec<AdrReport>) {
+    let ds = Dataset::generate(&SynthConfig::small(300, 18, 77));
+    let cut = 280;
+    let historical = ds.reports[..cut].to_vec();
+    let labelled = ds
+        .duplicate_pairs
+        .iter()
+        .filter(|p| (p.hi as usize) < cut)
+        .copied()
+        .collect();
+    let arriving = ds.reports[cut..].to_vec();
+    (historical, labelled, arriving)
+}
+
+struct ChaosRun {
+    digest: u64,
+    report: JobReport,
+}
+
+/// Run the full pipeline on `config`, returning the detection digest and
+/// the job report (recovery section included).
+fn run_pipeline(config: ClusterConfig) -> sparklet::Result<ChaosRun> {
+    let (historical, labelled, arriving) = corpus();
+    let cluster = Cluster::new(config);
+    let handle = cluster.clone();
+    let mut dcfg = DedupConfig::default();
+    dcfg.knn.b = 8;
+    dcfg.bootstrap_negatives = 400;
+    let mut system = DedupSystem::new(cluster, dcfg);
+    system.bootstrap(&historical, &labelled)?;
+    let detections = system.detect_new(&arriving)?;
+    let records: Vec<(u64, u64, u64, bool)> = detections
+        .iter()
+        .map(|d| (d.pair.lo, d.pair.hi, d.score.to_bits(), d.is_duplicate))
+        .collect();
+    Ok(ChaosRun {
+        digest: stable_hash(&records),
+        report: handle.job_report(),
+    })
+}
+
+fn chaos_config(fault: FaultConfig) -> ClusterConfig {
+    let mut config = ClusterConfig::local(4);
+    config.fault = fault;
+    config
+}
+
+#[test]
+fn fault_free_run_matches_the_pinned_digest_and_reports_no_recovery() {
+    let run = run_pipeline(ClusterConfig::local(4)).expect("fault-free run");
+    assert_eq!(run.digest, BASELINE_DIGEST, "fault-free output drifted");
+    assert!(
+        !run.report.recovery.any(),
+        "fault-free run logged recovery work: {:?}",
+        run.report.recovery
+    );
+}
+
+#[test]
+fn executor_kills_between_stages_leave_detections_bit_identical() {
+    let baseline = run_pipeline(ClusterConfig::local(4)).expect("baseline run");
+    let total = baseline.report.virtual_us;
+    // Kill three of the four executors at the quarter points of the
+    // fault-free timeline; each restarts with a fresh incarnation, loses
+    // its cached blocks and its shuffle map outputs.
+    let fault = FaultConfig::disabled()
+        .kill_at_time(1, total / 4)
+        .kill_at_time(2, total / 2)
+        .kill_at_time(3, 3 * total / 4);
+    let chaos = run_pipeline(chaos_config(fault)).expect("chaos run");
+    assert_eq!(chaos.digest, BASELINE_DIGEST, "kills changed the output");
+    assert_eq!(chaos.report.recovery.executors_lost, 3);
+    assert_eq!(chaos.report.recovery.executors_blacklisted, 0);
+    assert!(
+        chaos.report.virtual_us >= baseline.report.virtual_us,
+        "recovery cannot make the job faster ({} < {})",
+        chaos.report.virtual_us,
+        baseline.report.virtual_us
+    );
+}
+
+#[test]
+fn mid_stage_kill_recovers_lost_work_without_output_drift() {
+    // Kill executor 0 while a detect_new map-output stage is in flight:
+    // its unprocessed wave results go stale (lost tasks, rescheduled on
+    // survivors) and any bucket files it already wrote are invalidated and
+    // recomputed from lineage.
+    let fault =
+        FaultConfig::disabled().kill_in_stage(0, "shuffle#4-write[map_partitions_with_ctx]", 1);
+    let chaos = run_pipeline(chaos_config(fault)).expect("chaos run");
+    assert_eq!(
+        chaos.digest, BASELINE_DIGEST,
+        "mid-stage kill changed output"
+    );
+    let rec = &chaos.report.recovery;
+    assert_eq!(rec.executors_lost, 1);
+    assert!(
+        rec.tasks_lost + rec.recomputed_map_tasks >= 1,
+        "the kill should have cost lost or recomputed work: {rec:?}"
+    );
+}
+
+#[test]
+fn random_task_faults_are_absorbed_without_output_drift() {
+    for seed in [11, 22, 33] {
+        let fault = FaultConfig::with_probability(0.05, seed);
+        let chaos = run_pipeline(chaos_config(fault)).expect("faulty run");
+        assert!(
+            chaos.report.totals.tasks_failed > 0,
+            "seed {seed} injected no faults"
+        );
+        assert_eq!(
+            chaos.digest, BASELINE_DIGEST,
+            "seed {seed}: retries changed the output"
+        );
+    }
+}
+
+#[test]
+fn speculation_produces_identical_output() {
+    // Injected failures make the retried tasks stragglers (each failed
+    // attempt costs a 10 s virtual penalty), so speculation has real clones
+    // to launch — and their winners must not perturb the detections.
+    let mut config = chaos_config(FaultConfig::with_probability(0.02, 7));
+    config.speculation = true;
+    let chaos = run_pipeline(config).expect("speculative run");
+    assert_eq!(chaos.digest, BASELINE_DIGEST, "speculation changed output");
+    let rec = &chaos.report.recovery;
+    assert!(
+        rec.speculative_launched >= 1,
+        "no speculative clones launched: {rec:?}"
+    );
+    assert!(rec.speculative_wins <= rec.speculative_launched);
+}
+
+#[test]
+fn killing_every_executor_fails_the_job_with_a_clean_error() {
+    let mut config = ClusterConfig::local(2);
+    config.fault = FaultConfig::disabled()
+        .kill_at_time(0, 0)
+        .kill_at_time(1, 0);
+    config.fault.max_executor_failures = 1; // first kill blacklists
+    match run_pipeline(config) {
+        Err(SparkletError::NoHealthyExecutors { stage }) => {
+            assert!(!stage.is_empty());
+        }
+        other => panic!(
+            "expected NoHealthyExecutors, got {other:?}",
+            other = other.map(|r| r.digest)
+        ),
+    }
+}
