@@ -1,0 +1,94 @@
+//! Scheduler load-balancing benchmark: static block-partitioned execution
+//! vs morsel-driven work stealing + skew-aware pair packing, written to
+//! `BENCH_sched.json` with a per-worker utilization artifact alongside.
+//!
+//! Two corpora through the same pairwise-distance stage at the same worker
+//! count (see [`bench::sched`]):
+//!
+//! * **skewed** — one hot drug block with the longest narratives
+//!   (**gated ≥1.5× makespan improvement at 8 workers**);
+//! * **uniform** — same-sized blocks, reported for context, not gated
+//!   (balanced inputs leave stealing little to win).
+//!
+//! Usage: `cargo run --release -p bench --bin bench_sched [--quick] [out.json]`
+//!
+//! `--quick` shrinks the corpora for CI smoke runs; the gate applies in
+//! both modes — the speedup is a property of the schedule, not of scale.
+
+use bench::sched::{
+    run_distance_stage, sched_to_json, skewed_corpus, uniform_corpus, SchedComparison, SchedMode,
+};
+
+const WORKERS: usize = 8;
+const GATE: f64 = 1.5;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_sched.json".to_string());
+    let util_path = format!("{}_utilization.txt", out_path.trim_end_matches(".json"));
+
+    let (total, arriving) = if quick { (400, 40) } else { (1_300, 100) };
+    eprintln!(
+        "distance stage over {total}-report corpora ({arriving} arriving), \
+         {WORKERS} workers, static vs morsel+steal…"
+    );
+
+    let mut comparisons = Vec::new();
+    let mut utilization_doc = String::new();
+    for (label, sc) in [
+        ("skewed", skewed_corpus(total, arriving)),
+        ("uniform", uniform_corpus(total, arriving)),
+    ] {
+        let static_run = run_distance_stage(&sc, WORKERS, SchedMode::Static);
+        let steal_run = run_distance_stage(&sc, WORKERS, SchedMode::Steal);
+        let packed_run = run_distance_stage(&sc, WORKERS, SchedMode::Packed);
+        let cmp = SchedComparison {
+            label,
+            static_run,
+            steal_run,
+            packed_run,
+        };
+        eprintln!(
+            "  {label:<8} {} pairs   static {:>9} us   steal {:>9} us ({:.2}x, {} stolen)   \
+             packed {:>9} us ({:.2}x, {} morsels, util {:.0}%)",
+            cmp.static_run.pairs,
+            cmp.static_run.makespan_us,
+            cmp.steal_run.makespan_us,
+            cmp.steal_speedup(),
+            cmp.steal_run.steals,
+            cmp.packed_run.makespan_us,
+            cmp.speedup(),
+            cmp.packed_run.morsels,
+            cmp.packed_run.utilization * 100.0,
+        );
+        utilization_doc.push_str(&format!(
+            "=== {label} corpus: static placement ===\n{}\n\
+             === {label} corpus: morsels + stealing (unpacked) ===\n{}\n\
+             === {label} corpus: packed + morsels + stealing ===\n{}\n",
+            cmp.static_run.report_text, cmp.steal_run.report_text, cmp.packed_run.report_text
+        ));
+        comparisons.push(cmp);
+    }
+
+    let doc = sched_to_json(WORKERS, &comparisons, GATE);
+    std::fs::write(&out_path, &doc).expect("write BENCH_sched.json");
+    std::fs::write(&util_path, &utilization_doc).expect("write utilization artifact");
+    eprintln!("wrote {out_path} and {util_path}");
+
+    let skewed = comparisons
+        .iter()
+        .find(|c| c.label == "skewed")
+        .expect("skewed comparison");
+    if skewed.speedup() < GATE {
+        eprintln!(
+            "FAILED: skewed-corpus speedup {:.2}x below the {GATE}x acceptance bar",
+            skewed.speedup()
+        );
+        std::process::exit(1);
+    }
+}

@@ -14,7 +14,7 @@ use crate::harness::{capture_run, f3, ExperimentResult};
 use adr_model::{AdrReport, PairId};
 use adr_synth::{Dataset, SynthConfig};
 use dedup::{DedupConfig, DedupSystem};
-use sparklet::{stable_hash, Cluster, ClusterConfig, FaultConfig, JobReport};
+use sparklet::{stable_hash, Cluster, ClusterConfig, FaultConfig, JobReport, SchedConfig};
 
 struct ChaosOutcome {
     digest: u64,
@@ -57,10 +57,11 @@ fn run_pipeline(quick: bool, label: &str, config: ClusterConfig) -> sparklet::Re
     })
 }
 
-fn config_with(fault: FaultConfig, speculation: bool) -> ClusterConfig {
+fn config_with(fault: FaultConfig, speculation: bool, sched: SchedConfig) -> ClusterConfig {
     let mut config = ClusterConfig::local(4);
     config.fault = fault;
     config.speculation = speculation;
+    config.sched = sched;
     config
 }
 
@@ -68,14 +69,33 @@ fn config_with(fault: FaultConfig, speculation: bool) -> ClusterConfig {
 /// schedule reproduced the fault-free digest (the binary exits nonzero
 /// when this is false).
 pub fn run_seeded(quick: bool, fault_seeds: &[u64]) -> (Vec<ExperimentResult>, bool) {
-    let baseline = run_pipeline(quick, "fault-free baseline", ClusterConfig::local(4))
-        .expect("fault-free run");
+    run_seeded_sched(quick, fault_seeds, SchedConfig::default())
+}
+
+/// [`run_seeded`] with an explicit scheduler configuration: the whole sweep
+/// (baseline included) runs under `sched`, so CI can assert the digest is
+/// failure-proof both with morsel stealing on and with static placement.
+pub fn run_seeded_sched(
+    quick: bool,
+    fault_seeds: &[u64],
+    sched: SchedConfig,
+) -> (Vec<ExperimentResult>, bool) {
+    let baseline = run_pipeline(
+        quick,
+        "fault-free baseline",
+        config_with(FaultConfig::disabled(), false, sched),
+    )
+    .expect("fault-free run");
     let total = baseline.report.virtual_us;
 
     let mut schedules: Vec<(String, ClusterConfig)> = vec![
         (
             "kill executor 1 at t/2".into(),
-            config_with(FaultConfig::disabled().kill_at_time(1, total / 2), false),
+            config_with(
+                FaultConfig::disabled().kill_at_time(1, total / 2),
+                false,
+                sched,
+            ),
         ),
         (
             "kill executors 1,2,3 staggered".into(),
@@ -85,6 +105,7 @@ pub fn run_seeded(quick: bool, fault_seeds: &[u64]) -> (Vec<ExperimentResult>, b
                     .kill_at_time(2, total / 2)
                     .kill_at_time(3, 3 * total / 4),
                 false,
+                sched,
             ),
         ),
         (
@@ -96,18 +117,19 @@ pub fn run_seeded(quick: bool, fault_seeds: &[u64]) -> (Vec<ExperimentResult>, b
                     1,
                 ),
                 false,
+                sched,
             ),
         ),
     ];
     for &seed in fault_seeds {
         schedules.push((
             format!("task faults p=0.05 seed {seed}"),
-            config_with(FaultConfig::with_probability(0.05, seed), false),
+            config_with(FaultConfig::with_probability(0.05, seed), false, sched),
         ));
     }
     schedules.push((
         "speculation + faults p=0.02".into(),
-        config_with(FaultConfig::with_probability(0.02, 7), true),
+        config_with(FaultConfig::with_probability(0.02, 7), true, sched),
     ));
 
     let mut r = ExperimentResult::new(
@@ -150,9 +172,15 @@ pub fn run_seeded(quick: bool, fault_seeds: &[u64]) -> (Vec<ExperimentResult>, b
         ]);
     }
     r.note(format!(
-        "fault-free digest {:#018x}, virtual time {:.1} s; every schedule must read 'identical'.",
+        "fault-free digest {:#018x}, virtual time {:.1} s, scheduling {}; \
+         every schedule must read 'identical'.",
         baseline.digest,
-        total as f64 / 1e6
+        total as f64 / 1e6,
+        if sched.steal {
+            "morsels + stealing"
+        } else {
+            "static placement"
+        }
     ));
     if !all_identical {
         r.note("OUTPUT DRIFTED under at least one schedule — recovery is not semantically free.");

@@ -97,6 +97,7 @@ pub fn experiment_cluster_config(executors: usize, cores: usize) -> ClusterConfi
         speculation: false,
         fault: FaultConfig::disabled(),
         cost: paper_cost(),
+        sched: sparklet::SchedConfig::default(),
     }
 }
 

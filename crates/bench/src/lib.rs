@@ -22,3 +22,4 @@ pub mod corpora;
 pub mod experiments;
 pub mod harness;
 pub mod hotpath;
+pub mod sched;

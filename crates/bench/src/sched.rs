@@ -1,0 +1,350 @@
+//! Load-balancing benchmark behind `BENCH_sched.json`: static
+//! block-partitioned execution vs morsel-driven work stealing with
+//! skew-aware pair packing.
+//!
+//! Both sides run the same distributed pairwise-distance stage
+//! ([`dedup::pairwise_distances_partitioned`]) over the same candidate
+//! pairs and report the stage's virtual makespan at the same worker count.
+//! Only the scheduling differs:
+//!
+//! * **static** — one partition per blocking group, no morsel splitting, no
+//!   stealing ([`SchedConfig::static_placement`]). A hot drug block is one
+//!   indivisible task; whoever draws it sets the makespan.
+//! * **sched** — groups packed by [`dedup::pack_pairs`] (LPT with
+//!   splitting) into one partition per worker, cut into op-weight-bounded
+//!   morsels and balanced by stealing (the default [`SchedConfig`]).
+//!
+//! The skewed corpus concentrates ~a third of all reports — with the
+//! longest narratives — on one hot drug, the shape real ADR databases
+//! exhibit (the paper's TGA corpus is dominated by a handful of
+//! blockbuster drugs). The uniform corpus spreads reports evenly over
+//! same-sized blocks; it is reported for context and not gated, since
+//! balanced inputs leave stealing little to win.
+
+use adr_model::{AdrReport, ReportId};
+use dedup::{
+    index_corpus, pack_pairs, pairwise_distances_partitioned, BlockingIndex, CorpusIndex,
+    ProcessedReport,
+};
+use sparklet::{Cluster, SchedConfig};
+use textprep::{Pipeline, TokenInterner};
+
+/// A corpus prepared for the distance stage: processed reports, the
+/// blocking index over all of them, and which ids count as newly arrived.
+pub struct SchedCorpus {
+    /// Indexed processed reports.
+    pub corpus: CorpusIndex,
+    /// Blocking index over the whole corpus.
+    pub blocking: BlockingIndex,
+    /// The arriving batch whose candidate pairs the stage computes.
+    pub new_ids: Vec<ReportId>,
+}
+
+fn build_corpus<D, N>(total: usize, arriving: usize, drug_of: D, narrative_of: N) -> SchedCorpus
+where
+    D: Fn(usize) -> String,
+    N: Fn(usize) -> String,
+{
+    let pipeline = Pipeline::paper();
+    let mut interner = TokenInterner::new();
+    let mut blocking = BlockingIndex::default();
+    let mut processed: Vec<ProcessedReport> = Vec::with_capacity(total);
+    for i in 0..total {
+        let mut r = AdrReport {
+            id: i as u64,
+            ..AdrReport::default()
+        };
+        r.patient.calculated_age = Some(20.0 + (i % 60) as f64);
+        r.medicine.generic_name_description = drug_of(i);
+        r.reaction.meddra_pt_code = "Adverse reaction".into();
+        r.reaction.report_description = narrative_of(i);
+        let p = ProcessedReport::from_report(&r, &pipeline, &mut interner);
+        blocking.insert(&p);
+        processed.push(p);
+    }
+    SchedCorpus {
+        corpus: index_corpus(processed),
+        blocking,
+        new_ids: ((total - arriving) as u64..total as u64).collect(),
+    }
+}
+
+/// Skewed corpus: ~a third of reports share one hot drug and carry long
+/// narratives; the rest spread over small background blocks with short
+/// ones. The hot block dominates both pair count and per-pair weight.
+pub fn skewed_corpus(total: usize, arriving: usize) -> SchedCorpus {
+    build_corpus(
+        total,
+        arriving,
+        |i| {
+            // Single-token names: blocking keys are per drug *token*, so a
+            // shared word would silently merge every block into one.
+            if i % 3 == 0 {
+                "paracetamol".to_string()
+            } else {
+                format!("backgrounddrug{}", i / 6)
+            }
+        },
+        |i| {
+            if i % 3 == 0 {
+                // Long, varied narratives on the hot block.
+                std::iter::repeat_n("severe headache nausea dizziness fatigue", 4 + i % 5)
+                    .collect::<Vec<_>>()
+                    .join(&format!(" episode {i} "))
+            } else {
+                format!("mild rash case {i}")
+            }
+        },
+    )
+}
+
+/// Uniform corpus: same-sized blocks, same-length narratives — no skew for
+/// the scheduler to exploit.
+pub fn uniform_corpus(total: usize, arriving: usize) -> SchedCorpus {
+    build_corpus(
+        total,
+        arriving,
+        |i| format!("evendrug{}", i % (total / 12).max(1)),
+        |i| format!("patient reported moderate symptoms after dose, case {i}"),
+    )
+}
+
+/// How the distance stage is scheduled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedMode {
+    /// One whole-block task per group, no splitting, no stealing — the
+    /// baseline the gate measures against.
+    Static,
+    /// Same block-per-partition layout, but cut into morsels with stealing
+    /// on: the scheduler alone absorbs the skew.
+    Steal,
+    /// [`pack_pairs`] first, then morsels + stealing: skew is split at
+    /// partitioning time and stealing mops up the residue.
+    Packed,
+}
+
+impl SchedMode {
+    /// Label used in tables and JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            SchedMode::Static => "static",
+            SchedMode::Steal => "steal",
+            SchedMode::Packed => "packed",
+        }
+    }
+}
+
+/// Measured outcome of one scheduling mode over one corpus.
+#[derive(Debug, Clone)]
+pub struct SchedRun {
+    /// Candidate pairs the stage computed.
+    pub pairs: usize,
+    /// Virtual makespan of the distance stage at the benchmark's worker
+    /// count (µs).
+    pub makespan_us: u64,
+    /// Morsels executed (== partitions for the static side).
+    pub morsels: u64,
+    /// Morsels that ran away from their home worker.
+    pub steals: u64,
+    /// Σ busy / (workers × makespan) over the run's morsel stages.
+    pub utilization: f64,
+    /// Max per-worker busy time over the mean.
+    pub imbalance: f64,
+    /// The run's rendered job report (the utilization artifact).
+    pub report_text: String,
+}
+
+fn total_ops(sc: &SchedCorpus, groups: &[Vec<adr_model::PairId>]) -> u64 {
+    groups
+        .iter()
+        .flatten()
+        .map(
+            |pid| match (sc.corpus.get(&pid.lo), sc.corpus.get(&pid.hi)) {
+                (Some(a), Some(b)) => dedup::pair_op_weight(a, b),
+                _ => 0,
+            },
+        )
+        .sum()
+}
+
+/// Run the pairwise-distance stage over `sc` on `workers` single-core
+/// executors under the given scheduling mode.
+pub fn run_distance_stage(sc: &SchedCorpus, workers: usize, mode: SchedMode) -> SchedRun {
+    let groups = sc.blocking.candidate_pair_groups(&sc.new_ids);
+    let mut config = crate::harness::experiment_cluster_config(workers, 1);
+    config.sched = if mode == SchedMode::Static {
+        SchedConfig::static_placement()
+    } else {
+        SchedConfig {
+            // Budget scaled so each worker's share cuts into a handful of
+            // morsels whatever the corpus size — the stealing granularity
+            // under test, not a fixed constant that a small corpus would
+            // leave uncut.
+            morsel_ops: (total_ops(sc, &groups) / (workers as u64 * 8)).max(1_000),
+            steal: true,
+        }
+    };
+    let cluster = Cluster::new(config);
+    let partitions = if mode == SchedMode::Packed {
+        pack_pairs(&sc.corpus, groups, workers)
+    } else {
+        groups
+    };
+    let pairs: usize = partitions.iter().map(|p| p.len()).sum();
+    let out =
+        pairwise_distances_partitioned(&cluster, &sc.corpus, partitions).expect("distance stage");
+    assert_eq!(out.len(), pairs, "every pair must produce a vector");
+    let stage = cluster
+        .clock()
+        .stages()
+        .into_iter()
+        .rev()
+        .find(|s| s.name == "pairwise-distances")
+        .expect("distance stage record");
+    let report = cluster.job_report();
+    SchedRun {
+        pairs,
+        makespan_us: stage.makespan_us(workers),
+        morsels: report.sched.morsels,
+        steals: report.sched.steals,
+        utilization: report.sched.utilization,
+        imbalance: report.sched.imbalance,
+        report_text: report.to_string(),
+    }
+}
+
+/// One corpus's three-way comparison.
+#[derive(Debug, Clone)]
+pub struct SchedComparison {
+    /// Corpus label (`"skewed"` / `"uniform"`).
+    pub label: &'static str,
+    /// The static baseline.
+    pub static_run: SchedRun,
+    /// Morsels + stealing over the unpacked block partitions.
+    pub steal_run: SchedRun,
+    /// Packed partitions + morsels + stealing.
+    pub packed_run: SchedRun,
+}
+
+impl SchedComparison {
+    /// Makespan ratio static / packed — the number the gate reads.
+    pub fn speedup(&self) -> f64 {
+        self.static_run.makespan_us as f64 / (self.packed_run.makespan_us as f64).max(1.0)
+    }
+
+    /// Makespan ratio static / steal-only: what the scheduler wins before
+    /// any partitioning help.
+    pub fn steal_speedup(&self) -> f64 {
+        self.static_run.makespan_us as f64 / (self.steal_run.makespan_us as f64).max(1.0)
+    }
+}
+
+fn run_json(r: &SchedRun) -> String {
+    format!(
+        "{{\"pairs\": {}, \"makespan_us\": {}, \"morsels\": {}, \"steals\": {}, \
+         \"utilization\": {:.4}, \"imbalance\": {:.4}}}",
+        r.pairs, r.makespan_us, r.morsels, r.steals, r.utilization, r.imbalance
+    )
+}
+
+/// Render the comparisons as the `BENCH_sched.json` document.
+pub fn sched_to_json(workers: usize, comparisons: &[SchedComparison], threshold: f64) -> String {
+    let gated = comparisons
+        .iter()
+        .find(|c| c.label == "skewed")
+        .map(|c| c.speedup())
+        .unwrap_or(0.0);
+    let mut out = format!("{{\n  \"schema_version\": 1,\n  \"workers\": {workers},\n");
+    for c in comparisons {
+        out.push_str(&format!(
+            "  \"{}\": {{\"static\": {}, \"steal\": {}, \"packed\": {}, \
+             \"steal_speedup\": {:.2}, \"speedup\": {:.2}}},\n",
+            c.label,
+            run_json(&c.static_run),
+            run_json(&c.steal_run),
+            run_json(&c.packed_run),
+            c.steal_speedup(),
+            c.speedup()
+        ));
+    }
+    out.push_str(&format!(
+        "  \"gate\": {{\"threshold\": {threshold:.2}, \"speedup\": {gated:.2}, \"passed\": {}}}\n}}\n",
+        gated >= threshold
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skewed_corpus_has_a_dominant_block() {
+        let sc = skewed_corpus(240, 24);
+        let groups = sc.blocking.candidate_pair_groups(&sc.new_ids);
+        let sizes: Vec<usize> = groups.iter().map(|g| g.len()).collect();
+        let total: usize = sizes.iter().sum();
+        let max = *sizes.iter().max().unwrap();
+        assert!(
+            max * 2 > total,
+            "hot block must dominate the pair stream: {max} of {total}"
+        );
+    }
+
+    #[test]
+    fn stealing_beats_static_placement_on_skew() {
+        let sc = skewed_corpus(240, 24);
+        let static_run = run_distance_stage(&sc, 8, SchedMode::Static);
+        let steal_run = run_distance_stage(&sc, 8, SchedMode::Steal);
+        let packed_run = run_distance_stage(&sc, 8, SchedMode::Packed);
+        assert_eq!(static_run.pairs, steal_run.pairs, "same work all modes");
+        assert_eq!(static_run.pairs, packed_run.pairs, "same work all modes");
+        assert!(
+            steal_run.makespan_us < static_run.makespan_us,
+            "stealing alone must beat static on a skewed corpus: {} vs {}",
+            steal_run.makespan_us,
+            static_run.makespan_us
+        );
+        assert!(
+            packed_run.makespan_us < static_run.makespan_us,
+            "packing + stealing must beat static: {} vs {}",
+            packed_run.makespan_us,
+            static_run.makespan_us
+        );
+        assert!(
+            steal_run.steals > 0,
+            "the hot unpacked partition must get stolen from"
+        );
+        assert!(packed_run.utilization > static_run.utilization);
+    }
+
+    #[test]
+    fn json_shape_is_well_formed() {
+        let run = SchedRun {
+            pairs: 10,
+            makespan_us: 1000,
+            morsels: 4,
+            steals: 1,
+            utilization: 0.9,
+            imbalance: 1.1,
+            report_text: String::new(),
+        };
+        let cmp = SchedComparison {
+            label: "skewed",
+            static_run: SchedRun {
+                makespan_us: 3000,
+                ..run.clone()
+            },
+            steal_run: SchedRun {
+                makespan_us: 1500,
+                ..run.clone()
+            },
+            packed_run: run,
+        };
+        let doc = sched_to_json(8, &[cmp], 1.5);
+        assert!(doc.contains("\"speedup\": 3.00"));
+        assert!(doc.contains("\"steal_speedup\": 2.00"));
+        assert!(doc.contains("\"passed\": true"));
+        assert!(doc.starts_with('{') && doc.ends_with("}\n"));
+    }
+}

@@ -117,6 +117,50 @@ impl BlockingIndex {
         v
     }
 
+    /// Per-block candidate pairs for a batch of new reports — the same pair
+    /// set as [`BlockingIndex::candidate_pairs`], but kept grouped by
+    /// blocking key so a skew-aware packer
+    /// ([`crate::pairing::pack_pairs`]) can balance the hot blocks before
+    /// the distance stage is submitted.
+    ///
+    /// Blocks are visited in [`BlockKey`] order; a pair sharing several keys
+    /// is assigned to the first block that produces it, and pairs are sorted
+    /// within each group — the grouping is fully deterministic and flattens
+    /// (after a global sort) to exactly `candidate_pairs`.
+    pub fn candidate_pair_groups(&self, new_ids: &[ReportId]) -> Vec<Vec<PairId>> {
+        let new_set: HashSet<ReportId> = new_ids.iter().copied().collect();
+        let mut touched: Vec<BlockKey> = new_ids
+            .iter()
+            .flat_map(|id| self.report_keys.get(id).into_iter().flatten().copied())
+            .collect();
+        touched.sort_unstable();
+        touched.dedup();
+        let mut seen: HashSet<PairId> = HashSet::new();
+        let mut groups = Vec::new();
+        for key in touched {
+            let Some(members) = self.blocks.get(&key) else {
+                continue;
+            };
+            let mut group = Vec::new();
+            for (i, &a) in members.iter().enumerate() {
+                for &b in &members[i + 1..] {
+                    if a == b || !(new_set.contains(&a) || new_set.contains(&b)) {
+                        continue;
+                    }
+                    let pid = PairId::new(a, b);
+                    if seen.insert(pid) {
+                        group.push(pid);
+                    }
+                }
+            }
+            if !group.is_empty() {
+                group.sort_unstable();
+                groups.push(group);
+            }
+        }
+        groups
+    }
+
     /// All candidate pairs the index induces over the whole database.
     pub fn all_candidate_pairs(&self) -> Vec<PairId> {
         let mut out: HashSet<PairId> = HashSet::new();
@@ -243,6 +287,26 @@ mod tests {
             assert!(p.lo < p.hi);
             assert!(new_ids.contains(&p.lo) || new_ids.contains(&p.hi));
         }
+    }
+
+    #[test]
+    fn candidate_pair_groups_flatten_to_candidate_pairs() {
+        let ds = Dataset::generate(&SynthConfig::small(300, 15, 11));
+        let reports = processed(&ds);
+        let index = BlockingIndex::build(&reports);
+        let new_ids: Vec<u64> = (280..300).collect();
+        let groups = index.candidate_pair_groups(&new_ids);
+        let mut flat: Vec<PairId> = groups.iter().flatten().copied().collect();
+        let set: HashSet<PairId> = flat.iter().copied().collect();
+        assert_eq!(set.len(), flat.len(), "a pair appears in exactly one group");
+        flat.sort_unstable();
+        assert_eq!(flat, index.candidate_pairs(&new_ids));
+        for g in &groups {
+            assert!(!g.is_empty(), "empty groups are dropped");
+            assert!(g.windows(2).all(|w| w[0] < w[1]), "sorted within group");
+        }
+        // Deterministic: a second call gives the identical grouping.
+        assert_eq!(groups, index.candidate_pair_groups(&new_ids));
     }
 
     #[test]

@@ -71,13 +71,84 @@ pub fn pairs_involving_new(new_ids: &[ReportId], existing_ids: &[ReportId]) -> V
     out
 }
 
+/// Base op weight of one §4.2 distance vector: the five scalar field
+/// distances plus per-pair bookkeeping. The token-set work is charged per
+/// token on top — see [`pair_op_weight`].
+pub const PAIR_OP_BASE: u64 = 8;
+
+/// Virtual op weight of one pair's distance vector: the base cost plus one
+/// op per token the three Jaccard distances actually scan (drug, ADR and
+/// narrative token sets of both reports). Merging two sorted slices is
+/// linear in their combined length, so this is the honest per-pair cost —
+/// a pair of long-narrative reports weighs several times a terse one, which
+/// is exactly the skew the morsel scheduler has to balance.
+pub fn pair_op_weight(a: &ProcessedReport, b: &ProcessedReport) -> u64 {
+    PAIR_OP_BASE
+        + (a.drug_tokens.len()
+            + b.drug_tokens.len()
+            + a.adr_tokens.len()
+            + b.adr_tokens.len()
+            + a.narrative_terms.len()
+            + b.narrative_terms.len()) as u64
+}
+
+fn weight_in(corpus: &CorpusIndex, pid: &PairId) -> u64 {
+    match (corpus.get(&pid.lo), corpus.get(&pid.hi)) {
+        (Some(a), Some(b)) => pair_op_weight(a, b),
+        // Unknown ids fail inside the task with a proper error; weigh them
+        // nominally so the cutter still terminates.
+        _ => PAIR_OP_BASE,
+    }
+}
+
 /// Distributed pairwise-distance computation — the separately-timed first
-/// stage of the workflow (the paper's Fig. 10b). One map task per partition
-/// computes the §4.2 distance vector of its share of candidate pairs; each
-/// vector computation charges one virtual op.
+/// stage of the workflow (the paper's Fig. 10b) — over a caller-chosen pair
+/// partitioning. Each partition is cut into op-weight-bounded morsels and
+/// scheduled with work stealing (see [`Cluster::run_morsel_job`] and
+/// [`sparklet::SchedConfig`]); every pair charges its honest
+/// [`pair_op_weight`], so skewed partitions show up in the virtual clock and
+/// get balanced rather than hidden.
 ///
-/// The corpus arrives as a pre-built [`CorpusIndex`]: the job clones the
-/// `Arc`, not the reports, so repeated calls (bootstrap, every
+/// Output is flattened in (partition, pair) order — deterministic for any
+/// scheduling, so digests over downstream results never depend on steal
+/// interleavings.
+pub fn pairwise_distances_partitioned(
+    cluster: &Cluster,
+    corpus: &CorpusIndex,
+    partitions: Vec<Vec<PairId>>,
+) -> Result<Vec<(PairId, DistVec)>> {
+    let by_id = Arc::clone(corpus);
+    let weigher = Arc::clone(corpus);
+    let out = cluster.run_morsel_job(
+        "pairwise-distances",
+        partitions,
+        move |pid| weight_in(&weigher, pid),
+        move |_, pairs, ctx| {
+            ctx.counter("dedup.pair_distances").add(pairs.len() as u64);
+            let mut ops = 0u64;
+            let mut out = Vec::with_capacity(pairs.len());
+            for pid in pairs {
+                let a = by_id.get(&pid.lo).ok_or_else(|| {
+                    sparklet::SparkletError::User(format!("unknown report {}", pid.lo))
+                })?;
+                let b = by_id.get(&pid.hi).ok_or_else(|| {
+                    sparklet::SparkletError::User(format!("unknown report {}", pid.hi))
+                })?;
+                ops += pair_op_weight(a, b);
+                out.push((*pid, pair_distance(a, b)));
+            }
+            ctx.charge_ops(ops);
+            Ok(out)
+        },
+    )?;
+    Ok(out.into_iter().flatten().collect())
+}
+
+/// [`pairwise_distances_partitioned`] over the classic contiguous
+/// partitioning: `pairs` is split into `num_partitions` even runs (the same
+/// boundaries `Cluster::parallelize` uses), so results come back in input
+/// order. The corpus arrives as a pre-built [`CorpusIndex`]: the job clones
+/// the `Arc`, not the reports, so repeated calls (bootstrap, every
 /// `detect_new` batch) share one corpus allocation.
 pub fn pairwise_distances(
     cluster: &Cluster,
@@ -85,31 +156,67 @@ pub fn pairwise_distances(
     pairs: Vec<PairId>,
     num_partitions: usize,
 ) -> Result<Vec<(PairId, DistVec)>> {
-    let by_id = Arc::clone(corpus);
-    // One §4.2 distance vector costs ~an order of magnitude more than one
-    // 8-dim Euclidean comparison: it tokenises nothing (preprocessing is
-    // amortised) but computes three Jaccard coefficients over token sets,
-    // the narrative one over ~40 stems. Charge accordingly so the virtual
-    // clock weighs this stage like the paper's Fig. 10(b).
-    const DISTANCE_VECTOR_OP_WEIGHT: u64 = 50;
-    cluster
-        .parallelize(pairs, num_partitions)
-        .map_partitions_with_ctx(move |ctx, _, part: Vec<PairId>| {
-            ctx.charge_ops(part.len() as u64 * DISTANCE_VECTOR_OP_WEIGHT);
-            ctx.counter("dedup.pair_distances").add(part.len() as u64);
-            part.into_iter()
-                .map(|pid| {
-                    let a = by_id.get(&pid.lo).ok_or_else(|| {
-                        sparklet::SparkletError::User(format!("unknown report {}", pid.lo))
-                    })?;
-                    let b = by_id.get(&pid.hi).ok_or_else(|| {
-                        sparklet::SparkletError::User(format!("unknown report {}", pid.hi))
-                    })?;
-                    Ok((pid, pair_distance(a, b)))
-                })
-                .collect()
-        })
-        .collect()
+    let n = num_partitions.max(1);
+    let len = pairs.len();
+    let mut parts: Vec<Vec<PairId>> = Vec::with_capacity(n);
+    for i in 0..n {
+        let start = i * len / n;
+        let end = (i + 1) * len / n;
+        parts.push(pairs[start..end].to_vec());
+    }
+    pairwise_distances_partitioned(cluster, corpus, parts)
+}
+
+/// Skew-aware packing of candidate-pair groups (one group per blocking key;
+/// see [`crate::BlockingIndex::candidate_pair_groups`]) into
+/// `num_partitions` balanced partitions.
+///
+/// Greedy LPT with splitting: groups heavier than the per-partition target
+/// (`ceil(total / partitions)`) are first cut into contiguous chunks at or
+/// under it — a single hot block can no longer dominate one partition —
+/// then chunks are placed heaviest-first onto the least-loaded partition.
+/// Ties break on the first pair id (chunk order) and the lowest partition
+/// index (placement), so the packing is fully deterministic.
+pub fn pack_pairs(
+    corpus: &CorpusIndex,
+    groups: Vec<Vec<PairId>>,
+    num_partitions: usize,
+) -> Vec<Vec<PairId>> {
+    let parts = num_partitions.max(1);
+    let total: u64 = groups
+        .iter()
+        .flatten()
+        .map(|pid| weight_in(corpus, pid))
+        .sum();
+    let target = total.div_ceil(parts as u64).max(1);
+    let mut chunks: Vec<(u64, Vec<PairId>)> = Vec::new();
+    for group in groups {
+        let mut cur: Vec<PairId> = Vec::new();
+        let mut acc = 0u64;
+        for pid in group {
+            let w = weight_in(corpus, &pid);
+            if !cur.is_empty() && acc.saturating_add(w) > target {
+                chunks.push((acc, std::mem::take(&mut cur)));
+                acc = 0;
+            }
+            cur.push(pid);
+            acc = acc.saturating_add(w);
+        }
+        if !cur.is_empty() {
+            chunks.push((acc, cur));
+        }
+    }
+    chunks.sort_by(|(wa, a), (wb, b)| wb.cmp(wa).then_with(|| a.first().cmp(&b.first())));
+    let mut out: Vec<Vec<PairId>> = (0..parts).map(|_| Vec::new()).collect();
+    let mut loads = vec![0u64; parts];
+    for (w, chunk) in chunks {
+        let lightest = (0..parts)
+            .min_by_key(|&i| (loads[i], i))
+            .expect("parts >= 1");
+        loads[lightest] += w;
+        out[lightest].extend(chunk);
+    }
+    out
 }
 
 #[cfg(test)]
@@ -176,6 +283,125 @@ mod tests {
             assert_eq!(v, &expect, "mismatch for {pid:?}");
         }
         assert_eq!(cluster.metrics().counter("dedup.pair_distances").get(), 15);
+    }
+
+    fn tiny_corpus(n: u64) -> (Vec<ProcessedReport>, CorpusIndex) {
+        let pipeline = Pipeline::paper();
+        let mut interner = TokenInterner::new();
+        let processed: Vec<ProcessedReport> = (0..n)
+            .map(|id| {
+                let mut r = AdrReport {
+                    id,
+                    ..AdrReport::default()
+                };
+                r.medicine.generic_name_description = format!("Drug{}", id % 3);
+                r.reaction.meddra_pt_code = "Rash".into();
+                // Narrative length grows with id — deliberate weight skew.
+                r.reaction.report_description =
+                    std::iter::repeat_n("itchy swollen arm", 1 + id as usize % 7)
+                        .collect::<Vec<_>>()
+                        .join(" symptom ");
+                ProcessedReport::from_report(&r, &pipeline, &mut interner)
+            })
+            .collect();
+        let corpus = index_corpus(processed.clone());
+        (processed, corpus)
+    }
+
+    #[test]
+    fn pair_op_weight_scales_with_token_counts() {
+        let (processed, _) = tiny_corpus(8);
+        let light = pair_op_weight(&processed[0], &processed[1]);
+        let heavy = pair_op_weight(&processed[5], &processed[6]);
+        assert!(light > PAIR_OP_BASE, "tokens must contribute");
+        assert!(
+            heavy > light,
+            "longer narratives must cost more: {heavy} vs {light}"
+        );
+    }
+
+    #[test]
+    fn partitioned_distances_flatten_in_partition_order() {
+        let (processed, corpus) = tiny_corpus(6);
+        let ids: Vec<u64> = (0..6).collect();
+        let pairs = all_pairs(&ids);
+        // A deliberately ragged partitioning, including an empty partition.
+        let parts = vec![pairs[10..15].to_vec(), Vec::new(), pairs[0..10].to_vec()];
+        let cluster = Cluster::local(2);
+        let dist = pairwise_distances_partitioned(&cluster, &corpus, parts).unwrap();
+        let expect_order: Vec<PairId> =
+            pairs[10..15].iter().chain(&pairs[0..10]).copied().collect();
+        assert_eq!(
+            dist.iter().map(|(p, _)| *p).collect::<Vec<_>>(),
+            expect_order,
+            "output must follow (partition, pair) order"
+        );
+        for (pid, v) in &dist {
+            let expect = pair_distance(&processed[pid.lo as usize], &processed[pid.hi as usize]);
+            assert_eq!(v, &expect);
+        }
+    }
+
+    #[test]
+    fn pack_pairs_balances_a_hot_block() {
+        let (_, corpus) = tiny_corpus(40);
+        let ids: Vec<u64> = (0..40).collect();
+        // One hot group holding nearly all pairs plus a few singleton groups
+        // — the shape a hot drug block produces.
+        let hot = all_pairs(&ids[..30]);
+        let groups = vec![
+            hot.clone(),
+            vec![PairId::new(30, 31)],
+            vec![PairId::new(32, 33)],
+            vec![PairId::new(34, 35)],
+        ];
+        let packed = pack_pairs(&corpus, groups.clone(), 4);
+        assert_eq!(packed.len(), 4);
+        // Every pair survives exactly once.
+        let mut flat: Vec<PairId> = packed.iter().flatten().copied().collect();
+        flat.sort();
+        let mut expect: Vec<PairId> = groups.into_iter().flatten().collect();
+        expect.sort();
+        assert_eq!(flat, expect);
+        // The hot block is split: its pairs span several partitions, and the
+        // heaviest partition carries far less than the whole.
+        let loads: Vec<u64> = packed
+            .iter()
+            .map(|part| part.iter().map(|p| weight_in(&corpus, p)).sum())
+            .collect();
+        let total: u64 = loads.iter().sum();
+        let max = *loads.iter().max().unwrap();
+        let min = *loads.iter().min().unwrap();
+        assert!(
+            max < total / 2,
+            "hot block must be split across partitions: max {max} of {total}"
+        );
+        assert!(
+            max <= min.saturating_mul(2).max(total / 2),
+            "LPT packing should be roughly balanced: {loads:?}"
+        );
+        // Deterministic.
+        let again = pack_pairs(
+            &corpus,
+            vec![
+                hot,
+                vec![PairId::new(30, 31)],
+                vec![PairId::new(32, 33)],
+                vec![PairId::new(34, 35)],
+            ],
+            4,
+        );
+        assert_eq!(packed, again);
+    }
+
+    #[test]
+    fn pack_pairs_handles_degenerate_inputs() {
+        let (_, corpus) = tiny_corpus(4);
+        assert_eq!(pack_pairs(&corpus, Vec::new(), 3), vec![Vec::new(); 3]);
+        let one = vec![vec![PairId::new(0, 1)]];
+        let packed = pack_pairs(&corpus, one, 0);
+        assert_eq!(packed.len(), 1, "zero partitions clamps to one");
+        assert_eq!(packed[0], vec![PairId::new(0, 1)]);
     }
 
     #[test]

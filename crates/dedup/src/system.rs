@@ -2,7 +2,10 @@
 
 use crate::blocking::BlockingIndex;
 use crate::distance::ProcessedReport;
-use crate::pairing::{pairs_involving_new, pairwise_distances, CorpusIndex};
+use crate::pairing::{
+    pack_pairs, pairs_involving_new, pairwise_distances, pairwise_distances_partitioned,
+    CorpusIndex,
+};
 use crate::store::PairStore;
 use adr_model::{AdrReport, PairId, ReportId};
 use fastknn::{FastKnn, FastKnnConfig, VecBatch};
@@ -182,17 +185,27 @@ impl DedupSystem {
             self.add_report(r);
         }
         let new_ids: Vec<ReportId> = new_reports.iter().map(|r| r.id).collect();
-        let pairs = if self.config.use_blocking {
-            self.blocking.candidate_pairs(&new_ids)
+        let distances = if self.config.use_blocking {
+            // Blocking skews pair counts heavily towards hot drug blocks, so
+            // the candidate stream goes through the skew-aware packer: one
+            // pair group per blocking key, LPT-packed (splitting oversized
+            // groups) into op-weight-balanced partitions. The flattened
+            // output order depends on the packing, so sort by pair id to
+            // keep downstream results (and their digests) partition-free.
+            let groups = self.blocking.candidate_pair_groups(&new_ids);
+            let partitions = pack_pairs(&self.processed, groups, self.config.pair_partitions);
+            let mut distances =
+                pairwise_distances_partitioned(&self.cluster, &self.processed, partitions)?;
+            distances.sort_unstable_by_key(|(pid, _)| *pid);
+            distances
         } else {
-            pairs_involving_new(&new_ids, &existing)
+            pairwise_distances(
+                &self.cluster,
+                &self.processed,
+                pairs_involving_new(&new_ids, &existing),
+                self.config.pair_partitions,
+            )?
         };
-        let distances = pairwise_distances(
-            &self.cluster,
-            &self.processed,
-            pairs,
-            self.config.pair_partitions,
-        )?;
 
         let train = self.store.training_pairs();
         let model = FastKnn::fit(&self.cluster, &train, self.config.knn)?;

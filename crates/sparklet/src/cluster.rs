@@ -17,7 +17,7 @@ use crate::journal::{EventKind, JobReport, RunJournal};
 use crate::metrics::ClusterMetrics;
 use crate::rdd::Rdd;
 use crate::shuffle::ShuffleService;
-use crate::simtime::{StageRecord, VirtualClock, VirtualDuration};
+use crate::simtime::{simulate_morsels, MorselInfo, StageRecord, VirtualClock, VirtualDuration};
 use crate::storage::BlockManager;
 use crate::task::TaskContext;
 use crate::Data;
@@ -319,6 +319,101 @@ impl Cluster {
         T: Data,
         F: Fn(usize, &TaskContext) -> Result<Vec<T>> + Send + Sync + 'static,
     {
+        self.run_job_inner(stage, num_tasks, f, None)
+    }
+
+    /// Run one stage morsel-driven: each of `partitions` is cut into
+    /// contiguous *morsels* whose summed `weight` stays at or under
+    /// [`crate::SchedConfig::morsel_ops`], and `f(partition, slice, ctx)`
+    /// runs once per morsel. Virtual placement is owner-queues plus work
+    /// stealing (see [`simulate_morsels`]); the first morsel of a partition
+    /// pays the full task launch overhead, follow-ups only
+    /// [`crate::CostModelConfig::morsel_dispatch_overhead_us`], so an
+    /// unsplit stage costs exactly what [`Cluster::run_job`] charges.
+    ///
+    /// Results are reassembled in (partition, morsel-index) order, so the
+    /// returned per-partition outputs are bit-identical regardless of worker
+    /// count, morsel budget or steal interleaving — for deterministic `f`,
+    /// `run_morsel_job` and whole-partition execution agree byte-for-byte.
+    pub fn run_morsel_job<T, U, W, F>(
+        &self,
+        stage: &str,
+        partitions: Vec<Vec<T>>,
+        weight: W,
+        f: F,
+    ) -> Result<Vec<Vec<U>>>
+    where
+        T: Send + Sync + 'static,
+        U: Data,
+        W: Fn(&T) -> u64,
+        F: Fn(usize, &[T], &TaskContext) -> Result<Vec<U>> + Send + Sync + 'static,
+    {
+        let budget = self.inner.config.sched.morsel_ops.max(1);
+        let cost = &self.inner.config.cost;
+        // Cut each partition into contiguous weight-bounded morsels. Every
+        // partition emits at least one morsel (even an empty one), so the
+        // output keeps one entry per input partition.
+        let mut ranges: Vec<(usize, usize, usize)> = Vec::new();
+        for (p, part) in partitions.iter().enumerate() {
+            let mut start = 0usize;
+            let mut acc = 0u64;
+            for (i, item) in part.iter().enumerate() {
+                let w = weight(item);
+                if i > start && acc.saturating_add(w) > budget {
+                    ranges.push((p, start, i));
+                    start = i;
+                    acc = 0;
+                }
+                acc = acc.saturating_add(w);
+            }
+            ranges.push((p, start, part.len()));
+        }
+        let mut partition_of = Vec::with_capacity(ranges.len());
+        let mut overhead_of = Vec::with_capacity(ranges.len());
+        for (m, &(p, ..)) in ranges.iter().enumerate() {
+            partition_of.push(p);
+            let first_of_partition = m == 0 || ranges[m - 1].0 != p;
+            overhead_of.push(if first_of_partition {
+                cost.task_launch_overhead_us
+            } else {
+                cost.morsel_dispatch_overhead_us
+            });
+        }
+        let meta = MorselMeta {
+            partition_of,
+            overhead_of,
+            steal: self.inner.config.sched.steal,
+        };
+        let num_partitions = partitions.len();
+        let data = Arc::new(partitions);
+        let ranges = Arc::new(ranges);
+        let body = {
+            let data = data.clone();
+            let ranges = ranges.clone();
+            move |task: usize, ctx: &TaskContext| {
+                let (p, start, end) = ranges[task];
+                f(p, &data[p][start..end], ctx)
+            }
+        };
+        let morsel_results = self.run_job_inner(stage, ranges.len(), body, Some(meta))?;
+        let mut out: Vec<Vec<U>> = (0..num_partitions).map(|_| Vec::new()).collect();
+        for (chunk, &(p, ..)) in morsel_results.into_iter().zip(ranges.iter()) {
+            out[p].extend(chunk);
+        }
+        Ok(out)
+    }
+
+    fn run_job_inner<T, F>(
+        &self,
+        stage: &str,
+        num_tasks: usize,
+        f: F,
+        morsel: Option<MorselMeta>,
+    ) -> Result<Vec<Vec<T>>>
+    where
+        T: Data,
+        F: Fn(usize, &TaskContext) -> Result<Vec<T>> + Send + Sync + 'static,
+    {
         let job_id = self.inner.next_job_id.fetch_add(1, Ordering::Relaxed);
         let max_attempts = self.inner.config.max_task_attempts.max(1);
         let penalty = self.inner.config.cost.retry_penalty_us;
@@ -328,6 +423,19 @@ impl Cluster {
             tasks: num_tasks,
         });
         let f = Arc::new(f);
+        let (morsel_info, overheads) = match morsel {
+            Some(m) => (
+                Some(MorselInfo {
+                    partition_of: m.partition_of,
+                    steal: m.steal,
+                }),
+                m.overhead_of,
+            ),
+            None => (
+                None,
+                vec![self.inner.config.cost.task_launch_overhead_us; num_tasks],
+            ),
+        };
 
         let mut results: Vec<Option<Vec<T>>> = (0..num_tasks).map(|_| None).collect();
         let mut exhausted: Vec<Option<SparkletError>> = (0..num_tasks).map(|_| None).collect();
@@ -348,10 +456,10 @@ impl Cluster {
             for &(task, attempt) in &pending {
                 match self.inner.executors.place(task, attempt) {
                     Some((executor, incarnation)) => {
-                        wave.push((task, attempt, executor, incarnation))
+                        wave.push((task, attempt, executor, incarnation, overheads[task]))
                     }
                     None => {
-                        self.finish_stage(stage, task_us, shuffle_bytes, retries);
+                        self.finish_stage(stage, task_us, shuffle_bytes, retries, morsel_info);
                         return Err(SparkletError::NoHealthyExecutors {
                             stage: stage.to_string(),
                         });
@@ -359,7 +467,7 @@ impl Cluster {
                 }
             }
             pending.clear();
-            let mut outcomes = self.run_wave(stage, job_id, &wave, &f);
+            let mut outcomes = self.run_wave(stage, job_id, &wave, morsel_info.is_none(), &f);
             outcomes.sort_by_key(|o| (o.task, o.attempt));
             let mut failed_shuffles: Vec<u64> = Vec::new();
             for outcome in outcomes {
@@ -389,13 +497,18 @@ impl Cluster {
                 match outcome.result {
                     Ok(data) => {
                         self.inner.metrics.tasks_succeeded.inc();
-                        self.inner.journal.record(EventKind::TaskSucceeded {
-                            stage: stage.to_string(),
-                            task: outcome.task,
-                            attempt: outcome.attempt,
-                            virtual_us: outcome.virtual_us,
-                            records_out: data.len() as u64,
-                        });
+                        // Morsel stages journal at stage granularity (plus
+                        // coalesced steal/idle events): per-morsel success
+                        // records would grow the journal O(morsels).
+                        if morsel_info.is_none() {
+                            self.inner.journal.record(EventKind::TaskSucceeded {
+                                stage: stage.to_string(),
+                                task: outcome.task,
+                                attempt: outcome.attempt,
+                                virtual_us: outcome.virtual_us,
+                                records_out: data.len() as u64,
+                            });
+                        }
                         results[outcome.task] = Some(data);
                         completions += 1;
                         self.process_kill_triggers(stage, completions);
@@ -448,7 +561,7 @@ impl Cluster {
             .enumerate()
             .find_map(|(task, e)| e.take().map(|e| (task, e)));
         if let Some((task, e)) = first_error {
-            self.finish_stage(stage, task_us, shuffle_bytes, retries);
+            self.finish_stage(stage, task_us, shuffle_bytes, retries, morsel_info);
             return Err(SparkletError::TaskFailed {
                 stage: stage.to_string(),
                 task,
@@ -458,10 +571,34 @@ impl Cluster {
         }
 
         if self.inner.config.speculation && num_tasks >= 2 {
-            self.speculate(stage, job_id, &attempts_used, &mut task_us, &f);
+            // A stolen morsel already ran away from its home worker — a
+            // speculative clone would be a second in-flight attempt of it.
+            // Replay the steal schedule to find and skip those.
+            let skip = match &morsel_info {
+                Some(info) if info.steal => {
+                    simulate_morsels(
+                        &task_us,
+                        &info.partition_of,
+                        self.inner.config.total_slots(),
+                        true,
+                    )
+                    .stolen
+                }
+                _ => vec![false; num_tasks],
+            };
+            self.speculate(
+                stage,
+                job_id,
+                &attempts_used,
+                &mut task_us,
+                &overheads,
+                &skip,
+                morsel_info.is_none(),
+                &f,
+            );
         }
 
-        self.finish_stage(stage, task_us, shuffle_bytes, retries);
+        self.finish_stage(stage, task_us, shuffle_bytes, retries, morsel_info);
         Ok(results
             .into_iter()
             .map(|r| r.expect("missing task result"))
@@ -474,7 +611,8 @@ impl Cluster {
         &self,
         stage: &str,
         job_id: u64,
-        wave: &[(usize, u32, usize, u32)],
+        wave: &[(usize, u32, usize, u32, u64)],
+        journal_launches: bool,
         f: &Arc<F>,
     ) -> Vec<AttemptOutcome<T>>
     where
@@ -482,7 +620,7 @@ impl Cluster {
         F: Fn(usize, &TaskContext) -> Result<Vec<T>> + Send + Sync + 'static,
     {
         let (tx, rx) = unbounded::<AttemptOutcome<T>>();
-        for &(task, attempt, executor, incarnation) in wave {
+        for &(task, attempt, executor, incarnation, overhead_us) in wave {
             let f = f.clone();
             let tx = tx.clone();
             let inner = self.inner.clone();
@@ -496,6 +634,8 @@ impl Cluster {
                     attempt,
                     executor,
                     incarnation,
+                    overhead_us,
+                    journal_launches,
                     &*f,
                 );
                 let _ = tx.send(outcome);
@@ -518,12 +658,16 @@ impl Cluster {
     /// are keep-first, so a losing clone cannot alter state). Speculative
     /// attempts are tracked by the `speculative_*` counters only — they
     /// never perturb `tasks_succeeded` / `tasks_failed`.
+    #[allow(clippy::too_many_arguments)]
     fn speculate<T, F>(
         &self,
         stage: &str,
         job_id: u64,
         attempts_used: &[u32],
         task_us: &mut [u64],
+        overheads: &[u64],
+        skip: &[bool],
+        journal_launches: bool,
         f: &Arc<F>,
     ) where
         T: Data,
@@ -537,19 +681,25 @@ impl Cluster {
         }
         let mut wave = Vec::new();
         for (task, &us) in task_us.iter().enumerate() {
-            if us > 2 * median {
+            if us > 2 * median && !skip[task] {
                 if let Some((executor, incarnation)) =
                     self.inner.executors.place(task, attempts_used[task])
                 {
                     self.inner.metrics.speculative_launched.inc();
-                    wave.push((task, attempts_used[task], executor, incarnation));
+                    wave.push((
+                        task,
+                        attempts_used[task],
+                        executor,
+                        incarnation,
+                        overheads[task],
+                    ));
                 }
             }
         }
         if wave.is_empty() {
             return;
         }
-        let mut outcomes = self.run_wave(stage, job_id, &wave, f);
+        let mut outcomes = self.run_wave(stage, job_id, &wave, journal_launches, f);
         outcomes.sort_by_key(|o| (o.task, o.attempt));
         for outcome in outcomes {
             let won = outcome.result.is_ok()
@@ -571,14 +721,55 @@ impl Cluster {
     }
 
     /// Close a stage out: record its cost, advance the journal's virtual
-    /// stamp and journal the stage end.
-    fn finish_stage(&self, stage: &str, task_us: Vec<u64>, shuffle_bytes: u64, retries: u64) {
+    /// stamp and journal the stage end. Morsel stages also replay the steal
+    /// schedule once to emit coalesced per-stage `MorselStolen` /
+    /// `WorkerIdle` events (bounded by workers², not by morsel count) and
+    /// bump the morsel counters.
+    fn finish_stage(
+        &self,
+        stage: &str,
+        task_us: Vec<u64>,
+        shuffle_bytes: u64,
+        retries: u64,
+        morsels: Option<MorselInfo>,
+    ) {
         let stage_work: u64 = task_us.iter().sum();
+        if let Some(info) = &morsels {
+            self.inner
+                .metrics
+                .morsels_executed
+                .add(task_us.len() as u64);
+            let sim = simulate_morsels(
+                &task_us,
+                &info.partition_of,
+                self.inner.config.total_slots(),
+                info.steal,
+            );
+            self.inner.metrics.morsels_stolen.add(sim.stolen_count());
+            for &(thief, victim, count) in &sim.steals {
+                self.inner.journal.record(EventKind::MorselStolen {
+                    stage: stage.to_string(),
+                    thief,
+                    victim,
+                    count,
+                });
+            }
+            for (worker, &idle_us) in sim.idle_us.iter().enumerate() {
+                if idle_us > 0 {
+                    self.inner.journal.record(EventKind::WorkerIdle {
+                        stage: stage.to_string(),
+                        worker,
+                        idle_us,
+                    });
+                }
+            }
+        }
         self.inner.clock.record_stage(StageRecord {
             name: stage.to_string(),
             task_us,
             shuffle_bytes,
             retries,
+            morsels,
         });
         self.inner.journal.advance(stage_work);
         self.inner.journal.record(EventKind::StageFinished {
@@ -588,6 +779,15 @@ impl Cluster {
             retries,
         });
     }
+}
+
+/// Driver-side metadata of a morsel stage: the home partition and launch
+/// overhead of every morsel, plus whether stealing is on. Built by
+/// [`Cluster::run_morsel_job`], consumed by the scheduler core.
+struct MorselMeta {
+    partition_of: Vec<usize>,
+    overhead_of: Vec<u64>,
+    steal: bool,
 }
 
 struct AttemptOutcome<T> {
@@ -611,22 +811,31 @@ fn run_one_attempt<T: Data>(
     attempt: u32,
     executor: usize,
     incarnation: u32,
+    overhead_us: u64,
+    journal_launch: bool,
     f: &(dyn Fn(usize, &TaskContext) -> Result<Vec<T>> + Send + Sync),
 ) -> AttemptOutcome<T> {
     inner.metrics.tasks_launched.inc();
-    inner.journal.record(EventKind::TaskLaunched {
-        stage: stage.to_string(),
-        task,
-        attempt,
-        executor,
-    });
+    // Morsel stages skip per-attempt launch records — the journal would
+    // otherwise grow O(morsels); see `run_job_inner`.
+    if journal_launch {
+        inner.journal.record(EventKind::TaskLaunched {
+            stage: stage.to_string(),
+            task,
+            attempt,
+            executor,
+        });
+    }
+    // Morsels after the first of a partition pay dispatch, not full launch.
+    let mut cost = inner.config.cost;
+    cost.task_launch_overhead_us = overhead_us;
     let ctx = TaskContext::new(
         stage,
         task,
         attempt,
         executor,
         inner.metrics.clone(),
-        inner.config.cost,
+        cost,
         inner.config.memory_per_executor,
     );
     let result = {
@@ -677,7 +886,7 @@ fn fault_fires(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::FaultConfig;
+    use crate::config::{FaultConfig, SchedConfig};
 
     #[test]
     fn run_job_returns_ordered_partition_outputs() {
@@ -1000,6 +1209,144 @@ mod tests {
         })
         .unwrap();
         assert_eq!(c.metrics().speculative_launched.get(), 0);
+    }
+
+    #[test]
+    fn morsel_job_reassembles_partition_outputs_in_order() {
+        let c = Cluster::local(4);
+        let partitions: Vec<Vec<u32>> = (0..6)
+            .map(|p| {
+                (0..(p as u32 * 7 + 1))
+                    .map(|i| p as u32 * 100 + i)
+                    .collect()
+            })
+            .collect();
+        let expected = partitions.clone();
+        let out = c
+            .run_morsel_job(
+                "morsel",
+                partitions,
+                |_| 5_000,
+                |_, items, _| Ok(items.to_vec()),
+            )
+            .unwrap();
+        assert_eq!(out, expected);
+        assert!(
+            c.metrics().morsels_executed.get() > 6,
+            "heavy partitions must split into several morsels"
+        );
+    }
+
+    #[test]
+    fn morsel_output_is_invariant_under_budget_and_stealing() {
+        let baseline: Vec<Vec<u64>> = vec![
+            (0..40).map(|x| x * 2).collect(),
+            (40..45).map(|x| x * 2 + 1).collect(),
+            vec![],
+        ];
+        for (morsel_ops, steal) in [(u64::MAX, false), (1, true), (7, false), (7, true)] {
+            let mut cfg = ClusterConfig::local(3);
+            cfg.sched = SchedConfig { morsel_ops, steal };
+            let c = Cluster::new(cfg);
+            let partitions: Vec<Vec<u64>> = vec![(0..40).collect(), (40..45).collect(), Vec::new()];
+            let out = c
+                .run_morsel_job(
+                    "m",
+                    partitions,
+                    |&x| x.max(1),
+                    move |p, items, ctx| {
+                        ctx.charge_ops(items.len() as u64);
+                        Ok(items.iter().map(|&x| x * 2 + (p as u64 & 1)).collect())
+                    },
+                )
+                .unwrap();
+            assert_eq!(out, baseline, "morsel_ops={morsel_ops} steal={steal}");
+        }
+    }
+
+    #[test]
+    fn unsplit_morsel_stage_costs_the_same_as_run_job() {
+        // morsel_ops = MAX: one morsel per partition, each paying the full
+        // launch overhead — the cost model must match run_job exactly.
+        let mut cfg = ClusterConfig::local(2);
+        cfg.sched = SchedConfig::static_placement();
+        let c = Cluster::new(cfg);
+        c.run_morsel_job(
+            "m",
+            vec![vec![1u64; 10], vec![1; 4]],
+            |_| 1,
+            |_, items, ctx| {
+                ctx.charge_ops(items.len() as u64 * 100);
+                Ok(items.to_vec())
+            },
+        )
+        .unwrap();
+        let d = Cluster::local(2);
+        d.run_job("j", 2, |i, ctx| {
+            let n = if i == 0 { 10 } else { 4 };
+            ctx.charge_ops(n as u64 * 100);
+            Ok(vec![1u64; n])
+        })
+        .unwrap();
+        assert_eq!(c.clock().stages()[0].task_us, d.clock().stages()[0].task_us);
+    }
+
+    #[test]
+    fn morsel_job_survives_executor_kills() {
+        let mut cfg = ClusterConfig::local(2);
+        cfg.fault = FaultConfig::disabled().kill_in_stage(0, "m", 1);
+        let c = Cluster::new(cfg);
+        let partitions: Vec<Vec<u32>> = vec![(0..10).collect(), (10..20).collect()];
+        let out = c
+            .run_morsel_job("m", partitions, |_| 8_000, |_, items, _| Ok(items.to_vec()))
+            .unwrap();
+        assert_eq!(
+            out,
+            vec![
+                (0..10).collect::<Vec<u32>>(),
+                (10..20).collect::<Vec<u32>>()
+            ]
+        );
+        assert!(c.metrics().tasks_lost.get() >= 1, "the kill lost a result");
+        assert_eq!(c.metrics().executors_lost.get(), 1);
+    }
+
+    #[test]
+    fn speculation_skips_stolen_morsels() {
+        // One straggler morsel (m1, the second of partition 0) under a kill
+        // schedule that loses its first attempt. In the steal replay worker 1
+        // finishes its tiny queue and steals m1, so the speculative pass must
+        // leave it alone; with stealing off the same straggler is cloned.
+        let run = |steal: bool| {
+            let mut cfg = ClusterConfig::local(2);
+            cfg.speculation = true;
+            cfg.sched = SchedConfig {
+                morsel_ops: 1,
+                steal,
+            };
+            cfg.fault = FaultConfig::disabled().kill_in_stage(1, "spec", 1);
+            let c = Cluster::new(cfg);
+            let partitions: Vec<Vec<u64>> = vec![vec![1_000_000, 2_000_000], vec![1_000]];
+            let out = c
+                .run_morsel_job(
+                    "spec",
+                    partitions,
+                    |_| 1,
+                    |_, items, ctx| {
+                        ctx.charge_ops(items.iter().sum());
+                        Ok(items.to_vec())
+                    },
+                )
+                .unwrap();
+            assert_eq!(out, vec![vec![1_000_000, 2_000_000], vec![1_000]]);
+            assert!(c.metrics().tasks_lost.get() >= 1, "kill must engage");
+            c.metrics().speculative_launched.get()
+        };
+        assert!(
+            run(false) >= 1,
+            "static placement speculates on the straggler"
+        );
+        assert_eq!(run(true), 0, "a stolen morsel is never cloned");
     }
 
     #[test]

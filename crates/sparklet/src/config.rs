@@ -32,6 +32,8 @@ pub struct ClusterConfig {
     pub fault: FaultConfig,
     /// Virtual-time cost model.
     pub cost: CostModelConfig,
+    /// Morsel-driven scheduling knobs (see [`SchedConfig`]).
+    pub sched: SchedConfig,
 }
 
 impl ClusterConfig {
@@ -48,6 +50,7 @@ impl ClusterConfig {
             speculation: false,
             fault: FaultConfig::disabled(),
             cost: CostModelConfig::default(),
+            sched: SchedConfig::default(),
         }
     }
 
@@ -65,6 +68,55 @@ impl ClusterConfig {
 impl Default for ClusterConfig {
     fn default() -> Self {
         ClusterConfig::local(4)
+    }
+}
+
+/// Morsel-driven scheduling configuration.
+///
+/// [`crate::Cluster::run_morsel_job`] cuts each input partition into
+/// *morsels* — contiguous runs whose summed op weight stays at or under
+/// `morsel_ops` — and schedules morsels instead of whole partitions. Each
+/// worker owns the queue of morsels whose home partition maps to it; when
+/// `steal` is on, a worker that drains its queue takes the *tail* morsel of
+/// the queue with the most remaining work. Results are reassembled in
+/// (partition, morsel-index) order, so output is bit-identical regardless of
+/// how morsels interleave across workers.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SchedConfig {
+    /// Op-weight budget per morsel. A partition whose total weight fits the
+    /// budget stays a single morsel; `u64::MAX` disables splitting entirely
+    /// (whole-partition tasks, as `run_job` schedules).
+    pub morsel_ops: u64,
+    /// Work stealing between worker queues. With `false`, every morsel runs
+    /// on its home worker (`partition % workers`) — static placement, the
+    /// pre-morsel behaviour and the baseline the scheduler bench compares
+    /// against.
+    pub steal: bool,
+}
+
+impl Default for SchedConfig {
+    fn default() -> Self {
+        SchedConfig {
+            morsel_ops: Self::DEFAULT_MORSEL_OPS,
+            steal: true,
+        }
+    }
+}
+
+impl SchedConfig {
+    /// Default morsel budget: with the default 400 ns/op cost this is ~6.5 ms
+    /// of virtual compute per morsel — small enough to balance skewed
+    /// partitions, large enough that the per-morsel dispatch overhead stays
+    /// in the noise.
+    pub const DEFAULT_MORSEL_OPS: u64 = 16_384;
+
+    /// Morsel splitting disabled, stealing off: whole partitions placed
+    /// statically, exactly like [`crate::Cluster::run_job`].
+    pub fn static_placement() -> Self {
+        SchedConfig {
+            morsel_ops: u64::MAX,
+            steal: false,
+        }
     }
 }
 
@@ -199,6 +251,12 @@ pub struct CostModelConfig {
     /// Per-stage, per-executor coordination cost (µs); models driver RPC,
     /// connection setup and skewed shuffle fetch, growing with cluster size.
     pub coordination_us_per_executor: u64,
+    /// Launch overhead for the second and later morsels of a partition (µs).
+    /// The first morsel pays the full `task_launch_overhead_us`
+    /// (serialisation, closure shipping); follow-up morsels of the same
+    /// partition only pay queue dispatch. Keeps an unsplit morsel stage
+    /// exactly as expensive as the equivalent `run_job` stage.
+    pub morsel_dispatch_overhead_us: u64,
 }
 
 impl Default for CostModelConfig {
@@ -210,6 +268,7 @@ impl Default for CostModelConfig {
             shuffle_byte_ns: 4,
             retry_penalty_us: 10_000_000, // 10 s timeout + reschedule
             coordination_us_per_executor: 20_000,
+            morsel_dispatch_overhead_us: 500,
         }
     }
 }
@@ -247,6 +306,16 @@ mod tests {
             FaultConfig::with_probability(-1.0, 1).task_failure_prob,
             0.0
         );
+    }
+
+    #[test]
+    fn static_placement_disables_splitting_and_stealing() {
+        let s = SchedConfig::static_placement();
+        assert_eq!(s.morsel_ops, u64::MAX);
+        assert!(!s.steal);
+        let d = SchedConfig::default();
+        assert!(d.steal, "morsel scheduling is the default");
+        assert!(d.morsel_ops < u64::MAX);
     }
 
     #[test]

@@ -19,7 +19,7 @@
 //! stage table (`Display`) — a mini Spark UI for the terminal.
 
 use crate::cluster::Cluster;
-use crate::simtime::StageRecord;
+use crate::simtime::{simulate_morsels, StageRecord};
 use parking_lot::Mutex;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -193,6 +193,29 @@ pub enum EventKind {
         /// The dead executor.
         executor: usize,
     },
+    /// Work stealing moved morsels between workers in a morsel-driven stage.
+    /// Coalesced: one event per (thief, victim) pair per stage, so volume is
+    /// bounded by workers², never by morsel count.
+    MorselStolen {
+        /// Stage name.
+        stage: String,
+        /// Worker that stole.
+        thief: usize,
+        /// Worker whose queue was robbed.
+        victim: usize,
+        /// Morsels moved along this edge during the stage.
+        count: u64,
+    },
+    /// A worker sat idle for part of a morsel-driven stage (emitted once per
+    /// worker per stage, only when the idle time is non-zero).
+    WorkerIdle {
+        /// Stage name.
+        stage: String,
+        /// Worker id.
+        worker: usize,
+        /// Idle virtual time until the stage's makespan (µs).
+        idle_us: u64,
+    },
 }
 
 impl EventKind {
@@ -214,6 +237,8 @@ impl EventKind {
             EventKind::Recomputed { .. } => "recomputed",
             EventKind::Speculative { .. } => "speculative",
             EventKind::TaskLost { .. } => "task_lost",
+            EventKind::MorselStolen { .. } => "morsel_stolen",
+            EventKind::WorkerIdle { .. } => "worker_idle",
         }
     }
 }
@@ -444,6 +469,94 @@ impl RecoveryReport {
     }
 }
 
+/// Morsel-scheduling aggregates captured into a [`JobReport`]: every
+/// morsel-driven stage replayed (see [`simulate_morsels`]) on the cluster's
+/// own slot count, summed into a per-worker utilization table.
+#[derive(Debug, Clone, Default)]
+pub struct SchedReport {
+    /// Task slots the replay used (the cluster's own topology).
+    pub workers: usize,
+    /// Stages that ran morsel-driven.
+    pub morsel_stages: usize,
+    /// Morsels executed across those stages.
+    pub morsels: u64,
+    /// Morsels that ran away from their home worker.
+    pub steals: u64,
+    /// Sum of morsel-stage makespans at `workers` slots (µs).
+    pub makespan_us: u64,
+    /// Per-worker totals across all morsel stages, indexed by worker id.
+    pub per_worker: Vec<WorkerUtilization>,
+    /// Σ busy / (workers × Σ makespans) — 1.0 means no worker ever idled.
+    pub utilization: f64,
+    /// Max per-worker busy time over mean busy time; 1.0 is perfectly even.
+    pub imbalance: f64,
+}
+
+/// One worker's row in the [`SchedReport`] utilization table.
+#[derive(Debug, Clone, Default)]
+pub struct WorkerUtilization {
+    /// Worker (slot) id.
+    pub worker: usize,
+    /// Busy virtual time across all morsel stages (µs).
+    pub busy_us: u64,
+    /// Morsels the worker executed (own + stolen).
+    pub morsels: u64,
+    /// Morsels the worker stole from other queues.
+    pub steals: u64,
+}
+
+impl SchedReport {
+    fn capture(cluster: &Cluster) -> Self {
+        let workers = cluster.config().total_slots();
+        let mut report = SchedReport {
+            workers,
+            ..SchedReport::default()
+        };
+        let mut busy = vec![0u64; workers];
+        let mut morsels_run = vec![0u64; workers];
+        let mut steals_by = vec![0u64; workers];
+        for record in cluster.clock().stages() {
+            let Some(info) = &record.morsels else {
+                continue;
+            };
+            let sim = simulate_morsels(&record.task_us, &info.partition_of, workers, info.steal);
+            report.morsel_stages += 1;
+            report.morsels += record.task_us.len() as u64;
+            report.steals += sim.stolen_count();
+            report.makespan_us += sim.makespan_us;
+            for w in 0..workers {
+                busy[w] += sim.busy_us[w];
+                morsels_run[w] += sim.morsels_run[w];
+            }
+            for &(thief, _, n) in &sim.steals {
+                steals_by[thief] += n;
+            }
+        }
+        if report.morsel_stages == 0 {
+            return report;
+        }
+        let total_busy: u64 = busy.iter().sum();
+        let denom = workers as u64 * report.makespan_us;
+        report.utilization = total_busy as f64 / denom.max(1) as f64;
+        let mean_busy = total_busy as f64 / workers as f64;
+        let max_busy = busy.iter().copied().max().unwrap_or(0);
+        report.imbalance = if mean_busy > 0.0 {
+            max_busy as f64 / mean_busy
+        } else {
+            1.0
+        };
+        report.per_worker = (0..workers)
+            .map(|w| WorkerUtilization {
+                worker: w,
+                busy_us: busy[w],
+                morsels: morsels_run[w],
+                steals: steals_by[w],
+            })
+            .collect();
+        report
+    }
+}
+
 /// Maximum failure lines embedded in a report (the journal may hold more).
 /// Cap on the failure lines a [`JobReport`] retains (fault-injection runs
 /// can fail thousands of attempts; the report keeps the first few).
@@ -462,6 +575,9 @@ pub struct JobReport {
     /// Failure-recovery totals: executor losses, fetch failures, lineage
     /// recomputation and speculation.
     pub recovery: RecoveryReport,
+    /// Morsel-scheduling aggregates: steal counts and the per-worker
+    /// utilization table (empty when no stage ran morsel-driven).
+    pub sched: SchedReport,
     /// First [`MAX_REPORT_FAILURES`] task-attempt failures, in order.
     pub failures: Vec<FailureLine>,
     /// User counters, sorted by name.
@@ -473,8 +589,9 @@ pub struct JobReport {
 }
 
 impl JobReport {
-    /// Current JSON schema version (2 added the `recovery` section).
-    pub const SCHEMA_VERSION: u32 = 2;
+    /// Current JSON schema version (2 added the `recovery` section, 3 the
+    /// `sched` section).
+    pub const SCHEMA_VERSION: u32 = 3;
 
     /// Snapshot a cluster's clock, metrics and journal into a report.
     pub fn capture(cluster: &Cluster) -> Self {
@@ -523,6 +640,7 @@ impl JobReport {
                 events: journal.len() as u64 + journal.dropped(),
                 events_dropped: journal.dropped(),
             },
+            sched: SchedReport::capture(cluster),
             recovery: RecoveryReport {
                 executors_lost: m.executors_lost.get(),
                 executors_blacklisted: m.executors_blacklisted.get(),
@@ -590,6 +708,30 @@ impl JobReport {
             r.speculative_wins,
         ));
         out.push_str("},\n");
+        let sc = &self.sched;
+        out.push_str("  \"sched\": {");
+        out.push_str(&format!(
+            "\"workers\": {}, \"morsel_stages\": {}, \"morsels\": {}, \"steals\": {}, \
+             \"makespan_us\": {}, \"utilization\": {:.4}, \"imbalance\": {:.4}, \
+             \"per_worker\": [",
+            sc.workers,
+            sc.morsel_stages,
+            sc.morsels,
+            sc.steals,
+            sc.makespan_us,
+            sc.utilization,
+            sc.imbalance,
+        ));
+        for (i, w) in sc.per_worker.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"worker\": {}, \"busy_us\": {}, \"morsels\": {}, \"steals\": {}}}",
+                w.worker, w.busy_us, w.morsels, w.steals
+            ));
+        }
+        out.push_str("]},\n");
         out.push_str("  \"stages\": [");
         for (i, s) in self.stages.iter().enumerate() {
             if i > 0 {
@@ -731,6 +873,35 @@ impl fmt::Display for JobReport {
                 r.speculative_launched,
             )?;
         }
+        if self.sched.morsel_stages > 0 {
+            let sc = &self.sched;
+            writeln!(
+                f,
+                "scheduling: {} morsel stages, {} morsels ({} stolen), \
+                 utilization {:.1}%, imbalance {:.2}",
+                sc.morsel_stages,
+                sc.morsels,
+                sc.steals,
+                sc.utilization * 100.0,
+                sc.imbalance,
+            )?;
+            writeln!(
+                f,
+                "{:>6} {:>10} {:>8} {:>7} {:>6}",
+                "worker", "busy(ms)", "morsels", "steals", "util%"
+            )?;
+            for w in &sc.per_worker {
+                writeln!(
+                    f,
+                    "{:>6} {:>10.1} {:>8} {:>7} {:>6.1}",
+                    w.worker,
+                    w.busy_us as f64 / 1e3,
+                    w.morsels,
+                    w.steals,
+                    100.0 * w.busy_us as f64 / sc.makespan_us.max(1) as f64,
+                )?;
+            }
+        }
         for fl in &self.failures {
             writeln!(
                 f,
@@ -862,7 +1033,7 @@ mod tests {
         .unwrap();
         let json = c.job_report().to_json();
         for key in [
-            "\"schema_version\": 2",
+            "\"schema_version\": 3",
             "\"virtual_us\"",
             "\"total_work_us\"",
             "\"totals\"",
@@ -872,6 +1043,11 @@ mod tests {
             "\"fetch_failures\"",
             "\"recomputed_map_tasks\"",
             "\"speculative_wins\"",
+            "\"sched\"",
+            "\"morsel_stages\"",
+            "\"utilization\"",
+            "\"imbalance\"",
+            "\"per_worker\"",
             "\"stages\"",
             "\"attempts\"",
             "\"p50_task_us\"",
@@ -963,5 +1139,73 @@ mod tests {
         assert_eq!(json_string("a\"b"), "\"a\\\"b\"");
         assert_eq!(json_string("a\\b"), "\"a\\\\b\"");
         assert_eq!(json_string("x\u{1}"), "\"x\\u0001\"");
+    }
+
+    #[test]
+    fn sched_report_captures_morsel_stages_and_steals() {
+        let c = Cluster::local(4);
+        // One skewed partition: morsels spill over and get stolen.
+        let partitions: Vec<Vec<u64>> = vec![vec![500; 64], vec![500; 2], vec![], vec![500]];
+        c.run_morsel_job(
+            "skewed",
+            partitions,
+            |&w| w,
+            |_, items, ctx| {
+                ctx.charge_ops(items.iter().sum());
+                Ok(items.to_vec())
+            },
+        )
+        .unwrap();
+        let report = c.job_report();
+        let sc = &report.sched;
+        assert_eq!(sc.workers, 4);
+        assert_eq!(sc.morsel_stages, 1);
+        assert!(sc.morsels >= 4, "at least one morsel per partition");
+        assert!(sc.steals > 0, "idle workers must steal from the hot queue");
+        assert_eq!(sc.per_worker.len(), 4);
+        assert_eq!(
+            sc.per_worker.iter().map(|w| w.morsels).sum::<u64>(),
+            sc.morsels
+        );
+        assert!(sc.utilization > 0.0 && sc.utilization <= 1.0);
+        assert!(sc.imbalance >= 1.0);
+        let text = report.to_string();
+        assert!(text.contains("scheduling:"), "{text}");
+        assert!(text.contains("util%"), "{text}");
+        let json = report.to_json();
+        assert!(json.contains("\"per_worker\": [{\"worker\": 0"), "{json}");
+    }
+
+    #[test]
+    fn plain_stages_leave_the_sched_section_empty() {
+        let c = Cluster::local(2);
+        c.run_job("plain", 4, |i, _| Ok(vec![i])).unwrap();
+        let report = c.job_report();
+        assert_eq!(report.sched.morsel_stages, 0);
+        assert!(report.sched.per_worker.is_empty());
+        assert!(!report.to_string().contains("scheduling:"));
+    }
+
+    #[test]
+    fn steal_and_idle_events_are_coalesced_per_stage() {
+        let c = Cluster::local(4);
+        // 200 morsels from one hot partition (each item fills a whole morsel
+        // budget): without coalescing this would journal O(morsels) steal
+        // events; the bound is workers² + workers.
+        let partitions: Vec<Vec<u64>> = vec![vec![crate::SchedConfig::DEFAULT_MORSEL_OPS; 200]];
+        c.run_morsel_job("hot", partitions, |&w| w, |_, items, _| Ok(items.to_vec()))
+            .unwrap();
+        let events = c.journal().events();
+        let stolen = events
+            .iter()
+            .filter(|e| e.kind.tag() == "morsel_stolen")
+            .count();
+        let idle = events
+            .iter()
+            .filter(|e| e.kind.tag() == "worker_idle")
+            .count();
+        assert!(stolen > 0, "the hot queue must be robbed");
+        assert!(stolen <= 16, "coalesced: bounded by workers², got {stolen}");
+        assert!(idle <= 4, "one idle line per worker at most, got {idle}");
     }
 }

@@ -73,6 +73,11 @@ pub struct ClusterMetrics {
     pub speculative_launched: Counter,
     /// Speculative clones that beat the original attempt.
     pub speculative_wins: Counter,
+    /// Morsels executed by morsel-driven stages (see
+    /// [`crate::Cluster::run_morsel_job`]).
+    pub morsels_executed: Counter,
+    /// Morsels that ran on a worker other than their home (work stealing).
+    pub morsels_stolen: Counter,
     user: Arc<RwLock<HashMap<String, Counter>>>,
 }
 
@@ -128,6 +133,8 @@ impl ClusterMetrics {
         self.tasks_lost.reset();
         self.speculative_launched.reset();
         self.speculative_wins.reset();
+        self.morsels_executed.reset();
+        self.morsels_stolen.reset();
         for (_, c) in self.user.read().iter() {
             c.reset();
         }

@@ -25,6 +25,20 @@ use crate::config::CostModelConfig;
 use parking_lot::Mutex;
 use std::sync::Arc;
 
+/// Morsel-scheduling metadata of a stage run through
+/// [`crate::Cluster::run_morsel_job`]: which input partition each task
+/// (morsel) belongs to, and whether work stealing was enabled. Present on a
+/// [`StageRecord`] it switches makespan queries from LPT list scheduling to
+/// the deterministic steal simulation ([`simulate_morsels`]).
+#[derive(Debug, Clone)]
+pub struct MorselInfo {
+    /// Home partition of each task; morsels of one partition are contiguous
+    /// and in order.
+    pub partition_of: Vec<usize>,
+    /// Whether drained workers stole from the busiest queue.
+    pub steal: bool,
+}
+
 /// Cost record of one completed stage.
 #[derive(Debug, Clone)]
 pub struct StageRecord {
@@ -36,12 +50,26 @@ pub struct StageRecord {
     pub shuffle_bytes: u64,
     /// Failed attempts across the stage.
     pub retries: u64,
+    /// Morsel metadata when the stage ran morsel-driven; `None` for
+    /// whole-partition stages.
+    pub morsels: Option<MorselInfo>,
 }
 
 impl StageRecord {
-    /// Makespan of this stage on `slots` parallel task slots using LPT list
-    /// scheduling (deterministic, order-independent up to ties).
+    /// Makespan of this stage on `slots` parallel task slots. Morsel stages
+    /// replay the owner-queue/steal simulation at the queried width; plain
+    /// stages use LPT list scheduling (deterministic, order-independent up
+    /// to ties).
     pub fn makespan_us(&self, slots: usize) -> u64 {
+        match &self.morsels {
+            Some(info) => {
+                simulate_morsels(&self.task_us, &info.partition_of, slots, info.steal).makespan_us
+            }
+            None => self.lpt_makespan_us(slots),
+        }
+    }
+
+    fn lpt_makespan_us(&self, slots: usize) -> u64 {
         let slots = slots.max(1);
         let mut tasks = self.task_us.clone();
         tasks.sort_unstable_by(|a, b| b.cmp(a));
@@ -57,6 +85,117 @@ impl StageRecord {
         }
         loads.into_iter().max().unwrap_or(0)
     }
+}
+
+/// Outcome of [`simulate_morsels`]: the schedule a morsel stage's recorded
+/// costs produce on a given number of workers.
+#[derive(Debug, Clone, Default)]
+pub struct SchedSim {
+    /// Virtual completion time of the slowest worker (µs).
+    pub makespan_us: u64,
+    /// Per-worker busy time (µs).
+    pub busy_us: Vec<u64>,
+    /// Morsels each worker executed (own + stolen).
+    pub morsels_run: Vec<u64>,
+    /// Per-worker idle time until the stage's makespan (µs).
+    pub idle_us: Vec<u64>,
+    /// Coalesced steal edges `(thief, victim, count)`, ordered by first
+    /// occurrence.
+    pub steals: Vec<(usize, usize, u64)>,
+    /// Per-morsel flag: did the morsel run on a worker other than its home?
+    pub stolen: Vec<bool>,
+}
+
+impl SchedSim {
+    /// Total morsels that ran away from their home worker.
+    pub fn stolen_count(&self) -> u64 {
+        self.steals.iter().map(|&(_, _, n)| n).sum()
+    }
+}
+
+/// Deterministic owner-queue/steal simulation over recorded per-morsel
+/// costs.
+///
+/// Each worker starts with the queue of morsels whose home partition maps to
+/// it (`partition_of[m] % workers`), in morsel order. The event loop always
+/// advances the worker with the smallest virtual time (ties: lowest id): it
+/// pops the front of its own queue, or — with `steal` and an empty queue —
+/// the *tail* of the queue with the most remaining work (ties: lowest victim
+/// id). With `steal` off a worker only drains its own queue, which makes the
+/// makespan the max over home-worker load sums: static placement.
+///
+/// A pure function of its inputs, so any recorded run can be replayed at any
+/// worker count — the morsel analogue of the LPT query, and the authority
+/// for the steal/idle events and the job report's utilization table.
+pub fn simulate_morsels(
+    task_us: &[u64],
+    partition_of: &[usize],
+    workers: usize,
+    steal: bool,
+) -> SchedSim {
+    use std::collections::VecDeque;
+    let workers = workers.max(1);
+    debug_assert_eq!(task_us.len(), partition_of.len());
+    let mut queues: Vec<VecDeque<usize>> = vec![VecDeque::new(); workers];
+    let mut remaining = vec![0u64; workers];
+    for (m, &p) in partition_of.iter().enumerate() {
+        let w = p % workers;
+        queues[w].push_back(m);
+        remaining[w] += task_us[m];
+    }
+    let mut t = vec![0u64; workers];
+    let mut sim = SchedSim {
+        busy_us: vec![0; workers],
+        morsels_run: vec![0; workers],
+        idle_us: vec![0; workers],
+        stolen: vec![false; task_us.len()],
+        ..SchedSim::default()
+    };
+    let mut steal_edges: Vec<(usize, usize, u64)> = Vec::new();
+    loop {
+        if queues.iter().all(|q| q.is_empty()) {
+            break;
+        }
+        // The next worker to act: smallest virtual time among those that can
+        // get work, lowest id on ties.
+        let actor = (0..workers)
+            .filter(|&w| steal || !queues[w].is_empty())
+            .min_by_key(|&w| (t[w], w))
+            .expect("some queue is non-empty");
+        let morsel = match queues[actor].pop_front() {
+            Some(m) => {
+                remaining[actor] -= task_us[m];
+                m
+            }
+            None => {
+                // Steal the tail morsel of the busiest queue.
+                let victim = (0..workers)
+                    .filter(|&v| !queues[v].is_empty())
+                    .max_by_key(|&v| (remaining[v], std::cmp::Reverse(v)))
+                    .expect("some queue is non-empty");
+                let m = queues[victim].pop_back().expect("victim queue non-empty");
+                remaining[victim] -= task_us[m];
+                sim.stolen[m] = true;
+                match steal_edges
+                    .iter_mut()
+                    .find(|(th, vi, _)| *th == actor && *vi == victim)
+                {
+                    Some((_, _, n)) => *n += 1,
+                    None => steal_edges.push((actor, victim, 1)),
+                }
+                m
+            }
+        };
+        t[actor] += task_us[morsel];
+        sim.busy_us[actor] += task_us[morsel];
+        sim.morsels_run[actor] += 1;
+    }
+    sim.makespan_us = t.iter().copied().max().unwrap_or(0);
+    for w in 0..workers {
+        sim.idle_us[w] = sim.makespan_us - sim.busy_us[w];
+    }
+    sim.steals = steal_edges;
+    sim
 }
 
 /// Accumulates [`StageRecord`]s over a run and answers makespan queries.
@@ -186,6 +325,7 @@ mod tests {
             shuffle_byte_ns: 0,
             retry_penalty_us: 0,
             coordination_us_per_executor: 0,
+            morsel_dispatch_overhead_us: 0,
         }
     }
 
@@ -196,6 +336,7 @@ mod tests {
             task_us: vec![5, 3, 9],
             shuffle_bytes: 0,
             retries: 0,
+            morsels: None,
         };
         assert_eq!(r.makespan_us(1), 17);
     }
@@ -207,6 +348,7 @@ mod tests {
             task_us: vec![5, 3, 9],
             shuffle_bytes: 0,
             retries: 0,
+            morsels: None,
         };
         assert_eq!(r.makespan_us(3), 9);
         assert_eq!(r.makespan_us(100), 9);
@@ -221,6 +363,7 @@ mod tests {
             task_us: vec![7],
             shuffle_bytes: 0,
             retries: 0,
+            morsels: None,
         };
         assert_eq!(r.makespan_us(1), 7);
         assert_eq!(r.makespan_us(2), 7);
@@ -234,6 +377,7 @@ mod tests {
             task_us: vec![],
             shuffle_bytes: 0,
             retries: 0,
+            morsels: None,
         };
         assert_eq!(r.makespan_us(1), 0);
         assert_eq!(r.makespan_us(8), 0);
@@ -248,10 +392,119 @@ mod tests {
             task_us: vec![4, 3, 3, 2],
             shuffle_bytes: 0,
             retries: 0,
+            morsels: None,
         };
         // LPT: 4|_, 4|3, 4+2=6? No: loads after 4,3 -> [4,3]; next 3 -> [4,6];
         // next 2 -> [6,6]. Makespan 6 (optimal).
         assert_eq!(r.makespan_us(2), 6);
+    }
+
+    #[test]
+    fn static_simulation_is_max_home_load() {
+        // Partitions 0 and 2 land on worker 0, partition 1 on worker 1.
+        let task_us = [10, 20, 30];
+        let partition_of = [0, 1, 2];
+        let sim = simulate_morsels(&task_us, &partition_of, 2, false);
+        assert_eq!(sim.busy_us, vec![40, 20]);
+        assert_eq!(sim.makespan_us, 40);
+        assert_eq!(sim.stolen_count(), 0);
+        assert!(sim.steals.is_empty());
+        assert_eq!(sim.idle_us, vec![0, 20]);
+    }
+
+    #[test]
+    fn stealing_balances_a_hot_queue() {
+        // All four morsels home on worker 0; with stealing, worker 1 takes
+        // from the tail and the makespan halves.
+        let task_us = [10, 10, 10, 10];
+        let partition_of = [0, 0, 0, 0];
+        let no_steal = simulate_morsels(&task_us, &partition_of, 2, false);
+        assert_eq!(no_steal.makespan_us, 40);
+        let steal = simulate_morsels(&task_us, &partition_of, 2, true);
+        assert_eq!(steal.makespan_us, 20);
+        assert_eq!(steal.stolen_count(), 2);
+        assert_eq!(steal.steals, vec![(1, 0, 2)]);
+        assert_eq!(steal.morsels_run, vec![2, 2]);
+    }
+
+    #[test]
+    fn steal_victims_are_the_busiest_queue_tail() {
+        // Worker 0 is idle; queues 1 (heavy) and 2 (light) have work. The
+        // thief must take from 1's tail — the last morsel of partition 1.
+        let task_us = [100, 100, 5];
+        let partition_of = [1, 1, 2];
+        let sim = simulate_morsels(&task_us, &partition_of, 3, true);
+        assert!(sim.stolen[1], "tail of the heavy queue is stolen");
+        assert!(!sim.stolen[0] && !sim.stolen[2]);
+        assert_eq!(sim.makespan_us, 100);
+    }
+
+    #[test]
+    fn simulation_is_deterministic_and_conserves_work() {
+        let task_us: Vec<u64> = (0..97).map(|i| (i * 37) % 113 + 1).collect();
+        let partition_of: Vec<usize> = (0..97).map(|i| i / 13).collect();
+        for workers in [1, 2, 5, 8] {
+            for steal in [false, true] {
+                let a = simulate_morsels(&task_us, &partition_of, workers, steal);
+                let b = simulate_morsels(&task_us, &partition_of, workers, steal);
+                assert_eq!(a.makespan_us, b.makespan_us);
+                assert_eq!(a.busy_us, b.busy_us);
+                assert_eq!(a.steals, b.steals);
+                let total: u64 = task_us.iter().sum();
+                assert_eq!(a.busy_us.iter().sum::<u64>(), total, "work conserved");
+                assert!(a.makespan_us >= total / workers as u64);
+                assert!(a.makespan_us <= total);
+            }
+        }
+    }
+
+    #[test]
+    fn stealing_never_slows_a_stage_down() {
+        let task_us: Vec<u64> = (0..64).map(|i| ((i * 29) % 71 + 1) * 10).collect();
+        let partition_of: Vec<usize> = (0..64).map(|i| i / 9).collect();
+        for workers in [2, 4, 8] {
+            let fixed = simulate_morsels(&task_us, &partition_of, workers, false);
+            let stealing = simulate_morsels(&task_us, &partition_of, workers, true);
+            assert!(
+                stealing.makespan_us <= fixed.makespan_us,
+                "{workers} workers: steal {} > static {}",
+                stealing.makespan_us,
+                fixed.makespan_us
+            );
+        }
+    }
+
+    #[test]
+    fn empty_simulation_is_zero() {
+        let sim = simulate_morsels(&[], &[], 4, true);
+        assert_eq!(sim.makespan_us, 0);
+        assert_eq!(sim.busy_us, vec![0; 4]);
+        // Degenerate worker count clamps rather than panicking.
+        let sim = simulate_morsels(&[5], &[0], 0, true);
+        assert_eq!(sim.makespan_us, 5);
+    }
+
+    #[test]
+    fn morsel_stage_records_answer_makespans_via_the_simulation() {
+        let r = StageRecord {
+            name: "m".into(),
+            task_us: vec![10, 10, 10, 10],
+            shuffle_bytes: 0,
+            retries: 0,
+            morsels: Some(MorselInfo {
+                partition_of: vec![0, 0, 0, 0],
+                steal: true,
+            }),
+        };
+        assert_eq!(r.makespan_us(2), 20, "steal replay, not LPT");
+        let static_r = StageRecord {
+            morsels: Some(MorselInfo {
+                partition_of: vec![0, 0, 0, 0],
+                steal: false,
+            }),
+            ..r.clone()
+        };
+        assert_eq!(static_r.makespan_us(2), 40, "static placement replay");
     }
 
     #[test]
@@ -262,12 +515,14 @@ mod tests {
             task_us: vec![10, 10, 10, 10],
             shuffle_bytes: 0,
             retries: 0,
+            morsels: None,
         });
         clock.record_stage(StageRecord {
             name: "b".into(),
             task_us: vec![20, 20],
             shuffle_bytes: 0,
             retries: 0,
+            morsels: None,
         });
         let c = cost();
         assert_eq!(clock.makespan(1, 1, &c).us, 40 + 40);
@@ -283,6 +538,7 @@ mod tests {
             task_us: vec![100; 8],
             shuffle_bytes: 0,
             retries: 0,
+            morsels: None,
         });
         let mut c = cost();
         c.coordination_us_per_executor = 1000;
@@ -299,6 +555,7 @@ mod tests {
             task_us: vec![7, 9],
             shuffle_bytes: 0,
             retries: 0,
+            morsels: None,
         });
         assert_eq!(clock.total_work().us, 16);
     }
@@ -318,6 +575,7 @@ mod tests {
             task_us: vec![1],
             shuffle_bytes: 0,
             retries: 0,
+            morsels: None,
         });
         clock.reset();
         assert_eq!(clock.stage_count(), 0);

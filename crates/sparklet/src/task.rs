@@ -227,6 +227,7 @@ mod tests {
                 shuffle_byte_ns: 0,
                 retry_penalty_us: 0,
                 coordination_us_per_executor: 0,
+                morsel_dispatch_overhead_us: 0,
             },
             1000,
         )

@@ -1,0 +1,156 @@
+//! Property-based guarantees for the morsel-driven scheduler: for any
+//! partitioning, morsel budget, worker count and steal setting — and under
+//! injected executor kills — `run_morsel_job` must return bit-identical
+//! output in (partition, element) order. Stealing and splitting are pure
+//! scheduling decisions; they may move virtual time around but can never
+//! change a byte of the result.
+
+use proptest::prelude::*;
+use sparklet::{Cluster, ClusterConfig, EventKind, FaultConfig, SchedConfig};
+
+/// Reference result: what the job computes, independent of any scheduling.
+fn reference(partitions: &[Vec<u32>]) -> Vec<Vec<u64>> {
+    partitions
+        .iter()
+        .enumerate()
+        .map(|(p, part)| part.iter().map(|&x| u64::from(x) * 3 + p as u64).collect())
+        .collect()
+}
+
+fn run(
+    partitions: Vec<Vec<u32>>,
+    workers: usize,
+    sched: SchedConfig,
+    fault: FaultConfig,
+) -> sparklet::Result<Vec<Vec<u64>>> {
+    let mut config = ClusterConfig::local(workers);
+    config.sched = sched;
+    config.fault = fault;
+    let cluster = Cluster::new(config);
+    cluster.run_morsel_job(
+        "morsel-prop",
+        partitions,
+        |&x| u64::from(x % 97) + 1,
+        |p, items, ctx| {
+            ctx.charge_ops(items.len() as u64);
+            Ok(items.iter().map(|&x| u64::from(x) * 3 + p as u64).collect())
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The tentpole invariant: any (budget, steal, workers) combination
+    /// reproduces the static single-task-per-partition result exactly.
+    #[test]
+    fn morsel_output_is_bit_identical_to_static(
+        partitions in prop::collection::vec(
+            prop::collection::vec(0u32..10_000, 0..60), 0..10),
+        budget in 0u64..2_000,
+        steal in prop::bool::ANY,
+        workers in prop::sample::select(vec![1usize, 2, 8]),
+    ) {
+        let expect = reference(&partitions);
+        // budget 0 doubles as "no splitting" — one morsel per partition.
+        let morsel_ops = if budget == 0 { u64::MAX } else { budget };
+        let sched = SchedConfig { morsel_ops, steal };
+        let got = run(partitions.clone(), workers, sched, FaultConfig::disabled()).unwrap();
+        prop_assert_eq!(&got, &expect, "scheduling changed the output");
+        let static_got = run(
+            partitions,
+            workers,
+            SchedConfig::static_placement(),
+            FaultConfig::disabled(),
+        )
+        .unwrap();
+        prop_assert_eq!(got, static_got, "morsel run diverged from static placement");
+    }
+
+    /// Same invariant under chaos: a mid-stage executor kill (lost wave
+    /// results, rescheduled morsels, possibly a retried attempt) must leave
+    /// the reassembled output untouched.
+    #[test]
+    fn morsel_output_survives_executor_kills(
+        partitions in prop::collection::vec(
+            prop::collection::vec(0u32..10_000, 1..40), 1..8),
+        morsel_ops in 1u64..1_500,
+        steal in prop::bool::ANY,
+        workers in prop::sample::select(vec![2usize, 8]),
+        victim in 0usize..8,
+        after in 0usize..6,
+    ) {
+        let expect = reference(&partitions);
+        let sched = SchedConfig { morsel_ops, steal };
+        let fault = FaultConfig::disabled().kill_in_stage(
+            victim % workers,
+            "morsel-prop",
+            after,
+        );
+        let got = run(partitions, workers, sched, fault).unwrap();
+        prop_assert_eq!(got, expect, "a kill changed the output");
+    }
+}
+
+/// Satellite #6 regression: on a run with ~100k pairs of work split into
+/// hundreds of morsels, the journal must stay bounded — steal events
+/// coalesce to one per (thief, victim) edge per stage and idle events to
+/// one per worker per stage, so journal growth is O(stages · workers²),
+/// never O(morsels).
+#[test]
+fn journal_stays_bounded_on_a_hundred_thousand_pair_run() {
+    const WORKERS: usize = 8;
+    // 100_000 unit-weight items over a deliberately skewed partitioning:
+    // one hot partition with half the work, the rest spread thin. Budget
+    // 256 ops → ~400 morsels.
+    let mut partitions = vec![(0..50_000u32).collect::<Vec<_>>()];
+    for p in 0..10 {
+        partitions.push((0..5_000u32).map(|i| i + p).collect());
+    }
+    let mut config = ClusterConfig::local(WORKERS);
+    config.sched = SchedConfig {
+        morsel_ops: 256,
+        steal: true,
+    };
+    let cluster_cfg = Cluster::new(config);
+    let out = cluster_cfg
+        .run_morsel_job(
+            "hundred-k",
+            partitions.clone(),
+            |_| 1,
+            |_, items, ctx| {
+                ctx.charge_ops(items.len() as u64);
+                Ok(vec![items.len() as u64])
+            },
+        )
+        .unwrap();
+    assert_eq!(out.len(), partitions.len());
+    let report = cluster_cfg.job_report();
+    assert!(
+        report.sched.morsels >= 300,
+        "expected hundreds of morsels, got {}",
+        report.sched.morsels
+    );
+    let events = cluster_cfg.journal().events();
+    let steal_events = events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::MorselStolen { .. }))
+        .count();
+    let idle_events = events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::WorkerIdle { .. }))
+        .count();
+    assert!(
+        steal_events <= WORKERS * WORKERS,
+        "steal events must coalesce per (thief, victim) edge: {steal_events}"
+    );
+    assert!(
+        idle_events <= WORKERS,
+        "idle events must coalesce per worker: {idle_events}"
+    );
+    assert!(
+        events.len() < 200,
+        "journal must stay bounded on a morsel-heavy run: {} events",
+        events.len()
+    );
+}

@@ -13,7 +13,9 @@
 use adr_model::{AdrReport, PairId};
 use adr_synth::{Dataset, SynthConfig};
 use dedup::{DedupConfig, DedupSystem};
-use sparklet::{stable_hash, Cluster, ClusterConfig, FaultConfig, JobReport, SparkletError};
+use sparklet::{
+    stable_hash, Cluster, ClusterConfig, FaultConfig, JobReport, SchedConfig, SparkletError,
+};
 
 /// The fault-free `detect_new` digest pinned in `refactor_baseline.rs`.
 const BASELINE_DIGEST: u64 = 11028548671881665013;
@@ -151,6 +153,42 @@ fn speculation_produces_identical_output() {
         "no speculative clones launched: {rec:?}"
     );
     assert!(rec.speculative_wins <= rec.speculative_launched);
+}
+
+#[test]
+fn static_placement_matches_the_pinned_digest() {
+    // Turning morsel splitting and stealing off entirely must reproduce the
+    // same detections bit for bit: scheduling is virtual-time-only, never
+    // output-visible.
+    let mut config = ClusterConfig::local(4);
+    config.sched = SchedConfig::static_placement();
+    let run = run_pipeline(config).expect("static run");
+    assert_eq!(run.digest, BASELINE_DIGEST, "static placement drifted");
+}
+
+#[test]
+fn stealing_under_executor_kills_matches_the_pinned_digest() {
+    // The steal schedule is replayed over per-morsel costs, which injected
+    // kills perturb (lost attempts accumulate cost) — the output still may
+    // not move. One run with stealing forced on, one forced off, both under
+    // the same mid-stage kill.
+    for steal in [true, false] {
+        let mut config = chaos_config(FaultConfig::disabled().kill_in_stage(
+            0,
+            "shuffle#4-write[map_partitions_with_ctx]",
+            1,
+        ));
+        config.sched = SchedConfig {
+            steal,
+            ..SchedConfig::default()
+        };
+        let chaos = run_pipeline(config).expect("chaos run");
+        assert_eq!(
+            chaos.digest, BASELINE_DIGEST,
+            "steal={steal} under kills changed the output"
+        );
+        assert_eq!(chaos.report.recovery.executors_lost, 1);
+    }
 }
 
 #[test]
