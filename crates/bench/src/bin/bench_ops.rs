@@ -1,0 +1,71 @@
+//! Operator-dispatch benchmark: row-at-a-time vs chunked
+//! operator-at-a-time execution, written to `BENCH_ops.json`.
+//!
+//! Both sides run identical operator chains over the Figure-6 workload's
+//! distance rows at the same worker count; only the chunk size differs
+//! (see [`bench::ops`]):
+//!
+//! * **narrow** — map → filter → flat_map, where per-chunk dispatch is the
+//!   entire difference (**gated ≥2× virtual speedup**);
+//! * **shuffle** — map into a hash shuffle with per-chunk bucketing,
+//!   reported for context, not gated.
+//!
+//! Usage: `cargo run --release -p bench --bin bench_ops [--quick] [out.json]`
+//!
+//! `--quick` tiles a smaller workload for CI smoke runs; the gate applies
+//! in both modes — the speedup is a property of dispatch amortization, not
+//! of scale.
+
+use bench::ops::{fig6_rows, ops_to_json, OpsComparison, OpsStage, OPS_WORKERS};
+
+const GATE: f64 = 2.0;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_ops.json".to_string());
+
+    let rows = fig6_rows(quick);
+    eprintln!(
+        "row vs chunked operators over {} fig-6 distance rows, {OPS_WORKERS} workers…",
+        rows.len()
+    );
+
+    let mut comparisons = Vec::new();
+    for stage in [OpsStage::Narrow, OpsStage::Shuffle] {
+        let cmp = OpsComparison::measure(&rows, stage);
+        eprintln!(
+            "  {:<8} row {:>10} us ({} chunks)   chunked {:>10} us ({} chunks)   {:.2}x, \
+             {:.0} -> {:.0} rec/s",
+            cmp.label,
+            cmp.row.makespan_us,
+            cmp.row.chunks,
+            cmp.chunked.makespan_us,
+            cmp.chunked.chunks,
+            cmp.speedup(),
+            cmp.row.throughput,
+            cmp.chunked.throughput,
+        );
+        comparisons.push(cmp);
+    }
+
+    let doc = ops_to_json(OPS_WORKERS, &comparisons, GATE);
+    std::fs::write(&out_path, &doc).expect("write BENCH_ops.json");
+    eprintln!("wrote {out_path}");
+
+    let narrow = comparisons
+        .iter()
+        .find(|c| c.label == "narrow")
+        .expect("narrow comparison");
+    if narrow.speedup() < GATE {
+        eprintln!(
+            "FAILED: narrow-stage speedup {:.2}x below the {GATE}x acceptance bar",
+            narrow.speedup()
+        );
+        std::process::exit(1);
+    }
+}

@@ -98,6 +98,7 @@ pub fn experiment_cluster_config(executors: usize, cores: usize) -> ClusterConfi
         fault: FaultConfig::disabled(),
         cost: paper_cost(),
         sched: sparklet::SchedConfig::default(),
+        batch: sparklet::BatchConfig::default(),
     }
 }
 

@@ -22,4 +22,5 @@ pub mod corpora;
 pub mod experiments;
 pub mod harness;
 pub mod hotpath;
+pub mod ops;
 pub mod sched;

@@ -1,0 +1,255 @@
+//! Operator-dispatch benchmark behind `BENCH_ops.json`: row-at-a-time vs
+//! chunked operator-at-a-time execution of the engine's narrow path.
+//!
+//! Both sides run identical operator chains over identical records — the
+//! Figure-6 workload's §4.2 distance rows — on the same worker count; only
+//! [`sparklet::BatchConfig`] differs:
+//!
+//! * **row** — [`BatchConfig::row_at_a_time`]: every record is its own
+//!   chunk and pays the per-chunk dispatch cost, the pre-batching engine;
+//! * **chunked** — the default 1024-record chunks, amortizing dispatch
+//!   ~1000×.
+//!
+//! Two stages are compared:
+//!
+//! * **narrow** — a map → filter → flat_map chain, where dispatch is the
+//!   entire difference (**gated ≥2× virtual speedup**);
+//! * **shuffle** — map into a hash shuffle with per-chunk bucketing,
+//!   reported for context, not gated (launch and byte costs shared by both
+//!   sides dilute the dispatch win).
+//!
+//! The outputs are asserted identical before any time is reported —
+//! chunking that changed a record would make the speedup meaningless.
+
+use crate::corpora;
+use adr_model::DistVec;
+use sparklet::{BatchConfig, Cluster, ClusterConfig, PairRdd};
+
+/// Worker count both sides run at.
+pub const OPS_WORKERS: usize = 8;
+/// Input partitions for every stage.
+pub const OPS_PARTITIONS: usize = 16;
+
+/// Distance rows from the Figure-6 workload — id plus the eight-field
+/// distance vector, the record shape the dedup pipeline streams. Quick mode
+/// builds fewer distinct pairs and tiles them: dispatch cost is per record,
+/// so repetition changes nothing the benchmark measures.
+pub fn fig6_rows(quick: bool) -> Vec<(u64, DistVec)> {
+    let (corpus, train, test, tile) = if quick {
+        (corpora::small_corpus(), 5_000, 200, 20)
+    } else {
+        (corpora::tga_corpus(), corpora::scaled_train(1), 1_000, 1)
+    };
+    let workload = dedup::workload::build_workload_on(corpus, train, test, 66);
+    let mut rows: Vec<(u64, DistVec)> = Vec::with_capacity(workload.train.len() * tile);
+    for rep in 0..tile {
+        rows.extend(
+            workload
+                .train
+                .iter()
+                .map(|p| (p.id + (rep * workload.train.len()) as u64, p.vector)),
+        );
+    }
+    rows
+}
+
+/// Which operator chain a run exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpsStage {
+    /// map → filter → flat_map, no shuffle.
+    Narrow,
+    /// map into a hash shuffle and per-key reduction.
+    Shuffle,
+}
+
+impl OpsStage {
+    /// Label used in tables and JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            OpsStage::Narrow => "narrow",
+            OpsStage::Shuffle => "shuffle",
+        }
+    }
+}
+
+/// Measured outcome of one batch configuration over one stage.
+#[derive(Debug, Clone)]
+pub struct OpsRun {
+    /// Input records.
+    pub records: usize,
+    /// Chunks dispatched through the batch path.
+    pub chunks: u64,
+    /// Sum of the run's stage makespans at [`OPS_WORKERS`] slots (µs) —
+    /// the time the engine spends actually executing tasks, excluding
+    /// driver coordination, which is identical on both sides and would
+    /// only dilute the dispatch difference under measurement.
+    pub makespan_us: u64,
+    /// Records per virtual second.
+    pub throughput: f64,
+    /// The stage's collected output, for bit-identity checks (sorted where
+    /// the stage involves a shuffle).
+    pub output: Vec<(u64, u64)>,
+}
+
+/// Run one stage over `rows` under the given batch configuration.
+pub fn run_ops_stage(rows: &[(u64, DistVec)], stage: OpsStage, batch: BatchConfig) -> OpsRun {
+    // The engine-default cost model, not the paper-scaled experiment one:
+    // this benchmark isolates per-chunk dispatch against task launch, so
+    // per-record compute stays at its engine-native weight.
+    let mut config = ClusterConfig::local(OPS_WORKERS);
+    config.batch = batch;
+    let cluster = Cluster::new(config);
+    let mapped = cluster
+        .parallelize(rows.to_vec(), OPS_PARTITIONS)
+        .map(|(id, v)| {
+            let mean = v.iter().sum::<f64>() / v.len() as f64;
+            (id, mean)
+        })
+        .filter(|(_, mean)| mean.is_finite());
+    let output: Vec<(u64, u64)> = match stage {
+        OpsStage::Narrow => mapped
+            .flat_map(|(id, mean)| {
+                if mean > 0.5 {
+                    vec![(id, mean.to_bits())]
+                } else {
+                    vec![(id, mean.to_bits()), (id | 1 << 63, (1.0 - mean).to_bits())]
+                }
+            })
+            .collect()
+            .expect("narrow stage"),
+        OpsStage::Shuffle => {
+            let mut reduced = mapped
+                .map(|(id, mean)| (id % 64, mean.to_bits()))
+                .reduce_by_key(|a, b| a.wrapping_add(b), OPS_WORKERS)
+                .collect()
+                .expect("shuffle stage");
+            // Reduce-side group order is a hash-map artifact; sort so the
+            // row/chunked outputs compare exactly.
+            reduced.sort_unstable();
+            reduced
+        }
+    };
+    let report = cluster.job_report();
+    let makespan_us: u64 = cluster
+        .clock()
+        .stages()
+        .iter()
+        .map(|s| s.makespan_us(OPS_WORKERS))
+        .sum();
+    OpsRun {
+        records: rows.len(),
+        chunks: report.batch.chunks,
+        makespan_us,
+        throughput: rows.len() as f64 / (makespan_us as f64 / 1e6).max(1e-9),
+        output,
+    }
+}
+
+/// One stage's row-vs-chunked comparison.
+#[derive(Debug, Clone)]
+pub struct OpsComparison {
+    /// Stage label (`"narrow"` / `"shuffle"`).
+    pub label: &'static str,
+    /// Row-at-a-time baseline (chunk size 1).
+    pub row: OpsRun,
+    /// Default chunked execution.
+    pub chunked: OpsRun,
+}
+
+impl OpsComparison {
+    /// Run both sides of `stage` over `rows` and verify bit-identity.
+    pub fn measure(rows: &[(u64, DistVec)], stage: OpsStage) -> Self {
+        let row = run_ops_stage(rows, stage, BatchConfig::row_at_a_time());
+        let chunked = run_ops_stage(rows, stage, BatchConfig::default());
+        assert_eq!(
+            row.output,
+            chunked.output,
+            "{} stage output must not depend on the chunk size",
+            stage.label()
+        );
+        OpsComparison {
+            label: stage.label(),
+            row,
+            chunked,
+        }
+    }
+
+    /// Makespan ratio row / chunked — the number the gate reads.
+    pub fn speedup(&self) -> f64 {
+        self.row.makespan_us as f64 / (self.chunked.makespan_us as f64).max(1.0)
+    }
+}
+
+fn run_json(r: &OpsRun) -> String {
+    format!(
+        "{{\"records\": {}, \"chunks\": {}, \"makespan_us\": {}, \"throughput_rec_per_s\": {:.0}}}",
+        r.records, r.chunks, r.makespan_us, r.throughput
+    )
+}
+
+/// Render the comparisons as the `BENCH_ops.json` document.
+pub fn ops_to_json(workers: usize, comparisons: &[OpsComparison], threshold: f64) -> String {
+    let gated = comparisons
+        .iter()
+        .find(|c| c.label == "narrow")
+        .map(|c| c.speedup())
+        .unwrap_or(0.0);
+    let mut out = format!("{{\n  \"schema_version\": 1,\n  \"workers\": {workers},\n");
+    for c in comparisons {
+        out.push_str(&format!(
+            "  \"{}\": {{\"row\": {}, \"chunked\": {}, \"speedup\": {:.2}}},\n",
+            c.label,
+            run_json(&c.row),
+            run_json(&c.chunked),
+            c.speedup()
+        ));
+    }
+    out.push_str(&format!(
+        "  \"gate\": {{\"threshold\": {threshold:.2}, \"speedup\": {gated:.2}, \"passed\": {}}}\n}}\n",
+        gated >= threshold
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_rows(n: usize) -> Vec<(u64, DistVec)> {
+        (0..n)
+            .map(|i| {
+                let x = (i % 97) as f64 / 97.0;
+                (i as u64, [x; adr_model::DETECTION_DIMS])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn narrow_stage_chunking_clears_the_gate() {
+        let rows = tiny_rows(120_000);
+        let cmp = OpsComparison::measure(&rows, OpsStage::Narrow);
+        assert!(cmp.row.chunks > cmp.chunked.chunks);
+        assert!(
+            cmp.speedup() >= 2.0,
+            "narrow-stage chunking must clear the 2x gate: {:.2}x",
+            cmp.speedup()
+        );
+    }
+
+    #[test]
+    fn shuffle_stage_outputs_are_chunk_invariant() {
+        let rows = tiny_rows(8_000);
+        let cmp = OpsComparison::measure(&rows, OpsStage::Shuffle);
+        assert!(cmp.speedup() > 1.0, "got {:.2}x", cmp.speedup());
+    }
+
+    #[test]
+    fn json_has_the_gate_section() {
+        let rows = tiny_rows(4_000);
+        let cmp = OpsComparison::measure(&rows, OpsStage::Narrow);
+        let doc = ops_to_json(OPS_WORKERS, &[cmp], 2.0);
+        assert!(doc.contains("\"narrow\""));
+        assert!(doc.contains("\"gate\": {\"threshold\": 2.00"));
+        assert!(doc.contains("\"passed\""));
+    }
+}

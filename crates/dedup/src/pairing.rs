@@ -1,10 +1,17 @@
 //! Candidate pair enumeration and the distributed pairwise-distance job.
 
 use crate::distance::{pair_distance, ProcessedReport};
-use adr_model::{DistVec, PairId, ReportId};
+use adr_model::{DistVec, PairId, ReportId, DETECTION_DIMS};
+use fastknn::VecBatch;
 use sparklet::{Cluster, Result};
 use std::collections::HashMap;
 use std::sync::Arc;
+
+/// Column batch of §4.2 distance vectors — one row per candidate pair, in
+/// the same contiguous layout the fastknn tiled kernels consume. Produced by
+/// [`pairwise_distance_batches`]; row `i` belongs to the `i`-th pair id the
+/// job returned alongside it.
+pub type DistBatch = VecBatch<DETECTION_DIMS>;
 
 /// A shared, immutable snapshot of the processed-report corpus, indexed by
 /// report id. Cloning is a reference-count bump, so the distributed
@@ -111,12 +118,17 @@ fn weight_in(corpus: &CorpusIndex, pid: &PairId) -> u64 {
 ///
 /// Output is flattened in (partition, pair) order — deterministic for any
 /// scheduling, so digests over downstream results never depend on steal
-/// interleavings.
-pub fn pairwise_distances_partitioned(
+/// interleavings. Each morsel builds its slice of the result directly as
+/// [`DistBatch`] columns; the driver concatenates the column slabs and
+/// renumbers row ids `0..n`, so row `i` of the batch is the vector of pair
+/// `i` in the returned id list and the whole result is ready for the
+/// fastknn tiled kernels without any row-struct round trip.
+pub fn pairwise_distance_batches(
     cluster: &Cluster,
     corpus: &CorpusIndex,
     partitions: Vec<Vec<PairId>>,
-) -> Result<Vec<(PairId, DistVec)>> {
+) -> Result<(Vec<PairId>, DistBatch)> {
+    let total: usize = partitions.iter().map(Vec::len).sum();
     let by_id = Arc::clone(corpus);
     let weigher = Arc::clone(corpus);
     let out = cluster.run_morsel_job(
@@ -126,7 +138,8 @@ pub fn pairwise_distances_partitioned(
         move |_, pairs, ctx| {
             ctx.counter("dedup.pair_distances").add(pairs.len() as u64);
             let mut ops = 0u64;
-            let mut out = Vec::with_capacity(pairs.len());
+            let mut ids = Vec::with_capacity(pairs.len());
+            let mut batch = DistBatch::with_capacity(pairs.len());
             for pid in pairs {
                 let a = by_id.get(&pid.lo).ok_or_else(|| {
                     sparklet::SparkletError::User(format!("unknown report {}", pid.lo))
@@ -135,13 +148,56 @@ pub fn pairwise_distances_partitioned(
                     sparklet::SparkletError::User(format!("unknown report {}", pid.hi))
                 })?;
                 ops += pair_op_weight(a, b);
-                out.push((*pid, pair_distance(a, b)));
+                ids.push(*pid);
+                // Row ids are renumbered by the driver once the global row
+                // order is known.
+                batch.push(0, &pair_distance(a, b), false);
             }
             ctx.charge_ops(ops);
-            Ok(out)
+            Ok(vec![(ids, batch)])
         },
     )?;
-    Ok(out.into_iter().flatten().collect())
+    let mut pairs = Vec::with_capacity(total);
+    let mut vectors = DistBatch::with_capacity(total);
+    for (ids, batch) in out.into_iter().flatten() {
+        pairs.extend(ids);
+        vectors.append(&batch);
+    }
+    for (row, id) in vectors.ids_mut().iter_mut().enumerate() {
+        *id = row as u64;
+    }
+    Ok((pairs, vectors))
+}
+
+/// Row-level facade over [`pairwise_distance_batches`]: same job, same
+/// (partition, pair) output order, with each column row materialized back
+/// into a `(PairId, DistVec)` tuple for callers that want row structs.
+pub fn pairwise_distances_partitioned(
+    cluster: &Cluster,
+    corpus: &CorpusIndex,
+    partitions: Vec<Vec<PairId>>,
+) -> Result<Vec<(PairId, DistVec)>> {
+    let (pairs, vectors) = pairwise_distance_batches(cluster, corpus, partitions)?;
+    Ok(pairs
+        .into_iter()
+        .enumerate()
+        .map(|(i, pid)| (pid, vectors.row(i)))
+        .collect())
+}
+
+/// Split `pairs` into `num_partitions` contiguous even runs — the same
+/// boundaries `Cluster::parallelize` uses — so a distance job over them
+/// returns results in input order.
+pub fn contiguous_partitions(pairs: Vec<PairId>, num_partitions: usize) -> Vec<Vec<PairId>> {
+    let n = num_partitions.max(1);
+    let len = pairs.len();
+    let mut parts: Vec<Vec<PairId>> = Vec::with_capacity(n);
+    for i in 0..n {
+        let start = i * len / n;
+        let end = (i + 1) * len / n;
+        parts.push(pairs[start..end].to_vec());
+    }
+    parts
 }
 
 /// [`pairwise_distances_partitioned`] over the classic contiguous
@@ -156,14 +212,7 @@ pub fn pairwise_distances(
     pairs: Vec<PairId>,
     num_partitions: usize,
 ) -> Result<Vec<(PairId, DistVec)>> {
-    let n = num_partitions.max(1);
-    let len = pairs.len();
-    let mut parts: Vec<Vec<PairId>> = Vec::with_capacity(n);
-    for i in 0..n {
-        let start = i * len / n;
-        let end = (i + 1) * len / n;
-        parts.push(pairs[start..end].to_vec());
-    }
+    let parts = contiguous_partitions(pairs, num_partitions);
     pairwise_distances_partitioned(cluster, corpus, parts)
 }
 
@@ -340,6 +389,39 @@ mod tests {
             let expect = pair_distance(&processed[pid.lo as usize], &processed[pid.hi as usize]);
             assert_eq!(v, &expect);
         }
+    }
+
+    #[test]
+    fn batch_distances_line_up_with_row_facade() {
+        let (_, corpus) = tiny_corpus(6);
+        let ids: Vec<u64> = (0..6).collect();
+        let pairs = all_pairs(&ids);
+        let parts = vec![pairs[8..15].to_vec(), Vec::new(), pairs[0..8].to_vec()];
+        let cluster = Cluster::local(2);
+        let (got_pairs, batch) =
+            pairwise_distance_batches(&cluster, &corpus, parts.clone()).unwrap();
+        assert_eq!(got_pairs.len(), 15);
+        assert_eq!(batch.len(), 15);
+        // Row ids are the driver-renumbered 0..n, so the batch can go
+        // straight into a classifier whose scores index back into `pairs`.
+        let got_ids: Vec<u64> = (0..batch.len()).map(|i| batch.id(i)).collect();
+        assert_eq!(got_ids, (0..15).collect::<Vec<u64>>());
+        // The row facade is exactly the zipped view of the batch.
+        let rows = pairwise_distances_partitioned(&Cluster::local(2), &corpus, parts).unwrap();
+        for (i, (pid, v)) in rows.iter().enumerate() {
+            assert_eq!(*pid, got_pairs[i]);
+            assert_eq!(*v, batch.row(i));
+        }
+    }
+
+    #[test]
+    fn contiguous_partitions_cover_in_order() {
+        let pairs: Vec<PairId> = (0..10).map(|i| PairId::new(i, i + 100)).collect();
+        let parts = contiguous_partitions(pairs.clone(), 4);
+        assert_eq!(parts.len(), 4);
+        let flat: Vec<PairId> = parts.iter().flatten().copied().collect();
+        assert_eq!(flat, pairs, "even split must preserve input order");
+        assert_eq!(contiguous_partitions(Vec::new(), 0).len(), 1);
     }
 
     #[test]

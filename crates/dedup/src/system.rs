@@ -3,12 +3,12 @@
 use crate::blocking::BlockingIndex;
 use crate::distance::ProcessedReport;
 use crate::pairing::{
-    pack_pairs, pairs_involving_new, pairwise_distances, pairwise_distances_partitioned,
-    CorpusIndex,
+    contiguous_partitions, pack_pairs, pairs_involving_new, pairwise_distance_batches,
+    pairwise_distances, CorpusIndex,
 };
 use crate::store::PairStore;
 use adr_model::{AdrReport, PairId, ReportId};
-use fastknn::{FastKnn, FastKnnConfig, VecBatch};
+use fastknn::{FastKnn, FastKnnConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sparklet::{Cluster, Result};
@@ -185,48 +185,55 @@ impl DedupSystem {
             self.add_report(r);
         }
         let new_ids: Vec<ReportId> = new_reports.iter().map(|r| r.id).collect();
-        let distances = if self.config.use_blocking {
+        // The distance job hands back one contiguous column batch (row `i`
+        // is the vector of `pairs[i]`) — it flows into the classifier's
+        // tiled kernels with no per-partition re-materialization.
+        let (pairs, vectors) = if self.config.use_blocking {
             // Blocking skews pair counts heavily towards hot drug blocks, so
             // the candidate stream goes through the skew-aware packer: one
             // pair group per blocking key, LPT-packed (splitting oversized
             // groups) into op-weight-balanced partitions. The flattened
             // output order depends on the packing, so sort by pair id to
-            // keep downstream results (and their digests) partition-free.
+            // keep downstream results (and their digests) partition-free:
+            // argsort the id list, then gather the columns through the same
+            // permutation.
             let groups = self.blocking.candidate_pair_groups(&new_ids);
             let partitions = pack_pairs(&self.processed, groups, self.config.pair_partitions);
-            let mut distances =
-                pairwise_distances_partitioned(&self.cluster, &self.processed, partitions)?;
-            distances.sort_unstable_by_key(|(pid, _)| *pid);
-            distances
+            let (pairs, vectors) =
+                pairwise_distance_batches(&self.cluster, &self.processed, partitions)?;
+            let mut idx: Vec<usize> = (0..pairs.len()).collect();
+            idx.sort_unstable_by_key(|&i| (pairs[i], i));
+            let sorted: Vec<PairId> = idx.iter().map(|&i| pairs[i]).collect();
+            let mut vectors = vectors.gather(&idx);
+            for (row, id) in vectors.ids_mut().iter_mut().enumerate() {
+                *id = row as u64;
+            }
+            (sorted, vectors)
         } else {
-            pairwise_distances(
+            pairwise_distance_batches(
                 &self.cluster,
                 &self.processed,
-                pairs_involving_new(&new_ids, &existing),
-                self.config.pair_partitions,
+                contiguous_partitions(
+                    pairs_involving_new(&new_ids, &existing),
+                    self.config.pair_partitions,
+                ),
             )?
         };
 
         let train = self.store.training_pairs();
         let model = FastKnn::fit(&self.cluster, &train, self.config.knn)?;
-        // Candidate vectors go straight into one contiguous column batch —
-        // no intermediate row structs between the distance job and the
-        // classifier's tiled kernels.
-        let mut test = VecBatch::with_capacity(distances.len());
-        for (i, (_, v)) in distances.iter().enumerate() {
-            test.push(i as u64, v, false);
-        }
-        let scored = model.classify_batch(&test)?;
+        let scored = model.classify_batch(&vectors)?;
 
         let mut detections: Vec<Detection> = scored
             .iter()
             .map(|s| {
-                let (pid, vector) = &distances[s.id as usize];
+                let row = s.id as usize;
+                let pid = pairs[row];
                 // Feedback: the classified pair joins the labelled stores
                 // (Fig. 1's dashed line).
-                self.store.add(*pid, *vector, s.positive);
+                self.store.add(pid, vectors.row(row), s.positive);
                 Detection {
-                    pair: *pid,
+                    pair: pid,
                     score: s.score,
                     is_duplicate: s.positive,
                 }

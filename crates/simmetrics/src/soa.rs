@@ -150,6 +150,39 @@ impl<const D: usize> VecBatch<D> {
         std::array::from_fn(|d| self.cols[d][i])
     }
 
+    /// Mutable row ids — for renumbering a concatenated batch in place
+    /// (the duplicate-detection pipeline reindexes pair rows 0..n before
+    /// classification).
+    pub fn ids_mut(&mut self) -> &mut [u64] {
+        &mut self.ids
+    }
+
+    /// Append every row of `other`, column-wise, preserving order — the
+    /// driver-side concatenation for per-partition batches coming back from
+    /// the engine.
+    pub fn append(&mut self, other: &Self) {
+        self.ids.extend_from_slice(&other.ids);
+        self.labels.extend_from_slice(&other.labels);
+        for (c, oc) in self.cols.iter_mut().zip(&other.cols) {
+            c.extend_from_slice(oc);
+        }
+    }
+
+    /// New batch holding rows `idx[0], idx[1], …` of `self`, in that order
+    /// (a permutation gather; indices may also repeat or skip rows).
+    ///
+    /// # Panics
+    /// Panics if any index is out of range.
+    pub fn gather(&self, idx: &[usize]) -> Self {
+        let mut out = Self::with_capacity(idx.len());
+        out.ids.extend(idx.iter().map(|&i| self.ids[i]));
+        out.labels.extend(idx.iter().map(|&i| self.labels[i]));
+        for (oc, c) in out.cols.iter_mut().zip(&self.cols) {
+            oc.extend(idx.iter().map(|&i| c[i]));
+        }
+        out
+    }
+
     /// Split off the rows from `at` onward into a new batch (cf.
     /// [`Vec::split_off`]).
     pub fn split_off(&mut self, at: usize) -> Self {
@@ -481,6 +514,40 @@ mod tests {
                 i += 1;
             }
         }
+    }
+
+    #[test]
+    fn append_concatenates_column_wise() {
+        let data = rows(10, 11);
+        let mut a = VecBatch::<8>::from_rows(&data[..6]);
+        let b = VecBatch::<8>::from_rows(&data[6..]);
+        a.append(&b);
+        assert_eq!(a.len(), 10);
+        for (i, r) in data.iter().enumerate() {
+            assert_eq!(a.row(i), *r, "row {i}");
+        }
+        // from_rows numbers each source batch from zero; renumber globally.
+        for (i, id) in a.ids_mut().iter_mut().enumerate() {
+            *id = i as u64;
+        }
+        assert_eq!(a.ids(), (0..10).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn gather_permutes_repeats_and_skips() {
+        let data = rows(5, 13);
+        let mut batch = VecBatch::<8>::with_capacity(5);
+        for (i, r) in data.iter().enumerate() {
+            batch.push(100 + i as u64, r, i % 2 == 0);
+        }
+        let picked = batch.gather(&[4, 0, 0, 2]);
+        assert_eq!(picked.len(), 4);
+        assert_eq!(picked.row(0), data[4]);
+        assert_eq!(picked.row(1), data[0]);
+        assert_eq!(picked.row(2), data[0]);
+        assert_eq!(picked.row(3), data[2]);
+        assert_eq!(picked.ids(), &[104, 100, 100, 102]);
+        assert_eq!(picked.labels(), &[true, true, true, true]);
     }
 
     proptest! {

@@ -34,6 +34,8 @@ pub struct ClusterConfig {
     pub cost: CostModelConfig,
     /// Morsel-driven scheduling knobs (see [`SchedConfig`]).
     pub sched: SchedConfig,
+    /// Chunked operator-at-a-time execution knobs (see [`BatchConfig`]).
+    pub batch: BatchConfig,
 }
 
 impl ClusterConfig {
@@ -51,6 +53,7 @@ impl ClusterConfig {
             fault: FaultConfig::disabled(),
             cost: CostModelConfig::default(),
             sched: SchedConfig::default(),
+            batch: BatchConfig::default(),
         }
     }
 
@@ -116,6 +119,54 @@ impl SchedConfig {
         SchedConfig {
             morsel_ops: u64::MAX,
             steal: false,
+        }
+    }
+}
+
+/// Chunked operator-at-a-time execution configuration.
+///
+/// Narrow transformations (`map`, `filter`, `flat_map` and the explicit
+/// `*_batches` operators) and the shuffle map side move records through the
+/// DAG in contiguous `Vec<T>` slabs ([`crate::Chunk`]) of at most
+/// `target_chunk_records` rows. Each chunk pays one dispatch cost
+/// ([`CostModelConfig::chunk_dispatch_ns`]) regardless of how many records
+/// it carries, so larger chunks amortize per-record closure dispatch the
+/// same way morsels amortize task launch. Output is bit-identical for every
+/// chunk size — chunks are processed sequentially, in order, within a task.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct BatchConfig {
+    /// Target records per chunk. `1` degenerates to record-at-a-time
+    /// dispatch (the pre-batch behaviour and the bench baseline);
+    /// `usize::MAX` hands each partition to the operator as one slab.
+    pub target_chunk_records: usize,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            target_chunk_records: Self::DEFAULT_CHUNK_RECORDS,
+        }
+    }
+}
+
+impl BatchConfig {
+    /// Default chunk size: large enough that the per-chunk dispatch cost is
+    /// noise next to per-record work, small enough that chunks stay
+    /// cache-resident and can later become the spill unit.
+    pub const DEFAULT_CHUNK_RECORDS: usize = 1024;
+
+    /// Record-at-a-time dispatch: every record is its own chunk and pays
+    /// its own dispatch cost. The baseline `bench_ops` gates against.
+    pub fn row_at_a_time() -> Self {
+        BatchConfig {
+            target_chunk_records: 1,
+        }
+    }
+
+    /// Chunking disabled: each partition moves as a single slab.
+    pub fn unchunked() -> Self {
+        BatchConfig {
+            target_chunk_records: usize::MAX,
         }
     }
 }
@@ -257,6 +308,12 @@ pub struct CostModelConfig {
     /// partition only pay queue dispatch. Keeps an unsplit morsel stage
     /// exactly as expensive as the equivalent `run_job` stage.
     pub morsel_dispatch_overhead_us: u64,
+    /// Virtual nanoseconds charged per chunk dispatched on the batch path
+    /// (closure call, bounds setup, downstream handoff). With
+    /// [`BatchConfig::row_at_a_time`] every record pays this; at the
+    /// default chunk size it is amortized ~1000× — the gap `bench_ops`
+    /// measures.
+    pub chunk_dispatch_ns: u64,
 }
 
 impl Default for CostModelConfig {
@@ -269,6 +326,7 @@ impl Default for CostModelConfig {
             retry_penalty_us: 10_000_000, // 10 s timeout + reschedule
             coordination_us_per_executor: 20_000,
             morsel_dispatch_overhead_us: 500,
+            chunk_dispatch_ns: 2_000, // 2 µs: boxed-closure call + slab handoff
         }
     }
 }
@@ -316,6 +374,18 @@ mod tests {
         let d = SchedConfig::default();
         assert!(d.steal, "morsel scheduling is the default");
         assert!(d.morsel_ops < u64::MAX);
+    }
+
+    #[test]
+    fn batch_config_presets_cover_the_extremes() {
+        let d = BatchConfig::default();
+        assert_eq!(d.target_chunk_records, BatchConfig::DEFAULT_CHUNK_RECORDS);
+        assert_eq!(BatchConfig::row_at_a_time().target_chunk_records, 1);
+        assert_eq!(BatchConfig::unchunked().target_chunk_records, usize::MAX);
+        assert!(
+            CostModelConfig::default().chunk_dispatch_ns > 0,
+            "row-at-a-time must cost something for the batch path to amortize"
+        );
     }
 
     #[test]

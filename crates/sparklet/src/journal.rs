@@ -216,6 +216,22 @@ pub enum EventKind {
         /// Idle virtual time until the stage's makespan (µs).
         idle_us: u64,
     },
+    /// A batch-path operator finished one task's compute: `chunks` chunks
+    /// moved `records` records through the operator. Coalesced: one event
+    /// per task, never per chunk, so journal volume stays bounded by task
+    /// count even at chunk size 1.
+    BatchExecuted {
+        /// Stage (node) name.
+        stage: String,
+        /// Operator name ("map", "filter_batches", "shuffle-bucket", …).
+        op: String,
+        /// Chunks dispatched by this compute.
+        chunks: u64,
+        /// Records carried across those chunks.
+        records: u64,
+        /// Largest single chunk (records).
+        max_chunk: u64,
+    },
 }
 
 impl EventKind {
@@ -239,6 +255,7 @@ impl EventKind {
             EventKind::TaskLost { .. } => "task_lost",
             EventKind::MorselStolen { .. } => "morsel_stolen",
             EventKind::WorkerIdle { .. } => "worker_idle",
+            EventKind::BatchExecuted { .. } => "batch_executed",
         }
     }
 }
@@ -557,6 +574,103 @@ impl SchedReport {
     }
 }
 
+/// Chunked-execution aggregates captured into a [`JobReport`]: one row per
+/// (stage, operator) that ran through the batch path, plus run-wide totals
+/// and the dispatch overhead chunking saved against a row-at-a-time
+/// execution of the same record volume.
+#[derive(Debug, Clone, Default)]
+pub struct BatchReport {
+    /// Chunks dispatched across all batch stages.
+    pub chunks: u64,
+    /// Records carried through the batch path.
+    pub records: u64,
+    /// Virtual time saved versus dispatching every record as its own chunk:
+    /// `(records − chunks) × chunk_dispatch_ns / 1000` (µs) at the
+    /// cluster's own [`crate::CostModelConfig::chunk_dispatch_ns`].
+    pub dispatch_saved_us: u64,
+    /// Per-(stage, operator) rows in first-seen order.
+    pub stages: Vec<BatchStageReport>,
+}
+
+/// One (stage, operator) row in the [`BatchReport`].
+#[derive(Debug, Clone, Default)]
+pub struct BatchStageReport {
+    /// Stage name the chunks ran under.
+    pub stage: String,
+    /// Operator name ("map", "filter_batches", "shuffle-bucket", …).
+    pub op: String,
+    /// Chunks dispatched.
+    pub chunks: u64,
+    /// Records carried.
+    pub records: u64,
+    /// Median over tasks of the task's mean records-per-chunk.
+    pub p50_chunk_records: u64,
+    /// Largest single chunk observed (records).
+    pub max_chunk_records: u64,
+}
+
+impl BatchReport {
+    fn capture(cluster: &Cluster) -> Self {
+        use std::collections::HashMap;
+        // chunks, records, max chunk, per-task mean chunk sizes.
+        type Row = (u64, u64, u64, Vec<u64>);
+        let mut order: Vec<(String, String)> = Vec::new();
+        let mut rows: HashMap<(String, String), Row> = HashMap::new();
+        for ev in cluster.journal().events() {
+            let EventKind::BatchExecuted {
+                stage,
+                op,
+                chunks,
+                records,
+                max_chunk,
+            } = ev.kind
+            else {
+                continue;
+            };
+            let key = (stage, op);
+            let entry = rows.entry(key.clone()).or_insert_with(|| {
+                order.push(key);
+                (0, 0, 0, Vec::new())
+            });
+            entry.0 += chunks;
+            entry.1 += records;
+            entry.2 = entry.2.max(max_chunk);
+            if let Some(mean) = records.checked_div(chunks) {
+                entry.3.push(mean);
+            }
+        }
+        let mut report = BatchReport::default();
+        for key in order {
+            let (chunks, records, max_chunk, mut avgs) = rows.remove(&key).unwrap();
+            avgs.sort_unstable();
+            let p50 = if avgs.is_empty() {
+                0
+            } else {
+                avgs[(avgs.len() - 1) / 2]
+            };
+            report.chunks += chunks;
+            report.records += records;
+            report.stages.push(BatchStageReport {
+                stage: key.0,
+                op: key.1,
+                chunks,
+                records,
+                p50_chunk_records: p50,
+                max_chunk_records: max_chunk,
+            });
+        }
+        report.dispatch_saved_us = report.records.saturating_sub(report.chunks)
+            * cluster.config().cost.chunk_dispatch_ns
+            / 1000;
+        report
+    }
+
+    /// Did anything run through the batch path?
+    pub fn any(&self) -> bool {
+        self.chunks > 0
+    }
+}
+
 /// Maximum failure lines embedded in a report (the journal may hold more).
 /// Cap on the failure lines a [`JobReport`] retains (fault-injection runs
 /// can fail thousands of attempts; the report keeps the first few).
@@ -578,6 +692,9 @@ pub struct JobReport {
     /// Morsel-scheduling aggregates: steal counts and the per-worker
     /// utilization table (empty when no stage ran morsel-driven).
     pub sched: SchedReport,
+    /// Chunked-execution aggregates: chunks/records per stage-operator and
+    /// the dispatch overhead saved (empty when nothing ran batch-path).
+    pub batch: BatchReport,
     /// First [`MAX_REPORT_FAILURES`] task-attempt failures, in order.
     pub failures: Vec<FailureLine>,
     /// User counters, sorted by name.
@@ -590,8 +707,8 @@ pub struct JobReport {
 
 impl JobReport {
     /// Current JSON schema version (2 added the `recovery` section, 3 the
-    /// `sched` section).
-    pub const SCHEMA_VERSION: u32 = 3;
+    /// `sched` section, 4 the `batch` section).
+    pub const SCHEMA_VERSION: u32 = 4;
 
     /// Snapshot a cluster's clock, metrics and journal into a report.
     pub fn capture(cluster: &Cluster) -> Self {
@@ -641,6 +758,7 @@ impl JobReport {
                 events_dropped: journal.dropped(),
             },
             sched: SchedReport::capture(cluster),
+            batch: BatchReport::capture(cluster),
             recovery: RecoveryReport {
                 executors_lost: m.executors_lost.get(),
                 executors_blacklisted: m.executors_blacklisted.get(),
@@ -729,6 +847,28 @@ impl JobReport {
             out.push_str(&format!(
                 "{{\"worker\": {}, \"busy_us\": {}, \"morsels\": {}, \"steals\": {}}}",
                 w.worker, w.busy_us, w.morsels, w.steals
+            ));
+        }
+        out.push_str("]},\n");
+        let b = &self.batch;
+        out.push_str("  \"batch\": {");
+        out.push_str(&format!(
+            "\"chunks\": {}, \"records\": {}, \"dispatch_saved_us\": {}, \"stages\": [",
+            b.chunks, b.records, b.dispatch_saved_us,
+        ));
+        for (i, s) in b.stages.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"stage\": {}, \"op\": {}, \"chunks\": {}, \"records\": {}, \
+                 \"p50_chunk_records\": {}, \"max_chunk_records\": {}}}",
+                json_string(&s.stage),
+                json_string(&s.op),
+                s.chunks,
+                s.records,
+                s.p50_chunk_records,
+                s.max_chunk_records,
             ));
         }
         out.push_str("]},\n");
@@ -902,6 +1042,18 @@ impl fmt::Display for JobReport {
                 )?;
             }
         }
+        if self.batch.any() {
+            let b = &self.batch;
+            writeln!(
+                f,
+                "batch: {} chunks / {} records across {} stage-ops, \
+                 ~{:.1} ms dispatch saved vs row-at-a-time",
+                b.chunks,
+                b.records,
+                b.stages.len(),
+                b.dispatch_saved_us as f64 / 1e3,
+            )?;
+        }
         for fl in &self.failures {
             writeln!(
                 f,
@@ -1033,7 +1185,9 @@ mod tests {
         .unwrap();
         let json = c.job_report().to_json();
         for key in [
-            "\"schema_version\": 3",
+            "\"schema_version\": 4",
+            "\"batch\"",
+            "\"dispatch_saved_us\"",
             "\"virtual_us\"",
             "\"total_work_us\"",
             "\"totals\"",
@@ -1174,6 +1328,38 @@ mod tests {
         assert!(text.contains("util%"), "{text}");
         let json = report.to_json();
         assert!(json.contains("\"per_worker\": [{\"worker\": 0"), "{json}");
+    }
+
+    #[test]
+    fn batch_report_aggregates_chunk_events() {
+        let c = Cluster::local(2);
+        c.journal().record(EventKind::BatchExecuted {
+            stage: "collect[map]".into(),
+            op: "map".into(),
+            chunks: 4,
+            records: 4096,
+            max_chunk: 1024,
+        });
+        c.journal().record(EventKind::BatchExecuted {
+            stage: "collect[map]".into(),
+            op: "map".into(),
+            chunks: 2,
+            records: 2048,
+            max_chunk: 1024,
+        });
+        let report = c.job_report();
+        assert_eq!(report.batch.chunks, 6);
+        assert_eq!(report.batch.records, 6144);
+        assert_eq!(report.batch.stages.len(), 1);
+        let row = &report.batch.stages[0];
+        assert_eq!(row.op, "map");
+        assert_eq!(row.p50_chunk_records, 1024);
+        assert_eq!(row.max_chunk_records, 1024);
+        // (records − chunks) at the default 2 µs per dispatch.
+        assert_eq!(report.batch.dispatch_saved_us, (6144 - 6) * 2000 / 1000);
+        let json = report.to_json();
+        assert!(json.contains("\"batch\": {\"chunks\": 6"), "{json}");
+        assert!(report.to_string().contains("batch: 6 chunks"));
     }
 
     #[test]

@@ -66,18 +66,19 @@ pub mod task;
 
 pub use cluster::Cluster;
 pub use config::{
-    ClusterConfig, CostModelConfig, ExecutorKill, FaultConfig, KillWhen, SchedConfig,
+    BatchConfig, ClusterConfig, CostModelConfig, ExecutorKill, FaultConfig, KillWhen, SchedConfig,
 };
 pub use error::{Result, SparkletError};
 pub use executor::{ExecutorInfo, ExecutorRegistry, KillOutcome};
 pub use hash::{stable_hash, SipHasher13};
 pub use journal::{
-    Event, EventKind, JobReport, RecoveryReport, RunJournal, SchedReport, WorkerUtilization,
+    BatchReport, Event, EventKind, JobReport, RecoveryReport, RunJournal, SchedReport,
+    WorkerUtilization,
 };
 pub use metrics::ClusterMetrics;
 pub use pair::PairRdd;
 pub use partitioner::{HashPartitioner, Partitioner};
-pub use rdd::Rdd;
+pub use rdd::{Chunk, Rdd};
 pub use report::ClusterReport;
 pub use simtime::{simulate_morsels, MorselInfo, SchedSim};
 pub use task::TaskContext;

@@ -78,6 +78,9 @@ pub struct ClusterMetrics {
     pub morsels_executed: Counter,
     /// Morsels that ran on a worker other than their home (work stealing).
     pub morsels_stolen: Counter,
+    /// Chunks dispatched through the batch operator path (see
+    /// [`crate::BatchConfig`]).
+    pub chunks_executed: Counter,
     user: Arc<RwLock<HashMap<String, Counter>>>,
 }
 
@@ -135,6 +138,7 @@ impl ClusterMetrics {
         self.speculative_wins.reset();
         self.morsels_executed.reset();
         self.morsels_stolen.reset();
+        self.chunks_executed.reset();
         for (_, c) in self.user.read().iter() {
             c.reset();
         }

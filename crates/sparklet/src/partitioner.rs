@@ -14,6 +14,14 @@ pub trait Partitioner<K>: Send + Sync + 'static {
     fn num_partitions(&self) -> usize;
     /// Partition index in `0..num_partitions()` for `key`.
     fn partition(&self, key: &K) -> usize;
+    /// Append the partition index of every key in `keys` to `out`, in
+    /// order. The shuffle's batched bucketing path calls this once per
+    /// chunk, so a concrete partitioner pays one virtual dispatch per chunk
+    /// and resolves the per-key work statically; the default falls back to
+    /// per-key [`Partitioner::partition`] and must stay bit-identical to it.
+    fn partition_batch(&self, keys: &mut dyn Iterator<Item = &K>, out: &mut Vec<usize>) {
+        out.extend(keys.map(|k| self.partition(k)));
+    }
 }
 
 /// Hash partitioner over the crate-owned keyed SipHash-1-3
@@ -53,6 +61,11 @@ impl<K: Hash + Send + Sync + 'static> Partitioner<K> for HashPartitioner<K> {
     fn partition(&self, key: &K) -> usize {
         (stable_hash(key) % self.partitions as u64) as usize
     }
+
+    fn partition_batch(&self, keys: &mut dyn Iterator<Item = &K>, out: &mut Vec<usize>) {
+        let n = self.partitions as u64;
+        out.extend(keys.map(|k| (stable_hash(k) % n) as usize));
+    }
 }
 
 /// Partitioner that interprets keys directly as partition indices
@@ -78,6 +91,10 @@ impl Partitioner<usize> for IndexPartitioner {
 
     fn partition(&self, key: &usize) -> usize {
         key % self.partitions
+    }
+
+    fn partition_batch(&self, keys: &mut dyn Iterator<Item = &usize>, out: &mut Vec<usize>) {
+        out.extend(keys.map(|k| k % self.partitions));
     }
 }
 
@@ -109,6 +126,10 @@ impl<K: Ord + Send + Sync + 'static> Partitioner<K> for RangePartitioner<K> {
 
     fn partition(&self, key: &K) -> usize {
         self.splitters.partition_point(|s| s < key)
+    }
+
+    fn partition_batch(&self, keys: &mut dyn Iterator<Item = &K>, out: &mut Vec<usize>) {
+        out.extend(keys.map(|k| self.splitters.partition_point(|s| s < k)));
     }
 }
 
@@ -193,5 +214,21 @@ mod tests {
         assert_eq!(p.partition(&0), 0);
         assert_eq!(p.partition(&5), 1);
         assert_eq!(p.partition(&11), 3);
+    }
+
+    #[test]
+    fn partition_batch_matches_per_key_for_every_partitioner() {
+        fn check<K, P: Partitioner<K>>(p: &P, keys: &[K]) {
+            let mut batched = Vec::new();
+            p.partition_batch(&mut keys.iter(), &mut batched);
+            let singles: Vec<usize> = keys.iter().map(|k| p.partition(k)).collect();
+            assert_eq!(batched, singles);
+        }
+        let keys: Vec<u64> = (0..64).map(|i| i * 7919 % 101).collect();
+        check(&HashPartitioner::<u64>::new(8), &keys);
+        let idx: Vec<usize> = (0..64).collect();
+        check(&IndexPartitioner::new(5), &idx);
+        let vals: Vec<u32> = (0..64).map(|i| i * 13 % 97).collect();
+        check(&RangePartitioner::new(vec![20, 40, 60]), &vals);
     }
 }

@@ -1,5 +1,6 @@
 //! The public [`Rdd`] handle: transformations and actions.
 
+pub mod batch;
 pub mod node;
 pub mod nodes;
 
@@ -7,6 +8,8 @@ use crate::cluster::Cluster;
 use crate::error::{Result, SparkletError};
 use crate::task::TaskContext;
 use crate::Data;
+use batch::BatchMapNode;
+pub use batch::Chunk;
 use node::RddNode;
 use nodes::*;
 use std::sync::Arc;
@@ -59,25 +62,117 @@ impl<T: Data> Rdd<T> {
     // Narrow transformations
     // ------------------------------------------------------------------
 
-    /// Element-wise transformation.
+    /// Element-wise transformation (a thin adapter over the batch path: the
+    /// partition moves through the DAG in [`Chunk`]s, see [`Rdd::map_batches`]).
     pub fn map<U: Data>(&self, f: impl Fn(T) -> U + Send + Sync + 'static) -> Rdd<U> {
-        self.map_partitions_named("map", move |_, _, part: Vec<T>| {
-            Ok(part.into_iter().map(&f).collect())
+        self.batch_op("map", move |_, _, chunk: Chunk<T>| {
+            Ok(Chunk::new(chunk.into_items().into_iter().map(&f).collect()))
         })
     }
 
-    /// Keep only elements satisfying `pred`.
+    /// Keep only elements satisfying `pred` (chunked under the hood, see
+    /// [`Rdd::filter_batches`]).
     pub fn filter(&self, pred: impl Fn(&T) -> bool + Send + Sync + 'static) -> Rdd<T> {
-        self.map_partitions_named("filter", move |_, _, part: Vec<T>| {
-            Ok(part.into_iter().filter(|t| pred(t)).collect())
+        self.batch_op("filter", move |_, _, chunk: Chunk<T>| {
+            Ok(Chunk::new(
+                chunk.into_items().into_iter().filter(|t| pred(t)).collect(),
+            ))
         })
     }
 
-    /// One-to-many transformation.
+    /// One-to-many transformation (chunked under the hood, see
+    /// [`Rdd::flat_map_batches`]).
     pub fn flat_map<U: Data>(&self, f: impl Fn(T) -> Vec<U> + Send + Sync + 'static) -> Rdd<U> {
-        self.map_partitions_named("flat_map", move |_, _, part: Vec<T>| {
-            Ok(part.into_iter().flat_map(&f).collect())
+        self.batch_op("flat_map", move |_, _, chunk: Chunk<T>| {
+            Ok(Chunk::new(
+                chunk.into_items().into_iter().flat_map(&f).collect(),
+            ))
         })
+    }
+
+    // ------------------------------------------------------------------
+    // Batch-native operators: whole chunks in, whole chunks out
+    // ------------------------------------------------------------------
+
+    /// Chunk-wise 1:1 transformation: `f` sees a whole [`Chunk`] and must
+    /// return exactly one output row per input row (enforced — a length
+    /// mismatch fails the task). Use this to amortise per-row dispatch when
+    /// the body can vectorise over the slab; use
+    /// [`Rdd::flat_map_batches`] for free-form arity.
+    pub fn map_batches<U: Data>(
+        &self,
+        f: impl Fn(&TaskContext, &Chunk<T>) -> Result<Vec<U>> + Send + Sync + 'static,
+    ) -> Rdd<U> {
+        self.batch_op("map_batches", move |ctx, _, chunk: Chunk<T>| {
+            let out = f(ctx, &chunk)?;
+            if out.len() != chunk.len() {
+                return Err(SparkletError::User(format!(
+                    "map_batches must be 1:1: chunk of {} rows produced {}",
+                    chunk.len(),
+                    out.len()
+                )));
+            }
+            Ok(Chunk::new(out))
+        })
+    }
+
+    /// Chunk-wise filter: `f` returns one keep/drop mask entry per row of
+    /// the chunk (enforced — a mask length mismatch fails the task).
+    pub fn filter_batches(
+        &self,
+        f: impl Fn(&TaskContext, &Chunk<T>) -> Result<Vec<bool>> + Send + Sync + 'static,
+    ) -> Rdd<T> {
+        self.batch_op("filter_batches", move |ctx, _, chunk: Chunk<T>| {
+            let mask = f(ctx, &chunk)?;
+            if mask.len() != chunk.len() {
+                return Err(SparkletError::User(format!(
+                    "filter_batches mask must match the chunk: {} rows, {} mask entries",
+                    chunk.len(),
+                    mask.len()
+                )));
+            }
+            let mut mask = mask.into_iter();
+            Ok(Chunk::new(
+                chunk
+                    .into_items()
+                    .into_iter()
+                    .filter(|_| mask.next().unwrap_or(false))
+                    .collect(),
+            ))
+        })
+    }
+
+    /// Chunk-wise free-form transformation: `f` consumes a whole [`Chunk`]
+    /// and may return any number of rows. Outputs are concatenated in chunk
+    /// order, so results match a row-at-a-time `flat_map` for any chunk
+    /// size.
+    pub fn flat_map_batches<U: Data>(
+        &self,
+        f: impl Fn(&TaskContext, Chunk<T>) -> Result<Vec<U>> + Send + Sync + 'static,
+    ) -> Rdd<U> {
+        self.batch_op("flat_map_batches", move |ctx, _, chunk: Chunk<T>| {
+            Ok(Chunk::new(f(ctx, chunk)?))
+        })
+    }
+
+    fn batch_op<U: Data>(
+        &self,
+        name: &str,
+        f: impl Fn(&TaskContext, usize, Chunk<T>) -> Result<Chunk<U>> + Send + Sync + 'static,
+    ) -> Rdd<U> {
+        let id = self.cluster.new_rdd_id();
+        let target = self.cluster.config().batch.target_chunk_records;
+        Rdd::from_node(
+            self.cluster.clone(),
+            Arc::new(BatchMapNode::new(
+                id,
+                name,
+                self.cluster.clone(),
+                self.node.clone(),
+                target,
+                Arc::new(f),
+            )),
+        )
     }
 
     /// Whole-partition transformation.

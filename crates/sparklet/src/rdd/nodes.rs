@@ -3,6 +3,7 @@
 use super::node::RddNode;
 use crate::cluster::{Cluster, RecoveryFn};
 use crate::error::{Result, SparkletError};
+use crate::journal::EventKind;
 use crate::partitioner::Partitioner;
 use crate::storage::estimate_vec_size;
 use crate::task::TaskContext;
@@ -339,22 +340,61 @@ fn run_map_stage<K: KeyData, V: Data>(
     let maps: Arc<Vec<usize>> = Arc::new(maps.to_vec());
     let parent = parent.clone();
     let partitioner = partitioner.clone();
+    let chunk_target = cluster.config().batch.target_chunk_records;
     let cl = cluster.clone();
     cluster.run_job::<u8, _>(&stage, maps.len(), move |i, ctx| {
         let m = maps[i];
         let data = parent.compute(m, ctx)?;
-        let mut buckets: Vec<Vec<(K, V)>> = (0..nr).map(|_| Vec::new()).collect();
-        for kv in data {
-            buckets[partitioner.partition(&kv.0)].push(kv);
-        }
-        let records: usize = buckets.iter().map(Vec::len).sum();
+        let records = data.len();
+        let (buckets, chunks) = bucket_by_partition(data, partitioner.as_ref(), chunk_target);
+        ctx.add_chunks(chunks);
         let bytes = (records * std::mem::size_of::<(K, V)>().max(1)) as u64;
         ctx.add_shuffle_bytes(bytes);
+        cl.journal().record(EventKind::BatchExecuted {
+            stage: ctx.stage().to_string(),
+            op: "shuffle-bucket".into(),
+            chunks,
+            records: records as u64,
+            max_chunk: chunk_target.min(records) as u64,
+        });
         cl.shuffles()
             .write_map_output(sid, m, total, nr, ctx.executor(), buckets, bytes);
         Ok(Vec::new())
     })?;
     Ok(())
+}
+
+/// Bucket a map task's pairs by reduce partition, chunked and with
+/// exact-capacity buckets: an assignment pass calls
+/// [`Partitioner::partition_batch`] once per `chunk_target` rows (one
+/// virtual dispatch per chunk instead of one per record), a counting pass
+/// sizes every bucket exactly, and the fill pass moves each pair once into
+/// storage that never reallocates or over-allocates. Returns the buckets
+/// and the number of chunks dispatched. Bucket contents are bit-identical
+/// to the per-record path for every chunk size: assignment order is row
+/// order either way.
+pub(crate) fn bucket_by_partition<K: KeyData, V: Data>(
+    data: Vec<(K, V)>,
+    partitioner: &dyn Partitioner<K>,
+    chunk_target: usize,
+) -> (Vec<Vec<(K, V)>>, u64) {
+    let nr = partitioner.num_partitions();
+    let chunk_target = chunk_target.max(1);
+    let mut assign = Vec::with_capacity(data.len());
+    let mut chunks = 0u64;
+    for rows in data.chunks(chunk_target) {
+        partitioner.partition_batch(&mut rows.iter().map(|kv| &kv.0), &mut assign);
+        chunks += 1;
+    }
+    let mut counts = vec![0usize; nr];
+    for &r in &assign {
+        counts[r] += 1;
+    }
+    let mut buckets: Vec<Vec<(K, V)>> = counts.iter().map(|&c| Vec::with_capacity(c)).collect();
+    for (kv, &r) in data.into_iter().zip(&assign) {
+        buckets[r].push(kv);
+    }
+    (buckets, chunks)
 }
 
 /// Wide node: repartitions `(K, V)` pairs by key through the shuffle service.
@@ -502,5 +542,49 @@ impl<A: Data, B: Data, C: Data> RddNode<C> for ZipPartitionsNode<A, B, C> {
         let a = self.left.compute(split, ctx)?;
         let b = self.right.compute(split, ctx)?;
         (self.f)(ctx, a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partitioner::HashPartitioner;
+
+    #[test]
+    fn bucketing_allocates_buckets_at_exact_capacity() {
+        // Regression: the shuffle write path must size each bucket exactly
+        // once instead of growing it per record (doubling leaves up to 2×
+        // slack per bucket).
+        let data: Vec<(u64, u32)> = (0..1000u64).map(|k| (k, (k * 3) as u32)).collect();
+        let p = HashPartitioner::<u64>::new(8);
+        let (buckets, chunks) = bucket_by_partition(data.clone(), &p, 128);
+        assert_eq!(chunks, 8, "1000 rows at 128/chunk");
+        assert_eq!(buckets.iter().map(Vec::len).sum::<usize>(), 1000);
+        for (i, b) in buckets.iter().enumerate() {
+            assert_eq!(
+                b.capacity(),
+                b.len(),
+                "bucket {i} over-allocated: capacity {} for {} rows",
+                b.capacity(),
+                b.len()
+            );
+        }
+        // Bit-identical to the per-record path, in row order.
+        let mut expect: Vec<Vec<(u64, u32)>> = (0..8).map(|_| Vec::new()).collect();
+        for kv in data {
+            expect[p.partition(&kv.0)].push(kv);
+        }
+        assert_eq!(buckets, expect);
+    }
+
+    #[test]
+    fn bucketing_handles_empty_and_single_chunk_inputs() {
+        let p = HashPartitioner::<u64>::new(4);
+        let (buckets, chunks) = bucket_by_partition(Vec::<(u64, u8)>::new(), &p, 16);
+        assert_eq!(chunks, 0);
+        assert!(buckets.iter().all(Vec::is_empty));
+        let (buckets, chunks) = bucket_by_partition(vec![(1u64, 1u8), (2, 2)], &p, usize::MAX);
+        assert_eq!(chunks, 1);
+        assert_eq!(buckets.iter().map(Vec::len).sum::<usize>(), 2);
     }
 }

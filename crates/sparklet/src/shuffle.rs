@@ -207,12 +207,20 @@ impl ShuffleService {
             }
             chunks
         };
-        let mut out = Vec::new();
+        // Downcast first, then concatenate into exactly-sized storage: one
+        // allocation for the whole bucket, no doubling during the copy.
+        let mut typed: Vec<Arc<Vec<T>>> = Vec::with_capacity(chunks.len());
         for chunk in chunks {
-            let typed = chunk
-                .downcast::<Vec<T>>()
-                .expect("shuffle bucket type mismatch");
-            out.extend_from_slice(&typed);
+            typed.push(
+                chunk
+                    .downcast::<Vec<T>>()
+                    .expect("shuffle bucket type mismatch"),
+            );
+        }
+        let total: usize = typed.iter().map(|c| c.len()).sum();
+        let mut out = Vec::with_capacity(total);
+        for chunk in typed {
+            out.extend_from_slice(&chunk);
         }
         self.metrics.shuffle_records_read.add(out.len() as u64);
         self.journal.record(EventKind::ShuffleRead {
@@ -338,6 +346,18 @@ mod tests {
         svc.mark_complete(1);
         let got: Vec<u8> = svc.read_bucket(1, 0).unwrap();
         assert_eq!(got, vec![2]);
+    }
+
+    #[test]
+    fn read_bucket_allocates_exactly() {
+        let svc = ShuffleService::new(ClusterMetrics::new());
+        svc.write_map_output(9, 0, 3, 1, 0, vec![(0..100u32).collect::<Vec<_>>()], 400);
+        svc.write_map_output(9, 1, 3, 1, 0, vec![(100..137u32).collect::<Vec<_>>()], 148);
+        svc.write_map_output(9, 2, 3, 1, 0, vec![Vec::<u32>::new()], 0);
+        assert!(svc.mark_complete(9));
+        let got: Vec<u32> = svc.read_bucket(9, 0).unwrap();
+        assert_eq!(got, (0..137).collect::<Vec<u32>>());
+        assert_eq!(got.capacity(), got.len(), "concat must not over-allocate");
     }
 
     #[test]

@@ -326,6 +326,7 @@ mod tests {
             retry_penalty_us: 0,
             coordination_us_per_executor: 0,
             morsel_dispatch_overhead_us: 0,
+            chunk_dispatch_ns: 0,
         }
     }
 

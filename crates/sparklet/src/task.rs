@@ -29,6 +29,8 @@ pub(crate) struct TaskCtxInner {
     pub ops: AtomicU64,
     /// Records emitted by this attempt.
     pub records_out: AtomicU64,
+    /// Chunks dispatched through the batch path by this attempt.
+    pub chunks: AtomicU64,
     /// Shuffle bytes read/written by this attempt.
     pub shuffle_bytes: AtomicU64,
     /// Peak resident bytes the task declared (see [`TaskContext::hold_memory`]).
@@ -62,6 +64,7 @@ impl TaskContext {
                 cost,
                 ops: AtomicU64::new(0),
                 records_out: AtomicU64::new(0),
+                chunks: AtomicU64::new(0),
                 shuffle_bytes: AtomicU64::new(0),
                 mem_held: AtomicUsize::new(0),
                 memory_budget,
@@ -92,6 +95,15 @@ impl TaskContext {
     /// Charge `n` abstract operations to this attempt's virtual cost.
     pub fn charge_ops(&self, n: u64) {
         self.inner.ops.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Charge `n` chunk dispatches to this attempt's virtual cost (one
+    /// [`crate::CostModelConfig::chunk_dispatch_ns`] each). The batch
+    /// operators call this once per chunk; record-level work is charged
+    /// separately through `record_ns` and [`TaskContext::charge_ops`].
+    pub fn add_chunks(&self, n: u64) {
+        self.inner.chunks.fetch_add(n, Ordering::Relaxed);
+        self.inner.metrics.chunks_executed.add(n);
     }
 
     /// Fetch (or create) a named user counter from the cluster metrics.
@@ -153,6 +165,7 @@ impl TaskContext {
             + self.inner.ops.load(Ordering::Relaxed) * c.op_ns / 1000
             + self.inner.records_out.load(Ordering::Relaxed) * c.record_ns / 1000
             + self.inner.shuffle_bytes.load(Ordering::Relaxed) * c.shuffle_byte_ns / 1000
+            + self.inner.chunks.load(Ordering::Relaxed) * c.chunk_dispatch_ns / 1000
     }
 
     pub(crate) fn install(&self) -> CtxGuard {
@@ -228,6 +241,7 @@ mod tests {
                 retry_penalty_us: 0,
                 coordination_us_per_executor: 0,
                 morsel_dispatch_overhead_us: 0,
+                chunk_dispatch_ns: 3000,
             },
             1000,
         )
@@ -240,6 +254,14 @@ mod tests {
         c.add_records_out(3);
         // 10 overhead + 5*1 + 3*2
         assert_eq!(c.attempt_cost_us(), 10 + 5 + 6);
+    }
+
+    #[test]
+    fn cost_charges_one_dispatch_per_chunk() {
+        let c = ctx();
+        c.add_chunks(4);
+        // 10 overhead + 4 chunks * 3000 ns
+        assert_eq!(c.attempt_cost_us(), 10 + 12);
     }
 
     #[test]

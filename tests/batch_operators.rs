@@ -1,0 +1,219 @@
+//! Batch-operator equivalence suite — the chunked-execution tentpole
+//! invariant: operator-at-a-time chunking must be **bit-identical** to
+//! row-at-a-time execution for every operator, chunk size, partition
+//! count, scheduling mode and failure schedule. Chunking may only change
+//! virtual cost and journal shape, never a single output row.
+
+use proptest::prelude::*;
+use sparklet::{Cluster, ClusterConfig, FaultConfig, PairRdd};
+
+/// Chunk sizes the property tests sweep: row-at-a-time, tiny odd sizes
+/// that leave ragged tails, the default, and one-chunk-per-partition.
+const CHUNK_SIZES: [usize; 5] = [1, 3, 64, 1024, usize::MAX];
+
+fn cluster(workers: usize, chunk: usize, steal: bool) -> Cluster {
+    let mut cfg = ClusterConfig::local(workers);
+    cfg.batch.target_chunk_records = chunk;
+    cfg.sched.steal = steal;
+    Cluster::new(cfg)
+}
+
+/// Narrow chain only — output order is fully determined by input order,
+/// so results are compared exactly, order included.
+fn narrow_chain(cluster: &Cluster, data: Vec<u64>, partitions: usize) -> Vec<u64> {
+    cluster
+        .parallelize(data, partitions)
+        .map(|x| x.wrapping_mul(31).wrapping_add(7))
+        .filter(|x| x % 5 != 0)
+        .flat_map(|x| if x % 2 == 0 { vec![x] } else { vec![x, !x] })
+        .collect()
+        .expect("narrow chain")
+}
+
+/// The same chain computed serially — the ground truth every engine
+/// configuration must reproduce bit-for-bit.
+fn narrow_serial(data: &[u64]) -> Vec<u64> {
+    data.iter()
+        .map(|x| x.wrapping_mul(31).wrapping_add(7))
+        .filter(|x| x % 5 != 0)
+        .flat_map(|x| if x % 2 == 0 { vec![x] } else { vec![x, !x] })
+        .collect()
+}
+
+/// Narrow chain into a hash shuffle and per-key reduction. Reduce-side
+/// group order is a hash-map artifact, so output is sorted before
+/// comparison — the multiset of (key, sum) records is what must match.
+fn shuffle_chain(cluster: &Cluster, data: Vec<u64>, partitions: usize) -> Vec<(u64, u64)> {
+    let mut out = cluster
+        .parallelize(data, partitions)
+        .map(|x| x.wrapping_mul(2_654_435_761))
+        .filter(|x| x % 3 != 0)
+        .key_by(|x| x % 17)
+        .reduce_by_key(|a, b| a.wrapping_add(b), 5)
+        .collect()
+        .expect("shuffle chain");
+    out.sort_unstable();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any chunk size, partition count and stealing mode must reproduce
+    /// the serial narrow-chain output exactly, order included.
+    #[test]
+    fn chunked_narrow_chain_is_bit_identical_to_row_path(
+        data in prop::collection::vec(0u64..u64::MAX, 0..400),
+        parts_idx in 0usize..3,
+        chunk_idx in 0usize..CHUNK_SIZES.len(),
+        steal in prop::bool::ANY,
+    ) {
+        let partitions = [1usize, 4, 16][parts_idx];
+        let chunk = CHUNK_SIZES[chunk_idx];
+        let expect = narrow_serial(&data);
+        // Row path: chunk size 1 with static placement — the pre-batching
+        // engine, element by element.
+        let row = narrow_chain(&cluster(4, 1, false), data.clone(), partitions);
+        prop_assert_eq!(&row, &expect, "row path must match serial");
+        let batched = narrow_chain(&cluster(4, chunk, steal), data, partitions);
+        prop_assert_eq!(&batched, &expect,
+            "chunk {} / {} partitions / steal {} diverged from the row path",
+            chunk, partitions, steal);
+    }
+
+    /// Shuffles bucket per-chunk through `Partitioner::partition_batch`;
+    /// the reduced output must not depend on the chunk size either.
+    #[test]
+    fn chunked_shuffle_is_bit_identical_to_row_path(
+        data in prop::collection::vec(0u64..u64::MAX, 0..400),
+        parts_idx in 0usize..3,
+        chunk_idx in 0usize..CHUNK_SIZES.len(),
+        steal in prop::bool::ANY,
+    ) {
+        let partitions = [1usize, 4, 16][parts_idx];
+        let chunk = CHUNK_SIZES[chunk_idx];
+        let row = shuffle_chain(&cluster(4, 1, false), data.clone(), partitions);
+        let batched = shuffle_chain(&cluster(4, chunk, steal), data, partitions);
+        prop_assert_eq!(row, batched);
+    }
+
+    /// The batch-native operators must agree with their row-level
+    /// counterparts for any chunk size.
+    #[test]
+    fn batch_native_operators_match_row_operators(
+        data in prop::collection::vec(0u64..u64::MAX, 0..300),
+        chunk_idx in 0usize..CHUNK_SIZES.len(),
+    ) {
+        let c = cluster(4, CHUNK_SIZES[chunk_idx], true);
+        let rdd = c.parallelize(data, 4);
+        let via_rows: Vec<u64> = rdd
+            .map(|x| x / 3)
+            .filter(|x| x % 2 == 0)
+            .flat_map(|x| vec![x; (x % 3) as usize])
+            .collect()
+            .expect("row operators");
+        let via_batches: Vec<u64> = rdd
+            .map_batches(|_, chunk| Ok(chunk.items().iter().map(|x| x / 3).collect()))
+            .filter_batches(|_, chunk| Ok(chunk.items().iter().map(|x| x % 2 == 0).collect()))
+            .flat_map_batches(|_, chunk| {
+                Ok(chunk
+                    .into_items()
+                    .into_iter()
+                    .flat_map(|x| vec![x; (x % 3) as usize])
+                    .collect())
+            })
+            .collect()
+            .expect("batch operators");
+        prop_assert_eq!(via_rows, via_batches);
+    }
+}
+
+#[test]
+fn batch_operator_arity_violations_fail_the_task() {
+    let c = cluster(2, 64, true);
+    let data: Vec<u64> = (0..100).collect();
+    let extra = c
+        .parallelize(data.clone(), 2)
+        .map_batches(|_, chunk| Ok(vec![0u64; chunk.len() + 1]))
+        .collect();
+    assert!(extra.is_err(), "map_batches must enforce 1:1 arity");
+    let short_mask = c
+        .parallelize(data, 2)
+        .filter_batches(|_, chunk| Ok(vec![true; chunk.len().saturating_sub(1)]))
+        .collect();
+    assert!(
+        short_mask.is_err(),
+        "filter_batches must enforce mask length"
+    );
+}
+
+/// A seeded executor kill mid-run plus random task faults: lineage
+/// recovery re-executes chunked stages and re-buckets shuffle output, and
+/// none of it may change a record.
+#[test]
+fn executor_kill_and_task_faults_leave_chunked_output_bit_identical() {
+    let data: Vec<u64> = (0..20_000).collect();
+    let baseline_cluster = cluster(4, 1024, true);
+    let baseline = shuffle_chain(&baseline_cluster, data.clone(), 8);
+    let total = baseline_cluster.job_report().virtual_us;
+
+    let mut cfg = ClusterConfig::local(4);
+    cfg.fault = FaultConfig::with_probability(0.03, 41)
+        .kill_at_time(1, total / 3)
+        .kill_at_time(2, 2 * total / 3);
+    let chaos_cluster = Cluster::new(cfg);
+    let chaos = shuffle_chain(&chaos_cluster, data, 8);
+    assert_eq!(baseline, chaos, "recovery changed chunked shuffle output");
+
+    let report = chaos_cluster.job_report();
+    assert_eq!(report.recovery.executors_lost, 2);
+    assert!(
+        report.batch.any(),
+        "chaos run must still execute through the batch path"
+    );
+}
+
+/// 100k records through map/filter/shuffle: the journal grows per *chunk*
+/// (coalesced per task/operator), never per record, and the report's batch
+/// section accounts for every record.
+#[test]
+fn journal_stays_bounded_and_batch_report_aggregates_at_100k_records() {
+    let n: u64 = 100_000;
+    let c = cluster(8, 1024, true);
+    let data: Vec<u64> = (0..n).collect();
+    let out = shuffle_chain(&c, data, 8);
+    assert!(!out.is_empty());
+
+    assert_eq!(c.journal().dropped(), 0, "journal overflowed at 100k scale");
+    let events = c.journal().len();
+    assert!(
+        events < 2_000,
+        "journal must stay bounded per-chunk, not per-record: {events} events"
+    );
+
+    let report = c.job_report();
+    let batch = &report.batch;
+    assert!(batch.any(), "batch section must be populated");
+    assert!(
+        batch.records >= n,
+        "batch section must account for every record: {} < {n}",
+        batch.records
+    );
+    assert!(
+        batch.chunks >= 8 && batch.chunks < n,
+        "chunk count should sit between task count and record count: {}",
+        batch.chunks
+    );
+    assert!(
+        batch.dispatch_saved_us > 0,
+        "1024-record chunks must save dispatch cost over row-at-a-time"
+    );
+    for stage in &batch.stages {
+        assert!(
+            stage.max_chunk_records <= 1024,
+            "stage {} exceeded the configured chunk target: {}",
+            stage.stage,
+            stage.max_chunk_records
+        );
+    }
+}
