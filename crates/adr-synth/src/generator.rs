@@ -93,11 +93,11 @@ pub struct Dataset {
 
 const MONTH_NAMES: [&str; 6] = ["Jul", "Aug", "Sep", "Oct", "Nov", "Dec"];
 
-struct Generator {
-    rng: StdRng,
-    drugs: Vec<String>,
-    adrs: Vec<String>,
-    config: SynthConfig,
+pub(crate) struct Generator {
+    pub(crate) rng: StdRng,
+    pub(crate) drugs: Vec<String>,
+    pub(crate) adrs: Vec<String>,
+    pub(crate) config: SynthConfig,
 }
 
 impl Generator {
@@ -123,7 +123,7 @@ impl Generator {
         (table_form, narrative_form)
     }
 
-    fn base_report(&mut self, id: u64) -> AdrReport {
+    pub(crate) fn base_report(&mut self, id: u64) -> AdrReport {
         let sex = match self.rng.gen_range(0..10u8) {
             0..=4 => Sex::F,
             5..=8 => Sex::M,
@@ -241,7 +241,7 @@ impl Generator {
 
     /// Clone `base` as a follow-up / re-submitted report with the Table 1
     /// corruption patterns applied.
-    fn duplicate_of(&mut self, base: &AdrReport, new_id: u64) -> AdrReport {
+    pub(crate) fn duplicate_of(&mut self, base: &AdrReport, new_id: u64) -> AdrReport {
         let mut cfg = self.config.corruption;
         // Duplicate mode: ordinary re-report, divergent clinical follow-up
         // (fields moved on, narrative clinical), or administrative

@@ -25,6 +25,8 @@ pub mod corruption;
 pub mod generator;
 pub mod lexicon;
 pub mod narrative;
+pub mod streaming;
 
 pub use corruption::CorruptionConfig;
 pub use generator::{Dataset, DatasetSummary, SynthConfig};
+pub use streaming::StreamingCorpus;

@@ -1,0 +1,266 @@
+//! Streaming corpus generation: random-access reports, O(1) memory.
+//!
+//! [`Dataset::generate`](crate::Dataset::generate) materialises the whole
+//! corpus — fine at TGA scale (10k reports), hopeless for the multi-million
+//! report runs the out-of-core benchmarks need. [`StreamingCorpus`] instead
+//! makes `report(id)` a *pure function*: each report draws from its own RNG
+//! seeded by `mix(corpus seed, id)`, so any report can be produced at any
+//! time, in any order, on any thread, without generating its predecessors.
+//! Resident state is one lexicon plus one scratch `Generator` — O(1) in
+//! the corpus size — and a driver streams batches by mapping `report` over
+//! id ranges.
+//!
+//! Duplicate injection is deterministic too: ids `base_count..num_reports`
+//! are duplicates, and duplicate `j` re-reports base
+//! `(j·stride + offset) mod base_count` where `stride` is coprime with
+//! `base_count` — a fixed permutation walk, so the bases of distinct pairs
+//! are distinct (matching `Dataset::generate`'s sampling-without-
+//! replacement) while `base_id_for` stays O(1).
+//!
+//! The per-report field and corruption logic is byte-for-byte the
+//! `Generator` that `Dataset::generate` uses — only the *draw schedule*
+//! differs (per-id streams instead of one sequential stream), so the two
+//! corpora are statistically alike but not identical records.
+
+use crate::generator::{Generator, SynthConfig};
+use crate::lexicon::{adr_terms, drug_names};
+use adr_model::{AdrReport, PairId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Mutex;
+
+/// splitmix64 finalizer over `(seed, id)` — the per-report RNG seed.
+fn mix(seed: u64, id: u64) -> u64 {
+    let mut z = seed ^ id.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+/// Smallest value ≥ the golden-ratio point of `n` that is coprime with `n`
+/// — the duplicate-pairing walk's stride.
+fn coprime_stride(n: u64) -> u64 {
+    if n <= 1 {
+        return 1;
+    }
+    let mut s = ((n as f64 * 0.618_033_988_749_894_9) as u64).max(1);
+    while gcd(s % n, n) != 1 {
+        s += 1;
+    }
+    s
+}
+
+/// A corpus defined by its config, generated on demand one report at a
+/// time. See the module docs for how this relates to [`crate::Dataset`].
+pub struct StreamingCorpus {
+    config: SynthConfig,
+    base_count: u64,
+    stride: u64,
+    offset: u64,
+    /// One reusable generator (lexicons + scratch RNG). `report` reseeds
+    /// the RNG per call, which is what makes generation order-free; the
+    /// mutex serialises callers without cloning the lexicons.
+    scratch: Mutex<Generator>,
+}
+
+impl StreamingCorpus {
+    /// Build the corpus definition. Allocates the lexicons (O(vocabulary));
+    /// no report is generated until [`StreamingCorpus::report`] is called.
+    ///
+    /// # Panics
+    /// Panics if `duplicate_pairs * 2 > num_reports`, like
+    /// [`crate::Dataset::generate`].
+    pub fn new(config: SynthConfig) -> Self {
+        assert!(
+            config.duplicate_pairs * 2 <= config.num_reports,
+            "too many duplicate pairs ({}) for {} reports",
+            config.duplicate_pairs,
+            config.num_reports
+        );
+        let base_count = (config.num_reports - config.duplicate_pairs) as u64;
+        let stride = coprime_stride(base_count);
+        let offset = if base_count == 0 {
+            0
+        } else {
+            mix(config.seed, 0x000F_F5E7) % base_count
+        };
+        let scratch = Mutex::new(Generator {
+            rng: StdRng::seed_from_u64(config.seed),
+            drugs: drug_names(config.num_drugs),
+            adrs: adr_terms(config.num_adrs),
+            config: config.clone(),
+        });
+        StreamingCorpus {
+            config,
+            base_count,
+            stride,
+            offset,
+            scratch,
+        }
+    }
+
+    /// Total number of reports (duplicates included).
+    pub fn len(&self) -> usize {
+        self.config.num_reports
+    }
+
+    /// Is the corpus empty?
+    pub fn is_empty(&self) -> bool {
+        self.config.num_reports == 0
+    }
+
+    /// The corpus config.
+    pub fn config(&self) -> &SynthConfig {
+        &self.config
+    }
+
+    /// Generate report `id` (`0..len()`). Pure: the result depends only on
+    /// the config and `id`, never on what was generated before.
+    ///
+    /// # Panics
+    /// Panics if `id >= len()`.
+    pub fn report(&self, id: u64) -> AdrReport {
+        assert!(
+            (id as usize) < self.config.num_reports,
+            "report id {id} out of range (corpus has {})",
+            self.config.num_reports
+        );
+        if id < self.base_count {
+            self.with_seeded(id, |g| g.base_report(id))
+        } else {
+            // Duplicates regenerate their base on demand (one extra report,
+            // not a resident corpus). Bases are always < base_count, so the
+            // recursion is depth 1.
+            let base = self.report(self.base_id_for(id - self.base_count));
+            self.with_seeded(id, |g| g.duplicate_of(&base, id))
+        }
+    }
+
+    fn with_seeded<R>(&self, id: u64, f: impl FnOnce(&mut Generator) -> R) -> R {
+        let mut g = self.scratch.lock().expect("corpus scratch poisoned");
+        g.rng = StdRng::seed_from_u64(mix(self.config.seed, id));
+        f(&mut g)
+    }
+
+    fn base_id_for(&self, j: u64) -> u64 {
+        debug_assert!(j < self.config.duplicate_pairs as u64);
+        (j.wrapping_mul(self.stride).wrapping_add(self.offset)) % self.base_count
+    }
+
+    /// Ground-truth duplicate pair `j` (`0..duplicate_pairs`).
+    pub fn duplicate_pair(&self, j: u64) -> PairId {
+        assert!((j as usize) < self.config.duplicate_pairs);
+        PairId::new(self.base_id_for(j), self.base_count + j)
+    }
+
+    /// All ground-truth duplicate pairs, in injection order.
+    pub fn duplicate_pairs(&self) -> impl Iterator<Item = PairId> + '_ {
+        (0..self.config.duplicate_pairs as u64).map(|j| self.duplicate_pair(j))
+    }
+
+    /// Stream the reports of `ids` in order — the batch driver's view.
+    pub fn reports(&self, ids: std::ops::Range<u64>) -> impl Iterator<Item = AdrReport> + '_ {
+        ids.map(|id| self.report(id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn corpus(n: usize, dups: usize, seed: u64) -> StreamingCorpus {
+        StreamingCorpus::new(SynthConfig::small(n, dups, seed))
+    }
+
+    #[test]
+    fn report_is_pure_and_order_free() {
+        let c = corpus(300, 18, 77);
+        // Generate out of order, then in order: identical records.
+        let backwards: Vec<AdrReport> = (0..20u64).rev().map(|i| c.report(i)).collect();
+        let forwards: Vec<AdrReport> = c.reports(0..20).collect();
+        for (f, b) in forwards.iter().zip(backwards.iter().rev()) {
+            assert_eq!(f, b);
+        }
+        // And a fresh corpus reproduces them exactly.
+        let again = corpus(300, 18, 77);
+        assert_eq!(again.report(7), forwards[7]);
+    }
+
+    #[test]
+    fn ids_are_arrival_order_and_seeds_matter() {
+        let c = corpus(100, 5, 1);
+        for id in [0u64, 50, 99] {
+            assert_eq!(c.report(id).id, id);
+        }
+        let other = corpus(100, 5, 2);
+        assert_ne!(c.report(3), other.report(3));
+    }
+
+    #[test]
+    fn duplicate_pairs_have_distinct_bases_and_resemble_them() {
+        let c = corpus(400, 30, 9);
+        let bases: HashSet<u64> = c.duplicate_pairs().map(|p| p.lo).collect();
+        assert_eq!(bases.len(), 30, "pair bases must be distinct");
+        let mut adr_overlap = 0;
+        for p in c.duplicate_pairs() {
+            assert!(p.lo < 370 && p.hi >= 370, "bases low, duplicates high");
+            let a = c.report(p.lo);
+            let b = c.report(p.hi);
+            let adrs_a: HashSet<&str> = a.adr_names().into_iter().collect();
+            let adrs_b: HashSet<&str> = b.adr_names().into_iter().collect();
+            if adrs_a.intersection(&adrs_b).count() >= 1 {
+                adr_overlap += 1;
+            }
+        }
+        assert!(
+            adr_overlap >= 25,
+            "duplicates must share reaction terms with their base: {adr_overlap}/30"
+        );
+    }
+
+    #[test]
+    fn resident_memory_is_one_scratch_not_a_corpus() {
+        // A multi-million-report corpus must construct instantly: nothing
+        // but lexicons is materialised up front.
+        let c = StreamingCorpus::new(SynthConfig {
+            num_reports: 10_000_000,
+            duplicate_pairs: 250_000,
+            ..SynthConfig::small(1000, 10, 3)
+        });
+        assert_eq!(c.len(), 10_000_000);
+        // Random access deep into the corpus works without its prefix.
+        let r = c.report(9_999_999);
+        assert_eq!(r.id, 9_999_999);
+        let p = c.duplicate_pair(249_999);
+        assert_eq!(p.hi, 9_999_999);
+        assert!(p.lo < 9_750_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_ids_are_rejected() {
+        corpus(10, 2, 1).report(10);
+    }
+
+    #[test]
+    #[should_panic(expected = "too many duplicate pairs")]
+    fn over_duplication_rejected() {
+        let _ = corpus(10, 6, 1);
+    }
+
+    #[test]
+    fn stride_is_always_coprime() {
+        for n in [1u64, 2, 6, 97, 100, 1000, 9_750_000] {
+            let s = coprime_stride(n);
+            assert_eq!(gcd(s % n.max(1), n.max(1)), 1, "n={n} s={s}");
+        }
+    }
+}

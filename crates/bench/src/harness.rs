@@ -99,6 +99,7 @@ pub fn experiment_cluster_config(executors: usize, cores: usize) -> ClusterConfi
         cost: paper_cost(),
         sched: sparklet::SchedConfig::default(),
         batch: sparklet::BatchConfig::default(),
+        spill: sparklet::SpillConfig::default(),
     }
 }
 

@@ -24,3 +24,4 @@ pub mod harness;
 pub mod hotpath;
 pub mod ops;
 pub mod sched;
+pub mod spill;

@@ -97,6 +97,10 @@ impl<const D: usize> FastKnn<D> {
         train: &[LabeledPair<D>],
         config: FastKnnConfig,
     ) -> Result<FastKnn<D>> {
+        // Install spill codecs before any job runs: the negative-cell cache
+        // and all three classification shuffles must be able to overflow to
+        // the disk tier instead of aborting under a tight memory budget.
+        crate::spill::register_spill_codecs::<D>(cluster.spill());
         let voronoi = Arc::new(VoronoiPartition::build(train, config.b, config.seed));
         let b = voronoi.b();
         let keyed: Vec<(usize, Arc<VecBatch<D>>)> = voronoi

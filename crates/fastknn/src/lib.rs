@@ -31,6 +31,7 @@ pub mod score;
 pub mod select;
 pub mod serial;
 pub mod soa;
+pub mod spill;
 pub mod types;
 pub mod voronoi;
 
@@ -41,6 +42,7 @@ pub use select::{additional_partitions, additional_partitions_into};
 pub use soa::{
     from_labeled, from_unlabeled, to_labeled, to_unlabeled, ClassifyScratch, ScratchPool, VecBatch,
 };
+pub use spill::register_spill_codecs;
 pub use types::{LabeledPair, Neighborhood, ScoredPair, UnlabeledPair, PAIR_DIMS};
 pub use voronoi::{hyperplane_distance, VoronoiPartition};
 

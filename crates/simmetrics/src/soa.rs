@@ -193,6 +193,59 @@ impl<const D: usize> VecBatch<D> {
         }
     }
 
+    /// Serialize the batch **column-wise**: row count, then ids, then
+    /// labels, then each of the `D` columns contiguously — the SoA layout
+    /// on disk, no re-rowifying. `f64` values travel as raw bits, so the
+    /// encode → decode round trip is bit-exact (NaN payloads and signed
+    /// zeros included). This is the out-of-core spill format.
+    pub fn encode_columns(&self, out: &mut Vec<u8>) {
+        let n = self.len();
+        out.reserve(8 + n * (8 + 1 + D * 8));
+        out.extend_from_slice(&(n as u64).to_le_bytes());
+        for &id in &self.ids {
+            out.extend_from_slice(&id.to_le_bytes());
+        }
+        for &l in &self.labels {
+            out.push(l as u8);
+        }
+        for col in &self.cols {
+            for &x in col {
+                out.extend_from_slice(&x.to_bits().to_le_bytes());
+            }
+        }
+    }
+
+    /// Rebuild a batch serialized by [`VecBatch::encode_columns`]. Returns
+    /// `None` when the byte length does not match the encoded row count
+    /// (truncated or garbled input).
+    pub fn decode_columns(bytes: &[u8]) -> Option<Self> {
+        let n = u64::from_le_bytes(bytes.get(..8)?.try_into().ok()?) as usize;
+        if bytes.len() != 8 + n * (8 + 1 + D * 8) {
+            return None;
+        }
+        let mut at = 8;
+        let ids: Vec<u64> = bytes[at..at + n * 8]
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+            .collect();
+        at += n * 8;
+        let labels: Vec<bool> = bytes[at..at + n].iter().map(|&b| b != 0).collect();
+        at += n;
+        let cols: Vec<Vec<f64>> = (0..D)
+            .map(|_| {
+                let col = bytes[at..at + n * 8]
+                    .chunks_exact(8)
+                    .map(|c| {
+                        f64::from_bits(u64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+                    })
+                    .collect();
+                at += n * 8;
+                col
+            })
+            .collect();
+        Some(VecBatch { ids, labels, cols })
+    }
+
     /// Copy the rows into contiguous chunks of at most `chunk_len` rows
     /// (the last chunk may be shorter), preserving order — the driver-side
     /// splitter for handing each engine partition one contiguous batch.
@@ -531,6 +584,34 @@ mod tests {
             *id = i as u64;
         }
         assert_eq!(a.ids(), (0..10).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn column_codec_round_trips_bit_exactly() {
+        let mut batch = VecBatch::<3>::new();
+        batch.push(7, &[f64::NAN, -0.0, 1.0 / 3.0], true);
+        batch.push(u64::MAX, &[f64::INFINITY, f64::MIN_POSITIVE, -2.5], false);
+        let mut bytes = Vec::new();
+        batch.encode_columns(&mut bytes);
+        assert_eq!(bytes.len(), 8 + 2 * (8 + 1 + 3 * 8));
+        let back = VecBatch::<3>::decode_columns(&bytes).expect("well-formed");
+        assert_eq!(back.ids(), batch.ids());
+        assert_eq!(back.labels(), batch.labels());
+        for d in 0..3 {
+            let bits: Vec<u64> = back.col(d).iter().map(|x| x.to_bits()).collect();
+            let expect: Vec<u64> = batch.col(d).iter().map(|x| x.to_bits()).collect();
+            assert_eq!(bits, expect, "column {d} must survive bit-exactly");
+        }
+        // Truncation and arity mismatch refuse to decode.
+        assert!(VecBatch::<3>::decode_columns(&bytes[..bytes.len() - 1]).is_none());
+        assert!(VecBatch::<4>::decode_columns(&bytes).is_none());
+        // Empty batch round-trips too.
+        let mut empty_bytes = Vec::new();
+        VecBatch::<3>::new().encode_columns(&mut empty_bytes);
+        assert_eq!(
+            VecBatch::<3>::decode_columns(&empty_bytes).unwrap().len(),
+            0
+        );
     }
 
     #[test]

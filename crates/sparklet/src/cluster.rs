@@ -18,6 +18,7 @@ use crate::metrics::ClusterMetrics;
 use crate::rdd::Rdd;
 use crate::shuffle::ShuffleService;
 use crate::simtime::{simulate_morsels, MorselInfo, StageRecord, VirtualClock, VirtualDuration};
+use crate::spill::SpillManager;
 use crate::storage::BlockManager;
 use crate::task::TaskContext;
 use crate::Data;
@@ -52,6 +53,7 @@ pub(crate) struct ClusterInner {
     pub metrics: ClusterMetrics,
     pub shuffles: ShuffleService,
     pub blocks: BlockManager,
+    pub spill: SpillManager,
     pub clock: VirtualClock,
     pub journal: RunJournal,
     pub executors: ExecutorRegistry,
@@ -72,6 +74,12 @@ impl Cluster {
         let journal = RunJournal::new();
         let executor_storage =
             (config.memory_per_executor as f64 * BlockManager::STORAGE_FRACTION) as usize;
+        let spill = SpillManager::new(
+            config.num_executors,
+            config.spill.enabled,
+            config.spill.shuffle_capacity(config.memory_per_executor),
+            metrics.clone(),
+        );
         let (sender, receiver) = unbounded::<Job>();
         for worker_id in 0..config.worker_threads() {
             let rx = receiver.clone();
@@ -87,9 +95,13 @@ impl Cluster {
         Cluster {
             inner: Arc::new(ClusterInner {
                 metrics: metrics.clone(),
-                shuffles: ShuffleService::new(metrics.clone()).with_journal(journal.clone()),
+                shuffles: ShuffleService::new(metrics.clone())
+                    .with_journal(journal.clone())
+                    .with_spill(spill.clone()),
                 blocks: BlockManager::new(executor_storage, config.num_executors, metrics)
-                    .with_journal(journal.clone()),
+                    .with_journal(journal.clone())
+                    .with_spill(spill.clone()),
+                spill,
                 clock: VirtualClock::new(),
                 journal,
                 executors: ExecutorRegistry::new(config.num_executors),
@@ -140,6 +152,12 @@ impl Cluster {
         &self.inner.executors
     }
 
+    /// The disk tier: spill files, codec registry and the joint
+    /// resident-memory accounting behind the report's `spill` section.
+    pub fn spill(&self) -> &SpillManager {
+        &self.inner.spill
+    }
+
     /// The run journal: every stage/task/cache/shuffle event of this
     /// cluster's lifetime (bounded; see [`RunJournal::MAX_EVENTS`]).
     pub fn journal(&self) -> &RunJournal {
@@ -171,6 +189,7 @@ impl Cluster {
         self.inner.clock.reset();
         self.inner.blocks.clear();
         self.inner.shuffles.clear();
+        self.inner.spill.clear();
         self.inner.journal.clear();
         self.inner.executors.reset();
         self.inner.next_job_id.store(0, Ordering::Relaxed);
@@ -253,6 +272,9 @@ impl Cluster {
         };
         let (blocks_lost, _bytes) = self.inner.blocks.evict_executor(executor);
         let map_outputs_lost = self.inner.shuffles.invalidate_executor(executor);
+        // The disk tier is executor-local: its spill file dies with the
+        // node, orphaning every slot written under the old incarnation.
+        self.inner.spill.invalidate_executor(executor);
         self.inner.metrics.executors_lost.inc();
         if outcome.blacklisted {
             self.inner.metrics.executors_blacklisted.inc();
@@ -1081,7 +1103,8 @@ mod tests {
         let c = Cluster::local(2);
         c.blocks().put((9, 0), Arc::new(vec![1u8, 2, 3]), 3, 0);
         c.shuffles()
-            .write_map_output(4, 0, 1, 1, 0, vec![vec![5u8]], 1);
+            .write_map_output(4, 0, 1, 1, 0, vec![vec![5u8]], 1)
+            .unwrap();
         c.shuffles().mark_complete(4);
         c.kill_executor(0);
         assert!(c.blocks().get::<u8>((9, 0)).is_none());
@@ -1123,7 +1146,7 @@ mod tests {
                     0,
                     vec![vec![m as u32], vec![10 + m as u32]],
                     8,
-                );
+                )?;
             }
             Ok(())
         });

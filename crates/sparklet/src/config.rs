@@ -36,6 +36,8 @@ pub struct ClusterConfig {
     pub sched: SchedConfig,
     /// Chunked operator-at-a-time execution knobs (see [`BatchConfig`]).
     pub batch: BatchConfig,
+    /// Out-of-core execution knobs (see [`SpillConfig`]).
+    pub spill: SpillConfig,
 }
 
 impl ClusterConfig {
@@ -54,6 +56,7 @@ impl ClusterConfig {
             cost: CostModelConfig::default(),
             sched: SchedConfig::default(),
             batch: BatchConfig::default(),
+            spill: SpillConfig::default(),
         }
     }
 
@@ -167,6 +170,66 @@ impl BatchConfig {
     pub fn unchunked() -> Self {
         BatchConfig {
             target_chunk_records: usize::MAX,
+        }
+    }
+}
+
+/// Out-of-core execution configuration.
+///
+/// The engine accounts two per-executor memory pools: the cache pool
+/// ([`crate::storage::BlockManager`], `STORAGE_FRACTION` of executor
+/// memory) and a resident-shuffle pool (`shuffle_fraction` of executor
+/// memory, Spark's `spark.shuffle.memoryFraction`). A shuffle write that
+/// would push an executor's resident map outputs over the pool — or a
+/// cache block that does not fit its pool — goes to a per-executor spill
+/// file instead, provided a spill codec is registered for the element type
+/// (see [`crate::spill::SpillManager`]). With `enabled = false` the pool
+/// limits are still enforced: an over-budget shuffle write fails the task
+/// with [`crate::SparkletError::MemoryExceeded`] (the paper's Fig. 8b abort
+/// regime), and over-budget cache blocks are dropped and recomputed from
+/// lineage on access.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SpillConfig {
+    /// Whether the disk tier is available. Off: the memory caps become hard
+    /// limits (shuffle writes error, cache blocks drop).
+    pub enabled: bool,
+    /// Fraction of [`ClusterConfig::memory_per_executor`] that shuffle map
+    /// outputs may keep resident per executor. Values `<= 0` disable the
+    /// resident-shuffle cap entirely (pre-spill behaviour).
+    pub shuffle_fraction: f64,
+}
+
+impl Default for SpillConfig {
+    fn default() -> Self {
+        SpillConfig {
+            enabled: true,
+            shuffle_fraction: Self::DEFAULT_SHUFFLE_FRACTION,
+        }
+    }
+}
+
+impl SpillConfig {
+    /// Default resident-shuffle fraction (Spark 1.x's
+    /// `spark.shuffle.memoryFraction` default).
+    pub const DEFAULT_SHUFFLE_FRACTION: f64 = 0.2;
+
+    /// Disk tier off, caps still enforced: over-budget shuffle writes fail
+    /// the task and over-budget cache blocks are dropped. The baseline
+    /// `bench_spill` aborts against.
+    pub fn disabled() -> Self {
+        SpillConfig {
+            enabled: false,
+            ..SpillConfig::default()
+        }
+    }
+
+    /// Resident-shuffle byte budget per executor for a given executor
+    /// memory size; `usize::MAX` when the cap is disabled.
+    pub fn shuffle_capacity(&self, memory_per_executor: usize) -> usize {
+        if self.shuffle_fraction <= 0.0 {
+            usize::MAX
+        } else {
+            (memory_per_executor as f64 * self.shuffle_fraction) as usize
         }
     }
 }
@@ -314,6 +377,14 @@ pub struct CostModelConfig {
     /// default chunk size it is amortized ~1000× — the gap `bench_ops`
     /// measures.
     pub chunk_dispatch_ns: u64,
+    /// Virtual nanoseconds per byte serialized to a spill file when a
+    /// shuffle bucket or cache block overflows its memory pool. Higher than
+    /// `shuffle_byte_ns`: spilling pays serialization plus disk write
+    /// bandwidth, which is how spill pressure bends makespans.
+    pub spill_write_ns: u64,
+    /// Virtual nanoseconds per byte read back and deserialized from a spill
+    /// file on fetch.
+    pub spill_read_ns: u64,
 }
 
 impl Default for CostModelConfig {
@@ -327,6 +398,8 @@ impl Default for CostModelConfig {
             coordination_us_per_executor: 20_000,
             morsel_dispatch_overhead_us: 500,
             chunk_dispatch_ns: 2_000, // 2 µs: boxed-closure call + slab handoff
+            spill_write_ns: 12,       // ~85 MB/s sequential spill write (2016 disk)
+            spill_read_ns: 8,         // read-back is sequential and page-cache friendly
         }
     }
 }
@@ -385,6 +458,24 @@ mod tests {
         assert!(
             CostModelConfig::default().chunk_dispatch_ns > 0,
             "row-at-a-time must cost something for the batch path to amortize"
+        );
+    }
+
+    #[test]
+    fn spill_capacity_follows_the_fraction() {
+        let s = SpillConfig::default();
+        assert!(s.enabled, "the disk tier is on by default");
+        assert_eq!(s.shuffle_capacity(1000), 200);
+        let off = SpillConfig {
+            shuffle_fraction: 0.0,
+            ..SpillConfig::default()
+        };
+        assert_eq!(off.shuffle_capacity(1000), usize::MAX, "cap disabled");
+        assert!(!SpillConfig::disabled().enabled);
+        let c = CostModelConfig::default();
+        assert!(
+            c.spill_write_ns > c.shuffle_byte_ns,
+            "spilling must cost more than keeping bytes resident"
         );
     }
 

@@ -122,6 +122,33 @@ pub enum EventKind {
         /// Estimated bytes released.
         bytes: usize,
     },
+    /// A cache put was refused outright: the block exceeded the executor
+    /// pool and the disk tier could not take it (no codec / spill disabled).
+    /// The partition will recompute from lineage on every access.
+    CacheSkipped {
+        /// RDD id.
+        rdd: u64,
+        /// Partition index.
+        partition: usize,
+        /// Estimated size of the refused block.
+        bytes: usize,
+    },
+    /// A payload (cache block or shuffle bucket) was serialized to an
+    /// executor's spill file instead of being dropped or failing the task.
+    SpillWrite {
+        /// Executor whose spill file grew.
+        executor: usize,
+        /// Encoded bytes written.
+        bytes: u64,
+    },
+    /// A spilled payload was read back from disk (instead of recomputing
+    /// from lineage or failing a shuffle fetch).
+    SpillRead {
+        /// Executor whose spill file was read.
+        executor: usize,
+        /// Encoded bytes read.
+        bytes: u64,
+    },
     /// A map task registered its bucketed output with the shuffle service.
     ShuffleWrite {
         /// Shuffle id.
@@ -246,6 +273,9 @@ impl EventKind {
             EventKind::CacheHit { .. } => "cache_hit",
             EventKind::CacheMiss { .. } => "cache_miss",
             EventKind::CacheEvicted { .. } => "cache_evicted",
+            EventKind::CacheSkipped { .. } => "cache_skipped",
+            EventKind::SpillWrite { .. } => "spill_write",
+            EventKind::SpillRead { .. } => "spill_read",
             EventKind::ShuffleWrite { .. } => "shuffle_write",
             EventKind::ShuffleRead { .. } => "shuffle_read",
             EventKind::ExecutorLost { .. } => "executor_lost",
@@ -612,10 +642,8 @@ pub struct BatchStageReport {
 impl BatchReport {
     fn capture(cluster: &Cluster) -> Self {
         use std::collections::HashMap;
-        // chunks, records, max chunk, per-task mean chunk sizes.
-        type Row = (u64, u64, u64, Vec<u64>);
         let mut order: Vec<(String, String)> = Vec::new();
-        let mut rows: HashMap<(String, String), Row> = HashMap::new();
+        let mut rows: HashMap<(String, String), BatchRow> = HashMap::new();
         for ev in cluster.journal().events() {
             let EventKind::BatchExecuted {
                 stage,
@@ -639,26 +667,7 @@ impl BatchReport {
                 entry.3.push(mean);
             }
         }
-        let mut report = BatchReport::default();
-        for key in order {
-            let (chunks, records, max_chunk, mut avgs) = rows.remove(&key).unwrap();
-            avgs.sort_unstable();
-            let p50 = if avgs.is_empty() {
-                0
-            } else {
-                avgs[(avgs.len() - 1) / 2]
-            };
-            report.chunks += chunks;
-            report.records += records;
-            report.stages.push(BatchStageReport {
-                stage: key.0,
-                op: key.1,
-                chunks,
-                records,
-                p50_chunk_records: p50,
-                max_chunk_records: max_chunk,
-            });
-        }
+        let mut report = drain_batch_rows(order, rows);
         report.dispatch_saved_us = report.records.saturating_sub(report.chunks)
             * cluster.config().cost.chunk_dispatch_ns
             / 1000;
@@ -668,6 +677,89 @@ impl BatchReport {
     /// Did anything run through the batch path?
     pub fn any(&self) -> bool {
         self.chunks > 0
+    }
+}
+
+/// chunks, records, max chunk, per-task mean chunk sizes.
+type BatchRow = (u64, u64, u64, Vec<u64>);
+
+/// Fold the accumulated per-(stage, op) rows into a [`BatchReport`] in
+/// first-seen order. A key present in `order` but missing from `rows`
+/// (duplicate order entries from a journal inconsistency) used to panic and
+/// poison the whole report; it now yields a zeroed warning row so the rest
+/// of the report still renders.
+fn drain_batch_rows(
+    order: Vec<(String, String)>,
+    mut rows: std::collections::HashMap<(String, String), BatchRow>,
+) -> BatchReport {
+    let mut report = BatchReport::default();
+    for key in order {
+        let Some((chunks, records, max_chunk, mut avgs)) = rows.remove(&key) else {
+            report.stages.push(BatchStageReport {
+                stage: key.0,
+                op: format!("{} [warning: journal row missing]", key.1),
+                ..BatchStageReport::default()
+            });
+            continue;
+        };
+        avgs.sort_unstable();
+        let p50 = if avgs.is_empty() {
+            0
+        } else {
+            avgs[(avgs.len() - 1) / 2]
+        };
+        report.chunks += chunks;
+        report.records += records;
+        report.stages.push(BatchStageReport {
+            stage: key.0,
+            op: key.1,
+            chunks,
+            records,
+            p50_chunk_records: p50,
+            max_chunk_records: max_chunk,
+        });
+    }
+    report
+}
+
+/// Out-of-core aggregates captured into a [`JobReport`]: what the disk tier
+/// absorbed, what it handed back, and how close each executor came to its
+/// memory budget.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SpillReport {
+    /// Bytes serialized to spill files (cache blocks + shuffle buckets).
+    pub bytes_spilled: u64,
+    /// Bytes read back and deserialized from spill files.
+    pub bytes_read_back: u64,
+    /// Spill files created (one per executor incarnation that spilled).
+    pub spill_files: u64,
+    /// Cache blocks that went to disk instead of being dropped.
+    pub blocks_spilled: u64,
+    /// Shuffle buckets written to disk under memory pressure.
+    pub buckets_spilled: u64,
+    /// Cache puts refused outright (oversized, no codec / spill disabled).
+    pub cache_skipped: u64,
+    /// Peak resident bytes per executor (cache + shuffle pools jointly).
+    pub peak_resident: Vec<u64>,
+}
+
+impl SpillReport {
+    fn capture(cluster: &Cluster) -> Self {
+        let m = cluster.metrics();
+        SpillReport {
+            bytes_spilled: m.spill_bytes_written.get(),
+            bytes_read_back: m.spill_bytes_read.get(),
+            spill_files: m.spill_files_created.get(),
+            blocks_spilled: m.blocks_spilled.get(),
+            buckets_spilled: m.buckets_spilled.get(),
+            cache_skipped: m.cache_skipped.get(),
+            peak_resident: cluster.spill().peak_resident(),
+        }
+    }
+
+    /// Did the disk tier (or the skip path) engage during the run?
+    pub fn any(&self) -> bool {
+        self.bytes_spilled > 0 || self.bytes_read_back > 0 || self.cache_skipped > 0
     }
 }
 
@@ -695,6 +787,10 @@ pub struct JobReport {
     /// Chunked-execution aggregates: chunks/records per stage-operator and
     /// the dispatch overhead saved (empty when nothing ran batch-path).
     pub batch: BatchReport,
+    /// Out-of-core aggregates: spill volume both ways, file counts and the
+    /// per-executor peak-resident high-water marks (empty when the run
+    /// never touched the disk tier).
+    pub spill: SpillReport,
     /// First [`MAX_REPORT_FAILURES`] task-attempt failures, in order.
     pub failures: Vec<FailureLine>,
     /// User counters, sorted by name.
@@ -707,8 +803,8 @@ pub struct JobReport {
 
 impl JobReport {
     /// Current JSON schema version (2 added the `recovery` section, 3 the
-    /// `sched` section, 4 the `batch` section).
-    pub const SCHEMA_VERSION: u32 = 4;
+    /// `sched` section, 4 the `batch` section, 5 the `spill` section).
+    pub const SCHEMA_VERSION: u32 = 5;
 
     /// Snapshot a cluster's clock, metrics and journal into a report.
     pub fn capture(cluster: &Cluster) -> Self {
@@ -759,6 +855,7 @@ impl JobReport {
             },
             sched: SchedReport::capture(cluster),
             batch: BatchReport::capture(cluster),
+            spill: SpillReport::capture(cluster),
             recovery: RecoveryReport {
                 executors_lost: m.executors_lost.get(),
                 executors_blacklisted: m.executors_blacklisted.get(),
@@ -870,6 +967,26 @@ impl JobReport {
                 s.p50_chunk_records,
                 s.max_chunk_records,
             ));
+        }
+        out.push_str("]},\n");
+        let sp = &self.spill;
+        out.push_str("  \"spill\": {");
+        out.push_str(&format!(
+            "\"bytes_spilled\": {}, \"bytes_read_back\": {}, \"spill_files\": {}, \
+             \"blocks_spilled\": {}, \"buckets_spilled\": {}, \"cache_skipped\": {}, \
+             \"peak_resident\": [",
+            sp.bytes_spilled,
+            sp.bytes_read_back,
+            sp.spill_files,
+            sp.blocks_spilled,
+            sp.buckets_spilled,
+            sp.cache_skipped,
+        ));
+        for (i, p) in sp.peak_resident.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&p.to_string());
         }
         out.push_str("]},\n");
         out.push_str("  \"stages\": [");
@@ -997,6 +1114,22 @@ impl fmt::Display for JobReport {
             self.totals.shuffle_bytes_written,
             self.totals.shuffle_records_read,
         )?;
+        if self.spill.any() {
+            let sp = &self.spill;
+            writeln!(
+                f,
+                "spill: {} B written / {} B read back across {} files \
+                 ({} blocks, {} buckets), {} cache puts skipped, \
+                 peak resident max {} B",
+                sp.bytes_spilled,
+                sp.bytes_read_back,
+                sp.spill_files,
+                sp.blocks_spilled,
+                sp.buckets_spilled,
+                sp.cache_skipped,
+                sp.peak_resident.iter().copied().max().unwrap_or(0),
+            )?;
+        }
         if self.recovery.any() {
             let r = &self.recovery;
             writeln!(
@@ -1185,9 +1318,14 @@ mod tests {
         .unwrap();
         let json = c.job_report().to_json();
         for key in [
-            "\"schema_version\": 4",
+            "\"schema_version\": 5",
             "\"batch\"",
             "\"dispatch_saved_us\"",
+            "\"spill\"",
+            "\"bytes_spilled\"",
+            "\"bytes_read_back\"",
+            "\"peak_resident\"",
+            "\"cache_skipped\"",
             "\"virtual_us\"",
             "\"total_work_us\"",
             "\"totals\"",
@@ -1360,6 +1498,41 @@ mod tests {
         let json = report.to_json();
         assert!(json.contains("\"batch\": {\"chunks\": 6"), "{json}");
         assert!(report.to_string().contains("batch: 6 chunks"));
+    }
+
+    #[test]
+    fn missing_batch_row_yields_warning_not_panic() {
+        // A duplicated key in the first-seen order (journal inconsistency)
+        // used to unwrap-panic inside capture and poison the whole report.
+        let order = vec![
+            ("s".to_string(), "map".to_string()),
+            ("s".to_string(), "map".to_string()),
+        ];
+        let mut rows = std::collections::HashMap::new();
+        rows.insert(("s".to_string(), "map".to_string()), (2, 100, 50, vec![50]));
+        let report = drain_batch_rows(order, rows);
+        assert_eq!(report.stages.len(), 2);
+        assert_eq!(report.chunks, 2, "real row still aggregated");
+        assert!(
+            report.stages[1].op.contains("warning"),
+            "second drain yields a warning row: {:?}",
+            report.stages[1].op
+        );
+        assert_eq!(report.stages[1].chunks, 0);
+    }
+
+    #[test]
+    fn spill_section_is_empty_without_disk_pressure() {
+        let c = Cluster::local(2);
+        c.run_job("tiny", 2, |_, _| Ok(vec![1u8])).unwrap();
+        let report = c.job_report();
+        assert!(!report.spill.any());
+        assert_eq!(report.spill.bytes_spilled, 0);
+        assert_eq!(report.spill.peak_resident.len(), 2);
+        assert!(!report.to_string().contains("spill:"));
+        assert!(report
+            .to_json()
+            .contains("\"spill\": {\"bytes_spilled\": 0"));
     }
 
     #[test]

@@ -61,12 +61,14 @@ pub mod rdd;
 pub mod report;
 pub mod shuffle;
 pub mod simtime;
+pub mod spill;
 pub mod storage;
 pub mod task;
 
 pub use cluster::Cluster;
 pub use config::{
     BatchConfig, ClusterConfig, CostModelConfig, ExecutorKill, FaultConfig, KillWhen, SchedConfig,
+    SpillConfig,
 };
 pub use error::{Result, SparkletError};
 pub use executor::{ExecutorInfo, ExecutorRegistry, KillOutcome};
@@ -81,6 +83,7 @@ pub use partitioner::{HashPartitioner, Partitioner};
 pub use rdd::{Chunk, Rdd};
 pub use report::ClusterReport;
 pub use simtime::{simulate_morsels, MorselInfo, SchedSim};
+pub use spill::{FixedBytes, SpillManager};
 pub use task::TaskContext;
 
 /// Marker trait for element types that can flow through the engine.

@@ -81,6 +81,20 @@ pub struct ClusterMetrics {
     /// Chunks dispatched through the batch operator path (see
     /// [`crate::BatchConfig`]).
     pub chunks_executed: Counter,
+    /// Bytes serialized to spill files (shuffle buckets + cache blocks).
+    pub spill_bytes_written: Counter,
+    /// Bytes read back and deserialized from spill files.
+    pub spill_bytes_read: Counter,
+    /// Cache blocks that went to the disk tier instead of being dropped.
+    pub blocks_spilled: Counter,
+    /// Shuffle buckets written to the disk tier.
+    pub buckets_spilled: Counter,
+    /// Per-executor spill files created.
+    pub spill_files_created: Counter,
+    /// Cache puts refused because the block exceeded the executor pool and
+    /// no spill codec could take it (the block recomputes from lineage on
+    /// every access).
+    pub cache_skipped: Counter,
     user: Arc<RwLock<HashMap<String, Counter>>>,
 }
 
@@ -139,6 +153,12 @@ impl ClusterMetrics {
         self.morsels_executed.reset();
         self.morsels_stolen.reset();
         self.chunks_executed.reset();
+        self.spill_bytes_written.reset();
+        self.spill_bytes_read.reset();
+        self.blocks_spilled.reset();
+        self.buckets_spilled.reset();
+        self.spill_files_created.reset();
+        self.cache_skipped.reset();
         for (_, c) in self.user.read().iter() {
             c.reset();
         }

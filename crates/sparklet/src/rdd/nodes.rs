@@ -358,7 +358,7 @@ fn run_map_stage<K: KeyData, V: Data>(
             max_chunk: chunk_target.min(records) as u64,
         });
         cl.shuffles()
-            .write_map_output(sid, m, total, nr, ctx.executor(), buckets, bytes);
+            .write_map_output(sid, m, total, nr, ctx.executor(), buckets, bytes)?;
         Ok(Vec::new())
     })?;
     Ok(())

@@ -16,10 +16,22 @@
 //! ([`ShuffleService::invalidate_executor`]) so the next read surfaces
 //! [`SparkletError::FetchFailed`] and the scheduler recomputes just the
 //! missing parents from lineage.
+//!
+//! With a [`SpillManager`] attached (see [`ShuffleService::with_spill`],
+//! wired by [`crate::Cluster::new`]), each executor's *resident* shuffle
+//! bytes are capped ([`crate::SpillConfig::shuffle_capacity`], Spark's
+//! `shuffle.memoryFraction` pool). A map output that would overflow the pool
+//! is serialized bucket-by-bucket into the executor's spill file instead of
+//! being held in memory — read-back happens transparently in
+//! [`ShuffleService::read_bucket`]. When the disk tier is disabled the same
+//! write fails with [`SparkletError::MemoryExceeded`], failing the task and,
+//! once attempts are exhausted, the job: exactly the abort a memory-capped
+//! run hits without out-of-core execution.
 
 use crate::error::{Result, SparkletError};
 use crate::journal::{EventKind, RunJournal};
 use crate::metrics::ClusterMetrics;
+use crate::spill::{SpillManager, SpillSlot};
 use parking_lot::Mutex;
 use std::any::Any;
 use std::collections::HashMap;
@@ -27,12 +39,24 @@ use std::sync::Arc;
 
 type Bucket = Arc<dyn Any + Send + Sync>;
 
+/// Where one reduce bucket of a map output lives.
+enum BucketStore {
+    /// In memory, counted against the owner's resident shuffle pool.
+    Resident(Bucket),
+    /// On the owner's spill file; read back (and type-recovered through the
+    /// codec registry) on fetch.
+    Spilled(SpillSlot),
+}
+
 /// One map task's registered output.
 struct MapOutput {
     /// Executor that produced (and in real Spark would serve) the output.
     executor: usize,
     /// `buckets[r]` is the chunk destined for reduce partition `r`.
-    buckets: Vec<Bucket>,
+    buckets: Vec<BucketStore>,
+    /// Estimated bytes held resident by this output (0 when fully spilled);
+    /// released from the owner's pool when the output is dropped.
+    resident_bytes: u64,
 }
 
 struct ShuffleData {
@@ -43,20 +67,34 @@ struct ShuffleData {
     complete: bool,
 }
 
+struct ShuffleStore {
+    shuffles: HashMap<u64, ShuffleData>,
+    /// Resident shuffle bytes per executor (the `shuffle.memoryFraction`
+    /// pool), compared against the spill manager's shuffle capacity.
+    resident: HashMap<usize, u64>,
+}
+
 /// Registry of all shuffles produced during a cluster's lifetime.
 pub struct ShuffleService {
-    shuffles: Mutex<HashMap<u64, ShuffleData>>,
+    store: Mutex<ShuffleStore>,
     metrics: ClusterMetrics,
     journal: RunJournal,
+    /// Disk tier; `None` means unbounded resident buckets (standalone
+    /// shuffle services in unit tests keep the historical semantics).
+    spill: Option<SpillManager>,
 }
 
 impl ShuffleService {
     /// Create an empty shuffle service.
     pub fn new(metrics: ClusterMetrics) -> Self {
         ShuffleService {
-            shuffles: Mutex::new(HashMap::new()),
+            store: Mutex::new(ShuffleStore {
+                shuffles: HashMap::new(),
+                resident: HashMap::new(),
+            }),
             metrics,
             journal: RunJournal::new(),
+            spill: None,
         }
     }
 
@@ -67,10 +105,20 @@ impl ShuffleService {
         self
     }
 
+    /// Attach the disk tier (builder, used by [`crate::Cluster::new`]): caps
+    /// each executor's resident shuffle bytes at the spill manager's shuffle
+    /// capacity, spilling over-cap map outputs (or failing them with
+    /// [`SparkletError::MemoryExceeded`] when spill is disabled).
+    pub fn with_spill(mut self, spill: SpillManager) -> Self {
+        self.spill = Some(spill);
+        self
+    }
+
     /// Has `shuffle_id` been fully materialised (every map output present)?
     pub fn is_complete(&self, shuffle_id: u64) -> bool {
-        self.shuffles
+        self.store
             .lock()
+            .shuffles
             .get(&shuffle_id)
             .map(|s| s.complete)
             .unwrap_or(false)
@@ -81,8 +129,14 @@ impl ShuffleService {
     /// `r`. `bytes` is the estimated serialized volume (for metrics /
     /// virtual time). Keep-first: if the map task already has a live
     /// output (a speculative clone or a racing recomputation lost), the
-    /// write is ignored and `false` is returned — nothing is journaled or
-    /// counted for a discarded duplicate.
+    /// write is ignored and `Ok(false)` is returned — nothing is journaled
+    /// or counted for a discarded duplicate.
+    ///
+    /// With a disk tier attached, a write that would push the executor's
+    /// resident shuffle bytes over the spill capacity is serialized
+    /// bucket-by-bucket to the executor's spill file (spill enabled + codec
+    /// registered for `T`) or fails with [`SparkletError::MemoryExceeded`],
+    /// which fails the task like any other attempt error.
     #[allow(clippy::too_many_arguments)]
     pub fn write_map_output<T: Send + Sync + 'static>(
         &self,
@@ -93,13 +147,15 @@ impl ShuffleService {
         executor: usize,
         chunks: Vec<Vec<T>>,
         bytes: u64,
-    ) -> bool {
+    ) -> Result<bool> {
         debug_assert_eq!(chunks.len(), num_reduce);
         debug_assert!(map_task < num_maps);
         let records: u64 = chunks.iter().map(|c| c.len() as u64).sum();
+        let mut spilled_buckets = 0u64;
         {
-            let mut s = self.shuffles.lock();
-            let entry = s.entry(shuffle_id).or_insert_with(|| ShuffleData {
+            let mut s = self.store.lock();
+            let resident_now = s.resident.get(&executor).copied().unwrap_or(0);
+            let entry = s.shuffles.entry(shuffle_id).or_insert_with(|| ShuffleData {
                 outputs: (0..num_maps).map(|_| None).collect(),
                 num_reduce,
                 complete: false,
@@ -107,15 +163,65 @@ impl ShuffleService {
             debug_assert_eq!(entry.outputs.len(), num_maps);
             debug_assert_eq!(entry.num_reduce, num_reduce);
             if entry.outputs[map_task].is_some() {
-                return false;
+                return Ok(false);
             }
-            entry.outputs[map_task] = Some(MapOutput {
-                executor,
-                buckets: chunks
-                    .into_iter()
-                    .map(|chunk| Arc::new(chunk) as Bucket)
-                    .collect(),
-            });
+            let capacity = self
+                .spill
+                .as_ref()
+                .map_or(u64::MAX, |sp| sp.shuffle_capacity() as u64);
+            let output = if resident_now.saturating_add(bytes) <= capacity {
+                // Fits in the resident pool.
+                MapOutput {
+                    executor,
+                    buckets: chunks
+                        .into_iter()
+                        .map(|chunk| BucketStore::Resident(Arc::new(chunk) as Bucket))
+                        .collect(),
+                    resident_bytes: bytes,
+                }
+            } else {
+                // Over the pool: spill every bucket or fail the attempt.
+                let sp = self.spill.as_ref().expect("finite capacity implies spill");
+                let exceeded = SparkletError::MemoryExceeded {
+                    requested: (resident_now.saturating_add(bytes)) as usize,
+                    budget: capacity as usize,
+                };
+                if !sp.enabled() {
+                    self.metrics.memory_kills.inc();
+                    return Err(exceeded);
+                }
+                let mut buckets = Vec::with_capacity(chunks.len());
+                for chunk in &chunks {
+                    match sp.write(executor, chunk) {
+                        Some(slot) => buckets.push(BucketStore::Spilled(slot)),
+                        None => {
+                            // No codec for T: out-of-core is impossible for
+                            // this payload, surface the memory failure.
+                            self.metrics.memory_kills.inc();
+                            return Err(exceeded);
+                        }
+                    }
+                }
+                spilled_buckets = buckets.len() as u64;
+                MapOutput {
+                    executor,
+                    buckets,
+                    resident_bytes: 0,
+                }
+            };
+            let resident_bytes = output.resident_bytes;
+            entry.outputs[map_task] = Some(output);
+            if resident_bytes > 0 {
+                *s.resident.entry(executor).or_insert(0) += resident_bytes;
+                if let Some(sp) = self.spill.as_ref() {
+                    sp.add_resident(executor, resident_bytes);
+                }
+            }
+        }
+        if spilled_buckets > 0 {
+            self.metrics.buckets_spilled.add(spilled_buckets);
+            self.journal
+                .record(EventKind::SpillWrite { executor, bytes });
         }
         self.metrics.shuffle_records_written.add(records);
         self.metrics.shuffle_bytes_written.add(bytes);
@@ -124,14 +230,27 @@ impl ShuffleService {
             records,
             bytes,
         });
-        true
+        Ok(true)
+    }
+
+    /// Release a dropped output's resident bytes from its owner's pool.
+    fn release_output(&self, resident: &mut HashMap<usize, u64>, output: &MapOutput) {
+        if output.resident_bytes == 0 {
+            return;
+        }
+        if let Some(r) = resident.get_mut(&output.executor) {
+            *r = r.saturating_sub(output.resident_bytes);
+        }
+        if let Some(sp) = self.spill.as_ref() {
+            sp.sub_resident(output.executor, output.resident_bytes);
+        }
     }
 
     /// Mark a shuffle complete. Only takes effect once every map output is
     /// present; returns whether the shuffle is complete afterwards.
     pub fn mark_complete(&self, shuffle_id: u64) -> bool {
-        let mut s = self.shuffles.lock();
-        match s.get_mut(&shuffle_id) {
+        let mut s = self.store.lock();
+        match s.shuffles.get_mut(&shuffle_id) {
             Some(data) => {
                 data.complete = data.outputs.iter().all(Option::is_some);
                 data.complete
@@ -143,7 +262,14 @@ impl ShuffleService {
     /// Discard a shuffle entirely (used before a map stage re-materialises
     /// from scratch) so retries do not duplicate records.
     pub fn discard(&self, shuffle_id: u64) {
-        self.shuffles.lock().remove(&shuffle_id);
+        let mut s = self.store.lock();
+        if let Some(data) = s.shuffles.remove(&shuffle_id) {
+            let mut resident = std::mem::take(&mut s.resident);
+            for output in data.outputs.iter().flatten() {
+                self.release_output(&mut resident, output);
+            }
+            s.resident = resident;
+        }
     }
 
     /// Drop every map output produced by `executor` — the shuffle half of
@@ -152,23 +278,27 @@ impl ShuffleService {
     /// recomputes the missing maps. Returns the number of map outputs lost.
     pub fn invalidate_executor(&self, executor: usize) -> u64 {
         let mut lost = 0;
-        let mut s = self.shuffles.lock();
-        for data in s.values_mut() {
+        let mut s = self.store.lock();
+        let mut resident = std::mem::take(&mut s.resident);
+        for data in s.shuffles.values_mut() {
             for slot in data.outputs.iter_mut() {
                 if slot.as_ref().is_some_and(|o| o.executor == executor) {
-                    *slot = None;
+                    if let Some(output) = slot.take() {
+                        self.release_output(&mut resident, &output);
+                    }
                     data.complete = false;
                     lost += 1;
                 }
             }
         }
+        s.resident = resident;
         lost
     }
 
     /// Map tasks of `shuffle_id` whose outputs are missing, or `None` if
     /// the shuffle is not registered at all.
     pub fn missing_maps(&self, shuffle_id: u64) -> Option<Vec<usize>> {
-        self.shuffles.lock().get(&shuffle_id).map(|data| {
+        self.store.lock().shuffles.get(&shuffle_id).map(|data| {
             data.outputs
                 .iter()
                 .enumerate()
@@ -179,11 +309,13 @@ impl ShuffleService {
     }
 
     /// Fetch reduce bucket `r`: the concatenation of that bucket across all
-    /// map outputs, in map-task order. Errors with
+    /// map outputs, in map-task order. Spilled buckets are read back from
+    /// their owner's spill file transparently. Errors with
     /// [`SparkletError::FetchFailed`] when the shuffle is unknown,
-    /// incomplete, or any map output is gone — the recoverable condition
-    /// the scheduler answers with lineage recomputation. A bucket index out
-    /// of range or a type mismatch is a caller bug and still panics.
+    /// incomplete, any map output is gone, or a spilled bucket's file died
+    /// with its executor — the recoverable conditions the scheduler answers
+    /// with lineage recomputation. A bucket index out of range or a type
+    /// mismatch is a caller bug and still panics.
     pub fn read_bucket<T: Clone + Send + Sync + 'static>(
         &self,
         shuffle_id: u64,
@@ -193,17 +325,28 @@ impl ShuffleService {
             shuffle: shuffle_id,
             bucket: r,
         };
-        let chunks: Vec<Bucket> = {
-            let s = self.shuffles.lock();
-            let data = s.get(&shuffle_id).ok_or_else(|| fetch_failed.clone())?;
+        // (map task, resident chunk or spill slot) per map output.
+        enum Fetched {
+            Resident(Bucket),
+            Spilled(usize, SpillSlot),
+        }
+        let chunks: Vec<Fetched> = {
+            let s = self.store.lock();
+            let data = s
+                .shuffles
+                .get(&shuffle_id)
+                .ok_or_else(|| fetch_failed.clone())?;
             if !data.complete {
                 return Err(fetch_failed);
             }
             assert!(r < data.num_reduce, "bucket {r} out of range");
             let mut chunks = Vec::with_capacity(data.outputs.len());
-            for output in &data.outputs {
+            for (m, output) in data.outputs.iter().enumerate() {
                 let output = output.as_ref().ok_or_else(|| fetch_failed.clone())?;
-                chunks.push(output.buckets[r].clone());
+                chunks.push(match &output.buckets[r] {
+                    BucketStore::Resident(b) => Fetched::Resident(b.clone()),
+                    BucketStore::Spilled(slot) => Fetched::Spilled(m, slot.clone()),
+                });
             }
             chunks
         };
@@ -211,9 +354,36 @@ impl ShuffleService {
         // allocation for the whole bucket, no doubling during the copy.
         let mut typed: Vec<Arc<Vec<T>>> = Vec::with_capacity(chunks.len());
         for chunk in chunks {
+            let arc = match chunk {
+                Fetched::Resident(b) => b,
+                Fetched::Spilled(m, slot) => {
+                    let sp = self.spill.as_ref().expect("spilled bucket implies spill");
+                    match sp.read(&slot) {
+                        Some(any) => {
+                            self.journal.record(EventKind::SpillRead {
+                                executor: slot.executor(),
+                                bytes: slot.len(),
+                            });
+                            any
+                        }
+                        None => {
+                            // The spill file died with its executor (or the
+                            // bytes no longer decode): drop the map output
+                            // so recovery recomputes exactly this parent.
+                            let mut s = self.store.lock();
+                            if let Some(data) = s.shuffles.get_mut(&shuffle_id) {
+                                if let Some(out) = data.outputs.get_mut(m) {
+                                    *out = None;
+                                }
+                                data.complete = false;
+                            }
+                            return Err(fetch_failed);
+                        }
+                    }
+                }
+            };
             typed.push(
-                chunk
-                    .downcast::<Vec<T>>()
+                arc.downcast::<Vec<T>>()
                     .expect("shuffle bucket type mismatch"),
             );
         }
@@ -233,12 +403,29 @@ impl ShuffleService {
 
     /// Number of registered shuffles (diagnostics).
     pub fn shuffle_count(&self) -> usize {
-        self.shuffles.lock().len()
+        self.store.lock().shuffles.len()
+    }
+
+    /// Resident shuffle bytes currently held for `executor`.
+    pub fn resident_bytes(&self, executor: usize) -> u64 {
+        self.store
+            .lock()
+            .resident
+            .get(&executor)
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Drop all shuffle data (between experiments).
     pub fn clear(&self) {
-        self.shuffles.lock().clear();
+        let mut s = self.store.lock();
+        if let Some(sp) = self.spill.as_ref() {
+            for (&e, &bytes) in s.resident.iter() {
+                sp.sub_resident(e, bytes);
+            }
+        }
+        s.shuffles.clear();
+        s.resident.clear();
     }
 }
 
@@ -250,8 +437,10 @@ mod tests {
     fn write_then_read_concatenates_in_map_order() {
         let svc = ShuffleService::new(ClusterMetrics::new());
         // Two map tasks, two reduce partitions — written out of order.
-        svc.write_map_output(7, 1, 2, 2, 0, vec![vec![4u32], vec![5, 6]], 12);
-        svc.write_map_output(7, 0, 2, 2, 1, vec![vec![1u32, 2], vec![3]], 12);
+        svc.write_map_output(7, 1, 2, 2, 0, vec![vec![4u32], vec![5, 6]], 12)
+            .unwrap();
+        svc.write_map_output(7, 0, 2, 2, 1, vec![vec![1u32, 2], vec![3]], 12)
+            .unwrap();
         assert!(svc.mark_complete(7));
         let r0: Vec<u32> = svc.read_bucket(7, 0).unwrap();
         assert_eq!(r0, vec![1, 2, 4], "map-task order, not write order");
@@ -263,9 +452,12 @@ mod tests {
     fn duplicate_map_output_is_kept_first() {
         let metrics = ClusterMetrics::new();
         let svc = ShuffleService::new(metrics.clone());
-        assert!(svc.write_map_output(1, 0, 1, 1, 0, vec![vec![1u8]], 1));
+        assert!(svc
+            .write_map_output(1, 0, 1, 1, 0, vec![vec![1u8]], 1)
+            .unwrap());
         assert!(
-            !svc.write_map_output(1, 0, 1, 1, 1, vec![vec![9u8]], 1),
+            !svc.write_map_output(1, 0, 1, 1, 1, vec![vec![9u8]], 1)
+                .unwrap(),
             "speculative duplicate ignored"
         );
         svc.mark_complete(1);
@@ -282,7 +474,8 @@ mod tests {
     fn metrics_track_volume() {
         let metrics = ClusterMetrics::new();
         let svc = ShuffleService::new(metrics.clone());
-        svc.write_map_output(1, 0, 1, 1, 0, vec![vec![1u8, 2, 3]], 3);
+        svc.write_map_output(1, 0, 1, 1, 0, vec![vec![1u8, 2, 3]], 3)
+            .unwrap();
         svc.mark_complete(1);
         assert_eq!(metrics.shuffle_records_written.get(), 3);
         assert_eq!(metrics.shuffle_bytes_written.get(), 3);
@@ -306,7 +499,8 @@ mod tests {
     #[test]
     fn reading_incomplete_shuffle_is_a_fetch_failure() {
         let svc = ShuffleService::new(ClusterMetrics::new());
-        svc.write_map_output(1, 0, 2, 1, 0, vec![vec![1u8]], 1);
+        svc.write_map_output(1, 0, 2, 1, 0, vec![vec![1u8]], 1)
+            .unwrap();
         assert!(!svc.mark_complete(1), "a map output is still missing");
         let err = svc.read_bucket::<u8>(1, 0).unwrap_err();
         assert!(matches!(err, SparkletError::FetchFailed { shuffle: 1, .. }));
@@ -315,8 +509,10 @@ mod tests {
     #[test]
     fn invalidate_executor_loses_its_outputs_only() {
         let svc = ShuffleService::new(ClusterMetrics::new());
-        svc.write_map_output(5, 0, 2, 1, 0, vec![vec![1u8]], 1);
-        svc.write_map_output(5, 1, 2, 1, 1, vec![vec![2u8]], 1);
+        svc.write_map_output(5, 0, 2, 1, 0, vec![vec![1u8]], 1)
+            .unwrap();
+        svc.write_map_output(5, 1, 2, 1, 1, vec![vec![2u8]], 1)
+            .unwrap();
         assert!(svc.mark_complete(5));
         assert_eq!(svc.invalidate_executor(1), 1);
         assert!(!svc.is_complete(5), "loss flips the shuffle incomplete");
@@ -325,7 +521,8 @@ mod tests {
         assert!(matches!(err, SparkletError::FetchFailed { .. }));
         // Recompute the missing map (possibly on another executor) and the
         // shuffle becomes readable again with identical content ordering.
-        svc.write_map_output(5, 1, 2, 1, 0, vec![vec![2u8]], 1);
+        svc.write_map_output(5, 1, 2, 1, 0, vec![vec![2u8]], 1)
+            .unwrap();
         assert!(svc.mark_complete(5));
         assert_eq!(svc.read_bucket::<u8>(5, 0).unwrap(), vec![1, 2]);
     }
@@ -340,9 +537,11 @@ mod tests {
     #[test]
     fn discard_allows_clean_rerun() {
         let svc = ShuffleService::new(ClusterMetrics::new());
-        svc.write_map_output(1, 0, 1, 1, 0, vec![vec![1u8]], 1);
+        svc.write_map_output(1, 0, 1, 1, 0, vec![vec![1u8]], 1)
+            .unwrap();
         svc.discard(1);
-        svc.write_map_output(1, 0, 1, 1, 0, vec![vec![2u8]], 1);
+        svc.write_map_output(1, 0, 1, 1, 0, vec![vec![2u8]], 1)
+            .unwrap();
         svc.mark_complete(1);
         let got: Vec<u8> = svc.read_bucket(1, 0).unwrap();
         assert_eq!(got, vec![2]);
@@ -351,9 +550,12 @@ mod tests {
     #[test]
     fn read_bucket_allocates_exactly() {
         let svc = ShuffleService::new(ClusterMetrics::new());
-        svc.write_map_output(9, 0, 3, 1, 0, vec![(0..100u32).collect::<Vec<_>>()], 400);
-        svc.write_map_output(9, 1, 3, 1, 0, vec![(100..137u32).collect::<Vec<_>>()], 148);
-        svc.write_map_output(9, 2, 3, 1, 0, vec![Vec::<u32>::new()], 0);
+        svc.write_map_output(9, 0, 3, 1, 0, vec![(0..100u32).collect::<Vec<_>>()], 400)
+            .unwrap();
+        svc.write_map_output(9, 1, 3, 1, 0, vec![(100..137u32).collect::<Vec<_>>()], 148)
+            .unwrap();
+        svc.write_map_output(9, 2, 3, 1, 0, vec![Vec::<u32>::new()], 0)
+            .unwrap();
         assert!(svc.mark_complete(9));
         let got: Vec<u32> = svc.read_bucket(9, 0).unwrap();
         assert_eq!(got, (0..137).collect::<Vec<u32>>());
@@ -363,9 +565,115 @@ mod tests {
     #[test]
     fn empty_buckets_read_as_empty() {
         let svc = ShuffleService::new(ClusterMetrics::new());
-        svc.write_map_output(3, 0, 1, 2, 0, vec![vec![], Vec::<u64>::new()], 0);
+        svc.write_map_output(3, 0, 1, 2, 0, vec![vec![], Vec::<u64>::new()], 0)
+            .unwrap();
         svc.mark_complete(3);
         let got: Vec<u64> = svc.read_bucket(3, 1).unwrap();
         assert!(got.is_empty());
+    }
+
+    fn spilling_svc(cap: usize, enabled: bool) -> (ShuffleService, ClusterMetrics, SpillManager) {
+        let metrics = ClusterMetrics::new();
+        let spill = SpillManager::new(2, enabled, cap, metrics.clone());
+        let svc = ShuffleService::new(metrics.clone()).with_spill(spill.clone());
+        (svc, metrics, spill)
+    }
+
+    #[test]
+    fn over_cap_writes_spill_buckets_and_read_back_matches() {
+        // Cap 64 B; each map output is 800 B of u64s, so both writes go
+        // over the pool and spill. Content must round-trip in map-task
+        // order regardless of tier.
+        let (svc, metrics, _spill) = spilling_svc(64, true);
+        let a: Vec<u64> = (0..50).collect();
+        let b: Vec<u64> = (50..100).collect();
+        svc.write_map_output(1, 0, 2, 2, 0, vec![a.clone(), b.clone()], 800)
+            .unwrap();
+        svc.write_map_output(1, 1, 2, 2, 1, vec![b.clone(), a.clone()], 800)
+            .unwrap();
+        assert!(svc.mark_complete(1));
+        assert_eq!(metrics.buckets_spilled.get(), 4);
+        assert!(metrics.spill_bytes_written.get() > 0);
+        let r0: Vec<u64> = svc.read_bucket(1, 0).unwrap();
+        let r1: Vec<u64> = svc.read_bucket(1, 1).unwrap();
+        let mut want0 = a.clone();
+        want0.extend(&b);
+        let mut want1 = b.clone();
+        want1.extend(&a);
+        assert_eq!(r0, want0);
+        assert_eq!(r1, want1);
+        assert!(metrics.spill_bytes_read.get() > 0, "read back from disk");
+        assert_eq!(svc.resident_bytes(0), 0, "spilled outputs hold no memory");
+    }
+
+    #[test]
+    fn under_cap_writes_stay_resident() {
+        let (svc, metrics, _spill) = spilling_svc(1024, true);
+        svc.write_map_output(1, 0, 1, 1, 0, vec![vec![1u64, 2, 3]], 24)
+            .unwrap();
+        assert_eq!(svc.resident_bytes(0), 24);
+        assert_eq!(metrics.buckets_spilled.get(), 0);
+        svc.mark_complete(1);
+        let got: Vec<u64> = svc.read_bucket(1, 0).unwrap();
+        assert_eq!(got, vec![1, 2, 3]);
+        assert_eq!(metrics.spill_bytes_read.get(), 0, "never touched disk");
+        svc.discard(1);
+        assert_eq!(svc.resident_bytes(0), 0, "discard releases the pool");
+    }
+
+    #[test]
+    fn over_cap_with_spill_disabled_is_memory_exceeded() {
+        let (svc, metrics, _spill) = spilling_svc(16, false);
+        let err = svc
+            .write_map_output(1, 0, 1, 1, 0, vec![vec![0u64; 100]], 800)
+            .unwrap_err();
+        assert!(matches!(err, SparkletError::MemoryExceeded { .. }));
+        assert_eq!(metrics.memory_kills.get(), 1);
+        assert_eq!(svc.missing_maps(1), Some(vec![0]), "nothing registered");
+    }
+
+    #[test]
+    fn over_cap_without_codec_is_memory_exceeded() {
+        // String has no default codec: out-of-core is impossible, the write
+        // must fail rather than silently dropping data.
+        let (svc, _metrics, _spill) = spilling_svc(4, true);
+        let err = svc
+            .write_map_output(1, 0, 1, 1, 0, vec![vec!["x".to_string(); 64]], 1024)
+            .unwrap_err();
+        assert!(matches!(err, SparkletError::MemoryExceeded { .. }));
+    }
+
+    #[test]
+    fn dead_spill_file_surfaces_fetch_failed_and_marks_map_missing() {
+        let (svc, _metrics, spill) = spilling_svc(8, true);
+        svc.write_map_output(1, 0, 1, 1, 0, vec![vec![7u64; 32]], 256)
+            .unwrap();
+        assert!(svc.mark_complete(1));
+        // The executor dies: its spill file (and the slots into it) go away.
+        spill.invalidate_executor(0);
+        let err = svc.read_bucket::<u64>(1, 0).unwrap_err();
+        assert!(matches!(err, SparkletError::FetchFailed { .. }));
+        assert!(!svc.is_complete(1), "loss flips the shuffle incomplete");
+        assert_eq!(
+            svc.missing_maps(1),
+            Some(vec![0]),
+            "exactly the dead map recomputes from lineage"
+        );
+    }
+
+    #[test]
+    fn invalidate_executor_releases_resident_bytes() {
+        let (svc, _metrics, _spill) = spilling_svc(4096, true);
+        svc.write_map_output(1, 0, 2, 1, 0, vec![vec![1u8; 100]], 100)
+            .unwrap();
+        svc.write_map_output(1, 1, 2, 1, 1, vec![vec![2u8; 50]], 50)
+            .unwrap();
+        assert_eq!(svc.resident_bytes(0), 100);
+        assert_eq!(svc.resident_bytes(1), 50);
+        svc.invalidate_executor(0);
+        assert_eq!(svc.resident_bytes(0), 0);
+        assert_eq!(svc.resident_bytes(1), 50, "survivor unaffected");
+        svc.clear();
+        assert_eq!(svc.resident_bytes(1), 0);
     }
 }

@@ -327,6 +327,8 @@ mod tests {
             coordination_us_per_executor: 0,
             morsel_dispatch_overhead_us: 0,
             chunk_dispatch_ns: 0,
+            spill_write_ns: 0,
+            spill_read_ns: 0,
         }
     }
 

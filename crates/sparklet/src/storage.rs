@@ -12,9 +12,17 @@
 //! its blocks — the failure-domain semantics real Spark gets from having one
 //! block manager per executor process. Lookups stay global: the engine is
 //! one process, so a surviving replica anywhere is a hit.
+//!
+//! With a [`SpillManager`] attached (see [`BlockManager::with_spill`], wired
+//! by [`crate::Cluster::new`]), pressure evictions and oversized puts go to
+//! the owner's spill file instead of being dropped — provided a spill codec
+//! is registered for the element type — and later `get`s read them back from
+//! disk. Lineage recompute remains the fallback of last resort: it only
+//! happens when no codec exists or the spill file died with its executor.
 
 use crate::journal::{EventKind, RunJournal};
 use crate::metrics::ClusterMetrics;
+use crate::spill::{SpillManager, SpillSlot};
 use parking_lot::Mutex;
 use std::any::Any;
 use std::collections::HashMap;
@@ -32,8 +40,16 @@ struct Block {
     owner: usize,
 }
 
+/// A block that lives on the disk tier instead of in memory.
+struct SpilledBlock {
+    slot: SpillSlot,
+    owner: usize,
+}
+
 struct Store {
     blocks: HashMap<BlockId, Block>,
+    /// Blocks serialized to the owner's spill file (disk tier).
+    spilled: HashMap<BlockId, SpilledBlock>,
     /// Bytes cached per executor, indexed by executor id.
     used: Vec<usize>,
     tick: u64,
@@ -46,6 +62,9 @@ pub struct BlockManager {
     num_executors: usize,
     metrics: ClusterMetrics,
     journal: RunJournal,
+    /// Disk tier; `None` keeps the historical drop-on-pressure semantics
+    /// (standalone block managers in unit tests).
+    spill: Option<SpillManager>,
 }
 
 impl BlockManager {
@@ -60,6 +79,7 @@ impl BlockManager {
         BlockManager {
             store: Mutex::new(Store {
                 blocks: HashMap::new(),
+                spilled: HashMap::new(),
                 used: vec![0; n],
                 tick: 0,
             }),
@@ -67,6 +87,7 @@ impl BlockManager {
             num_executors: n,
             metrics,
             journal: RunJournal::new(),
+            spill: None,
         }
     }
 
@@ -74,6 +95,14 @@ impl BlockManager {
     /// alongside scheduler events (builder, used by [`crate::Cluster::new`]).
     pub fn with_journal(mut self, journal: RunJournal) -> Self {
         self.journal = journal;
+        self
+    }
+
+    /// Attach the disk tier (builder, used by [`crate::Cluster::new`]).
+    /// Pressure evictions and oversized puts then spill instead of dropping
+    /// when the spill manager is enabled and has a codec for the block type.
+    pub fn with_spill(mut self, spill: SpillManager) -> Self {
+        self.spill = Some(spill);
         self
     }
 
@@ -135,6 +164,17 @@ impl BlockManager {
                 }
             }
             None => {
+                // Disk tier: a spilled copy is still a hit — read it back
+                // rather than recomputing from lineage.
+                if let Some(found) = self.get_spilled::<T>(&mut s, id) {
+                    drop(s);
+                    self.metrics.cache_hits.inc();
+                    self.journal.record(EventKind::CacheHit {
+                        rdd: id.0,
+                        partition: id.1,
+                    });
+                    return Some(found);
+                }
                 drop(s);
                 self.metrics.cache_misses.inc();
                 self.journal.record(EventKind::CacheMiss {
@@ -146,10 +186,41 @@ impl BlockManager {
         }
     }
 
+    /// Read a spilled block back from the disk tier. Drops the entry (and
+    /// reports a miss) when its spill file died with the owning executor or
+    /// the payload type does not match.
+    fn get_spilled<T: Send + Sync + 'static>(
+        &self,
+        s: &mut Store,
+        id: BlockId,
+    ) -> Option<Arc<Vec<T>>> {
+        let spill = self.spill.as_ref()?;
+        let entry = s.spilled.get(&id)?;
+        let owner = entry.owner;
+        let bytes = entry.slot.len();
+        match spill
+            .read(&entry.slot)
+            .and_then(|any| any.downcast::<Vec<T>>().ok())
+        {
+            Some(v) => {
+                self.journal.record(EventKind::SpillRead {
+                    executor: owner,
+                    bytes,
+                });
+                Some(v)
+            }
+            None => {
+                s.spilled.remove(&id);
+                None
+            }
+        }
+    }
+
     /// Insert a partition computed on `executor`, evicting that executor's
-    /// LRU blocks as needed. Blocks larger than one executor's pool are not
-    /// cached at all (callers simply recompute them), matching Spark's
-    /// "skip caching oversized partition" behaviour.
+    /// LRU blocks as needed. Blocks larger than one executor's pool never
+    /// enter the memory pool: with a disk tier attached they spill straight
+    /// to the owner's spill file; otherwise the put is skipped (journaled as
+    /// `CacheSkipped` — callers recompute on every access).
     pub fn put<T: Send + Sync + 'static>(
         &self,
         id: BlockId,
@@ -157,16 +228,46 @@ impl BlockManager {
         size: usize,
         executor: usize,
     ) {
+        let owner = executor % self.num_executors;
         if size > self.executor_capacity {
+            // Spark's "skip caching oversized partition" path. Historically
+            // this returned silently, making reports claim a clean cache
+            // while the partition recomputed on every access.
+            let mut s = self.store.lock();
+            if self.spill_block(&mut s, id, &*data, owner) {
+                return;
+            }
+            drop(s);
+            self.metrics.cache_skipped.inc();
+            self.journal.record(EventKind::CacheSkipped {
+                rdd: id.0,
+                partition: id.1,
+                bytes: size,
+            });
             return;
         }
-        let owner = executor % self.num_executors;
         let mut s = self.store.lock();
         if let Some(old) = s.blocks.remove(&id) {
             s.used[old.owner] -= old.size;
+            self.sub_resident(old.owner, old.size);
+            if old.owner != owner {
+                // Cross-owner re-put (e.g. a speculative clone recomputed
+                // the partition elsewhere): the old owner's copy is gone —
+                // journal the implicit eviction instead of adjusting
+                // accounting silently.
+                self.metrics.cache_evictions.inc();
+                self.journal.record(EventKind::CacheEvicted {
+                    rdd: id.0,
+                    partition: id.1,
+                    bytes: old.size,
+                });
+            }
         }
+        // A fresh in-memory copy supersedes any stale spilled one.
+        s.spilled.remove(&id);
         while s.used[owner] + size > self.executor_capacity {
-            // Evict the owner's least recently used block.
+            // Evict the owner's least recently used block — to the disk
+            // tier when possible, dropping it only as the last resort.
             let victim = s
                 .blocks
                 .iter()
@@ -177,12 +278,15 @@ impl BlockManager {
                 Some(k) => {
                     if let Some(b) = s.blocks.remove(&k) {
                         s.used[owner] -= b.size;
-                        self.metrics.cache_evictions.inc();
-                        self.journal.record(EventKind::CacheEvicted {
-                            rdd: k.0,
-                            partition: k.1,
-                            bytes: b.size,
-                        });
+                        self.sub_resident(owner, b.size);
+                        if !self.spill_block(&mut s, k, &*b.data, owner) {
+                            self.metrics.cache_evictions.inc();
+                            self.journal.record(EventKind::CacheEvicted {
+                                rdd: k.0,
+                                partition: k.1,
+                                bytes: b.size,
+                            });
+                        }
                     }
                 }
                 None => break,
@@ -191,6 +295,7 @@ impl BlockManager {
         s.tick += 1;
         let tick = s.tick;
         s.used[owner] += size;
+        self.add_resident(owner, size);
         s.blocks.insert(
             id,
             Block {
@@ -202,7 +307,46 @@ impl BlockManager {
         );
     }
 
-    /// Remove every cached partition of an RDD (`unpersist`).
+    /// Try to move a block to the disk tier. Returns whether it spilled.
+    fn spill_block(
+        &self,
+        s: &mut Store,
+        id: BlockId,
+        data: &(dyn Any + Send + Sync),
+        owner: usize,
+    ) -> bool {
+        let Some(spill) = self.spill.as_ref() else {
+            return false;
+        };
+        if !spill.enabled() {
+            return false;
+        }
+        let Some(slot) = spill.write(owner, data) else {
+            return false;
+        };
+        self.metrics.blocks_spilled.inc();
+        self.journal.record(EventKind::SpillWrite {
+            executor: owner,
+            bytes: slot.len(),
+        });
+        s.spilled.insert(id, SpilledBlock { slot, owner });
+        true
+    }
+
+    fn add_resident(&self, owner: usize, bytes: usize) {
+        if let Some(spill) = self.spill.as_ref() {
+            spill.add_resident(owner, bytes as u64);
+        }
+    }
+
+    fn sub_resident(&self, owner: usize, bytes: usize) {
+        if let Some(spill) = self.spill.as_ref() {
+            spill.sub_resident(owner, bytes as u64);
+        }
+    }
+
+    /// Remove every cached partition of an RDD (`unpersist`), from both the
+    /// memory pool and the disk tier.
     pub fn evict_rdd(&self, rdd_id: u64) {
         let mut s = self.store.lock();
         let keys: Vec<BlockId> = s
@@ -214,8 +358,10 @@ impl BlockManager {
         for k in keys {
             if let Some(b) = s.blocks.remove(&k) {
                 s.used[b.owner] -= b.size;
+                self.sub_resident(b.owner, b.size);
             }
         }
+        s.spilled.retain(|(r, _), _| *r != rdd_id);
     }
 
     /// Drop every block owned by `executor` — the storage half of an
@@ -234,16 +380,25 @@ impl BlockManager {
         for k in &keys {
             if let Some(b) = s.blocks.remove(k) {
                 s.used[b.owner] -= b.size;
+                self.sub_resident(b.owner, b.size);
                 bytes += b.size;
             }
         }
+        // Spilled copies die with the executor's spill file (the cluster
+        // invalidates it on kill); forget the now-dangling entries so later
+        // gets go straight to lineage recompute.
+        s.spilled.retain(|_, e| e.owner != executor);
         (keys.len(), bytes)
     }
 
-    /// Clear the whole cache.
+    /// Clear the whole cache, memory and disk tier alike.
     pub fn clear(&self) {
         let mut s = self.store.lock();
+        for b in s.blocks.values() {
+            self.sub_resident(b.owner, b.size);
+        }
         s.blocks.clear();
+        s.spilled.clear();
         s.used.iter_mut().for_each(|u| *u = 0);
     }
 }
@@ -386,5 +541,126 @@ mod tests {
     fn estimate_scales_with_len() {
         assert_eq!(estimate_vec_size(&[0u64; 8]), 64);
         assert_eq!(estimate_vec_size::<u64>(&[]), 0);
+    }
+
+    fn bm_spill(cap: usize) -> (BlockManager, ClusterMetrics, SpillManager, RunJournal) {
+        let metrics = ClusterMetrics::new();
+        let journal = RunJournal::new();
+        let spill = SpillManager::new(1, true, usize::MAX, metrics.clone());
+        let m = BlockManager::new(cap, 1, metrics.clone())
+            .with_journal(journal.clone())
+            .with_spill(spill.clone());
+        (m, metrics, spill, journal)
+    }
+
+    fn tags(journal: &RunJournal) -> Vec<&'static str> {
+        journal.events().iter().map(|e| e.kind.tag()).collect()
+    }
+
+    #[test]
+    fn oversized_put_spills_straight_to_disk_and_reads_back() {
+        let (m, metrics, _spill, journal) = bm_spill(10);
+        m.put((1, 0), Arc::new(vec![7u8; 100]), 100, 0);
+        assert_eq!(m.block_count(), 0, "never enters the memory pool");
+        assert_eq!(metrics.blocks_spilled.get(), 1);
+        assert_eq!(metrics.cache_skipped.get(), 0, "spilled, not skipped");
+        let got: Arc<Vec<u8>> = m.get((1, 0)).expect("disk tier serves the block");
+        assert_eq!(*got, vec![7u8; 100]);
+        assert_eq!(metrics.cache_hits.get(), 1, "a spilled read is a hit");
+        assert!(metrics.spill_bytes_read.get() > 0);
+        assert!(tags(&journal).contains(&"spill_write"));
+        assert!(tags(&journal).contains(&"spill_read"));
+    }
+
+    #[test]
+    fn oversized_put_without_codec_is_journaled_as_skipped() {
+        // Regression: this used to return silently — no event, no counter —
+        // so reports claimed a clean cache while the block recomputed on
+        // every access.
+        let (m, metrics, _spill, journal) = bm_spill(10);
+        m.put((1, 0), Arc::new(vec!["x".to_string(); 50]), 100, 0);
+        assert_eq!(m.block_count(), 0);
+        assert_eq!(metrics.cache_skipped.get(), 1);
+        assert_eq!(metrics.blocks_spilled.get(), 0);
+        assert!(tags(&journal).contains(&"cache_skipped"));
+        assert!(m.get::<String>((1, 0)).is_none(), "recomputes from lineage");
+    }
+
+    #[test]
+    fn pressure_eviction_spills_instead_of_dropping() {
+        let (m, metrics, _spill, journal) = bm_spill(100);
+        m.put((1, 0), Arc::new(vec![1u8; 60]), 60, 0);
+        m.put((1, 1), Arc::new(vec![2u8; 60]), 60, 0); // evicts (1,0) to disk
+        assert_eq!(metrics.blocks_spilled.get(), 1);
+        assert_eq!(
+            metrics.cache_evictions.get(),
+            0,
+            "a spill is not a drop: the block is still servable"
+        );
+        let got: Arc<Vec<u8>> = m.get((1, 0)).expect("victim survives on disk");
+        assert_eq!(*got, vec![1u8; 60]);
+        assert!(tags(&journal).contains(&"spill_write"));
+        assert!(m.get::<u8>((1, 1)).is_some(), "resident block untouched");
+    }
+
+    #[test]
+    fn cross_owner_reput_journals_the_implicit_eviction() {
+        // Regression: re-putting an existing BlockId under a different owner
+        // adjusted `used[]` but never journaled that the old owner's copy
+        // was dropped.
+        let metrics = ClusterMetrics::new();
+        let journal = RunJournal::new();
+        let m = BlockManager::new(100, 2, metrics.clone()).with_journal(journal.clone());
+        m.put((1, 0), Arc::new(vec![1u8]), 30, 0);
+        m.put((1, 0), Arc::new(vec![2u8]), 40, 1);
+        assert_eq!(metrics.cache_evictions.get(), 1);
+        let evicted: Vec<usize> = journal
+            .events()
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::CacheEvicted { bytes, .. } => Some(bytes),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(evicted, vec![30], "old owner's copy journaled at its size");
+        // Same-owner replacement is bookkeeping, not an eviction.
+        m.put((1, 0), Arc::new(vec![3u8]), 50, 1);
+        assert_eq!(metrics.cache_evictions.get(), 1);
+    }
+
+    #[test]
+    fn executor_kill_forgets_spilled_copies() {
+        let (m, _metrics, spill, _journal) = bm_spill(10);
+        m.put((1, 0), Arc::new(vec![9u8; 64]), 64, 0); // oversized → disk
+        assert!(m.get::<u8>((1, 0)).is_some());
+        // The kill path invalidates the spill file and evicts the executor.
+        spill.invalidate_executor(0);
+        m.evict_executor(0);
+        assert!(
+            m.get::<u8>((1, 0)).is_none(),
+            "dangling slot must miss, not serve stale bytes"
+        );
+    }
+
+    #[test]
+    fn evict_rdd_and_clear_purge_the_disk_tier() {
+        let (m, _metrics, _spill, _journal) = bm_spill(10);
+        m.put((1, 0), Arc::new(vec![1u8; 64]), 64, 0);
+        m.put((2, 0), Arc::new(vec![2u8; 64]), 64, 0);
+        m.evict_rdd(1);
+        assert!(m.get::<u8>((1, 0)).is_none(), "unpersist covers spilled");
+        assert!(m.get::<u8>((2, 0)).is_some());
+        m.clear();
+        assert!(m.get::<u8>((2, 0)).is_none());
+    }
+
+    #[test]
+    fn fresh_put_supersedes_the_spilled_copy() {
+        let (m, _metrics, _spill, _journal) = bm_spill(100);
+        m.put((1, 0), Arc::new(vec![1u8; 60]), 60, 0);
+        m.put((1, 1), Arc::new(vec![2u8; 60]), 60, 0); // spills (1,0)
+        m.put((1, 0), Arc::new(vec![3u8; 10]), 10, 0); // fresh resident copy
+        let got: Arc<Vec<u8>> = m.get((1, 0)).unwrap();
+        assert_eq!(*got, vec![3u8; 10], "memory copy wins over stale disk");
     }
 }

@@ -33,6 +33,10 @@ pub(crate) struct TaskCtxInner {
     pub chunks: AtomicU64,
     /// Shuffle bytes read/written by this attempt.
     pub shuffle_bytes: AtomicU64,
+    /// Bytes this attempt serialized to spill files.
+    pub spill_bytes_written: AtomicU64,
+    /// Bytes this attempt read back from spill files.
+    pub spill_bytes_read: AtomicU64,
     /// Peak resident bytes the task declared (see [`TaskContext::hold_memory`]).
     pub mem_held: AtomicUsize,
     /// Per-executor memory budget; exceeding it kills the attempt.
@@ -66,6 +70,8 @@ impl TaskContext {
                 records_out: AtomicU64::new(0),
                 chunks: AtomicU64::new(0),
                 shuffle_bytes: AtomicU64::new(0),
+                spill_bytes_written: AtomicU64::new(0),
+                spill_bytes_read: AtomicU64::new(0),
                 mem_held: AtomicUsize::new(0),
                 memory_budget,
             }),
@@ -154,6 +160,20 @@ impl TaskContext {
         self.inner.shuffle_bytes.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Charge `n` bytes of spill-file write I/O to this attempt
+    /// ([`crate::CostModelConfig::spill_write_ns`] each).
+    pub(crate) fn add_spill_write(&self, n: u64) {
+        self.inner
+            .spill_bytes_written
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Charge `n` bytes of spill-file read-back I/O to this attempt
+    /// ([`crate::CostModelConfig::spill_read_ns`] each).
+    pub(crate) fn add_spill_read(&self, n: u64) {
+        self.inner.spill_bytes_read.fetch_add(n, Ordering::Relaxed);
+    }
+
     pub(crate) fn raw_shuffle_bytes(&self) -> u64 {
         self.inner.shuffle_bytes.load(Ordering::Relaxed)
     }
@@ -166,6 +186,8 @@ impl TaskContext {
             + self.inner.records_out.load(Ordering::Relaxed) * c.record_ns / 1000
             + self.inner.shuffle_bytes.load(Ordering::Relaxed) * c.shuffle_byte_ns / 1000
             + self.inner.chunks.load(Ordering::Relaxed) * c.chunk_dispatch_ns / 1000
+            + self.inner.spill_bytes_written.load(Ordering::Relaxed) * c.spill_write_ns / 1000
+            + self.inner.spill_bytes_read.load(Ordering::Relaxed) * c.spill_read_ns / 1000
     }
 
     pub(crate) fn install(&self) -> CtxGuard {
@@ -242,6 +264,8 @@ mod tests {
                 coordination_us_per_executor: 0,
                 morsel_dispatch_overhead_us: 0,
                 chunk_dispatch_ns: 3000,
+                spill_write_ns: 4000,
+                spill_read_ns: 2000,
             },
             1000,
         )
@@ -262,6 +286,15 @@ mod tests {
         c.add_chunks(4);
         // 10 overhead + 4 chunks * 3000 ns
         assert_eq!(c.attempt_cost_us(), 10 + 12);
+    }
+
+    #[test]
+    fn cost_charges_spill_io_per_byte() {
+        let c = ctx();
+        c.add_spill_write(500);
+        c.add_spill_read(250);
+        // 10 overhead + 500 * 4000 ns + 250 * 2000 ns
+        assert_eq!(c.attempt_cost_us(), 10 + 2000 + 500);
     }
 
     #[test]

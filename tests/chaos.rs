@@ -191,6 +191,94 @@ fn stealing_under_executor_kills_matches_the_pinned_digest() {
     }
 }
 
+/// Executor memory small enough that the pipeline's shuffles overflow the
+/// resident pool ([`sparklet::SpillConfig::shuffle_fraction`] of it) on
+/// every classification stage — the out-of-core forcing knob.
+const SPILL_FORCING_MEMORY: usize = 64 << 10;
+
+#[test]
+fn spill_forced_run_matches_the_pinned_digest() {
+    // Shrink executor memory until shuffle writes must overflow to disk;
+    // the detections must not move by a bit, and the job report must show
+    // the disk tier actually absorbed traffic both ways.
+    let mut config = ClusterConfig::local(4);
+    config.memory_per_executor = SPILL_FORCING_MEMORY;
+    let run = run_pipeline(config).expect("spill-forced run");
+    assert_eq!(run.digest, BASELINE_DIGEST, "spill changed the output");
+    let spill = &run.report.spill;
+    assert!(spill.bytes_spilled > 0, "cap never overflowed: {spill:?}");
+    assert!(spill.bytes_read_back > 0, "spilled buckets never read back");
+    assert!(spill.spill_files > 0);
+    assert!(
+        spill.peak_resident.iter().any(|&p| p > 0),
+        "resident accounting never moved: {spill:?}"
+    );
+}
+
+#[test]
+fn same_cap_with_spill_disabled_aborts_with_memory_exceeded() {
+    // The regression the disk tier exists to fix: before spill, a shuffle
+    // that outgrew executor memory had nowhere to go. With spill turned off
+    // the same cap must still abort — cleanly, after exhausting retries.
+    let mut config = ClusterConfig::local(4);
+    config.memory_per_executor = SPILL_FORCING_MEMORY;
+    config.spill = sparklet::SpillConfig::disabled();
+    match run_pipeline(config) {
+        Err(SparkletError::TaskFailed { reason, .. }) => {
+            assert!(
+                reason.contains("exceeded executor budget"),
+                "abort must come from the memory cap, got: {reason}"
+            );
+        }
+        Ok(run) => panic!("capped run without spill completed (digest {})", run.digest),
+        Err(other) => panic!("expected TaskFailed from the memory cap, got {other:?}"),
+    }
+}
+
+#[test]
+fn spill_under_executor_kills_matches_the_pinned_digest() {
+    // The disk tier is executor-local: a kill deletes the spill file and
+    // orphans its slots, so fetches of spilled buckets surface FetchFailed
+    // and lineage recomputes the lost map outputs. Output still must not
+    // move, even with spill forced on every stage.
+    let baseline = run_pipeline(ClusterConfig::local(4)).expect("baseline run");
+    let total = baseline.report.virtual_us;
+    let mut config = chaos_config(
+        FaultConfig::disabled()
+            .kill_at_time(1, total / 4)
+            .kill_at_time(2, total / 2),
+    );
+    config.memory_per_executor = SPILL_FORCING_MEMORY;
+    let chaos = run_pipeline(config).expect("spill + kills run");
+    assert_eq!(
+        chaos.digest, BASELINE_DIGEST,
+        "kills with spill on changed the output"
+    );
+    assert_eq!(chaos.report.recovery.executors_lost, 2);
+    assert!(chaos.report.spill.bytes_spilled > 0, "spill never engaged");
+}
+
+#[test]
+fn spill_under_work_stealing_matches_the_pinned_digest() {
+    // Morsel stealing changes which worker writes (and therefore spills)
+    // each bucket; the spilled bytes' contents — and the detections — must
+    // not depend on that placement.
+    for steal in [true, false] {
+        let mut config = ClusterConfig::local(4);
+        config.memory_per_executor = SPILL_FORCING_MEMORY;
+        config.sched = SchedConfig {
+            steal,
+            ..SchedConfig::default()
+        };
+        let run = run_pipeline(config).expect("spill + steal run");
+        assert_eq!(
+            run.digest, BASELINE_DIGEST,
+            "steal={steal} with spill on changed the output"
+        );
+        assert!(run.report.spill.bytes_spilled > 0);
+    }
+}
+
 #[test]
 fn killing_every_executor_fails_the_job_with_a_clean_error() {
     let mut config = ClusterConfig::local(2);
