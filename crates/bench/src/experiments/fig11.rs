@@ -23,6 +23,7 @@ fn classify_minutes(label: &str, train: &[LabeledPair], test: &[UnlabeledPair], 
             c: 5,
             theta: 0.0,
             seed: 11,
+            prune: true,
         },
     )
     .expect("fit");

@@ -49,6 +49,7 @@ pub fn run(quick: bool) -> Vec<ExperimentResult> {
                     c,
                     theta: 0.0,
                     seed: 9,
+                    prune: true,
                 },
             )
             .expect("fit");

@@ -23,5 +23,6 @@ pub mod experiments;
 pub mod harness;
 pub mod hotpath;
 pub mod ops;
+pub mod prune;
 pub mod sched;
 pub mod spill;

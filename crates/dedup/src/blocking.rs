@@ -11,6 +11,7 @@
 
 use crate::distance::ProcessedReport;
 use adr_model::{PairId, ReportId};
+use simmetrics::{intersect_gallop_into, union_k_sorted_into};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 
@@ -37,11 +38,28 @@ impl fmt::Display for BlockKey {
     }
 }
 
-/// Inverted index from blocking keys to report ids.
+/// Inverted index from blocking keys to **sorted u32 posting lists** of
+/// dense report rows.
+///
+/// Report ids are interned to dense rows at insert time (`row_of` /
+/// `id_of`); because rows are handed out monotonically, appending a fresh
+/// report's row to each of its key lists keeps every posting list sorted
+/// and deduplicated for free. Candidate generation then runs entirely on
+/// sorted-set kernels — k-way merge union
+/// ([`simmetrics::union_k_sorted_into`]) for a report's partner set and
+/// galloping intersection ([`simmetrics::intersect_gallop_into`]) to find a
+/// block's newly-arrived members — with no per-report `HashSet` or `Vec`
+/// allocation on the warm path.
 #[derive(Debug, Clone, Default)]
 pub struct BlockingIndex {
-    blocks: HashMap<BlockKey, Vec<ReportId>>,
+    /// Per-key posting list of dense rows, always sorted ascending and
+    /// deduplicated.
+    blocks: HashMap<BlockKey, Vec<u32>>,
     report_keys: HashMap<ReportId, Vec<BlockKey>>,
+    /// Report id → dense row.
+    row_of: HashMap<ReportId, u32>,
+    /// Dense row → report id (inverse of `row_of`).
+    id_of: Vec<ReportId>,
     /// Onset-date interner: equal date strings get equal ids, so
     /// [`BlockKey::Date`] equality matches string equality.
     date_ids: HashMap<String, u32>,
@@ -70,11 +88,23 @@ impl BlockingIndex {
         keys
     }
 
-    /// Add a report to the index.
+    /// Add a report to the index. Inserting the same id again reuses its
+    /// dense row, so posting lists stay deduplicated.
     pub fn insert(&mut self, r: &ProcessedReport) {
         let keys = self.keys_of(r);
+        let next = self.id_of.len() as u32;
+        let row = *self.row_of.entry(r.id).or_insert(next);
+        if row == next {
+            self.id_of.push(r.id);
+        }
         for key in &keys {
-            self.blocks.entry(*key).or_default().push(r.id);
+            let list = self.blocks.entry(*key).or_default();
+            // Fresh rows are the largest row yet seen, so this binary search
+            // lands at the end and the insert is a push; the general form
+            // only pays off on (rare) re-inserts of an existing report.
+            if let Err(pos) = list.binary_search(&row) {
+                list.insert(pos, row);
+            }
         }
         self.report_keys.insert(r.id, keys);
     }
@@ -84,19 +114,46 @@ impl BlockingIndex {
         self.blocks.len()
     }
 
-    /// All candidate partners of a report already in the index (excluding
-    /// itself), deduplicated.
-    pub fn candidates_of(&self, id: ReportId) -> Vec<ReportId> {
-        let mut out: HashSet<ReportId> = HashSet::new();
+    /// The sorted posting list (dense rows) of one block, if the key has any
+    /// members.
+    pub fn posting_list(&self, key: BlockKey) -> Option<&[u32]> {
+        self.blocks.get(&key).map(|v| v.as_slice())
+    }
+
+    /// Gather the posting lists of `id`'s keys into `lists` and union them
+    /// into `rows` (sorted, deduplicated, still including `id`'s own row).
+    fn partner_rows<'a>(
+        &'a self,
+        id: ReportId,
+        lists: &mut Vec<&'a [u32]>,
+        cursors: &mut Vec<usize>,
+        rows: &mut Vec<u32>,
+    ) {
+        lists.clear();
+        rows.clear();
         if let Some(keys) = self.report_keys.get(&id) {
             for key in keys {
                 if let Some(members) = self.blocks.get(key) {
-                    out.extend(members.iter().copied());
+                    lists.push(members);
                 }
             }
         }
-        out.remove(&id);
-        let mut v: Vec<ReportId> = out.into_iter().collect();
+        union_k_sorted_into(lists, cursors, rows);
+    }
+
+    /// All candidate partners of a report already in the index (excluding
+    /// itself), deduplicated and sorted.
+    pub fn candidates_of(&self, id: ReportId) -> Vec<ReportId> {
+        let (mut lists, mut cursors, mut rows) = (Vec::new(), Vec::new(), Vec::new());
+        self.partner_rows(id, &mut lists, &mut cursors, &mut rows);
+        let own = self.row_of.get(&id).copied();
+        let mut v: Vec<ReportId> = rows
+            .iter()
+            .filter(|&&r| Some(r) != own)
+            .map(|&r| self.id_of[r as usize])
+            .collect();
+        // Rows are in insertion order, not id order; restore the sorted-ids
+        // contract (a no-op sort when reports arrived in id order).
         v.sort_unstable();
         v
     }
@@ -106,15 +163,22 @@ impl BlockingIndex {
     /// [`crate::pairing::pairs_involving_new`]). The new reports must
     /// already be inserted.
     pub fn candidate_pairs(&self, new_ids: &[ReportId]) -> Vec<PairId> {
-        let mut out: HashSet<PairId> = HashSet::new();
+        let mut out: Vec<PairId> = Vec::new();
+        let (mut lists, mut cursors, mut rows) = (Vec::new(), Vec::new(), Vec::new());
         for &id in new_ids {
-            for partner in self.candidates_of(id) {
-                out.insert(PairId::new(id, partner));
-            }
+            self.partner_rows(id, &mut lists, &mut cursors, &mut rows);
+            let own = self.row_of.get(&id).copied();
+            out.extend(
+                rows.iter()
+                    .filter(|&&r| Some(r) != own)
+                    .map(|&r| PairId::new(id, self.id_of[r as usize])),
+            );
         }
-        let mut v: Vec<PairId> = out.into_iter().collect();
-        v.sort_unstable();
-        v
+        // Sorted-merge dedup: a pair of two new reports was emitted once per
+        // endpoint; adjacent after the sort.
+        out.sort_unstable();
+        out.dedup();
+        out
     }
 
     /// Per-block candidate pairs for a batch of new reports — the same pair
@@ -128,54 +192,89 @@ impl BlockingIndex {
     /// within each group — the grouping is fully deterministic and flattens
     /// (after a global sort) to exactly `candidate_pairs`.
     pub fn candidate_pair_groups(&self, new_ids: &[ReportId]) -> Vec<Vec<PairId>> {
-        let new_set: HashSet<ReportId> = new_ids.iter().copied().collect();
+        self.candidate_pair_groups_counted(new_ids).0
+    }
+
+    /// [`BlockingIndex::candidate_pair_groups`] plus the number of
+    /// **multi-key duplicates** dropped: pairs reachable through more than
+    /// one blocking key, each counted once per extra key. This is exactly
+    /// the set of distance evaluations a naive per-block pipeline would
+    /// repeat, and what [`crate::pairing::DistanceMemo`] saves when groups
+    /// are re-submitted across batches.
+    pub fn candidate_pair_groups_counted(&self, new_ids: &[ReportId]) -> (Vec<Vec<PairId>>, u64) {
+        // Sorted rows of the arriving batch — the gallop driver below.
+        let mut new_rows: Vec<u32> = new_ids
+            .iter()
+            .filter_map(|id| self.row_of.get(id).copied())
+            .collect();
+        new_rows.sort_unstable();
+        new_rows.dedup();
         let mut touched: Vec<BlockKey> = new_ids
             .iter()
             .flat_map(|id| self.report_keys.get(id).into_iter().flatten().copied())
             .collect();
         touched.sort_unstable();
         touched.dedup();
-        let mut seen: HashSet<PairId> = HashSet::new();
-        let mut groups = Vec::new();
-        for key in touched {
-            let Some(members) = self.blocks.get(&key) else {
+        // Tag every block's pair set with the block's rank in key order; the
+        // first-block-wins rule then falls out of a sort + dedup, no HashSet.
+        let mut tagged: Vec<(PairId, u32)> = Vec::new();
+        let mut new_members: Vec<u32> = Vec::new();
+        let mut block_pairs: Vec<PairId> = Vec::new();
+        for (rank, key) in touched.iter().enumerate() {
+            let Some(members) = self.blocks.get(key) else {
                 continue;
             };
-            let mut group = Vec::new();
-            for (i, &a) in members.iter().enumerate() {
-                for &b in &members[i + 1..] {
-                    if a == b || !(new_set.contains(&a) || new_set.contains(&b)) {
-                        continue;
-                    }
-                    let pid = PairId::new(a, b);
-                    if seen.insert(pid) {
-                        group.push(pid);
+            new_members.clear();
+            intersect_gallop_into(&new_rows, members, &mut new_members);
+            if new_members.is_empty() {
+                continue;
+            }
+            block_pairs.clear();
+            for &n in &new_members {
+                let nid = self.id_of[n as usize];
+                for &m in members.iter() {
+                    if m != n {
+                        block_pairs.push(PairId::new(nid, self.id_of[m as usize]));
                     }
                 }
             }
-            if !group.is_empty() {
-                group.sort_unstable();
-                groups.push(group);
-            }
+            // New–new pairs were emitted from both endpoints; collapse them
+            // before tagging so the duplicate count is strictly cross-block.
+            block_pairs.sort_unstable();
+            block_pairs.dedup();
+            tagged.extend(block_pairs.iter().map(|&p| (p, rank as u32)));
         }
-        groups
+        tagged.sort_unstable();
+        let enumerated = tagged.len() as u64;
+        // Sorted by (pair, rank): the first entry of each pair run carries
+        // the smallest rank — the first block that produced it.
+        tagged.dedup_by_key(|(p, _)| *p);
+        let duplicates = enumerated - tagged.len() as u64;
+        let mut groups: Vec<Vec<PairId>> = vec![Vec::new(); touched.len()];
+        for (p, rank) in tagged {
+            // Global (pair, rank) order means each group receives its pairs
+            // already sorted.
+            groups[rank as usize].push(p);
+        }
+        groups.retain(|g| !g.is_empty());
+        (groups, duplicates)
     }
 
-    /// All candidate pairs the index induces over the whole database.
+    /// All candidate pairs the index induces over the whole database,
+    /// deduplicated by sorted merge.
     pub fn all_candidate_pairs(&self) -> Vec<PairId> {
-        let mut out: HashSet<PairId> = HashSet::new();
+        let mut out: Vec<PairId> = Vec::new();
         for members in self.blocks.values() {
             for (i, &a) in members.iter().enumerate() {
+                let aid = self.id_of[a as usize];
                 for &b in &members[i + 1..] {
-                    if a != b {
-                        out.insert(PairId::new(a, b));
-                    }
+                    out.push(PairId::new(aid, self.id_of[b as usize]));
                 }
             }
         }
-        let mut v: Vec<PairId> = out.into_iter().collect();
-        v.sort_unstable();
-        v
+        out.sort_unstable();
+        out.dedup();
+        out
     }
 }
 
@@ -195,11 +294,12 @@ pub fn evaluate_blocking(
     true_duplicates: &HashSet<PairId>,
 ) -> BlockingQuality {
     let candidates = index.all_candidate_pairs();
-    let candidate_set: HashSet<PairId> = candidates.iter().copied().collect();
     let total_pairs = n_reports * n_reports.saturating_sub(1) / 2;
+    // `all_candidate_pairs` is sorted: membership is a binary search, no
+    // rebuilt HashSet per evaluation.
     let covered = true_duplicates
         .iter()
-        .filter(|p| candidate_set.contains(p))
+        .filter(|p| candidates.binary_search(p).is_ok())
         .count();
     BlockingQuality {
         reduction_ratio: if total_pairs == 0 {
@@ -337,7 +437,49 @@ mod tests {
         let index = BlockingIndex::default();
         assert!(index.candidates_of(7).is_empty());
         assert!(index.all_candidate_pairs().is_empty());
+        assert!(index.candidate_pair_groups(&[1, 2, 3]).is_empty());
         let q = evaluate_blocking(&index, 0, &HashSet::new());
         assert_eq!(q.pair_completeness, 1.0);
+    }
+
+    #[test]
+    fn posting_lists_are_sorted_and_deduplicated() {
+        let ds = Dataset::generate(&SynthConfig::small(400, 20, 13));
+        let reports = processed(&ds);
+        let mut index = BlockingIndex::build(&reports);
+        // Re-inserting existing reports must not perturb any list.
+        for r in reports.iter().take(25) {
+            index.insert(r);
+        }
+        assert!(index.block_count() > 0);
+        for (key, list) in &index.blocks {
+            assert!(
+                list.windows(2).all(|w| w[0] < w[1]),
+                "posting list for {key} not sorted+deduped"
+            );
+            assert_eq!(Some(list.as_slice()), index.posting_list(*key));
+            for &row in list {
+                assert!((row as usize) < index.id_of.len(), "row out of range");
+            }
+        }
+        // Row interning is a bijection.
+        for (id, &row) in &index.row_of {
+            assert_eq!(index.id_of[row as usize], *id);
+        }
+    }
+
+    #[test]
+    fn counted_groups_report_multi_key_duplicates() {
+        let ds = Dataset::generate(&SynthConfig::small(300, 15, 11));
+        let reports = processed(&ds);
+        let index = BlockingIndex::build(&reports);
+        let new_ids: Vec<u64> = (280..300).collect();
+        let (groups, dups) = index.candidate_pair_groups_counted(&new_ids);
+        assert_eq!(groups, index.candidate_pair_groups(&new_ids));
+        let unique: usize = groups.iter().map(|g| g.len()).sum();
+        // Duplicate reports share drug tokens *and* dates, so some pairs
+        // must be reachable via more than one key on this corpus.
+        assert!(dups > 0, "expected multi-key pairs on a duplicate corpus");
+        assert_eq!(unique, index.candidate_pairs(&new_ids).len());
     }
 }

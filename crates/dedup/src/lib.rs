@@ -42,7 +42,7 @@ pub use blocking::{evaluate_blocking, BlockKey, BlockingIndex, BlockingQuality};
 pub use distance::{pair_distance, ProcessedReport};
 pub use pairing::{
     all_pairs, index_corpus, pack_pairs, pair_op_weight, pairs_involving_new, pairwise_distances,
-    pairwise_distances_partitioned, CorpusIndex, PAIR_OP_BASE,
+    pairwise_distances_partitioned, CorpusIndex, DistanceMemo, PAIR_OP_BASE,
 };
 pub use store::PairStore;
 pub use svm_baseline::{svm_clustering_scores, svm_scores};

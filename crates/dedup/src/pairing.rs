@@ -226,6 +226,12 @@ pub fn pairwise_distances(
 /// then chunks are placed heaviest-first onto the least-loaded partition.
 /// Ties break on the first pair id (chunk order) and the lowest partition
 /// index (placement), so the packing is fully deterministic.
+///
+/// Allocation discipline mirrors the engine's shuffle bucketing: chunks are
+/// `(weight, group, range)` views over the input (no per-chunk pair
+/// buffers), destinations are decided first, and each partition is
+/// allocated at its exact final size — the fill pass never reallocates or
+/// over-allocates (pinned by `pack_pairs_allocates_partitions_at_exact_capacity`).
 pub fn pack_pairs(
     corpus: &CorpusIndex,
     groups: Vec<Vec<PairId>>,
@@ -238,34 +244,143 @@ pub fn pack_pairs(
         .map(|pid| weight_in(corpus, pid))
         .sum();
     let target = total.div_ceil(parts as u64).max(1);
-    let mut chunks: Vec<(u64, Vec<PairId>)> = Vec::new();
-    for group in groups {
-        let mut cur: Vec<PairId> = Vec::new();
+    // Chunk pass: cut each group into contiguous index ranges at or under
+    // the target weight. Ranges borrow the groups — no pair is copied yet.
+    let mut chunks: Vec<(u64, usize, std::ops::Range<usize>)> = Vec::with_capacity(groups.len());
+    for (g, group) in groups.iter().enumerate() {
+        let mut start = 0usize;
         let mut acc = 0u64;
-        for pid in group {
-            let w = weight_in(corpus, &pid);
-            if !cur.is_empty() && acc.saturating_add(w) > target {
-                chunks.push((acc, std::mem::take(&mut cur)));
+        for (i, pid) in group.iter().enumerate() {
+            let w = weight_in(corpus, pid);
+            if i > start && acc.saturating_add(w) > target {
+                chunks.push((acc, g, start..i));
+                start = i;
                 acc = 0;
             }
-            cur.push(pid);
             acc = acc.saturating_add(w);
         }
-        if !cur.is_empty() {
-            chunks.push((acc, cur));
+        if start < group.len() {
+            chunks.push((acc, g, start..group.len()));
         }
     }
-    chunks.sort_by(|(wa, a), (wb, b)| wb.cmp(wa).then_with(|| a.first().cmp(&b.first())));
-    let mut out: Vec<Vec<PairId>> = (0..parts).map(|_| Vec::new()).collect();
+    chunks.sort_by(|(wa, ga, ra), (wb, gb, rb)| {
+        wb.cmp(wa)
+            .then_with(|| groups[*ga][ra.start].cmp(&groups[*gb][rb.start]))
+    });
+    // Placement pass: decide every chunk's destination and count pairs per
+    // partition, so the fill pass can allocate exactly once.
+    let mut dest: Vec<usize> = Vec::with_capacity(chunks.len());
     let mut loads = vec![0u64; parts];
-    for (w, chunk) in chunks {
+    let mut counts = vec![0usize; parts];
+    for (w, _, r) in &chunks {
         let lightest = (0..parts)
             .min_by_key(|&i| (loads[i], i))
             .expect("parts >= 1");
         loads[lightest] += w;
-        out[lightest].extend(chunk);
+        counts[lightest] += r.len();
+        dest.push(lightest);
+    }
+    let mut out: Vec<Vec<PairId>> = counts.iter().map(|&c| Vec::with_capacity(c)).collect();
+    for ((_, g, r), d) in chunks.into_iter().zip(dest) {
+        out[d].extend_from_slice(&groups[g][r]);
     }
     out
+}
+
+/// Cross-call memo of §4.2 distance vectors, keyed by [`PairId`].
+///
+/// Blocking can surface the same pair in consecutive `detect_new` batches
+/// (its reports keep matching new arrivals through hot block keys). The
+/// §4.2 distance of a pair is a pure function of its two immutable reports,
+/// so a memoised vector is bit-identical to recomputation — splitting the
+/// candidate stream into memo hits and distance-job misses cannot change a
+/// single downstream score, only skip work.
+///
+/// Bounded: once `capacity` entries are stored, further inserts are
+/// dropped (hits on existing entries still count), so an endless feedback
+/// loop cannot grow the memo without bound.
+#[derive(Debug)]
+pub struct DistanceMemo {
+    map: HashMap<PairId, DistVec>,
+    capacity: usize,
+    hits: u64,
+}
+
+impl DistanceMemo {
+    /// Memo bounded to `capacity` entries (`0` disables storage entirely).
+    pub fn with_capacity(capacity: usize) -> Self {
+        DistanceMemo {
+            map: HashMap::new(),
+            capacity,
+            hits: 0,
+        }
+    }
+
+    /// Stored vectors.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Is the memo empty?
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Lifetime hit count (pairs answered without a distance job).
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Look up a pair, counting a hit.
+    pub fn get(&mut self, pid: &PairId) -> Option<DistVec> {
+        let found = self.map.get(pid).copied();
+        if found.is_some() {
+            self.hits += 1;
+        }
+        found
+    }
+
+    /// Store a computed vector (dropped once at capacity; existing entries
+    /// are never overwritten — the distance is immutable anyway).
+    pub fn insert(&mut self, pid: PairId, vector: DistVec) {
+        if self.map.len() < self.capacity {
+            self.map.entry(pid).or_insert(vector);
+        }
+    }
+
+    /// Drop every memoised pair involving `id` — required when a report is
+    /// re-ingested (ADR databases receive follow-up versions): its text may
+    /// have changed, so cached distances against it are no longer the pure
+    /// function of the pair they were memoised as. Re-ingest is rare, so the
+    /// linear sweep is fine.
+    pub fn purge_report(&mut self, id: ReportId) {
+        self.map.retain(|pid, _| pid.lo != id && pid.hi != id);
+    }
+
+    /// Partition candidate groups into unknown pairs (returned group-shaped,
+    /// ready for [`pack_pairs`]) and memoised rows `(pair, vector)`. Group
+    /// order and intra-group pair order are preserved for the unknowns;
+    /// emptied groups are dropped.
+    pub fn split_known(
+        &mut self,
+        groups: Vec<Vec<PairId>>,
+    ) -> (Vec<Vec<PairId>>, Vec<(PairId, DistVec)>) {
+        let mut known = Vec::new();
+        let mut unknown = Vec::with_capacity(groups.len());
+        for group in groups {
+            let mut rest = Vec::new();
+            for pid in group {
+                match self.get(&pid) {
+                    Some(v) => known.push((pid, v)),
+                    None => rest.push(pid),
+                }
+            }
+            if !rest.is_empty() {
+                unknown.push(rest);
+            }
+        }
+        (unknown, known)
+    }
 }
 
 #[cfg(test)]
@@ -484,6 +599,85 @@ mod tests {
         let packed = pack_pairs(&corpus, one, 0);
         assert_eq!(packed.len(), 1, "zero partitions clamps to one");
         assert_eq!(packed[0], vec![PairId::new(0, 1)]);
+    }
+
+    #[test]
+    fn pack_pairs_allocates_partitions_at_exact_capacity() {
+        // Same discipline the engine pins for shuffle buckets: destinations
+        // and counts are decided before any pair moves, so every partition
+        // Vec is allocated exactly once at its final size. A doubling-growth
+        // regression would show up here as capacity() > len().
+        let (_, corpus) = tiny_corpus(40);
+        let ids: Vec<u64> = (0..40).collect();
+        let groups = vec![
+            all_pairs(&ids[..25]),
+            all_pairs(&ids[25..33]),
+            vec![PairId::new(33, 34), PairId::new(35, 36)],
+            vec![PairId::new(37, 38)],
+        ];
+        for parts in [1usize, 3, 4, 8] {
+            let packed = pack_pairs(&corpus, groups.clone(), parts);
+            assert_eq!(packed.len(), parts);
+            for (i, part) in packed.iter().enumerate() {
+                assert_eq!(
+                    part.capacity(),
+                    part.len(),
+                    "partition {i} of {parts} over-allocated: capacity {} for {} pairs",
+                    part.capacity(),
+                    part.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn distance_memo_answers_repeats_and_respects_capacity() {
+        let mut memo = DistanceMemo::with_capacity(2);
+        assert!(memo.is_empty());
+        let (a, b, c) = (PairId::new(0, 1), PairId::new(0, 2), PairId::new(1, 2));
+        let va = [1.0; DETECTION_DIMS];
+        assert_eq!(memo.get(&a), None);
+        assert_eq!(memo.hits(), 0, "misses are not hits");
+        memo.insert(a, va);
+        memo.insert(b, [2.0; DETECTION_DIMS]);
+        memo.insert(c, [3.0; DETECTION_DIMS]); // over capacity: dropped
+        assert_eq!(memo.len(), 2);
+        assert_eq!(memo.get(&a), Some(va));
+        assert_eq!(memo.get(&c), None);
+        assert_eq!(memo.hits(), 1);
+        // Existing entries are never overwritten.
+        memo.insert(a, [9.0; DETECTION_DIMS]);
+        assert_eq!(memo.get(&a), Some(va));
+        // Capacity 0 disables storage entirely.
+        let mut off = DistanceMemo::with_capacity(0);
+        off.insert(a, va);
+        assert!(off.is_empty());
+        assert_eq!(off.get(&a), None);
+    }
+
+    #[test]
+    fn split_known_preserves_order_and_partitions_exactly() {
+        let mut memo = DistanceMemo::with_capacity(16);
+        let known_pid = PairId::new(1, 2);
+        let v = [0.5; DETECTION_DIMS];
+        memo.insert(known_pid, v);
+        let groups = vec![
+            vec![PairId::new(0, 1), known_pid, PairId::new(0, 2)],
+            vec![known_pid],
+            vec![PairId::new(3, 4)],
+        ];
+        let (unknown, known) = memo.split_known(groups);
+        // Unknown pairs keep group shape and order; emptied groups vanish.
+        assert_eq!(
+            unknown,
+            vec![
+                vec![PairId::new(0, 1), PairId::new(0, 2)],
+                vec![PairId::new(3, 4)],
+            ]
+        );
+        // Both appearances of the memoised pair are answered.
+        assert_eq!(known, vec![(known_pid, v), (known_pid, v)]);
+        assert_eq!(memo.hits(), 2);
     }
 
     #[test]

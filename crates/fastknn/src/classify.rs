@@ -22,13 +22,15 @@
 //! neighbourhood bases) still carry stack arrays, not heap vectors.
 
 use crate::counters;
+use crate::prune::scan_cell_pruned;
 use crate::score::{label_for, score_neighbors};
-use crate::select::additional_partitions_into;
+use crate::select::{additional_partitions_into, additional_partitions_pruned_into};
 use crate::soa::{distances_to_point, from_unlabeled, ScratchPool, VecBatch};
 use crate::types::{LabeledPair, Neighborhood, ScoredPair, UnlabeledPair, PAIR_DIMS};
 use crate::voronoi::VoronoiPartition;
+use simmetrics::squared_euclidean_fixed;
 use sparklet::partitioner::IndexPartitioner;
-use sparklet::{Cluster, PairRdd, Rdd, Result};
+use sparklet::{Cluster, EventKind, PairRdd, Rdd, Result};
 use std::sync::Arc;
 
 /// Fast kNN hyper-parameters.
@@ -45,6 +47,11 @@ pub struct FastKnnConfig {
     pub theta: f64,
     /// Seed for k-means.
     pub seed: u64,
+    /// Bound-driven candidate pruning: triangle-inequality window scans
+    /// over distance-sorted cells plus annulus cell skips. Lossless — the
+    /// classification is bit-identical either way — so `false` exists only
+    /// to measure what the bounds save (see `bench_prune`).
+    pub prune: bool,
 }
 
 impl Default for FastKnnConfig {
@@ -55,6 +62,7 @@ impl Default for FastKnnConfig {
             c: 4,
             theta: 0.0,
             seed: 2016,
+            prune: true,
         }
     }
 }
@@ -66,13 +74,22 @@ enum StageOut<const D: usize> {
     Done(ScoredPair),
     /// Needs cross-cluster search: stage-1 neighbourhood (sent once).
     Base { id: u64, hood: Neighborhood },
-    /// Probe to run against cluster `target`.
+    /// Probe to run against cluster `target`. Carries the stage-1
+    /// neighbourhood's k-th distance² so the stage-2 scan starts with a
+    /// tight cutoff: any candidate beyond it is already beaten by k known
+    /// candidates and cannot enter the merged top-k. `+∞` when pruning is
+    /// off (scan everything).
     Probe {
         target: usize,
         id: u64,
         vector: [f64; D],
+        kth_sq: f64,
     },
 }
+
+/// A stage-2 probe keyed by its target cell: `(id, vector, kth_sq)` — the
+/// test pair plus its stage-1 initial cutoff (see [`StageOut::Probe`]).
+type Probe<const D: usize> = (usize, (u64, [f64; D], f64));
 
 /// A fitted distributed Fast kNN model bound to a [`Cluster`].
 pub struct FastKnn<const D: usize = PAIR_DIMS> {
@@ -159,7 +176,16 @@ impl<const D: usize> FastKnn<D> {
         let b = self.voronoi.b();
         let k = self.config.k;
         let theta = self.config.theta;
+        let prune = self.config.prune;
         let voronoi = self.voronoi.clone();
+        let snap = |name: &str| self.cluster.metrics().counter(name).get();
+        let before = [
+            snap(counters::PRUNE_CELLS_SKIPPED),
+            snap(counters::PRUNE_BOUND_REJECTED),
+            snap(counters::PRUNE_EVALS_AVOIDED),
+            snap(counters::INTRA_COMPARISONS),
+            snap(counters::CROSS_COMPARISONS),
+        ];
 
         // Steps 2–3: assign each test pair to its Voronoi cell. Each
         // assignment partition receives one contiguous sub-batch.
@@ -211,17 +237,50 @@ impl<const D: usize> FastKnn<D> {
                     let posc = ctx.counter(counters::POSITIVE_COMPARISONS);
                     let extra_clusters = ctx.counter(counters::ADDITIONAL_CLUSTERS);
                     let skips = ctx.counter(counters::SHORTCUT_SKIPS);
+                    let cells_skipped_c = ctx.counter(counters::PRUNE_CELLS_SKIPPED);
+                    let bound_rejected_c = ctx.counter(counters::PRUNE_BOUND_REJECTED);
+                    let avoided_c = ctx.counter(counters::PRUNE_EVALS_AVOIDED);
                     let mut out = Vec::with_capacity(tests.len());
                     stage1_scratch.with(|s| {
                         for (assigned_cid, t) in tests {
                             let mut hood = Neighborhood::new(k);
+                            let mut evaluated = 0u64;
                             if let Some(cell) = cell {
-                                distances_to_point(cell, &t.vector, &mut s.dists);
-                                for (j, &d_sq) in s.dists.iter().enumerate() {
-                                    hood.push_sq(d_sq, cell.id(j), cell.label(j));
+                                if prune {
+                                    // Triangle-inequality window scan over
+                                    // the distance-sorted cell — fills the
+                                    // hood bit-identically to a full sweep.
+                                    let ds = squared_euclidean_fixed(
+                                        &t.vector,
+                                        &vor_stage1.centers[assigned_cid],
+                                    )
+                                    .sqrt();
+                                    let cds = vor_stage1
+                                        .center_dists
+                                        .get(assigned_cid)
+                                        .map(|c| c.as_slice())
+                                        .unwrap_or(&[]);
+                                    let stats = scan_cell_pruned(
+                                        cell,
+                                        cds,
+                                        &t.vector,
+                                        ds,
+                                        f64::INFINITY,
+                                        &mut hood,
+                                        &mut s.dists,
+                                    );
+                                    evaluated = stats.evaluated;
+                                    bound_rejected_c.add(stats.bound_rejected);
+                                    avoided_c.add(stats.bound_rejected);
+                                } else {
+                                    distances_to_point(cell, &t.vector, &mut s.dists);
+                                    for (j, &d_sq) in s.dists.iter().enumerate() {
+                                        hood.push_sq(d_sq, cell.id(j), cell.label(j));
+                                    }
+                                    evaluated = negs_len as u64;
                                 }
                             }
-                            intra.add(negs_len as u64);
+                            intra.add(evaluated);
                             // Algorithm 1 line 2: d(s, s_k) over the
                             // intra-cluster neighbours only, BEFORE merging
                             // the positives.
@@ -233,7 +292,7 @@ impl<const D: usize> FastKnn<D> {
                                 hood.push_sq(d_sq, vor_stage1.positives.id(j), true);
                             }
                             posc.add(vor_stage1.positives.len() as u64);
-                            ctx.charge_ops((negs_len + vor_stage1.positives.len()) as u64);
+                            ctx.charge_ops(evaluated + vor_stage1.positives.len() as u64);
                             if intra_kth_sq <= min_pos_sq {
                                 skips.inc();
                                 let score = score_neighbors(&hood);
@@ -245,14 +304,27 @@ impl<const D: usize> FastKnn<D> {
                                 }));
                                 continue;
                             }
-                            additional_partitions_into(
-                                &t.vector,
-                                assigned_cid,
-                                intra_kth_sq,
-                                min_pos_sq,
-                                &vor_stage1.centers,
-                                &mut s.extra,
-                            );
+                            if prune {
+                                let (cells, residents) = additional_partitions_pruned_into(
+                                    &t.vector,
+                                    assigned_cid,
+                                    intra_kth_sq,
+                                    min_pos_sq,
+                                    &vor_stage1,
+                                    &mut s.extra,
+                                );
+                                cells_skipped_c.add(cells);
+                                avoided_c.add(residents);
+                            } else {
+                                additional_partitions_into(
+                                    &t.vector,
+                                    assigned_cid,
+                                    intra_kth_sq,
+                                    min_pos_sq,
+                                    &vor_stage1.centers,
+                                    &mut s.extra,
+                                );
+                            }
                             extra_clusters.add(s.extra.len() as u64);
                             if s.extra.is_empty() {
                                 let score = score_neighbors(&hood);
@@ -264,12 +336,20 @@ impl<const D: usize> FastKnn<D> {
                                 }));
                                 continue;
                             }
+                            // The stage-1 kth travels with each probe so the
+                            // stage-2 scan starts with a tight cutoff.
+                            let kth_sq = if prune {
+                                hood.kth_distance_sq()
+                            } else {
+                                f64::INFINITY
+                            };
                             out.push(StageOut::Base { id: t.id, hood });
                             for &target in &s.extra {
                                 out.push(StageOut::Probe {
                                     target,
                                     id: t.id,
                                     vector: t.vector,
+                                    kth_sq,
                                 });
                             }
                         }
@@ -291,35 +371,71 @@ impl<const D: usize> FastKnn<D> {
             StageOut::Base { id, hood } => vec![(id, hood)],
             _ => vec![],
         });
-        let probes: Rdd<(usize, (u64, [f64; D]))> = stage_out.flat_map(|o| match o {
-            StageOut::Probe { target, id, vector } => vec![(target, (id, vector))],
+        let probes: Rdd<Probe<D>> = stage_out.flat_map(|o| match o {
+            StageOut::Probe {
+                target,
+                id,
+                vector,
+                kth_sq,
+            } => vec![(target, (id, vector, kth_sq))],
             _ => vec![],
         });
 
         // Steps 13–15: cross-cluster comparison, then merge the top-k lists.
         let stage2_scratch = self.scratch.clone();
+        let vor_stage2 = voronoi.clone();
         let probe_hits: Rdd<(u64, Neighborhood)> = probes
             .partition_by(Arc::new(IndexPartitioner::new(b)))
             .zip_partitions(
                 &self.negatives,
-                move |ctx,
-                      probes: Vec<(usize, (u64, [f64; D]))>,
-                      negs: Vec<(usize, Arc<VecBatch<D>>)>| {
+                move |ctx, probes: Vec<Probe<D>>, negs: Vec<(usize, Arc<VecBatch<D>>)>| {
+                    let cid = negs.first().map_or(0, |(cid, _)| *cid);
                     let cell: Option<&Arc<VecBatch<D>>> = negs.first().map(|(_, c)| c);
                     let negs_len = cell.map_or(0, |c| c.len());
                     let cross = ctx.counter(counters::CROSS_COMPARISONS);
+                    let bound_rejected_c = ctx.counter(counters::PRUNE_BOUND_REJECTED);
+                    let avoided_c = ctx.counter(counters::PRUNE_EVALS_AVOIDED);
                     let mut out = Vec::with_capacity(probes.len());
                     stage2_scratch.with(|s| {
-                        for (_, (id, vector)) in probes {
+                        for (_, (id, vector, kth_sq)) in probes {
                             let mut hood = Neighborhood::new(k);
+                            let mut evaluated = 0u64;
                             if let Some(cell) = cell {
-                                distances_to_point(cell, &vector, &mut s.dists);
-                                for (j, &d_sq) in s.dists.iter().enumerate() {
-                                    hood.push_sq(d_sq, cell.id(j), cell.label(j));
+                                if prune {
+                                    // The probe's stage-1 kth seeds the
+                                    // cutoff; candidates beyond it cannot
+                                    // enter the merged top-k, so the local
+                                    // hood it fills merges losslessly.
+                                    let ds =
+                                        squared_euclidean_fixed(&vector, &vor_stage2.centers[cid])
+                                            .sqrt();
+                                    let cds = vor_stage2
+                                        .center_dists
+                                        .get(cid)
+                                        .map(|c| c.as_slice())
+                                        .unwrap_or(&[]);
+                                    let stats = scan_cell_pruned(
+                                        cell,
+                                        cds,
+                                        &vector,
+                                        ds,
+                                        kth_sq,
+                                        &mut hood,
+                                        &mut s.dists,
+                                    );
+                                    evaluated = stats.evaluated;
+                                    bound_rejected_c.add(stats.bound_rejected);
+                                    avoided_c.add(stats.bound_rejected);
+                                } else {
+                                    distances_to_point(cell, &vector, &mut s.dists);
+                                    for (j, &d_sq) in s.dists.iter().enumerate() {
+                                        hood.push_sq(d_sq, cell.id(j), cell.label(j));
+                                    }
+                                    evaluated = negs_len as u64;
                                 }
                             }
-                            cross.add(negs_len as u64);
-                            ctx.charge_ops(negs_len as u64);
+                            cross.add(evaluated);
+                            ctx.charge_ops(evaluated);
                             out.push((id, hood));
                         }
                     });
@@ -344,6 +460,29 @@ impl<const D: usize> FastKnn<D> {
 
         let mut out = done;
         out.extend(merged);
+
+        // Coalesce the block's pruning effect into one journal event,
+        // driver-side (tasks have no journal access): counter deltas across
+        // the block's jobs. One event per block bounds journal volume by
+        // `c`, never by test-pair count.
+        if prune {
+            let after = [
+                snap(counters::PRUNE_CELLS_SKIPPED),
+                snap(counters::PRUNE_BOUND_REJECTED),
+                snap(counters::PRUNE_EVALS_AVOIDED),
+                snap(counters::INTRA_COMPARISONS),
+                snap(counters::CROSS_COMPARISONS),
+            ];
+            let delta = |i: usize| after[i].saturating_sub(before[i]);
+            self.cluster.journal().record(EventKind::PruneApplied {
+                scope: "classify-block".into(),
+                cells_skipped: delta(0),
+                bound_rejected: delta(1),
+                evals_avoided: delta(2),
+                evals_done: delta(3) + delta(4),
+                memo_hits: 0,
+            });
+        }
         Ok(out)
     }
 }
@@ -393,6 +532,7 @@ mod tests {
                 c: 3,
                 theta: 0.0,
                 seed: 5,
+                prune: true,
             },
         )
         .unwrap();
@@ -483,6 +623,50 @@ mod tests {
     }
 
     #[test]
+    fn pruning_is_lossless_and_accounts_for_every_avoided_evaluation() {
+        // Few, large cells: the k-th-neighbour cutoff is small against the
+        // cell radius, so the window and annulus bounds have room to bite.
+        let (train, test) = workload(2_000, 12, 90, 41);
+        let run = |prune: bool| {
+            let cluster = Cluster::local(4);
+            let cfg = FastKnnConfig {
+                b: 4,
+                prune,
+                ..FastKnnConfig::default()
+            };
+            let model = FastKnn::fit(&cluster, &train, cfg).unwrap();
+            let out = model.classify(&test).unwrap();
+            let m = cluster.metrics();
+            let evals = m.counter(counters::INTRA_COMPARISONS).get()
+                + m.counter(counters::CROSS_COMPARISONS).get();
+            let avoided = m.counter(counters::PRUNE_EVALS_AVOIDED).get();
+            let events = cluster
+                .journal()
+                .events()
+                .iter()
+                .filter(|e| e.kind.tag() == "prune_applied")
+                .count();
+            (out, evals, avoided, events)
+        };
+        let (pruned, evals_on, avoided, events_on) = run(true);
+        let (full, evals_off, avoided_off, events_off) = run(false);
+        assert_eq!(pruned, full, "pruning must not change a single result");
+        assert!(avoided > 0, "the workload must exercise the bounds");
+        assert_eq!(avoided_off, 0, "no pruning, nothing avoided");
+        assert!(events_on > 0, "each block journals one prune event");
+        assert_eq!(events_off, 0);
+        // Conservation: every comparison the unpruned run performs is either
+        // performed or explicitly accounted as avoided by the pruned run
+        // (scan invariant: evaluated + bound_rejected = cell size; skipped
+        // cells contribute their whole population).
+        assert_eq!(
+            evals_on + avoided,
+            evals_off,
+            "avoided evaluations must exactly cover the gap"
+        );
+    }
+
+    #[test]
     fn empty_test_set_is_fine() {
         let (train, _) = workload(50, 3, 0, 1);
         let cluster = Cluster::local(2);
@@ -531,7 +715,7 @@ mod tests {
                 b in prop::sample::select(vec![4usize, 9]),
             ) {
                 let (train, test) = workload(250, 8, 40, seed);
-                let cfg = FastKnnConfig { k, b, c: 3, theta: 0.0, seed: seed ^ 0xA5A5 };
+                let cfg = FastKnnConfig { k, b, c: 3, theta: 0.0, seed: seed ^ 0xA5A5, prune: true };
                 let out1 = classify_on(1, &train, &test, cfg);
                 let out4 = classify_on(4, &train, &test, cfg);
                 let out16 = classify_on(16, &train, &test, cfg);

@@ -36,9 +36,14 @@ pub mod types;
 pub mod voronoi;
 
 pub use classify::{FastKnn, FastKnnConfig};
-pub use prune::TestPruner;
+pub use prune::{
+    admissible_radius, scan_cell_pruned, CellScanStats, TestPruner, PRUNE_SLACK_ABS,
+    PRUNE_SLACK_REL,
+};
 pub use score::{label_for, score_neighbors, SCORE_EPS};
-pub use select::{additional_partitions, additional_partitions_into};
+pub use select::{
+    additional_partitions, additional_partitions_into, additional_partitions_pruned_into,
+};
 pub use soa::{
     from_labeled, from_unlabeled, to_labeled, to_unlabeled, ClassifyScratch, ScratchPool, VecBatch,
 };
@@ -61,4 +66,11 @@ pub mod counters {
     pub const ADDITIONAL_CLUSTERS: &str = "fastknn.additional_clusters";
     /// Tests resolved by the all-negative shortcut (observations 1–3).
     pub const SHORTCUT_SKIPS: &str = "fastknn.shortcut_skips";
+    /// Voronoi cells skipped wholesale by the annulus bound (lossless).
+    pub const PRUNE_CELLS_SKIPPED: &str = "fastknn.prune_cells_skipped";
+    /// Cell residents rejected by the triangle-inequality window (lossless).
+    pub const PRUNE_BOUND_REJECTED: &str = "fastknn.prune_bound_rejected";
+    /// Distance evaluations avoided: bound-rejected residents plus the
+    /// populations of wholesale-skipped cells.
+    pub const PRUNE_EVALS_AVOIDED: &str = "fastknn.prune_evals_avoided";
 }

@@ -10,9 +10,32 @@
 //! The membership test compares in squared space: `d² ≤ (dcp_i + f(θ))²`
 //! avoids a `sqrt` per (test pair × cluster) probe. Radii stay linear —
 //! they feed the Eq. 6-driven `f(θ)` arithmetic of [`TestPruner::learn_f_theta`].
+//!
+//! # Candidate pruning ([`scan_cell_pruned`])
+//!
+//! Besides §4.3.4's *test-set* pruning above, this module hosts the
+//! *candidate* pruning engine: the triangle-inequality window scan over a
+//! Voronoi cell whose residents are sorted by distance-to-centre (see
+//! [`crate::voronoi::VoronoiPartition::center_dists`]). For a query `s`
+//! with `d(s, c)` to the cell centre and a running k-th-neighbour cutoff
+//! `kth`, any resident `x` satisfies
+//!
+//! ```text
+//! d(s, x) ≥ |d(s, c) − d(x, c)|
+//! ```
+//!
+//! so residents with `d(x, c)` outside `[d(s, c) − kth, d(s, c) + kth]`
+//! cannot enter the neighbourhood and are skipped without computing their
+//! distance. The scan walks outward from `s`'s insertion point in the
+//! sorted distances, block by block, re-tightening the window as admitted
+//! candidates shrink the cutoff — **lossless** because (a) the bound is
+//! exact mathematics slackened by [`PRUNE_SLACK_REL`] against float
+//! rounding, so equality ties (which the total-order top-k breaks by id)
+//! always stay inside the window, and (b) the neighbourhood is a function
+//! of the candidate *set*, never of evaluation order.
 
-use crate::soa::{distances_to_point, VecBatch};
-use crate::types::{LabeledPair, UnlabeledPair, PAIR_DIMS};
+use crate::soa::{distances_to_point, distances_to_point_range, VecBatch};
+use crate::types::{LabeledPair, Neighborhood, UnlabeledPair, PAIR_DIMS};
 use mlcore::kmeans::KMeans;
 use simmetrics::{euclidean_fixed, squared_euclidean_fixed};
 
@@ -165,6 +188,127 @@ impl<const D: usize> TestPruner<D> {
         }
         let pruned = test.len() - kept.len();
         (kept, pruned)
+    }
+}
+
+/// Relative slack applied to the admissible window radius: float rounding
+/// in the `sqrt`s and squared-distance sums is bounded by a few ulps, so a
+/// `1e-9` relative margin can never wrongly prune — in particular a
+/// candidate at *exactly* the cutoff distance (whose smaller id could still
+/// displace the current k-th neighbour) always survives.
+pub const PRUNE_SLACK_REL: f64 = 1e-9;
+/// Absolute slack floor for the admissible window (guards tiny magnitudes).
+pub const PRUNE_SLACK_ABS: f64 = 1e-12;
+
+/// Rows evaluated per ranged-kernel call inside [`scan_cell_pruned`]: large
+/// enough to amortize kernel dispatch and keep SIMD lanes full, small
+/// enough that the cutoff re-tightens frequently while scanning a big cell.
+const SCAN_BLOCK: usize = 64;
+
+/// Outcome counts of one pruned cell scan.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CellScanStats {
+    /// Residents whose distance to the query was actually computed.
+    pub evaluated: u64,
+    /// Residents skipped because their triangle-inequality lower bound
+    /// exceeded the (slackened) cutoff — distance evaluations avoided.
+    pub bound_rejected: u64,
+}
+
+/// The admissible window radius around `d(s, c)` for cutoff `cutoff_sq`:
+/// `kth` plus the float-rounding slack. `+∞` cutoff ⇒ `+∞` radius (no
+/// pruning until the neighbourhood fills).
+#[inline]
+pub fn admissible_radius(ds: f64, cutoff_sq: f64) -> f64 {
+    if cutoff_sq == f64::INFINITY {
+        return f64::INFINITY;
+    }
+    let kth = cutoff_sq.sqrt();
+    kth + PRUNE_SLACK_REL * (ds + kth) + PRUNE_SLACK_ABS
+}
+
+/// Scan one sorted Voronoi cell into `hood`, skipping residents whose
+/// triangle-inequality lower bound beats the running cutoff.
+///
+/// * `center_dists` — the cell's sorted linear distances-to-centre
+///   (parallel to its rows). If its length does not match the cell (a
+///   hand-assembled partition without metadata), the scan falls back to a
+///   full unpruned sweep.
+/// * `ds` — linear distance from the query to this cell's centre.
+/// * `initial_cutoff_sq` — an externally-known squared cutoff (a stage-1
+///   k-th distance carried to a stage-2 probe); `+∞` when none. The
+///   effective cutoff at any instant is
+///   `min(initial_cutoff_sq, hood.kth_distance_sq())` and only tightens.
+///
+/// The resulting `hood` is **bit-identical** to pushing every resident:
+/// skipped residents provably cannot enter the top-k (strictly farther
+/// than k admitted candidates, even accounting for the id tie-break), and
+/// push order is irrelevant to the total-order neighbourhood. `dists` is
+/// reused scratch for the ranged kernel.
+pub fn scan_cell_pruned<const D: usize>(
+    cell: &VecBatch<D>,
+    center_dists: &[f64],
+    query: &[f64; D],
+    ds: f64,
+    initial_cutoff_sq: f64,
+    hood: &mut Neighborhood,
+    dists: &mut Vec<f64>,
+) -> CellScanStats {
+    let n = cell.len();
+    let mut stats = CellScanStats::default();
+    if n == 0 {
+        return stats;
+    }
+    if center_dists.len() != n {
+        distances_to_point(cell, query, dists);
+        for (j, &d_sq) in dists.iter().enumerate() {
+            hood.push_sq(d_sq, cell.id(j), cell.label(j));
+        }
+        stats.evaluated = n as u64;
+        return stats;
+    }
+    // Walk outward from the query's insertion point in the sorted
+    // distances: candidates with the smallest lower bound first, so the
+    // cutoff tightens as fast as possible.
+    let mut right = center_dists.partition_point(|&cd| cd < ds);
+    let mut left = right; // next left candidate is `left - 1`
+    loop {
+        let cutoff = initial_cutoff_sq.min(hood.kth_distance_sq());
+        let r = admissible_radius(ds, cutoff);
+        let left_ok = left > 0 && ds - center_dists[left - 1] <= r;
+        let right_ok = right < n && center_dists[right] - ds <= r;
+        if !left_ok && !right_ok {
+            // Bounds on each side grow monotonically outward and the cutoff
+            // only tightens, so everything unvisited stays excluded.
+            stats.bound_rejected += (left + (n - right)) as u64;
+            return stats;
+        }
+        let take_left = match (left_ok, right_ok) {
+            (true, false) => true,
+            (false, true) => false,
+            _ => ds - center_dists[left - 1] <= center_dists[right] - ds,
+        };
+        if take_left {
+            let lo_limit = center_dists[..left].partition_point(|&cd| cd < ds - r);
+            let start = left.saturating_sub(SCAN_BLOCK).max(lo_limit);
+            distances_to_point_range(cell, query, start, left, dists);
+            for (off, &d_sq) in dists.iter().enumerate() {
+                let j = start + off;
+                hood.push_sq(d_sq, cell.id(j), cell.label(j));
+            }
+            stats.evaluated += (left - start) as u64;
+            left = start;
+        } else {
+            let hi_limit = right + center_dists[right..].partition_point(|&cd| cd <= ds + r);
+            let end = (right + SCAN_BLOCK).min(hi_limit);
+            distances_to_point_range(cell, query, right, end, dists);
+            for (off, &d_sq) in dists.iter().enumerate() {
+                let j = right + off;
+                hood.push_sq(d_sq, cell.id(j), cell.label(j));
+            }
+            stats.evaluated += (end - right) as u64;
+            right = end;
+        }
     }
 }
 
@@ -366,5 +510,140 @@ mod tests {
     #[should_panic(expected = "requires positive")]
     fn no_positives_rejected() {
         let _ = TestPruner::<2>::build(&[], 2, 1);
+    }
+
+    mod cell_scan {
+        use super::super::*;
+        use proptest::prelude::*;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        /// A sorted cell + center_dists, the way `VoronoiPartition::build`
+        /// lays them out.
+        fn sorted_cell(
+            rows: &[(u64, [f64; 4], bool)],
+            center: &[f64; 4],
+        ) -> (VecBatch<4>, Vec<f64>) {
+            let mut cell = VecBatch::<4>::new();
+            for (id, v, lab) in rows {
+                cell.push(*id, v, *lab);
+            }
+            let mut d2 = Vec::new();
+            distances_to_point(&cell, center, &mut d2);
+            let mut idx: Vec<usize> = (0..cell.len()).collect();
+            idx.sort_unstable_by(|&a, &b| {
+                d2[a]
+                    .total_cmp(&d2[b])
+                    .then_with(|| cell.id(a).cmp(&cell.id(b)))
+            });
+            let sorted = cell.gather(&idx);
+            let cds: Vec<f64> = idx.iter().map(|&i| d2[i].sqrt()).collect();
+            (sorted, cds)
+        }
+
+        #[test]
+        fn missing_metadata_falls_back_to_full_sweep() {
+            let rows: Vec<(u64, [f64; 4], bool)> = (0..20)
+                .map(|i| (i, [i as f64 * 0.1, 0.0, 0.0, 0.0], false))
+                .collect();
+            let (cell, _) = sorted_cell(&rows, &[0.0; 4]);
+            let q = [0.5, 0.0, 0.0, 0.0];
+            let mut hood = Neighborhood::new(3);
+            let mut dists = Vec::new();
+            let stats = scan_cell_pruned(&cell, &[], &q, 0.5, f64::INFINITY, &mut hood, &mut dists);
+            assert_eq!(stats.evaluated, 20);
+            assert_eq!(stats.bound_rejected, 0);
+            let mut full = Neighborhood::new(3);
+            for i in 0..cell.len() {
+                full.push_sq(
+                    squared_euclidean_fixed(&q, &cell.row(i)),
+                    cell.id(i),
+                    cell.label(i),
+                );
+            }
+            assert_eq!(hood, full);
+        }
+
+        proptest! {
+            /// The tentpole contract: the pruned windowed scan merged with
+            /// any externally-derived cutoff neighbourhood is bit-identical
+            /// to the fully-swept equivalent, and every resident is either
+            /// evaluated or bound-rejected.
+            #[test]
+            fn pruned_scan_is_lossless(
+                seed in 0u64..5_000,
+                n_cell in 0usize..200,
+                n_ext in 0usize..40,
+                k in 1usize..12,
+            ) {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let center: [f64; 4] = std::array::from_fn(|_| rng.gen_range(0.0..1.0));
+                let rows: Vec<(u64, [f64; 4], bool)> = (0..n_cell)
+                    .map(|i| {
+                        let v: [f64; 4] = std::array::from_fn(|_| rng.gen_range(0.0..1.0));
+                        (1000 + i as u64, v, rng.gen_bool(0.2))
+                    })
+                    .collect();
+                let (cell, cds) = sorted_cell(&rows, &center);
+                let q: [f64; 4] = std::array::from_fn(|_| rng.gen_range(0.0..1.0));
+                let ds = squared_euclidean_fixed(&q, &center).sqrt();
+                // External candidates stand in for a stage-1 neighbourhood
+                // whose k-th distance seeds the stage-2 cutoff.
+                let mut ext = Neighborhood::new(k);
+                for i in 0..n_ext {
+                    let v: [f64; 4] = std::array::from_fn(|_| rng.gen_range(0.0..1.0));
+                    ext.push_sq(squared_euclidean_fixed(&q, &v), i as u64, rng.gen_bool(0.1));
+                }
+                let cutoff = ext.kth_distance_sq();
+                let mut scanned = Neighborhood::new(k);
+                let mut dists = Vec::new();
+                let stats =
+                    scan_cell_pruned(&cell, &cds, &q, ds, cutoff, &mut scanned, &mut dists);
+                prop_assert_eq!(stats.evaluated + stats.bound_rejected, n_cell as u64);
+                // Ground truth: push everything, no pruning anywhere.
+                let mut full = ext.clone();
+                for i in 0..cell.len() {
+                    full.push_sq(
+                        squared_euclidean_fixed(&q, &cell.row(i)),
+                        cell.id(i),
+                        cell.label(i),
+                    );
+                }
+                prop_assert_eq!(ext.merge(scanned), full);
+            }
+
+            /// With no external cutoff the scanned neighbourhood alone is
+            /// bit-identical to the full sweep (the stage-1 intra case).
+            #[test]
+            fn pruned_scan_alone_matches_full_sweep(
+                seed in 0u64..5_000,
+                n_cell in 0usize..200,
+                k in 1usize..12,
+            ) {
+                let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+                let center: [f64; 4] = std::array::from_fn(|_| rng.gen_range(0.0..1.0));
+                let rows: Vec<(u64, [f64; 4], bool)> = (0..n_cell)
+                    .map(|i| {
+                        let v: [f64; 4] = std::array::from_fn(|_| rng.gen_range(0.0..1.0));
+                        (i as u64, v, false)
+                    })
+                    .collect();
+                let (cell, cds) = sorted_cell(&rows, &center);
+                let q: [f64; 4] = std::array::from_fn(|_| rng.gen_range(0.0..1.0));
+                let ds = squared_euclidean_fixed(&q, &center).sqrt();
+                let mut scanned = Neighborhood::new(k);
+                let mut dists = Vec::new();
+                scan_cell_pruned(&cell, &cds, &q, ds, f64::INFINITY, &mut scanned, &mut dists);
+                let mut full = Neighborhood::new(k);
+                for i in 0..cell.len() {
+                    full.push_sq(
+                        squared_euclidean_fixed(&q, &cell.row(i)),
+                        cell.id(i),
+                        cell.label(i),
+                    );
+                }
+                prop_assert_eq!(scanned, full);
+            }
+        }
     }
 }

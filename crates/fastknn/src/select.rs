@@ -17,7 +17,9 @@
 //! test compares squares directly, and a single root is taken only when the
 //! Eq. 7 hyperplane comparison — a linear distance — is actually needed.
 
-use crate::voronoi::hyperplane_distance;
+use crate::prune::admissible_radius;
+use crate::voronoi::{hyperplane_distance, VoronoiPartition};
+use simmetrics::squared_euclidean_fixed;
 
 /// Algorithm 1. Returns the indices of additional clusters to search;
 /// an empty result with `kth_distance_sq <= min_positive_distance_sq` means
@@ -76,6 +78,58 @@ pub fn additional_partitions_into<const D: usize>(
             out.push(j);
         }
     }
+}
+
+/// Algorithm 1 with an additional **annulus bound** per surviving cell:
+/// every resident of cell `j` lies in the annulus
+/// `d(x, p_j) ∈ [lo_j, hi_j]` recorded by
+/// [`VoronoiPartition::cell_radius_bounds`], so by the triangle inequality
+/// `d(s, x) ≥ max(d(s, p_j) − hi_j, lo_j − d(s, p_j))`. Cells whose bound
+/// exceeds the (slackened) k-th-neighbour cutoff are skipped **wholesale**
+/// even when Eq. 7's hyperplane test would probe them — the hyperplane
+/// bound knows only the cell's half-space, not how far its actual members
+/// sit from the centre.
+///
+/// Returns `(cells skipped, residents those cells held)` — the second
+/// component is exactly the distance evaluations the wholesale skips
+/// avoided. Selection is lossless for the same reason the window scan is: a
+/// skipped cell's residents are all strictly farther than k known
+/// candidates (slack keeps equality ties). Cells without radius metadata
+/// fall back to the plain hyperplane test.
+pub fn additional_partitions_pruned_into<const D: usize>(
+    s: &[f64; D],
+    assigned: usize,
+    kth_distance_sq: f64,
+    min_positive_distance_sq: f64,
+    partition: &VoronoiPartition<D>,
+    out: &mut Vec<usize>,
+) -> (u64, u64) {
+    out.clear();
+    if kth_distance_sq <= min_positive_distance_sq {
+        return (0, 0);
+    }
+    let kth_distance = kth_distance_sq.sqrt();
+    let pi = &partition.centers[assigned];
+    let mut skipped = 0u64;
+    let mut residents = 0u64;
+    for (j, pj) in partition.centers.iter().enumerate() {
+        if j == assigned {
+            continue;
+        }
+        if kth_distance > hyperplane_distance(s, pi, pj) {
+            if let Some((lo, hi)) = partition.cell_radius_bounds(j) {
+                let dsj = squared_euclidean_fixed(s, pj).sqrt();
+                let r = admissible_radius(dsj, kth_distance_sq);
+                if dsj - hi > r || lo - dsj > r {
+                    skipped += 1;
+                    residents += partition.negative_clusters[j].len() as u64;
+                    continue;
+                }
+            }
+            out.push(j);
+        }
+    }
+    (skipped, residents)
 }
 
 #[cfg(test)]
@@ -138,7 +192,74 @@ mod tests {
         assert_eq!(out, vec![1]);
     }
 
+    #[test]
+    fn annulus_selection_is_a_subset_of_hyperplane_selection() {
+        use crate::types::LabeledPair;
+        let mut train = Vec::new();
+        for i in 0..40 {
+            let t = i as f64 * 0.02;
+            train.push(LabeledPair::new(i, [t, t], false));
+            train.push(LabeledPair::new(100 + i, [6.0 + t, 6.0 - t], false));
+            train.push(LabeledPair::new(200 + i, [12.0, t], false));
+        }
+        let vp = VoronoiPartition::build(&train, 3, 5);
+        let s = [0.2, 0.2];
+        let assigned = vp.assign(&s);
+        for kth in [0.5f64, 2.0, 7.0, 50.0] {
+            let plain = additional_partitions(&s, assigned, kth * kth, 0.0, &vp.centers);
+            let mut pruned = Vec::new();
+            let (skipped, residents) =
+                additional_partitions_pruned_into(&s, assigned, kth * kth, 0.0, &vp, &mut pruned);
+            assert!(pruned.iter().all(|c| plain.contains(c)));
+            assert_eq!(plain.len(), pruned.len() + skipped as usize);
+            let selected_residents: usize =
+                pruned.iter().map(|&c| vp.negative_clusters[c].len()).sum();
+            let plain_residents: usize = plain.iter().map(|&c| vp.negative_clusters[c].len()).sum();
+            assert_eq!(plain_residents, selected_residents + residents as usize);
+        }
+    }
+
     proptest! {
+        /// Annulus-pruned selection stays sound on built partitions: a cell
+        /// holding a resident strictly inside the neighbourhood is never
+        /// skipped.
+        #[test]
+        fn annulus_pruning_never_skips_a_cell_with_a_closer_resident(
+            seed in 0u64..2_000,
+            s in prop::collection::vec(0.0f64..1.0, 2),
+            kth in 0.05f64..1.5,
+        ) {
+            use crate::types::LabeledPair;
+            use rand::rngs::StdRng;
+            use rand::{Rng, SeedableRng};
+            let mut rng = StdRng::seed_from_u64(seed);
+            let train: Vec<LabeledPair<2>> = (0..120)
+                .map(|i| {
+                    let v = [rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)];
+                    LabeledPair::new(i, v, false)
+                })
+                .collect();
+            let vp = VoronoiPartition::build(&train, 4, seed);
+            let s: [f64; 2] = s.try_into().unwrap();
+            let assigned = vp.assign(&s);
+            let mut selected = Vec::new();
+            additional_partitions_pruned_into(
+                &s, assigned, kth * kth, 0.0, &vp, &mut selected);
+            for (j, cell) in vp.negative_clusters.iter().enumerate() {
+                if j == assigned {
+                    continue;
+                }
+                let holds_closer = (0..cell.len())
+                    .any(|r| euclidean(&s, &cell.row(r)) < kth);
+                if holds_closer {
+                    prop_assert!(
+                        selected.contains(&j),
+                        "cell {j} holds a resident closer than kth {kth} but was pruned"
+                    );
+                }
+            }
+        }
+
         /// Soundness of the pruning rule: if a point x in cell j is closer
         /// to s than kth_distance, then j MUST be selected.
         #[test]

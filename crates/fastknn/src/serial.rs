@@ -13,8 +13,9 @@
 //! [`ClassifyScratch`] — after warm-up it performs **zero heap allocation**
 //! (pinned by the `zero_alloc` integration test).
 
+use crate::prune::scan_cell_pruned;
 use crate::score::{label_for, score_neighbors};
-use crate::select::additional_partitions_into;
+use crate::select::additional_partitions_pruned_into;
 use crate::soa::{distances_to_point, from_unlabeled, ClassifyScratch, VecBatch};
 use crate::types::{LabeledPair, Neighborhood, ScoredPair, UnlabeledPair};
 use crate::voronoi::VoronoiPartition;
@@ -94,10 +95,15 @@ pub fn classify_batch<const D: usize>(
         let assigned = partition.assign(&v);
         hood.reset(k);
         let cell = &partition.negative_clusters[assigned];
-        distances_to_point(cell, &v, dists);
-        for (j, &d_sq) in dists.iter().enumerate() {
-            hood.push_sq(d_sq, cell.id(j), cell.label(j));
-        }
+        // Triangle-inequality window scan over the sorted cell — the hood
+        // it fills is bit-identical to pushing every resident.
+        let ds = squared_euclidean_fixed(&v, &partition.centers[assigned]).sqrt();
+        let cds = partition
+            .center_dists
+            .get(assigned)
+            .map(|c| c.as_slice())
+            .unwrap_or(&[]);
+        scan_cell_pruned(cell, cds, &v, ds, f64::INFINITY, hood, dists);
         // Algorithm 1 line 2: d(s, s_k) over the intra-cluster neighbours
         // only, BEFORE merging the positives.
         let intra_kth_sq = hood.kth_distance_sq();
@@ -109,20 +115,26 @@ pub fn classify_batch<const D: usize>(
         }
         let shortcut = intra_kth_sq <= min_pos_sq;
         if !shortcut {
-            additional_partitions_into(
+            additional_partitions_pruned_into(
                 &v,
                 assigned,
                 intra_kth_sq,
                 min_pos_sq,
-                &partition.centers,
+                partition,
                 extra,
             );
             for &cid in extra.iter() {
                 let cell = &partition.negative_clusters[cid];
-                distances_to_point(cell, &v, dists);
-                for (j, &d_sq) in dists.iter().enumerate() {
-                    hood.push_sq(d_sq, cell.id(j), cell.label(j));
-                }
+                let ds = squared_euclidean_fixed(&v, &partition.centers[cid]).sqrt();
+                let cds = partition
+                    .center_dists
+                    .get(cid)
+                    .map(|c| c.as_slice())
+                    .unwrap_or(&[]);
+                // The cross-cell scan inherits the running cutoff: the hood
+                // already holds the intra candidates and positives, so
+                // hood.kth alone tightens the window.
+                scan_cell_pruned(cell, cds, &v, ds, f64::INFINITY, hood, dists);
             }
         }
         let score = score_neighbors(hood);

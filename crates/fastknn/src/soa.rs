@@ -13,7 +13,8 @@
 //!   task to the shared `Fn` closures of the distributed classifier.
 
 pub use simmetrics::soa::{
-    assign_min, distances_block, distances_to_point, VecBatch, TILE_COLS, TILE_ROWS,
+    assign_min, distances_block, distances_to_point, distances_to_point_range, VecBatch, TILE_COLS,
+    TILE_ROWS,
 };
 
 use crate::types::{LabeledPair, Neighborhood, UnlabeledPair};

@@ -10,8 +10,9 @@
 //!   layout mirrors the SoA layout, no re-rowifying.
 //! * `(cluster id, UnlabeledPair)` — stage-1 test-pair assignment shuffle.
 //!   Fixed width; [`UnlabeledPair`] implements [`FixedBytes`] here.
-//! * `(cluster id, (id, vector))` — stage-2 probe shuffle. Fixed width via
-//!   the tuple/array [`FixedBytes`] impls.
+//! * `(cluster id, (id, vector, kth²))` — stage-2 probe shuffle, carrying
+//!   the stage-1 k-th-neighbour cutoff. Fixed width via the tuple/array
+//!   [`FixedBytes`] impls.
 //! * `(test id, Neighborhood)` — the top-k merge shuffle. Variable length
 //!   (a neighbourhood holds up to `k` entries), so it gets an explicit
 //!   codec; entries are written sorted and reloaded verbatim.
@@ -43,7 +44,7 @@ impl<const D: usize> FixedBytes for UnlabeledPair<D> {
 /// Register the classifier's spill codecs on a cluster's disk tier.
 pub fn register_spill_codecs<const D: usize>(spill: &SpillManager) {
     spill.register_fixed::<(usize, UnlabeledPair<D>)>();
-    spill.register_fixed::<(usize, (u64, [f64; D]))>();
+    spill.register_fixed::<(usize, (u64, [f64; D], f64))>();
     spill.register_codec::<(u64, Neighborhood), _, _>(encode_hoods, decode_hoods);
     spill.register_codec::<(usize, Arc<VecBatch<D>>), _, _>(encode_cells::<D>, decode_cells::<D>);
 }
@@ -155,8 +156,19 @@ mod tests {
     #[test]
     fn probes_round_trip() {
         let m = mgr();
-        let data: Vec<(usize, (u64, [f64; 4]))> = (0..20)
-            .map(|i| (i, (1000 + i as u64, [0.25 * i as f64; 4])))
+        // Probe payload: (target cell, (test id, vector, stage-1 kth²)).
+        // The cutoff must survive bit-exactly — including +∞ (prune off or
+        // fewer than k stage-1 neighbours).
+        type Probe = (usize, (u64, [f64; 4], f64));
+        let data: Vec<Probe> = (0..20)
+            .map(|i: usize| {
+                let kth = if i.is_multiple_of(3) {
+                    f64::INFINITY
+                } else {
+                    0.125 * i as f64
+                };
+                (i, (1000 + i as u64, [0.25 * i as f64; 4], kth))
+            })
             .collect();
         assert_eq!(round_trip(&m, data.clone()), data);
     }

@@ -1,7 +1,7 @@
 //! Voronoi partitioning of the training pairs (§4.3.1) and the
 //! hyperplane-distance bound of Eq. 7.
 
-use crate::soa::{assign_min, VecBatch};
+use crate::soa::{assign_min, distances_to_point, VecBatch};
 use crate::types::{LabeledPair, PAIR_DIMS};
 use mlcore::kmeans::{nearest_centroid, KMeans};
 use simmetrics::{euclidean_fixed, squared_euclidean_fixed};
@@ -19,7 +19,20 @@ pub struct VoronoiPartition<const D: usize = PAIR_DIMS> {
     /// Cluster centres `p_1 … p_b`.
     pub centers: Vec<[f64; D]>,
     /// Negative training pairs per cluster, one column batch per cell.
+    ///
+    /// After [`VoronoiPartition::build`], each cell's rows are sorted by
+    /// `(distance-to-centre, id)` so the triangle-inequality window scan in
+    /// [`crate::prune::scan_cell_pruned`] is a pair of binary searches plus
+    /// an early-exit sweep. Resident order within a cell never affects
+    /// classification (the neighbourhood is a total-order top-k over the
+    /// candidate *set*), so the sort is lossless.
     pub negative_clusters: Vec<VecBatch<D>>,
+    /// Per cell, the **linear** distance of each resident to its own centre,
+    /// parallel to the (sorted) cell rows — ascending by construction.
+    /// Empty cells have empty lists. Maintained by `build`; callers that
+    /// assemble a partition by hand (tests) may leave lists empty, which
+    /// simply disables windowed pruning for those cells.
+    pub center_dists: Vec<Vec<f64>>,
     /// All positive training pairs (global), as one column batch.
     pub positives: VecBatch<D>,
 }
@@ -81,10 +94,48 @@ impl<const D: usize> VoronoiPartition<D> {
         let mut partition = VoronoiPartition {
             centers: model.centroids,
             negative_clusters,
+            center_dists: Vec::new(),
             positives,
         };
         partition.rebalance();
+        partition.sort_cells_by_center_distance();
         partition
+    }
+
+    /// Sort each cell's residents by `(distance-to-centre, id)` and record
+    /// the sorted linear distances in [`VoronoiPartition::center_dists`].
+    ///
+    /// Runs after [`VoronoiPartition::rebalance`] so cell *membership* is
+    /// untouched — only intra-cell row order changes, which classification
+    /// cannot observe (candidate sets per cell are identical and the
+    /// neighbourhood top-k is insertion-order-independent).
+    fn sort_cells_by_center_distance(&mut self) {
+        self.center_dists = Vec::with_capacity(self.negative_clusters.len());
+        let mut d2: Vec<f64> = Vec::new();
+        let mut idx: Vec<usize> = Vec::new();
+        for (cid, cell) in self.negative_clusters.iter_mut().enumerate() {
+            distances_to_point(cell, &self.centers[cid], &mut d2);
+            idx.clear();
+            idx.extend(0..cell.len());
+            idx.sort_unstable_by(|&a, &b| {
+                d2[a]
+                    .total_cmp(&d2[b])
+                    .then_with(|| cell.id(a).cmp(&cell.id(b)))
+            });
+            *cell = cell.gather(&idx);
+            self.center_dists
+                .push(idx.iter().map(|&i| d2[i].sqrt()).collect());
+        }
+    }
+
+    /// `(min, max)` resident-to-centre linear distance of a cell, when the
+    /// cell is non-empty and its distance metadata is present.
+    pub fn cell_radius_bounds(&self, cid: usize) -> Option<(f64, f64)> {
+        let cds = self.center_dists.get(cid)?;
+        match (cds.first(), cds.last()) {
+            (Some(&lo), Some(&hi)) => Some((lo, hi)),
+            _ => None,
+        }
     }
 
     /// Split oversized cells into sibling chunks that share a centre.
@@ -326,6 +377,7 @@ mod tests {
         let dup = VoronoiPartition::<2> {
             centers: vec![[0.0, 0.0], [0.0, 0.0], [5.0, 5.0]],
             negative_clusters: vec![VecBatch::new(), VecBatch::new(), VecBatch::new()],
+            center_dists: Vec::new(),
             positives: VecBatch::new(),
         };
         let a = dup.assign_balanced(&[0.1, 0.0], 0);
@@ -341,6 +393,32 @@ mod tests {
         assert!(d2.sqrt() < 0.05, "got {}", d2.sqrt());
         let none = VoronoiPartition::build(&[LabeledPair::new(0, [0.0], false)], 1, 1);
         assert_eq!(none.min_positive_distance_sq(&[0.0]), f64::INFINITY);
+    }
+
+    #[test]
+    fn cells_are_sorted_by_center_distance_with_id_tiebreak() {
+        let vp = VoronoiPartition::build(&make_train(), 3, 7);
+        assert_eq!(vp.center_dists.len(), vp.negative_clusters.len());
+        for (cid, cell) in vp.negative_clusters.iter().enumerate() {
+            let cds = &vp.center_dists[cid];
+            assert_eq!(cds.len(), cell.len());
+            for (r, cd) in cds.iter().enumerate() {
+                let want = euclidean(&cell.row(r), &vp.centers[cid]);
+                assert_eq!(cd.to_bits(), want.to_bits(), "stale distance");
+            }
+            for w in 0..cell.len().saturating_sub(1) {
+                assert!(
+                    cds[w] < cds[w + 1] || (cds[w] == cds[w + 1] && cell.id(w) < cell.id(w + 1)),
+                    "cell {cid} not sorted by (distance, id) at row {w}"
+                );
+            }
+            if let Some((lo, hi)) = vp.cell_radius_bounds(cid) {
+                assert_eq!(lo.to_bits(), cds[0].to_bits());
+                assert_eq!(hi.to_bits(), cds[cell.len() - 1].to_bits());
+            } else {
+                assert!(cell.is_empty());
+            }
+        }
     }
 
     #[test]
@@ -388,6 +466,7 @@ mod tests {
             let v: [f64; 2] = v.try_into().unwrap();
             let vp = VoronoiPartition::<2> {
                 negative_clusters: vec![VecBatch::new(); centers.len()],
+                center_dists: Vec::new(),
                 positives: VecBatch::new(),
                 centers,
             };
@@ -419,6 +498,7 @@ mod tests {
                 centers.into_iter().map(|c| c.try_into().unwrap()).collect();
             let vp = VoronoiPartition::<2> {
                 negative_clusters: vec![VecBatch::new(); centers.len()],
+                center_dists: Vec::new(),
                 positives: VecBatch::new(),
                 centers,
             };

@@ -37,8 +37,9 @@ pub use hamming::hamming;
 pub use jaro::{jaro, jaro_winkler};
 pub use levenshtein::{damerau_levenshtein, levenshtein, normalized_levenshtein};
 pub use sorted::{
-    cosine_tokens_sorted, dice_sorted, intersection_size_sorted, jaccard_distance_sorted,
-    jaccard_similarity_sorted, overlap_coefficient_sorted,
+    cosine_tokens_sorted, dice_sorted, intersect_gallop_into, intersection_size_sorted,
+    jaccard_distance_sorted, jaccard_similarity_sorted, overlap_coefficient_sorted,
+    union_k_sorted_into,
 };
 pub use token::{cosine_tokens, dice, jaccard_distance, jaccard_similarity, overlap_coefficient};
 pub use vector::{

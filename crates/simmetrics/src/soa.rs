@@ -278,10 +278,29 @@ impl<const D: usize> VecBatch<D> {
 /// ascending-dimension: bit-identical to
 /// [`squared_euclidean_fixed`](crate::squared_euclidean_fixed).
 pub fn distances_to_point<const D: usize>(points: &VecBatch<D>, q: &[f64; D], out: &mut Vec<f64>) {
-    let n = points.len();
+    distances_to_point_range(points, q, 0, points.len(), out);
+}
+
+/// [`distances_to_point`] restricted to rows `start..end`: `out` is resized
+/// to `end - start` and `out[i]` is the squared distance from row
+/// `start + i` to `q`.
+///
+/// Same per-row ascending-dimension accumulation as the full kernel, so the
+/// value computed for a row is **position-independent** — bit-identical to
+/// what the full kernel would produce at that row. This is what lets the
+/// pruning engine evaluate only the admissible window of a sorted Voronoi
+/// cell without perturbing kNN results.
+pub fn distances_to_point_range<const D: usize>(
+    points: &VecBatch<D>,
+    q: &[f64; D],
+    start: usize,
+    end: usize,
+    out: &mut Vec<f64>,
+) {
+    debug_assert!(start <= end && end <= points.len());
     out.clear();
-    out.resize(n, 0.0);
-    let cols: [&[f64]; D] = std::array::from_fn(|d| &points.col(d)[..n]);
+    out.resize(end - start, 0.0);
+    let cols: [&[f64]; D] = std::array::from_fn(|d| &points.col(d)[start..end]);
     for (i, acc) in out.iter_mut().enumerate() {
         let mut a = 0.0;
         for (col, &qd) in cols.iter().zip(q.iter()) {
@@ -674,6 +693,35 @@ mod tests {
                 }
                 prop_assert_eq!(idx[i] as usize, best.0);
                 prop_assert_eq!(d2[i].to_bits(), best.1.to_bits());
+            }
+        }
+
+        /// The ranged kernel is bit-identical to the corresponding window of
+        /// the full kernel for every sub-range — what makes windowed pruning
+        /// scans lossless.
+        #[test]
+        fn ranged_kernel_matches_full_kernel_windows(
+            seed in 0u64..10_000,
+            n_pts in 0usize..80,
+            bounds in (0usize..81, 0usize..81),
+        ) {
+            use rand::rngs::StdRng;
+            use rand::{Rng, SeedableRng};
+            let mut rng = StdRng::seed_from_u64(seed);
+            let pts: Vec<[f64; 4]> = (0..n_pts)
+                .map(|_| std::array::from_fn(|_| rng.gen_range(-100.0..100.0)))
+                .collect();
+            let q: [f64; 4] = std::array::from_fn(|_| rng.gen_range(-100.0..100.0));
+            let points = VecBatch::<4>::from_rows(&pts);
+            let (lo, hi) = (bounds.0.min(n_pts), bounds.1.min(n_pts));
+            let (start, end) = (lo.min(hi), lo.max(hi));
+            let mut full = Vec::new();
+            distances_to_point(&points, &q, &mut full);
+            let mut window = Vec::new();
+            distances_to_point_range(&points, &q, start, end, &mut window);
+            prop_assert_eq!(window.len(), end - start);
+            for (i, w) in window.iter().enumerate() {
+                prop_assert_eq!(w.to_bits(), full[start + i].to_bits());
             }
         }
     }

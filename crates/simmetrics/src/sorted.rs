@@ -82,6 +82,91 @@ pub fn cosine_tokens_sorted<T: Ord>(a: &[T], b: &[T]) -> f64 {
     intersection_size_sorted(a, b) as f64 / ((a.len() as f64) * (b.len() as f64)).sqrt()
 }
 
+/// Exponential (galloping) search: smallest index in `a[lo..]` whose element
+/// is `>= needle`, found by doubling strides then binary-searching the last
+/// bracket. `O(log gap)` instead of `O(gap)` — the win when one list is much
+/// shorter than the other.
+#[inline]
+fn gallop_to<T: Ord>(a: &[T], lo: usize, needle: &T) -> usize {
+    let mut hi = lo + 1;
+    while hi < a.len() && a[hi] < *needle {
+        let step = hi - lo;
+        hi += step * 2;
+    }
+    let hi = hi.min(a.len());
+    // Invariant: a[lo..] may contain needle, a[..lo] is all < needle, and
+    // a[hi..] (if the gallop stopped early) is all >= some element >= needle.
+    lo + a[lo..hi].partition_point(|x| x < needle)
+}
+
+/// `A ∩ B` for sorted deduplicated slices, appended to `out`, with galloping
+/// jumps driven by the shorter list.
+///
+/// Produces the same elements as the merge walk in
+/// [`intersection_size_sorted`] but skips runs of the longer list in
+/// `O(log run)` — asymptotically `O(min·log(max/min))`, which matters for
+/// posting-list candidate generation where a new report's key list meets a
+/// hot block thousands of entries long. `out` is **not** cleared: callers
+/// accumulate into reused scratch.
+pub fn intersect_gallop_into<T: Ord + Copy>(a: &[T], b: &[T], out: &mut Vec<T>) {
+    debug_assert!(a.windows(2).all(|w| w[0] < w[1]), "lhs not sorted+deduped");
+    debug_assert!(b.windows(2).all(|w| w[0] < w[1]), "rhs not sorted+deduped");
+    // Drive from the shorter side so each probe gallops the longer one.
+    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let mut j = 0;
+    for x in short {
+        if j >= long.len() {
+            break;
+        }
+        j = gallop_to(long, j, x);
+        if j < long.len() && long[j] == *x {
+            out.push(*x);
+            j += 1;
+        }
+    }
+}
+
+/// Union of `k` sorted deduplicated lists, appended to `out` sorted and
+/// deduplicated, by k-way merge.
+///
+/// The cursor set is scanned linearly per emitted element (`O(k)` with the
+/// k's this engine sees — a report touches a handful of block keys), which
+/// beats a heap's allocation and constant factor until k is large. `out` is
+/// **not** cleared; `cursors` is caller-owned scratch (cleared and refilled)
+/// so warm calls allocate nothing.
+pub fn union_k_sorted_into<T: Ord + Copy>(
+    lists: &[&[T]],
+    cursors: &mut Vec<usize>,
+    out: &mut Vec<T>,
+) {
+    for l in lists {
+        debug_assert!(l.windows(2).all(|w| w[0] < w[1]), "list not sorted+deduped");
+    }
+    cursors.clear();
+    cursors.resize(lists.len(), 0);
+    loop {
+        // Smallest head across all non-exhausted lists.
+        let mut min: Option<T> = None;
+        for (l, &c) in lists.iter().zip(cursors.iter()) {
+            if c < l.len() {
+                let head = l[c];
+                min = Some(match min {
+                    Some(m) if m <= head => m,
+                    _ => head,
+                });
+            }
+        }
+        let Some(m) = min else { break };
+        out.push(m);
+        // Advance every cursor sitting on the emitted value (dedup for free).
+        for (l, c) in lists.iter().zip(cursors.iter_mut()) {
+            if *c < l.len() && l[*c] == m {
+                *c += 1;
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -101,6 +186,42 @@ mod tests {
         assert_eq!(intersection_size_sorted(&[1u32, 3, 5], &[2, 3, 5, 9]), 2);
         assert_eq!(intersection_size_sorted::<u32>(&[], &[]), 0);
         assert!((jaccard_similarity_sorted(&[1u32, 2, 3], &[2, 3, 4]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gallop_intersection_known_values() {
+        let mut out = Vec::new();
+        intersect_gallop_into(&[3u32, 7, 200], &(0u32..1000).collect::<Vec<_>>(), &mut out);
+        assert_eq!(out, vec![3, 7, 200]);
+        out.clear();
+        intersect_gallop_into(&[1u32, 2], &[5u32, 6], &mut out);
+        assert!(out.is_empty());
+        // Accumulates without clearing.
+        out.push(99);
+        intersect_gallop_into(&[4u32], &[4u32], &mut out);
+        assert_eq!(out, vec![99, 4]);
+    }
+
+    #[test]
+    fn union_k_known_values() {
+        let mut out = Vec::new();
+        let mut cursors = Vec::new();
+        union_k_sorted_into(
+            &[&[1u32, 4, 9][..], &[2, 4][..], &[][..], &[9, 10][..]],
+            &mut cursors,
+            &mut out,
+        );
+        assert_eq!(out, vec![1, 2, 4, 9, 10]);
+        out.clear();
+        union_k_sorted_into::<u32>(&[], &mut cursors, &mut out);
+        assert!(out.is_empty());
+    }
+
+    fn sorted_u32_set(v: &[u32]) -> Vec<u32> {
+        let mut s = v.to_vec();
+        s.sort_unstable();
+        s.dedup();
+        s
     }
 
     proptest! {
@@ -132,6 +253,45 @@ mod tests {
             prop_assert_eq!(dice_sorted(&sa, &sb), dice(&a, &b));
             prop_assert_eq!(overlap_coefficient_sorted(&sa, &sb), overlap_coefficient(&a, &b));
             prop_assert_eq!(cosine_tokens_sorted(&sa, &sb), cosine_tokens(&a, &b));
+        }
+
+        // Galloping intersection agrees element-for-element with the HashSet
+        // oracle on arbitrary (possibly wildly size-imbalanced) inputs.
+        #[test]
+        fn gallop_intersection_matches_hashset_oracle(
+            a in prop::collection::vec(0u32..64, 0..40),
+            b in prop::collection::vec(0u32..2000, 0..200),
+        ) {
+            let sa = sorted_u32_set(&a);
+            let sb = sorted_u32_set(&b);
+            let mut got = Vec::new();
+            intersect_gallop_into(&sa, &sb, &mut got);
+            let oracle: std::collections::HashSet<u32> = sa
+                .iter()
+                .filter(|x| sb.binary_search(x).is_ok())
+                .copied()
+                .collect();
+            let mut want: Vec<u32> = oracle.into_iter().collect();
+            want.sort_unstable();
+            prop_assert_eq!(got.clone(), want);
+            prop_assert_eq!(got.len(), intersection_size_sorted(&sa, &sb));
+        }
+
+        // K-way union agrees with the HashSet oracle for any list count.
+        #[test]
+        fn union_k_matches_hashset_oracle(
+            lists in prop::collection::vec(prop::collection::vec(0u32..50, 0..20), 0..6),
+        ) {
+            let sorted: Vec<Vec<u32>> = lists.iter().map(|l| sorted_u32_set(l)).collect();
+            let refs: Vec<&[u32]> = sorted.iter().map(|l| l.as_slice()).collect();
+            let mut got = Vec::new();
+            let mut cursors = Vec::new();
+            union_k_sorted_into(&refs, &mut cursors, &mut got);
+            let oracle: std::collections::HashSet<u32> =
+                lists.iter().flatten().copied().collect();
+            let mut want: Vec<u32> = oracle.into_iter().collect();
+            want.sort_unstable();
+            prop_assert_eq!(got, want);
         }
     }
 }

@@ -259,6 +259,26 @@ pub enum EventKind {
         /// Largest single chunk (records).
         max_chunk: u64,
     },
+    /// A bound-driven pruning pass ran over one unit of work (a classify
+    /// block, a detect_new round, …). Coalesced driver-side: one event per
+    /// unit, never per test pair, so journal volume stays bounded however
+    /// large the corpus. All pruning is lossless — these events record
+    /// distance evaluations *avoided*, never results changed.
+    PruneApplied {
+        /// Label of the pruned unit ("classify-block", "memo", …).
+        scope: String,
+        /// Voronoi cells skipped wholesale by the annulus bound.
+        cells_skipped: u64,
+        /// Cell residents rejected by the triangle-inequality window.
+        bound_rejected: u64,
+        /// Distance evaluations actually performed.
+        evals_done: u64,
+        /// Distance evaluations avoided (bound-rejected residents plus the
+        /// populations of wholesale-skipped cells, plus memo hits).
+        evals_avoided: u64,
+        /// Pair distances answered from the cross-call memo.
+        memo_hits: u64,
+    },
 }
 
 impl EventKind {
@@ -286,6 +306,7 @@ impl EventKind {
             EventKind::MorselStolen { .. } => "morsel_stolen",
             EventKind::WorkerIdle { .. } => "worker_idle",
             EventKind::BatchExecuted { .. } => "batch_executed",
+            EventKind::PruneApplied { .. } => "prune_applied",
         }
     }
 }
@@ -763,6 +784,67 @@ impl SpillReport {
     }
 }
 
+/// Bound-driven pruning aggregates captured into a [`JobReport`]: summed
+/// over every [`EventKind::PruneApplied`] event in the journal. Pruning is
+/// lossless by construction, so this section describes work *saved*, never
+/// results changed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PruneReport {
+    /// Pruning passes journaled (classify blocks, memo lookups, …).
+    pub passes: u64,
+    /// Voronoi cells skipped wholesale by the annulus bound.
+    pub cells_skipped: u64,
+    /// Cell residents rejected by the triangle-inequality window.
+    pub bound_rejected: u64,
+    /// Distance evaluations actually performed.
+    pub evals_done: u64,
+    /// Distance evaluations avoided.
+    pub evals_avoided: u64,
+    /// Pair distances answered from the cross-call memo.
+    pub memo_hits: u64,
+}
+
+impl PruneReport {
+    fn capture(cluster: &Cluster) -> Self {
+        let mut report = PruneReport::default();
+        for ev in cluster.journal().events() {
+            let EventKind::PruneApplied {
+                cells_skipped,
+                bound_rejected,
+                evals_done,
+                evals_avoided,
+                memo_hits,
+                ..
+            } = ev.kind
+            else {
+                continue;
+            };
+            report.passes += 1;
+            report.cells_skipped += cells_skipped;
+            report.bound_rejected += bound_rejected;
+            report.evals_done += evals_done;
+            report.evals_avoided += evals_avoided;
+            report.memo_hits += memo_hits;
+        }
+        report
+    }
+
+    /// Did any pruning pass run?
+    pub fn any(&self) -> bool {
+        self.passes > 0
+    }
+
+    /// Fraction of would-be distance evaluations avoided, in `[0, 1]`.
+    pub fn avoided_fraction(&self) -> f64 {
+        let would_be = self.evals_done + self.evals_avoided;
+        if would_be == 0 {
+            0.0
+        } else {
+            self.evals_avoided as f64 / would_be as f64
+        }
+    }
+}
+
 /// Maximum failure lines embedded in a report (the journal may hold more).
 /// Cap on the failure lines a [`JobReport`] retains (fault-injection runs
 /// can fail thousands of attempts; the report keeps the first few).
@@ -791,6 +873,10 @@ pub struct JobReport {
     /// per-executor peak-resident high-water marks (empty when the run
     /// never touched the disk tier).
     pub spill: SpillReport,
+    /// Bound-driven pruning aggregates: cells skipped, residents rejected
+    /// by the triangle-inequality window, distance evaluations avoided and
+    /// memo hits (empty when no pruning pass was journaled).
+    pub prune: PruneReport,
     /// First [`MAX_REPORT_FAILURES`] task-attempt failures, in order.
     pub failures: Vec<FailureLine>,
     /// User counters, sorted by name.
@@ -803,8 +889,9 @@ pub struct JobReport {
 
 impl JobReport {
     /// Current JSON schema version (2 added the `recovery` section, 3 the
-    /// `sched` section, 4 the `batch` section, 5 the `spill` section).
-    pub const SCHEMA_VERSION: u32 = 5;
+    /// `sched` section, 4 the `batch` section, 5 the `spill` section, 6 the
+    /// `prune` section).
+    pub const SCHEMA_VERSION: u32 = 6;
 
     /// Snapshot a cluster's clock, metrics and journal into a report.
     pub fn capture(cluster: &Cluster) -> Self {
@@ -856,6 +943,7 @@ impl JobReport {
             sched: SchedReport::capture(cluster),
             batch: BatchReport::capture(cluster),
             spill: SpillReport::capture(cluster),
+            prune: PruneReport::capture(cluster),
             recovery: RecoveryReport {
                 executors_lost: m.executors_lost.get(),
                 executors_blacklisted: m.executors_blacklisted.get(),
@@ -989,6 +1077,21 @@ impl JobReport {
             out.push_str(&p.to_string());
         }
         out.push_str("]},\n");
+        let pr = &self.prune;
+        out.push_str("  \"prune\": {");
+        out.push_str(&format!(
+            "\"passes\": {}, \"cells_skipped\": {}, \"bound_rejected\": {}, \
+             \"evals_done\": {}, \"evals_avoided\": {}, \"memo_hits\": {}, \
+             \"avoided_fraction\": {:.4}",
+            pr.passes,
+            pr.cells_skipped,
+            pr.bound_rejected,
+            pr.evals_done,
+            pr.evals_avoided,
+            pr.memo_hits,
+            pr.avoided_fraction(),
+        ));
+        out.push_str("},\n");
         out.push_str("  \"stages\": [");
         for (i, s) in self.stages.iter().enumerate() {
             if i > 0 {
@@ -1128,6 +1231,21 @@ impl fmt::Display for JobReport {
                 sp.buckets_spilled,
                 sp.cache_skipped,
                 sp.peak_resident.iter().copied().max().unwrap_or(0),
+            )?;
+        }
+        if self.prune.any() {
+            let pr = &self.prune;
+            writeln!(
+                f,
+                "prune: {} passes, {} cells skipped, {} residents bound-rejected, \
+                 {} / {} evals avoided ({:.1}%), {} memo hits",
+                pr.passes,
+                pr.cells_skipped,
+                pr.bound_rejected,
+                pr.evals_avoided,
+                pr.evals_done + pr.evals_avoided,
+                pr.avoided_fraction() * 100.0,
+                pr.memo_hits,
             )?;
         }
         if self.recovery.any() {
@@ -1318,9 +1436,14 @@ mod tests {
         .unwrap();
         let json = c.job_report().to_json();
         for key in [
-            "\"schema_version\": 5",
+            "\"schema_version\": 6",
             "\"batch\"",
             "\"dispatch_saved_us\"",
+            "\"prune\"",
+            "\"cells_skipped\"",
+            "\"evals_avoided\"",
+            "\"memo_hits\"",
+            "\"avoided_fraction\"",
             "\"spill\"",
             "\"bytes_spilled\"",
             "\"bytes_read_back\"",
@@ -1498,6 +1621,78 @@ mod tests {
         let json = report.to_json();
         assert!(json.contains("\"batch\": {\"chunks\": 6"), "{json}");
         assert!(report.to_string().contains("batch: 6 chunks"));
+    }
+
+    #[test]
+    fn prune_report_aggregates_events_and_renders() {
+        let c = Cluster::local(2);
+        c.journal().record(EventKind::PruneApplied {
+            scope: "classify-block".into(),
+            cells_skipped: 3,
+            bound_rejected: 40,
+            evals_done: 60,
+            evals_avoided: 140,
+            memo_hits: 0,
+        });
+        c.journal().record(EventKind::PruneApplied {
+            scope: "memo".into(),
+            cells_skipped: 0,
+            bound_rejected: 0,
+            evals_done: 0,
+            evals_avoided: 10,
+            memo_hits: 10,
+        });
+        let report = c.job_report();
+        let pr = &report.prune;
+        assert!(pr.any());
+        assert_eq!(pr.passes, 2);
+        assert_eq!(pr.cells_skipped, 3);
+        assert_eq!(pr.bound_rejected, 40);
+        assert_eq!(pr.evals_done, 60);
+        assert_eq!(pr.evals_avoided, 150);
+        assert_eq!(pr.memo_hits, 10);
+        assert!((pr.avoided_fraction() - 150.0 / 210.0).abs() < 1e-12);
+        let json = report.to_json();
+        assert!(json.contains("\"prune\": {\"passes\": 2"), "{json}");
+        let text = report.to_string();
+        assert!(text.contains("prune: 2 passes"), "{text}");
+        assert!(text.contains("memo hits"), "{text}");
+    }
+
+    #[test]
+    fn prune_section_stays_silent_without_events() {
+        let c = Cluster::local(1);
+        c.run_job("plain", 1, |_, _| Ok(vec![0u8])).unwrap();
+        let report = c.job_report();
+        assert!(!report.prune.any());
+        assert_eq!(report.prune.avoided_fraction(), 0.0);
+        assert!(!report.to_string().contains("prune:"));
+    }
+
+    #[test]
+    fn prune_events_at_pair_scale_keep_the_journal_bounded() {
+        // 100k-pair scale: even if a run journaled one prune event per
+        // candidate pair (it coalesces per block, but the bound must hold
+        // regardless), the buffer stops at MAX_EVENTS and the report still
+        // renders from the stored prefix with the overflow counted.
+        let c = Cluster::local(1);
+        for i in 0..(RunJournal::MAX_EVENTS as u64 + 5_000) {
+            c.journal().record(EventKind::PruneApplied {
+                scope: "pair".into(),
+                cells_skipped: 0,
+                bound_rejected: 1,
+                evals_done: 1,
+                evals_avoided: 1,
+                memo_hits: i % 2,
+            });
+        }
+        assert_eq!(c.journal().len(), RunJournal::MAX_EVENTS);
+        assert_eq!(c.journal().dropped(), 5_000);
+        let report = c.job_report();
+        assert_eq!(report.prune.passes, RunJournal::MAX_EVENTS as u64);
+        assert_eq!(report.totals.events_dropped, 5_000);
+        assert_eq!(report.totals.events, RunJournal::MAX_EVENTS as u64 + 5_000);
+        let _ = report.to_json();
     }
 
     #[test]

@@ -74,7 +74,7 @@ pub use error::{Result, SparkletError};
 pub use executor::{ExecutorInfo, ExecutorRegistry, KillOutcome};
 pub use hash::{stable_hash, SipHasher13};
 pub use journal::{
-    BatchReport, Event, EventKind, JobReport, RecoveryReport, RunJournal, SchedReport,
+    BatchReport, Event, EventKind, JobReport, PruneReport, RecoveryReport, RunJournal, SchedReport,
     WorkerUtilization,
 };
 pub use metrics::ClusterMetrics;

@@ -48,6 +48,7 @@ fn distributed_equals_serial_equals_brute_under_fault_injection() {
         c: 3,
         theta: 0.0,
         seed: 4,
+        prune: true,
     };
     let model = FastKnn::fit(&cluster, &train, knn_config).expect("fit");
     let distributed = model.classify(&test).expect("classify");
@@ -90,6 +91,7 @@ fn tiny_executor_memory_still_classifies_correctly() {
             c: 2,
             theta: 0.0,
             seed: 2,
+            prune: true,
         },
     )
     .expect("fit");
@@ -117,7 +119,7 @@ proptest! {
         let model = FastKnn::fit(
             &cluster,
             &train,
-            FastKnnConfig { k, b, c: 2, theta: 0.0, seed },
+            FastKnnConfig { k, b, c: 2, theta: 0.0, seed, prune: true },
         ).expect("fit");
         let fast = model.classify(&test).expect("classify");
         let brute = classify_brute(&train, &test, k, 0.0);

@@ -1,0 +1,219 @@
+//! Pruning-equivalence suite: the bound-driven pruning engine must be
+//! invisible in every output, under every engine configuration.
+//!
+//! Two layers of pinning:
+//!
+//! * **Classification** — a proptest sweep over random workloads and model
+//!   shapes asserting pruned ≡ unpruned classification, result for result.
+//! * **detect_new digests** — the seeded pipeline of `refactor_baseline.rs`
+//!   re-run with pruning on *and* off across 1/4/16 partitions, chunk
+//!   sizes, work stealing on/off, and chaos kill schedules; every leg must
+//!   reproduce the pinned baseline digest bit for bit. The baseline was
+//!   captured before the pruning engine existed, so the prune-on legs prove
+//!   losslessness end to end and the prune-off legs prove the refactor
+//!   itself (sorted cells, cutoff threading) changed nothing either.
+
+use adr_model::{AdrReport, PairId};
+use adr_synth::{Dataset, SynthConfig};
+use dedup::{DedupConfig, DedupSystem};
+use fastknn::{FastKnn, FastKnnConfig, LabeledPair, UnlabeledPair};
+use proptest::prelude::*;
+use sparklet::{stable_hash, Cluster, ClusterConfig, FaultConfig, SchedConfig};
+
+/// The fault-free `detect_new` digest pinned in `refactor_baseline.rs`,
+/// captured on the pre-pruning tree.
+const BASELINE_DIGEST: u64 = 11028548671881665013;
+
+/// The seeded corpus of `refactor_baseline.rs` / `chaos.rs`.
+fn corpus() -> (Vec<AdrReport>, Vec<PairId>, Vec<AdrReport>) {
+    let ds = Dataset::generate(&SynthConfig::small(300, 18, 77));
+    let cut = 280;
+    let historical = ds.reports[..cut].to_vec();
+    let labelled = ds
+        .duplicate_pairs
+        .iter()
+        .filter(|p| (p.hi as usize) < cut)
+        .copied()
+        .collect();
+    let arriving = ds.reports[cut..].to_vec();
+    (historical, labelled, arriving)
+}
+
+/// Bootstrap + `detect_new` under `config` with pruning forced on or off;
+/// returns the detection digest.
+fn detect_digest(config: ClusterConfig, prune: bool) -> sparklet::Result<u64> {
+    let (historical, labelled, arriving) = corpus();
+    let cluster = Cluster::new(config);
+    let mut dcfg = DedupConfig::default();
+    dcfg.knn.b = 8;
+    dcfg.knn.prune = prune;
+    dcfg.bootstrap_negatives = 400;
+    let mut system = DedupSystem::new(cluster, dcfg);
+    system.bootstrap(&historical, &labelled)?;
+    let detections = system.detect_new(&arriving)?;
+    let records: Vec<(u64, u64, u64, bool)> = detections
+        .iter()
+        .map(|d| (d.pair.lo, d.pair.hi, d.score.to_bits(), d.is_duplicate))
+        .collect();
+    Ok(stable_hash(&records))
+}
+
+#[test]
+fn digest_is_pinned_across_partition_counts_with_pruning_on_and_off() {
+    for executors in [1usize, 4, 16] {
+        for prune in [true, false] {
+            let digest =
+                detect_digest(ClusterConfig::local(executors), prune).expect("pipeline run");
+            assert_eq!(
+                digest, BASELINE_DIGEST,
+                "digest drifted at {executors} executors, prune={prune}"
+            );
+        }
+    }
+}
+
+#[test]
+fn digest_is_pinned_across_chunk_sizes_with_pruning_on_and_off() {
+    // Record-at-a-time dispatch and one-slab-per-partition bracket the
+    // default chunking.
+    for chunk in [1usize, usize::MAX] {
+        for prune in [true, false] {
+            let mut config = ClusterConfig::local(4);
+            config.batch.target_chunk_records = chunk;
+            let digest = detect_digest(config, prune).expect("pipeline run");
+            assert_eq!(
+                digest, BASELINE_DIGEST,
+                "digest drifted at chunk={chunk}, prune={prune}"
+            );
+        }
+    }
+}
+
+#[test]
+fn digest_is_pinned_without_work_stealing_with_pruning_on_and_off() {
+    // Stealing on is the default exercised everywhere else; pin the
+    // static-placement schedule explicitly.
+    for prune in [true, false] {
+        let mut config = ClusterConfig::local(4);
+        config.sched = SchedConfig::static_placement();
+        let digest = detect_digest(config, prune).expect("pipeline run");
+        assert_eq!(
+            digest, BASELINE_DIGEST,
+            "static placement drifted with prune={prune}"
+        );
+    }
+}
+
+#[test]
+fn digest_is_pinned_under_mid_stage_kills_with_pruning_on_and_off() {
+    // Pruning shrinks the probe shuffle (stage-2 records carry the stage-1
+    // cutoff and far cells drop out), but the stage graph is unchanged —
+    // the chaos suite's mid-stage kill must recover identically either way.
+    for prune in [true, false] {
+        let mut config = ClusterConfig::local(4);
+        config.fault =
+            FaultConfig::disabled().kill_in_stage(0, "shuffle#4-write[map_partitions_with_ctx]", 1);
+        let digest = detect_digest(config, prune).expect("pipeline run");
+        assert_eq!(
+            digest, BASELINE_DIGEST,
+            "mid-stage kill drifted with prune={prune}"
+        );
+    }
+}
+
+#[test]
+fn digest_is_pinned_under_random_faults_and_stealing_with_pruning_on_and_off() {
+    // Random task faults perturb retry interleavings and (with stealing on)
+    // the morsel schedule; neither may reach the output.
+    for prune in [true, false] {
+        let mut config = ClusterConfig::local(4);
+        config.fault = FaultConfig::with_probability(0.05, 23);
+        config.sched = SchedConfig {
+            steal: true,
+            ..SchedConfig::default()
+        };
+        let digest = detect_digest(config, prune).expect("pipeline run");
+        assert_eq!(
+            digest, BASELINE_DIGEST,
+            "random faults drifted with prune={prune}"
+        );
+    }
+}
+
+/// Clustered + uniform mixture workload in 4-d: tight blobs give the
+/// window/annulus bounds something to reject, the uniform backdrop keeps
+/// neighbourhoods honest, and near-duplicate coordinates exercise the
+/// slackened (tie-preserving) comparisons.
+fn mixed_workload(
+    seed: u64,
+    n_neg: usize,
+    n_pos: usize,
+    n_test: usize,
+) -> (Vec<LabeledPair<4>>, Vec<UnlabeledPair<4>>) {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let blob = |rng: &mut StdRng, c: [f64; 4], r: f64| -> [f64; 4] {
+        std::array::from_fn(|d| c[d] + rng.gen_range(-r..r))
+    };
+    let centres = [
+        [0.0, 0.0, 0.0, 0.0],
+        [5.0, 0.0, 1.0, 0.0],
+        [0.0, 6.0, 0.0, 2.0],
+    ];
+    let mut train = Vec::new();
+    for i in 0..n_neg {
+        let v = if i % 4 == 0 {
+            std::array::from_fn(|_| rng.gen_range(-2.0..8.0))
+        } else {
+            blob(&mut rng, centres[i % 3], 0.4)
+        };
+        train.push(LabeledPair::new(i as u64, v, false));
+    }
+    for i in 0..n_pos {
+        let v = blob(&mut rng, centres[0], 0.3);
+        train.push(LabeledPair::new((n_neg + i) as u64, v, true));
+    }
+    let test = (0..n_test)
+        .map(|i| {
+            let v = if i % 3 == 0 {
+                std::array::from_fn(|_| rng.gen_range(-2.0..8.0))
+            } else {
+                blob(&mut rng, centres[i % 3], 0.5)
+            };
+            UnlabeledPair::new(i as u64, v)
+        })
+        .collect();
+    (train, test)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Pruned ≡ unpruned classification over random workloads, model
+    /// shapes, and parallelism — every score, label, and shortcut flag.
+    #[test]
+    fn pruned_classification_is_identical_to_unpruned(
+        seed in 0u64..10_000,
+        b in 2usize..10,
+        k in 3usize..12,
+        executors in 1usize..5,
+    ) {
+        let (train, test) = mixed_workload(seed, 400, 12, 60);
+        let run = |prune: bool| {
+            let cluster = Cluster::local(executors);
+            let config = FastKnnConfig {
+                k,
+                b,
+                theta: 0.0,
+                prune,
+                ..FastKnnConfig::default()
+            };
+            FastKnn::fit(&cluster, &train, config)
+                .expect("fit")
+                .classify(&test)
+                .expect("classify")
+        };
+        prop_assert_eq!(run(true), run(false));
+    }
+}
