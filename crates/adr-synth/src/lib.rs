@@ -29,4 +29,4 @@ pub mod streaming;
 
 pub use corruption::CorruptionConfig;
 pub use generator::{Dataset, DatasetSummary, SynthConfig};
-pub use streaming::StreamingCorpus;
+pub use streaming::{QuarterlyReplay, StreamingCorpus};

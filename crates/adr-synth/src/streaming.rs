@@ -171,6 +171,140 @@ impl StreamingCorpus {
     }
 }
 
+/// Quarterly replay of a [`StreamingCorpus`]: the arrival schedule a
+/// long-running ingest service consumes, FAERS-drop style.
+///
+/// Report *ids* place every duplicate at the tail of the id space
+/// (`base_count..num_reports`), which is the wrong arrival order for a
+/// streaming service — the early quarters would contain no duplicates at
+/// all and the labelled bootstrap prefix no positive pairs. The replay
+/// therefore re-orders arrivals with a Bresenham-style interleave: of the
+/// first `s` arrival slots, exactly `⌊s·d/n⌋` are duplicates (`d`
+/// duplicates, `n` reports total), so duplicates land evenly across
+/// quarters while bases keep their relative order. The permutation is a
+/// closed form both ways — `report_id_at` is O(1) and the inverse mappings
+/// are O(1)/O(log n) — so nothing is materialised.
+pub struct QuarterlyReplay {
+    corpus: StreamingCorpus,
+    quarter_size: u64,
+    total: u64,
+    base_count: u64,
+    dup_count: u64,
+}
+
+impl QuarterlyReplay {
+    /// Wrap `corpus` into quarters of `quarter_size` arrivals each (the
+    /// last quarter may be short).
+    ///
+    /// # Panics
+    /// Panics if `quarter_size == 0`.
+    pub fn new(corpus: StreamingCorpus, quarter_size: u64) -> Self {
+        assert!(quarter_size > 0, "quarter_size must be at least 1");
+        let total = corpus.len() as u64;
+        let dup_count = corpus.config().duplicate_pairs as u64;
+        QuarterlyReplay {
+            base_count: total - dup_count,
+            corpus,
+            quarter_size,
+            total,
+            dup_count,
+        }
+    }
+
+    /// The wrapped corpus.
+    pub fn corpus(&self) -> &StreamingCorpus {
+        &self.corpus
+    }
+
+    /// Arrivals per quarter.
+    pub fn quarter_size(&self) -> u64 {
+        self.quarter_size
+    }
+
+    /// Number of quarters (the last may be short).
+    pub fn quarters(&self) -> u64 {
+        self.total.div_ceil(self.quarter_size)
+    }
+
+    /// Arrival-slot range of quarter `q`.
+    pub fn quarter_range(&self, q: u64) -> std::ops::Range<u64> {
+        let start = q * self.quarter_size;
+        start.min(self.total)..((q + 1) * self.quarter_size).min(self.total)
+    }
+
+    /// Duplicate slots among arrival slots `[0, s)`: `⌊s·d/n⌋`.
+    fn dups_before(&self, s: u64) -> u64 {
+        ((s as u128 * self.dup_count as u128) / self.total as u128) as u64
+    }
+
+    /// The report id arriving at `slot` (0-based arrival position).
+    ///
+    /// # Panics
+    /// Panics if `slot >= corpus.len()`.
+    pub fn report_id_at(&self, slot: u64) -> u64 {
+        assert!(
+            slot < self.total,
+            "slot {slot} out of range ({})",
+            self.total
+        );
+        let before = self.dups_before(slot);
+        if self.dups_before(slot + 1) > before {
+            // Slot is the `before`-th duplicate slot.
+            self.base_count + before
+        } else {
+            slot - before
+        }
+    }
+
+    /// Arrival slot of duplicate `j`: the smallest `s` with
+    /// `⌊(s+1)·d/n⌋ = j+1`, i.e. `⌈(j+1)·n/d⌉ − 1`.
+    fn slot_of_duplicate(&self, j: u64) -> u64 {
+        debug_assert!(j < self.dup_count);
+        let num = (j as u128 + 1) * self.total as u128;
+        (num.div_ceil(self.dup_count as u128) - 1) as u64
+    }
+
+    /// Arrival slot of base report `i`: the largest `s` with
+    /// `s − ⌊s·d/n⌋ = i` (binary search on that nondecreasing function).
+    fn slot_of_base(&self, i: u64) -> u64 {
+        debug_assert!(i < self.base_count);
+        let (mut lo, mut hi) = (0u64, self.total);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if mid - self.dups_before(mid) > i {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        lo - 1
+    }
+
+    /// The reports of quarter `q`, in arrival order.
+    pub fn quarter_reports(&self, q: u64) -> Vec<AdrReport> {
+        self.quarter_range(q)
+            .map(|s| self.corpus.report(self.report_id_at(s)))
+            .collect()
+    }
+
+    /// Ground-truth duplicate pairs whose *both* members arrive within the
+    /// first `slots` arrivals — the labelled positives a bootstrap prefix
+    /// of that length can legally know about. O(d log n).
+    pub fn labelled_pairs_within(&self, slots: u64) -> Vec<PairId> {
+        let mut pairs = Vec::new();
+        for j in 0..self.dup_count {
+            if self.slot_of_duplicate(j) >= slots {
+                continue;
+            }
+            let pair = self.corpus.duplicate_pair(j);
+            if self.slot_of_base(pair.lo) < slots {
+                pairs.push(pair);
+            }
+        }
+        pairs
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -262,5 +396,82 @@ mod tests {
             let s = coprime_stride(n);
             assert_eq!(gcd(s % n.max(1), n.max(1)), 1, "n={n} s={s}");
         }
+    }
+
+    #[test]
+    fn replay_permutation_is_a_bijection_with_even_duplicate_spread() {
+        let replay = QuarterlyReplay::new(corpus(400, 30, 9), 100);
+        let ids: HashSet<u64> = (0..400).map(|s| replay.report_id_at(s)).collect();
+        assert_eq!(ids.len(), 400, "every report id arrives exactly once");
+        // Duplicates (ids >= 370) land evenly: ⌊s·d/n⌋ per prefix.
+        for q in 0..4u64 {
+            let dups = replay
+                .quarter_range(q)
+                .map(|s| replay.report_id_at(s))
+                .filter(|&id| id >= 370)
+                .count();
+            assert!(
+                (7..=8).contains(&dups),
+                "quarter {q} got {dups} duplicates, want ~30/4"
+            );
+        }
+        // Bases keep their relative order.
+        let bases: Vec<u64> = (0..400)
+            .map(|s| replay.report_id_at(s))
+            .filter(|&id| id < 370)
+            .collect();
+        assert!(bases.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn replay_inverse_mappings_agree_with_the_permutation() {
+        let replay = QuarterlyReplay::new(corpus(403, 31, 5), 64);
+        for j in 0..31u64 {
+            let s = replay.slot_of_duplicate(j);
+            assert_eq!(replay.report_id_at(s), 403 - 31 + j, "duplicate {j}");
+        }
+        for i in [0u64, 1, 100, 200, 371] {
+            let s = replay.slot_of_base(i);
+            assert_eq!(replay.report_id_at(s), i, "base {i}");
+        }
+    }
+
+    #[test]
+    fn labelled_pairs_within_prefix_have_both_members_inside() {
+        let replay = QuarterlyReplay::new(corpus(400, 30, 9), 100);
+        let all = replay.labelled_pairs_within(400);
+        assert_eq!(all.len(), 30, "full corpus knows every pair");
+        let prefix = 100u64;
+        let arrived: HashSet<u64> = (0..prefix).map(|s| replay.report_id_at(s)).collect();
+        let labelled = replay.labelled_pairs_within(prefix);
+        assert!(!labelled.is_empty(), "bootstrap prefix needs positives");
+        for p in &labelled {
+            assert!(arrived.contains(&p.lo) && arrived.contains(&p.hi));
+        }
+        // Completeness: any ground-truth pair fully inside the prefix is
+        // reported.
+        let inside = replay
+            .corpus()
+            .duplicate_pairs()
+            .filter(|p| arrived.contains(&p.lo) && arrived.contains(&p.hi))
+            .count();
+        assert_eq!(labelled.len(), inside);
+    }
+
+    #[test]
+    fn quarters_cover_the_corpus_without_overlap() {
+        let replay = QuarterlyReplay::new(corpus(250, 10, 3), 64);
+        assert_eq!(replay.quarters(), 4);
+        let mut seen = HashSet::new();
+        let mut total = 0usize;
+        for q in 0..replay.quarters() {
+            let reports = replay.quarter_reports(q);
+            total += reports.len();
+            for r in &reports {
+                assert!(seen.insert(r.id), "report {} arrived twice", r.id);
+            }
+        }
+        assert_eq!(total, 250);
+        assert_eq!(replay.quarter_reports(3).len(), 250 - 3 * 64);
     }
 }

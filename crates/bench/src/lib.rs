@@ -22,6 +22,7 @@ pub mod corpora;
 pub mod experiments;
 pub mod harness;
 pub mod hotpath;
+pub mod ingest;
 pub mod ops;
 pub mod prune;
 pub mod sched;

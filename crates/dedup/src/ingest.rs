@@ -1,0 +1,926 @@
+//! Durable streaming ingest: checkpointed micro-batches with crash
+//! recovery, poison quarantine and backpressure.
+//!
+//! Fig. 1 of the paper is a feedback *loop*, but
+//! [`DedupSystem::detect_new`] is a one-shot batch call — and while PR 4
+//! made executors survivable, a driver crash loses everything the loop has
+//! learned. [`IngestService`] closes that gap: reports arrive in
+//! quarterly-style micro-batches (an [`adr_synth::QuarterlyReplay`]
+//! schedule), each committed batch folds its detections into a cumulative
+//! digest, and an [`IngestService::open`]-able checkpoint (schema-
+//! versioned, atomic rename-into-place, CRC-guarded) persists everything a
+//! restart needs:
+//!
+//! * the [`PairStore`] snapshot (bit-exact, with reservoir-RNG replay) —
+//!   which *is* the Voronoi-centre state, since Fast kNN centres are a
+//!   deterministic function of the training set refit per batch,
+//! * the batch high-water mark, cumulative digest and skipped-batch list,
+//! * cross-checks (report count, interner size, training-set digest) that
+//!   the recovery replay reconstructed the exact pre-crash ingest state.
+//!
+//! Everything *not* in the checkpoint is a pure function of the replay
+//! schedule: recovery re-ingests the reports of every committed batch
+//! (identical dense token ids, blocking rows and corpus snapshot), restores
+//! the store, and resumes at the high-water mark — so a driver kill at
+//! *any* fault point yields a cumulative digest bit-identical to an
+//! uninterrupted run.
+//!
+//! Around that spine sit the service's robustness surfaces: per-batch retry
+//! with exponential backoff + deterministic jitter on the virtual clock
+//! (transient engine faults roll back via `DedupSystem::begin_batch` and
+//! replay bit-identically), poison-batch quarantine (journaled, dumped to
+//! `quarantine.log`, skipped), torn-write detection with previous-
+//! generation fallback, and a bounded-lag admission gate that defers the
+//! next batch while spill-resident bytes or the in-flight pair count
+//! exceed their caps ([`EventKind::IngestDeferred`]).
+
+use crate::store::PairStore;
+use crate::system::{DedupConfig, DedupSystem, Detection};
+use adr_model::AdrReport;
+use adr_synth::QuarterlyReplay;
+use sparklet::{stable_hash, Cluster, EventKind, SparkletError};
+use std::fmt;
+use std::fs;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Errors surfaced by the ingest service.
+#[derive(Debug)]
+pub enum IngestError {
+    /// The engine failed (terminally) under a batch, or a driver-kill
+    /// fault point fired. After an `Engine` error carrying a driver kill
+    /// the service instance is dead: drop it and [`IngestService::open`] a
+    /// fresh one from the checkpoint directory.
+    Engine(SparkletError),
+    /// Checkpoint-directory I/O failed.
+    Io(String),
+    /// A checkpoint (or the recovery replay it drives) is inconsistent.
+    Checkpoint(String),
+}
+
+impl IngestError {
+    /// Was this a driver kill (recover by re-opening from the checkpoint
+    /// directory)?
+    pub fn is_driver_kill(&self) -> bool {
+        matches!(self, IngestError::Engine(e) if e.is_driver_kill())
+    }
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestError::Engine(e) => write!(f, "engine: {e}"),
+            IngestError::Io(msg) => write!(f, "checkpoint io: {msg}"),
+            IngestError::Checkpoint(msg) => write!(f, "checkpoint: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+impl From<SparkletError> for IngestError {
+    fn from(e: SparkletError) -> Self {
+        IngestError::Engine(e)
+    }
+}
+
+fn io_err(e: std::io::Error) -> IngestError {
+    IngestError::Io(e.to_string())
+}
+
+/// Seeded torn-write fault: the checkpoint of `generation` is truncated to
+/// `keep_bytes` before the rename, modelling a partial flush that made it
+/// into place. Recovery must detect the bad CRC and fall back a generation.
+#[derive(Debug, Clone, Copy)]
+pub struct TornWrite {
+    /// Checkpoint generation to corrupt.
+    pub generation: u64,
+    /// Bytes of the serialised checkpoint to keep.
+    pub keep_bytes: usize,
+}
+
+/// Configuration of the streaming ingest service.
+#[derive(Debug, Clone)]
+pub struct IngestConfig {
+    /// Directory holding checkpoint generations and `quarantine.log`.
+    pub checkpoint_dir: PathBuf,
+    /// Leading quarters consumed as one expert-labelled bootstrap unit
+    /// (Fig. 1's initial labelled stores). Must be ≥ 1.
+    pub bootstrap_quarters: u64,
+    /// Retries a failing batch gets after its first attempt, before it is
+    /// quarantined.
+    pub max_batch_retries: u32,
+    /// First retry backoff (virtual µs); doubles per retry.
+    pub backoff_base_us: u64,
+    /// Backoff ceiling (virtual µs).
+    pub backoff_cap_us: u64,
+    /// Deterministic jitter added to each backoff, drawn from
+    /// `stable_hash(seed, batch, attempt) % (jitter + 1)`.
+    pub backoff_jitter_us: u64,
+    /// Checkpoint generations kept on disk (≥ 1; 2 gives torn-write
+    /// fallback one generation of headroom).
+    pub keep_checkpoints: usize,
+    /// Admission gate: defer the next batch while spill-resident bytes
+    /// exceed this cap. `0` disables the resident-bytes gate.
+    pub max_resident_bytes: u64,
+    /// Admission gate: defer the next batch while the previous batch's
+    /// detection count (in-flight feedback pairs) exceeds this cap. `0`
+    /// disables the lag gate.
+    pub max_lagged_pairs: u64,
+    /// Virtual time charged per admission-gate deferral (µs).
+    pub defer_us: u64,
+    /// Deferrals after which the gate admits the batch anyway (the drain
+    /// is modelled as complete; prevents livelock).
+    pub max_deferrals: u32,
+    /// Test hook: batches whose every attempt fails with a synthetic
+    /// transient error (deterministic poison — exercises quarantine).
+    pub poison_batches: Vec<u64>,
+    /// Test hook: batches that never arrive (their reports are dropped
+    /// without an attempt). The digest of such a run is the reference for
+    /// quarantine equivalence: a quarantined batch must leave the same
+    /// state behind as one that never arrived.
+    pub skip_batches: Vec<u64>,
+    /// Seeded torn-write fault injection; see [`TornWrite`].
+    pub torn_write: Option<TornWrite>,
+}
+
+impl IngestConfig {
+    /// Service defaults rooted at `checkpoint_dir`.
+    pub fn new(checkpoint_dir: impl Into<PathBuf>) -> Self {
+        IngestConfig {
+            checkpoint_dir: checkpoint_dir.into(),
+            bootstrap_quarters: 1,
+            max_batch_retries: 2,
+            backoff_base_us: 50_000,
+            backoff_cap_us: 1_600_000,
+            backoff_jitter_us: 10_000,
+            keep_checkpoints: 2,
+            max_resident_bytes: 0,
+            max_lagged_pairs: 0,
+            defer_us: 100_000,
+            max_deferrals: 8,
+            poison_batches: Vec::new(),
+            skip_batches: Vec::new(),
+            torn_write: None,
+        }
+    }
+}
+
+/// Current checkpoint schema version.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// Virtual cost of a checkpoint write: fixed fsync+rename latency plus a
+/// per-KiB streaming term.
+const CHECKPOINT_BASE_US: u64 = 2_000;
+const CHECKPOINT_US_PER_KIB: u64 = 50;
+
+/// Parsed checkpoint contents (internal).
+struct Checkpoint {
+    generation: u64,
+    config_digest: u64,
+    batch_high_water: u64,
+    cumulative_digest: u64,
+    lagged_pairs: u64,
+    reports: u64,
+    interner_tokens: u64,
+    centres_digest: u64,
+    skipped: Vec<u64>,
+    store: PairStore,
+}
+
+/// Digest of the store's training set — the state the per-batch Fast kNN
+/// refit (and through it the Voronoi centres) is a deterministic function
+/// of. Recovery cross-checks it after restoring the store.
+fn centres_digest(store: &PairStore) -> u64 {
+    let mut d = 0xC3A7u64;
+    for p in store.training_pairs() {
+        let bits: Vec<u64> = p.vector.iter().map(|x| x.to_bits()).collect();
+        d = stable_hash(&(d, p.id, bits, p.positive));
+    }
+    d
+}
+
+/// Digest of one batch's detections, order-sensitive (the detection order
+/// is itself pinned by the engine's determinism guarantees).
+fn detections_digest(detections: &[Detection]) -> u64 {
+    let mut d = 0xD16Eu64;
+    for det in detections {
+        d = stable_hash(&(
+            d,
+            det.pair.lo,
+            det.pair.hi,
+            det.score.to_bits(),
+            det.is_duplicate,
+        ));
+    }
+    d
+}
+
+/// The long-running micro-batch ingest service. See the module docs.
+pub struct IngestService {
+    system: DedupSystem,
+    config: IngestConfig,
+    config_digest: u64,
+    /// Next batch (quarter) to run; batches `0..batch_high_water` are
+    /// committed, quarantined or skipped.
+    batch_high_water: u64,
+    cumulative_digest: u64,
+    skipped: Vec<u64>,
+    /// Next checkpoint generation to write.
+    generation: u64,
+    /// Detections of the most recently committed batch — the in-flight
+    /// feedback lag the admission gate bounds.
+    lagged_pairs: u64,
+    recovered_fallback: bool,
+}
+
+impl IngestService {
+    /// Open the service: recover from the newest valid checkpoint in
+    /// `config.checkpoint_dir` (falling back past corrupt generations), or
+    /// start fresh if none exists. Recovery restores the store snapshot,
+    /// re-ingests the reports of every committed batch from `replay`, and
+    /// cross-checks the reconstruction before resuming.
+    pub fn open(
+        cluster: Cluster,
+        dedup: DedupConfig,
+        config: IngestConfig,
+        replay: &QuarterlyReplay,
+    ) -> Result<IngestService, IngestError> {
+        assert!(config.bootstrap_quarters >= 1, "bootstrap needs a quarter");
+        assert!(config.keep_checkpoints >= 1, "must keep a checkpoint");
+        fs::create_dir_all(&config.checkpoint_dir).map_err(io_err)?;
+        let config_digest = stable_hash(&format!(
+            "{dedup:?} quarter_size={} bootstrap={}",
+            replay.quarter_size(),
+            config.bootstrap_quarters
+        ));
+        let mut system = DedupSystem::new(cluster, dedup);
+        let mut service = IngestService {
+            batch_high_water: 0,
+            cumulative_digest: 0,
+            skipped: Vec::new(),
+            generation: 0,
+            lagged_pairs: 0,
+            recovered_fallback: false,
+            config_digest,
+            system,
+            config,
+        };
+        let Some((ckpt, fallback)) = service.load_newest_checkpoint()? else {
+            return Ok(service);
+        };
+        if ckpt.config_digest != config_digest {
+            return Err(IngestError::Checkpoint(format!(
+                "config digest mismatch: checkpoint {:016x}, service {:016x}",
+                ckpt.config_digest, config_digest
+            )));
+        }
+        // Recovery replay: everything outside the store is a pure function
+        // of the replay schedule. Re-ingest the committed batches' reports
+        // in arrival order (skipped batches never arrived), then restore
+        // the store snapshot over the top.
+        system = std::mem::replace(
+            &mut service.system,
+            DedupSystem::new(Cluster::local(1), DedupConfig::default()),
+        );
+        for batch in 0..ckpt.batch_high_water {
+            if ckpt.skipped.contains(&batch) {
+                continue;
+            }
+            for r in replay.quarter_reports(batch) {
+                system.add_report(&r);
+            }
+        }
+        system.restore_store(ckpt.store);
+        if system.report_count() as u64 != ckpt.reports {
+            return Err(IngestError::Checkpoint(format!(
+                "recovery replay mismatch: {} reports, checkpoint says {}",
+                system.report_count(),
+                ckpt.reports
+            )));
+        }
+        if system.interner_len() as u64 != ckpt.interner_tokens {
+            return Err(IngestError::Checkpoint(format!(
+                "recovery replay mismatch: {} interned tokens, checkpoint says {}",
+                system.interner_len(),
+                ckpt.interner_tokens
+            )));
+        }
+        let centres = centres_digest(system.store());
+        if centres != ckpt.centres_digest {
+            return Err(IngestError::Checkpoint(format!(
+                "restored training set digest {:016x} != checkpointed {:016x}",
+                centres, ckpt.centres_digest
+            )));
+        }
+        system
+            .cluster()
+            .journal()
+            .record(EventKind::IngestRecovered {
+                generation: ckpt.generation,
+                batch_high_water: ckpt.batch_high_water,
+                fallback,
+            });
+        service.system = system;
+        service.batch_high_water = ckpt.batch_high_water;
+        service.cumulative_digest = ckpt.cumulative_digest;
+        service.skipped = ckpt.skipped;
+        service.lagged_pairs = ckpt.lagged_pairs;
+        service.generation = ckpt.generation + 1;
+        service.recovered_fallback = fallback;
+        Ok(service)
+    }
+
+    /// The wrapped system (store, report count, cluster).
+    pub fn system(&self) -> &DedupSystem {
+        &self.system
+    }
+
+    /// Cumulative detection digest over every committed batch — the
+    /// bit-identity witness for crash recovery.
+    pub fn cumulative_digest(&self) -> u64 {
+        self.cumulative_digest
+    }
+
+    /// Next batch to run; everything below is committed, quarantined or
+    /// skipped.
+    pub fn batch_high_water(&self) -> u64 {
+        self.batch_high_water
+    }
+
+    /// Batches quarantined or configured to never arrive.
+    pub fn skipped(&self) -> &[u64] {
+        &self.skipped
+    }
+
+    /// Did the most recent [`IngestService::open`] fall back past a corrupt
+    /// newest checkpoint generation?
+    pub fn recovered_with_fallback(&self) -> bool {
+        self.recovered_fallback
+    }
+
+    /// Run report of the cluster this service executes on (includes the
+    /// per-batch `ingest` section).
+    pub fn job_report(&self) -> sparklet::JobReport {
+        self.system.job_report()
+    }
+
+    /// Run the service through quarter `through` (exclusive), committing a
+    /// checkpoint after every batch. Returns the number of batches
+    /// committed by this call. On a driver-kill error the instance is
+    /// dead: drop it and [`IngestService::open`] again.
+    pub fn run(&mut self, replay: &QuarterlyReplay, through: u64) -> Result<u64, IngestError> {
+        let through = through.min(replay.quarters());
+        let mut committed = 0u64;
+        while self.batch_high_water < through {
+            let batch = self.batch_high_water;
+            if batch == 0 {
+                self.run_bootstrap(replay)?;
+                committed += 1;
+                continue;
+            }
+            if self.config.skip_batches.contains(&batch) {
+                self.skipped.push(batch);
+                self.batch_high_water += 1;
+                self.write_checkpoint()?;
+                continue;
+            }
+            let deferrals = self.admission_gate(batch);
+            committed += self.run_batch(replay, batch, deferrals)?;
+        }
+        Ok(committed)
+    }
+
+    /// Ingest the labelled bootstrap prefix (quarters
+    /// `0..bootstrap_quarters`) as one unit and commit the first
+    /// checkpoint. Bootstrap failures are not quarantined — without the
+    /// initial labelled stores the service cannot run at all.
+    fn run_bootstrap(&mut self, replay: &QuarterlyReplay) -> Result<(), IngestError> {
+        let quarters = self.config.bootstrap_quarters.min(replay.quarters());
+        let prefix_slots = replay.quarter_range(quarters - 1).end;
+        let labelled = replay.labelled_pairs_within(prefix_slots);
+        let reports: Vec<AdrReport> = (0..quarters)
+            .flat_map(|q| replay.quarter_reports(q))
+            .collect();
+        let mut attempt = 0u64;
+        loop {
+            self.cluster().driver_fault_point("bootstrap-start")?;
+            let guard = self.system.begin_batch();
+            match self.system.bootstrap(&reports, &labelled) {
+                Ok(()) => break,
+                Err(e) if e.is_driver_kill() => return Err(e.into()),
+                Err(e) => {
+                    self.system.rollback_batch(guard);
+                    attempt += 1;
+                    if attempt > self.config.max_batch_retries as u64 {
+                        return Err(e.into());
+                    }
+                    self.charge_backoff(0, attempt);
+                }
+            }
+        }
+        self.cluster().driver_fault_point("bootstrap-done")?;
+        // The bootstrap contributes nothing to the cumulative digest (it
+        // emits no detections); it advances the high-water mark past the
+        // whole labelled prefix in one step.
+        self.batch_high_water = quarters;
+        let bytes = self.write_checkpoint()?;
+        self.cluster().driver_fault_point("bootstrap-committed")?;
+        self.cluster()
+            .journal()
+            .record(EventKind::IngestBatchCommitted {
+                batch: 0,
+                reports: reports.len() as u64,
+                detections: 0,
+                duplicates: 0,
+                retries: attempt,
+                deferrals: 0,
+                latency_us: 0,
+                checkpoint_bytes: bytes,
+            });
+        Ok(())
+    }
+
+    /// One detection micro-batch: attempt (with rollback + backoff on
+    /// transient failure), fold the digest, checkpoint, journal. Returns 1
+    /// if the batch committed, 0 if it was quarantined.
+    fn run_batch(
+        &mut self,
+        replay: &QuarterlyReplay,
+        batch: u64,
+        deferrals: u64,
+    ) -> Result<u64, IngestError> {
+        let reports = replay.quarter_reports(batch);
+        let poisoned = self.config.poison_batches.contains(&batch);
+        let mut attempt = 0u64;
+        self.cluster().driver_fault_point("batch-start")?;
+        let detections = loop {
+            let latency_start = self.cluster().journal().now_us();
+            let guard = self.system.begin_batch();
+            let result = if poisoned {
+                Err(SparkletError::User(format!(
+                    "poisoned batch {batch} (injected)"
+                )))
+            } else {
+                self.system.detect_new(&reports)
+            };
+            match result {
+                Ok(dets) => break (dets, latency_start),
+                Err(e) if e.is_driver_kill() => return Err(e.into()),
+                Err(e) => {
+                    self.system.rollback_batch(guard);
+                    attempt += 1;
+                    if attempt > self.config.max_batch_retries as u64 {
+                        self.quarantine(batch, &reports, attempt, &e)?;
+                        return Ok(0);
+                    }
+                    self.charge_backoff(batch, attempt);
+                }
+            }
+        };
+        let (detections, latency_start) = detections;
+        self.cluster().driver_fault_point("batch-detected")?;
+        let duplicates = detections.iter().filter(|d| d.is_duplicate).count() as u64;
+        self.cumulative_digest = stable_hash(&(
+            self.cumulative_digest,
+            batch,
+            detections_digest(&detections),
+        ));
+        self.lagged_pairs = detections.len() as u64;
+        self.batch_high_water += 1;
+        let bytes = self.write_checkpoint()?;
+        self.cluster().driver_fault_point("batch-committed")?;
+        let latency = self
+            .cluster()
+            .journal()
+            .now_us()
+            .saturating_sub(latency_start);
+        self.cluster()
+            .journal()
+            .record(EventKind::IngestBatchCommitted {
+                batch,
+                reports: reports.len() as u64,
+                detections: detections.len() as u64,
+                duplicates,
+                retries: attempt,
+                deferrals,
+                latency_us: latency,
+                checkpoint_bytes: bytes,
+            });
+        Ok(1)
+    }
+
+    /// Bounded-lag admission gate: while the engine's spill-resident bytes
+    /// or the in-flight pair count exceed their caps, defer the batch on
+    /// the virtual clock and drain completed shuffle/cache state. Returns
+    /// the deferrals charged. Deferrals never touch detection state, so
+    /// they cannot perturb the digest.
+    fn admission_gate(&mut self, batch: u64) -> u64 {
+        let mut deferrals = 0u64;
+        loop {
+            let resident: u64 = self.cluster().spill().resident().iter().sum();
+            let resident_over =
+                self.config.max_resident_bytes > 0 && resident > self.config.max_resident_bytes;
+            let lag_over = self.config.max_lagged_pairs > 0
+                && self.lagged_pairs > self.config.max_lagged_pairs;
+            if !(resident_over || lag_over) || deferrals >= self.config.max_deferrals as u64 {
+                return deferrals;
+            }
+            deferrals += 1;
+            self.cluster().journal().record(EventKind::IngestDeferred {
+                batch,
+                resident_bytes: resident,
+                lagged_pairs: self.lagged_pairs,
+                waited_us: self.config.defer_us,
+            });
+            self.cluster()
+                .charge_driver_stage("ingest-defer", self.config.defer_us);
+            // Model the drain the wait buys: completed shuffle buckets and
+            // cached blocks release their resident accounting, and the
+            // previous batch's feedback pairs are fully absorbed.
+            self.cluster().shuffles().clear();
+            self.cluster().blocks().clear();
+            self.lagged_pairs = 0;
+        }
+    }
+
+    /// Exponential backoff with deterministic jitter, charged to the
+    /// virtual clock: `min(base·2^(attempt−1), cap) + hash(seed, batch,
+    /// attempt) % (jitter+1)`.
+    fn charge_backoff(&self, batch: u64, attempt: u64) {
+        let shift = (attempt - 1).min(20) as u32;
+        let base = self
+            .config
+            .backoff_base_us
+            .saturating_mul(1u64 << shift)
+            .min(self.config.backoff_cap_us);
+        let jitter = stable_hash(&(self.config_digest, batch, attempt))
+            % (self.config.backoff_jitter_us + 1);
+        self.cluster()
+            .charge_driver_stage("ingest-backoff", base + jitter);
+    }
+
+    /// Quarantine a poison batch: journal it, dump it to `quarantine.log`,
+    /// mark it skipped and commit a checkpoint so a restart does not retry
+    /// it. Quarantined batches contribute nothing to the digest — the
+    /// service state is exactly as if the batch never arrived.
+    fn quarantine(
+        &mut self,
+        batch: u64,
+        reports: &[AdrReport],
+        attempts: u64,
+        error: &SparkletError,
+    ) -> Result<(), IngestError> {
+        let path = self.config.checkpoint_dir.join("quarantine.log");
+        let mut file = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(io_err)?;
+        writeln!(
+            file,
+            "batch {batch} reports {} attempts {attempts} reason {error}",
+            reports.len()
+        )
+        .map_err(io_err)?;
+        for r in reports {
+            writeln!(file, "  report {}", r.id).map_err(io_err)?;
+        }
+        self.cluster()
+            .journal()
+            .record(EventKind::IngestQuarantined {
+                batch,
+                reports: reports.len() as u64,
+                attempts,
+                reason: error.to_string(),
+            });
+        self.skipped.push(batch);
+        self.batch_high_water += 1;
+        self.write_checkpoint()?;
+        Ok(())
+    }
+
+    fn cluster(&self) -> &Cluster {
+        self.system.cluster()
+    }
+
+    fn checkpoint_path(&self, generation: u64) -> PathBuf {
+        self.config
+            .checkpoint_dir
+            .join(format!("ckpt-{generation:08}.ckpt"))
+    }
+
+    /// Serialise the current state, write it to a temp file, fsync, and
+    /// atomically rename it into place; then garbage-collect generations
+    /// beyond `keep_checkpoints`. A crash anywhere before the rename
+    /// leaves only the previous generations visible; the torn-write fault
+    /// truncates the serialised bytes first, so the renamed file fails its
+    /// CRC and recovery falls back.
+    fn write_checkpoint(&mut self) -> Result<u64, IngestError> {
+        let generation = self.generation;
+        let store_snapshot = self.system.store().snapshot();
+        let mut body = String::with_capacity(store_snapshot.len() + 512);
+        body.push_str(&format!("ingest v{CHECKPOINT_VERSION}\n"));
+        body.push_str(&format!("config {:016x}\n", self.config_digest));
+        body.push_str(&format!("generation {generation}\n"));
+        body.push_str(&format!("batch_high_water {}\n", self.batch_high_water));
+        body.push_str(&format!(
+            "cumulative_digest {:016x}\n",
+            self.cumulative_digest
+        ));
+        body.push_str(&format!("lagged_pairs {}\n", self.lagged_pairs));
+        body.push_str(&format!("reports {}\n", self.system.report_count()));
+        body.push_str(&format!("interner_tokens {}\n", self.system.interner_len()));
+        body.push_str(&format!(
+            "centres {:016x}\n",
+            centres_digest(self.system.store())
+        ));
+        body.push_str(&format!("skipped {}\n", self.skipped.len()));
+        for b in &self.skipped {
+            body.push_str(&format!("{b}\n"));
+        }
+        body.push_str(&format!("store {}\n", store_snapshot.len()));
+        body.push_str(&store_snapshot);
+        let crc = stable_hash(&body);
+        body.push_str(&format!("crc {crc:016x}\n"));
+        let mut bytes = body.into_bytes();
+        if let Some(torn) = self.config.torn_write {
+            if torn.generation == generation {
+                bytes.truncate(torn.keep_bytes);
+            }
+        }
+        let written = bytes.len() as u64;
+        let tmp = self
+            .config
+            .checkpoint_dir
+            .join(format!("ckpt-{generation:08}.tmp"));
+        {
+            let mut f = fs::File::create(&tmp).map_err(io_err)?;
+            f.write_all(&bytes).map_err(io_err)?;
+            f.sync_all().map_err(io_err)?;
+        }
+        self.cluster().driver_fault_point("commit-rename")?;
+        fs::rename(&tmp, self.checkpoint_path(generation)).map_err(io_err)?;
+        self.generation = generation + 1;
+        if generation >= self.config.keep_checkpoints as u64 {
+            let stale = generation - self.config.keep_checkpoints as u64;
+            let _ = fs::remove_file(self.checkpoint_path(stale));
+        }
+        self.cluster().charge_driver_stage(
+            "ingest-checkpoint",
+            CHECKPOINT_BASE_US + written.div_ceil(1024) * CHECKPOINT_US_PER_KIB,
+        );
+        Ok(written)
+    }
+
+    /// Find and parse the newest valid checkpoint, trying older
+    /// generations when the newest is corrupt or truncated. Returns the
+    /// checkpoint and whether a fallback happened.
+    fn load_newest_checkpoint(&self) -> Result<Option<(Checkpoint, bool)>, IngestError> {
+        let mut generations: Vec<u64> = Vec::new();
+        for entry in fs::read_dir(&self.config.checkpoint_dir).map_err(io_err)? {
+            let name = entry.map_err(io_err)?.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(g) = name
+                .strip_prefix("ckpt-")
+                .and_then(|s| s.strip_suffix(".ckpt"))
+                .and_then(|s| s.parse::<u64>().ok())
+            {
+                generations.push(g);
+            }
+        }
+        generations.sort_unstable_by(|a, b| b.cmp(a));
+        for (rank, &generation) in generations.iter().enumerate() {
+            let raw = fs::read_to_string(self.checkpoint_path(generation)).map_err(io_err)?;
+            match parse_checkpoint(&raw) {
+                Ok(ckpt) => return Ok(Some((ckpt, rank > 0))),
+                Err(_) => continue, // corrupt/torn: fall back a generation
+            }
+        }
+        Ok(None)
+    }
+}
+
+/// Parse and CRC-verify a serialised checkpoint. Pure; never panics on
+/// corrupt input.
+fn parse_checkpoint(raw: &str) -> Result<Checkpoint, String> {
+    // The CRC line covers every byte before it.
+    let crc_at = raw
+        .rfind("crc ")
+        .ok_or_else(|| "missing crc line".to_string())?;
+    if crc_at == 0 || raw.as_bytes()[crc_at - 1] != b'\n' {
+        return Err("crc marker not at line start".into());
+    }
+    let body = &raw[..crc_at];
+    let crc_line = raw[crc_at..].trim_end();
+    let stated = u64::from_str_radix(crc_line.trim_start_matches("crc ").trim(), 16)
+        .map_err(|_| format!("bad crc line: {crc_line:?}"))?;
+    let actual = stable_hash(&body.to_string());
+    if stated != actual {
+        return Err(format!(
+            "crc mismatch: stated {stated:016x}, actual {actual:016x}"
+        ));
+    }
+    fn next_line<'a>(rest: &mut &'a str) -> Result<&'a str, String> {
+        let nl = rest.find('\n').ok_or("truncated checkpoint")?;
+        let line = &rest[..nl];
+        *rest = &rest[nl + 1..];
+        Ok(line)
+    }
+    fn field<'a>(rest: &mut &'a str, name: &str) -> Result<&'a str, String> {
+        let line = next_line(rest)?;
+        line.strip_prefix(name)
+            .map(|s| s.trim())
+            .ok_or_else(|| format!("expected {name}, got {line:?}"))
+    }
+    fn hex(s: &str, name: &str) -> Result<u64, String> {
+        u64::from_str_radix(s, 16).map_err(|_| format!("bad {name}: {s:?}"))
+    }
+    fn int(s: &str, name: &str) -> Result<u64, String> {
+        s.parse().map_err(|_| format!("bad {name}: {s:?}"))
+    }
+    let mut rest = body;
+    let header = next_line(&mut rest)?;
+    let version: u32 = header
+        .strip_prefix("ingest v")
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| format!("bad checkpoint header: {header:?}"))?;
+    if version != CHECKPOINT_VERSION {
+        return Err(format!(
+            "unsupported checkpoint version {version} (supported: {CHECKPOINT_VERSION})"
+        ));
+    }
+    let config_digest = hex(field(&mut rest, "config")?, "config")?;
+    let generation = int(field(&mut rest, "generation")?, "generation")?;
+    let batch_high_water = int(field(&mut rest, "batch_high_water")?, "batch_high_water")?;
+    let cumulative_digest = hex(field(&mut rest, "cumulative_digest")?, "cumulative_digest")?;
+    let lagged_pairs = int(field(&mut rest, "lagged_pairs")?, "lagged_pairs")?;
+    let reports = int(field(&mut rest, "reports")?, "reports")?;
+    let interner_tokens = int(field(&mut rest, "interner_tokens")?, "interner_tokens")?;
+    let centres_digest = hex(field(&mut rest, "centres")?, "centres")?;
+    let skipped_count = int(field(&mut rest, "skipped")?, "skipped")? as usize;
+    if skipped_count > batch_high_water as usize {
+        return Err(format!(
+            "skipped count {skipped_count} exceeds high-water mark {batch_high_water}"
+        ));
+    }
+    let mut skipped = Vec::with_capacity(skipped_count);
+    for _ in 0..skipped_count {
+        skipped.push(int(next_line(&mut rest)?, "skipped batch")?);
+    }
+    let store_len = int(field(&mut rest, "store")?, "store")? as usize;
+    if store_len > rest.len() {
+        return Err(format!(
+            "store length {store_len} exceeds remaining {} bytes",
+            rest.len()
+        ));
+    }
+    let store = PairStore::restore(&rest[..store_len])?;
+    if !rest[store_len..].is_empty() {
+        return Err("trailing data after store snapshot".into());
+    }
+    Ok(Checkpoint {
+        generation,
+        config_digest,
+        batch_high_water,
+        cumulative_digest,
+        lagged_pairs,
+        reports,
+        interner_tokens,
+        centres_digest,
+        skipped,
+        store,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adr_synth::{QuarterlyReplay, StreamingCorpus, SynthConfig};
+    use fastknn::FastKnnConfig;
+
+    fn replay(n: usize, dups: usize, seed: u64, quarter: u64) -> QuarterlyReplay {
+        QuarterlyReplay::new(
+            StreamingCorpus::new(SynthConfig::small(n, dups, seed)),
+            quarter,
+        )
+    }
+
+    fn dedup_config() -> DedupConfig {
+        DedupConfig {
+            bootstrap_negatives: 300,
+            use_blocking: true,
+            knn: FastKnnConfig {
+                theta: 0.0,
+                b: 8,
+                ..FastKnnConfig::default()
+            },
+            ..DedupConfig::default()
+        }
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dedup-ingest-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn fresh_run_commits_batches_and_survives_reopen() {
+        let dir = temp_dir("fresh");
+        let rp = replay(240, 14, 11, 60);
+        let mut svc = IngestService::open(
+            Cluster::local(2),
+            dedup_config(),
+            IngestConfig::new(&dir),
+            &rp,
+        )
+        .unwrap();
+        assert_eq!(svc.batch_high_water(), 0);
+        let committed = svc.run(&rp, 4).unwrap();
+        assert_eq!(committed, 4, "bootstrap + 3 detect batches");
+        assert_eq!(svc.batch_high_water(), 4);
+        let digest = svc.cumulative_digest();
+        assert_ne!(digest, 0);
+        let report = svc.job_report();
+        assert_eq!(report.ingest.batches.len(), 4);
+        assert_eq!(report.ingest.batches_quarantined, 0);
+        drop(svc);
+        // Reopen: nothing left to do, state is exactly where it was.
+        let svc2 = IngestService::open(
+            Cluster::local(2),
+            dedup_config(),
+            IngestConfig::new(&dir),
+            &rp,
+        )
+        .unwrap();
+        assert_eq!(svc2.batch_high_water(), 4);
+        assert_eq!(svc2.cumulative_digest(), digest);
+        assert!(!svc2.recovered_with_fallback());
+        let tags: Vec<&str> = svc2
+            .cluster()
+            .journal()
+            .events()
+            .iter()
+            .map(|e| e.kind.tag())
+            .collect();
+        assert!(tags.contains(&"ingest_recovered"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_round_trip_is_exact() {
+        let dir = temp_dir("roundtrip");
+        let rp = replay(240, 14, 11, 60);
+        let mut svc = IngestService::open(
+            Cluster::local(2),
+            dedup_config(),
+            IngestConfig::new(&dir),
+            &rp,
+        )
+        .unwrap();
+        svc.run(&rp, 3).unwrap();
+        let newest = svc.checkpoint_path(svc.generation - 1);
+        let raw = fs::read_to_string(newest).unwrap();
+        let ckpt = parse_checkpoint(&raw).unwrap();
+        assert_eq!(ckpt.batch_high_water, 3);
+        assert_eq!(ckpt.cumulative_digest, svc.cumulative_digest());
+        assert_eq!(ckpt.reports, svc.system().report_count() as u64);
+        assert_eq!(ckpt.centres_digest, centres_digest(svc.system().store()));
+        // Flipping any byte of the body breaks the CRC.
+        let mut torn = raw.clone().into_bytes();
+        torn[20] ^= 1;
+        assert!(parse_checkpoint(std::str::from_utf8(&torn).unwrap()).is_err());
+        // Truncation at any point is detected, not mis-parsed.
+        for cut in [1usize, raw.len() / 2, raw.len() - 2] {
+            let mut c = cut;
+            while !raw.is_char_boundary(c) {
+                c -= 1;
+            }
+            assert!(parse_checkpoint(&raw[..c]).is_err(), "cut at {c}");
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn old_generations_are_garbage_collected() {
+        let dir = temp_dir("gc");
+        let rp = replay(240, 14, 11, 40);
+        let mut svc = IngestService::open(
+            Cluster::local(2),
+            dedup_config(),
+            IngestConfig::new(&dir),
+            &rp,
+        )
+        .unwrap();
+        svc.run(&rp, 6).unwrap();
+        let kept: Vec<String> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.ends_with(".ckpt"))
+            .collect();
+        assert_eq!(kept.len(), 2, "keep_checkpoints=2: {kept:?}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

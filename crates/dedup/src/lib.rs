@@ -20,6 +20,9 @@
 //! * [`store`] — the two labelled-pair databases of Fig. 1 (all known
 //!   duplicates; a bounded sample of non-duplicates) with feedback;
 //! * [`system`] — [`system::DedupSystem`], the orchestrated service;
+//! * [`ingest`] — [`ingest::IngestService`], the durable micro-batch ingest
+//!   loop: checkpointed commits, crash recovery, poison quarantine and
+//!   backpressure around the Fig. 1 feedback loop;
 //! * [`svm_baseline`] — the §5.2.1 SVM and Fig. 5(c) "SVM clustering"
 //!   comparison methods;
 //! * [`workload`] — labelled pair-set construction from a synthetic corpus
@@ -32,6 +35,7 @@ const _: () = assert!(fastknn::PAIR_DIMS == adr_model::DETECTION_DIMS);
 
 pub mod blocking;
 pub mod distance;
+pub mod ingest;
 pub mod pairing;
 pub mod store;
 pub mod svm_baseline;
@@ -40,6 +44,7 @@ pub mod workload;
 
 pub use blocking::{evaluate_blocking, BlockKey, BlockingIndex, BlockingQuality};
 pub use distance::{pair_distance, ProcessedReport};
+pub use ingest::{IngestConfig, IngestError, IngestService, TornWrite, CHECKPOINT_VERSION};
 pub use pairing::{
     all_pairs, index_corpus, pack_pairs, pair_op_weight, pairs_involving_new, pairwise_distances,
     pairwise_distances_partitioned, CorpusIndex, DistanceMemo, PAIR_OP_BASE,

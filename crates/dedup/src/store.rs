@@ -160,8 +160,17 @@ impl PairStore {
         out
     }
 
+    /// Largest `overflow_offers` a snapshot may claim. Restore replays one
+    /// RNG draw per overflow offer, so an unchecked (malformed or hostile)
+    /// value like `u64::MAX` would spin for centuries; any legitimate
+    /// snapshot stays far below this.
+    pub const MAX_OVERFLOW_OFFERS: u64 = 1 << 32;
+
     /// Rebuild a store from a [`PairStore::snapshot`]. Returns a
-    /// descriptive error for unknown versions or malformed input.
+    /// descriptive error for unknown versions or malformed input — never
+    /// panics and never loops unboundedly, however corrupt the input (the
+    /// property checkpoint recovery relies on to *detect* a torn write and
+    /// fall back, rather than crash on it).
     pub fn restore(snapshot: &str) -> Result<Self, String> {
         let mut lines = snapshot.lines();
         let header = lines.next().ok_or("empty snapshot")?;
@@ -190,13 +199,31 @@ impl PairStore {
         )? as usize;
         let seed = parse_u64(field(&mut lines, "seed")?, "seed")?;
         let overflow_offers = parse_u64(field(&mut lines, "overflow_offers")?, "overflow_offers")?;
+        if overflow_offers > Self::MAX_OVERFLOW_OFFERS {
+            return Err(format!(
+                "overflow_offers {overflow_offers} exceeds sanity cap {}",
+                Self::MAX_OVERFLOW_OFFERS
+            ));
+        }
         let mut store = PairStore::new(max_non_duplicates, seed);
         store.overflow_offers = overflow_offers;
         for _ in 0..overflow_offers {
             let _ = store.rng.next_u64();
         }
+        // No section can legitimately hold more pairs than the snapshot has
+        // lines; rejecting overflowed counts up front keeps a corrupt count
+        // from driving a huge pre-allocation or a line-by-line crawl.
+        let line_budget = snapshot.len() / 4;
         for section in ["duplicates", "non_duplicates"] {
             let count = parse_u64(field(&mut lines, section)?, section)? as usize;
+            if count > line_budget + 1 {
+                return Err(format!("{section} count {count} exceeds snapshot size"));
+            }
+            if section == "non_duplicates" && count > max_non_duplicates {
+                return Err(format!(
+                    "non_duplicates count {count} exceeds capacity {max_non_duplicates}"
+                ));
+            }
             for _ in 0..count {
                 let line = lines.next().ok_or_else(|| format!("truncated {section}"))?;
                 let mut parts = line.split_ascii_whitespace();
@@ -423,6 +450,105 @@ mod tests {
             PairStore::restore(&format!("{snap}extra\n")).is_err(),
             "trailing garbage"
         );
+    }
+
+    #[test]
+    fn restore_rejects_hostile_counts_without_hanging() {
+        // A malformed overflow_offers must not replay u64::MAX RNG draws.
+        let hostile = format!(
+            "pairstore v1\nmax_non_duplicates 4\nseed 1\noverflow_offers {}\n\
+             duplicates 0\nnon_duplicates 0\n",
+            u64::MAX
+        );
+        let err = PairStore::restore(&hostile).unwrap_err();
+        assert!(err.contains("sanity cap"), "{err}");
+        // A section count far beyond the snapshot's own size is rejected
+        // up front instead of crawling line by line.
+        let bloated = format!(
+            "pairstore v1\nmax_non_duplicates 4\nseed 1\noverflow_offers 0\n\
+             duplicates {}\n",
+            u64::MAX
+        );
+        let err = PairStore::restore(&bloated).unwrap_err();
+        assert!(err.contains("exceeds snapshot size"), "{err}");
+        // More retained negatives than the stated capacity is inconsistent.
+        let over_capacity = "pairstore v1\nmax_non_duplicates 1\nseed 1\noverflow_offers 0\n\
+             duplicates 0\nnon_duplicates 3\n";
+        let err = PairStore::restore(over_capacity).unwrap_err();
+        assert!(err.contains("exceeds capacity"), "{err}");
+    }
+
+    mod restore_fuzz {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn valid_snapshot(dups: u64, negs: u64, seed: u64) -> String {
+            let mut store = PairStore::new(8, seed);
+            for i in 0..dups {
+                store.add(pid(i, i + 1_000), dv(0.1 * i as f64), true);
+            }
+            for i in 0..negs {
+                store.add(pid(i, i + 10_000), dv(0.5 + i as f64), false);
+            }
+            store.snapshot()
+        }
+
+        proptest! {
+            #[test]
+            fn truncation_at_any_byte_never_panics(
+                dups in 0u64..6, negs in 0u64..40, seed in 0u64..50, frac in 0.0f64..1.0
+            ) {
+                let snap = valid_snapshot(dups, negs, seed);
+                let mut cut = (snap.len() as f64 * frac) as usize;
+                while !snap.is_char_boundary(cut) {
+                    cut -= 1;
+                }
+                // Must return, Ok or Err — never panic, never hang.
+                let _ = PairStore::restore(&snap[..cut]);
+            }
+
+            #[test]
+            fn byte_scrambling_never_panics(
+                negs in 0u64..40, seed in 0u64..50,
+                pos in 0usize..4096, byte in 0u8..128
+            ) {
+                let snap = valid_snapshot(3, negs, seed);
+                let mut bytes = snap.into_bytes();
+                let pos = pos % bytes.len();
+                bytes[pos] = byte;
+                if let Ok(s) = String::from_utf8(bytes) {
+                    let _ = PairStore::restore(&s);
+                }
+            }
+
+            #[test]
+            fn trailing_garbage_is_always_rejected(
+                negs in 0u64..40, seed in 0u64..50, garbage in "[ -~]{1,40}"
+            ) {
+                let snap = valid_snapshot(2, negs, seed);
+                prop_assert!(PairStore::restore(&format!("{snap}{garbage}\n")).is_err());
+            }
+
+            #[test]
+            fn line_shuffling_never_panics_and_full_round_trip_holds(
+                dups in 0u64..6, negs in 0u64..40, seed in 0u64..50,
+                swap_a in 0usize..64, swap_b in 0usize..64
+            ) {
+                let snap = valid_snapshot(dups, negs, seed);
+                let restored = PairStore::restore(&snap).unwrap();
+                prop_assert_eq!(restored.snapshot(), snap.clone());
+                let mut lines: Vec<&str> = snap.lines().collect();
+                let (a, b) = (swap_a % lines.len(), swap_b % lines.len());
+                lines.swap(a, b);
+                let shuffled = format!("{}\n", lines.join("\n"));
+                // Swapping two distinct structural lines must not panic;
+                // swapping a line with itself must still round-trip.
+                let result = PairStore::restore(&shuffled);
+                if a == b {
+                    prop_assert!(result.is_ok());
+                }
+            }
+        }
     }
 
     #[test]

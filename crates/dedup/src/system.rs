@@ -158,12 +158,20 @@ impl DedupSystem {
             if guard > 100 * self.config.bootstrap_negatives + 1000 {
                 break; // tiny corpora cannot yield enough distinct pairs
             }
+            // Draw arrival *indices* and map them to report ids: streaming
+            // corpora ingest non-contiguous ids (duplicates carry tail
+            // ids), so `0..n` is not the id space. For a corpus whose ids
+            // are contiguous arrival order this maps through the identity
+            // and reproduces the historical draw sequence exactly.
             let a = self.rng.gen_range(0..n);
             let b = self.rng.gen_range(0..n);
             if a == b {
                 continue;
             }
-            let pid = PairId::new(a, b);
+            let pid = PairId::new(
+                self.arrival_order[a as usize],
+                self.arrival_order[b as usize],
+            );
             if dup_set.contains(&pid) || wanted.contains(&pid) {
                 continue;
             }
@@ -181,7 +189,7 @@ impl DedupSystem {
         Ok(())
     }
 
-    fn add_report(&mut self, r: &AdrReport) {
+    pub(crate) fn add_report(&mut self, r: &AdrReport) {
         let processed = ProcessedReport::from_report(r, &self.pipeline, &mut self.interner);
         if self
             .processed
@@ -302,6 +310,62 @@ impl DedupSystem {
         });
         Ok(detections)
     }
+
+    /// Snapshot the mutable state a [`detect_new`](DedupSystem::detect_new)
+    /// or [`bootstrap`](DedupSystem::bootstrap) call touches, so a failed
+    /// attempt can be rolled back and retried as if it never ran. The
+    /// cross-batch [`DistanceMemo`] is deliberately *not* captured: a §4.2
+    /// distance is a pure function of its reports, so entries a failed
+    /// attempt left behind are bit-identical to recomputation and results
+    /// never see them.
+    pub(crate) fn begin_batch(&self) -> BatchGuard {
+        BatchGuard {
+            store: self.store.clone(),
+            blocking: self.blocking.clone(),
+            processed: Arc::clone(&self.processed),
+            arrival_len: self.arrival_order.len(),
+            interner_mark: self.interner.mark(),
+            rng: self.rng.clone(),
+        }
+    }
+
+    /// Undo everything since the matching
+    /// [`begin_batch`](DedupSystem::begin_batch): stores, blocking index,
+    /// corpus snapshot, arrival order, interner ids and the negative-
+    /// sampling RNG all return to their pre-attempt state, so a retry
+    /// re-assigns the exact same dense ids and draws the attempt would have
+    /// gotten on a clean first try.
+    pub(crate) fn rollback_batch(&mut self, guard: BatchGuard) {
+        self.store = guard.store;
+        self.blocking = guard.blocking;
+        self.processed = guard.processed;
+        self.arrival_order.truncate(guard.arrival_len);
+        self.interner.truncate(guard.interner_mark);
+        self.rng = guard.rng;
+    }
+
+    /// Replace the labelled-pair stores with a snapshot-restored instance
+    /// (checkpoint recovery; see [`crate::ingest`]).
+    pub(crate) fn restore_store(&mut self, store: PairStore) {
+        self.store = store;
+    }
+
+    /// Distinct tokens interned so far — a cheap cross-check that a
+    /// recovery replay reconstructed the exact ingest state.
+    pub(crate) fn interner_len(&self) -> usize {
+        self.interner.len()
+    }
+}
+
+/// Pre-attempt snapshot of [`DedupSystem`]'s batch-mutable state; see
+/// [`DedupSystem::begin_batch`].
+pub(crate) struct BatchGuard {
+    store: PairStore,
+    blocking: BlockingIndex,
+    processed: CorpusIndex,
+    arrival_len: usize,
+    interner_mark: usize,
+    rng: StdRng,
 }
 
 #[cfg(test)]
@@ -489,6 +553,44 @@ mod tests {
             with_memo.memo().hits(),
             a2.len() as u64,
             "every re-submitted pair is answered from the memo"
+        );
+    }
+
+    #[test]
+    fn rollback_makes_a_failed_attempt_invisible() {
+        // Run a batch, roll it back, run it again: the retry must produce
+        // exactly what a control system that only ran the batch once gets —
+        // the property ingest retry relies on for bit-identical replays.
+        let build = || {
+            let (mut sys, ds) = system_with_corpus(6);
+            sys.config.use_blocking = true;
+            let base: Vec<AdrReport> = ds.reports.iter().take(240).cloned().collect();
+            let labelled: Vec<PairId> = ds
+                .duplicate_pairs
+                .iter()
+                .filter(|p| p.hi < 240)
+                .copied()
+                .collect();
+            sys.bootstrap(&base, &labelled).unwrap();
+            let batch: Vec<AdrReport> = ds.reports.iter().skip(240).cloned().collect();
+            (sys, batch)
+        };
+        let (mut sys, batch) = build();
+        let (mut control, control_batch) = build();
+
+        let guard = sys.begin_batch();
+        let first = sys.detect_new(&batch).unwrap();
+        sys.rollback_batch(guard);
+        assert_eq!(sys.report_count(), 240, "arrival order rolled back");
+        let retry = sys.detect_new(&batch).unwrap();
+        let once = control.detect_new(&control_batch).unwrap();
+        assert_eq!(retry, first, "retry reproduces the rolled-back attempt");
+        assert_eq!(retry, once, "retry matches a clean single run");
+        assert_eq!(sys.interner_len(), control.interner_len());
+        assert_eq!(
+            sys.store().snapshot(),
+            control.store().snapshot(),
+            "stores (incl. reservoir RNG state) must match bit-for-bit"
         );
     }
 

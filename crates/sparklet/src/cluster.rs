@@ -63,6 +63,9 @@ pub(crate) struct ClusterInner {
     next_job_id: AtomicU64,
     /// One flag per entry of `config.fault.executor_kills`: has it fired?
     fired_kills: Mutex<Vec<bool>>,
+    /// Driver-side fault points passed so far; compared against
+    /// `config.fault.driver_kill` by [`Cluster::driver_fault_point`].
+    driver_points: AtomicU64,
     /// Shuffle id → (map-task count, recovery handler). See [`RecoveryFn`].
     shuffle_recovery: Mutex<HashMap<u64, (usize, Weak<RecoveryFn>)>>,
 }
@@ -110,6 +113,7 @@ impl Cluster {
                 next_shuffle_id: AtomicU64::new(0),
                 next_job_id: AtomicU64::new(0),
                 fired_kills: Mutex::new(vec![false; config.fault.executor_kills.len()]),
+                driver_points: AtomicU64::new(0),
                 shuffle_recovery: Mutex::new(HashMap::new()),
                 config,
             }),
@@ -193,9 +197,53 @@ impl Cluster {
         self.inner.journal.clear();
         self.inner.executors.reset();
         self.inner.next_job_id.store(0, Ordering::Relaxed);
+        self.inner.driver_points.store(0, Ordering::Relaxed);
         for fired in self.inner.fired_kills.lock().iter_mut() {
             *fired = false;
         }
+    }
+
+    /// Pass a driver-side fault point labelled `label`. Each call consumes
+    /// one global point index (0-based, across the cluster's lifetime); if
+    /// [`crate::FaultConfig::driver_kill`] arms exactly this index, the call
+    /// journals a [`EventKind::DriverKilled`] event and returns the fatal
+    /// [`SparkletError::DriverKilled`] — callers must *not* retry it, but
+    /// drop their in-memory state and recover from a durable checkpoint.
+    /// Otherwise it is free and returns `Ok(())`.
+    pub fn driver_fault_point(&self, label: &str) -> Result<()> {
+        let point = self.inner.driver_points.fetch_add(1, Ordering::Relaxed);
+        if self.inner.config.fault.driver_kill == Some(point) {
+            self.inner.journal.record(EventKind::DriverKilled {
+                point,
+                label: label.to_string(),
+            });
+            return Err(SparkletError::DriverKilled {
+                point,
+                label: label.to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    /// How many driver-side fault points have been passed so far. A clean
+    /// run of a service reports the sweep range for kill-point chaos tests.
+    pub fn driver_points_passed(&self) -> u64 {
+        self.inner.driver_points.load(Ordering::Relaxed)
+    }
+
+    /// Charge `us` of driver-side work to the virtual clock as a
+    /// single-task stage named `name` and advance the journal's clock by the
+    /// same amount. Used by driver-level services (checkpoint writes, retry
+    /// backoff waits) whose cost is not incurred by any executor task.
+    pub fn charge_driver_stage(&self, name: &str, us: u64) {
+        self.inner.clock.record_stage(StageRecord {
+            name: name.to_string(),
+            task_us: vec![us],
+            shuffle_bytes: 0,
+            retries: 0,
+            morsels: None,
+        });
+        self.inner.journal.advance(us);
     }
 
     pub(crate) fn new_rdd_id(&self) -> u64 {
@@ -909,6 +957,43 @@ fn fault_fires(
 mod tests {
     use super::*;
     use crate::config::{FaultConfig, SchedConfig};
+
+    #[test]
+    fn driver_fault_point_fires_exactly_at_its_armed_index() {
+        let mut cfg = ClusterConfig::local(1);
+        cfg.fault = FaultConfig::disabled().kill_driver_at_point(2);
+        let c = Cluster::new(cfg);
+        assert!(c.driver_fault_point("a").is_ok());
+        assert!(c.driver_fault_point("b").is_ok());
+        let err = c.driver_fault_point("commit").unwrap_err();
+        assert_eq!(
+            err,
+            SparkletError::DriverKilled {
+                point: 2,
+                label: "commit".into()
+            }
+        );
+        assert!(err.is_driver_kill());
+        // Points past the armed one are free again (the service is expected
+        // to have crashed; a recovered service runs on a fresh cluster).
+        assert!(c.driver_fault_point("later").is_ok());
+        assert_eq!(c.driver_points_passed(), 4);
+        let tags: Vec<&str> = c.journal().events().iter().map(|e| e.kind.tag()).collect();
+        assert_eq!(tags, vec!["driver_killed"]);
+        c.reset_run_state();
+        assert_eq!(c.driver_points_passed(), 0);
+    }
+
+    #[test]
+    fn charge_driver_stage_advances_clock_and_journal() {
+        let c = Cluster::local(2);
+        let before = c.journal().now_us();
+        c.charge_driver_stage("ingest-checkpoint", 5_000);
+        assert_eq!(c.journal().now_us(), before + 5_000);
+        let stages = c.clock().stages();
+        let s = stages.iter().find(|s| s.name == "ingest-checkpoint");
+        assert_eq!(s.map(|s| s.task_us.clone()), Some(vec![5_000]));
+    }
 
     #[test]
     fn run_job_returns_ordered_partition_outputs() {

@@ -259,6 +259,14 @@ pub struct FaultConfig {
     /// restarts empty with a new incarnation; at the budget it is removed
     /// from scheduling for the rest of the run.
     pub max_executor_failures: u32,
+    /// Kill the *driver* at the `n`-th driver-side fault point (0-based,
+    /// counted across the cluster's lifetime by
+    /// [`crate::Cluster::driver_fault_point`]). Driver-level services (e.g.
+    /// the dedup ingest loop) pepper their commit protocol with fault
+    /// points; arming this makes exactly one of them return
+    /// [`crate::SparkletError::DriverKilled`], which is fatal — recovery
+    /// happens from a durable checkpoint, not in process. `None` disables.
+    pub driver_kill: Option<u64>,
 }
 
 /// One scheduled executor failure.
@@ -300,6 +308,7 @@ impl FaultConfig {
             seed: 0,
             executor_kills: Vec::new(),
             max_executor_failures: Self::DEFAULT_MAX_EXECUTOR_FAILURES,
+            driver_kill: None,
         }
     }
 
@@ -322,6 +331,13 @@ impl FaultConfig {
             executor,
             when: KillWhen::AtVirtualTime { us },
         });
+        self
+    }
+
+    /// Kill the driver at its `point`-th fault point (builder-style). See
+    /// [`FaultConfig::driver_kill`].
+    pub fn kill_driver_at_point(mut self, point: u64) -> Self {
+        self.driver_kill = Some(point);
         self
     }
 
@@ -477,6 +493,14 @@ mod tests {
             c.spill_write_ns > c.shuffle_byte_ns,
             "spilling must cost more than keeping bytes resident"
         );
+    }
+
+    #[test]
+    fn driver_kill_builder_arms_one_point() {
+        assert_eq!(FaultConfig::disabled().driver_kill, None);
+        let f = FaultConfig::disabled().kill_driver_at_point(12);
+        assert_eq!(f.driver_kill, Some(12));
+        assert!(f.executor_kills.is_empty(), "orthogonal to executor kills");
     }
 
     #[test]

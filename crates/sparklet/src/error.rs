@@ -58,8 +58,29 @@ pub enum SparkletError {
     },
     /// An action was invoked on an empty dataset where a value is required.
     EmptyCollection,
+    /// The driver process was killed at a driver-side fault point (see
+    /// [`crate::FaultConfig::driver_kill`] and
+    /// [`crate::Cluster::driver_fault_point`]). Unlike task and executor
+    /// faults this is **fatal**: nothing in-process retries it. Services
+    /// model the crash by dropping their state and recovering from their
+    /// durable checkpoint.
+    DriverKilled {
+        /// Global index of the fault point that fired (0-based, counted
+        /// across the cluster's lifetime).
+        point: u64,
+        /// Label of the code location that hit the fault point.
+        label: String,
+    },
     /// User code inside a task failed with a message.
     User(String),
+}
+
+impl SparkletError {
+    /// Is this a driver kill (fatal; never retried, recovered from a
+    /// checkpoint instead)?
+    pub fn is_driver_kill(&self) -> bool {
+        matches!(self, SparkletError::DriverKilled { .. })
+    }
 }
 
 impl fmt::Display for SparkletError {
@@ -89,6 +110,9 @@ impl fmt::Display for SparkletError {
                 write!(f, "no healthy executors left to run stage '{stage}'")
             }
             SparkletError::EmptyCollection => write!(f, "empty collection"),
+            SparkletError::DriverKilled { point, label } => {
+                write!(f, "driver killed at fault point {point} ('{label}')")
+            }
             SparkletError::User(msg) => write!(f, "user error: {msg}"),
         }
     }
@@ -142,5 +166,17 @@ mod tests {
     fn errors_are_comparable() {
         assert_eq!(SparkletError::InjectedFault, SparkletError::InjectedFault);
         assert_ne!(SparkletError::InjectedFault, SparkletError::EmptyCollection);
+    }
+
+    #[test]
+    fn driver_kill_is_fatal_and_displays_its_point() {
+        let e = SparkletError::DriverKilled {
+            point: 7,
+            label: "batch-commit".into(),
+        };
+        assert!(e.is_driver_kill());
+        assert!(e.to_string().contains("fault point 7"));
+        assert!(e.to_string().contains("batch-commit"));
+        assert!(!SparkletError::EmptyCollection.is_driver_kill());
     }
 }

@@ -279,6 +279,73 @@ pub enum EventKind {
         /// Pair distances answered from the cross-call memo.
         memo_hits: u64,
     },
+    /// The driver was killed at a driver-side fault point (see
+    /// [`crate::FaultConfig::driver_kill`]). Fatal: the owning service drops
+    /// its state and recovers from its durable checkpoint.
+    DriverKilled {
+        /// Global fault-point index that fired.
+        point: u64,
+        /// Label of the code location that hit the fault point.
+        label: String,
+    },
+    /// An ingest micro-batch committed: detections folded into the
+    /// cumulative digest and a new checkpoint generation renamed into place.
+    /// Coalesced: one event per batch, never per report or per pair, so a
+    /// long-running ingest stays within the journal bound.
+    IngestBatchCommitted {
+        /// Batch index (== quarter index for quarterly replay).
+        batch: u64,
+        /// Reports ingested by this batch.
+        reports: u64,
+        /// Candidate pairs scored (detections emitted).
+        detections: u64,
+        /// Detections classified duplicate.
+        duplicates: u64,
+        /// Failed attempts before the one that committed.
+        retries: u64,
+        /// Admission-gate deferrals charged before this batch started.
+        deferrals: u64,
+        /// Virtual latency of the committed attempt plus checkpoint write
+        /// (µs), excluding backoff waits and deferrals.
+        latency_us: u64,
+        /// Size of the checkpoint file written at commit (bytes).
+        checkpoint_bytes: u64,
+    },
+    /// The ingest admission gate deferred the next batch because the
+    /// engine's lag exceeded its bound (backpressure). One event per wait.
+    IngestDeferred {
+        /// Batch whose admission was deferred.
+        batch: u64,
+        /// Spill-resident bytes observed at the gate.
+        resident_bytes: u64,
+        /// In-flight (previous-batch) pair count observed at the gate.
+        lagged_pairs: u64,
+        /// Virtual time charged for the wait (µs).
+        waited_us: u64,
+    },
+    /// A poison batch exhausted `max_batch_retries`, was dumped to the
+    /// quarantine file and skipped so the service keeps making progress.
+    IngestQuarantined {
+        /// Batch index that was quarantined.
+        batch: u64,
+        /// Reports the batch carried.
+        reports: u64,
+        /// Attempts made (including the first).
+        attempts: u64,
+        /// Last failure, human-readable.
+        reason: String,
+    },
+    /// An ingest service recovered from a durable checkpoint after a driver
+    /// crash (or plain restart).
+    IngestRecovered {
+        /// Checkpoint generation that was loaded.
+        generation: u64,
+        /// First batch to (re)run after recovery.
+        batch_high_water: u64,
+        /// Whether the newest generation was corrupt and recovery fell back
+        /// to an older one.
+        fallback: bool,
+    },
 }
 
 impl EventKind {
@@ -307,6 +374,11 @@ impl EventKind {
             EventKind::WorkerIdle { .. } => "worker_idle",
             EventKind::BatchExecuted { .. } => "batch_executed",
             EventKind::PruneApplied { .. } => "prune_applied",
+            EventKind::DriverKilled { .. } => "driver_killed",
+            EventKind::IngestBatchCommitted { .. } => "ingest_batch_committed",
+            EventKind::IngestDeferred { .. } => "ingest_deferred",
+            EventKind::IngestQuarantined { .. } => "ingest_quarantined",
+            EventKind::IngestRecovered { .. } => "ingest_recovered",
         }
     }
 }
@@ -845,6 +917,104 @@ impl PruneReport {
     }
 }
 
+/// One committed micro-batch in the [`IngestReport`], folded from an
+/// [`EventKind::IngestBatchCommitted`] journal event.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IngestBatchRow {
+    /// Batch index (== quarter index for quarterly replay).
+    pub batch: u64,
+    /// Reports ingested by this batch.
+    pub reports: u64,
+    /// Candidate pairs scored (detections emitted).
+    pub detections: u64,
+    /// Detections classified duplicate.
+    pub duplicates: u64,
+    /// Failed attempts before the one that committed.
+    pub retries: u64,
+    /// Admission-gate deferrals before this batch started.
+    pub deferrals: u64,
+    /// Virtual latency of the committed attempt plus checkpoint write (µs).
+    pub latency_us: u64,
+    /// Size of the checkpoint generation written at commit (bytes).
+    pub checkpoint_bytes: u64,
+}
+
+/// Streaming-ingest aggregates captured into a [`JobReport`]: per-batch
+/// latency/retry rows plus quarantine, backpressure and recovery totals,
+/// folded from the coalesced ingest journal events (one per batch, so the
+/// section stays bounded however long the service runs).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IngestReport {
+    /// Batches committed, in commit order.
+    pub batches: Vec<IngestBatchRow>,
+    /// Batches quarantined after exhausting their retry budget.
+    pub batches_quarantined: u64,
+    /// Failed attempts summed over committed batches.
+    pub batch_retries: u64,
+    /// Admission-gate deferrals (backpressure waits).
+    pub deferrals: u64,
+    /// Checkpoint recoveries (restarts resumed from a checkpoint).
+    pub recoveries: u64,
+    /// Recoveries that fell back past a corrupt newest generation.
+    pub checkpoint_fallbacks: u64,
+    /// Driver kills journaled by fault points.
+    pub driver_kills: u64,
+    /// Checkpoint bytes written, summed over commits.
+    pub checkpoint_bytes: u64,
+}
+
+impl IngestReport {
+    fn capture(cluster: &Cluster) -> Self {
+        let mut report = IngestReport::default();
+        for ev in cluster.journal().events() {
+            match ev.kind {
+                EventKind::IngestBatchCommitted {
+                    batch,
+                    reports,
+                    detections,
+                    duplicates,
+                    retries,
+                    deferrals,
+                    latency_us,
+                    checkpoint_bytes,
+                } => {
+                    report.batch_retries += retries;
+                    report.checkpoint_bytes += checkpoint_bytes;
+                    report.batches.push(IngestBatchRow {
+                        batch,
+                        reports,
+                        detections,
+                        duplicates,
+                        retries,
+                        deferrals,
+                        latency_us,
+                        checkpoint_bytes,
+                    });
+                }
+                EventKind::IngestDeferred { .. } => report.deferrals += 1,
+                EventKind::IngestQuarantined { .. } => report.batches_quarantined += 1,
+                EventKind::IngestRecovered { fallback, .. } => {
+                    report.recoveries += 1;
+                    if fallback {
+                        report.checkpoint_fallbacks += 1;
+                    }
+                }
+                EventKind::DriverKilled { .. } => report.driver_kills += 1,
+                _ => {}
+            }
+        }
+        report
+    }
+
+    /// Did an ingest service run on this cluster?
+    pub fn any(&self) -> bool {
+        !self.batches.is_empty()
+            || self.batches_quarantined > 0
+            || self.recoveries > 0
+            || self.driver_kills > 0
+    }
+}
+
 /// Maximum failure lines embedded in a report (the journal may hold more).
 /// Cap on the failure lines a [`JobReport`] retains (fault-injection runs
 /// can fail thousands of attempts; the report keeps the first few).
@@ -877,6 +1047,10 @@ pub struct JobReport {
     /// by the triangle-inequality window, distance evaluations avoided and
     /// memo hits (empty when no pruning pass was journaled).
     pub prune: PruneReport,
+    /// Streaming-ingest aggregates: per-batch latency/retry/checkpoint rows
+    /// plus quarantine, backpressure and recovery totals (empty when no
+    /// ingest service ran).
+    pub ingest: IngestReport,
     /// First [`MAX_REPORT_FAILURES`] task-attempt failures, in order.
     pub failures: Vec<FailureLine>,
     /// User counters, sorted by name.
@@ -890,8 +1064,8 @@ pub struct JobReport {
 impl JobReport {
     /// Current JSON schema version (2 added the `recovery` section, 3 the
     /// `sched` section, 4 the `batch` section, 5 the `spill` section, 6 the
-    /// `prune` section).
-    pub const SCHEMA_VERSION: u32 = 6;
+    /// `prune` section, 7 the `ingest` section).
+    pub const SCHEMA_VERSION: u32 = 7;
 
     /// Snapshot a cluster's clock, metrics and journal into a report.
     pub fn capture(cluster: &Cluster) -> Self {
@@ -944,6 +1118,7 @@ impl JobReport {
             batch: BatchReport::capture(cluster),
             spill: SpillReport::capture(cluster),
             prune: PruneReport::capture(cluster),
+            ingest: IngestReport::capture(cluster),
             recovery: RecoveryReport {
                 executors_lost: m.executors_lost.get(),
                 executors_blacklisted: m.executors_blacklisted.get(),
@@ -1092,6 +1267,40 @@ impl JobReport {
             pr.avoided_fraction(),
         ));
         out.push_str("},\n");
+        let ing = &self.ingest;
+        out.push_str("  \"ingest\": {");
+        out.push_str(&format!(
+            "\"batches_committed\": {}, \"batches_quarantined\": {}, \"batch_retries\": {}, \
+             \"deferrals\": {}, \"recoveries\": {}, \"checkpoint_fallbacks\": {}, \
+             \"driver_kills\": {}, \"checkpoint_bytes\": {}, \"batches\": [",
+            ing.batches.len(),
+            ing.batches_quarantined,
+            ing.batch_retries,
+            ing.deferrals,
+            ing.recoveries,
+            ing.checkpoint_fallbacks,
+            ing.driver_kills,
+            ing.checkpoint_bytes,
+        ));
+        for (i, b) in ing.batches.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"batch\": {}, \"reports\": {}, \"detections\": {}, \"duplicates\": {}, \
+                 \"retries\": {}, \"deferrals\": {}, \"latency_us\": {}, \
+                 \"checkpoint_bytes\": {}}}",
+                b.batch,
+                b.reports,
+                b.detections,
+                b.duplicates,
+                b.retries,
+                b.deferrals,
+                b.latency_us,
+                b.checkpoint_bytes,
+            ));
+        }
+        out.push_str("]},\n");
         out.push_str("  \"stages\": [");
         for (i, s) in self.stages.iter().enumerate() {
             if i > 0 {
@@ -1305,6 +1514,42 @@ impl fmt::Display for JobReport {
                 b.dispatch_saved_us as f64 / 1e3,
             )?;
         }
+        if self.ingest.any() {
+            let ing = &self.ingest;
+            writeln!(
+                f,
+                "ingest: {} batches committed ({} retries), {} quarantined, \
+                 {} deferrals, {} recoveries ({} fallbacks), {} driver kills, \
+                 {} checkpoint B",
+                ing.batches.len(),
+                ing.batch_retries,
+                ing.batches_quarantined,
+                ing.deferrals,
+                ing.recoveries,
+                ing.checkpoint_fallbacks,
+                ing.driver_kills,
+                ing.checkpoint_bytes,
+            )?;
+            writeln!(
+                f,
+                "{:>6} {:>8} {:>8} {:>6} {:>4} {:>6} {:>12} {:>8}",
+                "batch", "reports", "detect", "dup", "try", "defer", "latency(ms)", "ckpt(B)"
+            )?;
+            for b in &ing.batches {
+                writeln!(
+                    f,
+                    "{:>6} {:>8} {:>8} {:>6} {:>4} {:>6} {:>12.1} {:>8}",
+                    b.batch,
+                    b.reports,
+                    b.detections,
+                    b.duplicates,
+                    b.retries,
+                    b.deferrals,
+                    b.latency_us as f64 / 1e3,
+                    b.checkpoint_bytes,
+                )?;
+            }
+        }
         for fl in &self.failures {
             writeln!(
                 f,
@@ -1427,6 +1672,56 @@ mod tests {
     }
 
     #[test]
+    fn ingest_section_folds_coalesced_batch_events() {
+        let c = Cluster::local(2);
+        c.journal().record(EventKind::IngestRecovered {
+            generation: 3,
+            batch_high_water: 2,
+            fallback: true,
+        });
+        for batch in 2..4u64 {
+            c.journal().record(EventKind::IngestBatchCommitted {
+                batch,
+                reports: 50,
+                detections: 120,
+                duplicates: 4,
+                retries: batch - 2,
+                deferrals: 0,
+                latency_us: 1_000 * batch,
+                checkpoint_bytes: 2_048,
+            });
+        }
+        c.journal().record(EventKind::IngestDeferred {
+            batch: 4,
+            resident_bytes: 1 << 20,
+            lagged_pairs: 999,
+            waited_us: 500,
+        });
+        c.journal().record(EventKind::IngestQuarantined {
+            batch: 4,
+            reports: 50,
+            attempts: 3,
+            reason: "injected".into(),
+        });
+        let report = c.job_report();
+        assert!(report.ingest.any());
+        assert_eq!(report.ingest.batches.len(), 2);
+        assert_eq!(report.ingest.batches[0].batch, 2);
+        assert_eq!(report.ingest.batches[1].retries, 1);
+        assert_eq!(report.ingest.batch_retries, 1);
+        assert_eq!(report.ingest.batches_quarantined, 1);
+        assert_eq!(report.ingest.deferrals, 1);
+        assert_eq!(report.ingest.recoveries, 1);
+        assert_eq!(report.ingest.checkpoint_fallbacks, 1);
+        assert_eq!(report.ingest.checkpoint_bytes, 4_096);
+        let json = report.to_json();
+        assert!(json.contains("\"batches_committed\": 2"));
+        assert!(json.contains("\"checkpoint_fallbacks\": 1"));
+        let text = report.to_string();
+        assert!(text.contains("ingest: 2 batches committed"));
+    }
+
+    #[test]
     fn json_is_schema_stable_and_escaped() {
         let c = Cluster::local(2);
         c.run_job("quoted \"stage\"\n", 2, |_, ctx| {
@@ -1436,8 +1731,14 @@ mod tests {
         .unwrap();
         let json = c.job_report().to_json();
         for key in [
-            "\"schema_version\": 6",
+            "\"schema_version\": 7",
             "\"batch\"",
+            "\"ingest\"",
+            "\"batches_committed\"",
+            "\"batches_quarantined\"",
+            "\"checkpoint_fallbacks\"",
+            "\"driver_kills\"",
+            "\"checkpoint_bytes\"",
             "\"dispatch_saved_us\"",
             "\"prune\"",
             "\"cells_skipped\"",

@@ -74,8 +74,8 @@ pub use error::{Result, SparkletError};
 pub use executor::{ExecutorInfo, ExecutorRegistry, KillOutcome};
 pub use hash::{stable_hash, SipHasher13};
 pub use journal::{
-    BatchReport, Event, EventKind, JobReport, PruneReport, RecoveryReport, RunJournal, SchedReport,
-    WorkerUtilization,
+    BatchReport, Event, EventKind, IngestBatchRow, IngestReport, JobReport, PruneReport,
+    RecoveryReport, RunJournal, SchedReport, WorkerUtilization,
 };
 pub use metrics::ClusterMetrics;
 pub use pair::PairRdd;

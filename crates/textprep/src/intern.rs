@@ -64,6 +64,23 @@ impl TokenInterner {
     pub fn is_empty(&self) -> bool {
         self.tokens.is_empty()
     }
+
+    /// A rollback mark: the current token count. Tokens interned after
+    /// taking a mark can be undone with [`TokenInterner::truncate`].
+    pub fn mark(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Roll back to a [`TokenInterner::mark`], forgetting every token
+    /// interned since. Ids assigned before the mark are untouched, so a
+    /// retried ingest re-assigns the *same* dense ids it would have gotten
+    /// on a first try — the property batch rollback relies on for
+    /// bit-identical replays. Marks past the current length are a no-op.
+    pub fn truncate(&mut self, mark: usize) {
+        for token in self.tokens.drain(mark.min(self.tokens.len())..) {
+            self.ids.remove(&token);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -100,5 +117,26 @@ mod tests {
         let x = interner.intern_set(["b", "a", "c", "a"]);
         let y = interner.intern_set(["c", "b", "a"]);
         assert_eq!(x, y, "same string set must intern to same id set");
+    }
+
+    #[test]
+    fn truncate_rolls_back_to_mark_and_replays_same_ids() {
+        let mut interner = TokenInterner::new();
+        interner.intern("keep");
+        let mark = interner.mark();
+        assert_eq!(mark, 1);
+        interner.intern_set(["lost", "gone"]);
+        assert_eq!(interner.len(), 3);
+        interner.truncate(mark);
+        assert_eq!(interner.len(), 1);
+        assert_eq!(interner.intern("keep"), 0, "pre-mark ids untouched");
+        // A replay after rollback hands out the exact ids the failed
+        // attempt got — dense, first-seen order.
+        assert_eq!(interner.intern("gone"), 1);
+        assert_eq!(interner.intern("lost"), 2);
+        assert_eq!(interner.resolve(1), "gone");
+        // Truncating past the end is a no-op.
+        interner.truncate(99);
+        assert_eq!(interner.len(), 3);
     }
 }

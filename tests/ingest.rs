@@ -1,0 +1,328 @@
+//! Chaos suite for the durable streaming-ingest service (`dedup::ingest`).
+//!
+//! The contract under test is *lossless recovery*: a driver crash at any
+//! fault point, a torn checkpoint write, a poisoned batch or a transient
+//! engine fault must leave the service able to reach the exact cumulative
+//! detection digest of an undisturbed run. The digest folds every
+//! detection of every committed batch (pair ids, score bits, decision), so
+//! bit-identity here is bit-identity of the system's entire output.
+
+use adr_synth::{QuarterlyReplay, StreamingCorpus, SynthConfig};
+use dedup::{DedupConfig, IngestConfig, IngestService, TornWrite};
+use fastknn::FastKnnConfig;
+use sparklet::{Cluster, ClusterConfig, FaultConfig};
+use std::path::PathBuf;
+
+fn replay(reports: usize, dups: usize, seed: u64, quarter: u64) -> QuarterlyReplay {
+    QuarterlyReplay::new(
+        StreamingCorpus::new(SynthConfig::small(reports, dups, seed)),
+        quarter,
+    )
+}
+
+fn dedup_config() -> DedupConfig {
+    DedupConfig {
+        bootstrap_negatives: 250,
+        use_blocking: true,
+        knn: FastKnnConfig {
+            theta: 0.0,
+            b: 8,
+            ..FastKnnConfig::default()
+        },
+        ..DedupConfig::default()
+    }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ingest-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Run the whole replay on a fresh directory and return the digest.
+fn reference_digest(rp: &QuarterlyReplay, tag: &str) -> u64 {
+    let dir = temp_dir(tag);
+    let mut svc = IngestService::open(
+        Cluster::local(2),
+        dedup_config(),
+        IngestConfig::new(&dir),
+        rp,
+    )
+    .expect("open fresh");
+    svc.run(rp, rp.quarters()).expect("uninterrupted run");
+    let digest = svc.cumulative_digest();
+    let _ = std::fs::remove_dir_all(&dir);
+    digest
+}
+
+#[test]
+fn uninterrupted_runs_share_one_digest() {
+    let rp = replay(160, 10, 42, 40);
+    let a = reference_digest(&rp, "det-a");
+    let b = reference_digest(&rp, "det-b");
+    assert_ne!(a, 0);
+    assert_eq!(a, b, "identical runs must produce identical digests");
+}
+
+/// The tentpole guarantee: arm a driver kill at every fault point the
+/// service passes and show that re-opening from the checkpoint directory
+/// and finishing the run lands on the uninterrupted digest, every time.
+#[test]
+fn driver_kill_at_every_point_recovers_bit_identically() {
+    let rp = replay(120, 8, 7, 30);
+    let quarters = rp.quarters();
+
+    // Clean run: reference digest + the number of fault points traversed.
+    let dir = temp_dir("kill-ref");
+    let mut svc = IngestService::open(
+        Cluster::local(2),
+        dedup_config(),
+        IngestConfig::new(&dir),
+        &rp,
+    )
+    .expect("open fresh");
+    svc.run(&rp, quarters).expect("clean run");
+    let want = svc.cumulative_digest();
+    let points = svc.system().cluster().driver_points_passed();
+    let _ = std::fs::remove_dir_all(&dir);
+    assert!(
+        points >= 8,
+        "expected a sweep worth of fault points, got {points}"
+    );
+
+    for p in 0..points {
+        let dir = temp_dir(&format!("kill-{p}"));
+        let mut cfg = ClusterConfig::local(2);
+        cfg.fault = FaultConfig::disabled().kill_driver_at_point(p);
+        let killed = IngestService::open(
+            Cluster::new(cfg),
+            dedup_config(),
+            IngestConfig::new(&dir),
+            &rp,
+        )
+        .expect("open armed")
+        .run(&rp, quarters);
+        let err = killed.expect_err("armed run must die at its fault point");
+        assert!(err.is_driver_kill(), "point {p}: unexpected error {err}");
+
+        // The crashed driver's memory is gone; recover from disk alone.
+        let mut svc = IngestService::open(
+            Cluster::local(2),
+            dedup_config(),
+            IngestConfig::new(&dir),
+            &rp,
+        )
+        .unwrap_or_else(|e| panic!("point {p}: recovery open failed: {e}"));
+        svc.run(&rp, quarters)
+            .unwrap_or_else(|e| panic!("point {p}: resumed run failed: {e}"));
+        assert_eq!(
+            svc.cumulative_digest(),
+            want,
+            "kill at point {p}: recovered digest diverged"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Satellite: a torn checkpoint write (truncated bytes that still made it
+/// through the rename) must fail its CRC on recovery and fall back to the
+/// previous generation — losing the torn batch's commit but nothing else.
+#[test]
+fn torn_checkpoint_write_falls_back_one_generation() {
+    let rp = replay(120, 8, 7, 30);
+    let quarters = rp.quarters();
+    let want = reference_digest(&rp, "torn-ref");
+
+    let dir = temp_dir("torn");
+    let mut config = IngestConfig::new(&dir);
+    // Tear the final checkpoint (generation == quarters - 1: one per
+    // bootstrap commit plus one per detect batch).
+    config.torn_write = Some(TornWrite {
+        generation: quarters - 1,
+        keep_bytes: 120,
+    });
+    let mut svc = IngestService::open(Cluster::local(2), dedup_config(), config, &rp)
+        .expect("open with torn-write fault");
+    svc.run(&rp, quarters).expect("run with torn final write");
+    drop(svc);
+
+    let mut svc = IngestService::open(
+        Cluster::local(2),
+        dedup_config(),
+        IngestConfig::new(&dir),
+        &rp,
+    )
+    .expect("recovery open");
+    assert!(
+        svc.recovered_with_fallback(),
+        "newest generation is torn; recovery must fall back"
+    );
+    assert_eq!(
+        svc.batch_high_water(),
+        quarters - 1,
+        "fallback loses exactly the torn batch's commit"
+    );
+    svc.run(&rp, quarters).expect("replay the lost batch");
+    assert_eq!(svc.cumulative_digest(), want);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Satellite: a poisoned batch is quarantined after its retries, later
+/// batches commit, and the final state matches a run that never saw the
+/// batch at all.
+#[test]
+fn quarantine_leaves_state_as_if_the_batch_never_arrived() {
+    let rp = replay(160, 10, 42, 40);
+    let quarters = rp.quarters();
+
+    let skip_dir = temp_dir("skip");
+    let mut skip_cfg = IngestConfig::new(&skip_dir);
+    skip_cfg.skip_batches = vec![2];
+    let mut skip_svc = IngestService::open(Cluster::local(2), dedup_config(), skip_cfg, &rp)
+        .expect("open skip run");
+    skip_svc.run(&rp, quarters).expect("skip run");
+    let want = skip_svc.cumulative_digest();
+    let _ = std::fs::remove_dir_all(&skip_dir);
+
+    let dir = temp_dir("poison");
+    let mut cfg = IngestConfig::new(&dir);
+    cfg.poison_batches = vec![2];
+    cfg.max_batch_retries = 1;
+    let mut svc =
+        IngestService::open(Cluster::local(2), dedup_config(), cfg, &rp).expect("open poison run");
+    svc.run(&rp, quarters).expect("poison run completes");
+
+    assert_eq!(
+        svc.batch_high_water(),
+        quarters,
+        "later batches still commit"
+    );
+    assert_eq!(svc.skipped(), &[2], "the poison batch is quarantined");
+    assert_eq!(
+        svc.cumulative_digest(),
+        want,
+        "quarantine must equal never-arrived"
+    );
+    let report = svc.job_report();
+    assert_eq!(report.ingest.batches_quarantined, 1);
+    let log = std::fs::read_to_string(dir.join("quarantine.log")).expect("quarantine.log");
+    assert!(log.contains("batch 2"), "log names the batch: {log:?}");
+    assert!(
+        log.contains("attempts 2"),
+        "one initial attempt + one retry before quarantine: {log:?}"
+    );
+    assert!(log.contains("poisoned batch 2"), "log carries the reason");
+
+    // A restart after quarantine must not retry the poisoned batch.
+    drop(svc);
+    let svc = IngestService::open(
+        Cluster::local(2),
+        dedup_config(),
+        IngestConfig::new(&dir),
+        &rp,
+    )
+    .expect("reopen after quarantine");
+    assert_eq!(svc.skipped(), &[2]);
+    assert_eq!(svc.cumulative_digest(), want);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Backpressure defers admissions (journalled, clock-charged) but never
+/// touches detection state, so the digest is unchanged.
+#[test]
+fn backpressure_defers_without_perturbing_the_digest() {
+    let rp = replay(160, 10, 42, 40);
+    let want = reference_digest(&rp, "bp-ref");
+
+    let dir = temp_dir("bp");
+    let mut cfg = IngestConfig::new(&dir);
+    cfg.max_lagged_pairs = 1; // every committed batch trips the lag gate
+    let mut svc =
+        IngestService::open(Cluster::local(2), dedup_config(), cfg, &rp).expect("open gated");
+    svc.run(&rp, rp.quarters()).expect("gated run");
+    assert_eq!(svc.cumulative_digest(), want, "deferrals must be invisible");
+
+    let report = svc.job_report();
+    assert!(report.ingest.deferrals >= 2, "lag gate never fired");
+    assert!(
+        report.ingest.deferrals <= rp.quarters() * 8,
+        "deferrals are bounded per batch"
+    );
+    let deferred_events = svc
+        .system()
+        .cluster()
+        .journal()
+        .events()
+        .iter()
+        .filter(|e| e.kind.tag() == "ingest_deferred")
+        .count() as u64;
+    assert_eq!(deferred_events, report.ingest.deferrals);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Transient engine faults (worker task failures with engine-level retry
+/// disabled) bubble up to the service, which rolls the batch back, backs
+/// off on the virtual clock, and replays — landing on the fault-free
+/// digest.
+#[test]
+fn transient_engine_faults_retry_to_the_fault_free_digest() {
+    let rp = replay(160, 10, 42, 40);
+    let want = reference_digest(&rp, "fault-ref");
+
+    let dir = temp_dir("fault");
+    let mut cluster_cfg = ClusterConfig::local(2);
+    // With engine-level retry disabled every task fault fails its whole
+    // job, so the rate must stay low enough that a batch of ~100 task
+    // attempts converges within the service's retry budget.
+    cluster_cfg.max_task_attempts = 1;
+    cluster_cfg.fault = FaultConfig::with_probability(0.004, 2016);
+    let mut ingest_cfg = IngestConfig::new(&dir);
+    ingest_cfg.max_batch_retries = 8;
+    let mut svc = IngestService::open(Cluster::new(cluster_cfg), dedup_config(), ingest_cfg, &rp)
+        .expect("open faulty");
+    svc.run(&rp, rp.quarters()).expect("faulty run converges");
+
+    assert_eq!(svc.cumulative_digest(), want);
+    assert!(svc.skipped().is_empty(), "no batch should be quarantined");
+    let report = svc.job_report();
+    assert!(
+        report.ingest.batch_retries >= 1,
+        "fault injection never forced a service-level retry"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Satellite: forty quarters of ingest coalesce into one journal event per
+/// batch — the journal never drops events and stays far under its cap.
+#[test]
+fn journal_stays_bounded_across_forty_quarters() {
+    let rp = replay(1000, 50, 9, 25);
+    assert_eq!(rp.quarters(), 40);
+    let dir = temp_dir("forty");
+    let mut svc = IngestService::open(
+        Cluster::local(4),
+        dedup_config(),
+        IngestConfig::new(&dir),
+        &rp,
+    )
+    .expect("open");
+    svc.run(&rp, 40).expect("forty quarters");
+    assert_eq!(svc.batch_high_water(), 40);
+
+    let journal = svc.system().cluster().journal();
+    assert_eq!(journal.dropped(), 0, "journal dropped events");
+    let committed = journal
+        .events()
+        .iter()
+        .filter(|e| e.kind.tag() == "ingest_batch_committed")
+        .count();
+    assert_eq!(committed, 40, "exactly one coalesced event per batch");
+
+    let report = svc.job_report();
+    assert_eq!(report.ingest.batches.len(), 40);
+    assert!(
+        report.ingest.checkpoint_bytes > 0,
+        "checkpoint bytes accounted"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
