@@ -13,7 +13,9 @@
 //!   paper's Table 1: mis-keyed age digits, changed outcome descriptions,
 //!   edited/reordered ADR lists, paraphrased narratives, typos;
 //! * [`generator`] — seeded corpus generation with duplicate injection and
-//!   a Table 3-shaped summary.
+//!   a Table 3-shaped summary;
+//! * [`queries`] — deterministic open-loop query workloads (Poisson
+//!   arrivals over a simulated user population) for the serving benchmarks.
 //!
 //! Why this substitution preserves the paper's problem: duplicate-detection
 //! difficulty is a function of (a) the distance-vector gap between duplicate
@@ -25,8 +27,10 @@ pub mod corruption;
 pub mod generator;
 pub mod lexicon;
 pub mod narrative;
+pub mod queries;
 pub mod streaming;
 
 pub use corruption::CorruptionConfig;
 pub use generator::{Dataset, DatasetSummary, SynthConfig};
+pub use queries::{generate_query_load, QueryArrival, QueryLoadConfig, QuerySpec};
 pub use streaming::{QuarterlyReplay, StreamingCorpus};

@@ -1,0 +1,206 @@
+//! Open-loop query workloads: deterministic Poisson arrival streams.
+//!
+//! The serving benchmarks drive the dedup service the way a public
+//! pharmacovigilance portal is driven: a large population of independent
+//! users submitting duplicate lookups and drug–event signal queries at
+//! their own pace, regardless of whether the service keeps up (open-loop —
+//! arrivals never wait for completions, so queueing delay is visible
+//! instead of being absorbed by the load generator).
+//!
+//! A superposition of many independent sparse user processes is a Poisson
+//! process, so the stream draws i.i.d. exponential inter-arrival gaps with
+//! the configured mean. Everything is a pure function of the config: gap
+//! `i` and the query of arrival `i` each come from their own
+//! splitmix64-seeded draws (the [`crate::StreamingCorpus`] idiom), so any
+//! two generators with the same config produce bit-identical streams —
+//! the reproducibility anchor for the serve digests.
+//!
+//! This crate knows nothing of the dedup service: a [`QuerySpec`] names
+//! *report ids*, and the consumer resolves them against whatever corpus it
+//! serves (probe report for duplicate lookups; the report's first drug and
+//! reaction words for signal queries).
+
+/// splitmix64 finalizer over `(seed, n)` — one independent draw per use.
+fn mix(seed: u64, n: u64) -> u64 {
+    let mut z = seed ^ n.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform in `(0, 1]` from 53 high bits (never 0, so `ln` is finite).
+fn unit(bits: u64) -> f64 {
+    ((bits >> 11) as f64 + 1.0) * (1.0 / 9_007_199_254_740_992.0)
+}
+
+/// Shape of one generated query-arrival stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryLoadConfig {
+    /// Stream seed: distinct seeds give independent streams.
+    pub seed: u64,
+    /// Number of arrivals to generate.
+    pub requests: usize,
+    /// Size of the simulated user population (arrivals are attributed
+    /// uniformly; with millions of users each is individually sparse).
+    pub users: u64,
+    /// Mean inter-arrival gap in virtual µs (the Poisson rate is its
+    /// reciprocal). Lower = heavier load.
+    pub mean_interarrival_us: u64,
+    /// Per-mille of arrivals that are signal queries (the rest are
+    /// duplicate lookups).
+    pub signal_per_mille: u32,
+    /// Probe report ids are drawn uniformly from `[0, probe_span)`.
+    pub probe_span: u64,
+}
+
+impl Default for QueryLoadConfig {
+    fn default() -> Self {
+        QueryLoadConfig {
+            seed: 2016,
+            requests: 1_000,
+            users: 2_000_000,
+            mean_interarrival_us: 1_000,
+            signal_per_mille: 300,
+            probe_span: 1_000,
+        }
+    }
+}
+
+/// What one arrival asks, as plain report-id data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuerySpec {
+    /// Duplicate lookup probing corpus report `probe_id`.
+    Duplicate {
+        /// Report id to probe with.
+        probe_id: u64,
+    },
+    /// Signal (drug–event association) query derived from corpus report
+    /// `probe_id` — the consumer uses that report's leading drug and
+    /// reaction words.
+    Signal {
+        /// Report id whose drug/reaction words form the query.
+        probe_id: u64,
+    },
+}
+
+/// One timestamped arrival in the open-loop stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryArrival {
+    /// Virtual arrival time (µs); streams are sorted by this.
+    pub arrival_us: u64,
+    /// Simulated user submitting the query.
+    pub user: u64,
+    /// The query itself.
+    pub spec: QuerySpec,
+}
+
+/// Generate the arrival stream for `config`: `config.requests` arrivals in
+/// non-decreasing time order. Pure — equal configs yield identical streams.
+pub fn generate_query_load(config: &QueryLoadConfig) -> Vec<QueryArrival> {
+    let mean = config.mean_interarrival_us.max(1) as f64;
+    let span = config.probe_span.max(1);
+    let users = config.users.max(1);
+    let mut t = 0u64;
+    let mut out = Vec::with_capacity(config.requests);
+    for i in 0..config.requests as u64 {
+        // Four independent draws per arrival: gap, user, kind, probe.
+        let gap = -mean * unit(mix(config.seed, 4 * i)).ln();
+        t = t.saturating_add(gap.round() as u64);
+        let user = mix(config.seed, 4 * i + 1) % users;
+        let kind = mix(config.seed, 4 * i + 2) % 1000;
+        let probe_id = mix(config.seed, 4 * i + 3) % span;
+        let spec = if (kind as u32) < config.signal_per_mille {
+            QuerySpec::Signal { probe_id }
+        } else {
+            QuerySpec::Duplicate { probe_id }
+        };
+        out.push(QueryArrival {
+            arrival_us: t,
+            user,
+            spec,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_sorted() {
+        let config = QueryLoadConfig::default();
+        let a = generate_query_load(&config);
+        let b = generate_query_load(&config);
+        assert_eq!(a, b, "same config must give a bit-identical stream");
+        assert!(a.windows(2).all(|w| w[0].arrival_us <= w[1].arrival_us));
+        assert_eq!(a.len(), config.requests);
+        let other = generate_query_load(&QueryLoadConfig { seed: 7, ..config });
+        assert_ne!(a, other, "distinct seeds give distinct streams");
+    }
+
+    #[test]
+    fn interarrival_mean_and_mix_match_the_config() {
+        let config = QueryLoadConfig {
+            requests: 20_000,
+            mean_interarrival_us: 500,
+            signal_per_mille: 250,
+            ..QueryLoadConfig::default()
+        };
+        let load = generate_query_load(&config);
+        let span_us = load.last().unwrap().arrival_us;
+        let mean = span_us as f64 / load.len() as f64;
+        assert!(
+            (400.0..600.0).contains(&mean),
+            "observed mean gap {mean}µs, want ≈500"
+        );
+        let signals = load
+            .iter()
+            .filter(|q| matches!(q.spec, QuerySpec::Signal { .. }))
+            .count();
+        let per_mille = signals * 1000 / load.len();
+        assert!(
+            (200..300).contains(&per_mille),
+            "signal share {per_mille}‰, want ≈250‰"
+        );
+        // Exponential gaps are bursty: both near-zero and >2×-mean gaps
+        // must occur, or the stream is not Poisson-like.
+        let mut tiny = 0usize;
+        let mut long = 0usize;
+        for w in load.windows(2) {
+            let gap = w[1].arrival_us - w[0].arrival_us;
+            if gap < 50 {
+                tiny += 1;
+            }
+            if gap > 1_000 {
+                long += 1;
+            }
+        }
+        assert!(tiny > 500, "want bursts of near-simultaneous arrivals");
+        assert!(long > 500, "want long quiet gaps");
+    }
+
+    #[test]
+    fn probes_and_users_are_spread() {
+        let config = QueryLoadConfig {
+            requests: 5_000,
+            users: 1_000_000,
+            probe_span: 100,
+            ..QueryLoadConfig::default()
+        };
+        let load = generate_query_load(&config);
+        for q in &load {
+            let probe = match q.spec {
+                QuerySpec::Duplicate { probe_id } | QuerySpec::Signal { probe_id } => probe_id,
+            };
+            assert!(probe < 100);
+            assert!(q.user < 1_000_000);
+        }
+        let distinct_users: std::collections::HashSet<u64> = load.iter().map(|q| q.user).collect();
+        assert!(
+            distinct_users.len() > 4_900,
+            "a million-user population rarely repeats in 5k arrivals: {}",
+            distinct_users.len()
+        );
+    }
+}

@@ -15,6 +15,7 @@
 //! All three compute bit-identical distances — the speedups measure layout
 //! and tiling, never a semantic change (asserted by this module's tests).
 
+use crate::harness::{gates_json, Gate};
 use simmetrics::soa::VecBatch;
 use simmetrics::{squared_euclidean, squared_euclidean_fixed};
 
@@ -142,9 +143,25 @@ impl BatchKernelResult {
     }
 }
 
+/// The tiled-kernel acceptance gates: every kernel except the single-row
+/// `distances_to_point` sweep must clear `threshold`× over the seed path.
+pub fn batch_gates(results: &[BatchKernelResult], threshold: f64) -> Vec<Gate> {
+    results
+        .iter()
+        .filter(|r| r.kernel != "distances_to_point")
+        .map(|r| {
+            Gate::at_least(
+                format!("{}_speedup_vs_seed", r.kernel),
+                threshold,
+                r.speedup_vs_seed(),
+            )
+        })
+        .collect()
+}
+
 /// Render results as the `BENCH_batch.json` document.
-pub fn batch_to_json(results: &[BatchKernelResult]) -> String {
-    let mut out = String::from("{\n  \"kernels\": [\n");
+pub fn batch_to_json(results: &[BatchKernelResult], gates: &[Gate]) -> String {
+    let mut out = String::from("{\n  \"schema_version\": 1,\n  \"kernels\": [\n");
     for (i, r) in results.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"kernel\": \"{}\", \"seed_ops_per_sec\": {:.1}, \
@@ -159,7 +176,9 @@ pub fn batch_to_json(results: &[BatchKernelResult]) -> String {
             if i + 1 < results.len() { "," } else { "" }
         ));
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ],\n  ");
+    out.push_str(&gates_json(gates));
+    out.push_str("\n}\n");
     out
 }
 
@@ -207,14 +226,29 @@ mod tests {
 
     #[test]
     fn json_shape_is_well_formed() {
-        let doc = batch_to_json(&[BatchKernelResult {
-            kernel: "assign_min",
-            seed_ops_per_sec: 1000.0,
-            scalar_ops_per_sec: 2000.0,
-            batch_ops_per_sec: 6000.0,
-        }]);
+        let results = [
+            BatchKernelResult {
+                kernel: "assign_min",
+                seed_ops_per_sec: 1000.0,
+                scalar_ops_per_sec: 2000.0,
+                batch_ops_per_sec: 6000.0,
+            },
+            BatchKernelResult {
+                kernel: "distances_to_point",
+                seed_ops_per_sec: 1000.0,
+                scalar_ops_per_sec: 1000.0,
+                batch_ops_per_sec: 1000.0,
+            },
+        ];
+        let gates = batch_gates(&results, 3.0);
+        assert_eq!(gates.len(), 1, "distances_to_point is ungated");
+        let doc = batch_to_json(&results, &gates);
+        assert!(doc.contains("\"schema_version\": 1"));
         assert!(doc.contains("\"speedup_vs_seed\": 6.00"));
         assert!(doc.contains("\"speedup_vs_scalar\": 3.00"));
+        assert!(doc.contains(
+            "\"assign_min_speedup_vs_seed\": {\"threshold\": 3.00, \"value\": 6.0000, \"passed\": true}"
+        ));
         assert!(doc.starts_with('{') && doc.ends_with("}\n"));
     }
 }

@@ -26,7 +26,7 @@
 //! modes.
 
 use bench::batch::{
-    batch_to_json, bench_points, scalar_assign_min, scalar_distances_block,
+    batch_gates, batch_to_json, bench_points, scalar_assign_min, scalar_distances_block,
     scalar_distances_to_point, seed_assign_min, seed_distances_block, seed_distances_to_point,
     BatchKernelResult,
 };
@@ -122,20 +122,15 @@ fn main() {
             r.speedup_vs_scalar()
         );
     }
-    let doc = batch_to_json(&results);
-    std::fs::write(&out_path, &doc).expect("write BENCH_batch.json");
-    eprintln!("wrote {out_path}");
-
     // Acceptance gate: the tiled kernels must clear 3x over the seed-era
     // reference. distances_to_point is reported but ungated — a single
     // query row gives the layout the least room to pay.
-    let below: Vec<&str> = results
-        .iter()
-        .filter(|r| r.kernel != "distances_to_point" && r.speedup_vs_seed() < 3.0)
-        .map(|r| r.kernel)
-        .collect();
-    if !below.is_empty() {
-        eprintln!("FAILED: kernels below the 3x acceptance bar vs seed: {below:?}");
+    let gates = batch_gates(&results, 3.0);
+    let doc = batch_to_json(&results, &gates);
+    std::fs::write(&out_path, &doc).expect("write BENCH_batch.json");
+    eprintln!("wrote {out_path}");
+    eprintln!("{}", bench::harness::gates_summary(&gates));
+    if !bench::harness::gates_all_passed(&gates) {
         std::process::exit(1);
     }
 }

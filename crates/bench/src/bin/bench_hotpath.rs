@@ -15,7 +15,9 @@
 //! sparklet job and write its captured job report as JSON.
 
 use adr_synth::{Dataset, SynthConfig};
-use bench::hotpath::{dual_corpus, pair_distance_strings, throughput, to_json, KernelResult};
+use bench::hotpath::{
+    dual_corpus, hotpath_gates, pair_distance_strings, throughput, to_json, KernelResult,
+};
 use dedup::pair_distance;
 use simmetrics::{euclidean, jaccard_distance, jaccard_distance_sorted, squared_euclidean_fixed};
 
@@ -129,7 +131,8 @@ fn main() {
             r.speedup()
         );
     }
-    let doc = to_json(&results);
+    let gates = hotpath_gates(&results, 2.0);
+    let doc = to_json(&results, &gates);
     std::fs::write(&out_path, &doc).expect("write BENCH_hotpath.json");
     eprintln!("wrote {out_path}");
 
@@ -153,13 +156,8 @@ fn main() {
     // kernel is reported but not gated — at ~200M ops/s it is memory-bound
     // and its win comes from removing the sqrt from comparison loops, not
     // from raw kernel throughput.
-    let below: Vec<&str> = results
-        .iter()
-        .filter(|r| r.kernel != "euclidean8" && r.speedup() < 2.0)
-        .map(|r| r.kernel)
-        .collect();
-    if !below.is_empty() {
-        eprintln!("FAILED: kernels below the 2x acceptance bar: {below:?}");
+    eprintln!("{}", bench::harness::gates_summary(&gates));
+    if !bench::harness::gates_all_passed(&gates) {
         std::process::exit(1);
     }
 }

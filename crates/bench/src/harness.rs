@@ -165,6 +165,104 @@ pub fn maybe_write_report() {
     }
 }
 
+/// One named acceptance gate: a measured `value` compared against a
+/// `threshold`. Every `BENCH_*.json` renders its gates through
+/// [`gates_json`], so downstream tooling reads one shape everywhere:
+/// `"gates": {"<name>": {"threshold": T, "value": V, "passed": bool}}`.
+#[derive(Debug, Clone)]
+pub struct Gate {
+    /// Gate name (the JSON key).
+    pub name: String,
+    /// The acceptance bar.
+    pub threshold: f64,
+    /// The measured value.
+    pub value: f64,
+    /// `true` when passing means `value >= threshold`, `false` when it
+    /// means `value <= threshold`.
+    pub higher_is_better: bool,
+}
+
+impl Gate {
+    /// Gate that passes when `value >= threshold`.
+    pub fn at_least(name: impl Into<String>, threshold: f64, value: f64) -> Self {
+        Gate {
+            name: name.into(),
+            threshold,
+            value,
+            higher_is_better: true,
+        }
+    }
+
+    /// Gate that passes when `value <= threshold`.
+    pub fn at_most(name: impl Into<String>, threshold: f64, value: f64) -> Self {
+        Gate {
+            name: name.into(),
+            threshold,
+            value,
+            higher_is_better: false,
+        }
+    }
+
+    /// Boolean invariant as a gate: holds (value 1) or violated (value 0)
+    /// against a threshold of 1.
+    pub fn holds(name: impl Into<String>, ok: bool) -> Self {
+        Gate::at_least(name, 1.0, if ok { 1.0 } else { 0.0 })
+    }
+
+    /// Did the measured value clear the bar?
+    pub fn passed(&self) -> bool {
+        if self.higher_is_better {
+            self.value >= self.threshold
+        } else {
+            self.value <= self.threshold
+        }
+    }
+}
+
+/// Render the canonical top-level `"gates"` object (no leading indent; the
+/// caller embeds it after two spaces inside the document braces).
+pub fn gates_json(gates: &[Gate]) -> String {
+    let mut out = String::from("\"gates\": {\n");
+    for (i, g) in gates.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{}\": {{\"threshold\": {:.2}, \"value\": {:.4}, \"passed\": {}}}{}\n",
+            g.name,
+            g.threshold,
+            g.value,
+            g.passed(),
+            if i + 1 < gates.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  }");
+    out
+}
+
+/// Do all gates pass? (Vacuously true for an empty list.)
+pub fn gates_all_passed(gates: &[Gate]) -> bool {
+    gates.iter().all(Gate::passed)
+}
+
+/// One `gate: ...` summary line per gate for stderr, plus the verdict.
+pub fn gates_summary(gates: &[Gate]) -> String {
+    let mut out = String::new();
+    for g in gates {
+        out.push_str(&format!(
+            "gate {}: value {:.4} vs threshold {:.2} ({}) -> {}\n",
+            g.name,
+            g.value,
+            g.threshold,
+            if g.higher_is_better { ">=" } else { "<=" },
+            if g.passed() { "pass" } else { "FAIL" }
+        ));
+    }
+    out.push_str(if gates_all_passed(gates) {
+        "gates: PASSED"
+    } else {
+        "gates: FAILED"
+    });
+    out
+}
+
 /// Format a float with 3 decimals.
 pub fn f3(x: f64) -> String {
     format!("{x:.3}")
@@ -218,6 +316,43 @@ mod tests {
     fn paper_cost_scales_ops() {
         let c = paper_cost();
         assert_eq!(c.op_ns, 400 * PAPER_SCALE);
+    }
+
+    #[test]
+    fn gates_render_canonically_and_aggregate() {
+        let gates = [
+            Gate::at_least("speedup", 2.0, 3.875),
+            Gate::at_most("p99_ratio", 1.0, 0.52),
+            Gate::holds("digest_match", true),
+        ];
+        assert!(gates_all_passed(&gates));
+        let doc = gates_json(&gates);
+        assert!(doc.starts_with("\"gates\": {\n"), "{doc}");
+        assert!(
+            doc.contains(
+                "\"speedup\": {\"threshold\": 2.00, \"value\": 3.8750, \"passed\": true},"
+            ),
+            "{doc}"
+        );
+        assert!(
+            doc.contains(
+                "\"p99_ratio\": {\"threshold\": 1.00, \"value\": 0.5200, \"passed\": true},"
+            ),
+            "{doc}"
+        );
+        assert!(
+            doc.contains(
+                "\"digest_match\": {\"threshold\": 1.00, \"value\": 1.0000, \"passed\": true}\n"
+            ),
+            "{doc}"
+        );
+        assert!(doc.ends_with("  }"), "{doc}");
+
+        let failing = [Gate::at_least("speedup", 2.0, 1.5)];
+        assert!(!gates_all_passed(&failing));
+        assert!(gates_json(&failing).contains("\"passed\": false"));
+        assert!(gates_summary(&failing).contains("gates: FAILED"));
+        assert!(gates_all_passed(&[]), "no gates, nothing to fail");
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! sorted-merge / fixed-arity kernels that replaced them, and assert the
 //! replacement actually pays.
 
+use crate::harness::{gates_json, Gate};
 use adr_model::AdrReport;
 use dedup::ProcessedReport;
 use simmetrics::{jaccard_distance, FieldDistance};
@@ -143,9 +144,19 @@ pub fn throughput<F: FnMut() -> f64>(batch: u64, min_seconds: f64, mut f: F) -> 
     ops as f64 / elapsed
 }
 
+/// The interning-kernel acceptance gates: every kernel except the
+/// memory-bound `euclidean8` must clear `threshold`× over its reference.
+pub fn hotpath_gates(results: &[KernelResult], threshold: f64) -> Vec<Gate> {
+    results
+        .iter()
+        .filter(|r| r.kernel != "euclidean8")
+        .map(|r| Gate::at_least(format!("{}_speedup", r.kernel), threshold, r.speedup()))
+        .collect()
+}
+
 /// Render results as the `BENCH_hotpath.json` document.
-pub fn to_json(results: &[KernelResult]) -> String {
-    let mut out = String::from("{\n  \"kernels\": [\n");
+pub fn to_json(results: &[KernelResult], gates: &[Gate]) -> String {
+    let mut out = String::from("{\n  \"schema_version\": 1,\n  \"kernels\": [\n");
     for (i, r) in results.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"kernel\": \"{}\", \"reference_ops_per_sec\": {:.1}, \
@@ -157,7 +168,9 @@ pub fn to_json(results: &[KernelResult]) -> String {
             if i + 1 < results.len() { "," } else { "" }
         ));
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ],\n  ");
+    out.push_str(&gates_json(gates));
+    out.push_str("\n}\n");
     out
 }
 
@@ -185,12 +198,26 @@ mod tests {
 
     #[test]
     fn json_shape_is_well_formed() {
-        let doc = to_json(&[KernelResult {
-            kernel: "jaccard",
-            reference_ops_per_sec: 1000.0,
-            hotpath_ops_per_sec: 3000.0,
-        }]);
+        let results = [
+            KernelResult {
+                kernel: "jaccard",
+                reference_ops_per_sec: 1000.0,
+                hotpath_ops_per_sec: 3000.0,
+            },
+            KernelResult {
+                kernel: "euclidean8",
+                reference_ops_per_sec: 1000.0,
+                hotpath_ops_per_sec: 1000.0,
+            },
+        ];
+        let gates = hotpath_gates(&results, 2.0);
+        assert_eq!(gates.len(), 1, "euclidean8 is reported but ungated");
+        let doc = to_json(&results, &gates);
+        assert!(doc.contains("\"schema_version\": 1"));
         assert!(doc.contains("\"speedup\": 3.00"));
+        assert!(doc.contains(
+            "\"jaccard_speedup\": {\"threshold\": 2.00, \"value\": 3.0000, \"passed\": true}"
+        ));
         assert!(doc.starts_with('{') && doc.ends_with("}\n"));
     }
 }

@@ -19,6 +19,7 @@
 //! growth), and the kill + recover leg's cumulative digest is
 //! bit-identical to the steady leg's.
 
+use crate::harness::{gates_json, Gate};
 use adr_synth::{QuarterlyReplay, StreamingCorpus, SynthConfig};
 use dedup::{DedupConfig, IngestConfig, IngestService};
 use fastknn::FastKnnConfig;
@@ -242,7 +243,6 @@ pub fn ingest_to_json(
 ) -> String {
     let quarters = w.replay().quarters();
     let (first, last, ratio) = latency_ratio(&steady.rows).unwrap_or((0, 0, f64::INFINITY));
-    let latency_ok = ratio <= LATENCY_GATE_FACTOR;
     let digest_match = recovered.digest == steady.digest;
     let recovered_once = recovered.recoveries >= 1;
     let mut out = format!(
@@ -275,13 +275,15 @@ pub fn ingest_to_json(
         recovered.digest, recovered.makespan_us, recovered.recoveries
     ));
     out.push_str(&format!(
-        "  \"gate\": {{\"first_quarter_us\": {first}, \"last_quarter_us\": {last}, \
-         \"latency_ratio\": {ratio:.3}, \"latency_within_{}x\": {latency_ok}, \
-         \"recovery_digest_match\": {digest_match}, \"recovered\": {recovered_once}, \
-         \"passed\": {}}}\n}}\n",
-        LATENCY_GATE_FACTOR as u64,
-        latency_ok && digest_match && recovered_once
+        "  \"latency\": {{\"first_quarter_us\": {first}, \"last_quarter_us\": {last}}},\n"
     ));
+    out.push_str("  ");
+    out.push_str(&gates_json(&[
+        Gate::at_most("latency_ratio", LATENCY_GATE_FACTOR, ratio),
+        Gate::holds("recovery_digest_match", digest_match),
+        Gate::holds("recovered", recovered_once),
+    ]));
+    out.push_str("\n}\n");
     out
 }
 
@@ -313,7 +315,12 @@ mod tests {
         assert_eq!(recovered.recoveries, 1);
 
         let doc = ingest_to_json(&w, &steady, &recovered);
-        assert!(doc.contains("\"recovery_digest_match\": true"), "{doc}");
+        assert!(
+            doc.contains(
+                "\"recovery_digest_match\": {\"threshold\": 1.00, \"value\": 1.0000, \"passed\": true}"
+            ),
+            "{doc}"
+        );
         assert!(doc.starts_with('{') && doc.ends_with("}\n"));
     }
 
@@ -342,19 +349,23 @@ mod tests {
         let mut recovered = steady.clone();
         recovered.recoveries = 1;
         let doc = ingest_to_json(&w, &steady, &recovered);
-        assert!(doc.contains("\"latency_ratio\": 1.500"));
-        assert!(doc.contains("\"passed\": true"));
+        assert!(doc.contains(
+            "\"latency_ratio\": {\"threshold\": 2.00, \"value\": 1.5000, \"passed\": true}"
+        ));
+        assert!(!doc.contains("\"passed\": false"));
 
         let mut drifted = recovered.clone();
         drifted.digest = 43;
         let doc = ingest_to_json(&w, &steady, &drifted);
-        assert!(doc.contains("\"recovery_digest_match\": false"));
-        assert!(doc.contains("\"passed\": false"));
+        assert!(doc.contains(
+            "\"recovery_digest_match\": {\"threshold\": 1.00, \"value\": 0.0000, \"passed\": false}"
+        ));
 
         let mut slow = steady.clone();
         slow.rows = vec![row(0, 0), row(1, 1000), row(2, 2500)];
         let doc = ingest_to_json(&w, &slow, &recovered);
-        assert!(doc.contains("\"latency_within_2x\": false"));
-        assert!(doc.contains("\"passed\": false"));
+        assert!(doc.contains(
+            "\"latency_ratio\": {\"threshold\": 2.00, \"value\": 2.5000, \"passed\": false}"
+        ));
     }
 }

@@ -26,4 +26,5 @@ pub mod ingest;
 pub mod ops;
 pub mod prune;
 pub mod sched;
+pub mod serve;
 pub mod spill;

@@ -22,6 +22,7 @@
 //! chunking that changed a record would make the speedup meaningless.
 
 use crate::corpora;
+use crate::harness::{gates_json, Gate};
 use adr_model::DistVec;
 use sparklet::{BatchConfig, Cluster, ClusterConfig, PairRdd};
 
@@ -204,10 +205,9 @@ pub fn ops_to_json(workers: usize, comparisons: &[OpsComparison], threshold: f64
             c.speedup()
         ));
     }
-    out.push_str(&format!(
-        "  \"gate\": {{\"threshold\": {threshold:.2}, \"speedup\": {gated:.2}, \"passed\": {}}}\n}}\n",
-        gated >= threshold
-    ));
+    out.push_str("  ");
+    out.push_str(&gates_json(&[Gate::at_least("speedup", threshold, gated)]));
+    out.push_str("\n}\n");
     out
 }
 
@@ -249,7 +249,8 @@ mod tests {
         let cmp = OpsComparison::measure(&rows, OpsStage::Narrow);
         let doc = ops_to_json(OPS_WORKERS, &[cmp], 2.0);
         assert!(doc.contains("\"narrow\""));
-        assert!(doc.contains("\"gate\": {\"threshold\": 2.00"));
+        assert!(doc.contains("\"gates\": {"));
+        assert!(doc.contains("\"speedup\": {\"threshold\": 2.00"));
         assert!(doc.contains("\"passed\""));
     }
 }

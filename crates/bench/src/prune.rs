@@ -23,7 +23,7 @@
 //! bound whole cells to skip. Pruning is lossless, so the benchmark also
 //! asserts the two sides' outputs are identical before reporting.
 
-use crate::harness::experiment_cluster_config;
+use crate::harness::{experiment_cluster_config, gates_json, Gate};
 use fastknn::{FastKnn, FastKnnConfig, LabeledPair, ScoredPair, UnlabeledPair, PAIR_DIMS};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -217,17 +217,16 @@ pub fn prune_to_json(
     speedup_gate: f64,
     avoided_gate: f64,
 ) -> String {
+    let gates = [
+        Gate::at_least("speedup", speedup_gate, cmp.speedup()),
+        Gate::at_least("avoided", avoided_gate, cmp.avoided_fraction()),
+    ];
     format!(
         "{{\n  \"schema_version\": 1,\n  \"workers\": {workers},\n  \"off\": {},\n  \"on\": {},\n  \
-         \"lossless\": true,\n  \"gates\": {{\n    \"speedup\": {{\"threshold\": {speedup_gate:.2}, \
-         \"value\": {:.2}, \"passed\": {}}},\n    \"avoided\": {{\"threshold\": {avoided_gate:.2}, \
-         \"value\": {:.4}, \"passed\": {}}}\n  }}\n}}\n",
+         \"lossless\": true,\n  {}\n}}\n",
         run_json(&cmp.off),
         run_json(&cmp.on),
-        cmp.speedup(),
-        cmp.speedup() >= speedup_gate,
-        cmp.avoided_fraction(),
-        cmp.avoided_fraction() >= avoided_gate
+        gates_json(&gates)
     )
 }
 

@@ -21,6 +21,7 @@
 //! same-sized blocks; it is reported for context and not gated, since
 //! balanced inputs leave stealing little to win.
 
+use crate::harness::{gates_json, Gate};
 use adr_model::{AdrReport, ReportId};
 use dedup::{
     index_corpus, pack_pairs, pairwise_distances_partitioned, BlockingIndex, CorpusIndex,
@@ -267,10 +268,9 @@ pub fn sched_to_json(workers: usize, comparisons: &[SchedComparison], threshold:
             c.speedup()
         ));
     }
-    out.push_str(&format!(
-        "  \"gate\": {{\"threshold\": {threshold:.2}, \"speedup\": {gated:.2}, \"passed\": {}}}\n}}\n",
-        gated >= threshold
-    ));
+    out.push_str("  ");
+    out.push_str(&gates_json(&[Gate::at_least("speedup", threshold, gated)]));
+    out.push_str("\n}\n");
     out
 }
 

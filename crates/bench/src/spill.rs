@@ -28,6 +28,7 @@
 //! (pair counts, near-duplicate counts and an order-sensitive distance
 //! checksum): spilling is an execution detail, never an answer change.
 
+use crate::harness::{gates_json, Gate};
 use adr_synth::{StreamingCorpus, SynthConfig};
 use simmetrics::squared_euclidean_fixed;
 use sparklet::{
@@ -311,11 +312,13 @@ pub fn spill_to_json(
         "  \"capped_no_spill\": {{\"aborted\": {aborted}, \"error\": {:?}}},\n",
         no_spill_error.unwrap_or("")
     ));
-    out.push_str(&format!(
-        "  \"gate\": {{\"abort_without_spill\": {aborted}, \"completes_with_spill\": {spilled}, \
-         \"digest_match\": {digest_match}, \"passed\": {}}}\n}}\n",
-        aborted && spilled && digest_match
-    ));
+    out.push_str("  ");
+    out.push_str(&gates_json(&[
+        Gate::holds("abort_without_spill", aborted),
+        Gate::holds("completes_with_spill", spilled),
+        Gate::holds("digest_match", digest_match),
+    ]));
+    out.push_str("\n}\n");
     out
 }
 
@@ -388,11 +391,13 @@ mod tests {
         let mut drifted = spilled.clone();
         drifted.digest = 43;
         let doc = spill_to_json(&SpillWorkload::quick(), &ok, &drifted, Some("task memory"));
-        assert!(doc.contains("\"digest_match\": false"));
-        assert!(doc.contains("\"passed\": false"));
+        assert!(doc.contains(
+            "\"digest_match\": {\"threshold\": 1.00, \"value\": 0.0000, \"passed\": false}"
+        ));
 
         let doc = spill_to_json(&SpillWorkload::quick(), &ok, &spilled, None);
-        assert!(doc.contains("\"abort_without_spill\": false"));
-        assert!(doc.contains("\"passed\": false"));
+        assert!(doc.contains(
+            "\"abort_without_spill\": {\"threshold\": 1.00, \"value\": 0.0000, \"passed\": false}"
+        ));
     }
 }

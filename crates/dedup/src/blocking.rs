@@ -141,6 +141,47 @@ impl BlockingIndex {
         union_k_sorted_into(lists, cursors, rows);
     }
 
+    /// Blocking keys of a report derived **read-only** — nothing is
+    /// interned or inserted, so a serving layer can key a probe report
+    /// against a shared index without `&mut` access. Drug keys reuse the
+    /// report's interned token ids; the date key resolves only when some
+    /// indexed report already interned the same date string (a date no
+    /// indexed report carries cannot match any block anyway).
+    pub fn probe_keys(&self, r: &ProcessedReport) -> Vec<BlockKey> {
+        let mut keys: Vec<BlockKey> = r.drug_tokens.iter().map(|&t| BlockKey::Drug(t)).collect();
+        if let Some(date) = &r.onset_date {
+            if let Some(&id) = self.date_ids.get(date) {
+                keys.push(BlockKey::Date(id));
+            }
+        }
+        keys
+    }
+
+    /// Candidate partners of a probe report *without inserting it*: the
+    /// union of the posting lists of its [`BlockingIndex::probe_keys`],
+    /// excluding the probe's own row when the same id is already indexed.
+    /// Sorted by report id. For an already-indexed report this returns
+    /// exactly [`BlockingIndex::candidates_of`].
+    pub fn probe_candidates(&self, r: &ProcessedReport) -> Vec<ReportId> {
+        let keys = self.probe_keys(r);
+        let mut lists: Vec<&[u32]> = Vec::with_capacity(keys.len());
+        for key in &keys {
+            if let Some(members) = self.blocks.get(key) {
+                lists.push(members);
+            }
+        }
+        let (mut cursors, mut rows) = (Vec::new(), Vec::new());
+        union_k_sorted_into(&lists, &mut cursors, &mut rows);
+        let own = self.row_of.get(&r.id).copied();
+        let mut v: Vec<ReportId> = rows
+            .iter()
+            .filter(|&&row| Some(row) != own)
+            .map(|&row| self.id_of[row as usize])
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
     /// All candidate partners of a report already in the index (excluding
     /// itself), deduplicated and sorted.
     pub fn candidates_of(&self, id: ReportId) -> Vec<ReportId> {
@@ -407,6 +448,33 @@ mod tests {
         }
         // Deterministic: a second call gives the identical grouping.
         assert_eq!(groups, index.candidate_pair_groups(&new_ids));
+    }
+
+    #[test]
+    fn probe_candidates_match_candidates_of_for_indexed_reports() {
+        let ds = Dataset::generate(&SynthConfig::small(250, 12, 17));
+        let reports = processed(&ds);
+        let index = BlockingIndex::build(&reports);
+        for r in reports.iter().take(30) {
+            assert_eq!(
+                index.probe_candidates(r),
+                index.candidates_of(r.id),
+                "probe path must agree with the indexed path for {}",
+                r.id
+            );
+        }
+        // A never-indexed probe (fresh id, novel drug token ids) still finds
+        // partners through any token the corpus knows — and nothing was
+        // mutated: block and date-interner counts are unchanged.
+        let blocks_before = index.block_count();
+        let dates_before = index.date_ids.len();
+        let mut probe = reports[0].clone();
+        probe.id = 1_000_000;
+        probe.drug_tokens.push(u32::MAX); // novel token: matches no block
+        let partners = index.probe_candidates(&probe);
+        assert!(partners.contains(&reports[0].id), "shares every key with 0");
+        assert_eq!(index.block_count(), blocks_before);
+        assert_eq!(index.date_ids.len(), dates_before);
     }
 
     #[test]

@@ -23,6 +23,9 @@
 //! * [`ingest`] — [`ingest::IngestService`], the durable micro-batch ingest
 //!   loop: checkpointed commits, crash recovery, poison quarantine and
 //!   backpressure around the Fig. 1 feedback loop;
+//! * [`serve`] — [`serve::ServeService`], low-latency read serving: adaptive
+//!   micro-batched duplicate lookups and memoised drug–event signal (ROR)
+//!   queries over incrementally-maintained contingency tables;
 //! * [`svm_baseline`] — the §5.2.1 SVM and Fig. 5(c) "SVM clustering"
 //!   comparison methods;
 //! * [`workload`] — labelled pair-set construction from a synthetic corpus
@@ -37,6 +40,7 @@ pub mod blocking;
 pub mod distance;
 pub mod ingest;
 pub mod pairing;
+pub mod serve;
 pub mod store;
 pub mod svm_baseline;
 pub mod system;
@@ -48,6 +52,10 @@ pub use ingest::{IngestConfig, IngestError, IngestService, TornWrite, CHECKPOINT
 pub use pairing::{
     all_pairs, index_corpus, pack_pairs, pair_op_weight, pairs_involving_new, pairwise_distances,
     pairwise_distances_partitioned, CorpusIndex, DistanceMemo, PAIR_OP_BASE,
+};
+pub use serve::{
+    answers_digest, DuplicateMatch, ServeAnswer, ServeConfig, ServeQuery, ServeRequest,
+    ServeRunSummary, ServeService, SignalMemo, SignalStats,
 };
 pub use store::PairStore;
 pub use svm_baseline::{svm_clustering_scores, svm_scores};

@@ -1,0 +1,1020 @@
+//! Low-latency serving over the live dedup system (ROADMAP item 2).
+//!
+//! The Fig. 1 pipeline exists so downstream pharmacovigilance queries can be
+//! answered from a clean store. This module serves the two canonical read
+//! paths:
+//!
+//! * **duplicate lookups** — is this incoming report a duplicate of
+//!   something already in the database? Probes run through the blocking
+//!   index and [`fastknn::FastKnn::classify_batch`], with an O(1)
+//!   short-circuit through [`PairStore`]'s per-report member index for
+//!   reports already known to be duplicates;
+//! * **signal queries** — how strong is a drug–event association? Answered
+//!   as a reporting odds ratio (ROR) with Bayesian shrinkage from 2×2
+//!   contingency tables maintained incrementally as sparklet aggregations
+//!   and refreshed after each ingest commit. Every query is answered from
+//!   both the raw and the deduplicated store, quantifying the ROR inflation
+//!   duplicates cause — the "why dedup matters" experiment.
+//!
+//! The performance core is an **adaptive micro-batching admission queue** on
+//! the virtual clock: requests coalesce under a batch-or-deadline policy
+//! (the batch target adapts to the observed arrival rate; queueing delay is
+//! bounded by the deadline) into one contiguous [`DistBatch`] per
+//! micro-batch, so a single classify job amortises chunk dispatch across
+//! every probe in the batch — exactly like the batch-columnar operators.
+//! Serving is read-only: the service snapshots what it needs at
+//! [`ServeService::refresh`] and never mutates the [`DedupSystem`], so
+//! ingest and serve interleave without interference.
+
+use crate::blocking::BlockingIndex;
+use crate::distance::{pair_distance, ProcessedReport};
+use crate::pairing::{CorpusIndex, DistBatch};
+use crate::store::PairStore;
+use crate::system::DedupSystem;
+use adr_model::{AdrReport, ReportId};
+use fastknn::{FastKnn, FastKnnConfig};
+use sparklet::{stable_hash, Cluster, EventKind, Result, SparkletError};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use textprep::{Pipeline, TokenInterner};
+
+/// Serving knobs: the batch-or-deadline admission policy and the virtual
+/// cost model of a dispatch.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Largest micro-batch ever dispatched. `1` disables micro-batching
+    /// (request-at-a-time; see [`ServeConfig::request_at_a_time`]).
+    pub max_batch: usize,
+    /// Bound on queueing delay (µs): a batch dispatches when it reaches the
+    /// adaptive target size *or* its oldest request has waited this long,
+    /// whichever comes first.
+    pub deadline_us: u64,
+    /// Fixed virtual cost charged per dispatch (µs) — the overhead
+    /// micro-batching amortises.
+    pub dispatch_overhead_us: u64,
+    /// Marginal virtual cost per request in a dispatch (µs).
+    pub per_request_us: u64,
+    /// Candidate partners considered per probe (smallest report ids first —
+    /// deterministic whatever the arrival interleaving).
+    pub max_candidates: usize,
+    /// Bayesian shrinkage `s` added to every 2×2 cell before the ROR.
+    pub shrinkage: f64,
+    /// Capacity of the bounded signal-query memo. `0` disables it.
+    pub memo_entries: usize,
+    /// Partitions for the contingency aggregation jobs.
+    pub agg_partitions: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_batch: 64,
+            deadline_us: 2_000,
+            dispatch_overhead_us: 150,
+            per_request_us: 20,
+            max_candidates: 256,
+            shrinkage: 0.5,
+            memo_entries: 1 << 16,
+            agg_partitions: 4,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// The same cost model with micro-batching disabled: every request
+    /// dispatches alone. The baseline the batched path is gated against.
+    pub fn request_at_a_time(self) -> Self {
+        ServeConfig {
+            max_batch: 1,
+            ..self
+        }
+    }
+}
+
+/// One serving request.
+#[derive(Debug, Clone)]
+pub enum ServeQuery {
+    /// Is this report a duplicate of something in the database?
+    Duplicate {
+        /// The probe report (need not be ingested).
+        report: AdrReport,
+    },
+    /// How strong is the association between a drug token and an ADR token?
+    /// Both are single lowercased words, matched against the corpus token
+    /// tables ([`crate::distance::ProcessedReport::drug_tokens`] /
+    /// `adr_tokens`).
+    Signal {
+        /// Drug-name word.
+        drug: String,
+        /// ADR-name word.
+        event: String,
+    },
+}
+
+/// A timestamped request in an open-loop arrival stream.
+#[derive(Debug, Clone)]
+pub struct ServeRequest {
+    /// Virtual arrival time (µs); streams must be sorted by this.
+    pub arrival_us: u64,
+    /// The query.
+    pub query: ServeQuery,
+}
+
+/// One classified candidate partner of a duplicate probe.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DuplicateMatch {
+    /// The database report compared against.
+    pub candidate: ReportId,
+    /// Eq. 5 score.
+    pub score: f64,
+    /// Eq. 6 decision at the model's θ.
+    pub is_duplicate: bool,
+}
+
+/// A 2×2 contingency table with its reporting odds ratio.
+///
+/// `a` = reports with both drug and event, `b` = drug without event,
+/// `c` = event without drug, `d` = neither;
+/// `ROR = ((a+s)(d+s)) / ((b+s)(c+s))` with shrinkage `s`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SignalStats {
+    /// Reports mentioning both the drug and the event.
+    pub a: u64,
+    /// Reports mentioning the drug but not the event.
+    pub b: u64,
+    /// Reports mentioning the event but not the drug.
+    pub c: u64,
+    /// Reports mentioning neither.
+    pub d: u64,
+    /// Shrunk reporting odds ratio.
+    pub ror: f64,
+}
+
+impl SignalStats {
+    fn from_counts(a: u64, drug_total: u64, event_total: u64, n: u64, s: f64) -> Self {
+        let b = drug_total.saturating_sub(a);
+        let c = event_total.saturating_sub(a);
+        let d = n.saturating_sub(a + b + c);
+        let ror = ((a as f64 + s) * (d as f64 + s)) / ((b as f64 + s) * (c as f64 + s));
+        SignalStats { a, b, c, d, ror }
+    }
+}
+
+/// The answer to one [`ServeQuery`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeAnswer {
+    /// Duplicate-lookup result.
+    Duplicate {
+        /// Stored duplicate pairs the probe's id already participates in
+        /// (answered O(1) from the store's member index). When positive the
+        /// probe short-circuits: `matches` is empty.
+        known_memberships: u32,
+        /// Classified candidate partners, in candidate-id order.
+        matches: Vec<DuplicateMatch>,
+    },
+    /// Signal-query result from both stores.
+    Signal {
+        /// Contingency stats over every ingested report.
+        raw: SignalStats,
+        /// The same stats with the later member of every known duplicate
+        /// pair excluded.
+        deduped: SignalStats,
+    },
+}
+
+/// Incrementally-maintained contingency counts: per-(drug, event) pair
+/// co-mention counts plus the two marginals and the report total.
+#[derive(Debug, Clone, Default)]
+struct ContingencyTable {
+    pair: HashMap<(u32, u32), u64>,
+    drug: HashMap<u32, u64>,
+    event: HashMap<u32, u64>,
+    reports: u64,
+}
+
+impl ContingencyTable {
+    fn absorb(&mut self, counts: HashMap<(u8, u32, u32), u64>, reports: u64) {
+        self.reports += reports;
+        for ((kind, x, y), n) in counts {
+            match kind {
+                0 => *self.pair.entry((x, y)).or_insert(0) += n,
+                1 => *self.drug.entry(x).or_insert(0) += n,
+                _ => *self.event.entry(x).or_insert(0) += n,
+            }
+        }
+    }
+
+    fn pair_count(&self, d: u32, e: u32) -> u64 {
+        self.pair.get(&(d, e)).copied().unwrap_or(0)
+    }
+
+    fn drug_count(&self, d: u32) -> u64 {
+        self.drug.get(&d).copied().unwrap_or(0)
+    }
+
+    fn event_count(&self, e: u32) -> u64 {
+        self.event.get(&e).copied().unwrap_or(0)
+    }
+}
+
+/// Bounded signal-query memo, mirroring [`crate::pairing::DistanceMemo`]: a
+/// signal answer is a pure function of the contingency stores, so memo hits
+/// are bit-identical to recomputation. The whole memo is purged at every
+/// [`ServeService::refresh`] — any ingest commit may change any cell.
+#[derive(Debug, Clone)]
+pub struct SignalMemo {
+    entries: HashMap<(u32, u32), (SignalStats, SignalStats)>,
+    capacity: usize,
+    hits: u64,
+    lookups: u64,
+}
+
+impl SignalMemo {
+    /// Empty memo holding at most `capacity` entries (0 disables it).
+    pub fn with_capacity(capacity: usize) -> Self {
+        SignalMemo {
+            entries: HashMap::new(),
+            capacity,
+            hits: 0,
+            lookups: 0,
+        }
+    }
+
+    /// Memoised entries currently held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the memo empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lookups answered from the memo so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Total lookups so far.
+    pub fn lookups(&self) -> u64 {
+        self.lookups
+    }
+
+    fn get(&mut self, d: u32, e: u32) -> Option<(SignalStats, SignalStats)> {
+        self.lookups += 1;
+        let hit = self.entries.get(&(d, e)).copied();
+        if hit.is_some() {
+            self.hits += 1;
+        }
+        hit
+    }
+
+    fn insert(&mut self, d: u32, e: u32, stats: (SignalStats, SignalStats)) {
+        if self.entries.len() < self.capacity {
+            self.entries.entry((d, e)).or_insert(stats);
+        }
+    }
+
+    fn purge(&mut self) {
+        self.entries.clear();
+    }
+}
+
+/// The serving service: read-only snapshots of the dedup system's state
+/// (refreshed after each ingest commit) plus the adaptive micro-batching
+/// admission queue and the incremental signal stores.
+pub struct ServeService {
+    cluster: Cluster,
+    config: ServeConfig,
+    knn: FastKnnConfig,
+    pipeline: Pipeline,
+    /// Clone of the system interner at the last refresh. Probe reports
+    /// intern into this copy: corpus-known tokens resolve to their stable
+    /// ids; novel tokens get fresh ids that provably cannot change any
+    /// Jaccard distance (intersections only ever involve corpus-known ids
+    /// and union sizes are id-independent), so serve results are invariant
+    /// to probe interleaving order.
+    interner: TokenInterner,
+    corpus: CorpusIndex,
+    blocking: BlockingIndex,
+    store: PairStore,
+    model: Option<FastKnn>,
+    /// Contingency counts over every counted report.
+    raw: ContingencyTable,
+    /// Contingency contributions of excluded (later-duplicate) reports;
+    /// the deduplicated store is `raw − excluded`, evaluated per query.
+    excluded_table: ContingencyTable,
+    /// Reports already folded into `raw`.
+    counted: HashSet<ReportId>,
+    /// Arrival-order prefix already counted (suffix = fresh work).
+    counted_len: usize,
+    /// Reports excluded from the deduplicated store (the later member of
+    /// every known duplicate pair).
+    excluded: HashSet<ReportId>,
+    memo: SignalMemo,
+    /// Micro-batches dispatched over the service lifetime (journal index).
+    batches_served: u64,
+}
+
+/// The outcome of one open-loop run: per-request answers and latencies in
+/// request order, queue statistics, and the content digest.
+#[derive(Debug, Clone)]
+pub struct ServeRunSummary {
+    /// Per-request answers, in request order.
+    pub answers: Vec<ServeAnswer>,
+    /// Per-request latencies (arrival → batch completion, µs).
+    pub latencies_us: Vec<u64>,
+    /// Micro-batches dispatched.
+    pub batches: u64,
+    /// Largest queue depth observed at any dispatch.
+    pub max_queue_depth: u64,
+    /// Virtual service time summed over batches (µs).
+    pub service_us: u64,
+    /// First arrival → last completion (µs).
+    pub elapsed_us: u64,
+    /// Order-stable digest of every answer's content (not latencies): equal
+    /// iff the per-request results are bit-identical.
+    pub digest: u64,
+}
+
+impl ServeRunSummary {
+    /// Requests answered.
+    pub fn requests(&self) -> usize {
+        self.answers.len()
+    }
+
+    /// Latency percentile (nearest-rank on the sorted latencies), µs.
+    pub fn latency_percentile_us(&self, q: f64) -> u64 {
+        if self.latencies_us.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.latencies_us.clone();
+        sorted.sort_unstable();
+        let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+        sorted[idx.min(sorted.len() - 1)]
+    }
+
+    /// Median latency, µs.
+    pub fn p50_us(&self) -> u64 {
+        self.latency_percentile_us(0.50)
+    }
+
+    /// Tail latency, µs.
+    pub fn p99_us(&self) -> u64 {
+        self.latency_percentile_us(0.99)
+    }
+
+    /// Sustained throughput over the run, requests per virtual second.
+    pub fn throughput_rps(&self) -> f64 {
+        if self.elapsed_us == 0 {
+            0.0
+        } else {
+            self.answers.len() as f64 * 1e6 / self.elapsed_us as f64
+        }
+    }
+}
+
+impl ServeService {
+    /// Build a service over a system's current state ([`ServeService::refresh`]
+    /// runs once, fitting the classifier and the contingency stores).
+    pub fn attach(system: &DedupSystem, config: ServeConfig) -> Result<Self> {
+        let mut svc = ServeService {
+            cluster: system.cluster().clone(),
+            config,
+            knn: system.config().knn,
+            pipeline: *system.pipeline(),
+            interner: TokenInterner::new(),
+            corpus: Arc::new(HashMap::new()),
+            blocking: BlockingIndex::default(),
+            store: PairStore::new(0, 0),
+            model: None,
+            raw: ContingencyTable::default(),
+            excluded_table: ContingencyTable::default(),
+            counted: HashSet::new(),
+            counted_len: 0,
+            excluded: HashSet::new(),
+            memo: SignalMemo::with_capacity(config.memo_entries),
+            batches_served: 0,
+        };
+        svc.refresh(system)?;
+        Ok(svc)
+    }
+
+    /// The signal-query memo (inspectable for hit statistics).
+    pub fn memo(&self) -> &SignalMemo {
+        &self.memo
+    }
+
+    /// Re-snapshot the system after an ingest commit: clone the interner,
+    /// blocking index and pair store, re-share the corpus `Arc`, refit the
+    /// classifier from the live labelled stores (amortised across every
+    /// serve batch until the next refresh), fold the *new* arrival-order
+    /// suffix into the contingency stores (a re-ingested report forces a
+    /// full recount — its earlier contribution may be stale), and purge the
+    /// signal memo.
+    pub fn refresh(&mut self, system: &DedupSystem) -> Result<()> {
+        self.pipeline = *system.pipeline();
+        self.interner = system.interner().clone();
+        self.corpus = Arc::clone(system.corpus());
+        self.blocking = system.blocking().clone();
+        self.store = system.store().clone();
+
+        let order = system.arrival_order();
+        let start = self.counted_len.min(order.len());
+        let reingested = order.len() < self.counted_len
+            || order[start..].iter().any(|id| self.counted.contains(id));
+        if reingested {
+            self.raw = ContingencyTable::default();
+            self.excluded_table = ContingencyTable::default();
+            self.counted.clear();
+            self.excluded.clear();
+            let mut distinct: Vec<ReportId> = Vec::with_capacity(order.len());
+            for &id in order {
+                if self.counted.insert(id) {
+                    distinct.push(id);
+                }
+            }
+            let n = distinct.len() as u64;
+            let counts = self.count_contributions(distinct)?;
+            self.raw.absorb(counts, n);
+        } else {
+            let mut fresh: Vec<ReportId> = Vec::new();
+            for &id in &order[start..] {
+                if self.counted.insert(id) {
+                    fresh.push(id);
+                }
+            }
+            if !fresh.is_empty() {
+                let n = fresh.len() as u64;
+                let counts = self.count_contributions(fresh)?;
+                self.raw.absorb(counts, n);
+            }
+        }
+        self.counted_len = order.len();
+
+        // Newly known duplicate pairs exclude their later (hi) member from
+        // the deduplicated store; only the new exclusions are re-counted.
+        let mut newly_excluded: Vec<ReportId> = Vec::new();
+        for pid in self.store.duplicate_pairs() {
+            if self.counted.contains(&pid.hi) && self.excluded.insert(pid.hi) {
+                newly_excluded.push(pid.hi);
+            }
+        }
+        if !newly_excluded.is_empty() {
+            newly_excluded.sort_unstable();
+            newly_excluded.dedup();
+            let n = newly_excluded.len() as u64;
+            let counts = self.count_contributions(newly_excluded)?;
+            self.excluded_table.absorb(counts, n);
+        }
+
+        // Any commit may have changed any contingency cell.
+        self.memo.purge();
+
+        let train = self.store.training_pairs();
+        self.model = if train.is_empty() {
+            None
+        } else {
+            Some(FastKnn::fit(&self.cluster, &train, self.knn)?)
+        };
+        Ok(())
+    }
+
+    /// Count the contingency contributions of `ids` as a sparklet
+    /// aggregation: one key per distinct drug token, per distinct ADR token
+    /// and per (drug, ADR) combination of each report, counted by value
+    /// across the cluster.
+    fn count_contributions(&self, ids: Vec<ReportId>) -> Result<HashMap<(u8, u32, u32), u64>> {
+        if ids.is_empty() {
+            return Ok(HashMap::new());
+        }
+        let corpus = Arc::clone(&self.corpus);
+        let parts = self.config.agg_partitions.max(1);
+        self.cluster
+            .parallelize(ids, parts)
+            .flat_map(move |id| {
+                let Some(r) = corpus.get(&id) else {
+                    return Vec::new();
+                };
+                let pairs = r.drug_tokens.len() * r.adr_tokens.len();
+                let mut keys = Vec::with_capacity(r.drug_tokens.len() + r.adr_tokens.len() + pairs);
+                for &d in &r.drug_tokens {
+                    keys.push((1u8, d, 0u32));
+                }
+                for &e in &r.adr_tokens {
+                    keys.push((2u8, e, 0u32));
+                }
+                for &d in &r.drug_tokens {
+                    for &e in &r.adr_tokens {
+                        keys.push((0u8, d, e));
+                    }
+                }
+                keys
+            })
+            .count_by_value()
+    }
+
+    /// Answer one signal query from the stores (memoised).
+    fn signal_stats(&mut self, drug: &str, event: &str) -> (SignalStats, SignalStats) {
+        // Corpus-known words resolve to their stable token ids; a novel word
+        // interns a fresh id whose counts are zero in every table.
+        let d = self.interner.intern(&drug.to_lowercase());
+        let e = self.interner.intern(&event.to_lowercase());
+        if let Some(hit) = self.memo.get(d, e) {
+            return hit;
+        }
+        let s = self.config.shrinkage;
+        let (a, dt, et, n) = (
+            self.raw.pair_count(d, e),
+            self.raw.drug_count(d),
+            self.raw.event_count(e),
+            self.raw.reports,
+        );
+        let raw = SignalStats::from_counts(a, dt, et, n, s);
+        let x = &self.excluded_table;
+        let deduped = SignalStats::from_counts(
+            a.saturating_sub(x.pair_count(d, e)),
+            dt.saturating_sub(x.drug_count(d)),
+            et.saturating_sub(x.event_count(e)),
+            n.saturating_sub(x.reports),
+            s,
+        );
+        self.memo.insert(d, e, (raw, deduped));
+        (raw, deduped)
+    }
+
+    /// Answer one admitted micro-batch. All duplicate probes' candidate
+    /// pairs coalesce into a single contiguous column batch, so one
+    /// classify job (through the model's `ScratchPool`) amortises chunk
+    /// dispatch across the whole batch.
+    fn answer_batch(
+        &mut self,
+        requests: &[ServeRequest],
+        answers: &mut [Option<ServeAnswer>],
+    ) -> Result<()> {
+        let mut rows = DistBatch::new();
+        // Row ids must be stable per (probe, candidate) — never positional.
+        // The classifier's balanced Voronoi assignment tie-breaks on the row
+        // id, so a positional id would let batch composition leak into cell
+        // choice and thence into scores. Hashing the pair keeps every row's
+        // entire classify path identical whatever else shares the batch.
+        let mut row_meta: HashMap<u64, ((ReportId, ReportId), Vec<(usize, ReportId)>)> =
+            HashMap::new();
+        for (slot, req) in requests.iter().enumerate() {
+            match &req.query {
+                ServeQuery::Duplicate { report } => {
+                    let memberships = self.store.duplicate_memberships(report.id);
+                    if memberships > 0 {
+                        // O(1) through the store's per-report member index:
+                        // the probe is already part of known duplicate pairs.
+                        answers[slot] = Some(ServeAnswer::Duplicate {
+                            known_memberships: memberships,
+                            matches: Vec::new(),
+                        });
+                        continue;
+                    }
+                    let processed =
+                        ProcessedReport::from_report(report, &self.pipeline, &mut self.interner);
+                    let mut candidates = self.blocking.probe_candidates(&processed);
+                    candidates.truncate(self.config.max_candidates);
+                    for cand in candidates {
+                        let Some(other) = self.corpus.get(&cand) else {
+                            continue;
+                        };
+                        let key = (report.id, cand);
+                        let mut id = stable_hash(&key);
+                        loop {
+                            match row_meta.get_mut(&id) {
+                                None => {
+                                    rows.push(id, &pair_distance(&processed, other), false);
+                                    row_meta.insert(id, (key, vec![(slot, cand)]));
+                                    break;
+                                }
+                                Some((existing, slots)) if *existing == key => {
+                                    // Same probe offered twice in one batch:
+                                    // one row answers every copy.
+                                    slots.push((slot, cand));
+                                    break;
+                                }
+                                // 64-bit collision between distinct pairs:
+                                // chain deterministically to a fresh id.
+                                Some(_) => id = stable_hash(&(id, 0x5eed_u64)),
+                            }
+                        }
+                    }
+                    answers[slot] = Some(ServeAnswer::Duplicate {
+                        known_memberships: 0,
+                        matches: Vec::new(),
+                    });
+                }
+                ServeQuery::Signal { drug, event } => {
+                    let (raw, deduped) = self.signal_stats(drug, event);
+                    answers[slot] = Some(ServeAnswer::Signal { raw, deduped });
+                }
+            }
+        }
+        if !rows.is_empty() {
+            let model = self.model.as_ref().ok_or_else(|| {
+                SparkletError::User(
+                    "serve: no trained model — refresh from a bootstrapped system".into(),
+                )
+            })?;
+            // Per-row independent, so each request's matches are identical
+            // whatever else shares the batch.
+            for s in model.classify_batch(&rows)? {
+                let (_, slots) = &row_meta[&s.id];
+                for &(slot, cand) in slots {
+                    if let Some(ServeAnswer::Duplicate { matches, .. }) = answers[slot].as_mut() {
+                        matches.push(DuplicateMatch {
+                            candidate: cand,
+                            score: s.score,
+                            is_duplicate: s.positive,
+                        });
+                    }
+                }
+            }
+            // Classify returns rows in id (hash) order; present candidates
+            // in candidate-id order.
+            for a in answers.iter_mut() {
+                if let Some(ServeAnswer::Duplicate { matches, .. }) = a {
+                    matches.sort_by(|x, y| x.candidate.cmp(&y.candidate));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Drive an open-loop arrival stream (sorted by `arrival_us`) through
+    /// the batch-or-deadline admission queue on the virtual clock.
+    ///
+    /// Each round computes the earliest moment the pending batch is either
+    /// full (the adaptive target, `deadline_us / ema(inter-arrival)` clamped
+    /// to `[1, max_batch]`) or its oldest request hits the deadline, then
+    /// dispatches every request that has arrived by that moment (capped at
+    /// `max_batch`). Service time is the engine's measured stage makespan
+    /// for the batch's jobs plus the dispatch-overhead cost model — the
+    /// per-dispatch overhead is what batching amortises.
+    ///
+    /// One coalesced journal event is recorded per dispatched batch, never
+    /// per request, so arbitrarily long loads stay within the journal bound.
+    pub fn run_open_loop(&mut self, requests: &[ServeRequest]) -> Result<ServeRunSummary> {
+        assert!(
+            requests
+                .windows(2)
+                .all(|w| w[0].arrival_us <= w[1].arrival_us),
+            "open-loop stream must be sorted by arrival time"
+        );
+        let n = requests.len();
+        let mut answers: Vec<Option<ServeAnswer>> = vec![None; n];
+        let mut latencies: Vec<u64> = vec![0; n];
+        let slots = {
+            let c = self.cluster.config();
+            (c.num_executors * c.cores_per_executor).max(1)
+        };
+        let cap = self.config.max_batch.max(1);
+        let mut free_at: u64 = 0;
+        // Arrival-rate estimate (µs between arrivals, integer EMA). Starts
+        // at the deadline, so the target is 1 until the stream reveals its
+        // rate — a cold queue never waits a full deadline for company that
+        // is not coming.
+        let mut ema_gap: u64 = self.config.deadline_us.max(1);
+        let mut i = 0usize;
+        let mut batches = 0u64;
+        let mut max_queue_depth = 0u64;
+        let mut service_total = 0u64;
+        let mut last_completion = 0u64;
+        while i < n {
+            let target = ((self.config.deadline_us / ema_gap.max(1)).max(1) as usize).min(cap);
+            let t_full = match requests.get(i + target - 1) {
+                Some(r) => r.arrival_us,
+                None => u64::MAX,
+            };
+            let t_deadline = requests[i]
+                .arrival_us
+                .saturating_add(self.config.deadline_us);
+            let dispatch_at = free_at.max(t_full.min(t_deadline));
+            let mut end = i + 1;
+            while end < n && end - i < cap && requests[end].arrival_us <= dispatch_at {
+                end += 1;
+            }
+            let queue_depth = requests[end..]
+                .iter()
+                .take_while(|r| r.arrival_us <= dispatch_at)
+                .count() as u64;
+            max_queue_depth = max_queue_depth.max(queue_depth);
+            for w in requests[i..end].windows(2) {
+                ema_gap = (3 * ema_gap + (w[1].arrival_us - w[0].arrival_us)) / 4;
+            }
+            if end - i == 1 && end < n {
+                // A singleton still reveals the gap to its successor.
+                ema_gap = (3 * ema_gap + (requests[end].arrival_us - requests[i].arrival_us)) / 4;
+            }
+            let memo_lookups0 = self.memo.lookups();
+            let memo_hits0 = self.memo.hits();
+            let stages_seen = self.cluster.clock().stages().len();
+            self.answer_batch(&requests[i..end], &mut answers[i..end])?;
+            let engine_us: u64 = self.cluster.clock().stages()[stages_seen..]
+                .iter()
+                .map(|s| s.makespan_us(slots))
+                .sum();
+            let batch_len = (end - i) as u64;
+            let service_us = self.config.dispatch_overhead_us
+                + self.config.per_request_us * batch_len
+                + engine_us;
+            let completion = dispatch_at + service_us;
+            for (j, r) in requests[i..end].iter().enumerate() {
+                latencies[i + j] = completion - r.arrival_us;
+            }
+            self.cluster
+                .journal()
+                .record(EventKind::ServeBatchExecuted {
+                    batch: self.batches_served,
+                    requests: batch_len,
+                    queue_depth,
+                    memo_lookups: self.memo.lookups() - memo_lookups0,
+                    memo_hits: self.memo.hits() - memo_hits0,
+                    service_us,
+                    latency_us: completion - requests[i].arrival_us,
+                });
+            self.batches_served += 1;
+            batches += 1;
+            service_total += service_us;
+            free_at = completion;
+            last_completion = completion;
+            i = end;
+        }
+        let answers: Vec<ServeAnswer> = answers
+            .into_iter()
+            .map(|a| a.expect("every admitted request is answered"))
+            .collect();
+        let digest = answers_digest(&answers);
+        let elapsed_us = match requests.first() {
+            Some(first) => last_completion.saturating_sub(first.arrival_us),
+            None => 0,
+        };
+        Ok(ServeRunSummary {
+            answers,
+            latencies_us: latencies,
+            batches,
+            max_queue_depth,
+            service_us: service_total,
+            elapsed_us,
+            digest,
+        })
+    }
+}
+
+/// Order-stable content digest over a slice of answers: equal iff every
+/// answer is bit-identical (scores and RORs compare as `f64::to_bits`).
+/// Latencies and batching are deliberately excluded — the digest pins the
+/// invariant that admission policy must never change results.
+pub fn answers_digest(answers: &[ServeAnswer]) -> u64 {
+    let mut enc: Vec<u64> = Vec::with_capacity(answers.len() * 4);
+    for a in answers {
+        match a {
+            ServeAnswer::Duplicate {
+                known_memberships,
+                matches,
+            } => {
+                enc.push(1);
+                enc.push(*known_memberships as u64);
+                enc.push(matches.len() as u64);
+                for m in matches {
+                    enc.push(m.candidate);
+                    enc.push(m.score.to_bits());
+                    enc.push(m.is_duplicate as u64);
+                }
+            }
+            ServeAnswer::Signal { raw, deduped } => {
+                enc.push(2);
+                for s in [raw, deduped] {
+                    enc.extend([s.a, s.b, s.c, s.d, s.ror.to_bits()]);
+                }
+            }
+        }
+    }
+    stable_hash(&enc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::DedupConfig;
+    use adr_synth::{Dataset, SynthConfig};
+
+    fn served_system(seed: u64) -> (DedupSystem, Dataset) {
+        let ds = Dataset::generate(&SynthConfig::small(250, 15, seed));
+        let config = DedupConfig {
+            bootstrap_negatives: 400,
+            use_blocking: true,
+            knn: fastknn::FastKnnConfig {
+                theta: 0.0,
+                b: 8,
+                ..fastknn::FastKnnConfig::default()
+            },
+            ..DedupConfig::default()
+        };
+        let mut sys = DedupSystem::new(Cluster::local(2), config);
+        sys.bootstrap(&ds.reports, &ds.duplicate_pairs).unwrap();
+        (sys, ds)
+    }
+
+    fn at(arrival_us: u64, query: ServeQuery) -> ServeRequest {
+        ServeRequest { arrival_us, query }
+    }
+
+    #[test]
+    fn known_duplicate_member_short_circuits() {
+        let (sys, ds) = served_system(1);
+        let mut serve = ServeService::attach(&sys, ServeConfig::default()).unwrap();
+        let member = ds.duplicate_pairs[0].hi;
+        let probe = ds.reports.iter().find(|r| r.id == member).unwrap().clone();
+        let out = serve
+            .run_open_loop(&[at(0, ServeQuery::Duplicate { report: probe })])
+            .unwrap();
+        match &out.answers[0] {
+            ServeAnswer::Duplicate {
+                known_memberships,
+                matches,
+            } => {
+                assert!(*known_memberships > 0, "bootstrapped pair is known");
+                assert!(matches.is_empty(), "short-circuit skips classification");
+            }
+            other => panic!("unexpected answer {other:?}"),
+        }
+    }
+
+    #[test]
+    fn novel_probe_close_to_a_report_is_flagged() {
+        let (sys, ds) = served_system(2);
+        let mut serve = ServeService::attach(&sys, ServeConfig::default()).unwrap();
+        // A verbatim copy of a non-duplicate report under a fresh id: the
+        // zero-distance candidate pair must classify as duplicate.
+        let dup_members: HashSet<ReportId> = sys
+            .store()
+            .duplicate_pairs()
+            .flat_map(|p| [p.lo, p.hi])
+            .collect();
+        let mut probe = ds
+            .reports
+            .iter()
+            .find(|r| !dup_members.contains(&r.id))
+            .unwrap()
+            .clone();
+        let original = probe.id;
+        probe.id = 9_999_999;
+        let out = serve
+            .run_open_loop(&[at(0, ServeQuery::Duplicate { report: probe })])
+            .unwrap();
+        match &out.answers[0] {
+            ServeAnswer::Duplicate {
+                known_memberships,
+                matches,
+            } => {
+                assert_eq!(*known_memberships, 0);
+                let hit = matches
+                    .iter()
+                    .find(|m| m.candidate == original)
+                    .expect("the copied report must be a candidate");
+                assert!(hit.is_duplicate, "zero distance must classify positive");
+            }
+            other => panic!("unexpected answer {other:?}"),
+        }
+    }
+
+    #[test]
+    fn signal_queries_show_ror_inflation_from_duplicates() {
+        let (sys, _ds) = served_system(3);
+        let mut serve = ServeService::attach(&sys, ServeConfig::default()).unwrap();
+        // Aggregate over many drug/event words: raw counts include every
+        // duplicate copy, so raw `a` cells must dominate deduped ones.
+        let mut raw_a = 0u64;
+        let mut dedup_a = 0u64;
+        let lex = adr_synth::lexicon::drug_names(10);
+        for drug in lex.iter() {
+            let word = drug.split_whitespace().next().unwrap().to_string();
+            let out = serve
+                .run_open_loop(&[at(
+                    0,
+                    ServeQuery::Signal {
+                        drug: word,
+                        event: "rash".into(),
+                    },
+                )])
+                .unwrap();
+            if let ServeAnswer::Signal { raw, deduped } = &out.answers[0] {
+                raw_a += raw.a;
+                dedup_a += deduped.a;
+                assert!(raw.a >= deduped.a, "dedup can only remove reports");
+                assert!(raw.a + raw.b + raw.c + raw.d == raw.a + raw.b + raw.c + raw.d);
+            }
+        }
+        assert!(raw_a >= dedup_a);
+    }
+
+    #[test]
+    fn batching_policy_never_changes_results() {
+        let (sys, ds) = served_system(4);
+        let make_requests = || -> Vec<ServeRequest> {
+            (0..40u64)
+                .map(|i| {
+                    if i % 3 == 0 {
+                        at(
+                            i * 100,
+                            ServeQuery::Signal {
+                                drug: "panadol".into(),
+                                event: "nausea".into(),
+                            },
+                        )
+                    } else {
+                        let mut probe = ds.reports[(i as usize * 7) % 200].clone();
+                        probe.id = 1_000_000 + i;
+                        at(i * 100, ServeQuery::Duplicate { report: probe })
+                    }
+                })
+                .collect()
+        };
+        let batched = ServeService::attach(&sys, ServeConfig::default())
+            .unwrap()
+            .run_open_loop(&make_requests())
+            .unwrap();
+        let single = ServeService::attach(&sys, ServeConfig::default().request_at_a_time())
+            .unwrap()
+            .run_open_loop(&make_requests())
+            .unwrap();
+        assert_eq!(batched.answers, single.answers);
+        assert_eq!(batched.digest, single.digest);
+        assert!(single.batches == 40, "batch=1 dispatches per request");
+        assert!(batched.batches <= single.batches);
+    }
+
+    #[test]
+    fn refresh_is_incremental_and_purges_the_memo() {
+        let (mut sys, ds) = served_system(5);
+        let mut serve = ServeService::attach(&sys, ServeConfig::default()).unwrap();
+        let q = || {
+            vec![at(
+                0,
+                ServeQuery::Signal {
+                    drug: "panadol".into(),
+                    event: "rash".into(),
+                },
+            )]
+        };
+        let before = serve.run_open_loop(&q()).unwrap();
+        assert_eq!(serve.memo().len(), 1);
+        let again = serve.run_open_loop(&q()).unwrap();
+        assert_eq!(serve.memo().hits(), 1, "second ask hits the memo");
+        assert_eq!(before.answers, again.answers);
+        // Ingest more reports, refresh: the memo purges, counts grow.
+        let extra: Vec<adr_model::AdrReport> = (0..10)
+            .map(|i| {
+                let mut r = ds.reports[i].clone();
+                r.id = 2_000_000 + i as u64;
+                r
+            })
+            .collect();
+        sys.detect_new(&extra).unwrap();
+        let counted_before = serve.raw.reports;
+        serve.refresh(&sys).unwrap();
+        assert!(serve.memo().is_empty(), "refresh purges the memo");
+        assert_eq!(serve.raw.reports, counted_before + 10, "incremental count");
+        let after = serve.run_open_loop(&q()).unwrap();
+        if let (ServeAnswer::Signal { raw: b, .. }, ServeAnswer::Signal { raw: a, .. }) =
+            (&before.answers[0], &after.answers[0])
+        {
+            assert!(a.a >= b.a, "counts only grow with more reports");
+        }
+    }
+
+    #[test]
+    fn deadline_bounds_queueing_delay_at_low_rate() {
+        let (sys, _) = served_system(6);
+        let config = ServeConfig {
+            deadline_us: 1_000,
+            ..ServeConfig::default()
+        };
+        let mut serve = ServeService::attach(&sys, config).unwrap();
+        // Sparse arrivals (10ms apart): every request must dispatch well
+        // before a full batch could form, so latency stays near the
+        // service floor, far below the inter-arrival gap.
+        let requests: Vec<ServeRequest> = (0..20u64)
+            .map(|i| {
+                at(
+                    i * 10_000,
+                    ServeQuery::Signal {
+                        drug: "panadol".into(),
+                        event: "rash".into(),
+                    },
+                )
+            })
+            .collect();
+        let out = serve.run_open_loop(&requests).unwrap();
+        for (i, &l) in out.latencies_us.iter().enumerate() {
+            assert!(
+                l <= config.deadline_us + config.dispatch_overhead_us + 100 + config.per_request_us,
+                "request {i} waited {l}µs — deadline not honoured"
+            );
+        }
+    }
+}

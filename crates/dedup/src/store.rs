@@ -5,11 +5,11 @@
 //! non-duplicates" — the imbalance-driven asymmetry that shapes the whole
 //! system. Newly classified pairs feed back in (the dashed line of Fig. 1).
 
-use adr_model::{DistVec, PairId};
+use adr_model::{DistVec, PairId, ReportId};
 use fastknn::LabeledPair;
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 /// Bounded labelled-pair store with feedback. Vectors are fixed-arity
 /// [`DistVec`]s, so entries are flat `(PairId, [f64; 8])` tuples — no
@@ -28,6 +28,13 @@ pub struct PairStore {
     duplicates: Vec<(PairId, DistVec)>,
     non_duplicates: Vec<(PairId, DistVec)>,
     duplicate_ids: HashSet<PairId>,
+    /// Per-*report* duplicate membership: how many retained duplicate pairs
+    /// each report participates in. Duplicates are kept forever, so this
+    /// index only ever grows in lockstep with `duplicates` — it adds no
+    /// per-offer state — and it gives the serving layer an O(1) "is this
+    /// report part of a known duplicate pair?" answer without scanning the
+    /// pair list.
+    duplicate_members: HashMap<ReportId, u32>,
     /// Ids of the currently retained negatives — always in lockstep with
     /// `non_duplicates`, so at most `max_non_duplicates` entries.
     negative_ids: HashSet<PairId>,
@@ -48,6 +55,7 @@ impl PairStore {
             duplicates: Vec::new(),
             non_duplicates: Vec::new(),
             duplicate_ids: HashSet::new(),
+            duplicate_members: HashMap::new(),
             negative_ids: HashSet::new(),
             max_non_duplicates,
             seed,
@@ -85,6 +93,8 @@ impl PairStore {
         if is_duplicate {
             self.duplicates.push((id, vector));
             self.duplicate_ids.insert(id);
+            *self.duplicate_members.entry(id.lo).or_insert(0) += 1;
+            *self.duplicate_members.entry(id.hi).or_insert(0) += 1;
             return;
         }
         if self.non_duplicates.len() < self.max_non_duplicates {
@@ -123,6 +133,29 @@ impl PairStore {
     /// Is this pair currently stored (under either label)?
     pub fn contains(&self, id: &PairId) -> bool {
         self.duplicate_ids.contains(id) || self.negative_ids.contains(id)
+    }
+
+    /// Is this *report* a member of any stored duplicate pair? O(1): the
+    /// per-report index is maintained on every duplicate insert, so a
+    /// serving lookup never scans the pair list.
+    pub fn is_duplicate_member(&self, id: ReportId) -> bool {
+        self.duplicate_members.contains_key(&id)
+    }
+
+    /// Number of stored duplicate pairs this report participates in (0 for
+    /// a report never seen in a duplicate pair). O(1).
+    pub fn duplicate_memberships(&self, id: ReportId) -> u32 {
+        self.duplicate_members.get(&id).copied().unwrap_or(0)
+    }
+
+    /// Distinct reports that appear in at least one stored duplicate pair.
+    pub fn duplicate_member_count(&self) -> usize {
+        self.duplicate_members.len()
+    }
+
+    /// Stored duplicate pair ids, in insertion order.
+    pub fn duplicate_pairs(&self) -> impl Iterator<Item = PairId> + '_ {
+        self.duplicates.iter().map(|(id, _)| *id)
     }
 
     /// Current snapshot schema version (see [`PairStore::snapshot`]).
@@ -245,6 +278,10 @@ impl PairStore {
                 if section == "duplicates" {
                     store.duplicates.push((id, v));
                     store.duplicate_ids.insert(id);
+                    // The member index is derived state: rebuilt here rather
+                    // than serialised, so the snapshot format is unchanged.
+                    *store.duplicate_members.entry(id.lo).or_insert(0) += 1;
+                    *store.duplicate_members.entry(id.hi).or_insert(0) += 1;
                 } else {
                     store.non_duplicates.push((id, v));
                     store.negative_ids.insert(id);
@@ -373,6 +410,68 @@ mod tests {
                     .iter()
                     .any(|(i, _)| *i == pid(0, 2_000_000)),
             "an evicted negative must be forgotten"
+        );
+    }
+
+    #[test]
+    fn duplicate_member_index_stays_in_lockstep_with_the_pair_list() {
+        // The O(1) membership index must agree with a scan of the retained
+        // duplicate pairs at every step — across duplicate inserts, re-offer
+        // dedup, reservoir churn (negatives never touch it), and a snapshot
+        // round trip (where it is rebuilt from the pair list).
+        fn scan_memberships(store: &PairStore) -> HashMap<ReportId, u32> {
+            let mut counts = HashMap::new();
+            for id in store.duplicate_pairs() {
+                *counts.entry(id.lo).or_insert(0u32) += 1;
+                *counts.entry(id.hi).or_insert(0u32) += 1;
+            }
+            counts
+        }
+        fn check(store: &PairStore, step: &str) {
+            let scanned = scan_memberships(store);
+            assert_eq!(
+                store.duplicate_member_count(),
+                scanned.len(),
+                "member count diverged from pair-list scan ({step})"
+            );
+            for (&report, &count) in &scanned {
+                assert!(store.is_duplicate_member(report), "{step}: {report}");
+                assert_eq!(
+                    store.duplicate_memberships(report),
+                    count,
+                    "{step}: report {report}"
+                );
+            }
+        }
+
+        let mut store = PairStore::new(8, 21);
+        // Duplicates sharing reports: 0 appears in three pairs, 1 in two.
+        for (a, b) in [(0, 1), (0, 2), (0, 3), (1, 4), (5, 6)] {
+            store.add(pid(a, b), dv(0.1), true);
+            check(&store, "after duplicate insert");
+        }
+        assert_eq!(store.duplicate_memberships(0), 3);
+        assert_eq!(store.duplicate_memberships(1), 2);
+        assert_eq!(store.duplicate_memberships(6), 1);
+        assert!(!store.is_duplicate_member(7));
+        assert_eq!(store.duplicate_memberships(7), 0);
+        // Re-offering a stored pair is ignored and must not double-count.
+        store.add(pid(1, 0), dv(0.9), true);
+        assert_eq!(store.duplicate_memberships(0), 3);
+        check(&store, "after re-offer");
+        // Reservoir churn on negatives never touches duplicate membership,
+        // even when a negative pair reuses a duplicate's report id.
+        for i in 0..500u64 {
+            store.add(pid(i % 7, i + 10_000), dv(0.8), false);
+        }
+        check(&store, "after reservoir churn");
+        // Snapshot round trip rebuilds the derived index exactly.
+        let restored = PairStore::restore(&store.snapshot()).expect("restore");
+        check(&restored, "after restore");
+        assert_eq!(restored.duplicate_memberships(0), 3);
+        assert_eq!(
+            restored.duplicate_member_count(),
+            store.duplicate_member_count()
         );
     }
 

@@ -355,6 +355,35 @@ impl DedupSystem {
     pub(crate) fn interner_len(&self) -> usize {
         self.interner.len()
     }
+
+    /// The system configuration.
+    pub fn config(&self) -> &DedupConfig {
+        &self.config
+    }
+
+    // Read-only views the serving layer snapshots at refresh time (see
+    // [`crate::serve`]). Serve never mutates the system — it clones what it
+    // needs — so ingest and serve interleave without interference.
+
+    pub(crate) fn pipeline(&self) -> &Pipeline {
+        &self.pipeline
+    }
+
+    pub(crate) fn interner(&self) -> &TokenInterner {
+        &self.interner
+    }
+
+    pub(crate) fn corpus(&self) -> &CorpusIndex {
+        &self.processed
+    }
+
+    pub(crate) fn blocking(&self) -> &BlockingIndex {
+        &self.blocking
+    }
+
+    pub(crate) fn arrival_order(&self) -> &[ReportId] {
+        &self.arrival_order
+    }
 }
 
 /// Pre-attempt snapshot of [`DedupSystem`]'s batch-mutable state; see

@@ -1,0 +1,119 @@
+//! Serving-layer contract on the distributed classifier: how probe rows are
+//! grouped into micro-batches must never show through in the results.
+//!
+//! The serve admission queue coalesces probes into whatever batch sizes the
+//! arrival process produces, so [`fastknn::FastKnn::classify_batch`] must be
+//! **bit-identical** (scores compared as `f64::to_bits`) across batch
+//! compositions — the same rows classified one at a time, 16 at a time, or
+//! all at once — and across engine parallelism. The one requirement on the
+//! caller is stable row ids: the balanced Voronoi assignment tie-breaks on
+//! the row id, so ids must belong to the *row*, not its batch position
+//! (exactly what `dedup::serve` does by hashing the probe–candidate pair).
+
+use fastknn::{FastKnn, FastKnnConfig, LabeledPair, ScoredPair, VecBatch};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sparklet::Cluster;
+
+const ROWS: usize = 1024;
+
+fn training(seed: u64) -> Vec<LabeledPair> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..900)
+        .map(|i| {
+            let positive = rng.gen_bool(0.05);
+            let center = if positive { 0.25 } else { 0.75 };
+            LabeledPair {
+                id: i as u64,
+                vector: std::array::from_fn(|_| center + rng.gen_range(-0.25..0.25)),
+                positive,
+            }
+        })
+        .collect()
+}
+
+/// `ROWS` probe rows with ids that are a property of the row itself (id =
+/// row index here), so every batch split presents identical (id, vector)
+/// pairs.
+fn probes(seed: u64) -> VecBatch<8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut batch = VecBatch::with_capacity(ROWS);
+    for i in 0..ROWS {
+        let vector: [f64; 8] = std::array::from_fn(|_| rng.gen_range(0.0..1.0));
+        batch.push(i as u64, &vector, false);
+    }
+    batch
+}
+
+/// Classify the probe set in micro-batches of `size`, concatenating the
+/// per-batch results in row order.
+fn classify_in_batches(model: &FastKnn<8>, all: &VecBatch<8>, size: usize) -> Vec<ScoredPair> {
+    let mut out = Vec::with_capacity(all.len());
+    for chunk in all.chunk_rows(size) {
+        out.extend(model.classify_batch(&chunk).unwrap());
+    }
+    out.sort_by_key(|s| s.id);
+    out
+}
+
+fn bits(results: &[ScoredPair]) -> Vec<(u64, u64, bool, bool)> {
+    results
+        .iter()
+        .map(|s| (s.id, s.score.to_bits(), s.positive, s.shortcut))
+        .collect()
+}
+
+#[test]
+fn results_are_bit_identical_across_batch_sizes_and_partitions() {
+    let train = training(11);
+    let all = probes(12);
+    let mut reference: Option<Vec<(u64, u64, bool, bool)>> = None;
+    for workers in [1usize, 4, 16] {
+        let cluster = Cluster::local(workers);
+        let config = FastKnnConfig {
+            b: 8,
+            theta: 0.4,
+            ..FastKnnConfig::default()
+        };
+        let model = FastKnn::fit(&cluster, &train, config).unwrap();
+        for size in [1usize, 16, 1024] {
+            let got = bits(&classify_in_batches(&model, &all, size));
+            assert_eq!(got.len(), ROWS);
+            match &reference {
+                None => reference = Some(got),
+                Some(want) => assert_eq!(
+                    &got, want,
+                    "classification diverged at {workers} workers, batch size {size}"
+                ),
+            }
+        }
+    }
+}
+
+/// The theta shortcut is the most composition-suspicious path (it truncates
+/// the neighbourhood search): pin bit-identity for it separately with an
+/// aggressive threshold so many rows take the shortcut.
+#[test]
+fn shortcut_heavy_results_are_bit_identical_across_batch_sizes() {
+    let train = training(31);
+    let all = probes(32);
+    let cluster = Cluster::local(4);
+    let config = FastKnnConfig {
+        b: 6,
+        theta: 1.5,
+        ..FastKnnConfig::default()
+    };
+    let model = FastKnn::fit(&cluster, &train, config).unwrap();
+    let whole = bits(&classify_in_batches(&model, &all, 1024));
+    assert!(
+        whole.iter().any(|&(_, _, _, shortcut)| shortcut),
+        "theta 1.5 must exercise the shortcut path"
+    );
+    for size in [1usize, 16] {
+        assert_eq!(
+            bits(&classify_in_batches(&model, &all, size)),
+            whole,
+            "shortcut path diverged at batch size {size}"
+        );
+    }
+}

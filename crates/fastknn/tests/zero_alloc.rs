@@ -8,7 +8,9 @@
 
 use fastknn::serial::classify_batch;
 use fastknn::voronoi::VoronoiPartition;
-use fastknn::{from_unlabeled, ClassifyScratch, LabeledPair, UnlabeledPair};
+use fastknn::{
+    from_unlabeled, ClassifyScratch, LabeledPair, ScoredPair, ScratchPool, UnlabeledPair, VecBatch,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -84,4 +86,71 @@ fn warm_classify_batch_does_not_allocate() {
         after - before
     );
     assert_eq!(out, cold, "warm call must reproduce the cold result");
+}
+
+/// The serving path keeps several micro-batches in flight at once, each
+/// holding a [`ScratchPool`] scratch while it classifies. Once the pool is
+/// warm (one scratch per in-flight batch, every buffer sized), steady-state
+/// serving must not touch the heap: pop-use-push through the pool plus the
+/// classify kernel itself, all allocation-free.
+#[test]
+fn warm_scratch_pool_with_many_in_flight_batches_does_not_allocate() {
+    const IN_FLIGHT: usize = 8;
+    let train = synthetic_train(1_200, 21);
+    let partition = VoronoiPartition::build(&train, 8, 43);
+    let mut rng = StdRng::seed_from_u64(99);
+    // One probe batch per in-flight serve batch, sizes varied like a real
+    // admission queue's output.
+    let batches: Vec<VecBatch<8>> = (0..IN_FLIGHT)
+        .map(|b| {
+            let rows = 1 + b * 17;
+            let tests: Vec<UnlabeledPair> = (0..rows)
+                .map(|i| UnlabeledPair {
+                    id: (b * 1000 + i) as u64,
+                    vector: std::array::from_fn(|_| rng.gen_range(0.0..1.0)),
+                })
+                .collect();
+            from_unlabeled(&tests)
+        })
+        .collect();
+    let pool = ScratchPool::<8>::new();
+    let mut outs: Vec<Vec<ScoredPair>> = vec![Vec::new(); IN_FLIGHT];
+
+    // Nested checkouts hold IN_FLIGHT scratches simultaneously, forcing the
+    // pool to own that many; the recursion mirrors overlapping batches.
+    let run = |pool: &ScratchPool<8>, outs: &mut Vec<Vec<ScoredPair>>| {
+        fn nest(
+            i: usize,
+            pool: &ScratchPool<8>,
+            partition: &VoronoiPartition<8>,
+            batches: &[VecBatch<8>],
+            outs: &mut Vec<Vec<ScoredPair>>,
+        ) {
+            if i == batches.len() {
+                return;
+            }
+            pool.with(|s| {
+                classify_batch(partition, &batches[i], 7, 0.5, s, &mut outs[i]);
+                nest(i + 1, pool, partition, batches, outs);
+            });
+        }
+        nest(0, pool, &partition, &batches, outs);
+    };
+
+    // Warm-up twice: the pool grows to IN_FLIGHT scratches and every
+    // buffer (and output vector) reaches steady-state capacity.
+    run(&pool, &mut outs);
+    run(&pool, &mut outs);
+    let cold = outs.clone();
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    run(&pool, &mut outs);
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "warm pool serving must not allocate ({} allocations observed)",
+        after - before
+    );
+    assert_eq!(outs, cold, "warm pass must reproduce the cold results");
 }

@@ -346,6 +346,26 @@ pub enum EventKind {
         /// to an older one.
         fallback: bool,
     },
+    /// A serve micro-batch was dispatched and answered. Coalesced: one
+    /// event per admitted batch, never per request, so an open-loop load of
+    /// millions of requests stays within the journal bound.
+    ServeBatchExecuted {
+        /// Batch index within the serve run.
+        batch: u64,
+        /// Requests coalesced into this batch.
+        requests: u64,
+        /// Requests still queued when this batch dispatched.
+        queue_depth: u64,
+        /// Signal-memo lookups issued by this batch.
+        memo_lookups: u64,
+        /// Signal-memo lookups answered from the memo.
+        memo_hits: u64,
+        /// Virtual service time for the batch (µs).
+        service_us: u64,
+        /// Worst request latency in the batch: dispatch wait plus service
+        /// time, measured from the earliest admitted arrival (µs).
+        latency_us: u64,
+    },
 }
 
 impl EventKind {
@@ -379,6 +399,7 @@ impl EventKind {
             EventKind::IngestDeferred { .. } => "ingest_deferred",
             EventKind::IngestQuarantined { .. } => "ingest_quarantined",
             EventKind::IngestRecovered { .. } => "ingest_recovered",
+            EventKind::ServeBatchExecuted { .. } => "serve_batch_executed",
         }
     }
 }
@@ -1015,6 +1036,85 @@ impl IngestReport {
     }
 }
 
+/// Power-of-two histogram buckets in a [`ServeReport`]: bucket `i` counts
+/// batches of `2^i` requests or fewer (but more than `2^(i-1)`), with the
+/// last bucket absorbing everything larger.
+pub const SERVE_HIST_BUCKETS: usize = 11;
+
+/// Serving aggregates captured into a [`JobReport`], folded from the
+/// coalesced [`EventKind::ServeBatchExecuted`] journal events (one per
+/// micro-batch, so the section stays bounded however long the open-loop
+/// load runs).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServeReport {
+    /// Micro-batches dispatched.
+    pub batches: u64,
+    /// Requests answered, summed over batches.
+    pub requests: u64,
+    /// Largest queue depth observed at any dispatch.
+    pub max_queue_depth: u64,
+    /// Batch-size histogram: bucket `i` counts batches of at most `2^i`
+    /// requests (last bucket open-ended).
+    pub batch_size_hist: [u64; SERVE_HIST_BUCKETS],
+    /// Signal-memo lookups issued.
+    pub memo_lookups: u64,
+    /// Signal-memo lookups answered from the memo.
+    pub memo_hits: u64,
+    /// Virtual service time summed over batches (µs).
+    pub service_us: u64,
+}
+
+impl ServeReport {
+    fn capture(cluster: &Cluster) -> Self {
+        let mut report = ServeReport::default();
+        for ev in cluster.journal().events() {
+            if let EventKind::ServeBatchExecuted {
+                requests,
+                queue_depth,
+                memo_lookups,
+                memo_hits,
+                service_us,
+                ..
+            } = ev.kind
+            {
+                report.batches += 1;
+                report.requests += requests;
+                report.max_queue_depth = report.max_queue_depth.max(queue_depth);
+                let bucket = (64 - requests.max(1).next_power_of_two().leading_zeros() - 1)
+                    .min(SERVE_HIST_BUCKETS as u32 - 1);
+                report.batch_size_hist[bucket as usize] += 1;
+                report.memo_lookups += memo_lookups;
+                report.memo_hits += memo_hits;
+                report.service_us += service_us;
+            }
+        }
+        report
+    }
+
+    /// Did a serve service run on this cluster?
+    pub fn any(&self) -> bool {
+        self.batches > 0
+    }
+
+    /// Fraction of signal-memo lookups answered from the memo, in `[0, 1]`.
+    pub fn memo_hit_rate(&self) -> f64 {
+        if self.memo_lookups == 0 {
+            0.0
+        } else {
+            self.memo_hits as f64 / self.memo_lookups as f64
+        }
+    }
+
+    /// Mean requests per dispatched batch.
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.requests as f64 / self.batches as f64
+        }
+    }
+}
+
 /// Maximum failure lines embedded in a report (the journal may hold more).
 /// Cap on the failure lines a [`JobReport`] retains (fault-injection runs
 /// can fail thousands of attempts; the report keeps the first few).
@@ -1051,6 +1151,9 @@ pub struct JobReport {
     /// plus quarantine, backpressure and recovery totals (empty when no
     /// ingest service ran).
     pub ingest: IngestReport,
+    /// Serving aggregates: micro-batch counts, queue depth, batch-size
+    /// histogram and signal-memo hit rate (empty when no serve service ran).
+    pub serve: ServeReport,
     /// First [`MAX_REPORT_FAILURES`] task-attempt failures, in order.
     pub failures: Vec<FailureLine>,
     /// User counters, sorted by name.
@@ -1064,8 +1167,8 @@ pub struct JobReport {
 impl JobReport {
     /// Current JSON schema version (2 added the `recovery` section, 3 the
     /// `sched` section, 4 the `batch` section, 5 the `spill` section, 6 the
-    /// `prune` section, 7 the `ingest` section).
-    pub const SCHEMA_VERSION: u32 = 7;
+    /// `prune` section, 7 the `ingest` section, 8 the `serve` section).
+    pub const SCHEMA_VERSION: u32 = 8;
 
     /// Snapshot a cluster's clock, metrics and journal into a report.
     pub fn capture(cluster: &Cluster) -> Self {
@@ -1119,6 +1222,7 @@ impl JobReport {
             spill: SpillReport::capture(cluster),
             prune: PruneReport::capture(cluster),
             ingest: IngestReport::capture(cluster),
+            serve: ServeReport::capture(cluster),
             recovery: RecoveryReport {
                 executors_lost: m.executors_lost.get(),
                 executors_blacklisted: m.executors_blacklisted.get(),
@@ -1299,6 +1403,28 @@ impl JobReport {
                 b.latency_us,
                 b.checkpoint_bytes,
             ));
+        }
+        out.push_str("]},\n");
+        let sv = &self.serve;
+        out.push_str("  \"serve\": {");
+        out.push_str(&format!(
+            "\"batches\": {}, \"requests\": {}, \"max_queue_depth\": {}, \
+             \"memo_lookups\": {}, \"memo_hits\": {}, \"memo_hit_rate\": {:.4}, \
+             \"mean_batch_size\": {:.2}, \"service_us\": {}, \"batch_size_hist\": [",
+            sv.batches,
+            sv.requests,
+            sv.max_queue_depth,
+            sv.memo_lookups,
+            sv.memo_hits,
+            sv.memo_hit_rate(),
+            sv.mean_batch_size(),
+            sv.service_us,
+        ));
+        for (i, count) in sv.batch_size_hist.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&count.to_string());
         }
         out.push_str("]},\n");
         out.push_str("  \"stages\": [");
@@ -1550,6 +1676,29 @@ impl fmt::Display for JobReport {
                 )?;
             }
         }
+        if self.serve.any() {
+            let sv = &self.serve;
+            writeln!(
+                f,
+                "serve: {} requests in {} batches (mean size {:.1}, max queue {}), \
+                 memo {}/{} hits ({:.1}%), {:.1} ms service",
+                sv.requests,
+                sv.batches,
+                sv.mean_batch_size(),
+                sv.max_queue_depth,
+                sv.memo_hits,
+                sv.memo_lookups,
+                sv.memo_hit_rate() * 100.0,
+                sv.service_us as f64 / 1e3,
+            )?;
+            write!(f, "serve batch sizes:")?;
+            for (i, &count) in sv.batch_size_hist.iter().enumerate() {
+                if count > 0 {
+                    write!(f, " <={}:{}", 1u64 << i, count)?;
+                }
+            }
+            writeln!(f)?;
+        }
         for fl in &self.failures {
             writeln!(
                 f,
@@ -1722,6 +1871,50 @@ mod tests {
     }
 
     #[test]
+    fn serve_events_fold_into_the_serve_section() {
+        let c = Cluster::local(2);
+        for (batch, requests, queue_depth) in [(0u64, 1u64, 0u64), (1, 16, 3), (2, 1500, 40)] {
+            c.journal().record(EventKind::ServeBatchExecuted {
+                batch,
+                requests,
+                queue_depth,
+                memo_lookups: 10,
+                memo_hits: 4,
+                service_us: 100,
+                latency_us: 250,
+            });
+        }
+        let report = c.job_report();
+        assert!(report.serve.any());
+        assert_eq!(report.serve.batches, 3);
+        assert_eq!(report.serve.requests, 1517);
+        assert_eq!(report.serve.max_queue_depth, 40);
+        // Pow2 buckets: 1 → bucket 0, 16 → bucket 4, 1500 → clamped last.
+        assert_eq!(report.serve.batch_size_hist[0], 1);
+        assert_eq!(report.serve.batch_size_hist[4], 1);
+        assert_eq!(report.serve.batch_size_hist[SERVE_HIST_BUCKETS - 1], 1);
+        assert_eq!(report.serve.memo_lookups, 30);
+        assert_eq!(report.serve.memo_hits, 12);
+        assert!((report.serve.memo_hit_rate() - 0.4).abs() < 1e-12);
+        assert_eq!(report.serve.service_us, 300);
+        let json = report.to_json();
+        assert!(json.contains("\"serve\": {\"batches\": 3, \"requests\": 1517"));
+        assert!(json.contains("\"memo_hit_rate\": 0.4000"));
+        let text = report.to_string();
+        assert!(text.contains("serve: 1517 requests in 3 batches"));
+        assert!(text.contains("<=1:1"));
+        // A run with no serve events emits the JSON section but no text.
+        let quiet = Cluster::local(1);
+        quiet.run_job("q", 1, |_, _| Ok(vec![0u8])).unwrap();
+        let quiet_report = quiet.job_report();
+        assert!(!quiet_report.serve.any());
+        assert!(quiet_report
+            .to_json()
+            .contains("\"serve\": {\"batches\": 0"));
+        assert!(!quiet_report.to_string().contains("serve:"));
+    }
+
+    #[test]
     fn json_is_schema_stable_and_escaped() {
         let c = Cluster::local(2);
         c.run_job("quoted \"stage\"\n", 2, |_, ctx| {
@@ -1731,9 +1924,14 @@ mod tests {
         .unwrap();
         let json = c.job_report().to_json();
         for key in [
-            "\"schema_version\": 7",
+            "\"schema_version\": 8",
             "\"batch\"",
             "\"ingest\"",
+            "\"serve\"",
+            "\"max_queue_depth\"",
+            "\"memo_hit_rate\"",
+            "\"mean_batch_size\"",
+            "\"batch_size_hist\"",
             "\"batches_committed\"",
             "\"batches_quarantined\"",
             "\"checkpoint_fallbacks\"",

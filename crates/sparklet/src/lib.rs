@@ -75,7 +75,7 @@ pub use executor::{ExecutorInfo, ExecutorRegistry, KillOutcome};
 pub use hash::{stable_hash, SipHasher13};
 pub use journal::{
     BatchReport, Event, EventKind, IngestBatchRow, IngestReport, JobReport, PruneReport,
-    RecoveryReport, RunJournal, SchedReport, WorkerUtilization,
+    RecoveryReport, RunJournal, SchedReport, ServeReport, WorkerUtilization, SERVE_HIST_BUCKETS,
 };
 pub use metrics::ClusterMetrics;
 pub use pair::PairRdd;
